@@ -1,0 +1,30 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench bench-standard examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Quick-scale kernels + experiment tables (~30 s)
+bench:
+	dune exec bench/main.exe
+
+# The EXPERIMENTS.md numbers (~10 min)
+bench-standard:
+	COBRA_SCALE=standard dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/duality_check.exe
+	dune exec examples/grid_scaling.exe
+	dune exec examples/expander_zoo.exe
+	dune exec examples/herd_outbreak.exe
+	dune exec examples/broadcast_race.exe
+
+clean:
+	dune clean

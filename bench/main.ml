@@ -1,0 +1,166 @@
+(* bench/main.exe — the reproduction's benchmark harness.
+
+   Part 1 (Bechamel): one Test.make per experiment E1..E15, timing that
+   experiment's computational kernel at a fixed representative size, plus
+   a group of substrate micro-benchmarks (process steps, spectral matvec,
+   generator). Estimates are OLS fits of wall time vs iterations.
+
+   Part 2 (tables): regenerates every experiment table at Quick scale —
+   the same tables EXPERIMENTS.md records at Standard/Full scale. Set
+   COBRA_SCALE=standard|full and re-run for the big versions. *)
+
+open Bechamel
+module B = Cobra.Branching
+
+let master = Simkit.Seeds.master ~default:1 ()
+
+let rng_of tag = Simkit.Seeds.tagged_rng ~master ~tag
+
+(* Workloads are built once, outside the timed closures. *)
+let expander_1k = Graph.Gen.random_regular (rng_of "bench:rr1k") ~n:1024 ~r:3
+let expander_4k = Graph.Gen.random_regular (rng_of "bench:rr4k") ~n:4096 ~r:3
+let complete_256 = Graph.Gen.complete 256
+let circulant_1k = Graph.Gen.circulant 1025 [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+let torus_32 = Graph.Gen.torus [| 32; 32 |]
+let petersen = Graph.Gen.petersen ()
+let herd_graph = Graph.Gen.ring_of_cliques ~cliques:6 ~clique_size:8
+
+let cover g branching tag =
+  let rng = rng_of tag in
+  Staged.stage (fun () ->
+      ignore (Cobra.Process.cover_time g ~branching ~start:0 rng))
+
+let experiment_kernels =
+  [
+    Test.make ~name:"E1/cover-3reg-n1024" (cover expander_1k B.cobra_k2 "e1");
+    Test.make ~name:"E2/cover-complete-n256" (cover complete_256 B.cobra_k2 "e2");
+    Test.make ~name:"E3/bips-3reg-n1024"
+      (let rng = rng_of "e3" in
+       Staged.stage (fun () ->
+           ignore
+             (Cobra.Bips.infection_time expander_1k ~branching:B.cobra_k2 ~source:0 rng)));
+    Test.make ~name:"E4/exact-duality-petersen"
+      (let engine = Cobra.Exact.Cobra_engine.create petersen ~branching:B.cobra_k2 in
+       (* Warm the transition memo so the OLS fit measures steady-state
+          evolution, not the one-time convolution setup. *)
+       ignore (Cobra.Exact.Cobra_engine.hit_survival engine ~start:[ 0 ] ~target:7 ~t_max:8);
+       Staged.stage (fun () ->
+           ignore
+             (Cobra.Exact.Cobra_engine.hit_survival engine ~start:[ 0 ] ~target:7 ~t_max:8)));
+    Test.make ~name:"E5/cover-frac-rho0.3-n1024" (cover expander_1k (B.one_plus 0.3) "e5");
+    Test.make ~name:"E6/cover-circulant-n1025" (cover circulant_1k B.cobra_k2 "e6");
+    Test.make ~name:"E7/cover-torus-32x32" (cover torus_32 B.cobra_k2 "e7");
+    Test.make ~name:"E8/walk-cover-3reg-n256"
+      (let g = Graph.Gen.random_regular (rng_of "bench:rr256") ~n:256 ~r:3 in
+       let rng = rng_of "e8" in
+       Staged.stage (fun () -> ignore (Cobra.Rwalk.cover_time g ~start:0 rng)));
+    Test.make ~name:"E9/growth-formula-n1024"
+      (let rng = rng_of "e9" in
+       let set = Cobra.Growth.random_infected_set rng expander_1k ~source:0 ~size:256 in
+       Staged.stage (fun () ->
+           ignore
+             (Cobra.Growth.expected_next_size expander_1k ~branching:B.cobra_k2 ~source:0
+                ~infected:set)));
+    Test.make ~name:"E10/herd-run-6x8"
+      (let rng = rng_of "e10" in
+       let params =
+         { Epidemic.Herd.contacts = B.cobra_k2; infectious_rounds = 2; immune_rounds = 4 }
+       in
+       Staged.stage (fun () ->
+           ignore
+             (Epidemic.Herd.run ~cap:50_000 herd_graph params ~pi:[ 0 ] ~index_cases:[] rng)));
+    Test.make ~name:"E11/push-complete-n256"
+      (let rng = rng_of "e11" in
+       Staged.stage (fun () -> ignore (Cobra.Push.push complete_256 ~start:0 rng)));
+    Test.make ~name:"E12/contact-supercrit-n1024"
+      (let rng = rng_of "e12" in
+       Staged.stage (fun () ->
+           ignore
+             (Epidemic.Contact.run ~horizon:50.0 expander_1k ~infection_rate:1.0
+                ~persistent:(Some 0) ~start:[] rng)));
+    Test.make ~name:"E13/first-visits-n1024"
+      (let rng = rng_of "e13" in
+       Staged.stage (fun () ->
+           ignore
+             (Cobra.Process.first_visit_times expander_1k ~branching:B.cobra_k2 ~start:0 rng)));
+    Test.make ~name:"E14/bips-trajectory-n1024"
+      (let rng = rng_of "e14" in
+       Staged.stage (fun () ->
+           ignore
+             (Cobra.Bips.size_trajectory expander_1k ~branching:B.cobra_k2 ~source:0 rng)));
+    Test.make ~name:"E15/cover-distinct-n1024" (cover expander_1k (B.distinct 2) "e15");
+  ]
+
+let substrate_kernels =
+  [
+    Test.make ~name:"substrate/cobra-step-n4096"
+      (let rng = rng_of "s1" in
+       let p = Cobra.Process.create expander_4k ~branching:B.cobra_k2 ~start:[ 0 ] in
+       Staged.stage (fun () ->
+           (* keep the frontier warm: restart when covered *)
+           if Cobra.Process.is_covered p then Cobra.Process.reset p ~start:[ 0 ];
+           Cobra.Process.step p rng));
+    Test.make ~name:"substrate/bips-step-n4096"
+      (let rng = rng_of "s2" in
+       let p = Cobra.Bips.create expander_4k ~branching:B.cobra_k2 ~source:0 in
+       Staged.stage (fun () -> Cobra.Bips.step p rng));
+    Test.make ~name:"substrate/walk-matvec-n4096"
+      (let op = Spectral.Op.walk_matrix expander_4k in
+       let x = Array.make 4096 1.0 in
+       let y = Array.make 4096 0.0 in
+       Staged.stage (fun () -> op.Spectral.Op.apply ~x ~y));
+    Test.make ~name:"substrate/random-regular-n1024"
+      (let rng = rng_of "s4" in
+       Staged.stage (fun () -> ignore (Graph.Gen.random_regular rng ~n:1024 ~r:3)));
+    Test.make ~name:"substrate/lanczos-lambda-n1024"
+      (let rng = rng_of "s5" in
+       Staged.stage (fun () ->
+           ignore (Spectral.Lanczos.lambda_max ~steps:40 rng expander_1k)));
+    Test.make ~name:"substrate/bitset-card-n65536"
+      (let s = Dstruct.Bitset.create 65536 in
+       Dstruct.Bitset.fill s;
+       Staged.stage (fun () -> ignore (Dstruct.Bitset.cardinal s)));
+  ]
+
+let run_benchmarks () =
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false () in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let table =
+    Stats.Table.create
+      ~aligns:[ Stats.Table.Left; Stats.Table.Right; Stats.Table.Right ]
+      [ "benchmark"; "time/run"; "r²" ]
+  in
+  let pretty_time ns =
+    if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+    else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+    else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+    else Printf.sprintf "%.0f ns" ns
+  in
+  let bench_one test =
+    let raw = Benchmark.all cfg [ instance ] test in
+    let results = Analyze.all ols instance raw in
+    let rows = Hashtbl.fold (fun name o acc -> (name, o) :: acc) results [] in
+    List.iter
+      (fun (name, o) ->
+        let est =
+          match Analyze.OLS.estimates o with Some [ e ] -> e | _ -> Float.nan
+        in
+        let r2 = Option.value ~default:Float.nan (Analyze.OLS.r_square o) in
+        Stats.Table.add_row table [ name; pretty_time est; Printf.sprintf "%.4f" r2 ])
+      (List.sort compare rows)
+  in
+  print_endline "== Bechamel kernels: one per experiment, plus substrates ==";
+  List.iter bench_one experiment_kernels;
+  List.iter bench_one substrate_kernels;
+  Stats.Table.print table
+
+let () =
+  Printf.printf "COBRA/BIPS reproduction benchmark harness (master seed %d)\n" master;
+  run_benchmarks ();
+  let scale = Simkit.Scale.of_env ~default:Simkit.Scale.Quick () in
+  Printf.printf
+    "\n== Experiment tables (scale: %s; set COBRA_SCALE=standard|full for the \
+     EXPERIMENTS.md versions) ==\n"
+    (Simkit.Scale.to_string scale);
+  Experiments.Registry.run_all ~scale ~master

@@ -1,0 +1,585 @@
+(* cobra_cli — command-line front end for the COBRA/BIPS reproduction.
+
+   Subcommands: exp (run experiments), cover, bips, walk, push, duality,
+   spectral, gen, herd, contact, exact. Every stochastic command takes
+   --seed and prints enough configuration to be reproduced exactly. *)
+
+open Cmdliner
+
+(* ---------- shared argument converters ---------- *)
+
+let graph_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Graph.Spec.parse s) in
+  let print ppf spec = Format.pp_print_string ppf (Graph.Spec.to_string spec) in
+  Arg.conv (parse, print)
+
+let branching_of_string s =
+  let s = String.trim (String.lowercase_ascii s) in
+  let fixed k =
+    if k >= 1 then Ok (Cobra.Branching.fixed k)
+    else Error (`Msg "branching factor k must be >= 1")
+  in
+  let fractional rho =
+    if rho > 0.0 && rho <= 1.0 then Ok (Cobra.Branching.one_plus rho)
+    else Error (`Msg "rho must lie in (0, 1]")
+  in
+  if String.length s > 2 && String.sub s 0 2 = "k=" then
+    match int_of_string_opt (String.sub s 2 (String.length s - 2)) with
+    | Some k -> fixed k
+    | None -> Error (`Msg "expected k=<int>")
+  else if String.length s > 2 && String.sub s 0 2 = "1+" then
+    match float_of_string_opt (String.sub s 2 (String.length s - 2)) with
+    | Some rho -> fractional rho
+    | None -> Error (`Msg "expected 1+<rho>")
+  else if String.length s > 9 && String.sub s 0 9 = "distinct=" then
+    match int_of_string_opt (String.sub s 9 (String.length s - 9)) with
+    | Some k when k >= 1 -> Ok (Cobra.Branching.distinct k)
+    | _ -> Error (`Msg "expected distinct=<int >= 1>")
+  else
+    match int_of_string_opt s with
+    | Some k -> fixed k
+    | None -> Error (`Msg "branching: use k=<int>, <int>, 1+<rho>, or distinct=<int>")
+
+let branching_conv =
+  let print ppf b = Format.pp_print_string ppf (Cobra.Branching.to_string b) in
+  Arg.conv (branching_of_string, print)
+
+let scale_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Simkit.Scale.of_string s) in
+  Arg.conv (parse, Simkit.Scale.pp)
+
+(* ---------- common options ---------- *)
+
+let seed_t =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Master random seed.")
+
+let trials_t =
+  Arg.(value & opt int 20 & info [ "trials" ] ~docv:"N" ~doc:"Number of trials.")
+
+let graph_t =
+  Arg.(
+    required
+    & opt (some graph_conv) None
+    & info [ "g"; "graph" ] ~docv:"GRAPH" ~doc:("Graph description. " ^ Graph.Spec.syntax_help))
+
+let branching_t =
+  Arg.(
+    value
+    & opt branching_conv Cobra.Branching.cobra_k2
+    & info [ "b"; "branching" ] ~docv:"BRANCHING"
+        ~doc:"Branching factor: k=<int>, 1+<rho>, or distinct=<int> (default k=2).")
+
+let cap_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cap" ] ~docv:"ROUNDS" ~doc:"Give up after this many rounds.")
+
+let build_graph spec ~seed =
+  let rng = Simkit.Seeds.tagged_rng ~master:seed ~tag:"cli:graph" in
+  match Graph.Spec.build spec rng with
+  | Ok g -> g
+  | Error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 2
+
+let summarize_trials name values censored =
+  let s = Stats.Summary.of_array values in
+  Printf.printf "%s: mean=%.2f" name (Stats.Summary.mean s);
+  if Stats.Summary.count s >= 2 then begin
+    let ci = Stats.Ci.mean_ci s in
+    Printf.printf " ci95=[%.2f, %.2f] sd=%.2f" ci.Stats.Ci.lo ci.Stats.Ci.hi
+      (Stats.Summary.stddev s)
+  end;
+  Printf.printf " min=%.0f max=%.0f n=%d" (Stats.Summary.min s)
+    (Stats.Summary.max s) (Stats.Summary.count s);
+  if censored > 0 then Printf.printf " censored=%d" censored;
+  print_newline ()
+
+let print_graph_line g spec =
+  Printf.printf "graph %s: %s\n" (Graph.Spec.to_string spec)
+    (Format.asprintf "%a" Graph.Csr.pp g)
+
+let csv_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the raw per-trial values as CSV.")
+
+let write_trials_csv path values =
+  let rows =
+    Array.to_list
+      (Array.mapi
+         (fun i v ->
+           [ string_of_int i; (match v with Some x -> string_of_int x | None -> "") ])
+         values)
+  in
+  Simkit.Csvout.write_file path ~header:[ "trial"; "value" ] rows;
+  Printf.printf "wrote %s\n" path
+
+let run_process_trials ?csv ~seed ~trials ~measure ~name () =
+  let raw =
+    Simkit.Trial.collect ~trials ~master:seed ~salt0:0 (fun rng -> measure rng)
+  in
+  Option.iter (fun path -> write_trials_csv path raw) csv;
+  let values =
+    Array.of_list (List.filter_map Fun.id (Array.to_list raw))
+  in
+  if Array.length values = 0 then print_endline "every trial hit the cap"
+  else
+    summarize_trials name
+      (Array.map Float.of_int values)
+      (trials - Array.length values)
+
+(* ---------- exp ---------- *)
+
+let exp_cmd =
+  let ids_t =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids or slugs.")
+  in
+  let scale_t =
+    Arg.(
+      value
+      & opt scale_conv Simkit.Scale.Standard
+      & info [ "scale" ] ~docv:"SCALE" ~doc:"quick | standard | full.")
+  in
+  let list_t =
+    Arg.(value & flag & info [ "list" ] ~doc:"List available experiments and exit.")
+  in
+  let run ids scale list seed =
+    if list then begin
+      List.iter
+        (fun s ->
+          Printf.printf "%-4s %-24s %s\n" s.Experiments.Spec.id
+            s.Experiments.Spec.slug s.Experiments.Spec.title)
+        Experiments.Registry.all;
+      0
+    end
+    else begin
+      let master = Simkit.Seeds.master ~default:seed () in
+      let scale = Simkit.Scale.of_env ~default:scale () in
+      match ids with
+      | [] ->
+        Experiments.Registry.run_all ~scale ~master;
+        0
+      | ids ->
+        let missing =
+          List.filter (fun id -> Experiments.Registry.find id = None) ids
+        in
+        if missing <> [] then begin
+          Printf.eprintf "unknown experiment(s): %s\n" (String.concat ", " missing);
+          1
+        end
+        else begin
+          List.iter
+            (fun id ->
+              let s = Option.get (Experiments.Registry.find id) in
+              Experiments.Spec.run_with_banner s ~scale ~master)
+            ids;
+          0
+        end
+    end
+  in
+  let doc = "Run reproduction experiments (E1..E14)." in
+  Cmd.v (Cmd.info "exp" ~doc)
+    Term.(const run $ ids_t $ scale_t $ list_t $ seed_t)
+
+(* ---------- cover ---------- *)
+
+let cover_cmd =
+  let start_t =
+    Arg.(value & opt int 0 & info [ "start" ] ~docv:"V" ~doc:"Start vertex.")
+  in
+  let scan_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "scan-starts" ] ~docv:"K"
+          ~doc:
+            "Instead of one start vertex, sample K distinct starts and report \
+             per-start means plus the worst - an estimate of the paper's \
+             COV(G) = max over start vertices.")
+  in
+  let run spec branching trials seed start cap csv scan =
+    let g = build_graph spec ~seed in
+    print_graph_line g spec;
+    (match scan with
+    | None ->
+      Printf.printf "COBRA cover time, branching %s, start %d, %d trials, seed %d\n"
+        (Cobra.Branching.to_string branching)
+        start trials seed;
+      run_process_trials ?csv ~seed ~trials ~name:"cover time (rounds)"
+        ~measure:(fun rng -> Cobra.Process.cover_time ?cap g ~branching ~start rng)
+        ()
+    | Some k ->
+      let n = Graph.Csr.n_vertices g in
+      let k = min k n in
+      let rng = Simkit.Seeds.tagged_rng ~master:seed ~tag:"cli:scan" in
+      let starts = Prng.Sample.without_replacement rng ~k ~n in
+      Printf.printf
+        "COBRA cover time over %d sampled starts, branching %s, %d trials each\n" k
+        (Cobra.Branching.to_string branching)
+        trials;
+      let worst = ref neg_infinity and worst_start = ref (-1) in
+      Array.iter
+        (fun start ->
+          let s = Stats.Summary.create () in
+          for i = 0 to trials - 1 do
+            let trial_rng =
+              Simkit.Seeds.trial_rng ~master:seed ~salt:((start * 131) + i)
+            in
+            match Cobra.Process.cover_time ?cap g ~branching ~start trial_rng with
+            | Some t -> Stats.Summary.add_int s t
+            | None -> ()
+          done;
+          if Stats.Summary.count s > 0 then begin
+            let m = Stats.Summary.mean s in
+            Printf.printf "  start %6d: mean %.2f (max %.0f)\n" start m
+              (Stats.Summary.max s);
+            if m > !worst then begin
+              worst := m;
+              worst_start := start
+            end
+          end)
+        starts;
+      Printf.printf "worst sampled start: %d with mean %.2f (COV(G) estimate)\n"
+        !worst_start !worst);
+    0
+  in
+  let doc = "Measure COBRA cover times." in
+  Cmd.v (Cmd.info "cover" ~doc)
+    Term.(
+      const run $ graph_t $ branching_t $ trials_t $ seed_t $ start_t $ cap_t $ csv_t
+      $ scan_t)
+
+(* ---------- bips ---------- *)
+
+let bips_cmd =
+  let source_t =
+    Arg.(value & opt int 0 & info [ "source" ] ~docv:"V" ~doc:"Persistent source vertex.")
+  in
+  let run spec branching trials seed source cap csv =
+    let g = build_graph spec ~seed in
+    print_graph_line g spec;
+    Printf.printf "BIPS infection time, branching %s, source %d, %d trials, seed %d\n"
+      (Cobra.Branching.to_string branching)
+      source trials seed;
+    run_process_trials ?csv ~seed ~trials ~name:"infection time (rounds)"
+      ~measure:(fun rng -> Cobra.Bips.infection_time ?cap g ~branching ~source rng)
+      ();
+    0
+  in
+  let doc = "Measure BIPS infection times." in
+  Cmd.v (Cmd.info "bips" ~doc)
+    Term.(const run $ graph_t $ branching_t $ trials_t $ seed_t $ source_t $ cap_t $ csv_t)
+
+(* ---------- walk ---------- *)
+
+let walk_cmd =
+  let start_t =
+    Arg.(value & opt int 0 & info [ "start" ] ~docv:"V" ~doc:"Start vertex.")
+  in
+  let walkers_t =
+    Arg.(
+      value & opt int 1
+      & info [ "walkers" ] ~docv:"N" ~doc:"Number of independent walkers (default 1).")
+  in
+  let run spec trials seed start cap walkers csv =
+    let g = build_graph spec ~seed in
+    print_graph_line g spec;
+    Printf.printf "%d independent random walk(s), start %d, %d trials, seed %d\n"
+      walkers start trials seed;
+    run_process_trials ?csv ~seed ~trials ~name:"cover time (rounds)"
+      ~measure:(fun rng ->
+        if walkers = 1 then Cobra.Rwalk.cover_time ?cap g ~start rng
+        else Cobra.Rwalk.multi_cover_time ?cap g ~walkers ~start rng)
+      ();
+    0
+  in
+  let doc = "Measure random-walk cover times (k=1 baseline; --walkers for many)." in
+  Cmd.v (Cmd.info "walk" ~doc)
+    Term.(const run $ graph_t $ trials_t $ seed_t $ start_t $ cap_t $ walkers_t $ csv_t)
+
+(* ---------- push ---------- *)
+
+let push_cmd =
+  let protocol_t =
+    Arg.(
+      value
+      & opt (enum [ ("push", `Push); ("push-pull", `Push_pull); ("flood", `Flood) ]) `Push
+      & info [ "protocol" ] ~docv:"P" ~doc:"push | push-pull | flood.")
+  in
+  let run spec protocol trials seed cap =
+    let g = build_graph spec ~seed in
+    print_graph_line g spec;
+    (match protocol with
+    | `Flood ->
+      let o = Cobra.Push.flood g ~start:0 in
+      Printf.printf "flooding: rounds=%d transmissions=%d\n" o.Cobra.Push.rounds
+        o.Cobra.Push.transmissions
+    | (`Push | `Push_pull) as p ->
+      let f =
+        match p with `Push -> Cobra.Push.push | `Push_pull -> Cobra.Push.push_pull
+      in
+      let results =
+        Simkit.Trial.collect_censored ~trials ~master:seed ~salt0:0 (fun rng ->
+            Option.map
+              (fun o -> (o.Cobra.Push.rounds, o.Cobra.Push.transmissions))
+              (f ?cap g ~start:0 rng))
+      in
+      summarize_trials "rounds"
+        (Array.map (fun (r, _) -> Float.of_int r) results.Simkit.Trial.values)
+        results.Simkit.Trial.censored;
+      summarize_trials "transmissions"
+        (Array.map (fun (_, t) -> Float.of_int t) results.Simkit.Trial.values)
+        results.Simkit.Trial.censored);
+    0
+  in
+  let doc = "Run rumour-spreading baselines (push, push-pull, flooding)." in
+  Cmd.v (Cmd.info "push" ~doc)
+    Term.(const run $ graph_t $ protocol_t $ trials_t $ seed_t $ cap_t)
+
+(* ---------- duality ---------- *)
+
+let duality_cmd =
+  let u_t = Arg.(value & opt int 0 & info [ "u" ] ~docv:"U" ~doc:"COBRA start vertex.") in
+  let v_t = Arg.(value & opt int 1 & info [ "v" ] ~docv:"V" ~doc:"Hitting target / BIPS source.") in
+  let t_t = Arg.(value & opt int 5 & info [ "t" ] ~docv:"T" ~doc:"Horizon (rounds).") in
+  let exact_t =
+    Arg.(value & flag & info [ "exact" ] ~doc:"Also compute both sides exactly (n <= 16).")
+  in
+  let run spec branching trials seed u v t exact =
+    let g = build_graph spec ~seed in
+    print_graph_line g spec;
+    let rng = Simkit.Seeds.tagged_rng ~master:seed ~tag:"cli:duality" in
+    let c = Cobra.Duality.compare_at ~trials g ~branching ~u ~v ~t rng in
+    let cobra_rate, bips_rate = Cobra.Duality.estimated_rates c in
+    Printf.printf
+      "t=%d  P(Hit_%d(%d) > t) ~ %.4f (COBRA, %d trials)   P(%d not in A_t) ~ %.4f (BIPS, %d trials)\n"
+      t u v cobra_rate c.Cobra.Duality.cobra_trials u bips_rate
+      c.Cobra.Duality.bips_trials;
+    if exact then begin
+      if Graph.Csr.n_vertices g <= Cobra.Exact.max_vertices then begin
+        let s = Cobra.Exact.cobra_hit_survival g ~branching ~start:[ u ] ~target:v ~t_max:t in
+        let a = Cobra.Exact.bips_avoid g ~branching ~source:v ~avoid:[ u ] ~t_max:t in
+        Printf.printf "exact: P(Hit > t) = %.6f   P(u not in A_t) = %.6f   |diff| = %.2e\n"
+          s.(t) a.(t)
+          (Float.abs (s.(t) -. a.(t)))
+      end
+      else
+        Printf.printf "exact: skipped (graph larger than %d vertices)\n"
+          Cobra.Exact.max_vertices
+    end;
+    0
+  in
+  let doc = "Estimate both sides of the Theorem 4 duality." in
+  Cmd.v (Cmd.info "duality" ~doc)
+    Term.(const run $ graph_t $ branching_t $ trials_t $ seed_t $ u_t $ v_t $ t_t $ exact_t)
+
+(* ---------- spectral ---------- *)
+
+let spectral_cmd =
+  let run spec seed =
+    let g = build_graph spec ~seed in
+    print_graph_line g spec;
+    (match Graph.Csr.regularity g with
+    | Some r when r > 0 ->
+      let rng = Simkit.Seeds.tagged_rng ~master:seed ~tag:"cli:spectral" in
+      let p2 = Spectral.Power.lambda_2 (Prng.Rng.split rng) g in
+      let pn = Spectral.Power.lambda_min (Prng.Rng.split rng) g in
+      let lz = Spectral.Lanczos.extremes (Prng.Rng.split rng) g in
+      let gap = Spectral.Gap.estimate rng g in
+      Printf.printf "power iteration : lambda_2 = %+.6f (%d iters)  lambda_n = %+.6f (%d iters)\n"
+        p2.Spectral.Power.value p2.Spectral.Power.iterations pn.Spectral.Power.value
+        pn.Spectral.Power.iterations;
+      Printf.printf "lanczos         : lambda_2 = %+.6f  lambda_n = %+.6f\n"
+        lz.Spectral.Lanczos.lambda_2 lz.Spectral.Lanczos.lambda_min;
+      Printf.printf "%s\n" (Format.asprintf "%a" Spectral.Gap.pp gap);
+      let n = Graph.Csr.n_vertices g in
+      Printf.printf "theorem-1 scale log n / gap^3 = %.1f rounds; premise gap/sqrt(log n/n) = %.2f\n"
+        (Spectral.Gap.theorem1_bound ~n gap)
+        (Spectral.Gap.satisfies_gap_condition ~n gap)
+    | _ ->
+      Printf.printf "graph is not regular: degrees %d..%d (spectral bounds in the paper need regularity)\n"
+        (Graph.Csr.min_degree g) (Graph.Csr.max_degree g));
+    0
+  in
+  let doc = "Estimate the walk-matrix spectrum and the paper's gap quantities." in
+  Cmd.v (Cmd.info "spectral" ~doc) Term.(const run $ graph_t $ seed_t)
+
+(* ---------- gen ---------- *)
+
+let gen_cmd =
+  let format_t =
+    Arg.(
+      value
+      & opt (enum [ ("edges", `Edges); ("dot", `Dot) ]) `Edges
+      & info [ "format" ] ~docv:"FMT" ~doc:"edges | dot.")
+  in
+  let out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (default stdout).")
+  in
+  let run spec seed format out =
+    let g = build_graph spec ~seed in
+    let payload =
+      match format with
+      | `Edges -> Graph.Io.to_edge_list g
+      | `Dot -> Graph.Io.to_dot ~name:"cobra" g
+    in
+    (match out with
+    | None -> print_string payload
+    | Some path ->
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc payload));
+    0
+  in
+  let doc = "Generate a graph and write it out." in
+  Cmd.v (Cmd.info "gen" ~doc) Term.(const run $ graph_t $ seed_t $ format_t $ out_t)
+
+(* ---------- herd ---------- *)
+
+let herd_cmd =
+  let pens_t = Arg.(value & opt int 10 & info [ "pens" ] ~docv:"N" ~doc:"Number of pens.") in
+  let pen_size_t =
+    Arg.(value & opt int 12 & info [ "pen-size" ] ~docv:"N" ~doc:"Animals per pen.")
+  in
+  let pi_t =
+    Arg.(value & flag & info [ "pi" ] ~doc:"Introduce a persistently infected animal.")
+  in
+  let run pens pen_size pi trials seed =
+    let g = Graph.Gen.ring_of_cliques ~cliques:pens ~clique_size:pen_size in
+    Printf.printf "herd: %d pens x %d animals (%s)\n" pens pen_size
+      (Format.asprintf "%a" Graph.Csr.pp g);
+    let params =
+      { Epidemic.Herd.contacts = Cobra.Branching.cobra_k2;
+        infectious_rounds = 2; immune_rounds = 8 }
+    in
+    let full = ref 0 and extinct = ref 0 and rounds = Stats.Summary.create () in
+    for i = 0 to trials - 1 do
+      let rng = Simkit.Seeds.trial_rng ~master:seed ~salt:i in
+      let pi_list = if pi then [ 0 ] else [] in
+      let index = if pi then [] else [ 0 ] in
+      match Epidemic.Herd.run g params ~pi:pi_list ~index_cases:index rng with
+      | Epidemic.Herd.Herd_fully_exposed t ->
+        incr full;
+        Stats.Summary.add_int rounds t
+      | Epidemic.Herd.Infection_extinct _ -> incr extinct
+      | Epidemic.Herd.No_resolution _ -> ()
+    done;
+    Printf.printf "full exposure: %d/%d   extinct: %d/%d\n" !full trials !extinct trials;
+    if Stats.Summary.count rounds > 0 then
+      Printf.printf "rounds to full exposure: %s\n"
+        (Format.asprintf "%a" Stats.Summary.pp rounds);
+    0
+  in
+  let doc = "Simulate the BVDV-style herd epidemic." in
+  Cmd.v (Cmd.info "herd" ~doc)
+    Term.(const run $ pens_t $ pen_size_t $ pi_t $ trials_t $ seed_t)
+
+(* ---------- exact ---------- *)
+
+let exact_cmd =
+  let u_t = Arg.(value & opt int 0 & info [ "u" ] ~docv:"U" ~doc:"COBRA start vertex.") in
+  let v_t = Arg.(value & opt int 1 & info [ "v" ] ~docv:"V" ~doc:"Hitting target / BIPS source.") in
+  let t_t = Arg.(value & opt int 10 & info [ "t" ] ~docv:"T" ~doc:"Horizon (rounds).") in
+  let run spec branching seed u v t =
+    let g = build_graph spec ~seed in
+    print_graph_line g spec;
+    let n = Graph.Csr.n_vertices g in
+    if n > Cobra.Exact.max_vertices then begin
+      Printf.eprintf "error: exact computation needs at most %d vertices (got %d)\n"
+        Cobra.Exact.max_vertices n;
+      2
+    end
+    else begin
+      Printf.printf "branching %s\n\n" (Cobra.Branching.to_string branching);
+      let survival = Cobra.Exact.cobra_hit_survival g ~branching ~start:[ u ] ~target:v ~t_max:t in
+      let absent = Cobra.Exact.bips_avoid g ~branching ~source:v ~avoid:[ u ] ~t_max:t in
+      let cover = Cobra.Exact.cover_survival g ~branching ~start:[ u ] ~t_max:t in
+      let unsat = Cobra.Exact.bips_unsaturated g ~branching ~source:v ~t_max:t in
+      let esize = Cobra.Exact.bips_expected_size g ~branching ~source:v ~t_max:t in
+      Printf.printf
+        " t  P(Hit_%d(%d)>t)  P(%d not in A_t)  P(cov>t)  P(A_t<>V)  E|A_t|\n" u v u;
+      for s = 0 to t do
+        Printf.printf "%2d      %.6f         %.6f  %.6f   %.6f  %6.3f\n" s survival.(s)
+          absent.(s) cover.(s) unsat.(s) esize.(s)
+      done;
+      Printf.printf "\nexact E[cover from %d] = %.6f rounds\n" u
+        (Cobra.Exact.expected_cover_time g ~branching ~start:[ u ]);
+      Printf.printf "Theorem 4 residual at t=%d: %.3e\n" t
+        (Float.abs (survival.(t) -. absent.(t)));
+      0
+    end
+  in
+  let doc = "Exact distributions on small graphs (DP over subsets)." in
+  Cmd.v (Cmd.info "exact" ~doc)
+    Term.(const run $ graph_t $ branching_t $ seed_t $ u_t $ v_t $ t_t)
+
+(* ---------- contact ---------- *)
+
+let contact_cmd =
+  let rate_t =
+    Arg.(
+      value & opt float 0.5
+      & info [ "rate" ] ~docv:"MU" ~doc:"Per-edge infection rate (recovery rate is 1).")
+  in
+  let horizon_t =
+    Arg.(
+      value & opt float 200.0
+      & info [ "horizon" ] ~docv:"T" ~doc:"Simulated time horizon.")
+  in
+  let persistent_t =
+    Arg.(
+      value & flag
+      & info [ "persistent" ] ~doc:"Make vertex 0 a persistent (never-recovering) source.")
+  in
+  let run spec trials seed rate horizon persistent =
+    let g = build_graph spec ~seed in
+    print_graph_line g spec;
+    Printf.printf
+      "contact process: rate %.3f, horizon %.0f, %s, %d trials, seed %d\n" rate horizon
+      (if persistent then "persistent source at 0" else "transient seed at 0")
+      trials seed;
+    let died = ref 0 and full = ref 0 and active = ref 0 in
+    let full_times = Stats.Summary.create () in
+    for i = 0 to trials - 1 do
+      let rng = Simkit.Seeds.trial_rng ~master:seed ~salt:i in
+      let persistent = if persistent then Some 0 else None in
+      let start = if persistent = None then [ 0 ] else [] in
+      let r = Epidemic.Contact.run ~horizon g ~infection_rate:rate ~persistent ~start rng in
+      match r.Epidemic.Contact.outcome with
+      | Epidemic.Contact.Died_out _ -> incr died
+      | Epidemic.Contact.Fully_exposed t ->
+        incr full;
+        Stats.Summary.add full_times t
+      | Epidemic.Contact.Still_active _ -> incr active
+    done;
+    Printf.printf "died out: %d/%d   fully exposed: %d/%d   still active at horizon: %d/%d\n"
+      !died trials !full trials !active trials;
+    if Stats.Summary.count full_times > 0 then
+      Printf.printf "time to full exposure: %s\n"
+        (Format.asprintf "%a" Stats.Summary.pp full_times);
+    0
+  in
+  let doc = "Run the continuous-time contact process (Harris 1974)." in
+  Cmd.v (Cmd.info "contact" ~doc)
+    Term.(const run $ graph_t $ trials_t $ seed_t $ rate_t $ horizon_t $ persistent_t)
+
+(* ---------- main ---------- *)
+
+let () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some Logs.Warning);
+  let doc = "COBRA coalescing-branching walks and the dual BIPS epidemic" in
+  let info = Cmd.info "cobra_cli" ~version:"1.0.0" ~doc in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default info
+          [
+            exp_cmd; cover_cmd; bips_cmd; walk_cmd; push_cmd; duality_cmd;
+            spectral_cmd; gen_cmd; herd_cmd; contact_cmd; exact_cmd;
+          ]))

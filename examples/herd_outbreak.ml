@@ -1,0 +1,60 @@
+(* Herd outbreak: the epidemic story behind BIPS (Section 1, ref [9]).
+
+   A dairy herd of 12 pens x 15 animals. Pens are dense contact cliques
+   joined in a ring by fence-line contacts. We compare three scenarios:
+
+   1. a persistently infected (PI) animal joins the herd — the BVDV
+      phenomenon the paper cites: the whole herd is eventually exposed;
+   2. a single transiently infected animal joins — the infection usually
+      burns out before reaching everyone;
+   3. the BIPS abstraction of scenario 1 (no immunity, memoryless
+      re-sampling): the paper's clean model of the same dynamics.
+
+   Run with: dune exec examples/herd_outbreak.exe *)
+
+let pens = 12
+let pen_size = 15
+let trials = 40
+
+let () =
+  let g = Graph.Gen.ring_of_cliques ~cliques:pens ~clique_size:pen_size in
+  let n = Graph.Csr.n_vertices g in
+  Format.printf "herd: %d pens x %d animals — %a@.@." pens pen_size Graph.Csr.pp g;
+  let params =
+    { Epidemic.Herd.contacts = Cobra.Branching.cobra_k2;
+      infectious_rounds = 2; immune_rounds = 8 }
+  in
+  let scenario name ~pi ~index =
+    let full = ref 0 and extinct = ref 0 in
+    let rounds = Stats.Summary.create () in
+    for i = 0 to trials - 1 do
+      let rng = Prng.Rng.create (1000 + i) in
+      match Epidemic.Herd.run ~cap:200_000 g params ~pi ~index_cases:index rng with
+      | Epidemic.Herd.Herd_fully_exposed t ->
+        incr full;
+        Stats.Summary.add_int rounds t
+      | Epidemic.Herd.Infection_extinct _ -> incr extinct
+      | Epidemic.Herd.No_resolution _ -> ()
+    done;
+    Format.printf "%-28s full exposure %2d/%d, extinct %2d/%d%s@." name !full trials
+      !extinct trials
+      (if Stats.Summary.count rounds > 0 then
+         Format.asprintf ", rounds to full exposure %a" Stats.Summary.pp rounds
+       else "")
+  in
+  scenario "1 PI animal:" ~pi:[ 0 ] ~index:[];
+  scenario "1 transient index case:" ~pi:[] ~index:[ 0 ];
+  let bips = Stats.Summary.create () in
+  for i = 0 to trials - 1 do
+    let rng = Prng.Rng.create (2000 + i) in
+    match Cobra.Bips.infection_time g ~branching:Cobra.Branching.cobra_k2 ~source:0 rng with
+    | Some t -> Stats.Summary.add_int bips t
+    | None -> ()
+  done;
+  Format.printf "%-28s full infection in %a@." "BIPS abstraction:"
+    Stats.Summary.pp bips;
+  Format.printf
+    "@.The persistent source is what makes eventual full exposure certain —@.\
+     exactly the property the paper isolates in the BIPS process (and,@.\
+     through Theorem 4, the reason COBRA covers fast). n = %d.@."
+    n

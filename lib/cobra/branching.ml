@@ -1,0 +1,91 @@
+type t = Fixed of int | One_plus of float | Distinct of int
+
+let fixed k =
+  if k < 1 then invalid_arg "Branching.fixed: k >= 1 required";
+  Fixed k
+
+let one_plus rho =
+  if rho <= 0.0 || rho > 1.0 then invalid_arg "Branching.one_plus: rho in (0, 1]";
+  One_plus rho
+
+let distinct k =
+  if k < 1 then invalid_arg "Branching.distinct: k >= 1 required";
+  Distinct k
+
+let cobra_k2 = Fixed 2
+
+let expected = function
+  | Fixed k | Distinct k -> Float.of_int k
+  | One_plus rho -> 1.0 +. rho
+
+let max_picks = function Fixed k | Distinct k -> k | One_plus _ -> 2
+
+let draws t rng =
+  match t with
+  | Fixed k | Distinct k -> k
+  | One_plus rho -> if Prng.Rng.bernoulli rng rho then 2 else 1
+
+let iter_picks t rng g v ~f =
+  match t with
+  | Fixed _ | One_plus _ ->
+    let picks = draws t rng in
+    for _ = 1 to picks do
+      f (Graph.Csr.random_neighbour g rng v)
+    done;
+    picks
+  | Distinct k ->
+    let deg = Graph.Csr.degree g v in
+    if deg = 0 then invalid_arg "Branching.iter_picks: isolated vertex";
+    let k = min k deg in
+    if k = deg then begin
+      Graph.Csr.iter_neighbours g v ~f;
+      deg
+    end
+    else begin
+      let picked = Prng.Sample.without_replacement rng ~k ~n:deg in
+      Array.iter (fun i -> f (Graph.Csr.nth_neighbour g v i)) picked;
+      k
+    end
+
+let pick_count_distribution = function
+  | Fixed k | Distinct k -> [ (k, 1.0) ]
+  | One_plus rho -> [ (1, 1.0 -. rho); (2, rho) ]
+
+let infection_probability t p =
+  match t with
+  | Fixed k -> 1.0 -. ((1.0 -. p) ** Float.of_int k)
+  | One_plus rho -> 1.0 -. ((1.0 -. p) *. (1.0 -. (rho *. p)))
+  | Distinct _ ->
+    invalid_arg
+      "Branching.infection_probability: Distinct needs integer counts; use \
+       infection_probability_counts"
+
+(* C(n, k) as a float, for the small n this repository's exact paths use. *)
+let choose n k =
+  if k < 0 || k > n then 0.0
+  else begin
+    let k = min k (n - k) in
+    let acc = ref 1.0 in
+    for i = 0 to k - 1 do
+      acc := !acc *. Float.of_int (n - i) /. Float.of_int (i + 1)
+    done;
+    !acc
+  end
+
+let infection_probability_counts t ~degree ~infected =
+  if degree < 1 then invalid_arg "Branching: degree >= 1";
+  if infected < 0 || infected > degree then
+    invalid_arg "Branching: infected outside [0, degree]";
+  match t with
+  | Fixed _ | One_plus _ ->
+    infection_probability t (Float.of_int infected /. Float.of_int degree)
+  | Distinct k ->
+    let k = min k degree in
+    1.0 -. (choose (degree - infected) k /. choose degree k)
+
+let pp ppf = function
+  | Fixed k -> Format.fprintf ppf "k=%d" k
+  | One_plus rho -> Format.fprintf ppf "1+rho (rho=%g)" rho
+  | Distinct k -> Format.fprintf ppf "k=%d distinct" k
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,49 @@
+type comparison = {
+  t : int;
+  cobra_surviving : int;
+  cobra_trials : int;
+  bips_absent : int;
+  bips_trials : int;
+}
+
+let cobra_survival_estimate ?(trials = 1000) g ~branching ~start ~target ~t rng =
+  if trials < 1 then invalid_arg "Duality: trials >= 1";
+  if t < 0 then invalid_arg "Duality: t >= 0";
+  let surviving = ref 0 in
+  let p = Process.create g ~branching ~start:[ start ] in
+  for _ = 1 to trials do
+    Process.reset p ~start:[ start ];
+    (* Run exactly t rounds or stop early once the target is hit. *)
+    while (not (Process.visited p target)) && Process.round p < t do
+      Process.step p rng
+    done;
+    if not (Process.visited p target) then incr surviving
+  done;
+  (!surviving, trials)
+
+let bips_absent_estimate ?(trials = 1000) g ~branching ~source ~vertex ~t rng =
+  if trials < 1 then invalid_arg "Duality: trials >= 1";
+  if t < 0 then invalid_arg "Duality: t >= 0";
+  let absent = ref 0 in
+  let p = Bips.create g ~branching ~source in
+  for _ = 1 to trials do
+    Bips.reset p ~source;
+    for _ = 1 to t do
+      Bips.step p rng
+    done;
+    if not (Bips.infected p vertex) then incr absent
+  done;
+  (!absent, trials)
+
+let compare_at ?trials g ~branching ~u ~v ~t rng =
+  let cobra_surviving, cobra_trials =
+    cobra_survival_estimate ?trials g ~branching ~start:u ~target:v ~t rng
+  in
+  let bips_absent, bips_trials =
+    bips_absent_estimate ?trials g ~branching ~source:v ~vertex:u ~t rng
+  in
+  { t; cobra_surviving; cobra_trials; bips_absent; bips_trials }
+
+let estimated_rates c =
+  ( Float.of_int c.cobra_surviving /. Float.of_int c.cobra_trials,
+    Float.of_int c.bips_absent /. Float.of_int c.bips_trials )

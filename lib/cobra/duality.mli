@@ -1,0 +1,59 @@
+(** Monte-Carlo estimation of the two sides of Theorem 4's duality
+
+    [P̂(Hit_u(v) > t | C_0 = {u}) = P(u ∉ A_t | A_0 = {v})]
+
+    on graphs too large for {!Exact}. Each side is estimated by independent
+    trials; the pair of estimates (with trial counts, for the caller's
+    confidence intervals) quantifies how closely the identity holds
+    empirically — experiment E4. *)
+
+type comparison = {
+  t : int;  (** horizon compared at *)
+  cobra_surviving : int;  (** trials in which the target was NOT hit by t *)
+  cobra_trials : int;
+  bips_absent : int;  (** trials in which u was outside A_t *)
+  bips_trials : int;
+}
+
+(** [cobra_survival_estimate ?trials g ~branching ~start ~target ~t rng] counts
+    trials (default 1000) in which a COBRA walk from [start] has not hit
+    [target] after [t] rounds. Returns [(surviving, trials)]. *)
+val cobra_survival_estimate :
+  ?trials:int ->
+  Graph.Csr.t ->
+  branching:Branching.t ->
+  start:int ->
+  target:int ->
+  t:int ->
+  Prng.Rng.t ->
+  int * int
+
+(** [bips_absent_estimate ?trials g ~branching ~source ~vertex ~t rng]
+    counts trials in which [vertex ∉ A_t] for a BIPS run with the given
+    source. Returns [(absent, trials)]. *)
+val bips_absent_estimate :
+  ?trials:int ->
+  Graph.Csr.t ->
+  branching:Branching.t ->
+  source:int ->
+  vertex:int ->
+  t:int ->
+  Prng.Rng.t ->
+  int * int
+
+(** [compare_at ?trials g ~branching ~u ~v ~t rng] estimates both sides of
+    the duality: COBRA started at [u] hitting [v], BIPS sourced at [v]
+    infecting [u]. *)
+val compare_at :
+  ?trials:int ->
+  Graph.Csr.t ->
+  branching:Branching.t ->
+  u:int ->
+  v:int ->
+  t:int ->
+  Prng.Rng.t ->
+  comparison
+
+(** [estimated_rates c] is [(cobra_rate, bips_rate)] — the two empirical
+    probabilities. *)
+val estimated_rates : comparison -> float * float

@@ -1,0 +1,383 @@
+let max_vertices = 16
+
+let check_size g name =
+  let n = Graph.Csr.n_vertices g in
+  if n = 0 then invalid_arg (name ^ ": empty graph");
+  if n > max_vertices then
+    invalid_arg (Printf.sprintf "%s: at most %d vertices (got %d)" name max_vertices n);
+  n
+
+let check_vertex g name v =
+  if v < 0 || v >= Graph.Csr.n_vertices g then invalid_arg (name ^ ": vertex out of range")
+
+(* Distribution over the subsets a single vertex's picks can form. With
+   replacement: start from the empty set and fold in one uniform
+   neighbour k times, mixing over the branching's pick-count
+   distribution. Without replacement ([Distinct k]): uniform over the
+   C(deg, min k deg) neighbour subsets of that size. Returned as an
+   association list (mask, probability). *)
+let pick_set_dist g branching v =
+  let d = Graph.Csr.degree g v in
+  if d = 0 then invalid_arg "Exact: isolated vertex";
+  match branching with
+  | Branching.Distinct k ->
+    let k = min k d in
+    let neighbours = Graph.Csr.neighbours g v in
+    (* Enumerate all k-subsets of the neighbour list. *)
+    let subsets = ref [] in
+    let rec go idx chosen mask =
+      if chosen = k then subsets := mask :: !subsets
+      else if d - idx >= k - chosen then begin
+        go (idx + 1) (chosen + 1) (mask lor (1 lsl neighbours.(idx)));
+        go (idx + 1) chosen mask
+      end
+    in
+    go 0 0 0;
+    let total = Float.of_int (List.length !subsets) in
+    List.map (fun mask -> (mask, 1.0 /. total)) !subsets
+  | Branching.Fixed _ | Branching.One_plus _ ->
+    let unit = 1.0 /. Float.of_int d in
+    let one_round dist =
+      let acc = Hashtbl.create 16 in
+      Hashtbl.iter
+        (fun mask p ->
+          Graph.Csr.iter_neighbours g v ~f:(fun w ->
+              let mask' = mask lor (1 lsl w) in
+              let prev = Option.value ~default:0.0 (Hashtbl.find_opt acc mask') in
+              Hashtbl.replace acc mask' (prev +. (p *. unit))))
+        dist;
+      acc
+    in
+    let dist_for_picks k =
+      let dist = Hashtbl.create 1 in
+      Hashtbl.replace dist 0 1.0;
+      let cur = ref dist in
+      for _ = 1 to k do
+        cur := one_round !cur
+      done;
+      !cur
+    in
+    let mixed = Hashtbl.create 16 in
+    List.iter
+      (fun (k, pk) ->
+        Hashtbl.iter
+          (fun mask p ->
+            let prev = Option.value ~default:0.0 (Hashtbl.find_opt mixed mask) in
+            Hashtbl.replace mixed mask (prev +. (pk *. p)))
+          (dist_for_picks k))
+      (Branching.pick_count_distribution branching);
+    Hashtbl.fold (fun mask p acc -> (mask, p) :: acc) mixed []
+
+(* Next-state distribution of the COBRA chain from active set [mask]:
+   union-convolution of the members' pick-set distributions. *)
+let cobra_next_dist g per_vertex mask =
+  let dist = ref [ (0, 1.0) ] in
+  let n = Graph.Csr.n_vertices g in
+  for v = 0 to n - 1 do
+    if mask land (1 lsl v) <> 0 then begin
+      let acc = Hashtbl.create 64 in
+      List.iter
+        (fun (m1, p1) ->
+          List.iter
+            (fun (m2, p2) ->
+              let m = m1 lor m2 in
+              let prev = Option.value ~default:0.0 (Hashtbl.find_opt acc m) in
+              Hashtbl.replace acc m (prev +. (p1 *. p2)))
+            per_vertex.(v))
+        !dist;
+      dist := Hashtbl.fold (fun m p l -> (m, p) :: l) acc []
+    end
+  done;
+  !dist
+
+let mask_of_list name n vs =
+  List.fold_left
+    (fun acc v ->
+      if v < 0 || v >= n then invalid_arg (name ^ ": vertex out of range");
+      acc lor (1 lsl v))
+    0 vs
+
+module Cobra_engine = struct
+  (* Memoised transitions as parallel arrays (masks, probs) for cache- and
+     allocation-friendly evolution; distributions over active sets are
+     dense float arrays of length 2^n. *)
+  type transition = { masks : int array; probs : float array }
+
+  type t = {
+    g : Graph.Csr.t;
+    n : int;
+    per_vertex : (int * float) list array;
+    next_memo : transition option array; (* indexed by active-set mask *)
+  }
+
+  let create g ~branching =
+    let n = check_size g "Exact.Cobra_engine.create" in
+    {
+      g;
+      n;
+      per_vertex = Array.init n (fun v -> pick_set_dist g branching v);
+      next_memo = Array.make (1 lsl n) None;
+    }
+
+  let next_of e mask =
+    match e.next_memo.(mask) with
+    | Some tr -> tr
+    | None ->
+      let entries = cobra_next_dist e.g e.per_vertex mask in
+      let tr =
+        {
+          masks = Array.of_list (List.map fst entries);
+          probs = Array.of_list (List.map snd entries);
+        }
+      in
+      e.next_memo.(mask) <- Some tr;
+      tr
+
+  let hit_survival e ~start ~target ~t_max =
+    check_vertex e.g "Exact.hit_survival" target;
+    if start = [] then invalid_arg "Exact.hit_survival: empty start";
+    if t_max < 0 then invalid_arg "Exact.hit_survival: t_max >= 0";
+    let start_mask = mask_of_list "Exact.hit_survival" e.n start in
+    let target_bit = 1 lsl target in
+    let survival = Array.make (t_max + 1) 0.0 in
+    if start_mask land target_bit <> 0 then survival (* all zeros: hit at t = 0 *)
+    else begin
+      (* alive: distribution over active sets that have never contained
+         the target; mass entering a target-containing set is dropped. *)
+      let size = 1 lsl e.n in
+      let alive = ref (Array.make size 0.0) in
+      let next = ref (Array.make size 0.0) in
+      !alive.(start_mask) <- 1.0;
+      survival.(0) <- 1.0;
+      for t = 1 to t_max do
+        Array.fill !next 0 size 0.0;
+        let total = ref 0.0 in
+        for mask = 0 to size - 1 do
+          let p = !alive.(mask) in
+          if p > 0.0 then begin
+            let tr = next_of e mask in
+            for i = 0 to Array.length tr.masks - 1 do
+              let mask' = tr.masks.(i) in
+              if mask' land target_bit = 0 then begin
+                let q = p *. tr.probs.(i) in
+                !next.(mask') <- !next.(mask') +. q;
+                total := !total +. q
+              end
+            done
+          end
+        done;
+        let tmp = !alive in
+        alive := !next;
+        next := tmp;
+        survival.(t) <- !total
+      done;
+      survival
+    end
+end
+
+let cobra_hit_survival g ~branching ~start ~target ~t_max =
+  let e = Cobra_engine.create g ~branching in
+  Cobra_engine.hit_survival e ~start ~target ~t_max
+
+(* Cover time needs the joint (frontier, visited) chain: the next frontier
+   depends only on the current one, and visited accumulates. States are
+   keyed as [frontier lor (visited lsl n)]; mass whose visited set becomes
+   full is absorbed. *)
+let cover_survival g ~branching ~start ~t_max =
+  let n = check_size g "Exact.cover_survival" in
+  if start = [] then invalid_arg "Exact.cover_survival: empty start";
+  if t_max < 0 then invalid_arg "Exact.cover_survival: t_max >= 0";
+  let start_mask = mask_of_list "Exact.cover_survival" n start in
+  let full = (1 lsl n) - 1 in
+  let engine = Cobra_engine.create g ~branching in
+  let survival = Array.make (t_max + 1) 0.0 in
+  if start_mask = full then survival
+  else begin
+    let alive = ref (Hashtbl.create 16) in
+    Hashtbl.replace !alive (start_mask lor (start_mask lsl n)) 1.0;
+    survival.(0) <- 1.0;
+    for t = 1 to t_max do
+      let next = Hashtbl.create 64 in
+      let total = ref 0.0 in
+      Hashtbl.iter
+        (fun key p ->
+          let frontier = key land full in
+          let visited = key lsr n in
+          let tr = Cobra_engine.next_of engine frontier in
+          for i = 0 to Array.length tr.Cobra_engine.masks - 1 do
+            let frontier' = tr.Cobra_engine.masks.(i) in
+            let visited' = visited lor frontier' in
+            if visited' <> full then begin
+              let q = p *. tr.Cobra_engine.probs.(i) in
+              let key' = frontier' lor (visited' lsl n) in
+              let prev = Option.value ~default:0.0 (Hashtbl.find_opt next key') in
+              Hashtbl.replace next key' (prev +. q);
+              total := !total +. q
+            end
+          done)
+        !alive;
+      alive := next;
+      survival.(t) <- !total
+    done;
+    survival
+  end
+
+let expected_cover_time g ~branching ~start =
+  let n = check_size g "Exact.expected_cover_time" in
+  if start = [] then invalid_arg "Exact.expected_cover_time: empty start";
+  let start_mask = mask_of_list "Exact.expected_cover_time" n start in
+  let full = (1 lsl n) - 1 in
+  if start_mask = full then 0.0
+  else begin
+    let engine = Cobra_engine.create g ~branching in
+    let alive = ref (Hashtbl.create 16) in
+    Hashtbl.replace !alive (start_mask lor (start_mask lsl n)) 1.0;
+    (* E[cov] = Σ_{t >= 0} P(cov > t); iterate until the tail is dust. *)
+    let acc = ref 1.0 (* t = 0 term: start <> full *) in
+    let mass = ref 1.0 in
+    let steps = ref 0 in
+    while !mass > 1e-12 && !steps < 1_000_000 do
+      let next = Hashtbl.create 64 in
+      let total = ref 0.0 in
+      Hashtbl.iter
+        (fun key p ->
+          let frontier = key land full in
+          let visited = key lsr n in
+          let tr = Cobra_engine.next_of engine frontier in
+          for i = 0 to Array.length tr.Cobra_engine.masks - 1 do
+            let frontier' = tr.Cobra_engine.masks.(i) in
+            let visited' = visited lor frontier' in
+            if visited' <> full then begin
+              let q = p *. tr.Cobra_engine.probs.(i) in
+              let key' = frontier' lor (visited' lsl n) in
+              let prev = Option.value ~default:0.0 (Hashtbl.find_opt next key') in
+              Hashtbl.replace next key' (prev +. q)
+            end
+          done)
+        !alive;
+      Hashtbl.iter (fun _ p -> total := !total +. p) next;
+      alive := next;
+      mass := !total;
+      acc := !acc +. !total;
+      incr steps
+    done;
+    if !mass > 1e-12 then failwith "Exact.expected_cover_time: did not converge";
+    !acc
+  end
+
+(* One BIPS step on a dense distribution over subsets. For each source
+   state A we enumerate target states by expanding the per-vertex
+   independent infection probabilities, branching over the two outcomes of
+   each non-source vertex. Probability-zero branches are pruned, which
+   keeps the recursion near the reachable support. *)
+let bips_step g branching ~source dist =
+  let n = Graph.Csr.n_vertices g in
+  let size = 1 lsl n in
+  let next = Array.make size 0.0 in
+  let p_infected = Array.make n 0.0 in
+  for a = 0 to size - 1 do
+    let pa = dist.(a) in
+    if pa > 0.0 then begin
+      (* Per-vertex infection probabilities given A = a. *)
+      for u = 0 to n - 1 do
+        if u = source then p_infected.(u) <- 1.0
+        else begin
+          let deg = Graph.Csr.degree g u in
+          let hits =
+            Graph.Csr.fold_neighbours g u ~init:0 ~f:(fun acc w ->
+                if a land (1 lsl w) <> 0 then acc + 1 else acc)
+          in
+          p_infected.(u) <-
+            Branching.infection_probability_counts branching ~degree:deg
+              ~infected:hits
+        end
+      done;
+      let rec expand u mask p =
+        if p = 0.0 then ()
+        else if u = n then next.(mask) <- next.(mask) +. p
+        else begin
+          expand (u + 1) (mask lor (1 lsl u)) (p *. p_infected.(u));
+          expand (u + 1) mask (p *. (1.0 -. p_infected.(u)))
+        end
+      in
+      expand 0 0 pa
+    end
+  done;
+  next
+
+let bips_series g ~branching ~source ~t_max ~measure name =
+  let n = check_size g name in
+  check_vertex g name source;
+  if t_max < 0 then invalid_arg (name ^ ": t_max >= 0");
+  let size = 1 lsl n in
+  let dist = Array.make size 0.0 in
+  dist.(1 lsl source) <- 1.0;
+  let out = Array.make (t_max + 1) 0.0 in
+  out.(0) <- measure dist;
+  let cur = ref dist in
+  for t = 1 to t_max do
+    cur := bips_step g branching ~source !cur;
+    out.(t) <- measure !cur
+  done;
+  out
+
+let bips_avoid g ~branching ~source ~avoid ~t_max =
+  let n = Graph.Csr.n_vertices g in
+  let avoid_mask = mask_of_list "Exact.bips_avoid" n avoid in
+  let measure dist =
+    let acc = ref 0.0 in
+    Array.iteri (fun a p -> if a land avoid_mask = 0 then acc := !acc +. p) dist;
+    !acc
+  in
+  bips_series g ~branching ~source ~t_max ~measure "Exact.bips_avoid"
+
+let bips_unsaturated g ~branching ~source ~t_max =
+  let n = Graph.Csr.n_vertices g in
+  let full = (1 lsl n) - 1 in
+  let measure dist = 1.0 -. dist.(full) in
+  bips_series g ~branching ~source ~t_max ~measure "Exact.bips_unsaturated"
+
+let popcount mask =
+  let rec go m acc = if m = 0 then acc else go (m land (m - 1)) (acc + 1) in
+  go mask 0
+
+let bips_expected_size g ~branching ~source ~t_max =
+  let measure dist =
+    let acc = ref 0.0 in
+    Array.iteri (fun a p -> acc := !acc +. (p *. Float.of_int (popcount a))) dist;
+    !acc
+  in
+  bips_series g ~branching ~source ~t_max ~measure "Exact.bips_expected_size"
+
+let duality_gap g ~branching ~t_max =
+  let n = check_size g "Exact.duality_gap" in
+  let engine = Cobra_engine.create g ~branching in
+  let worst = ref 0.0 in
+  for v = 0 to n - 1 do
+    (* One BIPS evolution per source v serves every u. *)
+    let size = 1 lsl n in
+    let dist = Array.make size 0.0 in
+    dist.(1 lsl v) <- 1.0;
+    let absent = Array.make_matrix (t_max + 1) n 0.0 in
+    let record t d =
+      for u = 0 to n - 1 do
+        let acc = ref 0.0 in
+        Array.iteri (fun a p -> if a land (1 lsl u) = 0 then acc := !acc +. p) d;
+        absent.(t).(u) <- !acc
+      done
+    in
+    record 0 dist;
+    let cur = ref dist in
+    for t = 1 to t_max do
+      cur := bips_step g branching ~source:v !cur;
+      record t !cur
+    done;
+    for u = 0 to n - 1 do
+      let survival = Cobra_engine.hit_survival engine ~start:[ u ] ~target:v ~t_max in
+      for t = 0 to t_max do
+        let gap = Float.abs (survival.(t) -. absent.(t).(u)) in
+        if gap > !worst then worst := gap
+      done
+    done
+  done;
+  !worst

@@ -1,0 +1,98 @@
+(** Exact distributions of the COBRA and BIPS set-valued Markov chains on
+    small graphs, by dynamic programming over the 2^n subsets.
+
+    This module is the repository's precision anchor: Theorem 4's duality
+
+    [P(Hit_C(v) > t) = P(C ∩ A_t = ∅ | A_0 = {v})]
+
+    is verified here to floating-point accuracy rather than statistically.
+    Subsets are encoded as bit masks, so graphs are limited to
+    {!max_vertices} vertices; the cost per step is roughly
+    O(4^n) for BIPS and O(reachable masks × branching support) for COBRA.
+
+    The COBRA chain: from active set [C], each member picks its branching
+    number of uniform neighbours; the next state is the union. Its
+    per-vertex pick-set distributions convolve (by subset union) into the
+    next-state distribution. For hitting times the target is made
+    absorbing — mass entering a set containing the target leaves the
+    "alive" distribution.
+
+    The BIPS chain: given [A], each vertex [u ≠ source] is infected next
+    round independently with probability
+    [Branching.infection_probability b (d_A(u)/deg u)], and the source is
+    always infected — so each row of the transition kernel is a product
+    measure, enumerated directly. *)
+
+(** Largest vertex count accepted (16: dense 2^n arrays stay small). *)
+val max_vertices : int
+
+(** A COBRA transition table shared across queries: the next-state
+    distribution of an active set does not depend on the hitting target,
+    so the (expensive) union-convolutions are memoised once per graph and
+    branching and reused by every [hit_survival] call. *)
+module Cobra_engine : sig
+  type t
+
+  (** [create g ~branching] prepares per-vertex pick distributions and an
+      empty transition memo. *)
+  val create : Graph.Csr.t -> branching:Branching.t -> t
+
+  (** [hit_survival e ~start ~target ~t_max] — as {!cobra_hit_survival},
+      sharing [e]'s memo. *)
+  val hit_survival : t -> start:int list -> target:int -> t_max:int -> float array
+end
+
+(** [cobra_hit_survival g ~branching ~start ~target ~t_max] returns
+    [s] with [s.(t) = P(Hit_start(target) > t | C_0 = start)] for
+    [t = 0 .. t_max]. [start] must be non-empty; [s.(0) = 0] iff [target]
+    is in [start]. One-shot form of {!Cobra_engine.hit_survival}. *)
+val cobra_hit_survival :
+  Graph.Csr.t ->
+  branching:Branching.t ->
+  start:int list ->
+  target:int ->
+  t_max:int ->
+  float array
+
+(** [cover_survival g ~branching ~start ~t_max] returns [s] with
+    [s.(t) = P(cov > t | C_0 = start)] where [cov] is the first round at
+    which every vertex has been active at least once (the start set
+    counts as visited at t = 0). Tracks the joint (frontier, visited)
+    chain — ≲ 3^n states — so keep [n] below ~12. *)
+val cover_survival :
+  Graph.Csr.t -> branching:Branching.t -> start:int list -> t_max:int -> float array
+
+(** [expected_cover_time g ~branching ~start] sums the survival series
+    [Σ_{t>=0} P(cov > t)] until the tail is below 1e-12 (the chain covers
+    geometrically, so this terminates fast on connected graphs); raises
+    [Failure] if 10^6 steps do not get there. *)
+val expected_cover_time :
+  Graph.Csr.t -> branching:Branching.t -> start:int list -> float
+
+(** [bips_avoid g ~branching ~source ~avoid ~t_max] returns [s] with
+    [s.(t) = P(avoid ∩ A_t = ∅ | A_0 = {source})] for the given set of
+    vertices to avoid — the right-hand side of Theorem 4. *)
+val bips_avoid :
+  Graph.Csr.t ->
+  branching:Branching.t ->
+  source:int ->
+  avoid:int list ->
+  t_max:int ->
+  float array
+
+(** [bips_unsaturated g ~branching ~source ~t_max] returns
+    [s.(t) = P(A_t ≠ V)] — the quantity Theorem 2 bounds. *)
+val bips_unsaturated :
+  Graph.Csr.t -> branching:Branching.t -> source:int -> t_max:int -> float array
+
+(** [bips_expected_size g ~branching ~source ~t_max] returns
+    [e.(t) = E|A_t|] — compared against Lemma 1's compounded lower bound
+    in tests. *)
+val bips_expected_size :
+  Graph.Csr.t -> branching:Branching.t -> source:int -> t_max:int -> float array
+
+(** [duality_gap g ~branching ~t_max] computes
+    [max over u, v, t <= t_max of
+     |P(Hit_u(v) > t) - P(u ∉ A_t | A_0 = v)|] — zero (to numerical
+    precision) by Theorem 4. O(n² · t_max · 4^n): keep n at ~8. *)
+val duality_gap : Graph.Csr.t -> branching:Branching.t -> t_max:int -> float

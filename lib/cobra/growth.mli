@@ -1,0 +1,44 @@
+(** Lemma 1's expected-growth machinery for the BIPS process.
+
+    For an infected set [A] (containing the source [v]) the conditional
+    expectation has the closed form
+
+    [E(|A_{t+1}| | A_t = A) = 1 + Σ_{u ≠ v} P_inf(b, d_A(u) / deg u)]
+
+    where [P_inf] is {!Branching.infection_probability}. Lemma 1 (and
+    Corollary 1) lower-bound this by [|A| (1 + c (1 - λ²)(1 - |A|/n))]
+    with [c = 1] for branching k ≥ 2 and [c = ρ] for expected branching
+    1 + ρ. This module computes both sides exactly and collects empirical
+    transition samples — experiment E9. *)
+
+(** [expected_next_size g ~branching ~source ~infected] evaluates the
+    closed-form conditional expectation. [infected] must contain
+    [source]. *)
+val expected_next_size :
+  Graph.Csr.t -> branching:Branching.t -> source:int -> infected:Dstruct.Bitset.t -> float
+
+(** [lemma1_bound ~n ~lambda ~branching ~a] is the lemma's lower bound for
+    an infected set of size [a] on an n-vertex regular graph with second
+    eigenvalue [lambda]:
+    [a · (1 + c(b) · (1 - λ²) · (1 - a/n))], with
+    [c(Fixed k) = 1] for [k >= 2], [c(Fixed 1) = 0] (a random walk does
+    not grow), and [c(One_plus ρ) = ρ]. *)
+val lemma1_bound : n:int -> lambda:float -> branching:Branching.t -> a:int -> float
+
+(** [transition_samples ?cap g ~branching ~source ~trials rng] pools
+    [(|A_t|, |A_{t+1}|)] pairs from [trials] BIPS runs to saturation — the
+    raw data behind the measured-growth report. *)
+val transition_samples :
+  ?cap:int ->
+  Graph.Csr.t ->
+  branching:Branching.t ->
+  source:int ->
+  trials:int ->
+  Prng.Rng.t ->
+  (int * int) array
+
+(** [random_infected_set rng g ~source ~size] draws a uniform infected set
+    of the given size containing [source] — for property tests of the
+    bound over arbitrary sets. *)
+val random_infected_set :
+  Prng.Rng.t -> Graph.Csr.t -> source:int -> size:int -> Dstruct.Bitset.t

@@ -1,0 +1,155 @@
+module Bitset = Dstruct.Bitset
+module Intvec = Dstruct.Intvec
+
+type t = {
+  graph : Graph.Csr.t;
+  branching : Branching.t;
+  mutable frontier : Intvec.t; (* members of C_t, no duplicates *)
+  mutable next : Intvec.t; (* scratch for C_{t+1} *)
+  in_next : Bitset.t; (* membership for [next]; cleared member-wise *)
+  visited : Bitset.t;
+  mutable visited_count : int;
+  mutable round : int;
+  mutable transmissions : int;
+}
+
+let check_start g start =
+  if start = [] then invalid_arg "Process: empty start set";
+  List.iter
+    (fun v ->
+      if v < 0 || v >= Graph.Csr.n_vertices g then
+        invalid_arg "Process: start vertex out of range")
+    start
+
+let load_start p start =
+  check_start p.graph start;
+  Intvec.clear p.frontier;
+  Intvec.clear p.next;
+  Bitset.clear p.in_next;
+  Bitset.clear p.visited;
+  p.visited_count <- 0;
+  p.round <- 0;
+  p.transmissions <- 0;
+  List.iter
+    (fun v ->
+      if not (Bitset.mem p.visited v) then begin
+        Bitset.add p.visited v;
+        p.visited_count <- p.visited_count + 1;
+        Intvec.push p.frontier v
+      end)
+    start
+
+let create g ~branching ~start =
+  let n = Graph.Csr.n_vertices g in
+  if n = 0 then invalid_arg "Process.create: empty graph";
+  let p =
+    {
+      graph = g;
+      branching;
+      frontier = Intvec.create ~capacity:64 ();
+      next = Intvec.create ~capacity:64 ();
+      in_next = Bitset.create n;
+      visited = Bitset.create n;
+      visited_count = 0;
+      round = 0;
+      transmissions = 0;
+    }
+  in
+  load_start p start;
+  p
+
+let reset p ~start = load_start p start
+
+let graph p = p.graph
+let branching p = p.branching
+let round p = p.round
+let frontier_size p = Intvec.length p.frontier
+let frontier p = Intvec.to_array p.frontier
+(* Membership of the current frontier. [in_next] is kept empty between
+   rounds, so a linear scan of the (typically small) frontier suffices. *)
+let active p v =
+  let found = ref false in
+  Intvec.iter (fun u -> if u = v then found := true) p.frontier;
+  !found
+
+let visited p v = Bitset.mem p.visited v
+let visited_count p = p.visited_count
+let is_covered p = p.visited_count = Graph.Csr.n_vertices p.graph
+let transmissions p = p.transmissions
+
+let step p rng =
+  let g = p.graph in
+  let push_pick w =
+    if not (Bitset.mem p.in_next w) then begin
+      Bitset.add p.in_next w;
+      Intvec.push p.next w;
+      if not (Bitset.mem p.visited w) then begin
+        Bitset.add p.visited w;
+        p.visited_count <- p.visited_count + 1
+      end
+    end
+  in
+  Intvec.iter
+    (fun v ->
+      let picks = Branching.iter_picks p.branching rng g v ~f:push_pick in
+      p.transmissions <- p.transmissions + picks)
+    p.frontier;
+  (* Swap frontier buffers; clear [in_next] member-wise (the frontier is
+     usually much smaller than n). *)
+  Intvec.iter (fun w -> Bitset.remove p.in_next w) p.next;
+  let old = p.frontier in
+  p.frontier <- p.next;
+  p.next <- old;
+  Intvec.clear p.next;
+  p.round <- p.round + 1
+
+let default_cap g = 10_000 + (100 * Graph.Csr.n_vertices g)
+
+let cover_time ?cap g ~branching ~start rng =
+  let cap = match cap with Some c -> c | None -> default_cap g in
+  let p = create g ~branching ~start:[ start ] in
+  let rec go () =
+    if is_covered p then Some p.round
+    else if p.round >= cap then None
+    else begin
+      step p rng;
+      go ()
+    end
+  in
+  go ()
+
+let hitting_time ?cap g ~branching ~start ~target rng =
+  let cap = match cap with Some c -> c | None -> default_cap g in
+  let p = create g ~branching ~start:[ start ] in
+  let rec go () =
+    if visited p target then Some p.round
+    else if p.round >= cap then None
+    else begin
+      step p rng;
+      go ()
+    end
+  in
+  go ()
+
+let first_visit_times ?cap g ~branching ~start rng =
+  let cap = match cap with Some c -> c | None -> default_cap g in
+  let n = Graph.Csr.n_vertices g in
+  let p = create g ~branching ~start:[ start ] in
+  let first = Array.make n (-1) in
+  first.(start) <- 0;
+  while (not (is_covered p)) && p.round < cap do
+    step p rng;
+    Intvec.iter (fun v -> if first.(v) < 0 then first.(v) <- p.round) p.frontier
+  done;
+  first
+
+let frontier_trajectory ?cap g ~branching ~start rng =
+  let cap = match cap with Some c -> c | None -> default_cap g in
+  let p = create g ~branching ~start:[ start ] in
+  let sizes = Intvec.create () in
+  Intvec.push sizes (frontier_size p);
+  while (not (is_covered p)) && p.round < cap do
+    step p rng;
+    Intvec.push sizes (frontier_size p)
+  done;
+  Intvec.to_array sizes

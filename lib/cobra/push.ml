@@ -1,0 +1,81 @@
+module Bitset = Dstruct.Bitset
+
+type outcome = { rounds : int; transmissions : int }
+
+let check g v =
+  if v < 0 || v >= Graph.Csr.n_vertices g then invalid_arg "Push: vertex out of range"
+
+let default_cap g = 10_000 + (100 * Graph.Csr.n_vertices g)
+
+let push ?cap g ~start rng =
+  check g start;
+  let n = Graph.Csr.n_vertices g in
+  let cap = match cap with Some c -> c | None -> default_cap g in
+  let informed = Bitset.create n in
+  Bitset.add informed start;
+  let count = ref 1 and rounds = ref 0 and transmissions = ref 0 in
+  while !count < n && !rounds < cap do
+    (* Collect this round's pushes against the current informed set, then
+       apply: informing is synchronous, as in the COBRA round structure. *)
+    let newly = ref [] in
+    for u = 0 to n - 1 do
+      if Bitset.mem informed u then begin
+        incr transmissions;
+        let w = Graph.Csr.random_neighbour g rng u in
+        if not (Bitset.mem informed w) then newly := w :: !newly
+      end
+    done;
+    List.iter
+      (fun w ->
+        if not (Bitset.mem informed w) then begin
+          Bitset.add informed w;
+          incr count
+        end)
+      !newly;
+    incr rounds
+  done;
+  if !count = n then Some { rounds = !rounds; transmissions = !transmissions } else None
+
+let push_pull ?cap g ~start rng =
+  check g start;
+  let n = Graph.Csr.n_vertices g in
+  let cap = match cap with Some c -> c | None -> default_cap g in
+  let informed = Bitset.create n in
+  Bitset.add informed start;
+  let count = ref 1 and rounds = ref 0 and transmissions = ref 0 in
+  while !count < n && !rounds < cap do
+    let newly = ref [] in
+    for u = 0 to n - 1 do
+      incr transmissions;
+      let w = Graph.Csr.random_neighbour g rng u in
+      let iu = Bitset.mem informed u and iw = Bitset.mem informed w in
+      if iu && not iw then newly := w :: !newly
+      else if iw && not iu then newly := u :: !newly
+    done;
+    List.iter
+      (fun w ->
+        if not (Bitset.mem informed w) then begin
+          Bitset.add informed w;
+          incr count
+        end)
+      !newly;
+    incr rounds
+  done;
+  if !count = n then Some { rounds = !rounds; transmissions = !transmissions } else None
+
+let flood g ~start =
+  check g start;
+  let n = Graph.Csr.n_vertices g in
+  let dist = Graph.Algo.bfs g start in
+  let rounds = Array.fold_left Stdlib.max 0 dist in
+  if Array.exists (fun d -> d < 0) dist then
+    invalid_arg "Push.flood: graph is disconnected";
+  (* Every informed vertex sends to all neighbours each round until the
+     last round; vertex u is informed from round dist(u) on. *)
+  let transmissions = ref 0 in
+  for u = 0 to n - 1 do
+    let active_rounds = rounds - dist.(u) in
+    if active_rounds > 0 then
+      transmissions := !transmissions + (active_rounds * Graph.Csr.degree g u)
+  done;
+  { rounds; transmissions = !transmissions }

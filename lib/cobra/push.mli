@@ -1,0 +1,25 @@
+(** Classical rumour-spreading baselines for the transmission-budget
+    comparison (experiment E11).
+
+    In the {e push} protocol every informed vertex pushes to one random
+    neighbour {e every} round, forever — so late rounds waste transmissions
+    on an almost-fully-informed graph. COBRA instead silences vertices that
+    are not re-activated. {e Flooding} sends to all neighbours each round:
+    fastest possible rounds, maximal transmissions. *)
+
+type outcome = {
+  rounds : int;  (** rounds until all vertices informed *)
+  transmissions : int;  (** total messages sent over all rounds *)
+}
+
+(** [push ?cap g ~start rng] runs the push protocol until everyone is
+    informed; [None] if [cap] rounds pass (default [10_000 + 100 * n]). *)
+val push : ?cap:int -> Graph.Csr.t -> start:int -> Prng.Rng.t -> outcome option
+
+(** [push_pull ?cap g ~start rng] — each round every vertex contacts one
+    random neighbour; information flows both ways across the contact. *)
+val push_pull : ?cap:int -> Graph.Csr.t -> start:int -> Prng.Rng.t -> outcome option
+
+(** [flood g ~start] — deterministic flooding; rounds equal the start
+    vertex's eccentricity. *)
+val flood : Graph.Csr.t -> start:int -> outcome

@@ -1,0 +1,74 @@
+module Bitset = Dstruct.Bitset
+
+let check g v =
+  if v < 0 || v >= Graph.Csr.n_vertices g then invalid_arg "Rwalk: vertex out of range"
+
+let default_cap g =
+  let n = Graph.Csr.n_vertices g in
+  (100 * n * n) + 10_000
+
+let cover_time ?cap g ~start rng =
+  check g start;
+  let n = Graph.Csr.n_vertices g in
+  let cap = match cap with Some c -> c | None -> default_cap g in
+  let seen = Bitset.create n in
+  Bitset.add seen start;
+  let rec go pos steps remaining =
+    if remaining = 0 then Some steps
+    else if steps >= cap then None
+    else begin
+      let next = Graph.Csr.random_neighbour g rng pos in
+      let remaining =
+        if Bitset.mem seen next then remaining
+        else begin
+          Bitset.add seen next;
+          remaining - 1
+        end
+      in
+      go next (steps + 1) remaining
+    end
+  in
+  go start 0 (n - 1)
+
+let hitting_time ?cap g ~start ~target rng =
+  check g start;
+  check g target;
+  let cap = match cap with Some c -> c | None -> default_cap g in
+  let rec go pos steps =
+    if pos = target then Some steps
+    else if steps >= cap then None
+    else go (Graph.Csr.random_neighbour g rng pos) (steps + 1)
+  in
+  go start 0
+
+let multi_cover_time ?cap g ~walkers ~start rng =
+  check g start;
+  if walkers < 1 then invalid_arg "Rwalk.multi_cover_time: walkers >= 1";
+  let n = Graph.Csr.n_vertices g in
+  let cap = match cap with Some c -> c | None -> default_cap g in
+  let seen = Bitset.create n in
+  Bitset.add seen start;
+  let positions = Array.make walkers start in
+  let remaining = ref (n - 1) in
+  let rounds = ref 0 in
+  while !remaining > 0 && !rounds < cap do
+    for w = 0 to walkers - 1 do
+      let next = Graph.Csr.random_neighbour g rng positions.(w) in
+      positions.(w) <- next;
+      if not (Bitset.mem seen next) then begin
+        Bitset.add seen next;
+        decr remaining
+      end
+    done;
+    incr rounds
+  done;
+  if !remaining = 0 then Some !rounds else None
+
+let positions ?(steps = 1000) g ~start rng =
+  check g start;
+  if steps < 0 then invalid_arg "Rwalk.positions: steps >= 0";
+  let out = Array.make (steps + 1) start in
+  for i = 1 to steps do
+    out.(i) <- Graph.Csr.random_neighbour g rng out.(i - 1)
+  done;
+  out

@@ -1,0 +1,139 @@
+(* Packed bit array: 32 bits per int cell so that index arithmetic is two
+   shifts/masks rather than a division. Cell [i lsr 5], bit [i land 31].
+   The last cell's unused high bits are kept at zero by construction, which
+   lets [cardinal], [equal], [subset] and [is_full] work cell-wise. *)
+
+type t = { words : int array; n : int }
+
+let bits = 32
+let mask = bits - 1
+let shift = 5
+
+let words_for n = if n = 0 then 0 else ((n - 1) lsr shift) + 1
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative capacity";
+  { words = Array.make (words_for n) 0; n }
+
+let capacity s = s.n
+
+let check s i =
+  if i < 0 || i >= s.n then invalid_arg "Bitset: index out of range"
+
+let mem s i =
+  check s i;
+  s.words.(i lsr shift) land (1 lsl (i land mask)) <> 0
+
+let add s i =
+  check s i;
+  let w = i lsr shift in
+  s.words.(w) <- s.words.(w) lor (1 lsl (i land mask))
+
+let remove s i =
+  check s i;
+  let w = i lsr shift in
+  s.words.(w) <- s.words.(w) land lnot (1 lsl (i land mask))
+
+let add_seq s xs = Seq.iter (add s) xs
+
+let clear s = Array.fill s.words 0 (Array.length s.words) 0
+
+let fill s =
+  let nw = Array.length s.words in
+  if nw > 0 then begin
+    Array.fill s.words 0 nw ((1 lsl bits) - 1);
+    (* Zero the bits above [n - 1] in the last cell. *)
+    let used = s.n - (nw - 1) * bits in
+    s.words.(nw - 1) <- (1 lsl used) - 1
+  end
+
+let popcount x =
+  let x = x - ((x lsr 1) land 0x55555555) in
+  let x = (x land 0x33333333) + ((x lsr 2) land 0x33333333) in
+  let x = (x + (x lsr 4)) land 0x0F0F0F0F in
+  (x * 0x01010101) lsr 24 land 0x3F
+
+let cardinal s = Array.fold_left (fun acc w -> acc + popcount w) 0 s.words
+
+let is_empty s = Array.for_all (fun w -> w = 0) s.words
+
+let is_full s = cardinal s = s.n
+
+let copy s = { words = Array.copy s.words; n = s.n }
+
+let same_capacity a b op =
+  if a.n <> b.n then invalid_arg ("Bitset." ^ op ^ ": capacity mismatch")
+
+let blit ~src ~dst =
+  same_capacity src dst "blit";
+  Array.blit src.words 0 dst.words 0 (Array.length src.words)
+
+let union_into ~src ~dst =
+  same_capacity src dst "union_into";
+  for w = 0 to Array.length dst.words - 1 do
+    dst.words.(w) <- dst.words.(w) lor src.words.(w)
+  done
+
+let inter_into ~src ~dst =
+  same_capacity src dst "inter_into";
+  for w = 0 to Array.length dst.words - 1 do
+    dst.words.(w) <- dst.words.(w) land src.words.(w)
+  done
+
+let diff_into ~src ~dst =
+  same_capacity src dst "diff_into";
+  for w = 0 to Array.length dst.words - 1 do
+    dst.words.(w) <- dst.words.(w) land lnot src.words.(w)
+  done
+
+let equal a b = a.n = b.n && a.words = b.words
+
+let subset a b =
+  same_capacity a b "subset";
+  let rec go w =
+    w >= Array.length a.words
+    || (a.words.(w) land lnot b.words.(w) = 0 && go (w + 1))
+  in
+  go 0
+
+let iter f s =
+  for w = 0 to Array.length s.words - 1 do
+    let cell = s.words.(w) in
+    if cell <> 0 then
+      let base = w lsl shift in
+      for b = 0 to bits - 1 do
+        if cell land (1 lsl b) <> 0 then f (base + b)
+      done
+  done
+
+let fold f s init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) s;
+  !acc
+
+let to_list s = List.rev (fold (fun i acc -> i :: acc) s [])
+
+let of_list n xs =
+  let s = create n in
+  List.iter (add s) xs;
+  s
+
+let choose s =
+  let rec go w =
+    if w >= Array.length s.words then None
+    else if s.words.(w) = 0 then go (w + 1)
+    else begin
+      let cell = s.words.(w) in
+      let b = ref 0 in
+      while cell land (1 lsl !b) = 0 do incr b done;
+      Some ((w lsl shift) + !b)
+    end
+  in
+  go 0
+
+let pp ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       Format.pp_print_int)
+    (to_list s)

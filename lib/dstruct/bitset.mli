@@ -1,0 +1,86 @@
+(** Fixed-capacity sets of small integers, backed by a packed bit array.
+
+    A [Bitset.t] represents a subset of [{0, ..., capacity - 1}]. All
+    single-element operations are O(1); whole-set operations are
+    O(capacity / word_size). Indices outside [0 .. capacity - 1] raise
+    [Invalid_argument]. *)
+
+type t
+
+(** [create n] is the empty subset of [{0, ..., n - 1}]. [n] must be
+    non-negative. *)
+val create : int -> t
+
+(** [capacity s] is the universe size [n] given at creation. *)
+val capacity : t -> int
+
+(** [mem s i] tests membership of [i]. *)
+val mem : t -> int -> bool
+
+(** [add s i] inserts [i]. *)
+val add : t -> int -> unit
+
+(** [remove s i] deletes [i]. *)
+val remove : t -> int -> unit
+
+(** [add_seq s xs] inserts every element of [xs]. *)
+val add_seq : t -> int Seq.t -> unit
+
+(** [clear s] removes every element. *)
+val clear : t -> unit
+
+(** [fill s] inserts every element of the universe. *)
+val fill : t -> unit
+
+(** [cardinal s] is the number of elements, computed by popcount in
+    O(capacity / word_size). *)
+val cardinal : t -> int
+
+(** [is_empty s] is [cardinal s = 0], without computing the cardinal. *)
+val is_empty : t -> bool
+
+(** [is_full s] tests whether [s] contains its whole universe. *)
+val is_full : t -> bool
+
+(** [copy s] is a fresh set with the same elements. *)
+val copy : t -> t
+
+(** [blit ~src ~dst] overwrites [dst] with the contents of [src]. The two
+    sets must have equal capacity. *)
+val blit : src:t -> dst:t -> unit
+
+(** [union_into ~src ~dst] adds every element of [src] to [dst]. Equal
+    capacities required. *)
+val union_into : src:t -> dst:t -> unit
+
+(** [inter_into ~src ~dst] removes from [dst] the elements not in [src].
+    Equal capacities required. *)
+val inter_into : src:t -> dst:t -> unit
+
+(** [diff_into ~src ~dst] removes from [dst] every element of [src]. *)
+val diff_into : src:t -> dst:t -> unit
+
+(** [equal a b] tests extensional equality (capacities must match, else
+    [false]). *)
+val equal : t -> t -> bool
+
+(** [subset a b] tests whether every element of [a] is in [b]. *)
+val subset : t -> t -> bool
+
+(** [iter f s] applies [f] to each element in increasing order. *)
+val iter : (int -> unit) -> t -> unit
+
+(** [fold f s init] folds over elements in increasing order. *)
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** [to_list s] lists the elements in increasing order. *)
+val to_list : t -> int list
+
+(** [of_list n xs] is the subset of [{0, ..., n-1}] containing [xs]. *)
+val of_list : int -> int list -> t
+
+(** [choose s] is the smallest element, or [None] if empty. *)
+val choose : t -> int option
+
+(** [pp] prints as [{e1, e2, ...}]. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,73 @@
+type t = {
+  mutable prio : float array;
+  mutable data : int array;
+  mutable len : int;
+}
+
+let create ?(capacity = 16) () =
+  let capacity = max capacity 1 in
+  { prio = Array.make capacity 0.0; data = Array.make capacity 0; len = 0 }
+
+let size h = h.len
+let is_empty h = h.len = 0
+
+let ensure h needed =
+  if needed > Array.length h.prio then begin
+    let cap = ref (Array.length h.prio) in
+    while !cap < needed do
+      cap := !cap * 2
+    done;
+    let prio = Array.make !cap 0.0 and data = Array.make !cap 0 in
+    Array.blit h.prio 0 prio 0 h.len;
+    Array.blit h.data 0 data 0 h.len;
+    h.prio <- prio;
+    h.data <- data
+  end
+
+let swap h i j =
+  let p = h.prio.(i) and d = h.data.(i) in
+  h.prio.(i) <- h.prio.(j);
+  h.data.(i) <- h.data.(j);
+  h.prio.(j) <- p;
+  h.data.(j) <- d
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.prio.(i) < h.prio.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < h.len && h.prio.(left) < h.prio.(!smallest) then smallest := left;
+  if right < h.len && h.prio.(right) < h.prio.(!smallest) then smallest := right;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h ~priority ~payload =
+  ensure h (h.len + 1);
+  h.prio.(h.len) <- priority;
+  h.data.(h.len) <- payload;
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1)
+
+let min h = if h.len = 0 then None else Some (h.prio.(0), h.data.(0))
+
+let pop h =
+  if h.len = 0 then invalid_arg "Heap.pop: empty";
+  let out = (h.prio.(0), h.data.(0)) in
+  h.len <- h.len - 1;
+  if h.len > 0 then begin
+    h.prio.(0) <- h.prio.(h.len);
+    h.data.(0) <- h.data.(h.len);
+    sift_down h 0
+  end;
+  out
+
+let clear h = h.len <- 0

@@ -1,0 +1,32 @@
+(** Binary min-heaps keyed by float priorities, the event queue of the
+    continuous-time simulators.
+
+    Entries are (priority, payload) pairs; payloads are ints (vertex ids,
+    event codes). No decrease-key: cancelled events are handled by the
+    caller via lazy invalidation, which is both simpler and faster for
+    epidemic workloads. *)
+
+type t
+
+(** [create ()] is an empty heap; [capacity] pre-allocates storage. *)
+val create : ?capacity:int -> unit -> t
+
+(** [size h] is the number of stored entries. *)
+val size : t -> int
+
+(** [is_empty h] is [size h = 0]. *)
+val is_empty : t -> bool
+
+(** [push h ~priority ~payload] inserts an entry. *)
+val push : t -> priority:float -> payload:int -> unit
+
+(** [min h] is the least-priority entry without removing it; [None] when
+    empty. *)
+val min : t -> (float * int) option
+
+(** [pop h] removes and returns the least-priority entry; raises
+    [Invalid_argument] when empty. Ties broken arbitrarily. *)
+val pop : t -> float * int
+
+(** [clear h] removes all entries without shrinking storage. *)
+val clear : t -> unit

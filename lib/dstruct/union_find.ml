@@ -1,0 +1,29 @@
+type t = { parent : int array; rank : int array; mutable classes : int }
+
+let create n =
+  if n < 0 then invalid_arg "Union_find.create: negative size";
+  { parent = Array.init n (fun i -> i); rank = Array.make n 0; classes = n }
+
+let rec find u i =
+  let p = u.parent.(i) in
+  if p = i then i
+  else begin
+    (* Path halving: point [i] at its grandparent as we walk up. *)
+    let g = u.parent.(p) in
+    u.parent.(i) <- g;
+    find u g
+  end
+
+let union u i j =
+  let ri = find u i and rj = find u j in
+  if ri = rj then false
+  else begin
+    let ri, rj = if u.rank.(ri) < u.rank.(rj) then (rj, ri) else (ri, rj) in
+    u.parent.(rj) <- ri;
+    if u.rank.(ri) = u.rank.(rj) then u.rank.(ri) <- u.rank.(ri) + 1;
+    u.classes <- u.classes - 1;
+    true
+  end
+
+let same u i j = find u i = find u j
+let count u = u.classes

@@ -1,0 +1,20 @@
+(** Disjoint-set forests over [{0, ..., n - 1}] with union by rank and path
+    halving. Used for incremental connectivity during graph generation. *)
+
+type t
+
+(** [create n] is the partition of [{0, ..., n-1}] into singletons. *)
+val create : int -> t
+
+(** [find u i] is the canonical representative of [i]'s class. *)
+val find : t -> int -> int
+
+(** [union u i j] merges the classes of [i] and [j]; returns [true] if they
+    were previously distinct. *)
+val union : t -> int -> int -> bool
+
+(** [same u i j] tests whether [i] and [j] share a class. *)
+val same : t -> int -> int -> bool
+
+(** [count u] is the current number of classes. *)
+val count : t -> int

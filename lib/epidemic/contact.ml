@@ -1,0 +1,142 @@
+module Heap = Dstruct.Heap
+module Bitset = Dstruct.Bitset
+
+type outcome = Died_out of float | Fully_exposed of float | Still_active of float
+
+type result = { outcome : outcome; ever_infected : int; events : int }
+
+(* Events are stored out-of-heap in parallel growable arrays; the heap
+   payload is an index into them. An event is valid only if its [gen]
+   matches the current infection generation of its source vertex — this
+   is the lazy invalidation that replaces decrease-key. *)
+type kind = Recovery | Transmission
+
+type event_store = {
+  mutable kinds : kind array;
+  mutable sources : int array;
+  mutable targets : int array;
+  mutable gens : int array;
+  mutable len : int;
+}
+
+let store_create () =
+  {
+    kinds = Array.make 64 Recovery;
+    sources = Array.make 64 0;
+    targets = Array.make 64 0;
+    gens = Array.make 64 0;
+    len = 0;
+  }
+
+let store_add st kind ~source ~target ~gen =
+  if st.len = Array.length st.kinds then begin
+    let cap = 2 * st.len in
+    let grow_int a = let b = Array.make cap 0 in Array.blit a 0 b 0 st.len; b in
+    let kinds = Array.make cap Recovery in
+    Array.blit st.kinds 0 kinds 0 st.len;
+    st.kinds <- kinds;
+    st.sources <- grow_int st.sources;
+    st.targets <- grow_int st.targets;
+    st.gens <- grow_int st.gens
+  end;
+  let id = st.len in
+  st.kinds.(id) <- kind;
+  st.sources.(id) <- source;
+  st.targets.(id) <- target;
+  st.gens.(id) <- gen;
+  st.len <- st.len + 1;
+  id
+
+let run ?(horizon = 1e4) g ~infection_rate ~persistent ~start rng =
+  if infection_rate < 0.0 then invalid_arg "Contact.run: infection_rate >= 0";
+  if horizon <= 0.0 then invalid_arg "Contact.run: horizon > 0";
+  let n = Graph.Csr.n_vertices g in
+  if n = 0 then invalid_arg "Contact.run: empty graph";
+  let check v = if v < 0 || v >= n then invalid_arg "Contact.run: vertex out of range" in
+  List.iter check start;
+  Option.iter check persistent;
+  if start = [] && persistent = None then invalid_arg "Contact.run: nobody infected";
+  let infected = Bitset.create n in
+  let ever = Bitset.create n in
+  let gen = Array.make n 0 in
+  let queue = Heap.create ~capacity:1024 () in
+  let store = store_create () in
+  let infected_count = ref 0 in
+  let ever_count = ref 0 in
+  let events = ref 0 in
+  let exp_draw rate = Prng.Dist.exponential rng ~rate in
+  let schedule time kind ~source ~target =
+    let id = store_add store kind ~source ~target ~gen:gen.(source) in
+    Heap.push queue ~priority:time ~payload:id
+  in
+  let infect time v =
+    if not (Bitset.mem infected v) then begin
+      Bitset.add infected v;
+      incr infected_count;
+      gen.(v) <- gen.(v) + 1;
+      if not (Bitset.mem ever v) then begin
+        Bitset.add ever v;
+        incr ever_count
+      end;
+      if persistent <> Some v then
+        schedule (time +. exp_draw 1.0) Recovery ~source:v ~target:v;
+      if infection_rate > 0.0 then
+        Graph.Csr.iter_neighbours g v ~f:(fun u ->
+            schedule (time +. exp_draw infection_rate) Transmission ~source:v ~target:u)
+    end
+  in
+  let recover v =
+    if Bitset.mem infected v then begin
+      Bitset.remove infected v;
+      decr infected_count;
+      (* Invalidate all of v's outstanding events. *)
+      gen.(v) <- gen.(v) + 1
+    end
+  in
+  (match persistent with Some v -> infect 0.0 v | None -> ());
+  List.iter (infect 0.0) start;
+  let finished time =
+    if !ever_count = n then Some (Fully_exposed time)
+    else if !infected_count = 0 then Some (Died_out time)
+    else None
+  in
+  let rec loop () =
+    match finished 0.0 with
+    | Some _ as r -> (r, 0.0)
+    | None -> (
+      match Heap.min queue with
+      | None -> (Some (Died_out 0.0), 0.0) (* unreachable: infected => events *)
+      | Some (time, _) when time > horizon -> (None, horizon)
+      | Some _ ->
+        let time, id = Heap.pop queue in
+        incr events;
+        let v = store.sources.(id) in
+        if store.gens.(id) = gen.(v) && Bitset.mem infected v then begin
+          match store.kinds.(id) with
+          | Recovery -> recover v
+          | Transmission ->
+            let u = store.targets.(id) in
+            infect time u;
+            (* next transmission attempt along the same edge *)
+            if infection_rate > 0.0 then
+              schedule (time +. exp_draw infection_rate) Transmission ~source:v ~target:u
+        end;
+        (match finished time with Some o -> (Some o, time) | None -> loop ()))
+  in
+  let outcome =
+    match loop () with
+    | Some o, _ -> o
+    | None, t -> Still_active t
+  in
+  { outcome; ever_infected = !ever_count; events = !events }
+
+let survival_probability ?horizon ?(trials = 100) g ~infection_rate ~start rng =
+  if trials < 1 then invalid_arg "Contact.survival_probability: trials >= 1";
+  let survived = ref 0 in
+  for _ = 1 to trials do
+    let r = run ?horizon g ~infection_rate ~persistent:None ~start rng in
+    match r.outcome with
+    | Died_out _ -> ()
+    | Fully_exposed _ | Still_active _ -> incr survived
+  done;
+  (!survived, trials)

@@ -1,0 +1,56 @@
+(** The continuous-time contact process (Harris 1974) on finite graphs.
+
+    The paper positions COBRA as "a discrete version of the contact
+    process": each infected vertex recovers at rate 1 and transmits along
+    each incident edge at rate [infection_rate]; a transmission infects
+    the other endpoint if it is susceptible. Unlike BIPS/COBRA, the
+    contact process {e can die out} — on finite graphs it a.s. does
+    eventually — and the paper's cited literature (Pemantle, Liggett,
+    Madras–Schinazi) studies exactly when survival is long. An optional
+    persistent source reproduces the BIPS twist: that vertex never
+    recovers, so extinction becomes impossible.
+
+    Simulation is event-driven (exponential clocks, binary-heap queue)
+    with lazy invalidation: each vertex carries an infection generation,
+    and events scheduled for an older generation are discarded when
+    popped. *)
+
+type outcome =
+  | Died_out of float  (** no infected vertex remains, at the given time *)
+  | Fully_exposed of float
+      (** every vertex has been infected at least once, at the given
+          time *)
+  | Still_active of float  (** horizon reached with infection alive *)
+
+type result = {
+  outcome : outcome;
+  ever_infected : int;  (** vertices infected at least once *)
+  events : int;  (** events processed (scheduling granularity) *)
+}
+
+(** [run ?horizon g ~infection_rate ~persistent ~start rng] simulates
+    until extinction, full exposure, or [horizon] time units (default
+    [1e4]). [infection_rate >= 0]; recovery rate is normalised to 1.
+    At least one vertex must start infected ([persistent] counts). *)
+val run :
+  ?horizon:float ->
+  Graph.Csr.t ->
+  infection_rate:float ->
+  persistent:int option ->
+  start:int list ->
+  Prng.Rng.t ->
+  result
+
+(** [survival_probability ?horizon ?trials g ~infection_rate ~start rng]
+    estimates the probability that the process (no persistent source)
+    is still alive — or has fully exposed the graph — at the horizon:
+    the finite-graph proxy for the supercritical/subcritical dichotomy.
+    Returns [(survived, trials)]. *)
+val survival_probability :
+  ?horizon:float ->
+  ?trials:int ->
+  Graph.Csr.t ->
+  infection_rate:float ->
+  start:int list ->
+  Prng.Rng.t ->
+  int * int

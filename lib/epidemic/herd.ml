@@ -1,0 +1,145 @@
+module Bitset = Dstruct.Bitset
+
+type status = Susceptible | Transient | Immune | Persistent
+
+type params = {
+  contacts : Cobra.Branching.t;
+  infectious_rounds : int;
+  immune_rounds : int;
+}
+
+(* Per-animal state: status plus a countdown for the timed states. *)
+type t = {
+  graph : Graph.Csr.t;
+  params : params;
+  status : status array;
+  timer : int array; (* rounds remaining in Transient/Immune *)
+  infectious : Bitset.t; (* Transient or Persistent, kept in sync *)
+  ever : Bitset.t;
+  mutable ever_count : int;
+  mutable infectious_count : int;
+  mutable round : int;
+}
+
+type outcome = Herd_fully_exposed of int | Infection_extinct of int | No_resolution of int
+
+let create g params ~pi ~index_cases =
+  let n = Graph.Csr.n_vertices g in
+  if n = 0 then invalid_arg "Herd.create: empty graph";
+  if params.infectious_rounds < 1 then invalid_arg "Herd.create: infectious_rounds >= 1";
+  if params.immune_rounds < 0 then invalid_arg "Herd.create: immune_rounds >= 0";
+  if pi = [] && index_cases = [] then invalid_arg "Herd.create: nobody infected";
+  let check v = if v < 0 || v >= n then invalid_arg "Herd: animal out of range" in
+  List.iter check pi;
+  List.iter check index_cases;
+  let h =
+    {
+      graph = g;
+      params;
+      status = Array.make n Susceptible;
+      timer = Array.make n 0;
+      infectious = Bitset.create n;
+      ever = Bitset.create n;
+      ever_count = 0;
+      infectious_count = 0;
+      round = 0;
+    }
+  in
+  let expose v =
+    if not (Bitset.mem h.ever v) then begin
+      Bitset.add h.ever v;
+      h.ever_count <- h.ever_count + 1
+    end
+  in
+  List.iter
+    (fun v ->
+      if h.status.(v) = Susceptible then begin
+        h.status.(v) <- Persistent;
+        Bitset.add h.infectious v;
+        h.infectious_count <- h.infectious_count + 1;
+        expose v
+      end)
+    pi;
+  List.iter
+    (fun v ->
+      if h.status.(v) = Susceptible then begin
+        h.status.(v) <- Transient;
+        h.timer.(v) <- params.infectious_rounds;
+        Bitset.add h.infectious v;
+        h.infectious_count <- h.infectious_count + 1;
+        expose v
+      end)
+    index_cases;
+  h
+
+let round h = h.round
+let status h v = h.status.(v)
+
+let count h s =
+  let c = ref 0 in
+  Array.iter (fun x -> if x = s then incr c) h.status;
+  !c
+
+let infectious_count h = h.infectious_count
+let ever_exposed_count h = h.ever_count
+let is_extinct h = h.infectious_count = 0
+
+let step h rng =
+  let g = h.graph in
+  let n = Graph.Csr.n_vertices g in
+  (* Exposure is evaluated against the infectious set at the start of the
+     round (synchronous update, matching the BIPS round structure). *)
+  let snapshot = Bitset.copy h.infectious in
+  let newly_infected = ref [] in
+  for v = 0 to n - 1 do
+    match h.status.(v) with
+    | Persistent -> ()
+    | Transient ->
+      h.timer.(v) <- h.timer.(v) - 1;
+      if h.timer.(v) = 0 then begin
+        Bitset.remove h.infectious v;
+        h.infectious_count <- h.infectious_count - 1;
+        if h.params.immune_rounds > 0 then begin
+          h.status.(v) <- Immune;
+          h.timer.(v) <- h.params.immune_rounds
+        end
+        else h.status.(v) <- Susceptible
+      end
+    | Immune ->
+      h.timer.(v) <- h.timer.(v) - 1;
+      if h.timer.(v) = 0 then h.status.(v) <- Susceptible
+    | Susceptible ->
+      let hit = ref false in
+      let check w = if Bitset.mem snapshot w then hit := true in
+      ignore (Cobra.Branching.iter_picks h.params.contacts rng g v ~f:check);
+      if !hit then newly_infected := v :: !newly_infected
+  done;
+  List.iter
+    (fun v ->
+      h.status.(v) <- Transient;
+      h.timer.(v) <- h.params.infectious_rounds;
+      Bitset.add h.infectious v;
+      h.infectious_count <- h.infectious_count + 1;
+      if not (Bitset.mem h.ever v) then begin
+        Bitset.add h.ever v;
+        h.ever_count <- h.ever_count + 1
+      end)
+    !newly_infected;
+  h.round <- h.round + 1
+
+let default_cap g = 10_000 + (100 * Graph.Csr.n_vertices g)
+
+let run ?cap g params ~pi ~index_cases rng =
+  let cap = match cap with Some c -> c | None -> default_cap g in
+  let h = create g params ~pi ~index_cases in
+  let n = Graph.Csr.n_vertices g in
+  let rec go () =
+    if h.ever_count = n then Herd_fully_exposed h.round
+    else if is_extinct h then Infection_extinct h.round
+    else if h.round >= cap then No_resolution h.round
+    else begin
+      step h rng;
+      go ()
+    end
+  in
+  go ()

@@ -1,0 +1,21 @@
+let salt_of ~tag = Hashtbl.hash (tag, 0xC0B7A) * 65_599
+
+let graph_rng ~master ~tag = Simkit.Seeds.tagged_rng ~master ~tag:("graph:" ^ tag)
+
+let expander ~master ~tag ~n ~r =
+  let rng = graph_rng ~master ~tag:(Printf.sprintf "%s:n=%d:r=%d" tag n r) in
+  Graph.Gen.random_regular rng ~n ~r
+
+let cover_summary ?cap g ~branching ~start ~trials ~master ~tag =
+  Simkit.Trial.summarize_int ~trials ~master ~salt0:(salt_of ~tag) (fun rng ->
+      Cobra.Process.cover_time ?cap g ~branching ~start rng)
+
+let infection_summary ?cap g ~branching ~source ~trials ~master ~tag =
+  Simkit.Trial.summarize_int ~trials ~master ~salt0:(salt_of ~tag) (fun rng ->
+      Cobra.Bips.infection_time ?cap g ~branching ~source rng)
+
+let walk_cover_summary ?cap g ~start ~trials ~master ~tag =
+  Simkit.Trial.summarize_int ~trials ~master ~salt0:(salt_of ~tag) (fun rng ->
+      Cobra.Rwalk.cover_time ?cap g ~start rng)
+
+let ln n = log (Float.of_int n)

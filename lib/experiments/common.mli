@@ -1,0 +1,54 @@
+(** Helpers shared across the experiment modules: deterministic graph
+    construction per (experiment, parameters), and the standard COBRA/BIPS
+    trial measurements. *)
+
+(** [graph_rng ~master ~tag] — the stream used to *construct* a workload
+    graph; distinct from trial streams so adding trials never changes the
+    graph. *)
+val graph_rng : master:int -> tag:string -> Prng.Rng.t
+
+(** [expander ~master ~tag ~n ~r] draws a connected random r-regular
+    graph deterministically from [(master, tag, n, r)]. *)
+val expander : master:int -> tag:string -> n:int -> r:int -> Graph.Csr.t
+
+(** [cover_summary ?cap g ~branching ~start ~trials ~master ~tag] runs
+    COBRA cover-time trials; returns the summary and censored count. *)
+val cover_summary :
+  ?cap:int ->
+  Graph.Csr.t ->
+  branching:Cobra.Branching.t ->
+  start:int ->
+  trials:int ->
+  master:int ->
+  tag:string ->
+  Stats.Summary.t * int
+
+(** [infection_summary ?cap g ~branching ~source ~trials ~master ~tag] runs
+    BIPS infection-time trials. *)
+val infection_summary :
+  ?cap:int ->
+  Graph.Csr.t ->
+  branching:Cobra.Branching.t ->
+  source:int ->
+  trials:int ->
+  master:int ->
+  tag:string ->
+  Stats.Summary.t * int
+
+(** [walk_cover_summary ?cap g ~start ~trials ~master ~tag] — simple
+    random-walk cover times. *)
+val walk_cover_summary :
+  ?cap:int ->
+  Graph.Csr.t ->
+  start:int ->
+  trials:int ->
+  master:int ->
+  tag:string ->
+  Stats.Summary.t * int
+
+(** [salt_of ~tag] hashes an arbitrary tag into a trial-salt base so each
+    measurement series draws from its own region of seed space. *)
+val salt_of : tag:string -> int
+
+(** [ln] is natural log of an int, as float. *)
+val ln : int -> float

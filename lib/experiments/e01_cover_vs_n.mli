@@ -1,0 +1,5 @@
+(** E1 — COBRA cover time vs n on constant-degree expanders (Theorem 1):
+    cover time grows as Θ(log n), improving the O(log² n) of Dutta et
+    al. *)
+
+val spec : Spec.t

@@ -1,0 +1,4 @@
+(** E2 — degree independence (Theorem 1): the O(log n) cover bound holds
+    for every degree 3 <= r <= n-1, with no r in the bound. *)
+
+val spec : Spec.t

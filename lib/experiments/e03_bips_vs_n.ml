@@ -1,0 +1,63 @@
+module Scale = Simkit.Scale
+module Report = Simkit.Report
+
+let run ~scale ~master =
+  let ns =
+    Scale.pick scale
+      ~quick:[ 256; 512; 1024; 2048 ]
+      ~standard:[ 1024; 2048; 4096; 8192; 16384 ]
+      ~full:[ 4096; 8192; 16384; 32768; 65536; 131072 ]
+  in
+  let trials = Scale.pick scale ~quick:10 ~standard:30 ~full:100 in
+  let r = 3 in
+  Report.context [ ("r", string_of_int r); ("branching", "k=2");
+                   ("trials/n", string_of_int trials) ];
+  let table =
+    Stats.Table.create
+      [ "n"; "infec (mean ± ci95)"; "infec/ln n"; "cover (mean)"; "infec/cover" ]
+  in
+  let xs = ref [] and ys = ref [] in
+  List.iter
+    (fun n ->
+      (* Same graphs as E1 (same construction tag) so the comparison is
+         within one workload. *)
+      let g = Common.expander ~master ~tag:"e01" ~n ~r in
+      let infec, _ =
+        Common.infection_summary g ~branching:Cobra.Branching.cobra_k2 ~source:0
+          ~trials ~master ~tag:(Printf.sprintf "e03i:%d" n)
+      in
+      let cover, _ =
+        Common.cover_summary g ~branching:Cobra.Branching.cobra_k2 ~start:0 ~trials
+          ~master ~tag:(Printf.sprintf "e03c:%d" n)
+      in
+      let mi = Stats.Summary.mean infec and mc = Stats.Summary.mean cover in
+      xs := Float.of_int n :: !xs;
+      ys := mi :: !ys;
+      Stats.Table.add_row table
+        [
+          string_of_int n;
+          Report.mean_ci_cell infec;
+          Printf.sprintf "%.3f" (mi /. Common.ln n);
+          Report.float_cell mc;
+          Printf.sprintf "%.3f" (mi /. mc);
+        ])
+    ns;
+  Stats.Table.print table;
+  let xs = Array.of_list (List.rev !xs) and ys = Array.of_list (List.rev !ys) in
+  let fit = Stats.Regress.semilog xs ys in
+  Printf.printf "\nfit infec = a + b*ln n: %s\n"
+    (Format.asprintf "%a" Stats.Regress.pp fit);
+  Report.verdict ~pass:(fit.Stats.Regress.r2 > 0.95)
+    (Printf.sprintf "infection time is log-linear in n (R²=%.3f)"
+       fit.Stats.Regress.r2)
+
+let spec =
+  {
+    Spec.id = "E3";
+    slug = "bips-vs-n";
+    title = "BIPS infection time vs n, and its ratio to COBRA cover time";
+    claim =
+      "Theorem 2: infec(v) = O(log n / (1-lambda)^3) w.h.p.; by the \
+       Theorem 4 duality it has the same order as the COBRA cover time.";
+    run;
+  }

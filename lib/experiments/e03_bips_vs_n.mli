@@ -1,0 +1,4 @@
+(** E3 — BIPS infection time vs n (Theorem 2), side by side with COBRA
+    cover times: the duality says both are of the same order. *)
+
+val spec : Spec.t

@@ -1,0 +1,99 @@
+module Scale = Simkit.Scale
+module Report = Simkit.Report
+module B = Cobra.Branching
+
+let exact_part ~t_max =
+  let cases =
+    [
+      ("Petersen", Graph.Gen.petersen (), B.cobra_k2);
+      ("K_7", Graph.Gen.complete 7, B.cobra_k2);
+      ("C_9", Graph.Gen.cycle 9, B.cobra_k2);
+      ("Q_3", Graph.Gen.hypercube 3, B.cobra_k2);
+      ("circulant(9,{1,3})", Graph.Gen.circulant 9 [ 1; 3 ], B.cobra_k2);
+      ("Petersen k=3", Graph.Gen.petersen (), B.fixed 3);
+      ("Petersen 1+0.5", Graph.Gen.petersen (), B.one_plus 0.5);
+      ("C_7 1+0.25", Graph.Gen.cycle 7, B.one_plus 0.25);
+    ]
+  in
+  let table = Stats.Table.create [ "graph"; "branching"; "max |LHS - RHS|, t<=T" ] in
+  let worst = ref 0.0 in
+  List.iter
+    (fun (name, g, branching) ->
+      let gap = Cobra.Exact.duality_gap g ~branching ~t_max in
+      if gap > !worst then worst := gap;
+      Stats.Table.add_row table
+        [ name; B.to_string branching; Printf.sprintf "%.3e" gap ])
+    cases;
+  Stats.Table.print table;
+  !worst
+
+let mc_part ~scale ~master =
+  let n = Scale.pick scale ~quick:100 ~standard:200 ~full:500 in
+  let trials = Scale.pick scale ~quick:2000 ~standard:10000 ~full:50000 in
+  let ts = Scale.pick scale ~quick:[ 3; 6 ] ~standard:[ 3; 8 ] ~full:[ 3; 8; 14 ] in
+  let g = Common.expander ~master ~tag:"e04" ~n ~r:3 in
+  let rng = Simkit.Seeds.tagged_rng ~master ~tag:"e04:mc" in
+  let table =
+    Stats.Table.create
+      [ "t"; "u"; "v"; "P(Hit_u(v)>t) [COBRA]"; "P(u not in A_t) [BIPS]"; "CIs overlap" ]
+  in
+  let all_overlap = ref true in
+  List.iter
+    (fun t ->
+      for _ = 1 to 2 do
+        let u = Prng.Rng.int rng n in
+        let v = Prng.Rng.int rng n in
+        if u <> v then begin
+          let c =
+            Cobra.Duality.compare_at ~trials g ~branching:B.cobra_k2 ~u ~v ~t rng
+          in
+          let cobra_rate, bips_rate = Cobra.Duality.estimated_rates c in
+          let ci_c =
+            Stats.Ci.proportion_ci ~successes:c.Cobra.Duality.cobra_surviving
+              ~trials:c.Cobra.Duality.cobra_trials ()
+          in
+          let ci_b =
+            Stats.Ci.proportion_ci ~successes:c.Cobra.Duality.bips_absent
+              ~trials:c.Cobra.Duality.bips_trials ()
+          in
+          let overlap =
+            ci_c.Stats.Ci.lo <= ci_b.Stats.Ci.hi && ci_b.Stats.Ci.lo <= ci_c.Stats.Ci.hi
+          in
+          all_overlap := !all_overlap && overlap;
+          Stats.Table.add_row table
+            [
+              string_of_int t;
+              string_of_int u;
+              string_of_int v;
+              Printf.sprintf "%.4f" cobra_rate;
+              Printf.sprintf "%.4f" bips_rate;
+              (if overlap then "yes" else "NO");
+            ]
+        end
+      done)
+    ts;
+  Stats.Table.print table;
+  !all_overlap
+
+let run ~scale ~master =
+  let t_max = Scale.pick scale ~quick:8 ~standard:12 ~full:16 in
+  Printf.printf "-- exact check (dynamic programming over subsets) --\n";
+  let worst = exact_part ~t_max in
+  Printf.printf "\n-- Monte-Carlo check on a random 3-regular graph --\n";
+  let overlap = mc_part ~scale ~master in
+  Report.verdict
+    ~pass:(worst < 1e-9 && overlap)
+    (Printf.sprintf
+       "exact duality gap %.2e (< 1e-9); all Monte-Carlo 95%% CIs overlap: %b"
+       worst overlap)
+
+let spec =
+  {
+    Spec.id = "E4";
+    slug = "duality";
+    title = "COBRA-BIPS duality (Theorem 4)";
+    claim =
+      "Theorem 4: P(Hit_C(v) > t | C_0 = C) = P(C ∩ A_t = ∅ | A_0 = {v}) \
+       for every connected regular graph, branching parameter, C and t.";
+    run;
+  }

@@ -1,0 +1,4 @@
+(** E4 — Theorem 4's COBRA/BIPS duality: exactly on small graphs (DP over
+    subsets), statistically on larger graphs (paired Monte-Carlo). *)
+
+val spec : Spec.t

@@ -1,0 +1,4 @@
+(** E5 — fractional branching 1+ρ (Theorem 3): any constant ρ > 0 gives
+    O(log n) cover on expanders. *)
+
+val spec : Spec.t

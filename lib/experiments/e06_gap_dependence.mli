@@ -1,0 +1,4 @@
+(** E6 — dependence of cover/infection time on the spectral gap 1-λ,
+    against the theoretical ceiling log n / (1-λ)³. *)
+
+val spec : Spec.t

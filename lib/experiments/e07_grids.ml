@@ -1,0 +1,80 @@
+module Scale = Simkit.Scale
+module Report = Simkit.Report
+
+(* COBRA spreads ballistically on lattices: the active set's boundary
+   advances O(1) per round, so covering a d-dimensional torus takes
+   ~ side/2 = n^(1/d)/2 rounds (Dutta et al. prove O~(n^(1/d))). The
+   log-log regression of cover vs n should recover exponent ≈ 1/d per
+   dimension — a sharp contrast with E1's logarithmic profile. *)
+let families ~scale =
+  let cycle_sides =
+    Scale.pick ~quick:[ 128; 256; 512 ] ~standard:[ 256; 512; 1024; 2048; 4096 ]
+      ~full:[ 1024; 2048; 4096; 8192 ] scale
+  in
+  let torus2_sides =
+    Scale.pick ~quick:[ 8; 16; 24 ] ~standard:[ 16; 24; 32; 48; 64 ]
+      ~full:[ 32; 48; 64; 96; 128; 192 ] scale
+  in
+  let torus3_sides =
+    Scale.pick ~quick:[ 4; 6; 8 ] ~standard:[ 6; 8; 11; 16 ] ~full:[ 8; 11; 16; 23; 32 ] scale
+  in
+  [
+    ("cycle (d=1)", 1, List.map (fun s -> [| s |]) cycle_sides);
+    ("torus (d=2)", 2, List.map (fun s -> [| s; s |]) torus2_sides);
+    ("torus (d=3)", 3, List.map (fun s -> [| s; s; s |]) torus3_sides);
+  ]
+
+let run ~scale ~master =
+  let trials = Scale.pick scale ~quick:6 ~standard:15 ~full:25 in
+  Report.context [ ("branching", "k=2"); ("trials/size", string_of_int trials) ];
+  let all_ok = ref true in
+  List.iter
+    (fun (name, d, dims_list) ->
+      Printf.printf "-- %s --\n" name;
+      let table =
+        Stats.Table.create [ "n"; "side"; "cover (mean ± ci95)"; "cover/n^(1/d)" ]
+      in
+      let xs = ref [] and ys = ref [] in
+      List.iter
+        (fun dims ->
+          let n = Array.fold_left ( * ) 1 dims in
+          let g = if d = 1 then Graph.Gen.cycle dims.(0) else Graph.Gen.torus dims in
+          let cap = 100 + (20 * dims.(0)) in
+          let summary, _ =
+            Common.cover_summary ~cap g ~branching:Cobra.Branching.cobra_k2 ~start:0
+              ~trials ~master
+              ~tag:(Printf.sprintf "e07:%d:%d" d dims.(0))
+          in
+          let mean = Stats.Summary.mean summary in
+          xs := Float.of_int n :: !xs;
+          ys := mean :: !ys;
+          Stats.Table.add_row table
+            [
+              string_of_int n;
+              string_of_int dims.(0);
+              Report.mean_ci_cell summary;
+              Printf.sprintf "%.3f"
+                (mean /. (Float.of_int n ** (1.0 /. Float.of_int d)));
+            ])
+        dims_list;
+      Stats.Table.print table;
+      let xs = Array.of_list (List.rev !xs) and ys = Array.of_list (List.rev !ys) in
+      let fit = Stats.Regress.loglog xs ys in
+      let target = 1.0 /. Float.of_int d in
+      Printf.printf "log-log exponent: %.3f (theory ~ %.3f, up to polylog)  R²=%.4f\n\n"
+        fit.Stats.Regress.slope target fit.Stats.Regress.r2;
+      if Float.abs (fit.Stats.Regress.slope -. target) > 0.25 then all_ok := false)
+    (families ~scale);
+  Report.verdict ~pass:!all_ok
+    "every lattice family's fitted exponent is within 0.25 of 1/d"
+
+let spec =
+  {
+    Spec.id = "E7";
+    slug = "grids";
+    title = "Polynomial cover on d-dimensional tori (non-expanders)";
+    claim =
+      "Dutta et al. (cited comparison): on the d-dimensional grid the \
+       COBRA cover time is O~(n^(1/d)) — polynomial, unlike expanders.";
+    run;
+  }

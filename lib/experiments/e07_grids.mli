@@ -1,0 +1,4 @@
+(** E7 — non-expanders (Dutta et al. comparison): on d-dimensional tori
+    the cover time is polynomial, ~n^(1/d) up to polylog factors. *)
+
+val spec : Spec.t

@@ -1,0 +1,4 @@
+(** E8 — branching is essential: k = 1 (a plain random walk) needs
+    Ω(n log n) steps to cover, while k = 2 needs only O(log n) rounds. *)
+
+val spec : Spec.t

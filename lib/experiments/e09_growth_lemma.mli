@@ -1,0 +1,5 @@
+(** E9 — Lemma 1 / Corollary 1: the expected one-step growth of the BIPS
+    infected set, exact formula vs the spectral lower bound vs
+    simulation. *)
+
+val spec : Spec.t

@@ -1,0 +1,5 @@
+(** E10 — the epidemic motivation (Section 1, reference [9]): a
+    persistently infected animal drives a herd to full exposure, while a
+    transient index case usually burns out. *)
+
+val spec : Spec.t

@@ -1,0 +1,5 @@
+(** E11 — the transmission-budget motivation (Section 1): COBRA spreads as
+    fast as push-style broadcast while sending far fewer total messages,
+    because informed vertices fall silent until re-activated. *)
+
+val spec : Spec.t

@@ -1,0 +1,5 @@
+(** E12 — COBRA/BIPS vs the classical contact process (Section 1's
+    framing): the continuous-time contact process can die out; the
+    persistent source removes extinction, exactly as BIPS's does. *)
+
+val spec : Spec.t

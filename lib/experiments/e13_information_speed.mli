@@ -1,0 +1,5 @@
+(** E13 — information speed: COBRA hitting times against the two
+    deterministic lower bounds (BFS distance; doubling), showing the
+    O(log n) bound of Theorem 1 is asymptotically best possible. *)
+
+val spec : Spec.t

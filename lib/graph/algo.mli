@@ -1,0 +1,34 @@
+(** Classical graph algorithms over {!Csr.t}: traversal, connectivity,
+    distances, bipartiteness. *)
+
+(** [bfs g src] is the array of BFS distances from [src]; unreachable
+    vertices get [-1]. *)
+val bfs : Csr.t -> int -> int array
+
+(** [is_connected g] tests connectivity ([true] for the empty and the
+    one-vertex graph). *)
+val is_connected : Csr.t -> bool
+
+(** [components g] is [(comp, count)]: [comp.(v)] is the id (in
+    [0 .. count-1]) of [v]'s connected component. *)
+val components : Csr.t -> int array * int
+
+(** [eccentricity g v] is the largest BFS distance from [v]; raises
+    [Invalid_argument] if [g] is disconnected. *)
+val eccentricity : Csr.t -> int -> int
+
+(** [diameter g] is the exact diameter by all-pairs BFS (O(n·m); intended
+    for n up to a few thousand). Raises on disconnected input. *)
+val diameter : Csr.t -> int
+
+(** [pseudo_diameter g] is a lower bound on the diameter obtained by a
+    double BFS sweep; O(m). Raises on disconnected input. *)
+val pseudo_diameter : Csr.t -> int
+
+(** [is_bipartite g] tests 2-colourability. Relevant because the paper's
+    theorems require [λ < 1], which excludes bipartite graphs. *)
+val is_bipartite : Csr.t -> bool
+
+(** [average_distance g src] is the mean BFS distance from [src] to all
+    vertices. Raises on disconnected input. *)
+val average_distance : Csr.t -> int -> float

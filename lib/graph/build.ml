@@ -1,0 +1,44 @@
+type t = {
+  n : int;
+  us : Dstruct.Intvec.t;
+  vs : Dstruct.Intvec.t;
+  seen : (int, unit) Hashtbl.t; (* key: u * n + v with u < v *)
+  mutable finished : bool;
+}
+
+let create ~n =
+  if n < 0 then invalid_arg "Build.create: negative vertex count";
+  {
+    n;
+    us = Dstruct.Intvec.create ();
+    vs = Dstruct.Intvec.create ();
+    seen = Hashtbl.create 64;
+    finished = false;
+  }
+
+let check_live b = if b.finished then invalid_arg "Build: already finished"
+
+let n_vertices b = b.n
+let n_edges b = Dstruct.Intvec.length b.us
+
+let key b u v = if u < v then (u * b.n) + v else (v * b.n) + u
+
+let add_edge b u v =
+  check_live b;
+  if u < 0 || u >= b.n || v < 0 || v >= b.n then
+    invalid_arg "Build.add_edge: endpoint out of range";
+  if u = v then invalid_arg "Build.add_edge: self-loop";
+  Hashtbl.replace b.seen (key b u v) ();
+  Dstruct.Intvec.push b.us u;
+  Dstruct.Intvec.push b.vs v
+
+let mem_edge b u v =
+  check_live b;
+  Hashtbl.mem b.seen (key b u v)
+
+let finish b =
+  check_live b;
+  b.finished <- true;
+  Csr.of_edge_arrays ~n:b.n
+    ~us:(Dstruct.Intvec.to_array b.us)
+    ~vs:(Dstruct.Intvec.to_array b.vs)

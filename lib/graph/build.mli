@@ -1,0 +1,29 @@
+(** Mutable accumulator for constructing {!Csr.t} graphs edge by edge.
+
+    Generators push undirected edges into a builder and finalise once; the
+    builder stores endpoints in growable int vectors, so construction is
+    O(m) with no intermediate lists. *)
+
+type t
+
+(** [create ~n] starts an empty graph on [n] vertices. *)
+val create : n:int -> t
+
+(** [n_vertices b] is the vertex count fixed at creation. *)
+val n_vertices : t -> int
+
+(** [n_edges b] is the number of edges added so far. *)
+val n_edges : t -> int
+
+(** [add_edge b u v] records the undirected edge {u, v}. Endpoint range,
+    self-loops and duplicates are validated at {!finish} (duplicates cannot
+    be caught cheaply during accumulation). *)
+val add_edge : t -> int -> int -> unit
+
+(** [mem_edge b u v] tests whether {u, v} was already added. O(1) expected
+    (hash lookup); available to generators that must avoid duplicates. *)
+val mem_edge : t -> int -> int -> bool
+
+(** [finish b] validates and produces the immutable graph. The builder may
+    not be reused afterwards (subsequent operations raise). *)
+val finish : t -> Csr.t

@@ -1,0 +1,172 @@
+type t = {
+  n : int;
+  offsets : int array; (* length n + 1; adjacency of v at [offsets.(v), offsets.(v+1)) *)
+  adjacency : int array; (* sorted within each vertex's slice *)
+}
+
+let n_vertices g = g.n
+let n_edges g = Array.length g.adjacency / 2
+
+let check_vertex g v =
+  if v < 0 || v >= g.n then invalid_arg "Csr: vertex out of range"
+
+let degree g v =
+  check_vertex g v;
+  g.offsets.(v + 1) - g.offsets.(v)
+
+let nth_neighbour g v i =
+  let off = g.offsets.(v) in
+  if i < 0 || off + i >= g.offsets.(v + 1) then
+    invalid_arg "Csr.nth_neighbour: index out of range";
+  g.adjacency.(off + i)
+
+let random_neighbour g rng v =
+  let d = degree g v in
+  if d = 0 then invalid_arg "Csr.random_neighbour: isolated vertex";
+  Array.unsafe_get g.adjacency (g.offsets.(v) + Prng.Rng.int rng d)
+
+let mem_edge g u v =
+  check_vertex g u;
+  check_vertex g v;
+  let lo = ref g.offsets.(u) and hi = ref (g.offsets.(u + 1) - 1) in
+  let found = ref false in
+  while (not !found) && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let w = g.adjacency.(mid) in
+    if w = v then found := true
+    else if w < v then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let iter_neighbours g v ~f =
+  check_vertex g v;
+  for i = g.offsets.(v) to g.offsets.(v + 1) - 1 do
+    f g.adjacency.(i)
+  done
+
+let fold_neighbours g v ~init ~f =
+  let acc = ref init in
+  iter_neighbours g v ~f:(fun w -> acc := f !acc w);
+  !acc
+
+let neighbours g v =
+  check_vertex g v;
+  Array.sub g.adjacency g.offsets.(v) (g.offsets.(v + 1) - g.offsets.(v))
+
+let iter_edges g ~f =
+  for u = 0 to g.n - 1 do
+    iter_neighbours g u ~f:(fun v -> if u < v then f u v)
+  done
+
+let edges g =
+  let acc = ref [] in
+  iter_edges g ~f:(fun u v -> acc := (u, v) :: !acc);
+  List.rev !acc
+
+let regularity g =
+  if g.n = 0 then Some 0
+  else begin
+    let r = degree g 0 in
+    let rec go v = v >= g.n || (degree g v = r && go (v + 1)) in
+    if go 1 then Some r else None
+  end
+
+let max_degree g =
+  let best = ref 0 in
+  for v = 0 to g.n - 1 do
+    if degree g v > !best then best := degree g v
+  done;
+  !best
+
+let min_degree g =
+  if g.n = 0 then 0
+  else begin
+    let best = ref (degree g 0) in
+    for v = 1 to g.n - 1 do
+      if degree g v < !best then best := degree g v
+    done;
+    !best
+  end
+
+let degree_counts g =
+  let tbl = Hashtbl.create 16 in
+  for v = 0 to g.n - 1 do
+    let d = degree g v in
+    Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d))
+  done;
+  Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl []
+  |> List.sort compare
+
+let equal a b = a.n = b.n && a.offsets = b.offsets && a.adjacency = b.adjacency
+
+let unsafe_offsets g = g.offsets
+let unsafe_adjacency g = g.adjacency
+
+(* Shared constructor: counting sort of undirected edges into CSR slices
+   (each edge contributing two arcs), then per-vertex sort and simplicity
+   validation. [iter_given_edges f] must enumerate each undirected edge
+   exactly once. *)
+let of_edge_iter ~n iter_given_edges =
+  if n < 0 then invalid_arg "Csr: negative vertex count";
+  let deg = Array.make n 0 in
+  let m = ref 0 in
+  iter_given_edges (fun u v ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Csr: edge endpoint out of range";
+      if u = v then invalid_arg "Csr: self-loop";
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1;
+      incr m);
+  let offsets = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    offsets.(v + 1) <- offsets.(v) + deg.(v)
+  done;
+  let adjacency = Array.make offsets.(n) 0 in
+  let cursor = Array.copy offsets in
+  let place u v =
+    adjacency.(cursor.(u)) <- v;
+    cursor.(u) <- cursor.(u) + 1
+  in
+  iter_given_edges (fun u v ->
+      place u v;
+      place v u);
+  for v = 0 to n - 1 do
+    let lo = offsets.(v) and hi = offsets.(v + 1) in
+    let slice = Array.sub adjacency lo (hi - lo) in
+    Array.sort compare slice;
+    Array.blit slice 0 adjacency lo (hi - lo);
+    for i = lo to hi - 2 do
+      if adjacency.(i) = adjacency.(i + 1) then
+        invalid_arg "Csr: duplicate edge"
+    done
+  done;
+  { n; offsets; adjacency }
+
+let of_edges ~n edges =
+  of_edge_iter ~n (fun f -> List.iter (fun (u, v) -> f u v) edges)
+
+let of_edge_arrays ~n ~us ~vs =
+  if Array.length us <> Array.length vs then
+    invalid_arg "Csr.of_edge_arrays: length mismatch";
+  of_edge_iter ~n (fun f -> Array.iteri (fun i u -> f u vs.(i)) us)
+
+let relabel g perm =
+  if Array.length perm <> g.n then invalid_arg "Csr.relabel: size mismatch";
+  let seen = Array.make g.n false in
+  Array.iter
+    (fun p ->
+      if p < 0 || p >= g.n || seen.(p) then
+        invalid_arg "Csr.relabel: not a permutation";
+      seen.(p) <- true)
+    perm;
+  let mapped = ref [] in
+  iter_edges g ~f:(fun u v -> mapped := (perm.(u), perm.(v)) :: !mapped);
+  of_edges ~n:g.n !mapped
+
+let pp ppf g =
+  match regularity g with
+  | Some r -> Format.fprintf ppf "graph(n=%d, m=%d, %d-regular)" g.n (n_edges g) r
+  | None ->
+    Format.fprintf ppf "graph(n=%d, m=%d, deg %d..%d)" g.n (n_edges g)
+      (min_degree g) (max_degree g)

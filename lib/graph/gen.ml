@@ -1,0 +1,456 @@
+module Rng = Prng.Rng
+
+let complete n =
+  if n < 1 then invalid_arg "Gen.complete: n >= 1 required";
+  let b = Build.create ~n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      Build.add_edge b u v
+    done
+  done;
+  Build.finish b
+
+let cycle n =
+  if n < 3 then invalid_arg "Gen.cycle: n >= 3 required";
+  let b = Build.create ~n in
+  for v = 0 to n - 1 do
+    Build.add_edge b v ((v + 1) mod n)
+  done;
+  Build.finish b
+
+let path n =
+  if n < 1 then invalid_arg "Gen.path: n >= 1 required";
+  let b = Build.create ~n in
+  for v = 0 to n - 2 do
+    Build.add_edge b v (v + 1)
+  done;
+  Build.finish b
+
+let star n =
+  if n < 2 then invalid_arg "Gen.star: n >= 2 required";
+  let b = Build.create ~n in
+  for v = 1 to n - 1 do
+    Build.add_edge b 0 v
+  done;
+  Build.finish b
+
+let complete_bipartite a bb =
+  if a < 1 || bb < 1 then invalid_arg "Gen.complete_bipartite: parts >= 1";
+  let b = Build.create ~n:(a + bb) in
+  for u = 0 to a - 1 do
+    for v = a to a + bb - 1 do
+      Build.add_edge b u v
+    done
+  done;
+  Build.finish b
+
+let hypercube d =
+  if d < 0 || d > 20 then invalid_arg "Gen.hypercube: 0 <= d <= 20";
+  let n = 1 lsl d in
+  let b = Build.create ~n in
+  for x = 0 to n - 1 do
+    for i = 0 to d - 1 do
+      let y = x lxor (1 lsl i) in
+      if x < y then Build.add_edge b x y
+    done
+  done;
+  Build.finish b
+
+let folded_hypercube d =
+  if d < 2 || d > 20 then invalid_arg "Gen.folded_hypercube: 2 <= d <= 20";
+  let n = 1 lsl d in
+  let full = n - 1 in
+  let b = Build.create ~n in
+  for x = 0 to n - 1 do
+    for i = 0 to d - 1 do
+      let y = x lxor (1 lsl i) in
+      if x < y then Build.add_edge b x y
+    done;
+    let y = x lxor full in
+    if x < y then Build.add_edge b x y
+  done;
+  Build.finish b
+
+(* Row-major product of paths/cycles. [wrap] adds the closing edge of each
+   cycle; a side of length 2 never wraps (that would duplicate the edge),
+   and a side of length 1 contributes nothing. *)
+let lattice ~wrap dims =
+  Array.iter
+    (fun d -> if d < 1 then invalid_arg "Gen.lattice: sides must be >= 1")
+    dims;
+  let n = Array.fold_left ( * ) 1 dims in
+  let k = Array.length dims in
+  (* stride.(i) = product of dims.(i+1 ..) *)
+  let stride = Array.make k 1 in
+  for i = k - 2 downto 0 do
+    stride.(i) <- stride.(i + 1) * dims.(i + 1)
+  done;
+  let b = Build.create ~n in
+  let coord = Array.make k 0 in
+  for v = 0 to n - 1 do
+    (* Decode v into coordinates. *)
+    let rest = ref v in
+    for i = 0 to k - 1 do
+      coord.(i) <- !rest / stride.(i);
+      rest := !rest mod stride.(i)
+    done;
+    for i = 0 to k - 1 do
+      let side = dims.(i) in
+      if coord.(i) + 1 < side then Build.add_edge b v (v + stride.(i))
+      else if wrap && side > 2 then
+        (* Closing edge from the last layer back to layer 0. *)
+        Build.add_edge b v (v - ((side - 1) * stride.(i)))
+    done
+  done;
+  Build.finish b
+
+let torus dims = lattice ~wrap:true dims
+let grid dims = lattice ~wrap:false dims
+
+let binary_tree depth =
+  if depth < 0 || depth > 25 then invalid_arg "Gen.binary_tree: 0 <= depth <= 25";
+  let n = (1 lsl (depth + 1)) - 1 in
+  let b = Build.create ~n in
+  for v = 0 to n - 1 do
+    let left = (2 * v) + 1 and right = (2 * v) + 2 in
+    if left < n then Build.add_edge b v left;
+    if right < n then Build.add_edge b v right
+  done;
+  Build.finish b
+
+let circulant n offsets =
+  if n < 3 then invalid_arg "Gen.circulant: n >= 3 required";
+  let sorted = List.sort_uniq compare offsets in
+  if List.length sorted <> List.length offsets then
+    invalid_arg "Gen.circulant: duplicate offsets";
+  List.iter
+    (fun o ->
+      if o < 1 || o > n / 2 then
+        invalid_arg "Gen.circulant: offsets must lie in 1 .. n/2")
+    sorted;
+  let b = Build.create ~n in
+  List.iter
+    (fun o ->
+      if 2 * o = n then
+        (* Antipodal offset: each edge {i, i + n/2} exists once. *)
+        for i = 0 to (n / 2) - 1 do
+          Build.add_edge b i (i + o)
+        done
+      else
+        for i = 0 to n - 1 do
+          Build.add_edge b i ((i + o) mod n)
+        done)
+    sorted;
+  Build.finish b
+
+let petersen () =
+  (* Outer 5-cycle 0-4, inner pentagram 5-9, spokes i -- i+5. *)
+  let b = Build.create ~n:10 in
+  for i = 0 to 4 do
+    Build.add_edge b i ((i + 1) mod 5);
+    Build.add_edge b (5 + i) (5 + ((i + 2) mod 5));
+    Build.add_edge b i (i + 5)
+  done;
+  Build.finish b
+
+let add_clique b ~first ~size =
+  for u = first to first + size - 1 do
+    for v = u + 1 to first + size - 1 do
+      Build.add_edge b u v
+    done
+  done
+
+let ring_of_cliques ~cliques ~clique_size =
+  if cliques < 3 then invalid_arg "Gen.ring_of_cliques: cliques >= 3";
+  if clique_size < 3 then invalid_arg "Gen.ring_of_cliques: clique_size >= 3";
+  let n = cliques * clique_size in
+  let b = Build.create ~n in
+  for c = 0 to cliques - 1 do
+    let first = c * clique_size in
+    add_clique b ~first ~size:clique_size;
+    (* Bridge: second vertex of this clique to first vertex of the next. *)
+    let next_first = (c + 1) mod cliques * clique_size in
+    Build.add_edge b (first + 1) next_first
+  done;
+  Build.finish b
+
+let barbell ~clique_size ~path_len =
+  if clique_size < 3 then invalid_arg "Gen.barbell: clique_size >= 3";
+  if path_len < 0 then invalid_arg "Gen.barbell: path_len >= 0";
+  let n = (2 * clique_size) + path_len in
+  let b = Build.create ~n in
+  add_clique b ~first:0 ~size:clique_size;
+  add_clique b ~first:(clique_size + path_len) ~size:clique_size;
+  (* Path through vertices clique_size .. clique_size + path_len - 1. *)
+  let left_port = clique_size - 1 in
+  let right_port = clique_size + path_len in
+  let prev = ref left_port in
+  for v = clique_size to clique_size + path_len - 1 do
+    Build.add_edge b !prev v;
+    prev := v
+  done;
+  Build.add_edge b !prev right_port;
+  Build.finish b
+
+let lollipop ~clique_size ~path_len =
+  if clique_size < 3 then invalid_arg "Gen.lollipop: clique_size >= 3";
+  if path_len < 1 then invalid_arg "Gen.lollipop: path_len >= 1";
+  let n = clique_size + path_len in
+  let b = Build.create ~n in
+  add_clique b ~first:0 ~size:clique_size;
+  let prev = ref (clique_size - 1) in
+  for v = clique_size to n - 1 do
+    Build.add_edge b !prev v;
+    prev := v
+  done;
+  Build.finish b
+
+let wheel n =
+  if n < 4 then invalid_arg "Gen.wheel: n >= 4 required";
+  let b = Build.create ~n in
+  let rim = n - 1 in
+  for i = 0 to rim - 1 do
+    Build.add_edge b (1 + i) (1 + ((i + 1) mod rim));
+    Build.add_edge b 0 (1 + i)
+  done;
+  Build.finish b
+
+(* --- Random regular graphs: configuration model with repair. --------- *)
+
+(* The pairing is stored as two endpoint arrays. Edge multiplicities live
+   in a hashtable keyed by min*n+max (self-loops key v*n+v), so "is this
+   pair bad" and "would this swap create a duplicate" are O(1). A swap
+   replaces pairs (u1,v1),(u2,v2) by (u1,u2),(v1,v2) or (u1,v2),(v1,u2);
+   we commit only when both replacement edges are simple and new, so the
+   number of bad pairs strictly decreases and the loop terminates (with a
+   bounded-retry restart as a safety net). *)
+module Pairing = struct
+  type t = {
+    n : int;
+    e1 : int array;
+    e2 : int array;
+    counts : (int, int) Hashtbl.t;
+  }
+
+  let key t u v = if u <= v then (u * t.n) + v else (v * t.n) + u
+
+  let count t u v =
+    Option.value ~default:0 (Hashtbl.find_opt t.counts (key t u v))
+
+  let incr_edge t u v = Hashtbl.replace t.counts (key t u v) (count t u v + 1)
+
+  let decr_edge t u v =
+    let c = count t u v - 1 in
+    if c = 0 then Hashtbl.remove t.counts (key t u v)
+    else Hashtbl.replace t.counts (key t u v) c
+
+  let of_stubs n stubs =
+    let m = Array.length stubs / 2 in
+    let t =
+      {
+        n;
+        e1 = Array.init m (fun i -> stubs.(2 * i));
+        e2 = Array.init m (fun i -> stubs.((2 * i) + 1));
+        counts = Hashtbl.create (2 * m);
+      }
+    in
+    for i = 0 to m - 1 do
+      incr_edge t t.e1.(i) t.e2.(i)
+    done;
+    t
+
+  let is_bad t i =
+    let u = t.e1.(i) and v = t.e2.(i) in
+    u = v || count t u v > 1
+
+  (* A candidate replacement edge must not be a loop and must not already
+     exist after the two old pairs are conceptually removed. *)
+  let fresh t ~removed1 ~removed2 u v =
+    u <> v
+    &&
+    let k = key t u v in
+    let existing = count t u v in
+    let discount =
+      (if key t (fst removed1) (snd removed1) = k then 1 else 0)
+      + if key t (fst removed2) (snd removed2) = k then 1 else 0
+    in
+    existing - discount = 0
+
+  let try_swap t rng i =
+    let m = Array.length t.e1 in
+    let j = Rng.int rng m in
+    if j = i then false
+    else begin
+      let u1 = t.e1.(i) and v1 = t.e2.(i) in
+      let u2 = t.e1.(j) and v2 = t.e2.(j) in
+      let removed1 = (u1, v1) and removed2 = (u2, v2) in
+      let commit a1 b1 a2 b2 =
+        decr_edge t u1 v1;
+        decr_edge t u2 v2;
+        t.e1.(i) <- a1;
+        t.e2.(i) <- b1;
+        t.e1.(j) <- a2;
+        t.e2.(j) <- b2;
+        incr_edge t a1 b1;
+        incr_edge t a2 b2;
+        true
+      in
+      let ok a1 b1 a2 b2 =
+        fresh t ~removed1 ~removed2 a1 b1
+        && fresh t ~removed1 ~removed2 a2 b2
+        && key t a1 b1 <> key t a2 b2
+      in
+      if ok u1 u2 v1 v2 then commit u1 u2 v1 v2
+      else if ok u1 v2 v1 u2 then commit u1 v2 v1 u2
+      else false
+    end
+end
+
+let random_cycle rng n =
+  (* A uniformly labelled n-cycle: the connected 2-regular graph. *)
+  let order = Array.init n (fun i -> i) in
+  Prng.Sample.shuffle rng order;
+  let b = Build.create ~n in
+  for i = 0 to n - 1 do
+    Build.add_edge b order.(i) order.((i + 1) mod n)
+  done;
+  Build.finish b
+
+let random_regular rng ~n ~r =
+  if r < 2 || r >= n then invalid_arg "Gen.random_regular: need 2 <= r < n";
+  if n * r mod 2 <> 0 then invalid_arg "Gen.random_regular: n * r must be even";
+  if r = 2 then random_cycle rng n
+  else begin
+    let attempt () =
+      let stubs = Array.init (n * r) (fun i -> i / r) in
+      Prng.Sample.shuffle rng stubs;
+      let t = Pairing.of_stubs n stubs in
+      let m = Array.length t.Pairing.e1 in
+      (* Repair loop over bad pairs; each successful swap reduces the bad
+         count by at least one. Give up (None) after too many failures. *)
+      let budget = ref (200 * m) in
+      let rec fix_all () =
+        let bad = ref None in
+        (try
+           for i = 0 to m - 1 do
+             if Pairing.is_bad t i then begin
+               bad := Some i;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        match !bad with
+        | None -> true
+        | Some i ->
+          let rec attempt_swap () =
+            if !budget <= 0 then false
+            else begin
+              decr budget;
+              if Pairing.try_swap t rng i then true else attempt_swap ()
+            end
+          in
+          attempt_swap () && fix_all ()
+      in
+      if not (fix_all ()) then None
+      else begin
+        let g = Csr.of_edge_arrays ~n ~us:t.Pairing.e1 ~vs:t.Pairing.e2 in
+        if Algo.is_connected g then Some g else None
+      end
+    in
+    let rec loop tries =
+      if tries > 1000 then
+        failwith "Gen.random_regular: could not produce a connected simple graph"
+      else
+        match attempt () with Some g -> g | None -> loop (tries + 1)
+    in
+    loop 0
+  end
+
+let erdos_renyi rng ~n ~p =
+  if n < 0 then invalid_arg "Gen.erdos_renyi: n >= 0";
+  if p < 0.0 || p > 1.0 then invalid_arg "Gen.erdos_renyi: p outside [0,1]";
+  let b = Build.create ~n in
+  if p > 0.0 then begin
+    (* Batagelj–Brandes skipping over the linearised strict upper
+       triangle: jump geometric(p) non-edges between successive edges. *)
+    let total = n * (n - 1) / 2 in
+    let row_of = Array.make n 0 in
+    (* prefix.(u) = number of pairs (u', v) with u' < u. *)
+    let prefix = Array.make (n + 1) 0 in
+    for u = 0 to n - 1 do
+      prefix.(u + 1) <- prefix.(u) + (n - 1 - u);
+      row_of.(u) <- prefix.(u)
+    done;
+    let decode idx =
+      (* Binary search for the row containing linear index idx. *)
+      let lo = ref 0 and hi = ref (n - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi + 1) / 2 in
+        if prefix.(mid) <= idx then lo := mid else hi := mid - 1
+      done;
+      let u = !lo in
+      (u, u + 1 + (idx - prefix.(u)))
+    in
+    if p >= 1.0 then
+      for idx = 0 to total - 1 do
+        let u, v = decode idx in
+        Build.add_edge b u v
+      done
+    else begin
+      let idx = ref (Prng.Dist.geometric rng p) in
+      while !idx < total do
+        let u, v = decode !idx in
+        Build.add_edge b u v;
+        idx := !idx + 1 + Prng.Dist.geometric rng p
+      done
+    end
+  end;
+  Build.finish b
+
+let rewire rng g ~swaps =
+  if swaps < 0 then invalid_arg "Gen.rewire: swaps >= 0";
+  let n = Csr.n_vertices g in
+  let edges = Array.of_list (Csr.edges g) in
+  let m = Array.length edges in
+  if m >= 2 then begin
+    let key u v = if u < v then (u * n) + v else (v * n) + u in
+    let present = Hashtbl.create (2 * m) in
+    Array.iter (fun (u, v) -> Hashtbl.replace present (key u v) ()) edges;
+    for _ = 1 to swaps do
+      let i = Rng.int rng m and j = Rng.int rng m in
+      if i <> j then begin
+        let a, b = edges.(i) and c, d = edges.(j) in
+        (* Orient the second edge at random so both pairings are
+           reachable. *)
+        let c, d = if Rng.bool rng then (c, d) else (d, c) in
+        let ok =
+          a <> c && a <> d && b <> c && b <> d
+          && (not (Hashtbl.mem present (key a c)))
+          && not (Hashtbl.mem present (key b d))
+        in
+        if ok then begin
+          Hashtbl.remove present (key a b);
+          Hashtbl.remove present (key c d);
+          Hashtbl.replace present (key a c) ();
+          Hashtbl.replace present (key b d) ();
+          edges.(i) <- (min a c, max a c);
+          edges.(j) <- (min b d, max b d)
+        end
+      end
+    done
+  end;
+  Csr.of_edge_arrays ~n ~us:(Array.map fst edges) ~vs:(Array.map snd edges)
+
+let gnm rng ~n ~m =
+  let total = n * (n - 1) / 2 in
+  if m < 0 || m > total then invalid_arg "Gen.gnm: m outside [0, n(n-1)/2]";
+  let b = Build.create ~n in
+  let added = ref 0 in
+  while !added < m do
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v && not (Build.mem_edge b u v) then begin
+      Build.add_edge b u v;
+      incr added
+    end
+  done;
+  Build.finish b

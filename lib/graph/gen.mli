@@ -1,0 +1,118 @@
+(** Graph families used throughout the reproduction.
+
+    The paper's statements quantify over r-regular graphs with spectral gap
+    [1 - λ]; the generators below provide concrete families spanning the
+    relevant regimes:
+
+    - constant gap, any degree: {!complete}, {!random_regular},
+      {!circulant} with spread offsets, {!petersen};
+    - shrinking gap: {!circulant} with few offsets, {!ring_of_cliques},
+      {!torus};
+    - non-expanders (the Dutta et al. comparison): {!cycle}, {!grid},
+      {!torus}, {!path}, {!barbell}, {!lollipop};
+    - spectral test oracles (closed-form eigenvalues): {!complete},
+      {!cycle}, {!hypercube}, {!complete_bipartite}, {!circulant},
+      {!torus}.
+
+    All generators return simple connected graphs unless documented
+    otherwise, and raise [Invalid_argument] on parameters outside their
+    stated domain. *)
+
+(** [complete n] is K_n, (n-1)-regular; [n >= 1]. *)
+val complete : int -> Csr.t
+
+(** [cycle n] is C_n, 2-regular; [n >= 3]. Bipartite iff [n] even. *)
+val cycle : int -> Csr.t
+
+(** [path n] is the path on [n >= 1] vertices. *)
+val path : int -> Csr.t
+
+(** [star n] is the star with centre 0 and [n - 1] leaves; [n >= 2]. *)
+val star : int -> Csr.t
+
+(** [complete_bipartite a b] is K_{a,b} with parts [0..a-1] and
+    [a..a+b-1]; [a, b >= 1]. Bipartite, hence λ = 1. *)
+val complete_bipartite : int -> int -> Csr.t
+
+(** [hypercube d] is the d-dimensional cube on 2^d vertices, d-regular and
+    bipartite; [0 <= d <= 20]. Vertex x is adjacent to [x lxor (1 lsl i)]. *)
+val hypercube : int -> Csr.t
+
+(** [folded_hypercube d] is Q_d plus an edge from every vertex to its
+    bitwise complement: (d+1)-regular on 2^d vertices, diameter ⌈d/2⌉,
+    walk eigenvalues [((d - 2k) + (-1)^k) / (d+1)]. For {e even} [d] the
+    complement edge joins same-parity vertices, so the graph is
+    non-bipartite with λ = (d-1)/(d+1) — an explicit deterministic
+    expander family with closed-form gap [2/(d+1)] (odd [d] stays
+    bipartite, λ = 1). Requires [2 <= d <= 20]. *)
+val folded_hypercube : int -> Csr.t
+
+(** [torus dims] is the product of cycles with side lengths [dims]
+    (non-trivial dims must be [>= 2]; a side of 2 contributes a single edge,
+    not a doubled one). 2d-regular when all sides are [>= 3]. Vertex
+    numbering is row-major. *)
+val torus : int array -> Csr.t
+
+(** [grid dims] is the non-wrapping product of paths, row-major. *)
+val grid : int array -> Csr.t
+
+(** [binary_tree depth] is the complete binary tree with
+    [2^(depth+1) - 1] vertices; root 0, children of [v] at [2v+1], [2v+2];
+    [0 <= depth <= 25]. *)
+val binary_tree : int -> Csr.t
+
+(** [circulant n offsets] has vertex [i] adjacent to [i ± o mod n] for each
+    [o] in [offsets]. Offsets must be distinct, in [1 .. n/2]. Degree is
+    [2 * |offsets|], minus one per vertex if [n/2] is an offset (and n
+    even). Eigenvalues of the walk matrix are
+    [(Σ_o 2cos(2π o j / n)) / r], which makes this the tunable-gap regular
+    family of experiment E6. *)
+val circulant : int -> int list -> Csr.t
+
+(** [petersen ()] is the Petersen graph: 10 vertices, 3-regular,
+    λ = max(|1/3|, |−2/3|) = 2/3. *)
+val petersen : unit -> Csr.t
+
+(** [ring_of_cliques ~cliques ~clique_size] joins [cliques >= 3] copies of
+    K_{clique_size} ([clique_size >= 3]) in a ring, one bridge edge between
+    consecutive cliques. Connected, non-regular (bridge endpoints have one
+    extra edge), with a spectral gap shrinking as the ring grows — a
+    bottleneck family. *)
+val ring_of_cliques : cliques:int -> clique_size:int -> Csr.t
+
+(** [barbell ~clique_size ~path_len] is two K_{clique_size} joined by a
+    path of [path_len] extra vertices ([path_len >= 0];
+    [clique_size >= 3]). *)
+val barbell : clique_size:int -> path_len:int -> Csr.t
+
+(** [lollipop ~clique_size ~path_len] is K_{clique_size} with a pendant
+    path of [path_len >= 1] vertices. *)
+val lollipop : clique_size:int -> path_len:int -> Csr.t
+
+(** [wheel n] is C_{n-1} plus a hub adjacent to every rim vertex;
+    [n >= 4]. *)
+val wheel : int -> Csr.t
+
+(** [random_regular rng ~n ~r] draws a simple connected r-regular graph on
+    [n] vertices via the configuration model with pairwise edge-swap repair
+    of self-loops and multi-edges, retrying until connected. Requires
+    [3 <= r < n] and [n * r] even (the paper's degree range; [r = 2] is
+    special-cased to a uniformly labelled cycle). For [r >= 3] the result
+    is an expander with high probability. *)
+val random_regular : Prng.Rng.t -> n:int -> r:int -> Csr.t
+
+(** [erdos_renyi rng ~n ~p] draws G(n, p) by geometric edge skipping,
+    O(n + m) expected. Not necessarily connected. *)
+val erdos_renyi : Prng.Rng.t -> n:int -> p:float -> Csr.t
+
+(** [gnm rng ~n ~m] draws a uniform graph with exactly [m] distinct edges;
+    requires [0 <= m <= n(n-1)/2]. Not necessarily connected. *)
+val gnm : Prng.Rng.t -> n:int -> m:int -> Csr.t
+
+(** [rewire rng g ~swaps] applies [swaps] random double-edge swaps
+    ({a,b},{c,d} → {a,c},{b,d}), each accepted only if it keeps the graph
+    simple. Degrees are preserved exactly; enough accepted swaps
+    randomise the graph towards a uniform one with the same degree
+    sequence — an interpolation between structured and random used by the
+    gap experiments and by tests. Connectivity is {e not} guaranteed. *)
+val rewire : Prng.Rng.t -> Csr.t -> swaps:int -> Csr.t

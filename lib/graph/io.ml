@@ -1,0 +1,59 @@
+let to_edge_list g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%d %d\n" (Csr.n_vertices g) (Csr.n_edges g));
+  Csr.iter_edges g ~f:(fun u v -> Buffer.add_string buf (Printf.sprintf "%d %d\n" u v));
+  Buffer.contents buf
+
+let parse_error line msg = failwith (Printf.sprintf "edge list, line %d: %s" line msg)
+
+let of_edge_list s =
+  let lines = String.split_on_char '\n' s in
+  let header = ref None in
+  let edges = ref [] in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line = String.trim line in
+      if line <> "" && line.[0] <> '#' then
+        match String.split_on_char ' ' line |> List.filter (fun t -> t <> "") with
+        | [ a; b ] -> begin
+          match (int_of_string_opt a, int_of_string_opt b) with
+          | Some x, Some y ->
+            if !header = None then header := Some (x, y)
+            else edges := (x, y) :: !edges
+          | _ -> parse_error lineno "expected two integers"
+        end
+        | _ -> parse_error lineno "expected two fields")
+    lines;
+  match !header with
+  | None -> failwith "edge list: missing header line"
+  | Some (n, m) ->
+    let edges = List.rev !edges in
+    if List.length edges <> m then
+      failwith
+        (Printf.sprintf "edge list: header declares %d edges, found %d" m
+           (List.length edges));
+    Csr.of_edges ~n edges
+
+let write_edge_list out g = output_string out (to_edge_list g)
+
+let read_edge_list inc =
+  let buf = Buffer.create 1024 in
+  (try
+     while true do
+       Buffer.add_channel buf inc 1
+     done
+   with End_of_file -> ());
+  of_edge_list (Buffer.contents buf)
+
+let to_dot ?(name = "g") g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n" name);
+  for v = 0 to Csr.n_vertices g - 1 do
+    if Csr.degree g v = 0 then Buffer.add_string buf (Printf.sprintf "  %d;\n" v)
+  done;
+  Csr.iter_edges g ~f:(fun u v ->
+      Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" u v));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

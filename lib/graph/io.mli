@@ -1,0 +1,21 @@
+(** Plain-text interchange for graphs.
+
+    Edge-list format: first line [n m], then one [u v] pair per line with
+    [0 <= u < v < n]. Lines starting with [#] and blank lines are ignored
+    on input. *)
+
+(** [to_edge_list g] renders the graph in edge-list format. *)
+val to_edge_list : Csr.t -> string
+
+(** [of_edge_list s] parses edge-list format; raises [Failure] with a
+    line-numbered message on malformed input. *)
+val of_edge_list : string -> Csr.t
+
+(** [write_edge_list out g] writes edge-list format to a channel. *)
+val write_edge_list : out_channel -> Csr.t -> unit
+
+(** [read_edge_list inc] reads edge-list format from a channel. *)
+val read_edge_list : in_channel -> Csr.t
+
+(** [to_dot ?name g] renders Graphviz [graph] syntax. *)
+val to_dot : ?name:string -> Csr.t -> string

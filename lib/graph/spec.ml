@@ -1,0 +1,186 @@
+type t =
+  | Complete of int
+  | Cycle of int
+  | Path of int
+  | Star of int
+  | Wheel of int
+  | Hypercube of int
+  | Folded_hypercube of int
+  | Binary_tree of int
+  | Petersen
+  | Torus of int array
+  | Grid of int array
+  | Circulant of int * int list
+  | Complete_bipartite of int * int
+  | Ring_of_cliques of int * int
+  | Barbell of int * int
+  | Lollipop of int * int
+  | Random_regular of int * int
+  | Erdos_renyi of int * float
+  | Gnm of int * int
+
+let syntax_help =
+  "graph descriptions: complete:N cycle:N path:N star:N wheel:N \
+   hypercube:D folded-hypercube:D binary-tree:D petersen torus:AxB[xC..] grid:AxB[xC..] \
+   circulant:N:o1+o2+.. complete-bipartite:AxB ring-of-cliques:CxS \
+   barbell:SxP lollipop:SxP random-regular:NxR er:N:P gnm:NxM"
+
+let ( let* ) = Result.bind
+
+let int_field name s =
+  match int_of_string_opt s with
+  | Some v when v >= 0 -> Ok v
+  | _ -> Error (Printf.sprintf "%s: expected a non-negative integer, got %S" name s)
+
+let float_field name s =
+  match float_of_string_opt s with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s: expected a number, got %S" name s)
+
+let dims_of name s =
+  let parts = String.split_on_char 'x' s in
+  if parts = [] then Error (name ^ ": empty dimension list")
+  else begin
+    let rec go acc = function
+      | [] -> Ok (Array.of_list (List.rev acc))
+      | p :: rest ->
+        let* v = int_field name p in
+        go (v :: acc) rest
+    in
+    go [] parts
+  end
+
+let pair_of name s =
+  let* dims = dims_of name s in
+  if Array.length dims = 2 then Ok (dims.(0), dims.(1))
+  else Error (Printf.sprintf "%s: expected AxB, got %S" name s)
+
+let offsets_of s =
+  let parts = String.split_on_char '+' s in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | p :: rest ->
+      let* v = int_field "circulant offset" p in
+      go (v :: acc) rest
+  in
+  go [] parts
+
+let parse s =
+  let s = String.trim (String.lowercase_ascii s) in
+  match String.split_on_char ':' s with
+  | [ "petersen" ] -> Ok Petersen
+  | [ "complete"; n ] ->
+    let* n = int_field "complete" n in
+    Ok (Complete n)
+  | [ "cycle"; n ] ->
+    let* n = int_field "cycle" n in
+    Ok (Cycle n)
+  | [ "path"; n ] ->
+    let* n = int_field "path" n in
+    Ok (Path n)
+  | [ "star"; n ] ->
+    let* n = int_field "star" n in
+    Ok (Star n)
+  | [ "wheel"; n ] ->
+    let* n = int_field "wheel" n in
+    Ok (Wheel n)
+  | [ "hypercube"; d ] ->
+    let* d = int_field "hypercube" d in
+    Ok (Hypercube d)
+  | [ "folded-hypercube"; d ] ->
+    let* d = int_field "folded-hypercube" d in
+    Ok (Folded_hypercube d)
+  | [ "binary-tree"; d ] ->
+    let* d = int_field "binary-tree" d in
+    Ok (Binary_tree d)
+  | [ "torus"; dims ] ->
+    let* dims = dims_of "torus" dims in
+    Ok (Torus dims)
+  | [ "grid"; dims ] ->
+    let* dims = dims_of "grid" dims in
+    Ok (Grid dims)
+  | [ "circulant"; n; offs ] ->
+    let* n = int_field "circulant" n in
+    let* offs = offsets_of offs in
+    Ok (Circulant (n, offs))
+  | [ "complete-bipartite"; ab ] ->
+    let* a, b = pair_of "complete-bipartite" ab in
+    Ok (Complete_bipartite (a, b))
+  | [ "ring-of-cliques"; cs ] ->
+    let* c, s = pair_of "ring-of-cliques" cs in
+    Ok (Ring_of_cliques (c, s))
+  | [ "barbell"; sp ] ->
+    let* s, p = pair_of "barbell" sp in
+    Ok (Barbell (s, p))
+  | [ "lollipop"; sp ] ->
+    let* s, p = pair_of "lollipop" sp in
+    Ok (Lollipop (s, p))
+  | [ "random-regular"; nr ] ->
+    let* n, r = pair_of "random-regular" nr in
+    Ok (Random_regular (n, r))
+  | [ "er"; n; p ] ->
+    let* n = int_field "er" n in
+    let* p = float_field "er" p in
+    Ok (Erdos_renyi (n, p))
+  | [ "gnm"; nm ] ->
+    let* n, m = pair_of "gnm" nm in
+    Ok (Gnm (n, m))
+  | _ -> Error (Printf.sprintf "cannot parse graph description %S; %s" s syntax_help)
+
+let is_random = function
+  | Random_regular _ | Erdos_renyi _ | Gnm _ -> true
+  | Complete _ | Cycle _ | Path _ | Star _ | Wheel _ | Hypercube _
+  | Folded_hypercube _ | Binary_tree _
+  | Petersen | Torus _ | Grid _ | Circulant _ | Complete_bipartite _
+  | Ring_of_cliques _ | Barbell _ | Lollipop _ ->
+    false
+
+let build spec rng =
+  try
+    Ok
+      (match spec with
+      | Complete n -> Gen.complete n
+      | Cycle n -> Gen.cycle n
+      | Path n -> Gen.path n
+      | Star n -> Gen.star n
+      | Wheel n -> Gen.wheel n
+      | Hypercube d -> Gen.hypercube d
+      | Folded_hypercube d -> Gen.folded_hypercube d
+      | Binary_tree d -> Gen.binary_tree d
+      | Petersen -> Gen.petersen ()
+      | Torus dims -> Gen.torus dims
+      | Grid dims -> Gen.grid dims
+      | Circulant (n, offs) -> Gen.circulant n offs
+      | Complete_bipartite (a, b) -> Gen.complete_bipartite a b
+      | Ring_of_cliques (c, s) -> Gen.ring_of_cliques ~cliques:c ~clique_size:s
+      | Barbell (s, p) -> Gen.barbell ~clique_size:s ~path_len:p
+      | Lollipop (s, p) -> Gen.lollipop ~clique_size:s ~path_len:p
+      | Random_regular (n, r) -> Gen.random_regular rng ~n ~r
+      | Erdos_renyi (n, p) -> Gen.erdos_renyi rng ~n ~p
+      | Gnm (n, m) -> Gen.gnm rng ~n ~m)
+  with Invalid_argument msg | Failure msg -> Error msg
+
+let to_string = function
+  | Complete n -> Printf.sprintf "complete:%d" n
+  | Cycle n -> Printf.sprintf "cycle:%d" n
+  | Path n -> Printf.sprintf "path:%d" n
+  | Star n -> Printf.sprintf "star:%d" n
+  | Wheel n -> Printf.sprintf "wheel:%d" n
+  | Hypercube d -> Printf.sprintf "hypercube:%d" d
+  | Folded_hypercube d -> Printf.sprintf "folded-hypercube:%d" d
+  | Binary_tree d -> Printf.sprintf "binary-tree:%d" d
+  | Petersen -> "petersen"
+  | Torus dims ->
+    "torus:" ^ String.concat "x" (Array.to_list (Array.map string_of_int dims))
+  | Grid dims ->
+    "grid:" ^ String.concat "x" (Array.to_list (Array.map string_of_int dims))
+  | Circulant (n, offs) ->
+    Printf.sprintf "circulant:%d:%s" n
+      (String.concat "+" (List.map string_of_int offs))
+  | Complete_bipartite (a, b) -> Printf.sprintf "complete-bipartite:%dx%d" a b
+  | Ring_of_cliques (c, s) -> Printf.sprintf "ring-of-cliques:%dx%d" c s
+  | Barbell (s, p) -> Printf.sprintf "barbell:%dx%d" s p
+  | Lollipop (s, p) -> Printf.sprintf "lollipop:%dx%d" s p
+  | Random_regular (n, r) -> Printf.sprintf "random-regular:%dx%d" n r
+  | Erdos_renyi (n, p) -> Printf.sprintf "er:%d:%g" n p
+  | Gnm (n, m) -> Printf.sprintf "gnm:%dx%d" n m

@@ -1,0 +1,31 @@
+(** Textual graph descriptions, the CLI's [--graph] argument.
+
+    Grammar (sizes are positive integers):
+    - ["complete:N"], ["cycle:N"], ["path:N"], ["star:N"], ["wheel:N"]
+    - ["hypercube:D"], ["folded-hypercube:D"], ["binary-tree:D"]
+    - ["petersen"]
+    - ["torus:AxB"], ["torus:AxBxC"], ["grid:AxB..."]
+    - ["circulant:N:o1+o2+..."]
+    - ["complete-bipartite:AxB"]
+    - ["ring-of-cliques:CxS"], ["barbell:SxP"], ["lollipop:SxP"]
+    - ["random-regular:NxR"], ["er:N:P"], ["gnm:NxM"] (randomised — they
+      consume the provided stream) *)
+
+type t
+
+(** [parse s] validates the description without building the graph. *)
+val parse : string -> (t, string) result
+
+(** [is_random spec] — whether building consumes randomness. *)
+val is_random : t -> bool
+
+(** [build spec rng] constructs the graph ([rng] is unused for
+    deterministic families). Generator preconditions (e.g. [n*r] even)
+    surface as [Error _]. *)
+val build : t -> Prng.Rng.t -> (Csr.t, string) result
+
+(** [to_string spec] re-renders the canonical description. *)
+val to_string : t -> string
+
+(** [syntax_help] is a short usage text listing the grammar. *)
+val syntax_help : string

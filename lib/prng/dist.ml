@@ -1,0 +1,82 @@
+let bernoulli rng p = if Rng.bernoulli rng p then 1 else 0
+
+let binomial_exact rng n p =
+  let count = ref 0 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng p then incr count
+  done;
+  !count
+
+let rec normal_pair rng =
+  (* Box–Muller, polar (Marsaglia) form: rejection inside the unit disc. *)
+  let u = Rng.float_range rng ~lo:(-1.0) ~hi:1.0 in
+  let v = Rng.float_range rng ~lo:(-1.0) ~hi:1.0 in
+  let s = (u *. u) +. (v *. v) in
+  if s >= 1.0 || s = 0.0 then normal_pair rng
+  else
+    let scale = sqrt (-2.0 *. log s /. s) in
+    (u *. scale, v *. scale)
+
+let normal rng ~mu ~sigma =
+  let z, _ = normal_pair rng in
+  mu +. (sigma *. z)
+
+let binomial rng ~n ~p =
+  if n < 0 then invalid_arg "Dist.binomial: n < 0";
+  if p < 0.0 || p > 1.0 then invalid_arg "Dist.binomial: p outside [0,1]";
+  if p = 0.0 then 0
+  else if p = 1.0 then n
+  else if n <= 256 then binomial_exact rng n p
+  else begin
+    let mean = Float.of_int n *. p in
+    let sd = sqrt (mean *. (1.0 -. p)) in
+    if mean < 32.0 || Float.of_int n -. mean < 32.0 then binomial_exact rng n p
+    else
+      let z = normal rng ~mu:mean ~sigma:sd in
+      let k = Float.to_int (Float.round z) in
+      if k < 0 then 0 else if k > n then n else k
+  end
+
+let geometric rng p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Dist.geometric: p outside (0,1]";
+  if p = 1.0 then 0
+  else
+    (* Inversion: floor(log U / log (1 - p)) failures before first success. *)
+    let u = 1.0 -. Rng.float rng (* in (0, 1] *) in
+    Float.to_int (Float.floor (log u /. log (1.0 -. p)))
+
+let rec poisson rng lambda =
+  if lambda < 0.0 then invalid_arg "Dist.poisson: negative lambda";
+  if lambda = 0.0 then 0
+  else if lambda > 30.0 then
+    (* Poisson(a + b) = Poisson(a) + Poisson(b): halve until Knuth's
+       product method is numerically safe. *)
+    poisson rng (lambda /. 2.0) + poisson rng (lambda /. 2.0)
+  else begin
+    let threshold = exp (-.lambda) in
+    let rec go k prod =
+      let prod = prod *. Rng.float rng in
+      if prod <= threshold then k else go (k + 1) prod
+    in
+    go 0 1.0
+  end
+
+let exponential rng ~rate =
+  if rate <= 0.0 then invalid_arg "Dist.exponential: rate must be positive";
+  -.log (1.0 -. Rng.float rng) /. rate
+
+let categorical rng weights =
+  let total = Array.fold_left (fun acc w ->
+      if w < 0.0 then invalid_arg "Dist.categorical: negative weight";
+      acc +. w)
+      0.0 weights
+  in
+  if total <= 0.0 then invalid_arg "Dist.categorical: weights sum to zero";
+  let x = Rng.float rng *. total in
+  let rec go i acc =
+    if i = Array.length weights - 1 then i
+    else
+      let acc = acc +. weights.(i) in
+      if x < acc then i else go (i + 1) acc
+  in
+  go 0 0.0

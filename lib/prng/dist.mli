@@ -1,0 +1,34 @@
+(** Samplers for the standard distributions used by the simulators and the
+    workload generators.
+
+    Every sampler consumes randomness from an explicit {!Rng.t}. *)
+
+(** [bernoulli rng p] is 1 with probability [p], else 0. *)
+val bernoulli : Rng.t -> float -> int
+
+(** [binomial rng ~n ~p] draws Binomial(n, p). Exact (sum of Bernoulli
+    draws) for [n <= 256] or when [n*p] is small; otherwise a
+    normal-approximation draw clamped to [0, n], adequate for the workload
+    generation it serves. Requires [n >= 0] and [0 <= p <= 1]. *)
+val binomial : Rng.t -> n:int -> p:float -> int
+
+(** [geometric rng p] draws the number of failures before the first success
+    of a Bernoulli(p) sequence (support {0, 1, ...}). Requires
+    [0 < p <= 1]. *)
+val geometric : Rng.t -> float -> int
+
+(** [poisson rng lambda] draws Poisson(lambda), [lambda >= 0]. Exact:
+    Knuth's product method, with recursive halving for large [lambda] using
+    Poisson additivity. *)
+val poisson : Rng.t -> float -> int
+
+(** [exponential rng ~rate] draws Exp(rate), [rate > 0]. *)
+val exponential : Rng.t -> rate:float -> float
+
+(** [normal rng ~mu ~sigma] draws N(mu, sigma^2) by Box–Muller. *)
+val normal : Rng.t -> mu:float -> sigma:float -> float
+
+(** [categorical rng weights] draws an index with probability proportional
+    to [weights.(i)]; weights must be non-negative with positive sum. Linear
+    scan — build an {!Sample.Alias} table for repeated draws. *)
+val categorical : Rng.t -> float array -> int

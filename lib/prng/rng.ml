@@ -1,0 +1,19 @@
+type t = Splitmix.t
+
+let create = Splitmix.create
+let split = Splitmix.split
+let copy = Splitmix.copy
+let int = Splitmix.int
+let float = Splitmix.float
+let bool = Splitmix.bool
+let bits = Splitmix.bits62
+
+let int_in_range t ~lo ~hi =
+  if lo > hi then invalid_arg "Rng.int_in_range: lo > hi";
+  lo + Splitmix.int t (hi - lo + 1)
+
+let float_range t ~lo ~hi =
+  if lo > hi then invalid_arg "Rng.float_range: lo > hi";
+  lo +. (Splitmix.float t *. (hi -. lo))
+
+let bernoulli t p = if p <= 0.0 then false else if p >= 1.0 then true else Splitmix.float t < p

@@ -1,0 +1,39 @@
+(** The repository's random-stream abstraction.
+
+    A [Rng.t] is a deterministic, splittable stream of randomness. Every
+    stochastic function in the code base takes one explicitly — there is no
+    hidden global state — so that any experiment is reproducible from its
+    master seed. Trials obtain independent sub-streams with {!split}. *)
+
+type t
+
+(** [create seed] makes a stream from an integer seed. *)
+val create : int -> t
+
+(** [split t] derives an independent child stream, advancing [t]. *)
+val split : t -> t
+
+(** [copy t] duplicates the stream state. *)
+val copy : t -> t
+
+(** [int t bound] draws uniformly from [0, bound); [bound > 0]. *)
+val int : t -> int -> int
+
+(** [int_in_range t ~lo ~hi] draws uniformly from [lo, hi] inclusive;
+    requires [lo <= hi]. *)
+val int_in_range : t -> lo:int -> hi:int -> int
+
+(** [float t] draws uniformly from [0, 1). *)
+val float : t -> float
+
+(** [float_range t ~lo ~hi] draws uniformly from [lo, hi). *)
+val float_range : t -> lo:float -> hi:float -> float
+
+(** [bool t] draws a fair coin. *)
+val bool : t -> bool
+
+(** [bernoulli t p] is [true] with probability [p] (clamped to [0, 1]). *)
+val bernoulli : t -> float -> bool
+
+(** [bits t] draws a uniform 62-bit non-negative integer. *)
+val bits : t -> int

@@ -1,0 +1,89 @@
+let shuffle rng a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let with_replacement rng ~k ~n =
+  if k < 0 then invalid_arg "Sample.with_replacement: k < 0";
+  if n <= 0 then invalid_arg "Sample.with_replacement: n <= 0";
+  Array.init k (fun _ -> Rng.int rng n)
+
+let without_replacement rng ~k ~n =
+  if k < 0 || k > n then invalid_arg "Sample.without_replacement: need 0 <= k <= n";
+  (* Floyd's algorithm: for j = n-k .. n-1, insert a uniform element of
+     [0, j]; on collision insert j itself. Each k-subset is equally likely. *)
+  let seen = Hashtbl.create (2 * k) in
+  let out = Array.make k 0 in
+  let idx = ref 0 in
+  for j = n - k to n - 1 do
+    let x = Rng.int rng (j + 1) in
+    let pick = if Hashtbl.mem seen x then j else x in
+    Hashtbl.replace seen pick ();
+    out.(!idx) <- pick;
+    incr idx
+  done;
+  out
+
+let choose rng a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Sample.choose: empty array";
+  a.(Rng.int rng n)
+
+let reservoir rng ~k seq =
+  if k < 0 then invalid_arg "Sample.reservoir: k < 0";
+  let buf = ref [||] in
+  let count = ref 0 in
+  Seq.iter
+    (fun x ->
+      if !count < k then begin
+        if Array.length !buf = 0 && k > 0 then buf := Array.make k x;
+        !buf.(!count) <- x
+      end
+      else begin
+        let j = Rng.int rng (!count + 1) in
+        if j < k then !buf.(j) <- x
+      end;
+      incr count)
+    seq;
+  if !count >= k then !buf else Array.sub !buf 0 !count
+
+module Alias = struct
+  type t = { prob : float array; alias : int array }
+
+  let size t = Array.length t.prob
+
+  let create weights =
+    let m = Array.length weights in
+    if m = 0 then invalid_arg "Alias.create: empty weights";
+    let total =
+      Array.fold_left
+        (fun acc w ->
+          if w < 0.0 then invalid_arg "Alias.create: negative weight";
+          acc +. w)
+        0.0 weights
+    in
+    if total <= 0.0 then invalid_arg "Alias.create: weights sum to zero";
+    let scaled = Array.map (fun w -> w *. Float.of_int m /. total) weights in
+    let prob = Array.make m 1.0 in
+    let alias = Array.init m (fun i -> i) in
+    let small = Queue.create () and large = Queue.create () in
+    Array.iteri
+      (fun i p -> if p < 1.0 then Queue.add i small else Queue.add i large)
+      scaled;
+    while (not (Queue.is_empty small)) && not (Queue.is_empty large) do
+      let s = Queue.pop small and l = Queue.pop large in
+      prob.(s) <- scaled.(s);
+      alias.(s) <- l;
+      scaled.(l) <- scaled.(l) +. scaled.(s) -. 1.0;
+      if scaled.(l) < 1.0 then Queue.add l small else Queue.add l large
+    done;
+    (* Entries still queued have probability 1 (up to rounding). *)
+    { prob; alias }
+
+  let draw t rng =
+    let i = Rng.int rng (Array.length t.prob) in
+    if Rng.float rng < t.prob.(i) then i else t.alias.(i)
+end

@@ -1,0 +1,36 @@
+(** Sampling from finite populations: shuffles, subsets, weighted draws. *)
+
+(** [shuffle rng a] permutes [a] uniformly in place (Fisher–Yates). *)
+val shuffle : Rng.t -> 'a array -> unit
+
+(** [with_replacement rng ~k ~n] draws [k] independent uniform indices from
+    [0, n). Requires [k >= 0], [n > 0]. *)
+val with_replacement : Rng.t -> k:int -> n:int -> int array
+
+(** [without_replacement rng ~k ~n] draws a uniform [k]-subset of [0, n),
+    in arbitrary order, by Floyd's algorithm: O(k) expected time and space.
+    Requires [0 <= k <= n]. *)
+val without_replacement : Rng.t -> k:int -> n:int -> int array
+
+(** [choose rng a] picks a uniform element of the non-empty array [a]. *)
+val choose : Rng.t -> 'a array -> 'a
+
+(** [reservoir rng ~k seq] draws a uniform [k]-subset of an arbitrary-length
+    sequence in one pass (Algorithm R). Returns fewer than [k] elements iff
+    the sequence is shorter than [k]. *)
+val reservoir : Rng.t -> k:int -> 'a Seq.t -> 'a array
+
+(** Walker's alias method: O(m) preprocessing, O(1) weighted draws. *)
+module Alias : sig
+  type t
+
+  (** [create weights] builds a table for the distribution proportional to
+      [weights] (non-negative, positive sum). *)
+  val create : float array -> t
+
+  (** [draw table rng] draws an index with the table's probabilities. *)
+  val draw : t -> Rng.t -> int
+
+  (** [size table] is the number of categories. *)
+  val size : t -> int
+end

@@ -1,0 +1,60 @@
+(* OCaml ints are 63-bit with silent wraparound, so all arithmetic below is
+   mod 2^63. Constants are the SplitMix64 ones truncated to 63 bits; the
+   finalizer remains a bijection on 63 bits because xor-shift-multiply by an
+   odd constant is invertible at any word size. *)
+
+type t = { mutable seed : int; gamma : int }
+
+let golden = 0x1E3779B97F4A7C15 (* 2^63 golden-ratio increment, 63-bit *)
+let mult_a = 0x3F58476D1CE4E5B9
+let mult_b = 0x14D049BB133111EB
+
+let mix z =
+  let z = (z lxor (z lsr 30)) * mult_a in
+  let z = (z lxor (z lsr 27)) * mult_b in
+  z lxor (z lsr 31)
+
+(* Second mixer (murmur3-style constants) used only to derive gammas, so
+   that split streams do not share the output mixer's orbit structure. *)
+let mix_gamma z =
+  let z = (z lxor (z lsr 33)) * 0x7F51AFD7ED558CCD in
+  let z = (z lxor (z lsr 33)) * 0x64DD9FE6AD7D6255 in
+  (z lxor (z lsr 33)) lor 1
+
+let create seed = { seed = mix (seed + golden); gamma = golden }
+
+let copy t = { seed = t.seed; gamma = t.gamma }
+
+let next_raw t =
+  t.seed <- t.seed + t.gamma;
+  t.seed
+
+let next t = mix (next_raw t)
+
+let split t =
+  let seed = mix (next_raw t) in
+  let gamma = mix_gamma (next_raw t) in
+  { seed; gamma }
+
+let bits62 t = next t land max_int
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Splitmix.int: bound must be positive";
+  if bound land (bound - 1) = 0 then bits62 t land (bound - 1)
+  else begin
+    (* Rejection below the largest multiple of [bound] that fits in 62
+       bits, to avoid modulo bias. *)
+    let rem = ((max_int mod bound) + 1) mod bound in
+    let limit = max_int - rem in
+    let rec draw () =
+      let x = bits62 t in
+      if x <= limit then x mod bound else draw ()
+    in
+    draw ()
+  end
+
+let two_pow_53 = 9007199254740992.0
+
+let float t = Float.of_int (bits62 t lsr 9) /. two_pow_53
+
+let bool t = next t land 1 = 1

@@ -1,0 +1,77 @@
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+}
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* Reference SplitMix64 over Int64, used for seeding. *)
+let sm64_next state =
+  state := Int64.add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed =
+  let st = ref (Int64.of_int seed) in
+  let s0 = sm64_next st in
+  let s1 = sm64_next st in
+  let s2 = sm64_next st in
+  let s3 = sm64_next st in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let next t =
+  let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
+  let tt = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tt;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let jump_table =
+  [| 0x180EC6D33CFD0ABAL; 0xD5A61266F0C9392CL; 0xA9582618E03FC9AAL; 0x39ABDC4529B1661CL |]
+
+let jump t =
+  let s0 = ref 0L and s1 = ref 0L and s2 = ref 0L and s3 = ref 0L in
+  Array.iter
+    (fun word ->
+      for b = 0 to 63 do
+        if Int64.logand word (Int64.shift_left 1L b) <> 0L then begin
+          s0 := Int64.logxor !s0 t.s0;
+          s1 := Int64.logxor !s1 t.s1;
+          s2 := Int64.logxor !s2 t.s2;
+          s3 := Int64.logxor !s3 t.s3
+        end;
+        ignore (next t)
+      done)
+    jump_table;
+  t.s0 <- !s0;
+  t.s1 <- !s1;
+  t.s2 <- !s2;
+  t.s3 <- !s3
+
+let bits62 t = Int64.to_int (Int64.shift_right_logical (next t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Xoshiro.int: bound must be positive";
+  let rem = ((max_int mod bound) + 1) mod bound in
+  let limit = max_int - rem in
+  let rec draw () =
+    let x = bits62 t in
+    if x <= limit then x mod bound else draw ()
+  in
+  draw ()
+
+let float t =
+  Float.of_int (Int64.to_int (Int64.shift_right_logical (next t) 11))
+  /. 9007199254740992.0
+
+let bool t = Int64.logand (next t) 1L = 1L

@@ -1,0 +1,32 @@
+(** Xoshiro256** (Blackman & Vigna), a 64-bit generator with period
+    2^256 - 1, implemented over [Int64].
+
+    Slower than {!Splitmix} (boxed 64-bit arithmetic) but bit-for-bit
+    faithful to the reference implementation; the test-suite uses it as an
+    independent source to cross-check {!Splitmix}'s statistical behaviour,
+    and it is available to callers who want the stronger generator. *)
+
+type t
+
+(** [create seed] seeds the four state words from a SplitMix64 stream, as
+    the reference implementation recommends. *)
+val create : int -> t
+
+(** [copy t] duplicates the state. *)
+val copy : t -> t
+
+(** [next t] draws the next raw 64-bit word. *)
+val next : t -> int64
+
+(** [jump t] advances [t] by 2^128 steps in place, yielding a block usable
+    as an independent stream. *)
+val jump : t -> unit
+
+(** [int t bound] draws a uniform integer in [0, bound), [bound > 0]. *)
+val int : t -> int -> int
+
+(** [float t] draws a uniform float in [0, 1). *)
+val float : t -> float
+
+(** [bool t] draws a fair coin. *)
+val bool : t -> bool

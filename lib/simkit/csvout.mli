@@ -1,0 +1,13 @@
+(** Minimal CSV emission (RFC-4180 quoting) so experiment rows can be
+    post-processed outside OCaml. *)
+
+(** [escape field] quotes a field when it contains commas, quotes or
+    newlines. *)
+val escape : string -> string
+
+(** [to_string ~header rows] renders a CSV document. Every row must have
+    the header's arity. *)
+val to_string : header:string list -> string list list -> string
+
+(** [write_file path ~header rows] writes the document to [path]. *)
+val write_file : string -> header:string list -> string list list -> unit

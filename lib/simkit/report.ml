@@ -1,0 +1,24 @@
+let banner ~id ~title =
+  let line = String.make 72 '=' in
+  Printf.printf "\n%s\n%s: %s\n%s\n" line id title line
+
+let claim text = Printf.printf "paper claim: %s\n" text
+
+let context pairs =
+  List.iter (fun (k, v) -> Printf.printf "  %-18s = %s\n" k v) pairs;
+  print_newline ()
+
+let verdict ~pass text =
+  Printf.printf "[%s] %s\n" (if pass then "PASS" else "FAIL") text
+
+let float_cell x =
+  if Float.is_integer x && Float.abs x < 1e9 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.4g" x
+
+let mean_ci_cell s =
+  if Stats.Summary.count s < 2 then float_cell (Stats.Summary.mean s)
+  else begin
+    let ci = Stats.Ci.mean_ci s in
+    let half = (ci.Stats.Ci.hi -. ci.Stats.Ci.lo) /. 2.0 in
+    Printf.sprintf "%s ± %.2g" (float_cell (Stats.Summary.mean s)) half
+  end

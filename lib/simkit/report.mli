@@ -1,0 +1,26 @@
+(** Report formatting shared by the experiment suite: banners, key-value
+    context lines, and the paper-claim header each experiment prints above
+    its table. *)
+
+(** [banner ~id ~title] prints a separator line and the experiment
+    heading. *)
+val banner : id:string -> title:string -> unit
+
+(** [claim text] prints the paper claim being reproduced, prefixed and
+    wrapped. *)
+val claim : string -> unit
+
+(** [context pairs] prints [key = value] configuration lines. *)
+val context : (string * string) list -> unit
+
+(** [verdict ~pass text] prints a final PASS/FAIL-style line for the
+    experiment's acceptance criterion. *)
+val verdict : pass:bool -> string -> unit
+
+(** [float_cell x] formats a float for a table cell (4 significant
+    digits). *)
+val float_cell : float -> string
+
+(** [mean_ci_cell summary] formats ["mean ± half-width"] using a 95%
+    t-interval (falls back to the bare mean for single observations). *)
+val mean_ci_cell : Stats.Summary.t -> string

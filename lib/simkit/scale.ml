@@ -1,0 +1,20 @@
+type t = Quick | Standard | Full
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "quick" -> Ok Quick
+  | "standard" -> Ok Standard
+  | "full" -> Ok Full
+  | other -> Error (Printf.sprintf "unknown scale %S (quick|standard|full)" other)
+
+let to_string = function Quick -> "quick" | Standard -> "standard" | Full -> "full"
+
+let of_env ~default () =
+  match Sys.getenv_opt "COBRA_SCALE" with
+  | None -> default
+  | Some s -> ( match of_string s with Ok t -> t | Error _ -> default)
+
+let pick t ~quick ~standard ~full =
+  match t with Quick -> quick | Standard -> standard | Full -> full
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

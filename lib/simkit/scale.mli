@@ -1,0 +1,23 @@
+(** Experiment sizing presets.
+
+    Every experiment can run at three scales: [Quick] (seconds — used by
+    [bench/main.exe] and CI), [Standard] (the default for
+    [cobra_cli exp]), and [Full] (the EXPERIMENTS.md numbers). The scale
+    only changes graph sizes and trial counts, never the experiment's
+    logic. *)
+
+type t = Quick | Standard | Full
+
+(** [of_string s] parses ["quick" | "standard" | "full"] (case-insensitive). *)
+val of_string : string -> (t, string) result
+
+val to_string : t -> string
+
+(** [of_env ~default ()] reads the [COBRA_SCALE] environment variable,
+    falling back to [default] when unset or unparsable. *)
+val of_env : default:t -> unit -> t
+
+(** [pick t ~quick ~standard ~full] selects a per-scale value. *)
+val pick : t -> quick:'a -> standard:'a -> full:'a -> 'a
+
+val pp : Format.formatter -> t -> unit

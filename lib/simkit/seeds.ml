@@ -1,0 +1,14 @@
+let master ~default () =
+  match Sys.getenv_opt "COBRA_SEED" with
+  | None -> default
+  | Some s -> ( match int_of_string_opt (String.trim s) with Some v -> v | None -> default)
+
+(* Mix master and salt through one splitmix draw so that nearby (master,
+   salt) pairs land far apart in state space. *)
+let trial_rng ~master ~salt =
+  let mixer = Prng.Splitmix.create master in
+  Prng.Rng.create (Prng.Splitmix.next mixer lxor (salt * 0x2545F4914F6CDD1D))
+
+let tagged_rng ~master ~tag =
+  let hash = Hashtbl.hash (tag, 0x5EED) in
+  trial_rng ~master ~salt:hash

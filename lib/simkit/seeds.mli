@@ -1,0 +1,16 @@
+(** Seed discipline: every random number in an experiment report is a pure
+    function of one master seed, and every trial gets an independent
+    stream regardless of evaluation order. *)
+
+(** [master ~default ()] reads the [COBRA_SEED] environment variable
+    (integer) or falls back to [default]. *)
+val master : default:int -> unit -> int
+
+(** [trial_rng ~master ~salt] derives a stream for trial [salt]; distinct
+    salts give statistically independent streams. *)
+val trial_rng : master:int -> salt:int -> Prng.Rng.t
+
+(** [tagged_rng ~master ~tag] derives a stream from a string tag (e.g. an
+    experiment id), so experiments never share streams even under the same
+    master seed. *)
+val tagged_rng : master:int -> tag:string -> Prng.Rng.t

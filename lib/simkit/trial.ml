@@ -1,0 +1,25 @@
+type 'a censored = { values : 'a array; censored : int }
+
+let collect ~trials ~master ~salt0 f =
+  if trials < 1 then invalid_arg "Trial.collect: trials >= 1";
+  Array.init trials (fun i -> f (Seeds.trial_rng ~master ~salt:(salt0 + i)))
+
+let collect_censored ~trials ~master ~salt0 f =
+  let raw = collect ~trials ~master ~salt0 f in
+  let values =
+    Array.of_list (List.filter_map Fun.id (Array.to_list raw))
+  in
+  { values; censored = trials - Array.length values }
+
+let summarize_with conv ~trials ~master ~salt0 f =
+  let { values; censored } = collect_censored ~trials ~master ~salt0 f in
+  if Array.length values = 0 then failwith "Trial: every trial was censored";
+  let s = Stats.Summary.create () in
+  Array.iter (fun v -> Stats.Summary.add s (conv v)) values;
+  (s, censored)
+
+let summarize_int ~trials ~master ~salt0 f =
+  summarize_with Float.of_int ~trials ~master ~salt0 f
+
+let summarize_float ~trials ~master ~salt0 f =
+  summarize_with Fun.id ~trials ~master ~salt0 f

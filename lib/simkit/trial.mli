@@ -1,0 +1,32 @@
+(** Trial runners: repeat a stochastic measurement over independent
+    streams and summarise. Capped runs ([None] results) are counted as
+    censored rather than silently dropped into the statistics. *)
+
+type 'a censored = { values : 'a array; censored : int }
+
+(** [collect ~trials ~master ~salt0 f] evaluates
+    [f (trial_rng ~master ~salt:(salt0 + i))] for [i = 0 .. trials - 1]. *)
+val collect : trials:int -> master:int -> salt0:int -> (Prng.Rng.t -> 'a) -> 'a array
+
+(** [collect_censored ~trials ~master ~salt0 f] keeps the [Some] results
+    and counts the [None]s. *)
+val collect_censored :
+  trials:int -> master:int -> salt0:int -> (Prng.Rng.t -> 'a option) -> 'a censored
+
+(** [summarize_int ~trials ~master ~salt0 f] summarises an integer-valued
+    censored measurement (e.g. a cover time) into a {!Stats.Summary.t};
+    raises [Failure] if {e every} trial was censored. *)
+val summarize_int :
+  trials:int ->
+  master:int ->
+  salt0:int ->
+  (Prng.Rng.t -> int option) ->
+  Stats.Summary.t * int
+
+(** [summarize_float] — as {!summarize_int} for float measurements. *)
+val summarize_float :
+  trials:int ->
+  master:int ->
+  salt0:int ->
+  (Prng.Rng.t -> float option) ->
+  Stats.Summary.t * int

@@ -1,0 +1,47 @@
+module Bitset = Dstruct.Bitset
+
+let cut_and_volume g ~mem =
+  (* (edges crossing, volume of S) where S = {v | mem v}. *)
+  let cut = ref 0 and vol = ref 0 in
+  for v = 0 to Graph.Csr.n_vertices g - 1 do
+    if mem v then begin
+      vol := !vol + Graph.Csr.degree g v;
+      Graph.Csr.iter_neighbours g v ~f:(fun u -> if not (mem u) then incr cut)
+    end
+  done;
+  (!cut, !vol)
+
+let cut_conductance g subset =
+  let n = Graph.Csr.n_vertices g in
+  if Bitset.capacity subset <> n then invalid_arg "Cheeger: subset/graph size mismatch";
+  let total_vol = 2 * Graph.Csr.n_edges g in
+  let cut, vol = cut_and_volume g ~mem:(Bitset.mem subset) in
+  let small = min vol (total_vol - vol) in
+  if small = 0 then invalid_arg "Cheeger.cut_conductance: zero-volume side";
+  Float.of_int cut /. Float.of_int small
+
+let conductance_exact g =
+  let n = Graph.Csr.n_vertices g in
+  if n > 20 then invalid_arg "Cheeger.conductance_exact: at most 20 vertices";
+  if Graph.Csr.n_edges g = 0 then invalid_arg "Cheeger.conductance_exact: no edges";
+  let total_vol = 2 * Graph.Csr.n_edges g in
+  let best = ref infinity in
+  (* Fix vertex 0 outside S to halve the enumeration (φ is symmetric in
+     S vs its complement). *)
+  for mask = 1 to (1 lsl (n - 1)) - 1 do
+    let mem v = v > 0 && mask land (1 lsl (v - 1)) <> 0 in
+    let cut, vol = cut_and_volume g ~mem in
+    if vol > 0 && vol <= total_vol / 2 then begin
+      let phi = Float.of_int cut /. Float.of_int vol in
+      if phi < !best then best := phi
+    end
+    else if vol > total_vol / 2 && total_vol - vol > 0 then begin
+      let phi = Float.of_int cut /. Float.of_int (total_vol - vol) in
+      if phi < !best then best := phi
+    end
+  done;
+  !best
+
+let cheeger_lower ~lambda_2 = (1.0 -. lambda_2) /. 2.0
+
+let cheeger_upper ~lambda_2 = sqrt (2.0 *. (1.0 -. lambda_2))

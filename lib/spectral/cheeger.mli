@@ -1,0 +1,26 @@
+(** Conductance and the Cheeger inequality.
+
+    The paper's "expander" hypothesis is spectral (a gap [1 - λ₂]); the
+    combinatorial counterpart is conductance
+    [φ(G) = min_{0 < vol(S) <= vol(V)/2} e(S, S̄) / vol(S)], and the two
+    are tied by Cheeger's inequality [(1 - λ₂)/2 <= φ <= sqrt(2 (1 - λ₂))].
+    This module computes φ exactly on small graphs (exhaustive over
+    subsets) — used by the tests to certify both the eigensolvers and the
+    generators' expansion claims. *)
+
+(** [conductance_exact g] is φ(G) by exhaustion over all 2^n vertex
+    subsets; [n <= 20] enforced, and the graph must have at least one
+    edge. O(2^n · n · avg-degree). *)
+val conductance_exact : Graph.Csr.t -> float
+
+(** [cut_conductance g subset] is [e(S, S̄) / min(vol S, vol S̄)] for a
+    specific subset — the objective [conductance_exact] minimises.
+    Raises if the subset or its complement is empty or has zero volume. *)
+val cut_conductance : Graph.Csr.t -> Dstruct.Bitset.t -> float
+
+(** [cheeger_lower ~lambda_2] is [(1 - λ₂) / 2], a lower bound on φ. *)
+val cheeger_lower : lambda_2:float -> float
+
+(** [cheeger_upper ~lambda_2] is [sqrt (2 (1 - λ₂))], an upper bound on
+    φ. *)
+val cheeger_upper : lambda_2:float -> float

@@ -1,0 +1,53 @@
+type extremes = { lambda_2 : float; lambda_min : float; ritz : float array }
+
+let run ?steps ?(deflate = []) rng op =
+  let n = op.Op.n in
+  if n = 0 then invalid_arg "Lanczos.run: empty operator";
+  let steps = match steps with Some s -> max 1 s | None -> min (max 1 (n - 1)) 100 in
+  let q0 = Vec.random rng n in
+  List.iter (fun dir -> Vec.project_out ~dir q0) deflate;
+  Vec.normalize q0;
+  let basis = ref [ q0 ] in
+  let alpha = ref [] and beta = ref [] in
+  let w = Array.make n 0.0 in
+  let rec go j q q_prev b_prev =
+    op.Op.apply ~x:q ~y:w;
+    let a = Vec.dot q w in
+    alpha := a :: !alpha;
+    if j < steps then begin
+      (* w <- w - a q - b_prev q_prev, then full reorthogonalisation. *)
+      Vec.axpy ~a:(-.a) ~x:q ~y:w;
+      (match q_prev with
+      | Some qp -> Vec.axpy ~a:(-.b_prev) ~x:qp ~y:w
+      | None -> ());
+      List.iter (fun dir -> Vec.project_out ~dir w) deflate;
+      List.iter (fun v -> Vec.project_out ~dir:v w) !basis;
+      let b = Vec.norm2 w in
+      if b < 1e-12 then ()
+      else begin
+        let q_next = Array.map (fun x -> x /. b) w in
+        beta := b :: !beta;
+        basis := q_next :: !basis;
+        go (j + 1) q_next (Some q) b
+      end
+    end
+  in
+  go 1 q0 None 0.0;
+  let diag = Array.of_list (List.rev !alpha) in
+  let off = Array.of_list (List.rev !beta) in
+  Tridiag.eigenvalues ~diag ~off
+
+let extremes ?steps rng g =
+  (match Graph.Csr.regularity g with
+  | Some r when r > 0 -> ()
+  | _ -> invalid_arg "Lanczos.extremes: requires a regular graph");
+  let n = Graph.Csr.n_vertices g in
+  let op = Op.walk_matrix g in
+  let ritz = run ?steps ~deflate:[ Vec.uniform_unit n ] rng op in
+  let m = Array.length ritz in
+  if m = 0 then invalid_arg "Lanczos.extremes: no Ritz values";
+  { lambda_2 = ritz.(m - 1); lambda_min = ritz.(0); ritz }
+
+let lambda_max ?steps rng g =
+  let e = extremes ?steps rng g in
+  Float.max (Float.abs e.lambda_2) (Float.abs e.lambda_min)

@@ -1,0 +1,26 @@
+(** Lanczos tridiagonalisation with full reorthogonalisation.
+
+    An independent route to the walk-matrix spectrum, used to cross-check
+    {!Power} (and vice versa): one Krylov sweep yields Ritz values
+    approximating both the second-largest and the smallest eigenvalue. *)
+
+type extremes = {
+  lambda_2 : float;  (** largest eigenvalue below the trivial λ₁ = 1 *)
+  lambda_min : float;  (** most negative eigenvalue λ_n *)
+  ritz : float array;  (** all Ritz values, increasing *)
+}
+
+(** [run ?steps ?deflate rng op] performs at most [steps] Lanczos
+    iterations (default [min (n-1) 100]) on the symmetric operator [op],
+    re-orthogonalising against the whole basis and against the [deflate]
+    vectors, and returns the Ritz values of the tridiagonal matrix. *)
+val run :
+  ?steps:int -> ?deflate:float array list -> Prng.Rng.t -> Op.t -> float array
+
+(** [extremes ?steps rng g] estimates λ₂ and λ_n of the walk matrix of the
+    connected regular graph [g] in one sweep (the constant eigenvector is
+    deflated). *)
+val extremes : ?steps:int -> Prng.Rng.t -> Graph.Csr.t -> extremes
+
+(** [lambda_max ?steps rng g] is [max(|λ₂|, |λ_n|)] via {!extremes}. *)
+val lambda_max : ?steps:int -> Prng.Rng.t -> Graph.Csr.t -> float

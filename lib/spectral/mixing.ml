@@ -1,0 +1,81 @@
+(* Forward evolution of a distribution: y(u) = Σ_{v ∈ N(u)} x(v)/deg(v)
+   (i.e. x^T P). For regular graphs this coincides with the symmetric
+   operator in {!Op}, but it is the correct action on any graph. *)
+let forward_step g ~x ~y =
+  let n = Graph.Csr.n_vertices g in
+  Array.fill y 0 n 0.0;
+  for v = 0 to n - 1 do
+    let mass = x.(v) in
+    if mass > 0.0 then begin
+      let share = mass /. Float.of_int (Graph.Csr.degree g v) in
+      Graph.Csr.iter_neighbours g v ~f:(fun u -> y.(u) <- y.(u) +. share)
+    end
+  done
+
+let walk_distribution g ~steps ~start =
+  let n = Graph.Csr.n_vertices g in
+  if start < 0 || start >= n then invalid_arg "Mixing: start out of range";
+  if steps < 0 then invalid_arg "Mixing: steps >= 0";
+  let x = Array.make n 0.0 in
+  x.(start) <- 1.0;
+  let y = Array.make n 0.0 in
+  let cur = ref x and nxt = ref y in
+  for _ = 1 to steps do
+    forward_step g ~x:!cur ~y:!nxt;
+    let tmp = !cur in
+    cur := !nxt;
+    nxt := tmp
+  done;
+  Array.copy !cur
+
+let tv_from_uniform dist =
+  let n = Array.length dist in
+  if n = 0 then invalid_arg "Mixing.tv_from_uniform: empty distribution";
+  let u = 1.0 /. Float.of_int n in
+  0.5 *. Array.fold_left (fun acc p -> acc +. Float.abs (p -. u)) 0.0 dist
+
+let tv_trajectory g ~steps ~start =
+  let n = Graph.Csr.n_vertices g in
+  if start < 0 || start >= n then invalid_arg "Mixing: start out of range";
+  if steps < 0 then invalid_arg "Mixing: steps >= 0";
+  (* TV is measured against uniform, the stationary law of regular
+     graphs; forward evolution itself is generic. *)
+  (match Graph.Csr.regularity g with
+  | Some r when r > 0 -> ()
+  | _ -> invalid_arg "Mixing.tv_trajectory: requires a regular graph");
+  let x = Array.make n 0.0 in
+  x.(start) <- 1.0;
+  let y = Array.make n 0.0 in
+  let cur = ref x and nxt = ref y in
+  let out = Array.make (steps + 1) 0.0 in
+  out.(0) <- tv_from_uniform !cur;
+  for t = 1 to steps do
+    forward_step g ~x:!cur ~y:!nxt;
+    let tmp = !cur in
+    cur := !nxt;
+    nxt := tmp;
+    out.(t) <- tv_from_uniform !cur
+  done;
+  out
+
+let empirical_decay_rate g ~steps ~start =
+  let tv = tv_trajectory g ~steps ~start in
+  let points =
+    Array.to_list tv
+    |> List.mapi (fun t v -> (Float.of_int t, v))
+    |> List.filter (fun (_, v) -> v > 1e-12)
+  in
+  if List.length points < 2 then
+    invalid_arg "Mixing.empirical_decay_rate: trajectory too short";
+  (* least-squares slope of log TV vs t, inlined to keep this library
+     independent of the stats toolkit *)
+  let xs = List.map fst points in
+  let ys = List.map (fun (_, v) -> log v) points in
+  let n = Float.of_int (List.length points) in
+  let mean l = List.fold_left ( +. ) 0.0 l /. n in
+  let mx = mean xs and my = mean ys in
+  let sxy =
+    List.fold_left2 (fun acc x y -> acc +. ((x -. mx) *. (y -. my))) 0.0 xs ys
+  in
+  let sxx = List.fold_left (fun acc x -> acc +. ((x -. mx) ** 2.0)) 0.0 xs in
+  exp (sxy /. sxx)

@@ -1,0 +1,26 @@
+(** Exact walk-distribution evolution and total-variation mixing.
+
+    The walk distribution after [t] steps is [P^t e_start], computed by
+    repeated matvec — no simulation error. On a connected non-bipartite
+    regular graph the total-variation distance to uniform decays
+    geometrically with ratio λ = max(|λ₂|, |λ_n|); the tests fit the decay
+    and recover λ, closing the loop between the spectral estimates and
+    actual chain behaviour. *)
+
+(** [walk_distribution g ~steps ~start] is the exact distribution of the
+    simple random walk after [steps] steps from [start] (length n,
+    sums to 1). *)
+val walk_distribution : Graph.Csr.t -> steps:int -> start:int -> float array
+
+(** [tv_from_uniform dist] is [½ Σ |dist_i - 1/n|] ∈ [0, 1]. *)
+val tv_from_uniform : float array -> float
+
+(** [tv_trajectory g ~steps ~start] is the TV distance to uniform after
+    0, 1, ..., steps steps. *)
+val tv_trajectory : Graph.Csr.t -> steps:int -> start:int -> float array
+
+(** [empirical_decay_rate g ~steps ~start] fits [log TV(t)] against [t]
+    over the trajectory (dropping values below 1e-12) and returns
+    [exp slope] — an estimate of λ. Requires at least two usable
+    points. *)
+val empirical_decay_rate : Graph.Csr.t -> steps:int -> start:int -> float

@@ -1,0 +1,33 @@
+type t = { n : int; apply : x:float array -> y:float array -> unit }
+
+let walk_matrix g =
+  let n = Graph.Csr.n_vertices g in
+  let offsets = Graph.Csr.unsafe_offsets g in
+  let adjacency = Graph.Csr.unsafe_adjacency g in
+  let apply ~x ~y =
+    if Array.length x <> n || Array.length y <> n then
+      invalid_arg "Op.walk_matrix: size mismatch";
+    for v = 0 to n - 1 do
+      let lo = offsets.(v) and hi = offsets.(v + 1) in
+      let acc = ref 0.0 in
+      for i = lo to hi - 1 do
+        acc := !acc +. Array.unsafe_get x (Array.unsafe_get adjacency i)
+      done;
+      y.(v) <- (if hi > lo then !acc /. Float.of_int (hi - lo) else 0.0)
+    done
+  in
+  { n; apply }
+
+let shift_scale op ~alpha ~beta =
+  let apply ~x ~y =
+    op.apply ~x ~y;
+    for i = 0 to op.n - 1 do
+      y.(i) <- (alpha *. y.(i)) +. (beta *. x.(i))
+    done
+  in
+  { n = op.n; apply }
+
+let apply op x =
+  let y = Array.make op.n 0.0 in
+  op.apply ~x ~y;
+  y

@@ -1,0 +1,19 @@
+(** Matrix-free linear operators on graph vertex space.
+
+    The eigensolvers only need [y <- M x]; operators are closures over the
+    CSR arrays, so no matrix is ever materialised. *)
+
+type t = { n : int; apply : x:float array -> y:float array -> unit }
+
+(** [walk_matrix g] is the simple-random-walk transition matrix
+    [P = D^{-1} A]. Symmetric exactly when [g] is regular (the setting of
+    the paper); the symmetric eigensolvers check this. *)
+val walk_matrix : Graph.Csr.t -> t
+
+(** [shift_scale op ~alpha ~beta] is the operator [alpha*M + beta*I]; its
+    spectrum is the affine image of [M]'s. Used to map the walk spectrum
+    into [0, 1] so that power iteration targets λ₂ or λ_n specifically. *)
+val shift_scale : t -> alpha:float -> beta:float -> t
+
+(** [apply op x] allocates and returns [M x]. *)
+val apply : t -> float array -> float array

@@ -1,0 +1,62 @@
+type result = { value : float; iterations : int; residual : float }
+
+let require_regular g name =
+  match Graph.Csr.regularity g with
+  | Some r when r > 0 -> r
+  | _ -> invalid_arg (name ^ ": requires a regular graph with positive degree")
+
+let dominant ?(tol = 1e-9) ?(max_iter = 100_000) ?(deflate = []) rng op =
+  let n = op.Op.n in
+  if n = 0 then invalid_arg "Power.dominant: empty operator";
+  let x = Vec.random rng n in
+  List.iter (fun dir -> Vec.project_out ~dir x) deflate;
+  (try Vec.normalize x
+   with Invalid_argument _ ->
+     (* The random vector was (numerically) inside the deflated span;
+        perturb deterministically. *)
+     x.(0) <- 1.0;
+     List.iter (fun dir -> Vec.project_out ~dir x) deflate;
+     Vec.normalize x);
+  let y = Array.make n 0.0 in
+  let rec iterate k prev =
+    op.Op.apply ~x ~y;
+    List.iter (fun dir -> Vec.project_out ~dir y) deflate;
+    let value = Vec.dot x y in
+    (* residual = || y - value * x ||, cheap since y is about to be reused *)
+    let res = ref 0.0 in
+    for i = 0 to n - 1 do
+      let d = y.(i) -. (value *. x.(i)) in
+      res := !res +. (d *. d)
+    done;
+    let residual = sqrt !res in
+    let ny = Vec.norm2 y in
+    if ny = 0.0 then { value = 0.0; iterations = k; residual = 0.0 }
+    else begin
+      Array.blit y 0 x 0 n;
+      Vec.scale x (1.0 /. ny);
+      if k >= max_iter || (k > 4 && Float.abs (value -. prev) <= tol && residual <= sqrt tol)
+      then { value; iterations = k; residual }
+      else iterate (k + 1) value
+    end
+  in
+  iterate 1 infinity
+
+let lambda_2 ?tol ?max_iter rng g =
+  ignore (require_regular g "Power.lambda_2");
+  let n = Graph.Csr.n_vertices g in
+  let op = Op.shift_scale (Op.walk_matrix g) ~alpha:0.5 ~beta:0.5 in
+  let r = dominant ?tol ?max_iter ~deflate:[ Vec.uniform_unit n ] rng op in
+  (* Undo the affine map mu = (lambda + 1) / 2. *)
+  { r with value = (2.0 *. r.value) -. 1.0 }
+
+let lambda_min ?tol ?max_iter rng g =
+  ignore (require_regular g "Power.lambda_min");
+  let op = Op.shift_scale (Op.walk_matrix g) ~alpha:(-0.5) ~beta:0.5 in
+  let r = dominant ?tol ?max_iter rng op in
+  (* Undo mu = (1 - lambda) / 2. *)
+  { r with value = 1.0 -. (2.0 *. r.value) }
+
+let lambda_max ?tol ?max_iter rng g =
+  let l2 = (lambda_2 ?tol ?max_iter rng g).value in
+  let ln = (lambda_min ?tol ?max_iter rng g).value in
+  Float.max (Float.abs l2) (Float.abs ln)

@@ -1,0 +1,45 @@
+(** Deflated power iteration for the walk-matrix spectrum of regular
+    graphs.
+
+    The walk matrix [P] of a connected r-regular graph is symmetric with
+    eigenvalues [1 = λ₁ > λ₂ >= ... >= λ_n >= -1]. We recover:
+
+    - λ₂ as the dominant eigenvalue of [(P + I)/2] after deflating the
+      known top eigenvector (the constant vector) — the affine map makes
+      the target spectrum non-negative so the dominant-modulus eigenvalue
+      is the dominant-value one;
+    - λ_n from the dominant eigenvalue of [(I - P)/2], whose spectrum is
+      [(1 - λ_i)/2 ∈ [0, 1]] with the largest value attained at λ_n.
+
+    [lambda_max = max(|λ₂|, |λ_n|)] is the paper's λ. *)
+
+type result = {
+  value : float;  (** eigenvalue estimate (Rayleigh quotient) *)
+  iterations : int;  (** matvecs spent *)
+  residual : float;  (** ‖M x − value·x‖₂ at termination *)
+}
+
+(** [dominant ?tol ?max_iter ?deflate rng op] estimates the dominant
+    eigenvalue of the symmetric operator [op], deflating the given unit
+    vectors from every iterate. Defaults: [tol = 1e-9], scaled by spectral
+    radius; [max_iter = 100_000]. *)
+val dominant :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?deflate:float array list ->
+  Prng.Rng.t ->
+  Op.t ->
+  result
+
+(** [lambda_2 ?tol ?max_iter rng g] estimates λ₂ of the walk matrix of the
+    connected regular graph [g]. Raises [Invalid_argument] if [g] is not
+    regular. *)
+val lambda_2 : ?tol:float -> ?max_iter:int -> Prng.Rng.t -> Graph.Csr.t -> result
+
+(** [lambda_min ?tol ?max_iter rng g] estimates λ_n (the most negative
+    eigenvalue). *)
+val lambda_min : ?tol:float -> ?max_iter:int -> Prng.Rng.t -> Graph.Csr.t -> result
+
+(** [lambda_max ?tol ?max_iter rng g] is [max(|λ₂|, |λ_n|)] — the paper's
+    λ. *)
+val lambda_max : ?tol:float -> ?max_iter:int -> Prng.Rng.t -> Graph.Csr.t -> float

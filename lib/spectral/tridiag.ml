@@ -1,0 +1,44 @@
+(* Sturm count: the number of negative values of the sequence
+   d_1 = a_1 - x,  d_i = a_i - x - b_{i-1}^2 / d_{i-1}
+   equals the number of eigenvalues below x. Zero pivots are nudged by a
+   tiny epsilon, the standard safeguard. *)
+let count_below ~diag ~off x =
+  let m = Array.length diag in
+  if Array.length off <> max 0 (m - 1) then
+    invalid_arg "Tridiag: off-diagonal length must be m - 1";
+  let tiny = 1e-300 in
+  let count = ref 0 in
+  let d = ref 1.0 in
+  for i = 0 to m - 1 do
+    let b2 = if i = 0 then 0.0 else off.(i - 1) *. off.(i - 1) in
+    d := diag.(i) -. x -. (b2 /. !d);
+    if Float.abs !d < tiny then d := -.tiny;
+    if !d < 0.0 then incr count
+  done;
+  !count
+
+let eigenvalues ~diag ~off =
+  let m = Array.length diag in
+  if m = 0 then [||]
+  else begin
+    (* Gershgorin interval containing the whole spectrum. *)
+    let lo = ref infinity and hi = ref neg_infinity in
+    for i = 0 to m - 1 do
+      let radius =
+        (if i > 0 then Float.abs off.(i - 1) else 0.0)
+        +. if i < m - 1 then Float.abs off.(i) else 0.0
+      in
+      lo := Float.min !lo (diag.(i) -. radius);
+      hi := Float.max !hi (diag.(i) +. radius)
+    done;
+    let kth k =
+      (* Smallest x such that count_below x >= k + 1, by bisection. *)
+      let a = ref !lo and b = ref (!hi +. 1e-12) in
+      for _ = 0 to 200 do
+        let mid = 0.5 *. (!a +. !b) in
+        if count_below ~diag ~off mid > k then b := mid else a := mid
+      done;
+      0.5 *. (!a +. !b)
+    in
+    Array.init m kth
+  end

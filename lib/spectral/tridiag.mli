@@ -1,0 +1,12 @@
+(** Eigenvalues of symmetric tridiagonal matrices by Sturm-sequence
+    bisection. Sizes here are Lanczos step counts (tens), so the O(m² log ε)
+    cost is negligible and the method is unconditionally robust. *)
+
+(** [eigenvalues ~diag ~off] returns all eigenvalues in increasing order of
+    the symmetric tridiagonal matrix with diagonal [diag] (length m) and
+    off-diagonal [off] (length m - 1). *)
+val eigenvalues : diag:float array -> off:float array -> float array
+
+(** [count_below ~diag ~off x] is the number of eigenvalues strictly below
+    [x] (Sturm count). *)
+val count_below : diag:float array -> off:float array -> float -> int

@@ -1,0 +1,101 @@
+type interval = { lo : float; hi : float }
+
+(* Acklam's rational approximation to the inverse standard normal CDF;
+   absolute error below 1.15e-9 over (0, 1). *)
+let z_quantile p =
+  if p <= 0.0 || p >= 1.0 then invalid_arg "Ci.z_quantile: p outside (0,1)";
+  let a =
+    [| -3.969683028665376e+01; 2.209460984245205e+02; -2.759285104469687e+02;
+       1.383577518672690e+02; -3.066479806614716e+01; 2.506628277459239e+00 |]
+  in
+  let b =
+    [| -5.447609879822406e+01; 1.615858368580409e+02; -1.556989798598866e+02;
+       6.680131188771972e+01; -1.328068155288572e+01 |]
+  in
+  let c =
+    [| -7.784894002430293e-03; -3.223964580411365e-01; -2.400758277161838e+00;
+       -2.549732539343734e+00; 4.374664141464968e+00; 2.938163982698783e+00 |]
+  in
+  let d =
+    [| 7.784695709041462e-03; 3.224671290700398e-01; 2.445134137142996e+00;
+       3.754408661907416e+00 |]
+  in
+  let p_low = 0.02425 in
+  if p < p_low then begin
+    let q = sqrt (-2.0 *. log p) in
+    (((((c.(0) *. q) +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4)) *. q +. c.(5)
+    |> fun num ->
+    num /. ((((d.(0) *. q +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.0)
+  end
+  else if p <= 1.0 -. p_low then begin
+    let q = p -. 0.5 in
+    let r = q *. q in
+    ((((((a.(0) *. r) +. a.(1)) *. r +. a.(2)) *. r +. a.(3)) *. r +. a.(4)) *. r +. a.(5))
+    *. q
+    /. (((((b.(0) *. r +. b.(1)) *. r +. b.(2)) *. r +. b.(3)) *. r +. b.(4)) *. r +. 1.0)
+  end
+  else begin
+    let q = sqrt (-2.0 *. log (1.0 -. p)) in
+    -.((((((c.(0) *. q) +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4)) *. q +. c.(5))
+    /. ((((d.(0) *. q +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.0)
+  end
+
+(* Hill (1970): expand the normal quantile into a Cornish-Fisher-style
+   series in 1/df. Accurate to a few 1e-4 for df >= 3; exact limits used
+   for df = 1, 2. *)
+let t_quantile ~df p =
+  if df < 1 then invalid_arg "Ci.t_quantile: df >= 1";
+  if p <= 0.0 || p >= 1.0 then invalid_arg "Ci.t_quantile: p outside (0,1)";
+  match df with
+  | 1 ->
+    (* Cauchy quantile. *)
+    tan (Float.pi *. (p -. 0.5))
+  | 2 ->
+    let alpha = (2.0 *. p) -. 1.0 in
+    alpha *. sqrt (2.0 /. (1.0 -. (alpha *. alpha)))
+  | _ ->
+    let z = z_quantile p in
+    let n = Float.of_int df in
+    let g1 = ((z ** 3.0) +. z) /. 4.0 in
+    let g2 = ((5.0 *. (z ** 5.0)) +. (16.0 *. (z ** 3.0)) +. (3.0 *. z)) /. 96.0 in
+    let g3 =
+      ((3.0 *. (z ** 7.0)) +. (19.0 *. (z ** 5.0)) +. (17.0 *. (z ** 3.0)) -. (15.0 *. z))
+      /. 384.0
+    in
+    z +. (g1 /. n) +. (g2 /. (n *. n)) +. (g3 /. (n *. n *. n))
+
+let mean_ci ?(level = 0.95) s =
+  if Summary.count s < 2 then invalid_arg "Ci.mean_ci: need at least two observations";
+  let half = t_quantile ~df:(Summary.count s - 1) (1.0 -. ((1.0 -. level) /. 2.0)) in
+  let m = Summary.mean s and se = Summary.std_error s in
+  { lo = m -. (half *. se); hi = m +. (half *. se) }
+
+let proportion_ci ?(level = 0.95) ~successes ~trials () =
+  if trials <= 0 then invalid_arg "Ci.proportion_ci: trials must be positive";
+  if successes < 0 || successes > trials then
+    invalid_arg "Ci.proportion_ci: successes outside [0, trials]";
+  let z = z_quantile (1.0 -. ((1.0 -. level) /. 2.0)) in
+  let n = Float.of_int trials in
+  let p = Float.of_int successes /. n in
+  let z2 = z *. z in
+  let denom = 1.0 +. (z2 /. n) in
+  let centre = (p +. (z2 /. (2.0 *. n))) /. denom in
+  let half = z *. sqrt ((p *. (1.0 -. p) /. n) +. (z2 /. (4.0 *. n *. n))) /. denom in
+  { lo = Float.max 0.0 (centre -. half); hi = Float.min 1.0 (centre +. half) }
+
+let bootstrap ?(level = 0.95) ?(resamples = 1000) rng xs ~statistic =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Ci.bootstrap: empty sample";
+  let stats =
+    Array.init resamples (fun _ ->
+        let sample = Array.init n (fun _ -> xs.(Prng.Rng.int rng n)) in
+        statistic sample)
+  in
+  let alpha = (1.0 -. level) /. 2.0 in
+  match Quantile.quantiles stats [ alpha; 1.0 -. alpha ] with
+  | [ lo; hi ] -> { lo; hi }
+  | _ -> assert false
+
+let contains i x = i.lo <= x && x <= i.hi
+
+let pp ppf i = Format.fprintf ppf "[%.4g, %.4g]" i.lo i.hi

@@ -1,0 +1,40 @@
+(** Confidence intervals for experiment reports.
+
+    Normal and Student-t intervals use closed-form quantile approximations
+    (Acklam's inverse normal, Hill's t approximation) — accurate to ~1e-4,
+    far below Monte-Carlo noise. A percentile bootstrap is provided for
+    statistics without a CLT handle. *)
+
+type interval = { lo : float; hi : float }
+
+(** [z_quantile p] is the standard normal quantile, [0 < p < 1]. *)
+val z_quantile : float -> float
+
+(** [t_quantile ~df p] is the Student-t quantile with [df >= 1] degrees of
+    freedom. *)
+val t_quantile : df:int -> float -> float
+
+(** [mean_ci ?level s] is the t-interval for the mean of the summarised
+    sample (default [level = 0.95]); requires at least two observations. *)
+val mean_ci : ?level:float -> Summary.t -> interval
+
+(** [proportion_ci ?level ~successes ~trials ()] is the Wilson score
+    interval for a binomial proportion. *)
+val proportion_ci : ?level:float -> successes:int -> trials:int -> unit -> interval
+
+(** [bootstrap ?level ?resamples rng xs ~statistic] is the percentile
+    bootstrap interval for [statistic] over [xs] (default 1000
+    resamples). *)
+val bootstrap :
+  ?level:float ->
+  ?resamples:int ->
+  Prng.Rng.t ->
+  float array ->
+  statistic:(float array -> float) ->
+  interval
+
+(** [contains i x] tests membership. *)
+val contains : interval -> float -> bool
+
+(** [pp] prints as [[lo, hi]]. *)
+val pp : Format.formatter -> interval -> unit

@@ -1,0 +1,59 @@
+type t = {
+  lo : float;
+  hi : float;
+  width : float;
+  counts : int array;
+  mutable underflow : int;
+  mutable overflow : int;
+}
+
+let create ~lo ~hi ~bins =
+  if bins < 1 then invalid_arg "Histogram.create: bins >= 1";
+  if not (hi > lo) then invalid_arg "Histogram.create: need hi > lo";
+  {
+    lo;
+    hi;
+    width = (hi -. lo) /. Float.of_int bins;
+    counts = Array.make bins 0;
+    underflow = 0;
+    overflow = 0;
+  }
+
+let add ~h x =
+  if x < h.lo then h.underflow <- h.underflow + 1
+  else if x >= h.hi then h.overflow <- h.overflow + 1
+  else begin
+    let bin = Float.to_int ((x -. h.lo) /. h.width) in
+    let bin = Stdlib.min bin (Array.length h.counts - 1) in
+    h.counts.(bin) <- h.counts.(bin) + 1
+  end
+
+let counts h = Array.copy h.counts
+let underflow h = h.underflow
+let overflow h = h.overflow
+
+let total h = h.underflow + h.overflow + Array.fold_left ( + ) 0 h.counts
+
+let bin_range h i =
+  if i < 0 || i >= Array.length h.counts then invalid_arg "Histogram.bin_range";
+  (h.lo +. (Float.of_int i *. h.width), h.lo +. (Float.of_int (i + 1) *. h.width))
+
+let of_array ~bins xs =
+  if Array.length xs = 0 then invalid_arg "Histogram.of_array: empty sample";
+  let lo = Array.fold_left Float.min infinity xs in
+  let hi = Array.fold_left Float.max neg_infinity xs in
+  let hi = if hi > lo then hi +. ((hi -. lo) *. 1e-9) else lo +. 1.0 in
+  let h = create ~lo ~hi ~bins in
+  Array.iter (add ~h) xs;
+  h
+
+let pp ppf h =
+  let peak = Array.fold_left Stdlib.max 1 h.counts in
+  Array.iteri
+    (fun i c ->
+      let lo, hi = bin_range h i in
+      let bar = String.make (c * 40 / peak) '#' in
+      Format.fprintf ppf "[%10.3g, %10.3g) %6d %s@." lo hi c bar)
+    h.counts;
+  if h.underflow > 0 then Format.fprintf ppf "underflow: %d@." h.underflow;
+  if h.overflow > 0 then Format.fprintf ppf "overflow: %d@." h.overflow

@@ -1,0 +1,31 @@
+(** Fixed-width histograms with ASCII rendering, for distribution shape
+    checks (e.g. cover-time concentration) in reports and tests. *)
+
+type t
+
+(** [create ~lo ~hi ~bins] covers [lo, hi) with [bins >= 1] equal bins.
+    Observations outside the range are tallied in overflow counters. *)
+val create : lo:float -> hi:float -> bins:int -> t
+
+(** [add h x] tallies one observation. *)
+val add : h:t -> float -> unit
+
+(** [counts h] is the per-bin tally, length [bins]. *)
+val counts : t -> int array
+
+(** [underflow h] / [overflow h] count out-of-range observations. *)
+val underflow : t -> int
+
+val overflow : t -> int
+
+(** [total h] counts all observations including out-of-range ones. *)
+val total : t -> int
+
+(** [bin_range h i] is the [i]-th bin's [lo, hi) interval. *)
+val bin_range : t -> int -> float * float
+
+(** [of_array ~bins xs] builds a histogram spanning the sample's range. *)
+val of_array : bins:int -> float array -> t
+
+(** [pp] renders one line per bin with a proportional bar. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,28 @@
+let of_sorted sorted q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Quantile: q outside [0,1]";
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Quantile: empty sample";
+  (* Type-7: h = (n - 1) q; interpolate between floor h and ceil h. *)
+  let h = Float.of_int (n - 1) *. q in
+  let lo = Float.to_int (Float.floor h) in
+  let hi = Stdlib.min (lo + 1) (n - 1) in
+  let frac = h -. Float.of_int lo in
+  sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let sorted_copy xs =
+  let s = Array.copy xs in
+  Array.sort compare s;
+  s
+
+let quantile xs q = of_sorted (sorted_copy xs) q
+
+let median xs = quantile xs 0.5
+
+let quantiles xs qs =
+  let s = sorted_copy xs in
+  List.map (of_sorted s) qs
+
+let iqr xs =
+  match quantiles xs [ 0.25; 0.75 ] with
+  | [ lo; hi ] -> hi -. lo
+  | _ -> assert false

@@ -1,0 +1,14 @@
+(** Exact sample quantiles (type-7 linear interpolation, the R default). *)
+
+(** [quantile xs q] for [0 <= q <= 1]; raises on an empty array. Does not
+    mutate [xs]. *)
+val quantile : float array -> float -> float
+
+(** [median xs] is [quantile xs 0.5]. *)
+val median : float array -> float
+
+(** [quantiles xs qs] evaluates several quantiles with one sort. *)
+val quantiles : float array -> float list -> float list
+
+(** [iqr xs] is the interquartile range. *)
+val iqr : float array -> float

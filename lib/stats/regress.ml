@@ -1,0 +1,51 @@
+type fit = {
+  intercept : float;
+  slope : float;
+  r2 : float;
+  residual_std : float;
+  n : int;
+}
+
+let ols xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Regress.ols: length mismatch";
+  if n < 2 then invalid_arg "Regress.ols: need at least two points";
+  let fn = Float.of_int n in
+  let mean a = Array.fold_left ( +. ) 0.0 a /. fn in
+  let mx = mean xs and my = mean ys in
+  let sxx = ref 0.0 and sxy = ref 0.0 and syy = ref 0.0 in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+    sxx := !sxx +. (dx *. dx);
+    sxy := !sxy +. (dx *. dy);
+    syy := !syy +. (dy *. dy)
+  done;
+  if !sxx = 0.0 then invalid_arg "Regress.ols: xs are all identical";
+  let slope = !sxy /. !sxx in
+  let intercept = my -. (slope *. mx) in
+  let ss_res = ref 0.0 in
+  for i = 0 to n - 1 do
+    let e = ys.(i) -. (intercept +. (slope *. xs.(i))) in
+    ss_res := !ss_res +. (e *. e)
+  done;
+  let r2 = if !syy = 0.0 then 1.0 else 1.0 -. (!ss_res /. !syy) in
+  let residual_std = if n > 2 then sqrt (!ss_res /. Float.of_int (n - 2)) else 0.0 in
+  { intercept; slope; r2; residual_std; n }
+
+let check_positive name a =
+  Array.iter (fun x -> if x <= 0.0 then invalid_arg (name ^ ": values must be positive")) a
+
+let semilog xs ys =
+  check_positive "Regress.semilog" xs;
+  ols (Array.map log xs) ys
+
+let loglog xs ys =
+  check_positive "Regress.loglog" xs;
+  check_positive "Regress.loglog" ys;
+  ols (Array.map log xs) (Array.map log ys)
+
+let predict fit x = fit.intercept +. (fit.slope *. x)
+
+let pp ppf f =
+  Format.fprintf ppf "slope=%.4g intercept=%.4g R²=%.4f (n=%d)" f.slope f.intercept
+    f.r2 f.n

@@ -1,0 +1,32 @@
+(** Ordinary least squares on one predictor, plus the log-transform fits
+    the scaling experiments report.
+
+    E1 fits [cover = a + b·log n] to exhibit Theorem 1's O(log n); E7 fits
+    [log cover = a + b·log n] to recover the grid exponent 1/d. *)
+
+type fit = {
+  intercept : float;
+  slope : float;
+  r2 : float;  (** coefficient of determination *)
+  residual_std : float;  (** std dev of residuals *)
+  n : int;
+}
+
+(** [ols xs ys] fits [y = intercept + slope·x]; requires two distinct
+    [xs]. *)
+val ols : float array -> float array -> fit
+
+(** [semilog xs ys] fits [y = intercept + slope·ln x]; xs must be
+    positive. *)
+val semilog : float array -> float array -> fit
+
+(** [loglog xs ys] fits [ln y = intercept + slope·ln x] — [slope] is the
+    power-law exponent; xs, ys must be positive. *)
+val loglog : float array -> float array -> fit
+
+(** [predict fit x] evaluates the fitted line at [x] (in the transformed
+    space for {!semilog}/{!loglog} — callers transform their query). *)
+val predict : fit -> float -> float
+
+(** [pp] prints slope, intercept and R². *)
+val pp : Format.formatter -> fit -> unit

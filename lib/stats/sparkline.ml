@@ -1,0 +1,34 @@
+let ramp = " .:-=+*#%@"
+
+let bucketize width values =
+  let n = Array.length values in
+  if n <= width then values
+  else
+    Array.init width (fun b ->
+        let lo = b * n / width and hi = max (((b + 1) * n / width) - 1) (b * n / width) in
+        let acc = ref 0.0 in
+        for i = lo to hi do
+          acc := !acc +. values.(i)
+        done;
+        !acc /. Float.of_int (hi - lo + 1))
+
+let render ?(width = 72) values =
+  if Array.length values = 0 then ""
+  else begin
+    let values = bucketize width values in
+    let lo = Array.fold_left Float.min infinity values in
+    let hi = Array.fold_left Float.max neg_infinity values in
+    let levels = String.length ramp - 1 in
+    let char_of v =
+      if hi = lo then ramp.[levels]
+      else begin
+        let idx = Float.to_int ((v -. lo) /. (hi -. lo) *. Float.of_int levels) in
+        ramp.[max 0 (min levels idx)]
+      end
+    in
+    String.init (Array.length values) (fun i -> char_of values.(i))
+  end
+
+let render_ints ?width values = render ?width (Array.map Float.of_int values)
+
+let scale_line ~lo ~hi = Printf.sprintf "%g .. %g" lo hi

@@ -1,0 +1,14 @@
+(** One-line ASCII sparklines for time series in terminal reports. *)
+
+(** [render ?width values] maps the series onto a fixed character ramp
+    (space = minimum, '@' = maximum). If [width] is given and smaller
+    than the series, values are bucket-averaged down to [width]
+    characters. Empty input yields the empty string. *)
+val render : ?width:int -> float array -> string
+
+(** [render_ints ?width values] — integer convenience wrapper. *)
+val render_ints : ?width:int -> int array -> string
+
+(** [scale_line ~lo ~hi] renders a caption like ["1 .. 4096"] for the
+    sparkline's range. *)
+val scale_line : lo:float -> hi:float -> string

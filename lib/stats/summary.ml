@@ -1,0 +1,59 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float; (* sum of squared deviations from the running mean *)
+  mutable min : float;
+  mutable max : float;
+}
+
+let create () = { n = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. Float.of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x
+
+let add_int t x = add t (Float.of_int x)
+
+let count t = t.n
+
+let require_nonempty t = if t.n = 0 then invalid_arg "Summary: empty accumulator"
+
+let mean t = require_nonempty t; t.mean
+
+let variance t = if t.n < 2 then 0.0 else t.m2 /. Float.of_int (t.n - 1)
+
+let stddev t = sqrt (variance t)
+
+let std_error t =
+  require_nonempty t;
+  stddev t /. sqrt (Float.of_int t.n)
+
+let min t = require_nonempty t; t.min
+let max t = require_nonempty t; t.max
+
+let merge a b =
+  if a.n = 0 then { n = b.n; mean = b.mean; m2 = b.m2; min = b.min; max = b.max }
+  else if b.n = 0 then { n = a.n; mean = a.mean; m2 = a.m2; min = a.min; max = a.max }
+  else begin
+    let n = a.n + b.n in
+    let delta = b.mean -. a.mean in
+    let mean = a.mean +. (delta *. Float.of_int b.n /. Float.of_int n) in
+    let m2 =
+      a.m2 +. b.m2
+      +. (delta *. delta *. Float.of_int a.n *. Float.of_int b.n /. Float.of_int n)
+    in
+    { n; mean; m2; min = Float.min a.min b.min; max = Float.max a.max b.max }
+  end
+
+let of_array xs =
+  let t = create () in
+  Array.iter (add t) xs;
+  t
+
+let pp ppf t =
+  if t.n = 0 then Format.pp_print_string ppf "(empty)"
+  else Format.fprintf ppf "%.4g ± %.2g (n=%d)" t.mean (stddev t) t.n

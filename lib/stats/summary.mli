@@ -1,0 +1,45 @@
+(** Streaming summary statistics (Welford's algorithm): numerically stable
+    mean/variance in one pass, plus extrema. The accumulator every
+    experiment uses for its per-configuration trial results. *)
+
+type t
+
+(** [create ()] is an empty accumulator. *)
+val create : unit -> t
+
+(** [add t x] folds one observation in. *)
+val add : t -> float -> unit
+
+(** [add_int t x] folds an integer observation in. *)
+val add_int : t -> int -> unit
+
+(** [count t] is the number of observations. *)
+val count : t -> int
+
+(** [mean t] is the sample mean; raises [Invalid_argument] when empty. *)
+val mean : t -> float
+
+(** [variance t] is the unbiased sample variance (0 for fewer than two
+    observations). *)
+val variance : t -> float
+
+(** [stddev t] is [sqrt (variance t)]. *)
+val stddev : t -> float
+
+(** [std_error t] is [stddev t /. sqrt (count t)]. *)
+val std_error : t -> float
+
+(** [min t] / [max t]; raise when empty. *)
+val min : t -> float
+
+val max : t -> float
+
+(** [merge a b] is a fresh accumulator equivalent to having seen both
+    streams (Chan's parallel combination). *)
+val merge : t -> t -> t
+
+(** [of_array xs] summarises an array in one call. *)
+val of_array : float array -> t
+
+(** [pp] prints [mean ± stddev (n=..)]. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,74 @@
+type align = Left | Right
+
+type line = Row of string list | Rule
+
+type t = {
+  headers : string list;
+  aligns : align list;
+  mutable lines : line list; (* reversed *)
+  mutable data_rows : int;
+}
+
+let create ?aligns headers =
+  if headers = [] then invalid_arg "Table.create: no columns";
+  let aligns =
+    match aligns with
+    | None -> List.map (fun _ -> Right) headers
+    | Some a ->
+      if List.length a <> List.length headers then
+        invalid_arg "Table.create: aligns/header count mismatch";
+      a
+  in
+  { headers; aligns; lines = []; data_rows = 0 }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: cell count mismatch";
+  t.lines <- Row cells :: t.lines;
+  t.data_rows <- t.data_rows + 1
+
+let add_rule t = t.lines <- Rule :: t.lines
+
+let rows t = t.data_rows
+
+let render t =
+  let lines = List.rev t.lines in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  List.iter
+    (function
+      | Rule -> ()
+      | Row cells ->
+        List.iteri
+          (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c)
+          cells)
+    lines;
+  let buf = Buffer.create 256 in
+  let pad align width s =
+    let gap = width - String.length s in
+    if gap <= 0 then s
+    else
+      match align with
+      | Left -> s ^ String.make gap ' '
+      | Right -> String.make gap ' ' ^ s
+  in
+  let emit_row cells =
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad (List.nth t.aligns i) widths.(i) c))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  let rule () =
+    let total =
+      Array.fold_left ( + ) 0 widths + (2 * (Array.length widths - 1))
+    in
+    Buffer.add_string buf (String.make total '-');
+    Buffer.add_char buf '\n'
+  in
+  emit_row t.headers;
+  rule ();
+  List.iter (function Rule -> rule () | Row cells -> emit_row cells) lines;
+  Buffer.contents buf
+
+let print t = print_string (render t)

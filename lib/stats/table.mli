@@ -1,0 +1,25 @@
+(** Aligned ASCII tables — the output format of every experiment report. *)
+
+type align = Left | Right
+
+type t
+
+(** [create headers] starts a table with the given column headers
+    (non-empty). Columns default to right alignment. *)
+val create : ?aligns:align list -> string list -> t
+
+(** [add_row t cells] appends a row; the cell count must match the header
+    count. *)
+val add_row : t -> string list -> unit
+
+(** [add_rule t] appends a horizontal separator at this position. *)
+val add_rule : t -> unit
+
+(** [rows t] is the number of data rows so far. *)
+val rows : t -> int
+
+(** [render t] lays the table out with padded columns and a header rule. *)
+val render : t -> string
+
+(** [print t] renders to stdout. *)
+val print : t -> unit

@@ -1,0 +1,288 @@
+(* Unit and property tests for the dstruct library: bitsets, int vectors,
+   union-find. *)
+
+module Bitset = Dstruct.Bitset
+module Intvec = Dstruct.Intvec
+module Union_find = Dstruct.Union_find
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---------- Bitset unit tests ---------- *)
+
+let test_bitset_empty () =
+  let s = Bitset.create 100 in
+  check Alcotest.int "capacity" 100 (Bitset.capacity s);
+  check Alcotest.int "cardinal" 0 (Bitset.cardinal s);
+  check Alcotest.bool "is_empty" true (Bitset.is_empty s);
+  check Alcotest.bool "is_full" false (Bitset.is_full s);
+  check Alcotest.(option int) "choose" None (Bitset.choose s)
+
+let test_bitset_add_remove () =
+  let s = Bitset.create 70 in
+  Bitset.add s 0;
+  Bitset.add s 31;
+  Bitset.add s 32;
+  Bitset.add s 69;
+  check Alcotest.int "cardinal" 4 (Bitset.cardinal s);
+  check Alcotest.bool "mem 31" true (Bitset.mem s 31);
+  check Alcotest.bool "mem 32" true (Bitset.mem s 32);
+  check Alcotest.bool "mem 33" false (Bitset.mem s 33);
+  Bitset.remove s 31;
+  check Alcotest.bool "removed" false (Bitset.mem s 31);
+  check Alcotest.int "cardinal after remove" 3 (Bitset.cardinal s);
+  check Alcotest.(list int) "to_list sorted" [ 0; 32; 69 ] (Bitset.to_list s);
+  check Alcotest.(option int) "choose smallest" (Some 0) (Bitset.choose s)
+
+let test_bitset_fill_clear () =
+  let s = Bitset.create 65 in
+  Bitset.fill s;
+  check Alcotest.int "full cardinal" 65 (Bitset.cardinal s);
+  check Alcotest.bool "is_full" true (Bitset.is_full s);
+  Bitset.clear s;
+  check Alcotest.bool "cleared" true (Bitset.is_empty s)
+
+let test_bitset_fill_exact_boundary () =
+  (* Capacities at word boundaries must not set phantom bits. *)
+  List.iter
+    (fun n ->
+      let s = Bitset.create n in
+      Bitset.fill s;
+      check Alcotest.int (Printf.sprintf "fill n=%d" n) n (Bitset.cardinal s))
+    [ 1; 31; 32; 33; 63; 64; 65; 96; 128 ]
+
+let test_bitset_zero_capacity () =
+  let s = Bitset.create 0 in
+  check Alcotest.int "cardinal" 0 (Bitset.cardinal s);
+  check Alcotest.bool "is_full on empty universe" true (Bitset.is_full s);
+  Bitset.fill s;
+  Bitset.clear s
+
+let test_bitset_out_of_range () =
+  let s = Bitset.create 10 in
+  Alcotest.check_raises "negative" (Invalid_argument "Bitset: index out of range")
+    (fun () -> Bitset.add s (-1));
+  Alcotest.check_raises "too large" (Invalid_argument "Bitset: index out of range")
+    (fun () -> ignore (Bitset.mem s 10))
+
+let test_bitset_set_ops () =
+  let a = Bitset.of_list 50 [ 1; 2; 3; 10; 40 ] in
+  let b = Bitset.of_list 50 [ 2; 3; 4; 41 ] in
+  let u = Bitset.copy a in
+  Bitset.union_into ~src:b ~dst:u;
+  check Alcotest.(list int) "union" [ 1; 2; 3; 4; 10; 40; 41 ] (Bitset.to_list u);
+  let i = Bitset.copy a in
+  Bitset.inter_into ~src:b ~dst:i;
+  check Alcotest.(list int) "inter" [ 2; 3 ] (Bitset.to_list i);
+  let d = Bitset.copy a in
+  Bitset.diff_into ~src:b ~dst:d;
+  check Alcotest.(list int) "diff" [ 1; 10; 40 ] (Bitset.to_list d);
+  check Alcotest.bool "subset inter<=a" true (Bitset.subset i a);
+  check Alcotest.bool "not subset" false (Bitset.subset b a);
+  check Alcotest.bool "equal self" true (Bitset.equal a (Bitset.copy a));
+  check Alcotest.bool "not equal" false (Bitset.equal a b)
+
+let test_bitset_blit_iter_fold () =
+  let a = Bitset.of_list 40 [ 5; 17; 39 ] in
+  let b = Bitset.create 40 in
+  Bitset.blit ~src:a ~dst:b;
+  check Alcotest.bool "blit equal" true (Bitset.equal a b);
+  let collected = ref [] in
+  Bitset.iter (fun i -> collected := i :: !collected) a;
+  check Alcotest.(list int) "iter increasing" [ 39; 17; 5 ] !collected;
+  check Alcotest.int "fold sum" 61 (Bitset.fold ( + ) a 0)
+
+let test_bitset_capacity_mismatch () =
+  let a = Bitset.create 10 and b = Bitset.create 11 in
+  Alcotest.check_raises "union mismatch"
+    (Invalid_argument "Bitset.union_into: capacity mismatch") (fun () ->
+      Bitset.union_into ~src:a ~dst:b)
+
+(* Property: bitset behaves like a reference implementation over int
+   sets. *)
+let bitset_model_prop =
+  QCheck.Test.make ~name:"bitset agrees with a model set" ~count:300
+    QCheck.(pair (int_bound 200) (small_list (pair bool (int_bound 220))))
+    (fun (n, ops) ->
+      let n = n + 1 in
+      let s = Bitset.create n in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (add, i) ->
+          let i = i mod n in
+          if add then begin
+            Bitset.add s i;
+            Hashtbl.replace model i ()
+          end
+          else begin
+            Bitset.remove s i;
+            Hashtbl.remove model i
+          end)
+        ops;
+      let expected = List.sort compare (Hashtbl.fold (fun k () l -> k :: l) model []) in
+      Bitset.to_list s = expected && Bitset.cardinal s = List.length expected)
+
+let bitset_union_commutes_prop =
+  QCheck.Test.make ~name:"union commutes" ~count:200
+    QCheck.(pair (small_list (int_bound 99)) (small_list (int_bound 99)))
+    (fun (xs, ys) ->
+      let a = Bitset.of_list 100 xs and b = Bitset.of_list 100 ys in
+      let ab = Bitset.copy a in
+      Bitset.union_into ~src:b ~dst:ab;
+      let ba = Bitset.copy b in
+      Bitset.union_into ~src:a ~dst:ba;
+      Bitset.equal ab ba)
+
+(* ---------- Intvec ---------- *)
+
+let test_intvec_push_pop () =
+  let v = Intvec.create () in
+  check Alcotest.bool "empty" true (Intvec.is_empty v);
+  for i = 0 to 99 do
+    Intvec.push v (i * i)
+  done;
+  check Alcotest.int "length" 100 (Intvec.length v);
+  check Alcotest.int "get 7" 49 (Intvec.get v 7);
+  check Alcotest.int "pop" (99 * 99) (Intvec.pop v);
+  check Alcotest.int "length after pop" 99 (Intvec.length v);
+  Intvec.clear v;
+  check Alcotest.bool "cleared" true (Intvec.is_empty v)
+
+let test_intvec_bounds () =
+  let v = Intvec.of_array [| 1; 2; 3 |] in
+  Alcotest.check_raises "get oob" (Invalid_argument "Intvec: index out of range")
+    (fun () -> ignore (Intvec.get v 3));
+  Alcotest.check_raises "pop empty" (Invalid_argument "Intvec.pop: empty") (fun () ->
+      ignore (Intvec.pop (Intvec.create ())))
+
+let test_intvec_conversions () =
+  let v = Intvec.of_array [| 3; 1; 2 |] in
+  check Alcotest.(list int) "to_list" [ 3; 1; 2 ] (Intvec.to_list v);
+  Intvec.sort v;
+  check Alcotest.(list int) "sorted" [ 1; 2; 3 ] (Intvec.to_list v);
+  Intvec.swap v 0 2;
+  check Alcotest.(list int) "swapped" [ 3; 2; 1 ] (Intvec.to_list v);
+  check Alcotest.int "fold" 6 (Intvec.fold ( + ) 0 v)
+
+let intvec_model_prop =
+  QCheck.Test.make ~name:"intvec behaves like a list accumulator" ~count:300
+    QCheck.(small_list small_int)
+    (fun xs ->
+      let v = Intvec.create ~capacity:1 () in
+      List.iter (Intvec.push v) xs;
+      Intvec.to_list v = xs && Intvec.length v = List.length xs)
+
+(* ---------- Heap ---------- *)
+
+module Heap = Dstruct.Heap
+
+let test_heap_basic () =
+  let h = Heap.create () in
+  check Alcotest.bool "empty" true (Heap.is_empty h);
+  check Alcotest.bool "min none" true (Heap.min h = None);
+  Heap.push h ~priority:3.0 ~payload:30;
+  Heap.push h ~priority:1.0 ~payload:10;
+  Heap.push h ~priority:2.0 ~payload:20;
+  check Alcotest.int "size" 3 (Heap.size h);
+  check Alcotest.bool "peek min" true (Heap.min h = Some (1.0, 10));
+  check Alcotest.bool "pop order 1" true (Heap.pop h = (1.0, 10));
+  check Alcotest.bool "pop order 2" true (Heap.pop h = (2.0, 20));
+  check Alcotest.bool "pop order 3" true (Heap.pop h = (3.0, 30));
+  Alcotest.check_raises "pop empty" (Invalid_argument "Heap.pop: empty") (fun () ->
+      ignore (Heap.pop h))
+
+let test_heap_clear () =
+  let h = Heap.create ~capacity:2 () in
+  for i = 0 to 99 do
+    Heap.push h ~priority:(Float.of_int (100 - i)) ~payload:i
+  done;
+  check Alcotest.int "size 100" 100 (Heap.size h);
+  Heap.clear h;
+  check Alcotest.bool "cleared" true (Heap.is_empty h)
+
+let heap_sorts_prop =
+  QCheck.Test.make ~name:"heap pops in priority order" ~count:300
+    QCheck.(small_list (float_range (-100.0) 100.0))
+    (fun ps ->
+      let h = Heap.create () in
+      List.iteri (fun i p -> Heap.push h ~priority:p ~payload:i) ps;
+      let out = ref [] in
+      while not (Heap.is_empty h) do
+        out := fst (Heap.pop h) :: !out
+      done;
+      List.rev !out = List.sort compare ps)
+
+(* ---------- Union_find ---------- *)
+
+let test_union_find_basic () =
+  let u = Union_find.create 10 in
+  check Alcotest.int "initial classes" 10 (Union_find.count u);
+  check Alcotest.bool "union new" true (Union_find.union u 0 1);
+  check Alcotest.bool "union again" false (Union_find.union u 0 1);
+  check Alcotest.bool "same" true (Union_find.same u 0 1);
+  check Alcotest.bool "not same" false (Union_find.same u 0 2);
+  check Alcotest.int "classes" 9 (Union_find.count u)
+
+let test_union_find_chain () =
+  let u = Union_find.create 100 in
+  for i = 0 to 98 do
+    ignore (Union_find.union u i (i + 1))
+  done;
+  check Alcotest.int "one class" 1 (Union_find.count u);
+  check Alcotest.bool "ends connected" true (Union_find.same u 0 99)
+
+let union_find_transitive_prop =
+  QCheck.Test.make ~name:"union-find equivalence is transitive" ~count:200
+    QCheck.(small_list (pair (int_bound 29) (int_bound 29)))
+    (fun pairs ->
+      let u = Union_find.create 30 in
+      List.iter (fun (a, b) -> ignore (Union_find.union u a b)) pairs;
+      (* check transitivity on all triples *)
+      let ok = ref true in
+      for a = 0 to 29 do
+        for b = 0 to 29 do
+          for c = 0 to 29 do
+            if Union_find.same u a b && Union_find.same u b c then
+              ok := !ok && Union_find.same u a c
+          done
+        done
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "dstruct"
+    [
+      ( "bitset",
+        [
+          Alcotest.test_case "empty" `Quick test_bitset_empty;
+          Alcotest.test_case "add/remove" `Quick test_bitset_add_remove;
+          Alcotest.test_case "fill/clear" `Quick test_bitset_fill_clear;
+          Alcotest.test_case "fill word boundaries" `Quick test_bitset_fill_exact_boundary;
+          Alcotest.test_case "zero capacity" `Quick test_bitset_zero_capacity;
+          Alcotest.test_case "out of range" `Quick test_bitset_out_of_range;
+          Alcotest.test_case "set operations" `Quick test_bitset_set_ops;
+          Alcotest.test_case "blit/iter/fold" `Quick test_bitset_blit_iter_fold;
+          Alcotest.test_case "capacity mismatch" `Quick test_bitset_capacity_mismatch;
+          qtest bitset_model_prop;
+          qtest bitset_union_commutes_prop;
+        ] );
+      ( "intvec",
+        [
+          Alcotest.test_case "push/pop" `Quick test_intvec_push_pop;
+          Alcotest.test_case "bounds" `Quick test_intvec_bounds;
+          Alcotest.test_case "conversions" `Quick test_intvec_conversions;
+          qtest intvec_model_prop;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "basic" `Quick test_heap_basic;
+          Alcotest.test_case "grow/clear" `Quick test_heap_clear;
+          qtest heap_sorts_prop;
+        ] );
+      ( "union_find",
+        [
+          Alcotest.test_case "basic" `Quick test_union_find_basic;
+          Alcotest.test_case "chain" `Quick test_union_find_chain;
+          qtest union_find_transitive_prop;
+        ] );
+    ]

@@ -1,0 +1,55 @@
+(* Tests for the experiment registry: identity hygiene and lookup. The
+   experiments themselves run end-to-end in the integration suite and in
+   bench/main.exe; here we verify the catalogue's contract. *)
+
+module Registry = Experiments.Registry
+module Spec = Experiments.Spec
+
+let check = Alcotest.check
+
+let test_count_and_order () =
+  check Alcotest.int "fifteen experiments" 15 (List.length Registry.all);
+  let ids = List.map (fun s -> s.Spec.id) Registry.all in
+  check
+    Alcotest.(list string)
+    "id order"
+    [ "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10"; "E11"; "E12"; "E13"; "E14"; "E15" ]
+    ids
+
+let test_unique_slugs () =
+  let slugs = List.map (fun s -> s.Spec.slug) Registry.all in
+  check Alcotest.int "slugs unique" (List.length slugs)
+    (List.length (List.sort_uniq compare slugs))
+
+let test_find_by_id_and_slug () =
+  (match Registry.find "E4" with
+  | Some s -> check Alcotest.string "by id" "duality" s.Spec.slug
+  | None -> Alcotest.fail "E4 missing");
+  (match Registry.find "duality" with
+  | Some s -> check Alcotest.string "by slug" "E4" s.Spec.id
+  | None -> Alcotest.fail "slug missing");
+  (match Registry.find " e4 " with
+  | Some _ -> ()
+  | None -> Alcotest.fail "case/space insensitive lookup failed");
+  check Alcotest.bool "unknown" true (Registry.find "E99" = None)
+
+let test_metadata_nonempty () =
+  List.iter
+    (fun s ->
+      if s.Spec.title = "" then Alcotest.failf "%s: empty title" s.Spec.id;
+      if s.Spec.claim = "" then Alcotest.failf "%s: empty claim" s.Spec.id;
+      if String.length s.Spec.claim < 30 then
+        Alcotest.failf "%s: claim suspiciously short" s.Spec.id)
+    Registry.all
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "count and order" `Quick test_count_and_order;
+          Alcotest.test_case "unique slugs" `Quick test_unique_slugs;
+          Alcotest.test_case "find" `Quick test_find_by_id_and_slug;
+          Alcotest.test_case "metadata" `Quick test_metadata_nonempty;
+        ] );
+    ]

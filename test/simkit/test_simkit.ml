@@ -1,0 +1,169 @@
+(* Tests for the simkit harness: scales, seed discipline, trial runners,
+   CSV emission, report cells. *)
+
+module Scale = Simkit.Scale
+module Seeds = Simkit.Seeds
+module Trial = Simkit.Trial
+module Csvout = Simkit.Csvout
+module Report = Simkit.Report
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---------- Scale ---------- *)
+
+let test_scale_parse () =
+  check Alcotest.bool "quick" true (Scale.of_string "quick" = Ok Scale.Quick);
+  check Alcotest.bool "QUICK case" true (Scale.of_string " QUICK " = Ok Scale.Quick);
+  check Alcotest.bool "standard" true (Scale.of_string "standard" = Ok Scale.Standard);
+  check Alcotest.bool "full" true (Scale.of_string "full" = Ok Scale.Full);
+  check Alcotest.bool "garbage" true (Result.is_error (Scale.of_string "medium"))
+
+let test_scale_pick_roundtrip () =
+  List.iter
+    (fun s ->
+      check Alcotest.bool "roundtrip" true (Scale.of_string (Scale.to_string s) = Ok s))
+    [ Scale.Quick; Scale.Standard; Scale.Full ];
+  check Alcotest.int "pick quick" 1 (Scale.pick Scale.Quick ~quick:1 ~standard:2 ~full:3);
+  check Alcotest.int "pick full" 3 (Scale.pick Scale.Full ~quick:1 ~standard:2 ~full:3)
+
+(* ---------- Seeds ---------- *)
+
+let test_seed_streams_deterministic () =
+  let a = Seeds.trial_rng ~master:5 ~salt:3 in
+  let b = Seeds.trial_rng ~master:5 ~salt:3 in
+  for _ = 1 to 20 do
+    check Alcotest.int "same stream" (Prng.Rng.bits a) (Prng.Rng.bits b)
+  done
+
+let test_seed_streams_independent () =
+  let a = Seeds.trial_rng ~master:5 ~salt:3 in
+  let b = Seeds.trial_rng ~master:5 ~salt:4 in
+  let c = Seeds.trial_rng ~master:6 ~salt:3 in
+  let collisions = ref 0 in
+  for _ = 1 to 100 do
+    let va = Prng.Rng.bits a and vb = Prng.Rng.bits b and vc = Prng.Rng.bits c in
+    if va = vb || va = vc || vb = vc then incr collisions
+  done;
+  check Alcotest.int "no collisions" 0 !collisions
+
+let test_tagged_rng () =
+  let a = Seeds.tagged_rng ~master:1 ~tag:"x" in
+  let a' = Seeds.tagged_rng ~master:1 ~tag:"x" in
+  let b = Seeds.tagged_rng ~master:1 ~tag:"y" in
+  check Alcotest.int "same tag same stream" (Prng.Rng.bits a) (Prng.Rng.bits a');
+  check Alcotest.bool "different tags differ" true (Prng.Rng.bits a <> Prng.Rng.bits b)
+
+(* ---------- Trial ---------- *)
+
+let test_collect_deterministic () =
+  let f rng = Prng.Rng.int rng 1000 in
+  let a = Trial.collect ~trials:10 ~master:7 ~salt0:0 f in
+  let b = Trial.collect ~trials:10 ~master:7 ~salt0:0 f in
+  check Alcotest.(array int) "reproducible" a b;
+  let c = Trial.collect ~trials:10 ~master:8 ~salt0:0 f in
+  check Alcotest.bool "different master differs" true (a <> c)
+
+let test_collect_censored () =
+  let f rng = if Prng.Rng.int rng 2 = 0 then Some 1.0 else None in
+  let r = Trial.collect_censored ~trials:100 ~master:7 ~salt0:0 f in
+  check Alcotest.int "values + censored = trials" 100
+    (Array.length r.Trial.values + r.Trial.censored);
+  check Alcotest.bool "some of each" true
+    (Array.length r.Trial.values > 10 && r.Trial.censored > 10)
+
+let test_summarize_int () =
+  let s, censored =
+    Trial.summarize_int ~trials:50 ~master:1 ~salt0:0 (fun rng ->
+        Some (Prng.Rng.int rng 10))
+  in
+  check Alcotest.int "no censoring" 0 censored;
+  check Alcotest.int "count" 50 (Stats.Summary.count s);
+  check Alcotest.bool "mean in range" true
+    (Stats.Summary.mean s >= 0.0 && Stats.Summary.mean s <= 9.0)
+
+let test_summarize_all_censored () =
+  Alcotest.check_raises "all censored" (Failure "Trial: every trial was censored")
+    (fun () ->
+      ignore (Trial.summarize_int ~trials:5 ~master:1 ~salt0:0 (fun _ -> None)))
+
+(* ---------- Csvout ---------- *)
+
+let test_csv_escape () =
+  check Alcotest.string "plain" "abc" (Csvout.escape "abc");
+  check Alcotest.string "comma" "\"a,b\"" (Csvout.escape "a,b");
+  check Alcotest.string "quote" "\"a\"\"b\"" (Csvout.escape "a\"b");
+  check Alcotest.string "newline" "\"a\nb\"" (Csvout.escape "a\nb")
+
+let test_csv_document () =
+  let doc = Csvout.to_string ~header:[ "x"; "y" ] [ [ "1"; "2" ]; [ "a,b"; "c" ] ] in
+  check Alcotest.string "document" "x,y\n1,2\n\"a,b\",c\n" doc;
+  Alcotest.check_raises "arity" (Invalid_argument "Csvout: row arity mismatch")
+    (fun () -> ignore (Csvout.to_string ~header:[ "x" ] [ [ "1"; "2" ] ]))
+
+let test_csv_file_roundtrip () =
+  let path = Filename.temp_file "cobra_test" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Csvout.write_file path ~header:[ "a" ] [ [ "1" ]; [ "2" ] ];
+      let ic = open_in path in
+      let content = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      check Alcotest.string "file content" "a\n1\n2\n" content)
+
+let csv_parse_roundtrip_prop =
+  QCheck.Test.make ~name:"escaped fields never break row structure" ~count:200
+    QCheck.(small_list (small_list printable_string))
+    (fun rows ->
+      QCheck.assume (rows <> [] && List.for_all (fun r -> List.length r = 2) rows);
+      let doc = Csvout.to_string ~header:[ "a"; "b" ] rows in
+      (* Count unquoted newlines = rows + header. *)
+      let lines = ref 0 and in_quotes = ref false in
+      String.iter
+        (fun c ->
+          if c = '"' then in_quotes := not !in_quotes
+          else if c = '\n' && not !in_quotes then incr lines)
+        doc;
+      !lines = List.length rows + 1)
+
+(* ---------- Report ---------- *)
+
+let test_report_cells () =
+  check Alcotest.string "integral float" "42" (Report.float_cell 42.0);
+  check Alcotest.string "fractional" "3.142" (Report.float_cell 3.14159);
+  let s = Stats.Summary.of_array [| 10.0; 11.0; 9.0; 10.0 |] in
+  let cell = Report.mean_ci_cell s in
+  check Alcotest.bool "has plus-minus" true
+    (String.length cell > 2 && String.contains cell '\xc2' || String.contains cell ' ')
+
+let () =
+  Alcotest.run "simkit"
+    [
+      ( "scale",
+        [
+          Alcotest.test_case "parse" `Quick test_scale_parse;
+          Alcotest.test_case "pick/roundtrip" `Quick test_scale_pick_roundtrip;
+        ] );
+      ( "seeds",
+        [
+          Alcotest.test_case "deterministic" `Quick test_seed_streams_deterministic;
+          Alcotest.test_case "independent" `Quick test_seed_streams_independent;
+          Alcotest.test_case "tagged" `Quick test_tagged_rng;
+        ] );
+      ( "trial",
+        [
+          Alcotest.test_case "collect deterministic" `Quick test_collect_deterministic;
+          Alcotest.test_case "censored accounting" `Quick test_collect_censored;
+          Alcotest.test_case "summarize" `Quick test_summarize_int;
+          Alcotest.test_case "all censored" `Quick test_summarize_all_censored;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "escape" `Quick test_csv_escape;
+          Alcotest.test_case "document" `Quick test_csv_document;
+          Alcotest.test_case "file roundtrip" `Quick test_csv_file_roundtrip;
+          qtest csv_parse_roundtrip_prop;
+        ] );
+      ("report", [ Alcotest.test_case "cells" `Quick test_report_cells ]);
+    ]

@@ -1,0 +1,332 @@
+(* Tests for the stats library: summaries, quantiles, intervals,
+   regression, histograms, tables. *)
+
+module Summary = Stats.Summary
+module Quantile = Stats.Quantile
+module Ci = Stats.Ci
+module Regress = Stats.Regress
+module Histogram = Stats.Histogram
+module Table = Stats.Table
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let close ?(eps = 1e-9) msg a b =
+  if Float.abs (a -. b) > eps then Alcotest.failf "%s: %.8f vs %.8f" msg a b
+
+(* ---------- Summary ---------- *)
+
+let test_summary_known () =
+  let s = Summary.of_array [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  check Alcotest.int "count" 8 (Summary.count s);
+  close "mean" 5.0 (Summary.mean s);
+  (* sample variance of the classic array: ss = 32, / 7 *)
+  close "variance" (32.0 /. 7.0) (Summary.variance s);
+  close "min" 2.0 (Summary.min s);
+  close "max" 9.0 (Summary.max s);
+  close "std_error" (Summary.stddev s /. sqrt 8.0) (Summary.std_error s)
+
+let test_summary_empty_and_single () =
+  let s = Summary.create () in
+  check Alcotest.int "empty count" 0 (Summary.count s);
+  Alcotest.check_raises "empty mean" (Invalid_argument "Summary: empty accumulator")
+    (fun () -> ignore (Summary.mean s));
+  Summary.add s 42.0;
+  close "single mean" 42.0 (Summary.mean s);
+  close "single variance" 0.0 (Summary.variance s)
+
+let test_summary_merge () =
+  let a = Summary.of_array [| 1.0; 2.0; 3.0 |] in
+  let b = Summary.of_array [| 10.0; 20.0 |] in
+  let m = Summary.merge a b in
+  let direct = Summary.of_array [| 1.0; 2.0; 3.0; 10.0; 20.0 |] in
+  close "merged mean" (Summary.mean direct) (Summary.mean m);
+  close ~eps:1e-9 "merged variance" (Summary.variance direct) (Summary.variance m);
+  close "merged min" 1.0 (Summary.min m);
+  close "merged max" 20.0 (Summary.max m);
+  (* merging with empty is identity *)
+  let e = Summary.create () in
+  close "merge empty left" (Summary.mean a) (Summary.mean (Summary.merge e a));
+  close "merge empty right" (Summary.mean a) (Summary.mean (Summary.merge a e))
+
+let summary_merge_prop =
+  QCheck.Test.make ~name:"merge equals concatenation" ~count:200
+    QCheck.(pair (small_list (float_range (-100.0) 100.0)) (small_list (float_range (-100.0) 100.0)))
+    (fun (xs, ys) ->
+      QCheck.assume (xs <> [] || ys <> []);
+      let a = Summary.of_array (Array.of_list xs) in
+      let b = Summary.of_array (Array.of_list ys) in
+      let m = Summary.merge a b in
+      let d = Summary.of_array (Array.of_list (xs @ ys)) in
+      Float.abs (Summary.mean m -. Summary.mean d) < 1e-6
+      && Float.abs (Summary.variance m -. Summary.variance d) < 1e-6)
+
+(* ---------- Quantile ---------- *)
+
+let test_quantiles () =
+  let xs = [| 15.0; 20.0; 35.0; 40.0; 50.0 |] in
+  close "median" 35.0 (Quantile.median xs);
+  close "q0" 15.0 (Quantile.quantile xs 0.0);
+  close "q1" 50.0 (Quantile.quantile xs 1.0);
+  (* type-7: h = 4*0.25 = 1 -> element index 1 *)
+  close "q25" 20.0 (Quantile.quantile xs 0.25);
+  close "q75" 40.0 (Quantile.quantile xs 0.75);
+  close "iqr" 20.0 (Quantile.iqr xs);
+  (* interpolation case *)
+  close "q10 interpolated" 17.0 (Quantile.quantile xs 0.1)
+
+let test_quantile_unsorted_input () =
+  let xs = [| 3.0; 1.0; 2.0 |] in
+  close "median of unsorted" 2.0 (Quantile.median xs);
+  check Alcotest.(array (float 0.0)) "input unchanged" [| 3.0; 1.0; 2.0 |] xs
+
+let test_quantile_errors () =
+  Alcotest.check_raises "empty" (Invalid_argument "Quantile: empty sample") (fun () ->
+      ignore (Quantile.median [||]));
+  Alcotest.check_raises "bad q" (Invalid_argument "Quantile: q outside [0,1]")
+    (fun () -> ignore (Quantile.quantile [| 1.0 |] 1.5))
+
+let quantile_monotone_prop =
+  QCheck.Test.make ~name:"quantiles are monotone in q" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 30) (float_range (-50.0) 50.0))
+    (fun xs ->
+      let a = Array.of_list xs in
+      let q1 = Quantile.quantile a 0.2
+      and q2 = Quantile.quantile a 0.5
+      and q3 = Quantile.quantile a 0.9 in
+      q1 <= q2 && q2 <= q3)
+
+(* ---------- Ci ---------- *)
+
+let test_z_quantile () =
+  close ~eps:1e-6 "median" 0.0 (Ci.z_quantile 0.5);
+  close ~eps:1e-4 "97.5%" 1.959964 (Ci.z_quantile 0.975);
+  close ~eps:1e-4 "2.5%" (-1.959964) (Ci.z_quantile 0.025);
+  close ~eps:1e-4 "99%" 2.326348 (Ci.z_quantile 0.99);
+  close ~eps:1e-4 "84.13%" 1.0 (Ci.z_quantile 0.8413447)
+
+let test_t_quantile () =
+  (* Reference values from standard t tables. *)
+  close ~eps:1e-6 "t(1) 0.975 = tan(pi*0.475)" (tan (Float.pi *. 0.475))
+    (Ci.t_quantile ~df:1 0.975);
+  close ~eps:1e-3 "t(2) 0.975" 4.30265 (Ci.t_quantile ~df:2 0.975);
+  close ~eps:0.02 "t(5) 0.975" 2.5706 (Ci.t_quantile ~df:5 0.975);
+  close ~eps:0.01 "t(10) 0.975" 2.2281 (Ci.t_quantile ~df:10 0.975);
+  close ~eps:0.005 "t(30) 0.975" 2.0423 (Ci.t_quantile ~df:30 0.975);
+  close ~eps:0.002 "t(200) ~ z" 1.9719 (Ci.t_quantile ~df:200 0.975)
+
+let test_mean_ci () =
+  let s = Summary.of_array [| 10.0; 12.0; 9.0; 11.0; 13.0; 8.0; 12.0; 10.0 |] in
+  let ci = Ci.mean_ci s in
+  check Alcotest.bool "contains mean" true (Ci.contains ci (Summary.mean s));
+  check Alcotest.bool "symmetric" true
+    (Float.abs (ci.Ci.hi +. ci.Ci.lo -. (2.0 *. Summary.mean s)) < 1e-9);
+  (* narrower at lower confidence *)
+  let ci80 = Ci.mean_ci ~level:0.8 s in
+  check Alcotest.bool "80% narrower" true (ci80.Ci.hi -. ci80.Ci.lo < ci.Ci.hi -. ci.Ci.lo)
+
+let test_proportion_ci () =
+  let ci = Ci.proportion_ci ~successes:50 ~trials:100 () in
+  check Alcotest.bool "contains 0.5" true (Ci.contains ci 0.5);
+  check Alcotest.bool "in [0,1]" true (ci.Ci.lo >= 0.0 && ci.Ci.hi <= 1.0);
+  let zero = Ci.proportion_ci ~successes:0 ~trials:20 () in
+  close "lo at 0" 0.0 zero.Ci.lo;
+  check Alcotest.bool "hi above 0" true (zero.Ci.hi > 0.0);
+  let full = Ci.proportion_ci ~successes:20 ~trials:20 () in
+  close "hi at 1" 1.0 full.Ci.hi
+
+let test_mean_ci_coverage () =
+  (* Frequentist check: ~95% of intervals over N(0,1) samples cover 0. *)
+  let rng = Prng.Rng.create 55 in
+  let covered = ref 0 in
+  let reps = 2000 in
+  for _ = 1 to reps do
+    let s = Summary.create () in
+    for _ = 1 to 12 do
+      Summary.add s (Prng.Dist.normal rng ~mu:0.0 ~sigma:1.0)
+    done;
+    if Ci.contains (Ci.mean_ci s) 0.0 then incr covered
+  done;
+  let rate = Float.of_int !covered /. Float.of_int reps in
+  if rate < 0.92 || rate > 0.98 then Alcotest.failf "coverage %f not ~0.95" rate
+
+let test_bootstrap () =
+  let rng = Prng.Rng.create 56 in
+  let xs = Array.init 200 (fun i -> Float.of_int (i mod 10)) in
+  let ci =
+    Ci.bootstrap rng xs ~statistic:(fun a ->
+        Array.fold_left ( +. ) 0.0 a /. Float.of_int (Array.length a))
+  in
+  check Alcotest.bool "bootstrap brackets mean" true (Ci.contains ci 4.5)
+
+(* ---------- Regress ---------- *)
+
+let test_ols_exact_line () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let ys = Array.map (fun x -> 3.0 +. (2.0 *. x)) xs in
+  let f = Regress.ols xs ys in
+  close "slope" 2.0 f.Regress.slope;
+  close "intercept" 3.0 f.Regress.intercept;
+  close "r2" 1.0 f.Regress.r2;
+  close "predict" 13.0 (Regress.predict f 5.0)
+
+let test_ols_noisy () =
+  let rng = Prng.Rng.create 57 in
+  let n = 500 in
+  let xs = Array.init n (fun i -> Float.of_int i /. 10.0) in
+  let ys = Array.map (fun x -> 1.0 +. (0.5 *. x) +. Prng.Dist.normal rng ~mu:0.0 ~sigma:0.3) xs in
+  let f = Regress.ols xs ys in
+  close ~eps:0.01 "noisy slope" 0.5 f.Regress.slope;
+  close ~eps:0.15 "noisy intercept" 1.0 f.Regress.intercept;
+  check Alcotest.bool "good fit" true (f.Regress.r2 > 0.97);
+  close ~eps:0.05 "residual std" 0.3 f.Regress.residual_std
+
+let test_loglog_power_law () =
+  let xs = [| 2.0; 4.0; 8.0; 16.0; 32.0 |] in
+  let ys = Array.map (fun x -> 5.0 *. (x ** 1.5)) xs in
+  let f = Regress.loglog xs ys in
+  close ~eps:1e-9 "exponent" 1.5 f.Regress.slope;
+  close ~eps:1e-9 "log prefactor" (log 5.0) f.Regress.intercept
+
+let test_semilog () =
+  let xs = [| Float.exp 1.0; Float.exp 2.0; Float.exp 3.0 |] in
+  let ys = [| 5.0; 7.0; 9.0 |] in
+  let f = Regress.semilog xs ys in
+  close ~eps:1e-9 "semilog slope" 2.0 f.Regress.slope;
+  close ~eps:1e-9 "semilog intercept" 3.0 f.Regress.intercept
+
+let test_regress_errors () =
+  Alcotest.check_raises "identical xs" (Invalid_argument "Regress.ols: xs are all identical")
+    (fun () -> ignore (Regress.ols [| 1.0; 1.0 |] [| 2.0; 3.0 |]));
+  Alcotest.check_raises "too few" (Invalid_argument "Regress.ols: need at least two points")
+    (fun () -> ignore (Regress.ols [| 1.0 |] [| 2.0 |]));
+  Alcotest.check_raises "negative for loglog"
+    (Invalid_argument "Regress.loglog: values must be positive") (fun () ->
+      ignore (Regress.loglog [| 1.0; -2.0 |] [| 1.0; 2.0 |]))
+
+(* ---------- Histogram ---------- *)
+
+let test_histogram_binning () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5 in
+  List.iter (fun x -> Histogram.add ~h x) [ 0.0; 1.9; 2.0; 5.5; 9.99; -1.0; 10.0; 42.0 ];
+  check Alcotest.(array int) "counts" [| 2; 1; 1; 0; 1 |] (Histogram.counts h);
+  check Alcotest.int "underflow" 1 (Histogram.underflow h);
+  check Alcotest.int "overflow" 2 (Histogram.overflow h);
+  check Alcotest.int "total" 8 (Histogram.total h);
+  let lo, hi = Histogram.bin_range h 1 in
+  close "bin lo" 2.0 lo;
+  close "bin hi" 4.0 hi
+
+let test_histogram_of_array () =
+  let h = Histogram.of_array ~bins:4 [| 1.0; 2.0; 3.0; 4.0 |] in
+  check Alcotest.int "all observed" 4 (Histogram.total h);
+  check Alcotest.int "no overflow" 0 (Histogram.overflow h)
+
+let histogram_conservation_prop =
+  QCheck.Test.make ~name:"histogram conserves observations" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_range (-10.0) 10.0))
+    (fun xs ->
+      let h = Histogram.create ~lo:(-5.0) ~hi:5.0 ~bins:7 in
+      List.iter (fun x -> Histogram.add ~h x) xs;
+      Histogram.total h = List.length xs)
+
+(* ---------- Sparkline ---------- *)
+
+module Sparkline = Stats.Sparkline
+
+let test_sparkline_basic () =
+  check Alcotest.string "empty" "" (Sparkline.render [||]);
+  check Alcotest.string "constant maps to top" "@@@" (Sparkline.render [| 5.0; 5.0; 5.0 |]);
+  let s = Sparkline.render [| 0.0; 10.0 |] in
+  check Alcotest.int "two chars" 2 (String.length s);
+  check Alcotest.bool "min is space, max is @" true (s.[0] = ' ' && s.[1] = '@')
+
+let test_sparkline_bucketing () =
+  let long = Array.init 1000 Float.of_int in
+  let s = Sparkline.render ~width:50 long in
+  check Alcotest.int "bucketed width" 50 (String.length s);
+  (* monotone input stays monotone after bucketing *)
+  let ramp = " .:-=+*#%@" in
+  let level c = String.index ramp c in
+  for i = 1 to String.length s - 1 do
+    if level s.[i] < level s.[i - 1] then Alcotest.fail "not monotone"
+  done
+
+let test_sparkline_ints_and_scale () =
+  let s = Sparkline.render_ints [| 1; 2; 3 |] in
+  check Alcotest.int "length" 3 (String.length s);
+  check Alcotest.string "scale caption" "1 .. 4096" (Sparkline.scale_line ~lo:1.0 ~hi:4096.0)
+
+(* ---------- Table ---------- *)
+
+let test_table_render () =
+  let t = Table.create ~aligns:[ Table.Left; Table.Right ] [ "name"; "value" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let out = Table.render t in
+  let lines = String.split_on_char '\n' out |> List.filter (fun l -> l <> "") in
+  check Alcotest.int "line count" 4 (List.length lines);
+  check Alcotest.string "header" "name   value" (List.nth lines 0);
+  check Alcotest.string "row 1" "alpha      1" (List.nth lines 2);
+  check Alcotest.string "row 2" "b         22" (List.nth lines 3);
+  check Alcotest.int "rows" 2 (Table.rows t)
+
+let test_table_errors () =
+  let t = Table.create [ "a"; "b" ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: cell count mismatch")
+    (fun () -> Table.add_row t [ "only one" ]);
+  Alcotest.check_raises "no columns" (Invalid_argument "Table.create: no columns")
+    (fun () -> ignore (Table.create []))
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "summary",
+        [
+          Alcotest.test_case "known values" `Quick test_summary_known;
+          Alcotest.test_case "empty/single" `Quick test_summary_empty_and_single;
+          Alcotest.test_case "merge" `Quick test_summary_merge;
+          qtest summary_merge_prop;
+        ] );
+      ( "quantile",
+        [
+          Alcotest.test_case "known quantiles" `Quick test_quantiles;
+          Alcotest.test_case "unsorted input" `Quick test_quantile_unsorted_input;
+          Alcotest.test_case "errors" `Quick test_quantile_errors;
+          qtest quantile_monotone_prop;
+        ] );
+      ( "ci",
+        [
+          Alcotest.test_case "z quantile" `Quick test_z_quantile;
+          Alcotest.test_case "t quantile" `Quick test_t_quantile;
+          Alcotest.test_case "mean ci" `Quick test_mean_ci;
+          Alcotest.test_case "proportion ci" `Quick test_proportion_ci;
+          Alcotest.test_case "coverage" `Quick test_mean_ci_coverage;
+          Alcotest.test_case "bootstrap" `Quick test_bootstrap;
+        ] );
+      ( "regress",
+        [
+          Alcotest.test_case "exact line" `Quick test_ols_exact_line;
+          Alcotest.test_case "noisy line" `Quick test_ols_noisy;
+          Alcotest.test_case "power law" `Quick test_loglog_power_law;
+          Alcotest.test_case "semilog" `Quick test_semilog;
+          Alcotest.test_case "errors" `Quick test_regress_errors;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "binning" `Quick test_histogram_binning;
+          Alcotest.test_case "of_array" `Quick test_histogram_of_array;
+          qtest histogram_conservation_prop;
+        ] );
+      ( "sparkline",
+        [
+          Alcotest.test_case "basic" `Quick test_sparkline_basic;
+          Alcotest.test_case "bucketing" `Quick test_sparkline_bucketing;
+          Alcotest.test_case "ints and scale" `Quick test_sparkline_ints_and_scale;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "errors" `Quick test_table_errors;
+        ] );
+    ]
