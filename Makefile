@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-standard examples clean
+.PHONY: all build test bench bench-standard bench-json examples clean
 
 all: build
 
@@ -17,6 +17,11 @@ bench:
 # The EXPERIMENTS.md numbers (~10 min)
 bench-standard:
 	COBRA_SCALE=standard dune exec bench/main.exe
+
+# Machine-readable kernel timings (benchmark name -> ns/run) for diffing
+# perf across PRs; skips the experiment tables.
+bench-json:
+	dune exec bench/main.exe -- --kernels-only --json BENCH_$$(date +%Y-%m-%d).json
 
 examples:
 	dune exec examples/quickstart.exe

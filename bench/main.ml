@@ -3,11 +3,22 @@
    Part 1 (Bechamel): one Test.make per experiment E1..E15, timing that
    experiment's computational kernel at a fixed representative size, plus
    a group of substrate micro-benchmarks (process steps, spectral matvec,
-   generator). Estimates are OLS fits of wall time vs iterations.
+   generator) and a group of before/after kernel pairs: each hot-path
+   optimisation is benchmarked against a bench-local copy of the code it
+   replaced (checked vs unchecked CSR accessors, polymorphic vs
+   monomorphic sort/equality, edge-list vs direct relabel). Estimates
+   are OLS fits of wall time vs iterations.
 
-   Part 2 (tables): regenerates every experiment table at Quick scale —
+   Part 2 (parallel engine): wall-clock of the same trial batch through
+   Trial.collect and Trial.collect_par, asserting the results identical.
+
+   Part 3 (tables): regenerates every experiment table at Quick scale —
    the same tables EXPERIMENTS.md records at Standard/Full scale. Set
-   COBRA_SCALE=standard|full and re-run for the big versions. *)
+   COBRA_SCALE=standard|full and re-run for the big versions.
+
+   Flags: --json FILE     write {"benchmark": ns_per_run, ...} for perf
+                          tracking across PRs (see `make bench-json`)
+          --kernels-only  skip part 3 (the experiment tables) *)
 
 open Bechamel
 module B = Cobra.Branching
@@ -122,6 +133,102 @@ let substrate_kernels =
        Staged.stage (fun () -> ignore (Dstruct.Bitset.cardinal s)));
   ]
 
+(* Before/after pairs for this PR's hot-path pass. The "-before" variant
+   of each pair is a bench-local reimplementation of the code that was
+   replaced, so the table keeps measuring the delta as the library moves
+   on. *)
+let kernel_pairs =
+  let g = expander_4k in
+  let n = Graph.Csr.n_vertices g in
+  [
+    Test.make ~name:"kernel/degree-sum-checked-n4096"
+      (Staged.stage (fun () ->
+           let acc = ref 0 in
+           for v = 0 to n - 1 do
+             acc := !acc + Graph.Csr.degree g v
+           done;
+           ignore !acc));
+    Test.make ~name:"kernel/degree-sum-unsafe-n4096"
+      (Staged.stage (fun () ->
+           let acc = ref 0 in
+           for v = 0 to n - 1 do
+             acc := !acc + Graph.Csr.unsafe_degree g v
+           done;
+           ignore !acc));
+    Test.make ~name:"kernel/iter-neighbours-checked-n4096"
+      (Staged.stage (fun () ->
+           let acc = ref 0 in
+           for v = 0 to n - 1 do
+             Graph.Csr.iter_neighbours g v ~f:(fun w -> acc := !acc + w)
+           done;
+           ignore !acc));
+    Test.make ~name:"kernel/iter-neighbours-unsafe-n4096"
+      (Staged.stage (fun () ->
+           let acc = ref 0 in
+           for v = 0 to n - 1 do
+             Graph.Csr.unsafe_iter_neighbours g v ~f:(fun w -> acc := !acc + w)
+           done;
+           ignore !acc));
+    Test.make ~name:"kernel/random-neighbour-checked-x1024"
+      (let rng = rng_of "k1" in
+       Staged.stage (fun () ->
+           for _ = 1 to 1024 do
+             ignore (Graph.Csr.random_neighbour g rng 0)
+           done));
+    Test.make ~name:"kernel/random-neighbour-unsafe-x1024"
+      (let rng = rng_of "k2" in
+       Staged.stage (fun () ->
+           for _ = 1 to 1024 do
+             ignore (Graph.Csr.unsafe_random_neighbour g rng 0)
+           done));
+    (* Adjacency-slice sort inside Csr.of_edge_iter: polymorphic compare
+       (before) vs Int.compare (after). *)
+    Test.make ~name:"kernel/slice-sort-poly-n12288"
+      (let master_arr = Array.copy (Graph.Csr.unsafe_adjacency g) in
+       let scratch = Array.copy master_arr in
+       Staged.stage (fun () ->
+           Array.blit master_arr 0 scratch 0 (Array.length master_arr);
+           Array.sort compare scratch));
+    Test.make ~name:"kernel/slice-sort-int-n12288"
+      (let master_arr = Array.copy (Graph.Csr.unsafe_adjacency g) in
+       let scratch = Array.copy master_arr in
+       Staged.stage (fun () ->
+           Array.blit master_arr 0 scratch 0 (Array.length master_arr);
+           Array.sort Int.compare scratch));
+    Test.make ~name:"kernel/csr-equal-poly-n4096"
+      (let a = Graph.Csr.unsafe_adjacency g and o = Graph.Csr.unsafe_offsets g in
+       let a' = Array.copy a and o' = Array.copy o in
+       Staged.stage (fun () -> ignore (o = o' && a = a')));
+    Test.make ~name:"kernel/csr-equal-mono-n4096"
+      (let h =
+         Graph.Csr.relabel g (Array.init n Fun.id)
+         (* identity relabel: equal but not physically shared *)
+       in
+       Staged.stage (fun () -> ignore (Graph.Csr.equal g h)));
+    Test.make ~name:"kernel/relabel-edgelist-n1024"
+      (let g1 = expander_1k in
+       let n1 = Graph.Csr.n_vertices g1 in
+       let perm = Array.init n1 (fun v -> (v + 17) mod n1) in
+       Staged.stage (fun () ->
+           let mapped = ref [] in
+           Graph.Csr.iter_edges g1 ~f:(fun u v ->
+               mapped := (perm.(u), perm.(v)) :: !mapped);
+           ignore (Graph.Csr.of_edges ~n:n1 !mapped)));
+    Test.make ~name:"kernel/relabel-direct-n1024"
+      (let g1 = expander_1k in
+       let n1 = Graph.Csr.n_vertices g1 in
+       let perm = Array.init n1 (fun v -> (v + 17) mod n1) in
+       Staged.stage (fun () -> ignore (Graph.Csr.relabel g1 perm)));
+    Test.make ~name:"kernel/process-active-n4096"
+      (let p = Cobra.Process.create expander_4k ~branching:B.cobra_k2 ~start:[ 0 ] in
+       Staged.stage (fun () ->
+           let acc = ref 0 in
+           for v = 0 to n - 1 do
+             if Cobra.Process.active p v then incr acc
+           done;
+           ignore !acc));
+  ]
+
 let run_benchmarks () =
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false () in
   let instance = Toolkit.Instance.monotonic_clock in
@@ -137,6 +244,7 @@ let run_benchmarks () =
     else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
     else Printf.sprintf "%.0f ns" ns
   in
+  let collected = ref [] in
   let bench_one test =
     let raw = Benchmark.all cfg [ instance ] test in
     let results = Analyze.all ols instance raw in
@@ -147,20 +255,85 @@ let run_benchmarks () =
           match Analyze.OLS.estimates o with Some [ e ] -> e | _ -> Float.nan
         in
         let r2 = Option.value ~default:Float.nan (Analyze.OLS.r_square o) in
+        collected := (name, est) :: !collected;
         Stats.Table.add_row table [ name; pretty_time est; Printf.sprintf "%.4f" r2 ])
       (List.sort compare rows)
   in
-  print_endline "== Bechamel kernels: one per experiment, plus substrates ==";
+  print_endline
+    "== Bechamel kernels: one per experiment, substrates, before/after pairs ==";
   List.iter bench_one experiment_kernels;
   List.iter bench_one substrate_kernels;
-  Stats.Table.print table
+  List.iter bench_one kernel_pairs;
+  Stats.Table.print table;
+  List.rev !collected
+
+(* Machine-readable perf trajectory: benchmark name -> ns/run. Later PRs
+   diff these files to catch regressions (see `make bench-json`). *)
+let emit_json path rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "{\n";
+      let last = List.length rows - 1 in
+      List.iteri
+        (fun i (name, ns) ->
+          Printf.fprintf oc "  %S: %.2f%s\n" name ns (if i = last then "" else ","))
+        rows;
+      output_string oc "}\n");
+  Printf.printf "wrote %s (%d benchmarks)\n" path (List.length rows)
+
+(* Wall-clock of the same trial batch, sequential vs the domain pool, with
+   the determinism guarantee checked on the spot. *)
+let parallel_engine_check () =
+  let domains = Simkit.Pool.default_domains () in
+  Printf.printf "\n== Parallel trial engine (COBRA_DOMAINS=%d) ==\n" domains;
+  let trials = 24 in
+  let measure rng =
+    match
+      Cobra.Process.cover_time expander_4k ~branching:B.cobra_k2 ~start:0 rng
+    with
+    | Some t -> t
+    | None -> -1
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let seq, t_seq =
+    time (fun () -> Simkit.Trial.collect ~trials ~master ~salt0:0 measure)
+  in
+  let par, t_par =
+    time (fun () -> Simkit.Trial.collect_par ~trials ~master ~salt0:0 measure)
+  in
+  Printf.printf
+    "E1-style batch (cover, n=4096, %d trials): sequential %.3f s, parallel %.3f s \
+     (speedup %.2fx), results %s\n"
+    trials t_seq t_par (t_seq /. t_par)
+    (if seq = par then "IDENTICAL" else "DIFFER (BUG!)");
+  if seq <> par then exit 1
 
 let () =
   Printf.printf "COBRA/BIPS reproduction benchmark harness (master seed %d)\n" master;
-  run_benchmarks ();
-  let scale = Simkit.Scale.of_env ~default:Simkit.Scale.Quick () in
-  Printf.printf
-    "\n== Experiment tables (scale: %s; set COBRA_SCALE=standard|full for the \
-     EXPERIMENTS.md versions) ==\n"
-    (Simkit.Scale.to_string scale);
-  Experiments.Registry.run_all ~scale ~master
+  let argv = Array.to_list Sys.argv in
+  let kernels_only = List.mem "--kernels-only" argv in
+  let json_path =
+    let rec find = function
+      | "--json" :: path :: _ -> Some path
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find argv
+  in
+  let rows = run_benchmarks () in
+  Option.iter (fun path -> emit_json path rows) json_path;
+  parallel_engine_check ();
+  if not kernels_only then begin
+    let scale = Simkit.Scale.of_env ~default:Simkit.Scale.Quick () in
+    Printf.printf
+      "\n== Experiment tables (scale: %s; set COBRA_SCALE=standard|full for the \
+       EXPERIMENTS.md versions) ==\n"
+      (Simkit.Scale.to_string scale);
+    Experiments.Registry.run_all ~scale ~master
+  end

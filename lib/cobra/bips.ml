@@ -54,17 +54,19 @@ let step p rng =
   let n = Graph.Csr.n_vertices g in
   Bitset.clear p.next;
   let count = ref 0 in
+  (* [u] scans [0 .. n-1] and [w] comes from the adjacency array, so the
+     unchecked bitset operations are in range by construction. *)
   for u = 0 to n - 1 do
     if u = p.source then begin
-      Bitset.add p.next u;
+      Bitset.unsafe_add p.next u;
       incr count
     end
     else begin
       let hit = ref false in
-      let check w = if Bitset.mem p.infected w then hit := true in
+      let check w = if Bitset.unsafe_mem p.infected w then hit := true in
       ignore (Branching.iter_picks p.branching rng g u ~f:check);
       if !hit then begin
-        Bitset.add p.next u;
+        Bitset.unsafe_add p.next u;
         incr count
       end
     end

@@ -6,7 +6,8 @@ type t = {
   branching : Branching.t;
   mutable frontier : Intvec.t; (* members of C_t, no duplicates *)
   mutable next : Intvec.t; (* scratch for C_{t+1} *)
-  in_next : Bitset.t; (* membership for [next]; cleared member-wise *)
+  mutable in_frontier : Bitset.t; (* membership for [frontier]: O(1) [active] *)
+  mutable in_next : Bitset.t; (* membership for [next]; swapped with [in_frontier] *)
   visited : Bitset.t;
   mutable visited_count : int;
   mutable round : int;
@@ -25,6 +26,7 @@ let load_start p start =
   check_start p.graph start;
   Intvec.clear p.frontier;
   Intvec.clear p.next;
+  Bitset.clear p.in_frontier;
   Bitset.clear p.in_next;
   Bitset.clear p.visited;
   p.visited_count <- 0;
@@ -35,6 +37,7 @@ let load_start p start =
       if not (Bitset.mem p.visited v) then begin
         Bitset.add p.visited v;
         p.visited_count <- p.visited_count + 1;
+        Bitset.add p.in_frontier v;
         Intvec.push p.frontier v
       end)
     start
@@ -48,6 +51,7 @@ let create g ~branching ~start =
       branching;
       frontier = Intvec.create ~capacity:64 ();
       next = Intvec.create ~capacity:64 ();
+      in_frontier = Bitset.create n;
       in_next = Bitset.create n;
       visited = Bitset.create n;
       visited_count = 0;
@@ -65,12 +69,11 @@ let branching p = p.branching
 let round p = p.round
 let frontier_size p = Intvec.length p.frontier
 let frontier p = Intvec.to_array p.frontier
-(* Membership of the current frontier. [in_next] is kept empty between
-   rounds, so a linear scan of the (typically small) frontier suffices. *)
+(* O(1): [in_frontier] mirrors [frontier] at all times (the bitsets are
+   swapped along with the vectors at the end of each round). *)
 let active p v =
-  let found = ref false in
-  Intvec.iter (fun u -> if u = v then found := true) p.frontier;
-  !found
+  (* Out-of-range vertices are simply not members, as before. *)
+  v >= 0 && v < Graph.Csr.n_vertices p.graph && Bitset.unsafe_mem p.in_frontier v
 
 let visited p v = Bitset.mem p.visited v
 let visited_count p = p.visited_count
@@ -79,12 +82,14 @@ let transmissions p = p.transmissions
 
 let step p rng =
   let g = p.graph in
+  (* [w] comes from the adjacency array, so it is in range by
+     construction: the unchecked bitset operations are safe. *)
   let push_pick w =
-    if not (Bitset.mem p.in_next w) then begin
-      Bitset.add p.in_next w;
+    if not (Bitset.unsafe_mem p.in_next w) then begin
+      Bitset.unsafe_add p.in_next w;
       Intvec.push p.next w;
-      if not (Bitset.mem p.visited w) then begin
-        Bitset.add p.visited w;
+      if not (Bitset.unsafe_mem p.visited w) then begin
+        Bitset.unsafe_add p.visited w;
         p.visited_count <- p.visited_count + 1
       end
     end
@@ -94,13 +99,17 @@ let step p rng =
       let picks = Branching.iter_picks p.branching rng g v ~f:push_pick in
       p.transmissions <- p.transmissions + picks)
     p.frontier;
-  (* Swap frontier buffers; clear [in_next] member-wise (the frontier is
-     usually much smaller than n). *)
-  Intvec.iter (fun w -> Bitset.remove p.in_next w) p.next;
+  (* Clear the outgoing frontier's membership bits member-wise (the
+     frontier is usually much smaller than n), then swap both the vectors
+     and their membership bitsets, keeping [active] O(1). *)
+  Intvec.iter (fun v -> Bitset.unsafe_remove p.in_frontier v) p.frontier;
   let old = p.frontier in
   p.frontier <- p.next;
   p.next <- old;
   Intvec.clear p.next;
+  let old_bits = p.in_frontier in
+  p.in_frontier <- p.in_next;
+  p.in_next <- old_bits;
   p.round <- p.round + 1
 
 let default_cap g = 10_000 + (100 * Graph.Csr.n_vertices g)

@@ -7,6 +7,10 @@ let default_cap g =
   let n = Graph.Csr.n_vertices g in
   (100 * n * n) + 10_000
 
+(* The walk positions stay in range by construction ([start] is checked
+   on entry, every later position is an adjacency entry), so the loops
+   below use the unchecked CSR/bitset accessors. *)
+
 let cover_time ?cap g ~start rng =
   check g start;
   let n = Graph.Csr.n_vertices g in
@@ -17,11 +21,11 @@ let cover_time ?cap g ~start rng =
     if remaining = 0 then Some steps
     else if steps >= cap then None
     else begin
-      let next = Graph.Csr.random_neighbour g rng pos in
+      let next = Graph.Csr.unsafe_random_neighbour g rng pos in
       let remaining =
-        if Bitset.mem seen next then remaining
+        if Bitset.unsafe_mem seen next then remaining
         else begin
-          Bitset.add seen next;
+          Bitset.unsafe_add seen next;
           remaining - 1
         end
       in
@@ -37,7 +41,7 @@ let hitting_time ?cap g ~start ~target rng =
   let rec go pos steps =
     if pos = target then Some steps
     else if steps >= cap then None
-    else go (Graph.Csr.random_neighbour g rng pos) (steps + 1)
+    else go (Graph.Csr.unsafe_random_neighbour g rng pos) (steps + 1)
   in
   go start 0
 
@@ -53,10 +57,10 @@ let multi_cover_time ?cap g ~walkers ~start rng =
   let rounds = ref 0 in
   while !remaining > 0 && !rounds < cap do
     for w = 0 to walkers - 1 do
-      let next = Graph.Csr.random_neighbour g rng positions.(w) in
+      let next = Graph.Csr.unsafe_random_neighbour g rng positions.(w) in
       positions.(w) <- next;
-      if not (Bitset.mem seen next) then begin
-        Bitset.add seen next;
+      if not (Bitset.unsafe_mem seen next) then begin
+        Bitset.unsafe_add seen next;
         decr remaining
       end
     done;
@@ -69,6 +73,6 @@ let positions ?(steps = 1000) g ~start rng =
   if steps < 0 then invalid_arg "Rwalk.positions: steps >= 0";
   let out = Array.make (steps + 1) start in
   for i = 1 to steps do
-    out.(i) <- Graph.Csr.random_neighbour g rng out.(i - 1)
+    out.(i) <- Graph.Csr.unsafe_random_neighbour g rng out.(i - 1)
   done;
   out

@@ -34,6 +34,19 @@ let remove s i =
   let w = i lsr shift in
   s.words.(w) <- s.words.(w) land lnot (1 lsl (i land mask))
 
+(* Check-free variants for simulation inner loops; [0 <= i < n] is the
+   caller's obligation. *)
+let unsafe_mem s i =
+  Array.unsafe_get s.words (i lsr shift) land (1 lsl (i land mask)) <> 0
+
+let unsafe_add s i =
+  let w = i lsr shift in
+  Array.unsafe_set s.words w (Array.unsafe_get s.words w lor (1 lsl (i land mask)))
+
+let unsafe_remove s i =
+  let w = i lsr shift in
+  Array.unsafe_set s.words w (Array.unsafe_get s.words w land lnot (1 lsl (i land mask)))
+
 let add_seq s xs = Seq.iter (add s) xs
 
 let clear s = Array.fill s.words 0 (Array.length s.words) 0

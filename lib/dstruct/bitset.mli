@@ -23,6 +23,16 @@ val add : t -> int -> unit
 (** [remove s i] deletes [i]. *)
 val remove : t -> int -> unit
 
+(** [unsafe_mem], [unsafe_add], [unsafe_remove]: check-free variants of
+    {!mem}/{!add}/{!remove} for simulation inner loops. Identical results
+    for [0 <= i < capacity]; out-of-range indices are undefined
+    behaviour. *)
+val unsafe_mem : t -> int -> bool
+
+val unsafe_add : t -> int -> unit
+
+val unsafe_remove : t -> int -> unit
+
 (** [add_seq s xs] inserts every element of [xs]. *)
 val add_seq : t -> int Seq.t -> unit
 

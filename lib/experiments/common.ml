@@ -6,16 +6,20 @@ let expander ~master ~tag ~n ~r =
   let rng = graph_rng ~master ~tag:(Printf.sprintf "%s:n=%d:r=%d" tag n r) in
   Graph.Gen.random_regular rng ~n ~r
 
+(* The [_par] runners are bit-for-bit identical to the sequential ones
+   (each trial derives its own stream from [salt0 + i] and lands in slot
+   [i]), so every experiment parallelises over COBRA_DOMAINS for free
+   without changing a single reported number. *)
 let cover_summary ?cap g ~branching ~start ~trials ~master ~tag =
-  Simkit.Trial.summarize_int ~trials ~master ~salt0:(salt_of ~tag) (fun rng ->
+  Simkit.Trial.summarize_int_par ~trials ~master ~salt0:(salt_of ~tag) (fun rng ->
       Cobra.Process.cover_time ?cap g ~branching ~start rng)
 
 let infection_summary ?cap g ~branching ~source ~trials ~master ~tag =
-  Simkit.Trial.summarize_int ~trials ~master ~salt0:(salt_of ~tag) (fun rng ->
+  Simkit.Trial.summarize_int_par ~trials ~master ~salt0:(salt_of ~tag) (fun rng ->
       Cobra.Bips.infection_time ?cap g ~branching ~source rng)
 
 let walk_cover_summary ?cap g ~start ~trials ~master ~tag =
-  Simkit.Trial.summarize_int ~trials ~master ~salt0:(salt_of ~tag) (fun rng ->
+  Simkit.Trial.summarize_int_par ~trials ~master ~salt0:(salt_of ~tag) (fun rng ->
       Cobra.Rwalk.cover_time ?cap g ~start rng)
 
 let ln n = log (Float.of_int n)

@@ -25,4 +25,7 @@ let find key =
     all
 
 let run_all ~scale ~master =
+  Printf.printf "trial engine: %d domain(s) (set COBRA_DOMAINS to override; results are\n"
+    (Simkit.Pool.default_domains ());
+  print_endline "identical at any domain count — each trial owns stream salt0 + i)";
   List.iter (fun s -> Spec.run_with_banner s ~scale ~master) all

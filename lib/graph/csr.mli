@@ -86,5 +86,24 @@ val unsafe_offsets : t -> int array
 
 val unsafe_adjacency : t -> int array
 
+(** {1 Unchecked accessors}
+
+    Bounds-check-free variants of {!degree}, {!nth_neighbour},
+    {!random_neighbour} and {!iter_neighbours} for the simulation inner
+    loops ([Process.step], [Bips.step], [Rwalk]). They return exactly the
+    same results as the checked versions whenever the vertex (and
+    neighbour index) is in range; out-of-range arguments are undefined
+    behaviour. Callers must have validated [v] on entry — the process
+    engines only ever pass frontier members and adjacency entries, which
+    are in range by construction. *)
+
+val unsafe_degree : t -> int -> int
+
+val unsafe_nth_neighbour : t -> int -> int -> int
+
+val unsafe_random_neighbour : t -> Prng.Rng.t -> int -> int
+
+val unsafe_iter_neighbours : t -> int -> f:(int -> unit) -> unit
+
 (** [pp] prints a short [n=..., m=..., r=...] summary. *)
 val pp : Format.formatter -> t -> unit

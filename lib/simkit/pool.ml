@@ -1,0 +1,171 @@
+(* Fixed-size domain pool with chunked work distribution.
+
+   Batches are published to the workers as a closure plus an epoch
+   counter; workers sleep on a condition variable between batches. Within
+   a batch, lanes claim contiguous index chunks from an atomic cursor, so
+   the only cross-domain traffic on the hot path is one fetch-and-add per
+   chunk. Completion is tracked by counting finished items: every claimed
+   chunk accounts for its full extent even when a trial raises, so the
+   caller's wait below can never hang. *)
+
+type batch = {
+  total : int;
+  work : int -> unit;
+  cursor : int Atomic.t; (* next unclaimed index *)
+  chunk : int;
+  finished : int Atomic.t; (* items accounted for *)
+  failure : exn option Atomic.t; (* first exception, re-raised by the caller *)
+}
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  wake : Condition.t; (* workers: a new batch (or shutdown) is available *)
+  done_ : Condition.t; (* caller: the current batch may have completed *)
+  mutable batch : batch option;
+  mutable epoch : int;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t array;
+}
+
+(* Drain one batch: claim chunks until the cursor runs off the end. After
+   a failure is recorded the remaining chunks are still claimed (keeping
+   the finished count honest) but the user function is skipped. *)
+let drain b ~signal =
+  let continue = ref true in
+  while !continue do
+    let start = Atomic.fetch_and_add b.cursor b.chunk in
+    if start >= b.total then continue := false
+    else begin
+      let stop = min b.total (start + b.chunk) in
+      if Atomic.get b.failure = None then begin
+        try
+          for i = start to stop - 1 do
+            b.work i
+          done
+        with e -> ignore (Atomic.compare_and_set b.failure None (Some e))
+      end;
+      let done_now = stop - start + Atomic.fetch_and_add b.finished (stop - start) in
+      if done_now >= b.total then signal ()
+    end
+  done
+
+let worker pool =
+  let last_epoch = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock pool.mutex;
+    while (not pool.stopping) && pool.epoch = !last_epoch do
+      Condition.wait pool.wake pool.mutex
+    done;
+    if pool.stopping then begin
+      Mutex.unlock pool.mutex;
+      running := false
+    end
+    else begin
+      last_epoch := pool.epoch;
+      let b = Option.get pool.batch in
+      Mutex.unlock pool.mutex;
+      drain b ~signal:(fun () ->
+          Mutex.lock pool.mutex;
+          Condition.broadcast pool.done_;
+          Mutex.unlock pool.mutex)
+    end
+  done
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Pool.create: domains >= 1 required";
+  let pool =
+    {
+      size = domains;
+      mutex = Mutex.create ();
+      wake = Condition.create ();
+      done_ = Condition.create ();
+      batch = None;
+      epoch = 0;
+      stopping = false;
+      workers = [||];
+    }
+  in
+  pool.workers <- Array.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker pool));
+  pool
+
+let size pool = pool.size
+
+let run pool ~n f =
+  if n < 0 then invalid_arg "Pool.run: n >= 0 required";
+  if n > 0 then begin
+    if pool.size = 1 || n = 1 then
+      for i = 0 to n - 1 do
+        f i
+      done
+    else begin
+      (* ~8 chunks per lane balances load without hammering the cursor. *)
+      let chunk = max 1 (n / (pool.size * 8)) in
+      let b =
+        {
+          total = n;
+          work = f;
+          cursor = Atomic.make 0;
+          chunk;
+          finished = Atomic.make 0;
+          failure = Atomic.make None;
+        }
+      in
+      Mutex.lock pool.mutex;
+      pool.batch <- Some b;
+      pool.epoch <- pool.epoch + 1;
+      Condition.broadcast pool.wake;
+      Mutex.unlock pool.mutex;
+      (* The caller is a lane too. *)
+      drain b ~signal:(fun () ->
+          Mutex.lock pool.mutex;
+          Condition.broadcast pool.done_;
+          Mutex.unlock pool.mutex);
+      Mutex.lock pool.mutex;
+      while Atomic.get b.finished < n do
+        Condition.wait pool.done_ pool.mutex
+      done;
+      (* Leave the finished batch published: a worker that slept through
+         it wakes, finds the cursor exhausted, and goes back to sleep. *)
+      Mutex.unlock pool.mutex;
+      match Atomic.get b.failure with None -> () | Some e -> raise e
+    end
+  end
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  let was_stopping = pool.stopping in
+  pool.stopping <- true;
+  Condition.broadcast pool.wake;
+  Mutex.unlock pool.mutex;
+  if not was_stopping then Array.iter Domain.join pool.workers;
+  pool.workers <- [||]
+
+let with_pool ~domains f =
+  let pool = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let domains_of_string s =
+  match int_of_string_opt (String.trim s) with
+  | Some d when d >= 1 -> Ok d
+  | Some d -> Error (Printf.sprintf "domain count must be >= 1 (got %d)" d)
+  | None -> Error (Printf.sprintf "expected a positive integer, got %S" s)
+
+let default_domains () =
+  match Sys.getenv_opt "COBRA_DOMAINS" with
+  | None -> Domain.recommended_domain_count ()
+  | Some s -> (
+    match domains_of_string s with
+    | Ok d -> d
+    | Error msg -> invalid_arg ("COBRA_DOMAINS: " ^ msg))
+
+let global = ref None
+
+let default () =
+  match !global with
+  | Some pool -> pool
+  | None ->
+    let pool = create ~domains:(default_domains ()) in
+    global := Some pool;
+    pool

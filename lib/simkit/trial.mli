@@ -1,6 +1,14 @@
 (** Trial runners: repeat a stochastic measurement over independent
     streams and summarise. Capped runs ([None] results) are counted as
-    censored rather than silently dropped into the statistics. *)
+    censored rather than silently dropped into the statistics.
+
+    Every runner comes in a sequential flavour and a [_par] flavour that
+    fans the batch out over a {!Pool} of domains. The two are
+    {e bit-for-bit identical}: trial [i] always draws from the stream
+    [Seeds.trial_rng ~master ~salt:(salt0 + i)] and lands in slot [i], so
+    the domain count (and chunk scheduling) cannot influence any result.
+    [COBRA_DOMAINS] selects the default domain count; [COBRA_DOMAINS=1]
+    is the exact sequential path. *)
 
 type 'a censored = { values : 'a array; censored : int }
 
@@ -25,6 +33,52 @@ val summarize_int :
 
 (** [summarize_float] — as {!summarize_int} for float measurements. *)
 val summarize_float :
+  trials:int ->
+  master:int ->
+  salt0:int ->
+  (Prng.Rng.t -> float option) ->
+  Stats.Summary.t * int
+
+(** {1 Parallel runners}
+
+    [?domains] overrides the lane count for this call ([1] forces the
+    plain sequential loop); when omitted the shared {!Pool.default} pool
+    (sized by [COBRA_DOMAINS]) is used. [f] runs concurrently on several
+    domains: it must not touch shared mutable state (the standard trial
+    closures — build nothing, simulate on a shared {e immutable} graph,
+    return a scalar — are safe as-is). *)
+
+(** [collect_par] is {!collect}, distributed. Returns the identical
+    array. *)
+val collect_par :
+  ?domains:int ->
+  trials:int ->
+  master:int ->
+  salt0:int ->
+  (Prng.Rng.t -> 'a) ->
+  'a array
+
+(** [collect_censored_par] is {!collect_censored}, distributed. *)
+val collect_censored_par :
+  ?domains:int ->
+  trials:int ->
+  master:int ->
+  salt0:int ->
+  (Prng.Rng.t -> 'a option) ->
+  'a censored
+
+(** [summarize_int_par] is {!summarize_int}, distributed. *)
+val summarize_int_par :
+  ?domains:int ->
+  trials:int ->
+  master:int ->
+  salt0:int ->
+  (Prng.Rng.t -> int option) ->
+  Stats.Summary.t * int
+
+(** [summarize_float_par] is {!summarize_float}, distributed. *)
+val summarize_float_par :
+  ?domains:int ->
   trials:int ->
   master:int ->
   salt0:int ->

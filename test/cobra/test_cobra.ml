@@ -837,6 +837,56 @@ let test_bigger_k_not_slower () =
   let t2 = mean_time B.cobra_k2 and t3 = mean_time (B.fixed 3) in
   check Alcotest.bool "k=3 not slower than k=2" true (t3 <= t2 +. 1.0)
 
+(* ---------- seed-revision golden values ----------
+
+   These arrays were recorded from the seed revision of the simulators
+   (checked accessors, polymorphic compare) under fixed seeds. The
+   unchecked fast-path rewrite must consume the RNG streams identically,
+   so every value must stay bit-for-bit the same. If an intentional
+   engine change breaks them, re-record and say so in the PR. *)
+
+let golden_graph () =
+  Graph.Gen.random_regular
+    (Simkit.Seeds.tagged_rng ~master:42 ~tag:"golden:g")
+    ~n:512 ~r:3
+
+let golden_collect ~salt0 ~trials f =
+  Simkit.Trial.collect ~trials ~master:42 ~salt0 (fun rng ->
+      match f rng with Some t -> t | None -> -1)
+
+let test_golden_cover_times () =
+  let g = golden_graph () in
+  check
+    Alcotest.(array int)
+    "cover, k=2" [| 22; 23; 24; 25; 21 |]
+    (golden_collect ~salt0:100 ~trials:5 (fun rng ->
+         Process.cover_time g ~branching:B.cobra_k2 ~start:0 rng));
+  check
+    Alcotest.(array int)
+    "cover, distinct k=2" [| 16; 17; 18 |]
+    (golden_collect ~salt0:400 ~trials:3 (fun rng ->
+         Process.cover_time g ~branching:(B.distinct 2) ~start:0 rng));
+  check
+    Alcotest.(array int)
+    "cover, 1+rho=0.3" [| 60; 61; 74 |]
+    (golden_collect ~salt0:500 ~trials:3 (fun rng ->
+         Process.cover_time g ~branching:(B.one_plus 0.3) ~start:0 rng))
+
+let test_golden_infection_times () =
+  let g = golden_graph () in
+  check
+    Alcotest.(array int)
+    "bips, k=2" [| 24; 26; 24; 29; 27 |]
+    (golden_collect ~salt0:200 ~trials:5 (fun rng ->
+         Bips.infection_time g ~branching:B.cobra_k2 ~source:0 rng))
+
+let test_golden_walk_cover_times () =
+  let g = golden_graph () in
+  check
+    Alcotest.(array int)
+    "random walk" [| 7377; 5437; 7961 |]
+    (golden_collect ~salt0:300 ~trials:3 (fun rng -> Rwalk.cover_time g ~start:0 rng))
+
 let () =
   Alcotest.run "cobra"
     [
@@ -941,5 +991,11 @@ let () =
           Alcotest.test_case "random infected set" `Quick test_random_infected_set;
           Alcotest.test_case "bigger k not slower" `Quick test_bigger_k_not_slower;
           qtest lemma1_random_sets_prop;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "cover times" `Quick test_golden_cover_times;
+          Alcotest.test_case "infection times" `Quick test_golden_infection_times;
+          Alcotest.test_case "walk cover times" `Quick test_golden_walk_cover_times;
         ] );
     ]

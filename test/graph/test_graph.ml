@@ -53,6 +53,68 @@ let test_csr_degree_counts () =
   check Alcotest.int "max degree" 4 (Csr.max_degree g);
   check Alcotest.int "min degree" 1 (Csr.min_degree g)
 
+(* The unchecked fast-path accessors must agree with the checked ones on
+   every in-range vertex — this is the safety argument for using them in
+   the Process/Bips/Rwalk inner loops. Random irregular graphs exercise
+   uneven adjacency slices, including empty ones. *)
+let unsafe_accessors_agree_prop =
+  QCheck.Test.make ~name:"unsafe CSR accessors agree with checked" ~count:60
+    QCheck.(pair (int_range 2 60) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      let g = Gen.erdos_renyi rng ~n ~p:0.15 in
+      let ok = ref true in
+      for v = 0 to n - 1 do
+        let d = Csr.degree g v in
+        ok := !ok && Csr.unsafe_degree g v = d;
+        for i = 0 to d - 1 do
+          ok := !ok && Csr.unsafe_nth_neighbour g v i = Csr.nth_neighbour g v i
+        done;
+        let checked = ref [] and unchecked = ref [] in
+        Csr.iter_neighbours g v ~f:(fun w -> checked := w :: !checked);
+        Csr.unsafe_iter_neighbours g v ~f:(fun w -> unchecked := w :: !unchecked);
+        ok := !ok && !checked = !unchecked;
+        if d > 0 then begin
+          (* Same draw from identical RNG states. *)
+          let r1 = Rng.create (seed + v) and r2 = Rng.create (seed + v) in
+          ok := !ok && Csr.random_neighbour g r1 v = Csr.unsafe_random_neighbour g r2 v
+        end
+      done;
+      !ok)
+
+let test_csr_equal_monomorphic () =
+  let g = Gen.petersen () in
+  let id = Array.init 10 Fun.id in
+  check Alcotest.bool "equal to identity relabel" true (Csr.equal g (Csr.relabel g id));
+  check Alcotest.bool "not equal to different graph" false
+    (Csr.equal g (Gen.cycle 10));
+  check Alcotest.bool "different n" false (Csr.equal g (Gen.cycle 9));
+  check Alcotest.bool "empty graphs equal" true
+    (Csr.equal (Csr.of_edges ~n:0 []) (Csr.of_edges ~n:0 []))
+
+(* The direct CSR relabel must match the definitional one (map every edge
+   through the permutation and rebuild). *)
+let relabel_matches_edge_map_prop =
+  QCheck.Test.make ~name:"relabel = edge-list relabel" ~count:60
+    QCheck.(pair (int_range 2 40) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      let g = Gen.erdos_renyi rng ~n ~p:0.2 in
+      (* Fisher-Yates permutation from the same stream. *)
+      let perm = Array.init n Fun.id in
+      for i = n - 1 downto 1 do
+        let j = Rng.int rng (i + 1) in
+        let t = perm.(i) in
+        perm.(i) <- perm.(j);
+        perm.(j) <- t
+      done;
+      let direct = Csr.relabel g perm in
+      let via_edges =
+        Csr.of_edges ~n
+          (List.map (fun (u, v) -> (perm.(u), perm.(v))) (Csr.edges g))
+      in
+      Csr.equal direct via_edges)
+
 let test_csr_relabel_identity () =
   let g = Gen.petersen () in
   let id = Array.init 10 Fun.id in
@@ -450,6 +512,9 @@ let () =
           Alcotest.test_case "neighbour access" `Quick test_csr_nth_and_random_neighbour;
           Alcotest.test_case "degree counts" `Quick test_csr_degree_counts;
           Alcotest.test_case "relabel identity" `Quick test_csr_relabel_identity;
+          Alcotest.test_case "equal monomorphic" `Quick test_csr_equal_monomorphic;
+          qtest unsafe_accessors_agree_prop;
+          qtest relabel_matches_edge_map_prop;
           Alcotest.test_case "relabel validation" `Quick test_csr_relabel_validation;
           qtest csr_roundtrip_prop;
         ] );

@@ -4,6 +4,7 @@
 module Scale = Simkit.Scale
 module Seeds = Simkit.Seeds
 module Trial = Simkit.Trial
+module Pool = Simkit.Pool
 module Csvout = Simkit.Csvout
 module Report = Simkit.Report
 
@@ -87,6 +88,88 @@ let test_summarize_all_censored () =
     (fun () ->
       ignore (Trial.summarize_int ~trials:5 ~master:1 ~salt0:0 (fun _ -> None)))
 
+(* ---------- Pool / parallel trials ---------- *)
+
+(* The contract that makes parallel experiments trustworthy: collect_par
+   must return the *identical* array for every (trials, domains)
+   combination, because trial i draws from salt0 + i and lands in slot i
+   regardless of which domain runs it. *)
+let test_pool_collect_equivalence () =
+  let f rng = Prng.Rng.int rng 1_000_000 in
+  List.iter
+    (fun trials ->
+      let seq = Trial.collect ~trials ~master:11 ~salt0:77 f in
+      List.iter
+        (fun domains ->
+          let par = Trial.collect_par ~domains ~trials ~master:11 ~salt0:77 f in
+          check
+            Alcotest.(array int)
+            (Printf.sprintf "trials=%d domains=%d" trials domains)
+            seq par)
+        [ 1; 2; 4 ])
+    [ 1; 7; 64 ]
+
+let test_pool_censored_equivalence () =
+  let f rng = if Prng.Rng.int rng 3 = 0 then None else Some (Prng.Rng.int rng 100) in
+  let seq = Trial.collect_censored ~trials:64 ~master:3 ~salt0:9 f in
+  List.iter
+    (fun domains ->
+      let par = Trial.collect_censored_par ~domains ~trials:64 ~master:3 ~salt0:9 f in
+      check Alcotest.(array int) "values preserved" seq.Trial.values par.Trial.values;
+      check Alcotest.int "censored count preserved" seq.Trial.censored
+        par.Trial.censored)
+    [ 1; 2; 4 ]
+
+let test_pool_summarize_equivalence () =
+  let f rng = Some (Prng.Rng.int rng 50) in
+  let s_seq, c_seq = Trial.summarize_int ~trials:40 ~master:2 ~salt0:5 f in
+  let s_par, c_par = Trial.summarize_int_par ~domains:4 ~trials:40 ~master:2 ~salt0:5 f in
+  check Alcotest.int "censored" c_seq c_par;
+  check Alcotest.int "count" (Stats.Summary.count s_seq) (Stats.Summary.count s_par);
+  check (Alcotest.float 0.0) "mean bit-identical" (Stats.Summary.mean s_seq)
+    (Stats.Summary.mean s_par)
+
+let test_pool_exception_propagates () =
+  (* Every trial raises: the batch must terminate (not deadlock) and
+     re-raise in the caller. *)
+  Alcotest.check_raises "all raise" (Failure "boom") (fun () ->
+      ignore
+        (Trial.collect_par ~domains:4 ~trials:64 ~master:1 ~salt0:0 (fun _ ->
+             failwith "boom")));
+  (* A single failing trial out of many: still propagated. *)
+  let calls = Atomic.make 0 in
+  Alcotest.check_raises "one raises" (Failure "trial 13") (fun () ->
+      ignore
+        (Trial.collect_par ~domains:4 ~trials:64 ~master:1 ~salt0:0 (fun rng ->
+             if Atomic.fetch_and_add calls 1 = 13 then failwith "trial 13";
+             Prng.Rng.int rng 10)))
+
+let test_pool_reuse_and_edge_cases () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      check Alcotest.int "size" 3 (Pool.size pool);
+      (* Several batches through the same pool, including empty ones. *)
+      Pool.run pool ~n:0 (fun _ -> Alcotest.fail "n=0 must run nothing");
+      let a = Array.make 129 (-1) in
+      Pool.run pool ~n:129 (fun i -> a.(i) <- i * i);
+      Array.iteri (fun i v -> check Alcotest.int "first batch slot" (i * i) v) a;
+      let b = Array.make 5 (-1) in
+      Pool.run pool ~n:5 (fun i -> b.(i) <- i + 1);
+      check Alcotest.(array int) "second batch" [| 1; 2; 3; 4; 5 |] b);
+  Alcotest.check_raises "domains >= 1"
+    (Invalid_argument "Pool.create: domains >= 1 required") (fun () ->
+      ignore (Pool.create ~domains:0))
+
+let test_cobra_domains_parsing () =
+  check Alcotest.bool "4 ok" true (Pool.domains_of_string "4" = Ok 4);
+  check Alcotest.bool "trimmed" true (Pool.domains_of_string " 2 " = Ok 2);
+  check Alcotest.bool "1 ok" true (Pool.domains_of_string "1" = Ok 1);
+  let rejected s =
+    match Pool.domains_of_string s with
+    | Ok _ -> Alcotest.failf "%S should be rejected" s
+    | Error msg -> check Alcotest.bool "message nonempty" true (String.length msg > 0)
+  in
+  List.iter rejected [ "0"; "-3"; "abc"; ""; "2.5" ]
+
 (* ---------- Csvout ---------- *)
 
 let test_csv_escape () =
@@ -157,6 +240,15 @@ let () =
           Alcotest.test_case "censored accounting" `Quick test_collect_censored;
           Alcotest.test_case "summarize" `Quick test_summarize_int;
           Alcotest.test_case "all censored" `Quick test_summarize_all_censored;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "collect_par = collect" `Quick test_pool_collect_equivalence;
+          Alcotest.test_case "censoring preserved" `Quick test_pool_censored_equivalence;
+          Alcotest.test_case "summaries identical" `Quick test_pool_summarize_equivalence;
+          Alcotest.test_case "exceptions propagate" `Quick test_pool_exception_propagates;
+          Alcotest.test_case "reuse and edge cases" `Quick test_pool_reuse_and_edge_cases;
+          Alcotest.test_case "COBRA_DOMAINS parsing" `Quick test_cobra_domains_parsing;
         ] );
       ( "csv",
         [
