@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-standard bench-json examples clean
+.PHONY: all build test check bench bench-standard bench-json examples clean
 
 all: build
 
@@ -9,6 +9,13 @@ build:
 
 test:
 	dune runtest
+
+# CI gate: build, tests, then the quick-scale experiment suite with
+# machine-readable artifacts — non-zero exit iff any verdict fails.
+check:
+	dune build @all
+	dune runtest
+	dune exec bin/main.exe -- exp --scale quick --check --format json --out _results
 
 # Quick-scale kernels + experiment tables (~30 s)
 bench:

@@ -13,36 +13,10 @@ let graph_conv =
   let print ppf spec = Format.pp_print_string ppf (Graph.Spec.to_string spec) in
   Arg.conv (parse, print)
 
-let branching_of_string s =
-  let s = String.trim (String.lowercase_ascii s) in
-  let fixed k =
-    if k >= 1 then Ok (Cobra.Branching.fixed k)
-    else Error (`Msg "branching factor k must be >= 1")
-  in
-  let fractional rho =
-    if rho > 0.0 && rho <= 1.0 then Ok (Cobra.Branching.one_plus rho)
-    else Error (`Msg "rho must lie in (0, 1]")
-  in
-  if String.length s > 2 && String.sub s 0 2 = "k=" then
-    match int_of_string_opt (String.sub s 2 (String.length s - 2)) with
-    | Some k -> fixed k
-    | None -> Error (`Msg "expected k=<int>")
-  else if String.length s > 2 && String.sub s 0 2 = "1+" then
-    match float_of_string_opt (String.sub s 2 (String.length s - 2)) with
-    | Some rho -> fractional rho
-    | None -> Error (`Msg "expected 1+<rho>")
-  else if String.length s > 9 && String.sub s 0 9 = "distinct=" then
-    match int_of_string_opt (String.sub s 9 (String.length s - 9)) with
-    | Some k when k >= 1 -> Ok (Cobra.Branching.distinct k)
-    | _ -> Error (`Msg "expected distinct=<int >= 1>")
-  else
-    match int_of_string_opt s with
-    | Some k -> fixed k
-    | None -> Error (`Msg "branching: use k=<int>, <int>, 1+<rho>, or distinct=<int>")
-
 let branching_conv =
-  let print ppf b = Format.pp_print_string ppf (Cobra.Branching.to_string b) in
-  Arg.conv (branching_of_string, print)
+  let parse s = Result.map_error (fun e -> `Msg e) (Cobra.Branching.of_string s) in
+  let print ppf b = Format.pp_print_string ppf (Cobra.Branching.to_arg b) in
+  Arg.conv (parse, print)
 
 let scale_conv =
   let parse s = Result.map_error (fun e -> `Msg e) (Simkit.Scale.of_string s) in
@@ -119,7 +93,7 @@ let write_trials_csv path values =
 
 let run_process_trials ?csv ~seed ~trials ~measure ~name () =
   let raw =
-    Simkit.Trial.collect ~trials ~master:seed ~salt0:0 (fun rng -> measure rng)
+    Simkit.Trial.collect_par ~trials ~master:seed ~salt0:0 (fun rng -> measure rng)
   in
   Option.iter (fun path -> write_trials_csv path raw) csv;
   let values =
@@ -146,7 +120,32 @@ let exp_cmd =
   let list_t =
     Arg.(value & flag & info [ "list" ] ~doc:"List available experiments and exit.")
   in
-  let run ids scale list seed =
+  let out_t =
+    Arg.(
+      value
+      & opt string "_results"
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Directory the json/csv formats write artifacts into.")
+  in
+  let format_t =
+    Arg.(
+      value
+      & opt (enum [ ("console", `Console); ("json", `Json); ("csv", `Csv) ]) `Console
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Result sink: console (human report), json (one artifact \
+             document per experiment plus manifest.json), csv (one file \
+             per table).")
+  in
+  let check_t =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Exit non-zero if any experiment's verdict fails (CI gate); \
+             results are still written.")
+  in
+  let run ids scale list seed out format check =
     if list then begin
       List.iter
         (fun s ->
@@ -158,31 +157,54 @@ let exp_cmd =
     else begin
       let master = Simkit.Seeds.master ~default:seed () in
       let scale = Simkit.Scale.of_env ~default:scale () in
-      match ids with
-      | [] ->
-        Experiments.Registry.run_all ~scale ~master;
-        0
-      | ids ->
-        let missing =
-          List.filter (fun id -> Experiments.Registry.find id = None) ids
+      let missing =
+        List.filter (fun id -> Experiments.Registry.find id = None) ids
+      in
+      if missing <> [] then begin
+        Printf.eprintf "unknown experiment(s): %s\n" (String.concat ", " missing);
+        1
+      end
+      else begin
+        let specs =
+          match ids with
+          | [] -> Experiments.Registry.all
+          | ids -> List.map (fun id -> Option.get (Experiments.Registry.find id)) ids
         in
-        if missing <> [] then begin
-          Printf.eprintf "unknown experiment(s): %s\n" (String.concat ", " missing);
+        let sink =
+          match format with
+          | `Console -> Simkit.Sink.console ()
+          | `Json -> Simkit.Sink.json ~dir:out
+          | `Csv -> Simkit.Sink.csv ~dir:out
+        in
+        if format = `Console && ids = [] then Experiments.Registry.engine_preamble ();
+        let artifacts =
+          Experiments.Registry.run_many specs ~sink ~scale ~master
+        in
+        if format = `Json then begin
+          let path = Simkit.Sink.write_manifest ~dir:out artifacts in
+          Printf.printf "wrote %s\n" path
+        end;
+        if check && not (Experiments.Registry.all_passed artifacts) then begin
+          let failed =
+            List.filter (fun a -> not (Simkit.Artifact.passed a)) artifacts
+          in
+          Printf.eprintf "check failed: %s\n"
+            (String.concat ", "
+               (List.map
+                  (fun a -> a.Simkit.Artifact.meta.Simkit.Artifact.id)
+                  failed));
           1
         end
-        else begin
-          List.iter
-            (fun id ->
-              let s = Option.get (Experiments.Registry.find id) in
-              Experiments.Spec.run_with_banner s ~scale ~master)
-            ids;
-          0
-        end
+        else 0
+      end
     end
   in
-  let doc = "Run reproduction experiments (E1..E14)." in
+  let doc =
+    Printf.sprintf "Run reproduction experiments (%s)."
+      (Experiments.Registry.id_range ())
+  in
   Cmd.v (Cmd.info "exp" ~doc)
-    Term.(const run $ ids_t $ scale_t $ list_t $ seed_t)
+    Term.(const run $ ids_t $ scale_t $ list_t $ seed_t $ out_t $ format_t $ check_t)
 
 (* ---------- cover ---------- *)
 
@@ -223,10 +245,15 @@ let cover_cmd =
       let worst = ref neg_infinity and worst_start = ref (-1) in
       Array.iter
         (fun start ->
+          (* Each start gets its own hashed salt region: a linear scheme
+             like [start * C + i] collides across starts once trials > C. *)
+          let salt0 =
+            Simkit.Seeds.salt_of_tag (Printf.sprintf "cli:scan:start=%d" start)
+          in
           let s = Stats.Summary.create () in
           for i = 0 to trials - 1 do
             let trial_rng =
-              Simkit.Seeds.trial_rng ~master:seed ~salt:((start * 131) + i)
+              Simkit.Seeds.trial_rng ~master:seed ~salt:(salt0 + i)
             in
             match Cobra.Process.cover_time ?cap g ~branching ~start trial_rng with
             | Some t -> Stats.Summary.add_int s t
@@ -322,7 +349,7 @@ let push_cmd =
         match p with `Push -> Cobra.Push.push | `Push_pull -> Cobra.Push.push_pull
       in
       let results =
-        Simkit.Trial.collect_censored ~trials ~master:seed ~salt0:0 (fun rng ->
+        Simkit.Trial.collect_censored_par ~trials ~master:seed ~salt0:0 (fun rng ->
             Option.map
               (fun o -> (o.Cobra.Push.rounds, o.Cobra.Push.transmissions))
               (f ?cap g ~start:0 rng))
@@ -457,18 +484,23 @@ let herd_cmd =
       { Epidemic.Herd.contacts = Cobra.Branching.cobra_k2;
         infectious_rounds = 2; immune_rounds = 8 }
     in
+    let pi_list = if pi then [ 0 ] else [] in
+    let index = if pi then [] else [ 0 ] in
+    (* Trial i draws from salt0 + i = i, exactly the salts the old
+       sequential loop used, so the pool changes nothing but wall-clock. *)
+    let outcomes =
+      Simkit.Trial.collect_par ~trials ~master:seed ~salt0:0 (fun rng ->
+          Epidemic.Herd.run g params ~pi:pi_list ~index_cases:index rng)
+    in
     let full = ref 0 and extinct = ref 0 and rounds = Stats.Summary.create () in
-    for i = 0 to trials - 1 do
-      let rng = Simkit.Seeds.trial_rng ~master:seed ~salt:i in
-      let pi_list = if pi then [ 0 ] else [] in
-      let index = if pi then [] else [ 0 ] in
-      match Epidemic.Herd.run g params ~pi:pi_list ~index_cases:index rng with
-      | Epidemic.Herd.Herd_fully_exposed t ->
-        incr full;
-        Stats.Summary.add_int rounds t
-      | Epidemic.Herd.Infection_extinct _ -> incr extinct
-      | Epidemic.Herd.No_resolution _ -> ()
-    done;
+    Array.iter
+      (function
+        | Epidemic.Herd.Herd_fully_exposed t ->
+          incr full;
+          Stats.Summary.add_int rounds t
+        | Epidemic.Herd.Infection_extinct _ -> incr extinct
+        | Epidemic.Herd.No_resolution _ -> ())
+      outcomes;
     Printf.printf "full exposure: %d/%d   extinct: %d/%d\n" !full trials !extinct trials;
     if Stats.Summary.count rounds > 0 then
       Printf.printf "rounds to full exposure: %s\n"
@@ -543,20 +575,25 @@ let contact_cmd =
       "contact process: rate %.3f, horizon %.0f, %s, %d trials, seed %d\n" rate horizon
       (if persistent then "persistent source at 0" else "transient seed at 0")
       trials seed;
+    let persistent = if persistent then Some 0 else None in
+    let start = if persistent = None then [ 0 ] else [] in
+    (* Same salts (0 .. trials-1) as the old sequential loop. *)
+    let outcomes =
+      Simkit.Trial.collect_par ~trials ~master:seed ~salt0:0 (fun rng ->
+          (Epidemic.Contact.run ~horizon g ~infection_rate:rate ~persistent ~start
+             rng)
+            .Epidemic.Contact.outcome)
+    in
     let died = ref 0 and full = ref 0 and active = ref 0 in
     let full_times = Stats.Summary.create () in
-    for i = 0 to trials - 1 do
-      let rng = Simkit.Seeds.trial_rng ~master:seed ~salt:i in
-      let persistent = if persistent then Some 0 else None in
-      let start = if persistent = None then [ 0 ] else [] in
-      let r = Epidemic.Contact.run ~horizon g ~infection_rate:rate ~persistent ~start rng in
-      match r.Epidemic.Contact.outcome with
-      | Epidemic.Contact.Died_out _ -> incr died
-      | Epidemic.Contact.Fully_exposed t ->
-        incr full;
-        Stats.Summary.add full_times t
-      | Epidemic.Contact.Still_active _ -> incr active
-    done;
+    Array.iter
+      (function
+        | Epidemic.Contact.Died_out _ -> incr died
+        | Epidemic.Contact.Fully_exposed t ->
+          incr full;
+          Stats.Summary.add full_times t
+        | Epidemic.Contact.Still_active _ -> incr active)
+      outcomes;
     Printf.printf "died out: %d/%d   fully exposed: %d/%d   still active at horizon: %d/%d\n"
       !died trials !full trials !active trials;
     if Stats.Summary.count full_times > 0 then

@@ -94,3 +94,41 @@ let pp ppf = function
   | Distinct k -> Format.fprintf ppf "k=%d distinct" k
 
 let to_string t = Format.asprintf "%a" pp t
+
+let of_string s =
+  let s = String.trim (String.lowercase_ascii s) in
+  let fixed_res k =
+    if k >= 1 then Ok (Fixed k) else Error "branching factor k must be >= 1"
+  in
+  let after prefix =
+    let p = String.length prefix in
+    String.sub s p (String.length s - p)
+  in
+  if String.length s > 2 && String.sub s 0 2 = "k=" then
+    match int_of_string_opt (after "k=") with
+    | Some k -> fixed_res k
+    | None -> Error "expected k=<int>"
+  else if String.length s > 2 && String.sub s 0 2 = "1+" then
+    match float_of_string_opt (after "1+") with
+    | Some rho when rho > 0.0 && rho <= 1.0 -> Ok (One_plus rho)
+    | Some _ -> Error "rho must lie in (0, 1]"
+    | None -> Error "expected 1+<rho>"
+  else if String.length s > 9 && String.sub s 0 9 = "distinct=" then
+    match int_of_string_opt (after "distinct=") with
+    | Some k when k >= 1 -> Ok (Distinct k)
+    | _ -> Error "expected distinct=<int >= 1>"
+  else
+    match int_of_string_opt s with
+    | Some k -> fixed_res k
+    | None -> Error "branching: use k=<int>, <int>, 1+<rho>, or distinct=<int>"
+
+(* Shortest float literal that round-trips, so to_arg/of_string compose to
+   the identity for every representable rho. *)
+let float_arg x =
+  let s = Printf.sprintf "%g" x in
+  if float_of_string s = x then s else Printf.sprintf "%.17g" x
+
+let to_arg = function
+  | Fixed k -> Printf.sprintf "k=%d" k
+  | One_plus rho -> "1+" ^ float_arg rho
+  | Distinct k -> Printf.sprintf "distinct=%d" k

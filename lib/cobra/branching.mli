@@ -82,3 +82,14 @@ val pp : Format.formatter -> t -> unit
 
 (** [to_string] is [pp] to a string. *)
 val to_string : t -> string
+
+(** [of_string s] parses the CLI argument syntax: [k=<int>] or a bare
+    [<int>] for {!Fixed}, [1+<rho>] for {!One_plus} (rho in (0, 1]),
+    [distinct=<int>] for {!Distinct}. Case-insensitive; surrounding
+    whitespace ignored. *)
+val of_string : string -> (t, string) result
+
+(** [to_arg t] is the canonical {!of_string}-parseable form ([to_string]'s
+    ["1+rho (rho=0.5)"] is for display only); [of_string (to_arg t) = Ok t]
+    for every valid [t]. *)
+val to_arg : t -> string

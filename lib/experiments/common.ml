@@ -1,4 +1,4 @@
-let salt_of ~tag = Hashtbl.hash (tag, 0xC0B7A) * 65_599
+let salt_of ~tag = Simkit.Seeds.salt_of_tag tag
 
 let graph_rng ~master ~tag = Simkit.Seeds.tagged_rng ~master ~tag:("graph:" ^ tag)
 

@@ -47,7 +47,8 @@ val walk_cover_summary :
   Stats.Summary.t * int
 
 (** [salt_of ~tag] hashes an arbitrary tag into a trial-salt base so each
-    measurement series draws from its own region of seed space. *)
+    measurement series draws from its own region of seed space (alias of
+    {!Simkit.Seeds.salt_of_tag}). *)
 val salt_of : tag:string -> int
 
 (** [ln] is natural log of an int, as float. *)

@@ -1,12 +1,12 @@
 module Scale = Simkit.Scale
-module Report = Simkit.Report
+module A = Simkit.Artifact
 
 (* Random 3-regular graphs are expanders w.h.p. (λ ≈ 2√2/3 ≈ 0.94, a
    constant), so Theorem 1 predicts cover time c·log n. The report fits
    cover = a·ln n + b and contrasts R² against a log² n model: under the
    paper's bound the linear-in-log fit should dominate and the per-n
    ratio cover/ln n should be flat, whereas cover/ln² n should fall. *)
-let run ~scale ~master =
+let run ~emit ~scale ~master =
   let ns =
     Scale.pick scale
       ~quick:[ 256; 512; 1024; 2048 ]
@@ -15,10 +15,12 @@ let run ~scale ~master =
   in
   let trials = Scale.pick scale ~quick:10 ~standard:40 ~full:100 in
   let r = 3 in
-  Report.context [ ("r", string_of_int r); ("branching", "k=2");
-                   ("trials/n", string_of_int trials) ];
+  emit
+    (A.context
+       [ ("r", string_of_int r); ("branching", "k=2");
+         ("trials/n", string_of_int trials) ]);
   let table =
-    Stats.Table.create
+    A.Tab.create
       [ "n"; "cover (mean ± ci95)"; "max"; "cover/ln n"; "cover/ln^2 n"; "censored" ]
   in
   let xs = ref [] and ys = ref [] in
@@ -32,38 +34,37 @@ let run ~scale ~master =
       let mean = Stats.Summary.mean summary in
       xs := Float.of_int n :: !xs;
       ys := mean :: !ys;
-      Stats.Table.add_row table
+      A.Tab.add_row table
         [
-          string_of_int n;
-          Report.mean_ci_cell summary;
-          Report.float_cell (Stats.Summary.max summary);
-          Printf.sprintf "%.3f" (mean /. Common.ln n);
-          Printf.sprintf "%.3f" (mean /. (Common.ln n ** 2.0));
-          string_of_int censored;
+          A.int n;
+          A.summary summary;
+          A.float (Stats.Summary.max summary);
+          A.floatf "%.3f" (mean /. Common.ln n);
+          A.floatf "%.3f" (mean /. (Common.ln n ** 2.0));
+          A.int censored;
         ])
     ns;
-  Stats.Table.print table;
+  emit (A.Tab.event table);
   let xs = Array.of_list (List.rev !xs) and ys = Array.of_list (List.rev !ys) in
   let fit = Stats.Regress.semilog xs ys in
-  Printf.printf "\nfit cover = a + b*ln n: %s\n"
-    (Format.asprintf "%a" Stats.Regress.pp fit);
+  emit (A.fit_of_regress ~label:"cover = a + b*ln n" ~model:"semilog" fit);
   let fit_sq =
     Stats.Regress.ols (Array.map (fun x -> log x ** 2.0) xs) ys
   in
-  Printf.printf "fit cover = a + b*ln^2 n: slope=%.4g R²=%.4f\n"
-    fit_sq.Stats.Regress.slope fit_sq.Stats.Regress.r2;
+  emit (A.fit_of_regress ~label:"cover = a + b*ln^2 n" ~model:"ols-ln2" fit_sq);
   (* Acceptance: the log-linear model explains the data and the
      normalised ratio is flat (last/first within 35%). *)
   let ratio_first = ys.(0) /. Common.ln (Float.to_int xs.(0)) in
   let last = Array.length ys - 1 in
   let ratio_last = ys.(last) /. Common.ln (Float.to_int xs.(last)) in
   let flat = Float.abs (ratio_last -. ratio_first) /. ratio_first < 0.35 in
-  Report.verdict
-    ~pass:(fit.Stats.Regress.r2 > 0.95 && flat)
-    (Printf.sprintf
-       "cover/ln n flat across %d..%d (%.2f -> %.2f), log-linear R²=%.3f"
-       (Float.to_int xs.(0)) (Float.to_int xs.(last)) ratio_first ratio_last
-       fit.Stats.Regress.r2)
+  emit
+    (A.verdict
+       ~pass:(fit.Stats.Regress.r2 > 0.95 && flat)
+       (Printf.sprintf
+          "cover/ln n flat across %d..%d (%.2f -> %.2f), log-linear R²=%.3f"
+          (Float.to_int xs.(0)) (Float.to_int xs.(last)) ratio_first ratio_last
+          fit.Stats.Regress.r2))
 
 let spec =
   {

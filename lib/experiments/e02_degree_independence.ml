@@ -1,5 +1,5 @@
 module Scale = Simkit.Scale
-module Report = Simkit.Report
+module A = Simkit.Artifact
 
 (* One fixed n; degree sweeps from 3 to n-1. Small degrees use random
    regular graphs; large ones use circulants with consecutive offsets
@@ -14,7 +14,7 @@ let graph_for ~master ~n ~r =
     Graph.Gen.circulant n (List.init (r / 2) (fun i -> i + 1))
   end
 
-let run ~scale ~master =
+let run ~emit ~scale ~master =
   let n = Scale.pick scale ~quick:512 ~standard:4096 ~full:16384 in
   let trials = Scale.pick scale ~quick:10 ~standard:40 ~full:100 in
   let degrees =
@@ -22,10 +22,12 @@ let run ~scale ~master =
     |> List.sort_uniq compare
     |> List.filter (fun r -> r >= 3 && r < n)
   in
-  Report.context [ ("n", string_of_int n); ("branching", "k=2");
-                   ("trials/r", string_of_int trials) ];
+  emit
+    (A.context
+       [ ("n", string_of_int n); ("branching", "k=2");
+         ("trials/r", string_of_int trials) ]);
   let table =
-    Stats.Table.create [ "r"; "family"; "cover (mean ± ci95)"; "cover/ln n"; "censored" ]
+    A.Tab.create [ "r"; "family"; "cover (mean ± ci95)"; "cover/ln n"; "censored" ]
   in
   let means = ref [] in
   List.iter
@@ -42,25 +44,27 @@ let run ~scale ~master =
       in
       let mean = Stats.Summary.mean summary in
       means := mean :: !means;
-      Stats.Table.add_row table
+      A.Tab.add_row table
         [
-          string_of_int r;
-          family;
-          Report.mean_ci_cell summary;
-          Printf.sprintf "%.3f" (mean /. Common.ln n);
-          string_of_int censored;
+          A.int r;
+          A.str family;
+          A.summary summary;
+          A.floatf "%.3f" (mean /. Common.ln n);
+          A.int censored;
         ])
     degrees;
-  Stats.Table.print table;
+  emit (A.Tab.event table);
   let means = Array.of_list !means in
   let lo = Array.fold_left Float.min infinity means in
   let hi = Array.fold_left Float.max neg_infinity means in
+  emit (A.metric ~name:"cover-time spread (max/min)" (hi /. lo));
   (* Acceptance: the spread across five decades of degree stays within a
      small constant factor — nothing grows with r. (Sparse random graphs
      have a slightly larger λ, hence slightly larger constants.) *)
-  Report.verdict ~pass:(hi /. lo < 3.0)
-    (Printf.sprintf "cover-time spread across r: min=%.1f max=%.1f (ratio %.2f < 3)"
-       lo hi (hi /. lo))
+  emit
+    (A.verdict ~pass:(hi /. lo < 3.0)
+       (Printf.sprintf "cover-time spread across r: min=%.1f max=%.1f (ratio %.2f < 3)"
+          lo hi (hi /. lo)))
 
 let spec =
   {

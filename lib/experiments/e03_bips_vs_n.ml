@@ -1,7 +1,7 @@
 module Scale = Simkit.Scale
-module Report = Simkit.Report
+module A = Simkit.Artifact
 
-let run ~scale ~master =
+let run ~emit ~scale ~master =
   let ns =
     Scale.pick scale
       ~quick:[ 256; 512; 1024; 2048 ]
@@ -10,10 +10,12 @@ let run ~scale ~master =
   in
   let trials = Scale.pick scale ~quick:10 ~standard:30 ~full:100 in
   let r = 3 in
-  Report.context [ ("r", string_of_int r); ("branching", "k=2");
-                   ("trials/n", string_of_int trials) ];
+  emit
+    (A.context
+       [ ("r", string_of_int r); ("branching", "k=2");
+         ("trials/n", string_of_int trials) ]);
   let table =
-    Stats.Table.create
+    A.Tab.create
       [ "n"; "infec (mean ± ci95)"; "infec/ln n"; "cover (mean)"; "infec/cover" ]
   in
   let xs = ref [] and ys = ref [] in
@@ -33,23 +35,23 @@ let run ~scale ~master =
       let mi = Stats.Summary.mean infec and mc = Stats.Summary.mean cover in
       xs := Float.of_int n :: !xs;
       ys := mi :: !ys;
-      Stats.Table.add_row table
+      A.Tab.add_row table
         [
-          string_of_int n;
-          Report.mean_ci_cell infec;
-          Printf.sprintf "%.3f" (mi /. Common.ln n);
-          Report.float_cell mc;
-          Printf.sprintf "%.3f" (mi /. mc);
+          A.int n;
+          A.summary infec;
+          A.floatf "%.3f" (mi /. Common.ln n);
+          A.float mc;
+          A.floatf "%.3f" (mi /. mc);
         ])
     ns;
-  Stats.Table.print table;
+  emit (A.Tab.event table);
   let xs = Array.of_list (List.rev !xs) and ys = Array.of_list (List.rev !ys) in
   let fit = Stats.Regress.semilog xs ys in
-  Printf.printf "\nfit infec = a + b*ln n: %s\n"
-    (Format.asprintf "%a" Stats.Regress.pp fit);
-  Report.verdict ~pass:(fit.Stats.Regress.r2 > 0.95)
-    (Printf.sprintf "infection time is log-linear in n (R²=%.3f)"
-       fit.Stats.Regress.r2)
+  emit (A.fit_of_regress ~label:"infec = a + b*ln n" ~model:"semilog" fit);
+  emit
+    (A.verdict ~pass:(fit.Stats.Regress.r2 > 0.95)
+       (Printf.sprintf "infection time is log-linear in n (R²=%.3f)"
+          fit.Stats.Regress.r2))
 
 let spec =
   {

@@ -1,8 +1,8 @@
 module Scale = Simkit.Scale
-module Report = Simkit.Report
+module A = Simkit.Artifact
 module B = Cobra.Branching
 
-let exact_part ~t_max =
+let exact_part ~emit ~t_max =
   let cases =
     [
       ("Petersen", Graph.Gen.petersen (), B.cobra_k2);
@@ -15,26 +15,27 @@ let exact_part ~t_max =
       ("C_7 1+0.25", Graph.Gen.cycle 7, B.one_plus 0.25);
     ]
   in
-  let table = Stats.Table.create [ "graph"; "branching"; "max |LHS - RHS|, t<=T" ] in
+  let table = A.Tab.create [ "graph"; "branching"; "max |LHS - RHS|, t<=T" ] in
   let worst = ref 0.0 in
   List.iter
     (fun (name, g, branching) ->
       let gap = Cobra.Exact.duality_gap g ~branching ~t_max in
       if gap > !worst then worst := gap;
-      Stats.Table.add_row table
-        [ name; B.to_string branching; Printf.sprintf "%.3e" gap ])
+      A.Tab.add_row table
+        [ A.str name; A.str (B.to_string branching); A.floatf "%.3e" gap ])
     cases;
-  Stats.Table.print table;
+  emit (A.Tab.event table);
+  emit (A.metric ~name:"exact duality gap (worst case)" !worst);
   !worst
 
-let mc_part ~scale ~master =
+let mc_part ~emit ~scale ~master =
   let n = Scale.pick scale ~quick:100 ~standard:200 ~full:500 in
   let trials = Scale.pick scale ~quick:2000 ~standard:10000 ~full:50000 in
   let ts = Scale.pick scale ~quick:[ 3; 6 ] ~standard:[ 3; 8 ] ~full:[ 3; 8; 14 ] in
   let g = Common.expander ~master ~tag:"e04" ~n ~r:3 in
   let rng = Simkit.Seeds.tagged_rng ~master ~tag:"e04:mc" in
   let table =
-    Stats.Table.create
+    A.Tab.create
       [ "t"; "u"; "v"; "P(Hit_u(v)>t) [COBRA]"; "P(u not in A_t) [BIPS]"; "CIs overlap" ]
   in
   let all_overlap = ref true in
@@ -60,32 +61,33 @@ let mc_part ~scale ~master =
             ci_c.Stats.Ci.lo <= ci_b.Stats.Ci.hi && ci_b.Stats.Ci.lo <= ci_c.Stats.Ci.hi
           in
           all_overlap := !all_overlap && overlap;
-          Stats.Table.add_row table
+          A.Tab.add_row table
             [
-              string_of_int t;
-              string_of_int u;
-              string_of_int v;
-              Printf.sprintf "%.4f" cobra_rate;
-              Printf.sprintf "%.4f" bips_rate;
-              (if overlap then "yes" else "NO");
+              A.int t;
+              A.int u;
+              A.int v;
+              A.floatf "%.4f" cobra_rate;
+              A.floatf "%.4f" bips_rate;
+              A.str (if overlap then "yes" else "NO");
             ]
         end
       done)
     ts;
-  Stats.Table.print table;
+  emit (A.Tab.event table);
   !all_overlap
 
-let run ~scale ~master =
+let run ~emit ~scale ~master =
   let t_max = Scale.pick scale ~quick:8 ~standard:12 ~full:16 in
-  Printf.printf "-- exact check (dynamic programming over subsets) --\n";
-  let worst = exact_part ~t_max in
-  Printf.printf "\n-- Monte-Carlo check on a random 3-regular graph --\n";
-  let overlap = mc_part ~scale ~master in
-  Report.verdict
-    ~pass:(worst < 1e-9 && overlap)
-    (Printf.sprintf
-       "exact duality gap %.2e (< 1e-9); all Monte-Carlo 95%% CIs overlap: %b"
-       worst overlap)
+  emit (A.section "exact check (dynamic programming over subsets)");
+  let worst = exact_part ~emit ~t_max in
+  emit (A.section "Monte-Carlo check on a random 3-regular graph");
+  let overlap = mc_part ~emit ~scale ~master in
+  emit
+    (A.verdict
+       ~pass:(worst < 1e-9 && overlap)
+       (Printf.sprintf
+          "exact duality gap %.2e (< 1e-9); all Monte-Carlo 95%% CIs overlap: %b"
+          worst overlap))
 
 let spec =
   {

@@ -1,12 +1,12 @@
 module Scale = Simkit.Scale
-module Report = Simkit.Report
+module A = Simkit.Artifact
 
 (* For each ρ we measure cover time at two sizes; Theorem 3 says each row
    is O(log n) with a constant depending on ρ (through Corollary 1 the
    growth rate scales with ρ, so cover·ρ should be roughly flat in ρ). The
    doubling check cover(n2)/cover(n1) ≈ ln n2 / ln n1 confirms logarithmic
    growth per ρ. *)
-let run ~scale ~master =
+let run ~emit ~scale ~master =
   let n1, n2 =
     Scale.pick scale ~quick:(512, 2048) ~standard:(4096, 32768) ~full:(16384, 131072)
   in
@@ -15,11 +15,12 @@ let run ~scale ~master =
   let r = 3 in
   let g1 = Common.expander ~master ~tag:"e05" ~n:n1 ~r in
   let g2 = Common.expander ~master ~tag:"e05" ~n:n2 ~r in
-  Report.context
-    [ ("r", string_of_int r); ("n1", string_of_int n1); ("n2", string_of_int n2);
-      ("trials", string_of_int trials) ];
+  emit
+    (A.context
+       [ ("r", string_of_int r); ("n1", string_of_int n1); ("n2", string_of_int n2);
+         ("trials", string_of_int trials) ]);
   let table =
-    Stats.Table.create
+    A.Tab.create
       [ "rho"; "cover(n1)"; "cover(n2)"; "ratio"; "ln n2/ln n1"; "rho*cover(n2)/ln n2" ]
   in
   let log_ratio = Common.ln n2 /. Common.ln n1 in
@@ -40,19 +41,20 @@ let run ~scale ~master =
       (* Logarithmic growth: the n2/n1 cover ratio should track
          ln n2 / ln n1, far below the polynomial ratio (n2/n1)^eps. *)
       if ratio > 2.5 *. log_ratio then ok := false;
-      Stats.Table.add_row table
+      A.Tab.add_row table
         [
-          Printf.sprintf "%.2f" rho;
-          Report.mean_ci_cell s1;
-          Report.mean_ci_cell s2;
-          Printf.sprintf "%.3f" ratio;
-          Printf.sprintf "%.3f" log_ratio;
-          Printf.sprintf "%.2f" (rho *. m2 /. Common.ln n2);
+          A.floatf "%.2f" rho;
+          A.summary s1;
+          A.summary s2;
+          A.floatf "%.3f" ratio;
+          A.floatf "%.3f" log_ratio;
+          A.floatf "%.2f" (rho *. m2 /. Common.ln n2);
         ])
     rhos;
-  Stats.Table.print table;
-  Report.verdict ~pass:!ok
-    "every rho's cover-time growth from n1 to n2 tracks ln n2/ln n1 (O(log n))"
+  emit (A.Tab.event table);
+  emit
+    (A.verdict ~pass:!ok
+       "every rho's cover-time growth from n1 to n2 tracks ln n2/ln n1 (O(log n))")
 
 let spec =
   {

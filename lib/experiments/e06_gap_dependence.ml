@@ -1,5 +1,5 @@
 module Scale = Simkit.Scale
-module Report = Simkit.Report
+module A = Simkit.Artifact
 
 (* Circulants with consecutive offsets {1..m} give a regular family whose
    gap sweeps three orders of magnitude as m varies, with closed-form λ.
@@ -7,16 +7,18 @@ module Report = Simkit.Report
    is reported as the fitted exponent of cover vs 1/(1-λ) (an upper bound
    of 3 allows anything below — measured values are typically ~1,
    i.e. the theorem's ceiling is loose but never violated). *)
-let run ~scale ~master =
+let run ~emit ~scale ~master =
   let n = Scale.pick scale ~quick:1025 ~standard:4097 ~full:8193 in
   let trials = Scale.pick scale ~quick:8 ~standard:25 ~full:30 in
   let ms = Scale.pick scale ~quick:[ 2; 4; 8; 16 ] ~standard:[ 2; 3; 4; 6; 8; 12; 16; 24; 32 ]
       ~full:[ 2; 3; 4; 6; 8; 12; 16; 24; 32; 48; 64 ]
   in
-  Report.context [ ("n (odd)", string_of_int n); ("family", "circulant {1..m}");
-                   ("branching", "k=2"); ("trials/m", string_of_int trials) ];
+  emit
+    (A.context
+       [ ("n (odd)", string_of_int n); ("family", "circulant {1..m}");
+         ("branching", "k=2"); ("trials/m", string_of_int trials) ]);
   let table =
-    Stats.Table.create
+    A.Tab.create
       [ "m"; "r"; "lambda"; "1/gap"; "premise"; "cover (mean ± ci95)";
         "bound ln n/gap^3"; "cover/bound" ]
   in
@@ -40,33 +42,34 @@ let run ~scale ~master =
       let mean = Stats.Summary.mean summary in
       inv_gaps := (1.0 /. gap) :: !inv_gaps;
       covers := mean :: !covers;
-      Stats.Table.add_row table
+      A.Tab.add_row table
         [
-          string_of_int m;
-          string_of_int (2 * m);
-          Printf.sprintf "%.5f" lambda;
-          Printf.sprintf "%.1f" (1.0 /. gap);
-          Printf.sprintf "%.1fx" (gap /. premise_floor);
-          Report.mean_ci_cell summary;
-          Report.float_cell bound;
-          Printf.sprintf "%.4f" (mean /. bound);
+          A.int m;
+          A.int (2 * m);
+          A.floatf "%.5f" lambda;
+          A.floatf "%.1f" (1.0 /. gap);
+          A.str (Printf.sprintf "%.1fx" (gap /. premise_floor));
+          A.summary summary;
+          A.float bound;
+          A.floatf "%.4f" (mean /. bound);
         ])
     ms;
-  Stats.Table.print table;
+  emit (A.Tab.event table);
   let xs = Array.of_list (List.rev !inv_gaps) in
   let ys = Array.of_list (List.rev !covers) in
   let fit = Stats.Regress.loglog xs ys in
-  Printf.printf "\nfit cover ~ (1/gap)^b: b=%.3f R²=%.4f (theorem ceiling: b <= 3)\n"
-    fit.Stats.Regress.slope fit.Stats.Regress.r2;
+  emit
+    (A.fit_of_regress ~label:"cover ~ (1/gap)^b (theorem ceiling: b <= 3)"
+       ~model:"loglog" fit);
 
   (* Part 2: families that *satisfy* the premise — random regular graphs
      whose constant gap is swept via the degree (lambda ~ 2 sqrt(r-1)/r).
      Here the bound is finite and the measured/bound ratio shows how much
      slack the cubic ceiling carries in its own regime. *)
-  Printf.printf "\n-- in-premise families: random r-regular, lambda estimated numerically --\n";
+  emit (A.section "in-premise families: random r-regular, lambda estimated numerically");
   let n2 = Scale.pick scale ~quick:1024 ~standard:4096 ~full:16384 in
   let table2 =
-    Stats.Table.create
+    A.Tab.create
       [ "r"; "lambda"; "1/gap"; "premise"; "cover (mean ± ci95)"; "bound"; "cover/bound" ]
   in
   let premise_floor2 = sqrt (Common.ln n2 /. Float.of_int n2) in
@@ -87,18 +90,18 @@ let run ~scale ~master =
       in
       let mean = Stats.Summary.mean summary in
       if mean > bound then all_in_premise_below := false;
-      Stats.Table.add_row table2
+      A.Tab.add_row table2
         [
-          string_of_int r;
-          Printf.sprintf "%.4f" gap_t.Spectral.Gap.lambda;
-          Printf.sprintf "%.2f" (1.0 /. gap);
-          Printf.sprintf "%.1fx" (gap /. premise_floor2);
-          Report.mean_ci_cell summary;
-          Report.float_cell bound;
-          Printf.sprintf "%.2e" (mean /. bound);
+          A.int r;
+          A.floatf "%.4f" gap_t.Spectral.Gap.lambda;
+          A.floatf "%.2f" (1.0 /. gap);
+          A.str (Printf.sprintf "%.1fx" (gap /. premise_floor2));
+          A.summary summary;
+          A.float bound;
+          A.floatf "%.2e" (mean /. bound);
         ])
       [ 3; 4; 8; 16; 32 ];
-  Stats.Table.print table2;
+  emit (A.Tab.event table2);
   (* Acceptance: measured cover never exceeds the theory bound shape times
      a modest constant, and the fitted exponent is below 3; in-premise
      rows sit strictly below their finite bound. *)
@@ -107,12 +110,13 @@ let run ~scale ~master =
       (fun inv_gap cover -> cover <= 5.0 *. Common.ln n *. (inv_gap ** 3.0))
       (List.rev !inv_gaps) (List.rev !covers)
   in
-  Report.verdict
-    ~pass:(all_below && !all_in_premise_below && fit.Stats.Regress.slope < 3.0)
-    (Printf.sprintf
-       "measured gap exponent %.2f <= 3; every in-premise graph covers \
-        below its finite bound"
-       fit.Stats.Regress.slope)
+  emit
+    (A.verdict
+       ~pass:(all_below && !all_in_premise_below && fit.Stats.Regress.slope < 3.0)
+       (Printf.sprintf
+          "measured gap exponent %.2f <= 3; every in-premise graph covers \
+           below its finite bound"
+          fit.Stats.Regress.slope))
 
 let spec =
   {

@@ -1,5 +1,5 @@
 module Scale = Simkit.Scale
-module Report = Simkit.Report
+module A = Simkit.Artifact
 
 (* COBRA spreads ballistically on lattices: the active set's boundary
    advances O(1) per round, so covering a d-dimensional torus takes
@@ -24,15 +24,15 @@ let families ~scale =
     ("torus (d=3)", 3, List.map (fun s -> [| s; s; s |]) torus3_sides);
   ]
 
-let run ~scale ~master =
+let run ~emit ~scale ~master =
   let trials = Scale.pick scale ~quick:6 ~standard:15 ~full:25 in
-  Report.context [ ("branching", "k=2"); ("trials/size", string_of_int trials) ];
+  emit (A.context [ ("branching", "k=2"); ("trials/size", string_of_int trials) ]);
   let all_ok = ref true in
   List.iter
     (fun (name, d, dims_list) ->
-      Printf.printf "-- %s --\n" name;
+      emit (A.section name);
       let table =
-        Stats.Table.create [ "n"; "side"; "cover (mean ± ci95)"; "cover/n^(1/d)" ]
+        A.Tab.create [ "n"; "side"; "cover (mean ± ci95)"; "cover/n^(1/d)" ]
       in
       let xs = ref [] and ys = ref [] in
       List.iter
@@ -48,25 +48,28 @@ let run ~scale ~master =
           let mean = Stats.Summary.mean summary in
           xs := Float.of_int n :: !xs;
           ys := mean :: !ys;
-          Stats.Table.add_row table
+          A.Tab.add_row table
             [
-              string_of_int n;
-              string_of_int dims.(0);
-              Report.mean_ci_cell summary;
-              Printf.sprintf "%.3f"
+              A.int n;
+              A.int dims.(0);
+              A.summary summary;
+              A.floatf "%.3f"
                 (mean /. (Float.of_int n ** (1.0 /. Float.of_int d)));
             ])
         dims_list;
-      Stats.Table.print table;
+      emit (A.Tab.event table);
       let xs = Array.of_list (List.rev !xs) and ys = Array.of_list (List.rev !ys) in
       let fit = Stats.Regress.loglog xs ys in
       let target = 1.0 /. Float.of_int d in
-      Printf.printf "log-log exponent: %.3f (theory ~ %.3f, up to polylog)  R²=%.4f\n\n"
-        fit.Stats.Regress.slope target fit.Stats.Regress.r2;
+      emit
+        (A.fit_of_regress
+           ~label:(Printf.sprintf "%s: cover ~ n^b (theory b ~ %.3f, up to polylog)" name target)
+           ~model:"loglog" fit);
       if Float.abs (fit.Stats.Regress.slope -. target) > 0.25 then all_ok := false)
     (families ~scale);
-  Report.verdict ~pass:!all_ok
-    "every lattice family's fitted exponent is within 0.25 of 1/d"
+  emit
+    (A.verdict ~pass:!all_ok
+       "every lattice family's fitted exponent is within 0.25 of 1/d")
 
 let spec =
   {

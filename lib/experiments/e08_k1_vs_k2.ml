@@ -1,5 +1,5 @@
 module Scale = Simkit.Scale
-module Report = Simkit.Report
+module A = Simkit.Artifact
 
 (* Three regimes on the same graphs: a single walk (COBRA with k = 1,
    Ω(n log n)); 16 *independent* walks (the multiple-random-walk model of
@@ -8,17 +8,19 @@ module Report = Simkit.Report
    reaches O(log n). *)
 let walkers = 16
 
-let run ~scale ~master =
+let run ~emit ~scale ~master =
   let ns =
     Scale.pick scale ~quick:[ 128; 256; 512 ] ~standard:[ 256; 512; 1024; 2048 ]
       ~full:[ 512; 1024; 2048; 4096; 8192 ]
   in
   let trials = Scale.pick scale ~quick:8 ~standard:20 ~full:50 in
   let r = 3 in
-  Report.context [ ("r", string_of_int r); ("trials/n", string_of_int trials);
-                   ("independent walkers", string_of_int walkers) ];
+  emit
+    (A.context
+       [ ("r", string_of_int r); ("trials/n", string_of_int trials);
+         ("independent walkers", string_of_int walkers) ]);
   let table =
-    Stats.Table.create
+    A.Tab.create
       [ "n"; "walk cover (k=1)"; "walk/(n ln n)"; "16 walks"; "COBRA cover (k=2)";
         "cobra/ln n"; "speedup" ]
   in
@@ -44,18 +46,18 @@ let run ~scale ~master =
       let cr = mc /. Common.ln n in
       walk_ratios := wr :: !walk_ratios;
       cobra_ratios := cr :: !cobra_ratios;
-      Stats.Table.add_row table
+      A.Tab.add_row table
         [
-          string_of_int n;
-          Report.mean_ci_cell walk;
-          Printf.sprintf "%.3f" wr;
-          Report.mean_ci_cell multi;
-          Report.mean_ci_cell cobra;
-          Printf.sprintf "%.3f" cr;
-          Printf.sprintf "%.0fx" (mw /. mc);
+          A.int n;
+          A.summary walk;
+          A.floatf "%.3f" wr;
+          A.summary multi;
+          A.summary cobra;
+          A.floatf "%.3f" cr;
+          A.str (Printf.sprintf "%.0fx" (mw /. mc));
         ])
     ns;
-  Stats.Table.print table;
+  emit (A.Tab.event table);
   (* Acceptance: both normalised columns are flat — the walk really is
      Θ(n log n) and COBRA really is Θ(log n). *)
   let flat values =
@@ -64,9 +66,10 @@ let run ~scale ~master =
     let hi = Array.fold_left Float.max neg_infinity v in
     hi /. lo < 2.0
   in
-  Report.verdict
-    ~pass:(flat !walk_ratios && flat !cobra_ratios)
-    "walk/(n ln n) and cobra/ln n are both flat across the size sweep"
+  emit
+    (A.verdict
+       ~pass:(flat !walk_ratios && flat !cobra_ratios)
+       "walk/(n ln n) and cobra/ln n are both flat across the size sweep")
 
 let spec =
   {

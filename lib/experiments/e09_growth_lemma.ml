@@ -1,11 +1,11 @@
 module Scale = Simkit.Scale
-module Report = Simkit.Report
+module A = Simkit.Artifact
 module B = Cobra.Branching
 
 (* Part 1 (exhaustive): on the Petersen graph (λ = 2/3 exactly) evaluate
    the closed-form E(|A'| | A) for EVERY infected set A containing the
    source and verify Lemma 1's bound; report the tightest margin. *)
-let exhaustive_part () =
+let exhaustive_part ~emit =
   let g = Graph.Gen.petersen () in
   let n = Graph.Csr.n_vertices g in
   let lambda = 2.0 /. 3.0 in
@@ -31,16 +31,18 @@ let exhaustive_part () =
       end
     end
   done;
-  Printf.printf
-    "exhaustive check on Petersen (lambda=2/3): %d infected sets, tightest \
-     margin E - bound = %.6f (at |A|=%d)\n"
-    !checked !worst !worst_a;
+  emit
+    (A.notef
+       "exhaustive check on Petersen (lambda=2/3): %d infected sets, tightest \
+        margin E - bound = %.6f (at |A|=%d)"
+       !checked !worst !worst_a);
+  emit (A.metric ~name:"exhaustive tightest margin (E - bound)" !worst);
   !worst
 
 (* Part 2 (simulation): growth factors measured along BIPS trajectories on
    a random regular graph, bucketed by |A|/n, against the bound with the
    numerically estimated λ. *)
-let trajectory_part ~scale ~master =
+let trajectory_part ~emit ~scale ~master =
   let n = Scale.pick scale ~quick:512 ~standard:4096 ~full:16384 in
   let r = 4 in
   let trials = Scale.pick scale ~quick:20 ~standard:60 ~full:200 in
@@ -48,8 +50,9 @@ let trajectory_part ~scale ~master =
   let gap =
     Spectral.Gap.estimate (Simkit.Seeds.tagged_rng ~master ~tag:"e09:spec") g
   in
-  Printf.printf "\ngraph: random %d-regular, n=%d, %s\n" r n
-    (Format.asprintf "%a" Spectral.Gap.pp gap);
+  emit
+    (A.notef "\ngraph: random %d-regular, n=%d, %s" r n
+       (Format.asprintf "%a" Spectral.Gap.pp gap));
   let samples =
     Cobra.Growth.transition_samples g ~branching:B.cobra_k2 ~source:0 ~trials
       (Simkit.Seeds.tagged_rng ~master ~tag:"e09:traj")
@@ -64,7 +67,7 @@ let trajectory_part ~scale ~master =
       end)
     samples;
   let table =
-    Stats.Table.create
+    A.Tab.create
       [ "|A|/n bucket"; "samples"; "measured growth"; "Lemma 1 bound"; "ok" ]
   in
   let all_ok = ref true in
@@ -85,28 +88,29 @@ let trajectory_part ~scale ~master =
           measured +. (2.0 *. Stats.Summary.std_error s) >= bound_factor
         in
         all_ok := !all_ok && ok;
-        Stats.Table.add_row table
+        A.Tab.add_row table
           [
-            Printf.sprintf "%.2f" mid;
-            string_of_int (Stats.Summary.count s);
-            Printf.sprintf "%.4f" measured;
-            Printf.sprintf "%.4f" bound_factor;
-            (if ok then "yes" else "NO");
+            A.floatf "%.2f" mid;
+            A.int (Stats.Summary.count s);
+            A.floatf "%.4f" measured;
+            A.floatf "%.4f" bound_factor;
+            A.str (if ok then "yes" else "NO");
           ]
       end)
     sums;
-  Stats.Table.print table;
+  emit (A.Tab.event table);
   !all_ok
 
-let run ~scale ~master =
-  let worst = exhaustive_part () in
-  let traj_ok = trajectory_part ~scale ~master in
-  Report.verdict
-    ~pass:(worst >= -1e-9 && traj_ok)
-    (Printf.sprintf
-       "Lemma 1 bound respected: exhaustive margin %.4f >= 0, all \
-        trajectory buckets above bound"
-       worst)
+let run ~emit ~scale ~master =
+  let worst = exhaustive_part ~emit in
+  let traj_ok = trajectory_part ~emit ~scale ~master in
+  emit
+    (A.verdict
+       ~pass:(worst >= -1e-9 && traj_ok)
+       (Printf.sprintf
+          "Lemma 1 bound respected: exhaustive margin %.4f >= 0, all \
+           trajectory buckets above bound"
+          worst))
 
 let spec =
   {

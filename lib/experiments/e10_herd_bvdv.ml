@@ -1,5 +1,5 @@
 module Scale = Simkit.Scale
-module Report = Simkit.Report
+module A = Simkit.Artifact
 module B = Cobra.Branching
 
 (* Herd structure: pens of animals in dense contact (cliques) arranged in
@@ -8,20 +8,21 @@ module B = Cobra.Branching
    literature's shape: short transient infectiousness, longer immunity. *)
 let params = { Epidemic.Herd.contacts = B.cobra_k2; infectious_rounds = 2; immune_rounds = 8 }
 
-let run ~scale ~master =
+let run ~emit ~scale ~master =
   let pens, pen_size =
     Scale.pick scale ~quick:(6, 8) ~standard:(10, 12) ~full:(20, 20)
   in
   let trials = Scale.pick scale ~quick:30 ~standard:100 ~full:60 in
   let g = Graph.Gen.ring_of_cliques ~cliques:pens ~clique_size:pen_size in
   let n = Graph.Csr.n_vertices g in
-  Report.context
-    [
-      ("herd", Printf.sprintf "%d pens x %d animals (n=%d)" pens pen_size n);
-      ("infectious_rounds", string_of_int params.Epidemic.Herd.infectious_rounds);
-      ("immune_rounds", string_of_int params.Epidemic.Herd.immune_rounds);
-      ("trials", string_of_int trials);
-    ];
+  emit
+    (A.context
+       [
+         ("herd", Printf.sprintf "%d pens x %d animals (n=%d)" pens pen_size n);
+         ("infectious_rounds", string_of_int params.Epidemic.Herd.infectious_rounds);
+         ("immune_rounds", string_of_int params.Epidemic.Herd.immune_rounds);
+         ("trials", string_of_int trials);
+       ]);
   let classify outcome =
     match outcome with
     | Epidemic.Herd.Herd_fully_exposed t -> `Full t
@@ -46,50 +47,53 @@ let run ~scale ~master =
     (full, !full_count, extinct, !extinct_count, !censored)
   in
   let table =
-    Stats.Table.create
+    A.Tab.create
       [ "configuration"; "full exposure"; "mean rounds"; "extinct"; "mean rounds";
         "censored" ]
   in
-  let cell s count = if count = 0 then "-" else Report.mean_ci_cell s in
+  let cell s count = if count = 0 then A.str "-" else A.summary s in
   let fp, fpc, ep, epc, cp = run_config ~tag:"e10:pi" ~pi:[ 0 ] ~index_cases:[] in
-  Stats.Table.add_row table
+  A.Tab.add_row table
     [
-      "1 PI animal";
-      Printf.sprintf "%d/%d" fpc trials;
+      A.str "1 PI animal";
+      A.str (Printf.sprintf "%d/%d" fpc trials);
       cell fp fpc;
-      Printf.sprintf "%d/%d" epc trials;
+      A.str (Printf.sprintf "%d/%d" epc trials);
       cell ep epc;
-      string_of_int cp;
+      A.int cp;
     ];
   let ft, ftc, et, etc_, ct =
     run_config ~tag:"e10:ti" ~pi:[] ~index_cases:[ 0 ]
   in
-  Stats.Table.add_row table
+  A.Tab.add_row table
     [
-      "1 transient case";
-      Printf.sprintf "%d/%d" ftc trials;
+      A.str "1 transient case";
+      A.str (Printf.sprintf "%d/%d" ftc trials);
       cell ft ftc;
-      Printf.sprintf "%d/%d" etc_ trials;
+      A.str (Printf.sprintf "%d/%d" etc_ trials);
       cell et etc_;
-      string_of_int ct;
+      A.int ct;
     ];
-  Stats.Table.print table;
+  emit (A.Tab.event table);
   (* BIPS abstraction on the same herd graph, for the structural analogy
      the paper draws: the persistent source makes full infection certain. *)
   let bips, _ =
     Common.infection_summary g ~branching:B.cobra_k2 ~source:0 ~trials ~master
       ~tag:"e10:bips"
   in
-  Printf.printf "\nBIPS on the same herd graph (pure abstraction): %s rounds to full infection\n"
-    (Report.mean_ci_cell bips);
+  emit
+    (A.notef
+       "\nBIPS on the same herd graph (pure abstraction): %s rounds to full infection"
+       (A.summary_to_string (A.of_summary bips)));
   let pi_always_full = fpc = trials in
   let ti_sometimes_dies = etc_ > 0 in
-  Report.verdict
-    ~pass:(pi_always_full && ti_sometimes_dies)
-    (Printf.sprintf
-       "PI animal: %d/%d runs reach full exposure; transient index case \
-        dies out in %d/%d runs"
-       fpc trials etc_ trials)
+  emit
+    (A.verdict
+       ~pass:(pi_always_full && ti_sometimes_dies)
+       (Printf.sprintf
+          "PI animal: %d/%d runs reach full exposure; transient index case \
+           dies out in %d/%d runs"
+          fpc trials etc_ trials))
 
 let spec =
   {

@@ -1,5 +1,5 @@
 module Scale = Simkit.Scale
-module Report = Simkit.Report
+module A = Simkit.Artifact
 module B = Cobra.Branching
 
 (* Protocol accounting: a COBRA vertex transmits at most k times per round
@@ -30,20 +30,19 @@ let summarise_pairs ~trials ~master ~tag f =
   done;
   (rounds, tx, !censored)
 
-let run_graph ~name g ~trials ~master ~tag =
-  Printf.printf "-- %s (n=%d) --\n" name (Graph.Csr.n_vertices g);
+let run_graph ~emit ~name g ~trials ~master ~tag =
+  emit (A.section (Printf.sprintf "%s (n=%d)" name (Graph.Csr.n_vertices g)));
   let table =
-    Stats.Table.create
-      [ "protocol"; "rounds"; "transmissions"; "tx / n" ]
+    A.Tab.create [ "protocol"; "rounds"; "transmissions"; "tx / n" ]
   in
   let n = Float.of_int (Graph.Csr.n_vertices g) in
   let add_protocol label rounds tx =
-    Stats.Table.add_row table
+    A.Tab.add_row table
       [
-        label;
-        Report.mean_ci_cell rounds;
-        Report.float_cell (Stats.Summary.mean tx);
-        Printf.sprintf "%.2f" (Stats.Summary.mean tx /. n);
+        A.str label;
+        A.summary rounds;
+        A.float (Stats.Summary.mean tx);
+        A.floatf "%.2f" (Stats.Summary.mean tx /. n);
       ]
   in
   let c_rounds, c_tx, _ =
@@ -65,29 +64,28 @@ let run_graph ~name g ~trials ~master ~tag =
   in
   add_protocol "push-pull" pp_rounds pp_tx;
   let flood = Cobra.Push.flood g ~start:0 in
-  Stats.Table.add_row table
+  A.Tab.add_row table
     [
-      "flooding";
-      string_of_int flood.Cobra.Push.rounds;
-      string_of_int flood.Cobra.Push.transmissions;
-      Printf.sprintf "%.2f" (Float.of_int flood.Cobra.Push.transmissions /. n);
+      A.str "flooding";
+      A.int flood.Cobra.Push.rounds;
+      A.int flood.Cobra.Push.transmissions;
+      A.floatf "%.2f" (Float.of_int flood.Cobra.Push.transmissions /. n);
     ];
-  Stats.Table.print table;
-  print_newline ();
+  emit (A.Tab.event table);
   ( Stats.Summary.mean c_rounds, Stats.Summary.mean c_tx,
     Stats.Summary.mean p_rounds, Stats.Summary.mean p_tx )
 
-let run ~scale ~master =
+let run ~emit ~scale ~master =
   let n_complete = Scale.pick scale ~quick:256 ~standard:1024 ~full:8192 in
   let n_sparse = Scale.pick scale ~quick:1024 ~standard:4096 ~full:32768 in
   let trials = Scale.pick scale ~quick:10 ~standard:25 ~full:60 in
-  Report.context [ ("trials", string_of_int trials) ];
+  emit (A.context [ ("trials", string_of_int trials) ]);
   let cr1, ct1, pr1, pt1 =
-    run_graph ~name:"complete graph" (Graph.Gen.complete n_complete) ~trials
+    run_graph ~emit ~name:"complete graph" (Graph.Gen.complete n_complete) ~trials
       ~master ~tag:"e11:k"
   in
   let cr2, ct2, pr2, pt2 =
-    run_graph ~name:"random 3-regular"
+    run_graph ~emit ~name:"random 3-regular"
       (Common.expander ~master ~tag:"e11" ~n:n_sparse ~r:3)
       ~trials ~master ~tag:"e11:r"
   in
@@ -99,12 +97,13 @@ let run ~scale ~master =
   let ok =
     cr1 < 4.0 *. pr1 && cr2 < 4.0 *. pr2 && ct1 < 3.0 *. pt1 && ct2 < 3.0 *. pt2
   in
-  Report.verdict ~pass:ok
-    (Printf.sprintf
-       "COBRA rounds within 4x of push (%.0f vs %.0f; %.0f vs %.0f), total \
-        transmissions within 3x (%.0f vs %.0f; %.0f vs %.0f), per-vertex \
-        per-round budget <= 2 by construction"
-       cr1 pr1 cr2 pr2 ct1 pt1 ct2 pt2)
+  emit
+    (A.verdict ~pass:ok
+       (Printf.sprintf
+          "COBRA rounds within 4x of push (%.0f vs %.0f; %.0f vs %.0f), total \
+           transmissions within 3x (%.0f vs %.0f; %.0f vs %.0f), per-vertex \
+           per-round budget <= 2 by construction"
+          cr1 pr1 cr2 pr2 ct1 pt1 ct2 pt2))
 
 let spec =
   {

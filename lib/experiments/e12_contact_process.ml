@@ -1,5 +1,5 @@
 module Scale = Simkit.Scale
-module Report = Simkit.Report
+module A = Simkit.Artifact
 module Contact = Epidemic.Contact
 
 (* Per-edge infection rate sweep across the phase transition (recovery
@@ -7,23 +7,24 @@ module Contact = Epidemic.Contact
    each rate: survival probability without a source, and the outcome with
    a persistent source. The paper's point: the discrete analogue BIPS has
    the persistent-source column's behaviour built in — it can never die. *)
-let run ~scale ~master =
+let run ~emit ~scale ~master =
   let n = Scale.pick scale ~quick:512 ~standard:2048 ~full:8192 in
   let r = 4 in
   let trials = Scale.pick scale ~quick:30 ~standard:80 ~full:100 in
   let horizon = Scale.pick scale ~quick:100.0 ~standard:150.0 ~full:250.0 in
   let rates = [ 0.05; 0.1; 0.2; 0.3; 0.5; 0.75; 1.0 ] in
   let g = Common.expander ~master ~tag:"e12" ~n ~r in
-  Report.context
-    [
-      ("graph", Printf.sprintf "random %d-regular, n=%d" r n);
-      ("recovery rate", "1 (normalised)");
-      ("critical point (tree heuristic)", Printf.sprintf "~1/(r-1) = %.2f" (1.0 /. Float.of_int (r - 1)));
-      ("horizon", Printf.sprintf "%.0f time units" horizon);
-      ("trials/rate", string_of_int trials);
-    ];
+  emit
+    (A.context
+       [
+         ("graph", Printf.sprintf "random %d-regular, n=%d" r n);
+         ("recovery rate", "1 (normalised)");
+         ("critical point (tree heuristic)", Printf.sprintf "~1/(r-1) = %.2f" (1.0 /. Float.of_int (r - 1)));
+         ("horizon", Printf.sprintf "%.0f time units" horizon);
+         ("trials/rate", string_of_int trials);
+       ]);
   let table =
-    Stats.Table.create
+    A.Tab.create
       [ "rate"; "survival (no source)"; "with persistent source"; "mean exposure time" ]
   in
   let subcritical_all_die = ref true and supercritical_source_exposes = ref true in
@@ -49,28 +50,30 @@ let run ~scale ~master =
           supercritical_source_exposes := false
       done;
       if rate >= 0.5 && !full < source_trials then supercritical_source_exposes := false;
-      Stats.Table.add_row table
+      A.Tab.add_row table
         [
-          Printf.sprintf "%.2f" rate;
-          Printf.sprintf "%d/%d" survived trials;
-          Printf.sprintf "%d/%d fully exposed" !full source_trials;
-          (if Stats.Summary.count times > 0 then Report.mean_ci_cell times else "-");
+          A.floatf "%.2f" rate;
+          A.str (Printf.sprintf "%d/%d" survived trials);
+          A.str (Printf.sprintf "%d/%d fully exposed" !full source_trials);
+          (if Stats.Summary.count times > 0 then A.summary times else A.str "-");
         ])
     rates;
-  Stats.Table.print table;
-  Printf.printf
-    "\n(BIPS, the paper's discrete analogue with a built-in persistent source,\n\
-    \ saturates this graph in ~%s rounds regardless of any rate parameter.)\n"
-    (let s, _ =
-       Common.infection_summary g ~branching:Cobra.Branching.cobra_k2 ~source:0
-         ~trials:10 ~master ~tag:"e12:bips"
-     in
-     Report.float_cell (Stats.Summary.mean s));
-  Report.verdict
-    ~pass:(!subcritical_all_die && !supercritical_source_exposes)
-    "subcritical contact process always dies; the persistent source turns \
-     supercritical runs into certain full exposure (and makes extinction \
-     impossible at any rate)"
+  emit (A.Tab.event table);
+  emit
+    (A.notef
+       "\n(BIPS, the paper's discrete analogue with a built-in persistent source,\n\
+       \ saturates this graph in ~%s rounds regardless of any rate parameter.)"
+       (let s, _ =
+          Common.infection_summary g ~branching:Cobra.Branching.cobra_k2 ~source:0
+            ~trials:10 ~master ~tag:"e12:bips"
+        in
+        A.float_to_string (Stats.Summary.mean s)));
+  emit
+    (A.verdict
+       ~pass:(!subcritical_all_die && !supercritical_source_exposes)
+       "subcritical contact process always dies; the persistent source turns \
+        supercritical runs into certain full exposure (and makes extinction \
+        impossible at any rate)")
 
 let spec =
   {

@@ -1,5 +1,5 @@
 module Scale = Simkit.Scale
-module Report = Simkit.Report
+module A = Simkit.Artifact
 
 (* Two facts frame Theorem 1's optimality:
    (i)  information travels at most one hop per round, so
@@ -10,15 +10,16 @@ module Report = Simkit.Report
    expander: the per-distance mean stays within a small additive band
    above the distance itself, and the overall cover time lands within a
    constant factor of log2 n. *)
-let run ~scale ~master =
+let run ~emit ~scale ~master =
   let n = Scale.pick scale ~quick:1024 ~standard:8192 ~full:65536 in
   let r = 3 in
   let trials = Scale.pick scale ~quick:10 ~standard:30 ~full:60 in
   let g = Common.expander ~master ~tag:"e13" ~n ~r in
   let dist = Graph.Algo.bfs g 0 in
-  Report.context
-    [ ("graph", Printf.sprintf "random %d-regular, n=%d" r n);
-      ("branching", "k=2"); ("trials", string_of_int trials) ];
+  emit
+    (A.context
+       [ ("graph", Printf.sprintf "random %d-regular, n=%d" r n);
+         ("branching", "k=2"); ("trials", string_of_int trials) ]);
   (* Pool first-visit times per BFS distance over the trials. *)
   let max_dist = Array.fold_left Stdlib.max 0 dist in
   let per_dist = Array.init (max_dist + 1) (fun _ -> Stats.Summary.create ()) in
@@ -41,28 +42,30 @@ let run ~scale ~master =
     Stats.Summary.add_int covers !cover
   done;
   let table =
-    Stats.Table.create
+    A.Tab.create
       [ "BFS distance"; "vertices"; "hit time (mean ± ci95)"; "mean - distance" ]
   in
   Array.iteri
     (fun d s ->
       if Stats.Summary.count s > 0 then begin
         let vertices = Stats.Summary.count s / trials in
-        Stats.Table.add_row table
+        A.Tab.add_row table
           [
-            string_of_int d;
-            string_of_int vertices;
-            Report.mean_ci_cell s;
-            Printf.sprintf "%.2f" (Stats.Summary.mean s -. Float.of_int d);
+            A.int d;
+            A.int vertices;
+            A.summary s;
+            A.floatf "%.2f" (Stats.Summary.mean s -. Float.of_int d);
           ]
       end)
     per_dist;
-  Stats.Table.print table;
+  emit (A.Tab.event table);
   let mean_cover = Stats.Summary.mean covers in
   let log2n = log (Float.of_int n) /. log 2.0 in
-  Printf.printf
-    "\ncover: %.1f rounds; information-theoretic floor log2 n = %.1f (ratio %.2f)\n"
-    mean_cover log2n (mean_cover /. log2n);
+  emit
+    (A.notef
+       "\ncover: %.1f rounds; information-theoretic floor log2 n = %.1f (ratio %.2f)"
+       mean_cover log2n (mean_cover /. log2n));
+  emit (A.metric ~name:"cover / log2 n" (mean_cover /. log2n));
   (* Acceptance: the distance lower bound is never violated (it is a
      theorem about the dynamics, so any violation is a bug), the
      per-distance excess stays bounded by c log n, and the cover lands
@@ -74,12 +77,13 @@ let run ~scale ~master =
         || Stats.Summary.mean s <= Float.of_int max_dist +. (3.0 *. Common.ln n))
       per_dist
   in
-  Report.verdict
-    ~pass:(!violations = 0 && excess_ok && mean_cover < 8.0 *. log2n)
-    (Printf.sprintf
-       "hit >= distance in all %d observations; cover %.1f within %.1fx of \
-        the log2 n floor"
-       (trials * n) mean_cover (mean_cover /. log2n))
+  emit
+    (A.verdict
+       ~pass:(!violations = 0 && excess_ok && mean_cover < 8.0 *. log2n)
+       (Printf.sprintf
+          "hit >= distance in all %d observations; cover %.1f within %.1fx of \
+           the log2 n floor"
+          (trials * n) mean_cover (mean_cover /. log2n)))
 
 let spec =
   {

@@ -1,5 +1,5 @@
 module Scale = Simkit.Scale
-module Report = Simkit.Report
+module A = Simkit.Artifact
 
 (* The proof of Theorem 2 splits a BIPS run into three phases:
    - Lemma 2 (small sets): |A| grows from 1 to m within
@@ -12,7 +12,7 @@ module Report = Simkit.Report
    have concrete constants with no slack parameters, so the comparison is
    sharp: every trial must finish inside them (they hold w.h.p. with
    failure probability n^-4, far below our trial counts). *)
-let run ~scale ~master =
+let run ~emit ~scale ~master =
   let n = Scale.pick scale ~quick:1024 ~standard:8192 ~full:65536 in
   let r = 4 in
   let trials = Scale.pick scale ~quick:20 ~standard:60 ~full:150 in
@@ -22,13 +22,14 @@ let run ~scale ~master =
   in
   let gap = gap_t.Spectral.Gap.gap in
   let ln_n = Common.ln n in
-  Report.context
-    [
-      ("graph", Printf.sprintf "random %d-regular, n=%d" r n);
-      ("lambda", Printf.sprintf "%.4f (gap %.4f)" gap_t.Spectral.Gap.lambda gap);
-      ("trials", string_of_int trials);
-      ("branching", "k=2");
-    ];
+  emit
+    (A.context
+       [
+         ("graph", Printf.sprintf "random %d-regular, n=%d" r n);
+         ("lambda", Printf.sprintf "%.4f (gap %.4f)" gap_t.Spectral.Gap.lambda gap);
+         ("trials", string_of_int trials);
+         ("branching", "k=2");
+       ]);
   let thresh_small = n / 10 and thresh_big = 9 * n / 10 in
   let p1 = Stats.Summary.create () in
   let p2 = Stats.Summary.create () in
@@ -68,31 +69,32 @@ let run ~scale ~master =
   let lemma3_bound = 23.0 *. ln_n /. gap in
   let lemma4_bound = 8.0 *. ln_n /. gap in
   let table =
-    Stats.Table.create
+    A.Tab.create
       [ "phase"; "range of |A|"; "rounds (mean ± ci95)"; "max"; "lemma bound"; "max/bound" ]
   in
   let row name range s bound =
-    Stats.Table.add_row table
+    A.Tab.add_row table
       [
-        name;
-        range;
-        Report.mean_ci_cell s;
-        Report.float_cell (Stats.Summary.max s);
-        Report.float_cell bound;
-        Printf.sprintf "%.4f" (Stats.Summary.max s /. bound);
+        A.str name;
+        A.str range;
+        A.summary s;
+        A.float (Stats.Summary.max s);
+        A.float bound;
+        A.floatf "%.4f" (Stats.Summary.max s /. bound);
       ]
   in
   row "Lemma 2 (small sets)" (Printf.sprintf "1 -> n/10 (%d)" thresh_small) p1 lemma2_bound;
   row "Lemma 3 (growth)" (Printf.sprintf "n/10 -> 9n/10 (%d)" thresh_big) p2 lemma3_bound;
   row "Lemma 4 (endgame)" "9n/10 -> n" p3 lemma4_bound;
-  Stats.Table.print table;
+  emit (A.Tab.event table);
   let ok =
     Stats.Summary.max p1 <= lemma2_bound
     && Stats.Summary.max p2 <= lemma3_bound
     && Stats.Summary.max p3 <= lemma4_bound
   in
-  Report.verdict ~pass:ok
-    "every trial finishes each phase within its lemma's explicit w.h.p. bound"
+  emit
+    (A.verdict ~pass:ok
+       "every trial finishes each phase within its lemma's explicit w.h.p. bound")
 
 let spec =
   {

@@ -1,5 +1,5 @@
 module Scale = Simkit.Scale
-module Report = Simkit.Report
+module A = Simkit.Artifact
 module B = Cobra.Branching
 
 (* The paper's model samples k neighbours WITH replacement — on an
@@ -14,32 +14,35 @@ module B = Cobra.Branching
    2. What happens to the constants? Cover time improves by ~25% at
       r = 3 and the two schemes converge as r grows (duplicate
       probability 1/r vanishes). *)
-let run ~scale ~master =
+let run ~emit ~scale ~master =
   (* Part 1: the duality is scheme-independent. *)
   let t_max = Scale.pick scale ~quick:6 ~standard:10 ~full:12 in
-  Printf.printf "-- exact duality check for the distinct-sampling variant --\n";
-  let table1 = Stats.Table.create [ "graph"; "branching"; "max |LHS - RHS|" ] in
+  emit (A.section "exact duality check for the distinct-sampling variant");
+  let table1 = A.Tab.create [ "graph"; "branching"; "max |LHS - RHS|" ] in
   let worst = ref 0.0 in
   List.iter
     (fun (name, g, b) ->
       let gap = Cobra.Exact.duality_gap g ~branching:b ~t_max in
       if gap > !worst then worst := gap;
-      Stats.Table.add_row table1 [ name; B.to_string b; Printf.sprintf "%.3e" gap ])
+      A.Tab.add_row table1
+        [ A.str name; A.str (B.to_string b); A.floatf "%.3e" gap ])
     [
       ("Petersen", Graph.Gen.petersen (), B.distinct 2);
       ("C_7", Graph.Gen.cycle 7, B.distinct 2);
       ("K_6", Graph.Gen.complete 6, B.distinct 3);
     ];
-  Stats.Table.print table1;
+  emit (A.Tab.event table1);
 
   (* Part 2: cover-time constants, with vs without replacement, across
      degrees. *)
   let n = Scale.pick scale ~quick:1024 ~standard:8192 ~full:32768 in
   let trials = Scale.pick scale ~quick:10 ~standard:40 ~full:80 in
-  Printf.printf "\n-- cover times: with vs without replacement (n=%d, %d trials) --\n" n
-    trials;
+  emit
+    (A.section
+       (Printf.sprintf "cover times: with vs without replacement (n=%d, %d trials)" n
+          trials));
   let table2 =
-    Stats.Table.create
+    A.Tab.create
       [ "r"; "k=2 with repl."; "k=2 distinct"; "distinct/with"; "dup prob ~1/r" ]
   in
   let ratios = ref [] in
@@ -56,16 +59,16 @@ let run ~scale ~master =
       in
       let ratio = Stats.Summary.mean without /. Stats.Summary.mean with_repl in
       ratios := (r, ratio) :: !ratios;
-      Stats.Table.add_row table2
+      A.Tab.add_row table2
         [
-          string_of_int r;
-          Report.mean_ci_cell with_repl;
-          Report.mean_ci_cell without;
-          Printf.sprintf "%.3f" ratio;
-          Printf.sprintf "%.3f" (1.0 /. Float.of_int r);
+          A.int r;
+          A.summary with_repl;
+          A.summary without;
+          A.floatf "%.3f" ratio;
+          A.floatf "%.3f" (1.0 /. Float.of_int r);
         ])
     [ 3; 4; 8; 16 ];
-  Stats.Table.print table2;
+  emit (A.Tab.event table2);
   let ratio_at r = List.assoc r !ratios in
   (* Acceptance: duality exact; distinct never slower (it stochastically
      dominates); schemes converge at large r. *)
@@ -75,12 +78,13 @@ let run ~scale ~master =
     && ratio_at 16 > ratio_at 3
     && ratio_at 16 > 0.9
   in
-  Report.verdict ~pass:ok
-    (Printf.sprintf
-       "duality gap %.1e for distinct sampling; cover ratio %.2f at r=3 \
-        rising to %.2f at r=16 (schemes converge as the duplicate \
-        probability 1/r vanishes)"
-       !worst (ratio_at 3) (ratio_at 16))
+  emit
+    (A.verdict ~pass:ok
+       (Printf.sprintf
+          "duality gap %.1e for distinct sampling; cover ratio %.2f at r=3 \
+           rising to %.2f at r=16 (schemes converge as the duplicate \
+           probability 1/r vanishes)"
+          !worst (ratio_at 3) (ratio_at 16)))
 
 let spec =
   {

@@ -17,6 +17,13 @@ let all =
     E15_sampling_ablation.spec;
   ]
 
+let id_range () =
+  match all with
+  | [] -> ""
+  | first :: _ ->
+    let last = List.nth all (List.length all - 1) in
+    Printf.sprintf "%s..%s" first.Spec.id last.Spec.id
+
 let find key =
   let key = String.lowercase_ascii (String.trim key) in
   List.find_opt
@@ -24,8 +31,16 @@ let find key =
       String.lowercase_ascii s.Spec.id = key || String.lowercase_ascii s.Spec.slug = key)
     all
 
-let run_all ~scale ~master =
+let engine_preamble () =
   Printf.printf "trial engine: %d domain(s) (set COBRA_DOMAINS to override; results are\n"
     (Simkit.Pool.default_domains ());
-  print_endline "identical at any domain count — each trial owns stream salt0 + i)";
-  List.iter (fun s -> Spec.run_with_banner s ~scale ~master) all
+  print_endline "identical at any domain count — each trial owns stream salt0 + i)"
+
+let run_many specs ~sink ~scale ~master =
+  List.map (fun s -> Spec.run s ~sink ~scale ~master) specs
+
+let all_passed artifacts = List.for_all Simkit.Artifact.passed artifacts
+
+let run_all ~scale ~master =
+  engine_preamble ();
+  ignore (run_many all ~sink:(Simkit.Sink.console ()) ~scale ~master)

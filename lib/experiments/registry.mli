@@ -1,12 +1,34 @@
 (** The experiment catalogue consumed by [bench/main.exe] and
     [cobra_cli exp]. *)
 
-(** [all] lists every experiment in id order (E1 .. E11). *)
+(** [all] lists every experiment in id order (E1 .. E15). *)
 val all : Spec.t list
+
+(** [id_range ()] is ["E1..E15"] — derived from {!all}, so CLI docs never
+    go stale as experiments are added. *)
+val id_range : unit -> string
 
 (** [find key] looks an experiment up by id ("E4") or slug ("duality"),
     case-insensitively. *)
 val find : string -> Spec.t option
 
-(** [run_all ~scale ~master] runs every experiment with banners. *)
+(** [engine_preamble ()] prints the trial-engine/domain-count banner shown
+    before console suite runs. *)
+val engine_preamble : unit -> unit
+
+(** [run_many specs ~sink ~scale ~master] runs the given experiments in
+    order through one sink, returning their artifacts. *)
+val run_many :
+  Spec.t list ->
+  sink:Simkit.Sink.t ->
+  scale:Simkit.Scale.t ->
+  master:int ->
+  Simkit.Artifact.t list
+
+(** [all_passed artifacts] — no experiment emitted a failing verdict; the
+    [--check] gate. *)
+val all_passed : Simkit.Artifact.t list -> bool
+
+(** [run_all ~scale ~master] runs every experiment on the console sink
+    with banners — the classic stdout suite. *)
 val run_all : scale:Simkit.Scale.t -> master:int -> unit

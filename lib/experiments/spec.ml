@@ -1,17 +1,45 @@
+module Artifact = Simkit.Artifact
+module Sink = Simkit.Sink
+
 type t = {
   id : string;
   slug : string;
   title : string;
   claim : string;
-  run : scale:Simkit.Scale.t -> master:int -> unit;
+  run :
+    emit:(Artifact.event -> unit) -> scale:Simkit.Scale.t -> master:int -> unit;
 }
 
-let run_with_banner t ~scale ~master =
-  Simkit.Report.banner ~id:t.id ~title:t.title;
-  Simkit.Report.claim t.claim;
-  Simkit.Report.context
-    [
-      ("scale", Simkit.Scale.to_string scale);
-      ("master seed", string_of_int master);
-    ];
-  t.run ~scale ~master
+let meta t ~scale ~master =
+  {
+    Artifact.id = t.id;
+    slug = t.slug;
+    title = t.title;
+    claim = t.claim;
+    scale = Simkit.Scale.to_string scale;
+    master;
+    domains = Simkit.Pool.default_domains ();
+  }
+
+let run t ~sink ~scale ~master =
+  let meta = meta t ~scale ~master in
+  sink.Sink.start meta;
+  let rev_events = ref [] in
+  let emit e =
+    rev_events := e :: !rev_events;
+    sink.Sink.event e
+  in
+  let t0 = Unix.gettimeofday () in
+  t.run ~emit ~scale ~master;
+  let artifact =
+    {
+      Artifact.meta;
+      events = List.rev !rev_events;
+      elapsed_s = Unix.gettimeofday () -. t0;
+    }
+  in
+  sink.Sink.finish artifact;
+  artifact
+
+let run_console t ~scale ~master =
+  ignore (run t ~sink:(Sink.console ()) ~scale ~master)

@@ -1,15 +1,35 @@
 (** A runnable experiment: identity, the paper claim it reproduces, and an
-    entry point that prints its report (tables + PASS/FAIL verdict) to
-    stdout. *)
+    entry point that emits its report — context, typed tables, fits,
+    metrics and the PASS/FAIL verdict — as {!Simkit.Artifact} events
+    through the caller's {!Simkit.Sink}. *)
 
 type t = {
   id : string;  (** short stable id, e.g. ["E1"] *)
   slug : string;  (** kebab-case name, e.g. ["cover-vs-n"] *)
   title : string;
   claim : string;  (** the paper statement being validated *)
-  run : scale:Simkit.Scale.t -> master:int -> unit;
+  run :
+    emit:(Simkit.Artifact.event -> unit) ->
+    scale:Simkit.Scale.t ->
+    master:int ->
+    unit;
 }
 
-(** [run_with_banner spec ~scale ~master] prints the banner, claim and
-    scale context, then the experiment's own report. *)
-val run_with_banner : t -> scale:Simkit.Scale.t -> master:int -> unit
+(** [meta spec ~scale ~master] is the artifact identity/configuration
+    record for one run (domain count read from the trial pool). *)
+val meta : t -> scale:Simkit.Scale.t -> master:int -> Simkit.Artifact.meta
+
+(** [run spec ~sink ~scale ~master] drives the experiment: announces the
+    meta to the sink, streams every emitted event through it, and hands
+    the completed artifact (with wall-clock timing) to [sink.finish]
+    before returning it. *)
+val run :
+  t ->
+  sink:Simkit.Sink.t ->
+  scale:Simkit.Scale.t ->
+  master:int ->
+  Simkit.Artifact.t
+
+(** [run_console spec ~scale ~master] is [run] with the console sink,
+    discarding the artifact — the classic stdout behaviour. *)
+val run_console : t -> scale:Simkit.Scale.t -> master:int -> unit

@@ -1,0 +1,241 @@
+type summary = {
+  mean : float;
+  ci_lo : float;
+  ci_hi : float;
+  stddev : float;
+  min : float;
+  max : float;
+  count : int;
+}
+
+type cell =
+  | Int of int
+  | Float of { value : float; display : string option }
+  | Str of string
+  | Summary of summary
+
+type table = { title : string option; columns : string list; rows : cell list list }
+
+type fit = {
+  label : string;
+  model : string;
+  slope : float;
+  intercept : float;
+  r2 : float;
+}
+
+type verdict = { pass : bool; detail : string }
+
+type event =
+  | Context of (string * string) list
+  | Section of string
+  | Note of string
+  | Table of table
+  | Fit of fit
+  | Metric of { name : string; value : float }
+  | Verdict of verdict
+
+type meta = {
+  id : string;
+  slug : string;
+  title : string;
+  claim : string;
+  scale : string;
+  master : int;
+  domains : int;
+}
+
+type t = { meta : meta; events : event list; elapsed_s : float }
+
+(* ---------- cell constructors ---------- *)
+
+let int i = Int i
+
+let float v = Float { value = v; display = None }
+
+let floatf fmt v = Float { value = v; display = Some (Printf.sprintf fmt v) }
+
+let str s = Str s
+
+let of_summary (s : Stats.Summary.t) =
+  let mean = Stats.Summary.mean s in
+  let ci_lo, ci_hi =
+    if Stats.Summary.count s < 2 then (mean, mean)
+    else begin
+      let ci = Stats.Ci.mean_ci s in
+      (ci.Stats.Ci.lo, ci.Stats.Ci.hi)
+    end
+  in
+  {
+    mean;
+    ci_lo;
+    ci_hi;
+    stddev = Stats.Summary.stddev s;
+    min = Stats.Summary.min s;
+    max = Stats.Summary.max s;
+    count = Stats.Summary.count s;
+  }
+
+let summary s = Summary (of_summary s)
+
+(* ---------- event constructors ---------- *)
+
+let context pairs = Context pairs
+
+let section text = Section text
+
+let note text = Note text
+
+let notef fmt = Printf.ksprintf (fun s -> Note s) fmt
+
+let fit_of_regress ~label ~model (f : Stats.Regress.fit) =
+  Fit { label; model; slope = f.Stats.Regress.slope;
+        intercept = f.Stats.Regress.intercept; r2 = f.Stats.Regress.r2 }
+
+let metric ~name value = Metric { name; value }
+
+let verdict ~pass detail = Verdict { pass; detail }
+
+(* ---------- rendering primitives ---------- *)
+
+let float_to_string x =
+  if Float.is_integer x && Float.abs x < 1e9 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.4g" x
+
+let summary_to_string s =
+  if s.count < 2 then float_to_string s.mean
+  else begin
+    let half = (s.ci_hi -. s.ci_lo) /. 2.0 in
+    Printf.sprintf "%s ± %.2g" (float_to_string s.mean) half
+  end
+
+let cell_to_string = function
+  | Int i -> string_of_int i
+  | Float { display = Some s; _ } -> s
+  | Float { value; display = None } -> float_to_string value
+  | Str s -> s
+  | Summary s -> summary_to_string s
+
+(* Raw machine-readable form: full-precision values, mean for summaries. *)
+let cell_to_raw_string = function
+  | Int i -> string_of_int i
+  | Float { value; _ } -> Json.float_repr value
+  | Str s -> s
+  | Summary s -> Json.float_repr s.mean
+
+(* ---------- table builder ---------- *)
+
+module Tab = struct
+  type builder = {
+    title : string option;
+    columns : string list;
+    mutable rev_rows : cell list list;
+  }
+
+  let create ?title columns =
+    if columns = [] then invalid_arg "Artifact.Tab.create: no columns";
+    { title; columns; rev_rows = [] }
+
+  let add_row b cells =
+    if List.length cells <> List.length b.columns then
+      invalid_arg "Artifact.Tab.add_row: cell count mismatch";
+    b.rev_rows <- cells :: b.rev_rows
+
+  let rows b = List.length b.rev_rows
+
+  let event b = Table { title = b.title; columns = b.columns; rows = List.rev b.rev_rows }
+end
+
+(* ---------- accessors ---------- *)
+
+let tables t =
+  List.filter_map (function Table tb -> Some tb | _ -> None) t.events
+
+let verdicts t =
+  List.filter_map (function Verdict v -> Some v | _ -> None) t.events
+
+let passed t = List.for_all (fun v -> v.pass) (verdicts t)
+
+let basename meta = Printf.sprintf "%s_%s" meta.id meta.slug
+
+(* ---------- JSON serialisation ---------- *)
+
+let schema_version = "cobra.experiment/1"
+
+let summary_to_json s =
+  Json.Obj
+    [
+      ("mean", Json.Float s.mean);
+      ("ci_lo", Json.Float s.ci_lo);
+      ("ci_hi", Json.Float s.ci_hi);
+      ("stddev", Json.Float s.stddev);
+      ("min", Json.Float s.min);
+      ("max", Json.Float s.max);
+      ("n", Json.Int s.count);
+    ]
+
+let cell_to_json = function
+  | Int i -> Json.Int i
+  | Float { value; _ } -> Json.Float value
+  | Str s -> Json.String s
+  | Summary s -> summary_to_json s
+
+let event_to_json = function
+  | Context pairs ->
+    Json.Obj
+      [
+        ("type", Json.String "context");
+        ("pairs", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) pairs));
+      ]
+  | Section text -> Json.Obj [ ("type", Json.String "section"); ("text", Json.String text) ]
+  | Note text -> Json.Obj [ ("type", Json.String "note"); ("text", Json.String text) ]
+  | Table { title; columns; rows } ->
+    Json.Obj
+      [
+        ("type", Json.String "table");
+        ("title", match title with Some s -> Json.String s | None -> Json.Null);
+        ("columns", Json.List (List.map (fun c -> Json.String c) columns));
+        ( "rows",
+          Json.List (List.map (fun row -> Json.List (List.map cell_to_json row)) rows)
+        );
+      ]
+  | Fit { label; model; slope; intercept; r2 } ->
+    Json.Obj
+      [
+        ("type", Json.String "fit");
+        ("label", Json.String label);
+        ("model", Json.String model);
+        ("slope", Json.Float slope);
+        ("intercept", Json.Float intercept);
+        ("r2", Json.Float r2);
+      ]
+  | Metric { name; value } ->
+    Json.Obj
+      [
+        ("type", Json.String "metric");
+        ("name", Json.String name);
+        ("value", Json.Float value);
+      ]
+  | Verdict { pass; detail } ->
+    Json.Obj
+      [
+        ("type", Json.String "verdict");
+        ("pass", Json.Bool pass);
+        ("detail", Json.String detail);
+      ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.String schema_version);
+      ("id", Json.String t.meta.id);
+      ("slug", Json.String t.meta.slug);
+      ("title", Json.String t.meta.title);
+      ("claim", Json.String t.meta.claim);
+      ("scale", Json.String t.meta.scale);
+      ("master_seed", Json.Int t.meta.master);
+      ("domains", Json.Int t.meta.domains);
+      ("elapsed_s", Json.Float t.elapsed_s);
+      ("pass", Json.Bool (passed t));
+      ("events", Json.List (List.map event_to_json t.events));
+    ]

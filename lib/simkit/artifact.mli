@@ -1,0 +1,162 @@
+(** Typed experiment artifacts — the structured results pipeline.
+
+    Every experiment emits a stream of typed {!event}s (context, tables
+    with typed cells, fits, metrics, the PASS/FAIL verdict) instead of
+    printing free text. A {!Sink} renders the stream (console) or
+    persists it (JSON, CSV), and the completed {!t} record is returned to
+    the caller so verdicts can be machine-checked ([cobra_cli exp
+    --check]) and regression-diffed across runs. *)
+
+(** Flattened summary statistics of one measurement series (mean with a
+    95% t-interval, spread, extrema, sample count). *)
+type summary = {
+  mean : float;
+  ci_lo : float;
+  ci_hi : float;
+  stddev : float;
+  min : float;
+  max : float;
+  count : int;
+}
+
+(** A typed table cell. [Float]'s optional [display] preserves the
+    experiment's chosen console formatting (e.g. ["%.3f"]) without losing
+    the raw value for JSON/CSV. *)
+type cell =
+  | Int of int
+  | Float of { value : float; display : string option }
+  | Str of string
+  | Summary of summary
+
+type table = { title : string option; columns : string list; rows : cell list list }
+
+(** A regression fit reported by an experiment ([model] names the
+    transform: ["ols"], ["semilog"], ["loglog"]). *)
+type fit = {
+  label : string;
+  model : string;
+  slope : float;
+  intercept : float;
+  r2 : float;
+}
+
+type verdict = { pass : bool; detail : string }
+
+type event =
+  | Context of (string * string) list  (** key = value configuration block *)
+  | Section of string  (** a sub-part heading within one experiment *)
+  | Note of string  (** free-text commentary line(s) *)
+  | Table of table
+  | Fit of fit
+  | Metric of { name : string; value : float }  (** one named scalar result *)
+  | Verdict of verdict  (** the acceptance criterion; an experiment may emit several *)
+
+(** Identity and run configuration, fixed before the experiment runs. *)
+type meta = {
+  id : string;
+  slug : string;
+  title : string;
+  claim : string;
+  scale : string;
+  master : int;
+  domains : int;
+}
+
+(** A completed artifact: meta, the events in emission order, wall-clock
+    seconds. *)
+type t = { meta : meta; events : event list; elapsed_s : float }
+
+(** {1 Cell constructors} *)
+
+val int : int -> cell
+
+val float : float -> cell
+
+(** [floatf fmt v] is a float cell rendered with [fmt] on the console
+    (e.g. [floatf "%.3f" ratio]) while keeping the raw value. *)
+val floatf : (float -> string, unit, string) format -> float -> cell
+
+val str : string -> cell
+
+(** [summary s] flattens a {!Stats.Summary.t} (with its 95% t-interval)
+    into a [Summary] cell. *)
+val summary : Stats.Summary.t -> cell
+
+(** [of_summary s] is the flattened record itself. *)
+val of_summary : Stats.Summary.t -> summary
+
+(** {1 Event constructors} *)
+
+val context : (string * string) list -> event
+
+val section : string -> event
+
+val note : string -> event
+
+(** [notef fmt ...] is [note (Printf.sprintf fmt ...)]. *)
+val notef : ('a, unit, string, event) format4 -> 'a
+
+(** [fit_of_regress ~label ~model f] captures a {!Stats.Regress.fit}. *)
+val fit_of_regress : label:string -> model:string -> Stats.Regress.fit -> event
+
+val metric : name:string -> float -> event
+
+val verdict : pass:bool -> string -> event
+
+(** {1 Table builder} — mirrors the [Stats.Table] API so experiments port
+    line-for-line, but accumulates typed cells. *)
+module Tab : sig
+  type builder
+
+  val create : ?title:string -> string list -> builder
+
+  (** [add_row b cells] appends a row; arity must match the columns. *)
+  val add_row : builder -> cell list -> unit
+
+  (** [rows b] is the number of rows added so far. *)
+  val rows : builder -> int
+
+  (** [event b] freezes the builder into a [Table] event. *)
+  val event : builder -> event
+end
+
+(** {1 Rendering primitives} (shared by the console and CSV sinks) *)
+
+(** [float_to_string x] — integral floats print bare, others with 4
+    significant digits. *)
+val float_to_string : float -> string
+
+(** [summary_to_string s] is ["mean ± halfwidth"] (bare mean for a single
+    observation). *)
+val summary_to_string : summary -> string
+
+(** [cell_to_string c] is the human-facing form ([display] wins for
+    formatted floats). *)
+val cell_to_string : cell -> string
+
+(** [cell_to_raw_string c] is the machine-facing form: full-precision
+    numbers; a [Summary] collapses to its mean. *)
+val cell_to_raw_string : cell -> string
+
+(** {1 Accessors} *)
+
+val tables : t -> table list
+
+val verdicts : t -> verdict list
+
+(** [passed t] — no emitted verdict failed. *)
+val passed : t -> bool
+
+(** [basename meta] is ["<id>_<slug>"], the stem sinks name files by. *)
+val basename : meta -> string
+
+(** {1 JSON} *)
+
+(** The [schema] field stamped on every artifact document. *)
+val schema_version : string
+
+val event_to_json : event -> Json.t
+
+(** [to_json t] is the self-describing single-experiment document the
+    JSON sink writes (see README for the schema). *)
+val to_json : t -> Json.t

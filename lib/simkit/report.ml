@@ -11,14 +11,35 @@ let context pairs =
 let verdict ~pass text =
   Printf.printf "[%s] %s\n" (if pass then "PASS" else "FAIL") text
 
-let float_cell x =
-  if Float.is_integer x && Float.abs x < 1e9 then Printf.sprintf "%.0f" x
-  else Printf.sprintf "%.4g" x
+let float_cell = Artifact.float_to_string
 
-let mean_ci_cell s =
-  if Stats.Summary.count s < 2 then float_cell (Stats.Summary.mean s)
-  else begin
-    let ci = Stats.Ci.mean_ci s in
-    let half = (ci.Stats.Ci.hi -. ci.Stats.Ci.lo) /. 2.0 in
-    Printf.sprintf "%s ± %.2g" (float_cell (Stats.Summary.mean s)) half
-  end
+let mean_ci_cell s = Artifact.summary_to_string (Artifact.of_summary s)
+
+let render_table (tb : Artifact.table) =
+  Option.iter (fun title -> Printf.printf "-- %s --\n" title) tb.Artifact.title;
+  let t = Stats.Table.create tb.Artifact.columns in
+  List.iter
+    (fun row -> Stats.Table.add_row t (List.map Artifact.cell_to_string row))
+    tb.Artifact.rows;
+  Stats.Table.print t
+
+let render_event = function
+  | Artifact.Context pairs -> context pairs
+  | Artifact.Section text -> Printf.printf "-- %s --\n" text
+  | Artifact.Note text -> print_endline text
+  | Artifact.Table tb -> render_table tb
+  | Artifact.Fit { label; slope; intercept; r2; _ } ->
+    Printf.printf "\nfit %s: slope=%.4g intercept=%.4g R²=%.4f\n" label slope
+      intercept r2
+  | Artifact.Metric { name; value } ->
+    Printf.printf "%s = %s\n" name (Artifact.float_to_string value)
+  | Artifact.Verdict { pass; detail } -> verdict ~pass detail
+
+let start (meta : Artifact.meta) =
+  banner ~id:meta.Artifact.id ~title:meta.Artifact.title;
+  claim meta.Artifact.claim;
+  context
+    [
+      ("scale", meta.Artifact.scale);
+      ("master seed", string_of_int meta.Artifact.master);
+    ]

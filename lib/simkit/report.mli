@@ -1,26 +1,38 @@
-(** Report formatting shared by the experiment suite: banners, key-value
-    context lines, and the paper-claim header each experiment prints above
-    its table. *)
+(** The console renderer of the results pipeline: turns {!Artifact}
+    events into the banner / claim / context / table / verdict text the
+    experiment suite has always printed. The {!Sink.console} sink is a
+    thin wrapper over this module; the cell formatters are also exported
+    for ad-hoc CLI output. *)
 
 (** [banner ~id ~title] prints a separator line and the experiment
     heading. *)
 val banner : id:string -> title:string -> unit
 
-(** [claim text] prints the paper claim being reproduced, prefixed and
-    wrapped. *)
+(** [claim text] prints the paper claim being reproduced. *)
 val claim : string -> unit
 
 (** [context pairs] prints [key = value] configuration lines. *)
 val context : (string * string) list -> unit
 
-(** [verdict ~pass text] prints a final PASS/FAIL-style line for the
-    experiment's acceptance criterion. *)
+(** [verdict ~pass text] prints the final PASS/FAIL line. *)
 val verdict : pass:bool -> string -> unit
 
 (** [float_cell x] formats a float for a table cell (4 significant
-    digits). *)
+    digits; integral values print bare). *)
 val float_cell : float -> string
 
 (** [mean_ci_cell summary] formats ["mean ± half-width"] using a 95%
     t-interval (falls back to the bare mean for single observations). *)
 val mean_ci_cell : Stats.Summary.t -> string
+
+(** [start meta] prints the banner, claim, and scale/seed context — the
+    console sink's per-experiment preamble. *)
+val start : Artifact.meta -> unit
+
+(** [render_table tb] prints a typed table via {!Stats.Table} (preceded
+    by its title, when present). *)
+val render_table : Artifact.table -> unit
+
+(** [render_event e] prints one artifact event in the classic report
+    style. *)
+val render_event : Artifact.event -> unit

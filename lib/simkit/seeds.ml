@@ -12,3 +12,9 @@ let trial_rng ~master ~salt =
 let tagged_rng ~master ~tag =
   let hash = Hashtbl.hash (tag, 0x5EED) in
   trial_rng ~master ~salt:hash
+
+(* Widely-spaced salt bases: the multiplier pushes consecutive trial
+   indices of different tags apart, so [salt_of_tag a + i] and
+   [salt_of_tag b + j] never collide for any realistic trial count
+   (unlike e.g. [start * 131 + i], which wraps at 131 trials). *)
+let salt_of_tag tag = Hashtbl.hash (tag, 0xC0B7A) * 65_599

@@ -14,3 +14,9 @@ val trial_rng : master:int -> salt:int -> Prng.Rng.t
     experiment id), so experiments never share streams even under the same
     master seed. *)
 val tagged_rng : master:int -> tag:string -> Prng.Rng.t
+
+(** [salt_of_tag tag] hashes a tag into a trial-salt base for
+    [trial_rng ~salt:(salt_of_tag tag + i)]-style batches: bases of
+    distinct tags are spaced far apart, so per-trial offsets from
+    different series never collide (unlike ad-hoc arithmetic salts). *)
+val salt_of_tag : string -> int

@@ -1,0 +1,40 @@
+(** Pluggable destinations for {!Artifact} event streams.
+
+    An experiment runner calls [start] with the artifact meta, [event]
+    for each emitted event (in order, while the experiment runs — the
+    console sink renders live), and [finish] once with the completed
+    artifact (the file sinks write here). Sinks are stateless across
+    experiments, so one sink instance serves a whole suite run. *)
+
+type t = {
+  start : Artifact.meta -> unit;
+  event : Artifact.event -> unit;
+  finish : Artifact.t -> unit;
+}
+
+(** Discards everything (the artifact record is still returned by the
+    runner). *)
+val null : t
+
+(** Renders to stdout in the classic report format via {!Report}. *)
+val console : unit -> t
+
+(** Fans every call out to each sink in order. *)
+val tee : t list -> t
+
+(** Writes one self-describing JSON document per experiment,
+    [DIR/<id>_<slug>.json], creating [DIR] if needed. *)
+val json : dir:string -> t
+
+(** Writes one CSV file per emitted table, [DIR/<id>_<slug>.tN.csv],
+    with full-precision numeric fields (a [Summary] cell collapses to its
+    mean; the JSON artifact keeps the full record). *)
+val csv : dir:string -> t
+
+(** The [schema] field of the run manifest. *)
+val manifest_schema_version : string
+
+(** [write_manifest ~dir artifacts] writes [DIR/manifest.json] — run
+    seed/scale/domains plus per-experiment file, verdict and timing —
+    and returns its path. *)
+val write_manifest : dir:string -> Artifact.t list -> string

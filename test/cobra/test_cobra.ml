@@ -76,6 +76,65 @@ let test_infection_probability () =
   close "p=0" 0.0 (B.infection_probability B.cobra_k2 0.0);
   close "p=1" 1.0 (B.infection_probability B.cobra_k2 1.0)
 
+(* ---------- Branching.of_string / to_arg ---------- *)
+
+let test_branching_of_string_forms () =
+  let ok s expected =
+    match B.of_string s with
+    | Ok b -> check Alcotest.bool (Printf.sprintf "%S parses" s) true (b = expected)
+    | Error e -> Alcotest.failf "%S rejected: %s" s e
+  in
+  ok "k=2" B.cobra_k2;
+  ok "2" B.cobra_k2;
+  ok " K=3 " (B.fixed 3);
+  ok "1+0.5" (B.one_plus 0.5);
+  ok "1+1" (B.one_plus 1.0);
+  ok "distinct=2" (B.distinct 2);
+  ok "DISTINCT=4" (B.distinct 4)
+
+let test_branching_of_string_rejections () =
+  List.iter
+    (fun s ->
+      match B.of_string s with
+      | Ok b -> Alcotest.failf "%S should be rejected, parsed %s" s (B.to_string b)
+      | Error msg ->
+        check Alcotest.bool
+          (Printf.sprintf "%S error message nonempty" s)
+          true
+          (String.length msg > 0))
+    [ "k=0"; "0"; "-1"; "1+0"; "1+1.5"; "1+"; "k="; "distinct=0"; "distinct=";
+      "xyz"; "" ]
+
+(* to_arg must emit the canonical parseable form for every constructible
+   value — the display form ("1+rho (rho=0.5)") is deliberately not
+   parseable, so the CLI prints to_arg. *)
+let branching_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map B.fixed (int_range 1 64);
+        map B.distinct (int_range 1 64);
+        (* Strictly positive rho in (0, 1]: draw from {1..1000}/1000 so the
+           boundary rho = 1 is exercised too. *)
+        map (fun k -> B.one_plus (Float.of_int k /. 1000.0)) (int_range 1 1000);
+      ])
+
+let branching_arbitrary =
+  QCheck.make branching_gen ~print:(fun b -> B.to_arg b)
+
+let branching_roundtrip_prop =
+  QCheck.Test.make ~name:"of_string (to_arg b) = Ok b" ~count:500
+    branching_arbitrary (fun b -> B.of_string (B.to_arg b) = Ok b)
+
+(* Irregular rho values (full float precision) must survive the
+   to_arg %.17g fallback. *)
+let branching_rho_roundtrip_prop =
+  QCheck.Test.make ~name:"rho round-trips at full precision" ~count:500
+    QCheck.(float_range 1e-9 1.0)
+    (fun rho ->
+      let b = B.one_plus rho in
+      B.of_string (B.to_arg b) = Ok b)
+
 (* ---------- Distinct (without-replacement) branching ---------- *)
 
 let test_distinct_basics () =
@@ -897,6 +956,11 @@ let () =
           Alcotest.test_case "draws" `Quick test_branching_draws;
           Alcotest.test_case "pick distribution" `Quick test_branching_pick_distribution;
           Alcotest.test_case "infection probability" `Quick test_infection_probability;
+          Alcotest.test_case "of_string forms" `Quick test_branching_of_string_forms;
+          Alcotest.test_case "of_string rejections" `Quick
+            test_branching_of_string_rejections;
+          qtest branching_roundtrip_prop;
+          qtest branching_rho_roundtrip_prop;
         ] );
       ( "distinct",
         [

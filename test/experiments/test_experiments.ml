@@ -1,9 +1,15 @@
-(* Tests for the experiment registry: identity hygiene and lookup. The
-   experiments themselves run end-to-end in the integration suite and in
-   bench/main.exe; here we verify the catalogue's contract. *)
+(* Tests for the experiment registry (identity hygiene and lookup) and
+   the structured results pipeline: every sink must observe the same
+   artifact for the same (spec, scale, seed), the emitted JSON must parse
+   back with the console's numbers, and a failing verdict must fail the
+   suite (the --check exit-code contract). The experiments themselves run
+   end-to-end in the integration suite and in bench/main.exe. *)
 
 module Registry = Experiments.Registry
 module Spec = Experiments.Spec
+module Artifact = Simkit.Artifact
+module Sink = Simkit.Sink
+module Json = Simkit.Json
 
 let check = Alcotest.check
 
@@ -42,6 +48,114 @@ let test_metadata_nonempty () =
         Alcotest.failf "%s: claim suspiciously short" s.Spec.id)
     Registry.all
 
+let test_id_range_derived () =
+  check Alcotest.string "derived from the registry" "E1..E15" (Registry.id_range ())
+
+(* ---------- structured results pipeline ---------- *)
+
+let e1 () = Option.get (Registry.find "E1")
+
+let run_spec spec ~sink =
+  Spec.run spec ~sink ~scale:Simkit.Scale.Quick ~master:1
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cobra_exp_%d" (Unix.getpid ()))
+  in
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  if Sys.file_exists dir then rm dir;
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm dir) (fun () -> f dir)
+
+(* The acceptance criterion for the sink refactor: the sink is a pure
+   observer. Console and JSON runs of the same experiment at the same
+   seed/scale must produce artifacts with identical meta and identical
+   event streams (tables, fits, verdicts — every number). *)
+let test_sinks_observe_identical_artifact () =
+  with_temp_dir (fun dir ->
+      let via_console = run_spec (e1 ()) ~sink:(Sink.console ()) in
+      let via_json = run_spec (e1 ()) ~sink:(Sink.json ~dir) in
+      check Alcotest.bool "meta identical" true
+        (via_console.Artifact.meta = via_json.Artifact.meta);
+      check Alcotest.int "same event count"
+        (List.length via_console.Artifact.events)
+        (List.length via_json.Artifact.events);
+      check Alcotest.bool "event streams identical" true
+        (via_console.Artifact.events = via_json.Artifact.events);
+      check Alcotest.bool "verdict present and passing" true
+        (Artifact.verdicts via_console <> [] && Artifact.passed via_console))
+
+(* The emitted JSON document must parse back and carry the same numbers
+   the console rendered (here: the first table's first summary mean). *)
+let test_emitted_json_matches_artifact () =
+  with_temp_dir (fun dir ->
+      let artifact = run_spec (e1 ()) ~sink:(Sink.json ~dir) in
+      let path =
+        Filename.concat dir (Artifact.basename artifact.Artifact.meta ^ ".json")
+      in
+      match Json.of_file path with
+      | Error e -> Alcotest.failf "emitted artifact does not parse: %s" e
+      | Ok doc ->
+        check Alcotest.bool "schema stamped" true
+          (Json.member "schema" doc = Some (Json.String Artifact.schema_version));
+        check Alcotest.bool "pass recorded" true
+          (Json.member "pass" doc = Some (Json.Bool (Artifact.passed artifact)));
+        let table =
+          match Artifact.tables artifact with
+          | t :: _ -> t
+          | [] -> Alcotest.fail "E1 emitted no table"
+        in
+        let artifact_mean =
+          match table.Artifact.rows with
+          | (_ :: Artifact.Summary s :: _) :: _ -> s.Artifact.mean
+          | _ -> Alcotest.fail "E1 row 0 col 1 is not a summary"
+        in
+        let json_mean =
+          let events = Option.get (Json.to_list (Option.get (Json.member "events" doc))) in
+          let table_ev =
+            List.find
+              (fun e -> Json.member "type" e = Some (Json.String "table"))
+              events
+          in
+          match Json.to_list (Option.get (Json.member "rows" table_ev)) with
+          | Some (row0 :: _) ->
+            (match Json.to_list row0 with
+            | Some (_ :: cell :: _) ->
+              Option.get (Json.to_number (Option.get (Json.member "mean" cell)))
+            | _ -> Alcotest.fail "row 0 shape")
+          | _ -> Alcotest.fail "no rows in json table"
+        in
+        check (Alcotest.float 0.0) "mean survives serialisation bit-for-bit"
+          artifact_mean json_mean)
+
+(* A deliberately failing verdict must fail the suite — this is the exact
+   predicate `cobra_cli exp --check` maps to its exit code. *)
+let failing_spec =
+  {
+    Spec.id = "EX";
+    slug = "always-fails";
+    title = "synthetic failing experiment";
+    claim = "pins the --check exit-code mapping to Registry.all_passed";
+    run =
+      (fun ~emit ~scale:_ ~master:_ ->
+        emit (Artifact.verdict ~pass:true "first criterion fine");
+        emit (Artifact.verdict ~pass:false "deliberately failing criterion"));
+  }
+
+let test_failing_verdict_fails_suite () =
+  let good = run_spec (e1 ()) ~sink:Sink.null in
+  let bad = run_spec failing_spec ~sink:Sink.null in
+  check Alcotest.bool "E1 alone passes" true (Registry.all_passed [ good ]);
+  check Alcotest.bool "failing artifact not passed" false (Artifact.passed bad);
+  check Alcotest.bool "one failure fails the suite" false
+    (Registry.all_passed [ good; bad ])
+
 let () =
   Alcotest.run "experiments"
     [
@@ -51,5 +165,15 @@ let () =
           Alcotest.test_case "unique slugs" `Quick test_unique_slugs;
           Alcotest.test_case "find" `Quick test_find_by_id_and_slug;
           Alcotest.test_case "metadata" `Quick test_metadata_nonempty;
+          Alcotest.test_case "id range derived" `Quick test_id_range_derived;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "sinks observe identical artifact" `Slow
+            test_sinks_observe_identical_artifact;
+          Alcotest.test_case "emitted json matches artifact" `Slow
+            test_emitted_json_matches_artifact;
+          Alcotest.test_case "failing verdict fails suite" `Quick
+            test_failing_verdict_fails_suite;
         ] );
     ]

@@ -7,6 +7,9 @@ module Trial = Simkit.Trial
 module Pool = Simkit.Pool
 module Csvout = Simkit.Csvout
 module Report = Simkit.Report
+module Json = Simkit.Json
+module Artifact = Simkit.Artifact
+module Sink = Simkit.Sink
 
 let check = Alcotest.check
 let qtest = QCheck_alcotest.to_alcotest
@@ -210,6 +213,246 @@ let csv_parse_roundtrip_prop =
         doc;
       !lines = List.length rows + 1)
 
+(* ---------- Seeds.salt_of_tag ---------- *)
+
+(* The regression behind `cover --scan-starts`: the old linear scheme
+   [start * 131 + i] collides as soon as trials exceed 131. The hashed
+   per-tag salt bases must keep every (start, trial) stream distinct for
+   realistic scan sizes. *)
+let test_salt_of_tag_no_scan_collisions () =
+  let trials = 1000 in
+  let starts = [ 0; 1; 2; 17; 131; 4096; 999_999 ] in
+  let seen = Hashtbl.create 4096 in
+  List.iter
+    (fun start ->
+      let salt0 = Seeds.salt_of_tag (Printf.sprintf "cli:scan:start=%d" start) in
+      for i = 0 to trials - 1 do
+        let salt = salt0 + i in
+        (match Hashtbl.find_opt seen salt with
+        | Some other ->
+          Alcotest.failf "salt collision: start %d trial %d vs %s" start i other
+        | None -> ());
+        Hashtbl.add seen salt (Printf.sprintf "start %d trial %d" start i)
+      done)
+    starts;
+  (* And the old scheme really was broken — document the bug it fixes. *)
+  let old_scheme start i = (start * 131) + i in
+  check Alcotest.int "old scheme collides at trials > 131" (old_scheme 0 131)
+    (old_scheme 1 0)
+
+let test_salt_of_tag_deterministic () =
+  check Alcotest.int "stable across calls" (Seeds.salt_of_tag "x")
+    (Seeds.salt_of_tag "x");
+  check Alcotest.bool "distinct tags differ" true
+    (Seeds.salt_of_tag "x" <> Seeds.salt_of_tag "y")
+
+(* ---------- Json ---------- *)
+
+let sample_doc =
+  Json.Obj
+    [
+      ("schema", Json.String "test/1");
+      ("n", Json.Int 42);
+      ("x", Json.Float 3.25);
+      ("ok", Json.Bool true);
+      ("nothing", Json.Null);
+      ( "rows",
+        Json.List
+          [
+            Json.List [ Json.Int 1; Json.Float 0.5 ];
+            Json.String "a \"quoted\"\nline";
+          ] );
+    ]
+
+let test_json_roundtrip () =
+  List.iter
+    (fun pretty ->
+      match Json.of_string (Json.to_string ~pretty sample_doc) with
+      | Ok v ->
+        check Alcotest.bool
+          (Printf.sprintf "pretty=%b structural equality" pretty)
+          true (v = sample_doc)
+      | Error e -> Alcotest.failf "parse failed: %s" e)
+    [ false; true ]
+
+let test_json_float_repr () =
+  check Alcotest.string "integral" "1.0" (Json.float_repr 1.0);
+  check Alcotest.string "nan is null" "null" (Json.float_repr Float.nan);
+  List.iter
+    (fun x ->
+      check (Alcotest.float 0.0)
+        (Printf.sprintf "%h round-trips" x)
+        x
+        (float_of_string (Json.float_repr x)))
+    [ 0.1; 1.0 /. 3.0; 22.099999999999998; 1e-300; 6.02e23; infinity; neg_infinity ]
+
+let test_json_parse_forms () =
+  check Alcotest.bool "int token" true (Json.of_string "3" = Ok (Json.Int 3));
+  check Alcotest.bool "float token" true (Json.of_string "3.5" = Ok (Json.Float 3.5));
+  check Alcotest.bool "negative exponent" true
+    (Json.of_string "-2e-3" = Ok (Json.Float (-0.002)));
+  check Alcotest.bool "escapes" true
+    (Json.of_string {|"a\t\"b\"A"|} = Ok (Json.String "a\t\"b\"A"));
+  check Alcotest.bool "trailing garbage rejected" true
+    (Result.is_error (Json.of_string "1 2"));
+  check Alcotest.bool "unterminated rejected" true
+    (Result.is_error (Json.of_string "[1, 2"));
+  check Alcotest.bool "bad literal rejected" true
+    (Result.is_error (Json.of_string "flase"))
+
+let test_json_accessors () =
+  check Alcotest.bool "member" true
+    (Json.member "n" sample_doc = Some (Json.Int 42));
+  check Alcotest.bool "member missing" true (Json.member "zz" sample_doc = None);
+  check Alcotest.bool "to_number widens int" true
+    (Json.to_number (Json.Int 7) = Some 7.0);
+  check Alcotest.bool "to_bool" true (Json.to_bool_opt (Json.Bool true) = Some true)
+
+let json_string_roundtrip_prop =
+  QCheck.Test.make ~name:"json string escape round-trips" ~count:300
+    QCheck.printable_string (fun s ->
+      Json.of_string (Json.escape_string s) = Ok (Json.String s))
+
+(* ---------- Artifact ---------- *)
+
+let summary_of_array a = Artifact.of_summary (Stats.Summary.of_array a)
+
+let test_artifact_cells () =
+  check Alcotest.string "int" "7" (Artifact.cell_to_string (Artifact.int 7));
+  check Alcotest.string "integral float" "42"
+    (Artifact.cell_to_string (Artifact.float 42.0));
+  check Alcotest.string "display wins" "3.142"
+    (Artifact.cell_to_string (Artifact.floatf "%.3f" 3.14159));
+  check Alcotest.string "raw keeps precision" "3.14159"
+    (Artifact.cell_to_raw_string (Artifact.floatf "%.3f" 3.14159));
+  let s = summary_of_array [| 10.0; 11.0; 9.0; 10.0 |] in
+  check Alcotest.int "summary count" 4 s.Artifact.count;
+  check (Alcotest.float 1e-9) "summary mean" 10.0 s.Artifact.mean;
+  check Alcotest.bool "ci brackets mean" true
+    (s.Artifact.ci_lo < 10.0 && 10.0 < s.Artifact.ci_hi)
+
+let test_artifact_tab_arity () =
+  let t = Artifact.Tab.create [ "a"; "b" ] in
+  Artifact.Tab.add_row t [ Artifact.int 1; Artifact.int 2 ];
+  check Alcotest.int "rows" 1 (Artifact.Tab.rows t);
+  Alcotest.check_raises "arity enforced"
+    (Invalid_argument "Artifact.Tab.add_row: cell count mismatch") (fun () ->
+      Artifact.Tab.add_row t [ Artifact.int 1 ])
+
+let dummy_meta =
+  {
+    Artifact.id = "T1";
+    slug = "unit";
+    title = "unit artifact";
+    claim = "none";
+    scale = "quick";
+    master = 1;
+    domains = 1;
+  }
+
+let artifact_with events = { Artifact.meta = dummy_meta; events; elapsed_s = 0.5 }
+
+let test_artifact_passed () =
+  check Alcotest.bool "no verdicts: vacuously passed" true
+    (Artifact.passed (artifact_with [ Artifact.note "hi" ]));
+  check Alcotest.bool "pass verdict" true
+    (Artifact.passed (artifact_with [ Artifact.verdict ~pass:true "ok" ]));
+  check Alcotest.bool "one failure fails" false
+    (Artifact.passed
+       (artifact_with
+          [ Artifact.verdict ~pass:true "ok"; Artifact.verdict ~pass:false "bad" ]));
+  check Alcotest.string "basename" "T1_unit" (Artifact.basename dummy_meta)
+
+let test_artifact_json_doc () =
+  let table = Artifact.Tab.create [ "n"; "cover" ] in
+  Artifact.Tab.add_row table
+    [ Artifact.int 256; Artifact.summary (Stats.Summary.of_array [| 1.0; 2.0 |]) ];
+  let a =
+    artifact_with
+      [
+        Artifact.context [ ("r", "3") ];
+        Artifact.Tab.event table;
+        Artifact.metric ~name:"spread" 1.25;
+        Artifact.verdict ~pass:true "fine";
+      ]
+  in
+  match Json.of_string (Json.to_string ~pretty:true (Artifact.to_json a)) with
+  | Error e -> Alcotest.failf "artifact json does not parse: %s" e
+  | Ok doc ->
+    check Alcotest.bool "schema" true
+      (Json.member "schema" doc = Some (Json.String Artifact.schema_version));
+    check Alcotest.bool "pass" true
+      (Json.member "pass" doc = Some (Json.Bool true));
+    let events = Option.get (Json.to_list (Option.get (Json.member "events" doc))) in
+    check Alcotest.int "all events serialised" 4 (List.length events);
+    let types =
+      List.map
+        (fun e -> Option.get (Json.to_string_opt (Option.get (Json.member "type" e))))
+        events
+    in
+    check
+      Alcotest.(list string)
+      "event types" [ "context"; "table"; "metric"; "verdict" ] types
+
+(* ---------- Sink ---------- *)
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cobra_sink_%d" (Unix.getpid ()))
+  in
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  if Sys.file_exists dir then rm dir;
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm dir) (fun () -> f dir)
+
+let test_sink_json_writes_parseable_doc () =
+  with_temp_dir (fun dir ->
+      let a = artifact_with [ Artifact.verdict ~pass:false "deliberate" ] in
+      let sink = Sink.json ~dir in
+      sink.Sink.start a.Artifact.meta;
+      List.iter sink.Sink.event a.Artifact.events;
+      sink.Sink.finish a;
+      let path = Filename.concat dir "T1_unit.json" in
+      check Alcotest.bool "file exists" true (Sys.file_exists path);
+      match Json.of_file path with
+      | Error e -> Alcotest.failf "emitted file does not parse: %s" e
+      | Ok doc ->
+        check Alcotest.bool "failing verdict recorded" true
+          (Json.member "pass" doc = Some (Json.Bool false)))
+
+let test_sink_csv_writes_tables () =
+  with_temp_dir (fun dir ->
+      let table = Artifact.Tab.create [ "n"; "x" ] in
+      Artifact.Tab.add_row table [ Artifact.int 1; Artifact.floatf "%.1f" 2.75 ];
+      let a = artifact_with [ Artifact.Tab.event table ] in
+      (Sink.csv ~dir).Sink.finish a;
+      let path = Filename.concat dir "T1_unit.t1.csv" in
+      let ic = open_in path in
+      let content = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      check Alcotest.string "raw values, not display strings" "n,x\n1,2.75\n" content)
+
+let test_sink_manifest () =
+  with_temp_dir (fun dir ->
+      let good = artifact_with [ Artifact.verdict ~pass:true "ok" ] in
+      let bad = artifact_with [ Artifact.verdict ~pass:false "nope" ] in
+      let path = Sink.write_manifest ~dir [ good; bad ] in
+      match Json.of_file path with
+      | Error e -> Alcotest.failf "manifest does not parse: %s" e
+      | Ok doc ->
+        check Alcotest.bool "suite pass is false" true
+          (Json.member "pass" doc = Some (Json.Bool false));
+        let exps =
+          Option.get (Json.to_list (Option.get (Json.member "experiments" doc)))
+        in
+        check Alcotest.int "two entries" 2 (List.length exps))
+
 (* ---------- Report ---------- *)
 
 let test_report_cells () =
@@ -258,4 +501,31 @@ let () =
           qtest csv_parse_roundtrip_prop;
         ] );
       ("report", [ Alcotest.test_case "cells" `Quick test_report_cells ]);
+      ( "salt_of_tag",
+        [
+          Alcotest.test_case "scan-starts collision regression" `Quick
+            test_salt_of_tag_no_scan_collisions;
+          Alcotest.test_case "deterministic" `Quick test_salt_of_tag_deterministic;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "float repr" `Quick test_json_float_repr;
+          Alcotest.test_case "parse forms" `Quick test_json_parse_forms;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+          qtest json_string_roundtrip_prop;
+        ] );
+      ( "artifact",
+        [
+          Alcotest.test_case "cells" `Quick test_artifact_cells;
+          Alcotest.test_case "tab arity" `Quick test_artifact_tab_arity;
+          Alcotest.test_case "passed" `Quick test_artifact_passed;
+          Alcotest.test_case "json document" `Quick test_artifact_json_doc;
+        ] );
+      ( "sink",
+        [
+          Alcotest.test_case "json file parses" `Quick test_sink_json_writes_parseable_doc;
+          Alcotest.test_case "csv raw values" `Quick test_sink_csv_writes_tables;
+          Alcotest.test_case "manifest" `Quick test_sink_manifest;
+        ] );
     ]
