@@ -12,7 +12,10 @@ test:
 
 # CI gate: build, tests, then the quick-scale experiment suite with
 # machine-readable artifacts — non-zero exit iff any verdict fails.
+# _results is removed first: stale artifacts from an earlier run must
+# not be able to mask a missing-output bug in this one.
 check:
+	rm -rf _results
 	dune build @all
 	dune runtest
 	dune exec bin/main.exe -- exp --scale quick --check --format json --out _results

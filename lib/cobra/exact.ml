@@ -97,6 +97,24 @@ let mask_of_list name n vs =
       acc lor (1 lsl v))
     0 vs
 
+let mask_of_vertices ~n vs =
+  if n < 1 || n > max_vertices then invalid_arg "Exact.mask_of_vertices: bad n";
+  mask_of_list "Exact.mask_of_vertices" n vs
+
+let vertices_of_mask mask =
+  if mask < 0 then invalid_arg "Exact.vertices_of_mask: negative mask";
+  let rec go v acc =
+    if 1 lsl v > mask then List.rev acc
+    else go (v + 1) (if mask land (1 lsl v) <> 0 then v :: acc else acc)
+  in
+  go 0 []
+
+(* Sorted-by-mask association list of the non-zero entries — the
+   deterministic export format of every *_step_dist below. *)
+let sorted_dist entries =
+  List.sort (fun (a, _) (b, _) -> compare a b)
+    (List.filter (fun (_, p) -> p > 0.0) entries)
+
 module Cobra_engine = struct
   (* Memoised transitions as parallel arrays (masks, probs) for cache- and
      allocation-friendly evolution; distributions over active sets are
@@ -381,3 +399,299 @@ let duality_gap g ~branching ~t_max =
     done
   done;
   !worst
+
+(* ---------- distribution-level oracle exports (conformance suite) ---------- *)
+
+let cobra_step_dist g ~branching ~active =
+  let n = check_size g "Exact.cobra_step_dist" in
+  if active = [] then invalid_arg "Exact.cobra_step_dist: empty active set";
+  let mask = mask_of_list "Exact.cobra_step_dist" n active in
+  (* Pick distributions only for members: non-members may be isolated. *)
+  let per_vertex =
+    Array.init n (fun v ->
+        if mask land (1 lsl v) <> 0 then pick_set_dist g branching v else [])
+  in
+  sorted_dist (cobra_next_dist g per_vertex mask)
+
+let cobra_occupancy g ~branching ~start ~t_max =
+  let n = check_size g "Exact.cobra_occupancy" in
+  if start = [] then invalid_arg "Exact.cobra_occupancy: empty start";
+  if t_max < 0 then invalid_arg "Exact.cobra_occupancy: t_max >= 0";
+  let start_mask = mask_of_list "Exact.cobra_occupancy" n start in
+  let engine = Cobra_engine.create g ~branching in
+  let size = 1 lsl n in
+  let dist = Array.make size 0.0 in
+  dist.(start_mask) <- 1.0;
+  let occ = Array.make_matrix (t_max + 1) n 0.0 in
+  let record t d =
+    for mask = 0 to size - 1 do
+      let p = d.(mask) in
+      if p > 0.0 then
+        for v = 0 to n - 1 do
+          if mask land (1 lsl v) <> 0 then occ.(t).(v) <- occ.(t).(v) +. p
+        done
+    done
+  in
+  record 0 dist;
+  let cur = ref dist and next = ref (Array.make size 0.0) in
+  for t = 1 to t_max do
+    Array.fill !next 0 size 0.0;
+    for mask = 0 to size - 1 do
+      let p = !cur.(mask) in
+      if p > 0.0 then begin
+        let tr = Cobra_engine.next_of engine mask in
+        for i = 0 to Array.length tr.Cobra_engine.masks - 1 do
+          let m' = tr.Cobra_engine.masks.(i) in
+          !next.(m') <- !next.(m') +. (p *. tr.Cobra_engine.probs.(i))
+        done
+      end
+    done;
+    let tmp = !cur in
+    cur := !next;
+    next := tmp;
+    record t !cur
+  done;
+  occ
+
+let bips_step_dist g ~branching ~source ~infected =
+  let n = check_size g "Exact.bips_step_dist" in
+  check_vertex g "Exact.bips_step_dist" source;
+  if infected = [] then invalid_arg "Exact.bips_step_dist: empty infected set";
+  let mask = mask_of_list "Exact.bips_step_dist" n infected in
+  let dist = Array.make (1 lsl n) 0.0 in
+  dist.(mask) <- 1.0;
+  let next = bips_step g branching ~source dist in
+  sorted_dist (Array.to_list (Array.mapi (fun m p -> (m, p)) next))
+
+let bips_occupancy g ~branching ~source ~t_max =
+  let n = check_size g "Exact.bips_occupancy" in
+  check_vertex g "Exact.bips_occupancy" source;
+  if t_max < 0 then invalid_arg "Exact.bips_occupancy: t_max >= 0";
+  let size = 1 lsl n in
+  let dist = Array.make size 0.0 in
+  dist.(1 lsl source) <- 1.0;
+  let occ = Array.make_matrix (t_max + 1) n 0.0 in
+  let record t d =
+    for mask = 0 to size - 1 do
+      let p = d.(mask) in
+      if p > 0.0 then
+        for v = 0 to n - 1 do
+          if mask land (1 lsl v) <> 0 then occ.(t).(v) <- occ.(t).(v) +. p
+        done
+    done
+  in
+  record 0 dist;
+  let cur = ref dist in
+  for t = 1 to t_max do
+    cur := bips_step g branching ~source !cur;
+    record t !cur
+  done;
+  occ
+
+(* The push protocol is monotone COBRA with a single pick: informed
+   vertices stay informed and each sends to one uniform neighbour. *)
+let push_cover_survival g ~start ~t_max =
+  let n = check_size g "Exact.push_cover_survival" in
+  if t_max < 0 then invalid_arg "Exact.push_cover_survival: t_max >= 0";
+  check_vertex g "Exact.push_cover_survival" start;
+  let start_mask = 1 lsl start in
+  let full = (1 lsl n) - 1 in
+  let survival = Array.make (t_max + 1) 0.0 in
+  if start_mask = full then survival
+  else begin
+    let per_vertex = Array.init n (fun v -> pick_set_dist g (Branching.Fixed 1) v) in
+    let alive = ref (Hashtbl.create 16) in
+    Hashtbl.replace !alive start_mask 1.0;
+    survival.(0) <- 1.0;
+    for t = 1 to t_max do
+      let next = Hashtbl.create 64 in
+      let total = ref 0.0 in
+      Hashtbl.iter
+        (fun mask p ->
+          List.iter
+            (fun (picks, q) ->
+              let mask' = mask lor picks in
+              if mask' <> full then begin
+                let pq = p *. q in
+                let prev = Option.value ~default:0.0 (Hashtbl.find_opt next mask') in
+                Hashtbl.replace next mask' (prev +. pq);
+                total := !total +. pq
+              end)
+            (cobra_next_dist g per_vertex mask))
+        !alive;
+      alive := next;
+      survival.(t) <- !total
+    done;
+    survival
+  end
+
+(* One SIS round as a product measure: given the previous infected set
+   [A], vertex [u] is infected next round with probability 1 if
+   persistent, and otherwise with
+
+     stays + (1 - stays) * p_hit,   stays = [u ∈ A](1 - recovery)
+
+   where p_hit is the chance that [u]'s contact picks hit [A] — matching
+   [Epidemic.Sis.step]'s order (recovery first, then exposure of every
+   currently-susceptible vertex against the previous infected set). *)
+let sis_next_probabilities g ~contacts ~recovery ~persistent mask =
+  let n = Graph.Csr.n_vertices g in
+  Array.init n (fun u ->
+      if persistent = Some u then 1.0
+      else begin
+        let deg = Graph.Csr.degree g u in
+        let hits =
+          Graph.Csr.fold_neighbours g u ~init:0 ~f:(fun acc w ->
+              if mask land (1 lsl w) <> 0 then acc + 1 else acc)
+        in
+        let p_hit = Branching.infection_probability_counts contacts ~degree:deg ~infected:hits in
+        let stays = if mask land (1 lsl u) <> 0 then 1.0 -. recovery else 0.0 in
+        stays +. ((1.0 -. stays) *. p_hit)
+      end)
+
+let sis_validate name g ~recovery ~persistent =
+  let n = check_size g name in
+  if recovery < 0.0 || recovery > 1.0 then invalid_arg (name ^ ": recovery outside [0, 1]");
+  Option.iter (fun v -> check_vertex g name v) persistent;
+  n
+
+let expand_product n p_next ~weight ~add =
+  let rec go u mask p =
+    if p = 0.0 then ()
+    else if u = n then add mask p
+    else begin
+      go (u + 1) (mask lor (1 lsl u)) (p *. p_next.(u));
+      go (u + 1) mask (p *. (1.0 -. p_next.(u)))
+    end
+  in
+  go 0 0 weight
+
+let sis_step_dist g ~contacts ~recovery ~persistent ~infected =
+  let n = sis_validate "Exact.sis_step_dist" g ~recovery ~persistent in
+  if infected = [] && persistent = None then
+    invalid_arg "Exact.sis_step_dist: nobody infected";
+  let mask =
+    mask_of_list "Exact.sis_step_dist" n infected
+    lor (match persistent with Some v -> 1 lsl v | None -> 0)
+  in
+  let p_next = sis_next_probabilities g ~contacts ~recovery ~persistent mask in
+  let out = Array.make (1 lsl n) 0.0 in
+  expand_product n p_next ~weight:1.0 ~add:(fun m p -> out.(m) <- out.(m) +. p);
+  sorted_dist (Array.to_list (Array.mapi (fun m p -> (m, p)) out))
+
+let sis_extinct_series g ~contacts ~recovery ~start ~t_max =
+  let n = sis_validate "Exact.sis_extinct_series" g ~recovery ~persistent:None in
+  if start = [] then invalid_arg "Exact.sis_extinct_series: empty start";
+  if t_max < 0 then invalid_arg "Exact.sis_extinct_series: t_max >= 0";
+  let start_mask = mask_of_list "Exact.sis_extinct_series" n start in
+  let size = 1 lsl n in
+  let dist = Array.make size 0.0 in
+  dist.(start_mask) <- 1.0;
+  let out = Array.make (t_max + 1) 0.0 in
+  out.(0) <- dist.(0);
+  let cur = ref dist and next = ref (Array.make size 0.0) in
+  for t = 1 to t_max do
+    Array.fill !next 0 size 0.0;
+    (* The empty set is absorbing: every p_next is 0 there, so mass at 0
+       flows straight back to 0 through the same product expansion. *)
+    for mask = 0 to size - 1 do
+      let p = !cur.(mask) in
+      if p > 0.0 then begin
+        let p_next = sis_next_probabilities g ~contacts ~recovery ~persistent:None mask in
+        let nx = !next in
+        expand_product n p_next ~weight:p ~add:(fun m q -> nx.(m) <- nx.(m) +. q)
+      end
+    done;
+    let tmp = !cur in
+    cur := !next;
+    next := tmp;
+    out.(t) <- !cur.(0)
+  done;
+  out
+
+(* Absorption probabilities of the continuous-time contact process
+   (infection rate [lambda] per directed contact edge, recovery rate 1),
+   over the jump chain on (infected, ever-infected) pairs. "Fully
+   exposed" absorbs the moment every vertex has been infected at least
+   once — exactly when [Epidemic.Contact.run] declares [Fully_exposed] —
+   and extinction absorbs with value 0. Transmissions to
+   already-infected neighbours are self-loops and drop out of the
+   absorption equations. Solved by value iteration (the jump chain
+   absorbs geometrically on connected graphs). *)
+let contact_absorption g ~infection_rate ~start =
+  let n = check_size g "Exact.contact_absorption" in
+  if infection_rate < 0.0 then invalid_arg "Exact.contact_absorption: infection_rate >= 0";
+  if start = [] then invalid_arg "Exact.contact_absorption: empty start";
+  let start_mask = mask_of_list "Exact.contact_absorption" n start in
+  let full = (1 lsl n) - 1 in
+  if start_mask = full then 1.0
+  else begin
+    let key inf ever = inf lor (ever lsl n) in
+    (* Enumerate live states reachable from the start. *)
+    let states = Hashtbl.create 64 in
+    let frontier = Queue.create () in
+    let visit inf ever =
+      let k = key inf ever in
+      if not (Hashtbl.mem states k) then begin
+        Hashtbl.replace states k 0.0;
+        Queue.add (inf, ever) frontier
+      end
+    in
+    visit start_mask start_mask;
+    let transitions = Hashtbl.create 64 in
+    while not (Queue.is_empty frontier) do
+      let inf, ever = Queue.pop frontier in
+      let outs = ref [] in
+      let total = ref 0.0 in
+      for v = 0 to n - 1 do
+        if inf land (1 lsl v) <> 0 then begin
+          (* recovery of v at rate 1 *)
+          let inf' = inf land lnot (1 lsl v) in
+          outs := (1.0, inf', ever) :: !outs;
+          total := !total +. 1.0
+        end
+        else begin
+          (* infection of susceptible v at rate lambda per infected
+             neighbour *)
+          let hits =
+            Graph.Csr.fold_neighbours g v ~init:0 ~f:(fun acc w ->
+                if inf land (1 lsl w) <> 0 then acc + 1 else acc)
+          in
+          if hits > 0 && infection_rate > 0.0 then begin
+            let rate = infection_rate *. Float.of_int hits in
+            outs := (rate, inf lor (1 lsl v), ever lor (1 lsl v)) :: !outs;
+            total := !total +. rate
+          end
+        end
+      done;
+      List.iter
+        (fun (_, inf', ever') -> if inf' <> 0 && ever' <> full then visit inf' ever')
+        !outs;
+      Hashtbl.replace transitions (key inf ever) (!total, !outs)
+    done;
+    (* Value iteration for h(s) = P(fully exposed | s). *)
+    let value inf' ever' =
+      if ever' = full then 1.0
+      else if inf' = 0 then 0.0
+      else Option.value ~default:0.0 (Hashtbl.find_opt states (key inf' ever'))
+    in
+    let delta = ref 1.0 and sweeps = ref 0 in
+    while !delta > 1e-13 && !sweeps < 1_000_000 do
+      delta := 0.0;
+      Hashtbl.iter
+        (fun k (total, outs) ->
+          let acc =
+            List.fold_left
+              (fun acc (rate, inf', ever') -> acc +. (rate *. value inf' ever'))
+              0.0 outs
+          in
+          let h = acc /. total in
+          let prev = Hashtbl.find states k in
+          if Float.abs (h -. prev) > !delta then delta := Float.abs (h -. prev);
+          Hashtbl.replace states k h)
+        transitions;
+      incr sweeps
+    done;
+    if !delta > 1e-13 then failwith "Exact.contact_absorption: did not converge";
+    Hashtbl.find states (key start_mask start_mask)
+  end

@@ -96,3 +96,91 @@ val bips_expected_size :
      |P(Hit_u(v) > t) - P(u ∉ A_t | A_0 = v)|] — zero (to numerical
     precision) by Theorem 4. O(n² · t_max · 4^n): keep n at ~8. *)
 val duality_gap : Graph.Csr.t -> branching:Branching.t -> t_max:int -> float
+
+(** {1 Distribution-level oracle exports}
+
+    These functions export the exact next-state distributions and
+    occupancy marginals that [test/conformance] cross-validates the
+    sampling kernels against. Distributions over vertex sets are
+    association lists [(mask, probability)] of the non-zero entries,
+    sorted by mask — deterministic, so chi-square cells line up between
+    oracle and sampler. *)
+
+(** [mask_of_vertices ~n vs] encodes a vertex list as a bit mask;
+    rejects out-of-range or duplicate vertices and [n > max_vertices]. *)
+val mask_of_vertices : n:int -> int list -> int
+
+(** [vertices_of_mask mask] decodes a bit mask into its sorted vertex
+    list. *)
+val vertices_of_mask : int -> int list
+
+(** [cobra_step_dist g ~branching ~active] is the exact distribution of
+    the next COBRA active set given the current (non-empty) one. *)
+val cobra_step_dist :
+  Graph.Csr.t -> branching:Branching.t -> active:int list -> (int * float) list
+
+(** [cobra_occupancy g ~branching ~start ~t_max] returns [occ] with
+    [occ.(t).(v) = P(v ∈ C_t | C_0 = start)] for [t = 0 .. t_max]. *)
+val cobra_occupancy :
+  Graph.Csr.t ->
+  branching:Branching.t ->
+  start:int list ->
+  t_max:int ->
+  float array array
+
+(** [bips_step_dist g ~branching ~source ~infected] is the exact
+    distribution of the next BIPS infected set — a product measure with
+    the source pinned to infected. *)
+val bips_step_dist :
+  Graph.Csr.t ->
+  branching:Branching.t ->
+  source:int ->
+  infected:int list ->
+  (int * float) list
+
+(** [bips_occupancy g ~branching ~source ~t_max] returns [occ] with
+    [occ.(t).(v) = P(v ∈ A_t | A_0 = {source})]. *)
+val bips_occupancy :
+  Graph.Csr.t -> branching:Branching.t -> source:int -> t_max:int -> float array array
+
+(** [push_cover_survival g ~start ~t_max] returns [s] with
+    [s.(t) = P(broadcast incomplete after t rounds)] for the push
+    protocol started at [start] — the monotone single-pick COBRA chain
+    {!Cobra.Push} samples. *)
+val push_cover_survival : Graph.Csr.t -> start:int -> t_max:int -> float array
+
+(** [sis_step_dist g ~contacts ~recovery ~persistent ~infected] is the
+    exact one-round transition of {!Epidemic.Sis}: recovery first (each
+    infected vertex stays with probability [1 - recovery]), then every
+    vertex currently susceptible is exposed against the {e previous}
+    infected set, catching with
+    [Branching.infection_probability_counts contacts]; a [persistent]
+    vertex is always infected next round. Product measure, exported as a
+    sorted association list. *)
+val sis_step_dist :
+  Graph.Csr.t ->
+  contacts:Branching.t ->
+  recovery:float ->
+  persistent:int option ->
+  infected:int list ->
+  (int * float) list
+
+(** [sis_extinct_series g ~contacts ~recovery ~start ~t_max] returns [e]
+    with [e.(t) = P(no vertex infected after t rounds)] for the SIS chain
+    without a persistent seed (the empty set is absorbing). *)
+val sis_extinct_series :
+  Graph.Csr.t ->
+  contacts:Branching.t ->
+  recovery:float ->
+  start:int list ->
+  t_max:int ->
+  float array
+
+(** [contact_absorption g ~infection_rate ~start] is the probability
+    that the continuous-time contact process (infection rate
+    [infection_rate] per infected neighbour, recovery rate 1) exposes
+    every vertex at least once before dying out — the chance
+    {!Epidemic.Contact.run} returns [Fully_exposed] rather than
+    [Died_out]. Computed on the jump chain over (infected, ever-infected)
+    pairs by value iteration to 1e-13. *)
+val contact_absorption : Graph.Csr.t -> infection_rate:float -> start:int list -> float

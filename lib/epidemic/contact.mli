@@ -13,7 +13,9 @@
     Simulation is event-driven (exponential clocks, binary-heap queue)
     with lazy invalidation: each vertex carries an infection generation,
     and events scheduled for an older generation are discarded when
-    popped. *)
+    popped. The event machinery is validated end-to-end in
+    [test/conformance]: the empirical full-exposure probability must
+    match [Cobra.Exact.contact_absorption]'s jump-chain value. *)
 
 type outcome =
   | Died_out of float  (** no infected vertex remains, at the given time *)

@@ -50,6 +50,7 @@ let create g params ~persistent ~start =
   }
 
 let round p = p.round
+let infected p v = Bitset.mem p.infected v
 let infected_count p = p.infected_count
 let ever_infected_count p = p.ever_count
 let is_extinct p = p.infected_count = 0

@@ -12,7 +12,11 @@
     With [recovery = 1.0] and a persistent source, every non-source
     vertex re-samples each round against the previous infected set — the
     process {e is} BIPS. With no persistent source the process can (and,
-    when subcritical, does) die out, which is the paper's contrast. *)
+    when subcritical, does) die out, which is the paper's contrast.
+
+    The round semantics above are pinned by an exact oracle:
+    [Cobra.Exact.sis_step_dist] enumerates the one-round transition on
+    small graphs and [test/conformance] checks {!step} samples it. *)
 
 type params = {
   contacts : Cobra.Branching.t;  (** contacts sampled per susceptible per round *)
@@ -38,6 +42,9 @@ val step : t -> Prng.Rng.t -> unit
 
 (** [round p] is the number of completed rounds. *)
 val round : t -> int
+
+(** [infected p v] — is [v] currently infected? *)
+val infected : t -> int -> bool
 
 (** [infected_count p] is the current number of infected vertices. *)
 val infected_count : t -> int

@@ -1,7 +1,9 @@
 (** Samplers for the standard distributions used by the simulators and the
     workload generators.
 
-    Every sampler consumes randomness from an explicit {!Rng.t}. *)
+    Every sampler consumes randomness from an explicit {!Rng.t}. Each is
+    cross-validated against its closed-form pmf/CDF (chi-square or
+    Kolmogorov-Smirnov via [Stats.Gof]) in [test/conformance]. *)
 
 (** [bernoulli rng p] is 1 with probability [p], else 0. *)
 val bernoulli : Rng.t -> float -> int

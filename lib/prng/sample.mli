@@ -1,4 +1,8 @@
-(** Sampling from finite populations: shuffles, subsets, weighted draws. *)
+(** Sampling from finite populations: shuffles, subsets, weighted draws.
+
+    Uniformity of {!shuffle}, {!with_replacement}, {!without_replacement}
+    and {!Alias} is verified statistically against the exact laws in
+    [test/conformance]. *)
 
 (** [shuffle rng a] permutes [a] uniformly in place (Fisher–Yates). *)
 val shuffle : Rng.t -> 'a array -> unit

@@ -1,0 +1,287 @@
+type verdict = Pass | Reject
+
+type result = {
+  test : string;
+  statistic : float;
+  df : int;
+  p_value : float;
+  alpha : float;
+  verdict : verdict;
+}
+
+let passed r = r.verdict = Pass
+
+let all_pass rs = List.for_all passed rs
+
+let pp ppf r =
+  Format.fprintf ppf "%s: stat=%g df=%d p=%g (%s at alpha=%g)" r.test r.statistic r.df
+    r.p_value
+    (match r.verdict with Pass -> "pass" | Reject -> "REJECT")
+    r.alpha
+
+let default_alpha = 1e-6
+
+let make ~test ~statistic ~df ~p_value ~alpha =
+  if alpha <= 0.0 || alpha >= 1.0 then invalid_arg (test ^ ": alpha outside (0,1)");
+  let verdict = if p_value < alpha then Reject else Pass in
+  { test; statistic; df; p_value; alpha; verdict }
+
+(* ---------- special functions ---------- *)
+
+(* Lanczos approximation, g = 7, 9 coefficients. *)
+let lanczos =
+  [| 0.99999999999980993; 676.5203681218851; -1259.1392167224028;
+     771.32342877765313; -176.61502916214059; 12.507343278686905;
+     -0.13857109526572012; 9.9843695780195716e-6; 1.5056327351493116e-7 |]
+
+let rec log_gamma x =
+  if x <= 0.0 then invalid_arg "Gof.log_gamma: x > 0 required";
+  if x < 0.5 then
+    (* Reflection keeps the Lanczos series in its accurate range. *)
+    log (Float.pi /. sin (Float.pi *. x)) -. log_gamma (1.0 -. x)
+  else begin
+    let x = x -. 1.0 in
+    let acc = ref lanczos.(0) in
+    for i = 1 to 8 do
+      acc := !acc +. (lanczos.(i) /. (x +. Float.of_int i))
+    done;
+    let t = x +. 7.5 in
+    (0.5 *. log (2.0 *. Float.pi)) +. ((x +. 0.5) *. log t) -. t +. log !acc
+  end
+
+(* Series representation of P(a, x), convergent for x < a + 1. *)
+let gamma_p_series a x =
+  let eps = 1e-15 in
+  let ap = ref a in
+  let del = ref (1.0 /. a) in
+  let sum = ref !del in
+  let continue_ = ref true in
+  let iter = ref 0 in
+  while !continue_ do
+    incr iter;
+    ap := !ap +. 1.0;
+    del := !del *. x /. !ap;
+    sum := !sum +. !del;
+    if Float.abs !del < Float.abs !sum *. eps || !iter > 10_000 then continue_ := false
+  done;
+  !sum *. exp (-.x +. (a *. log x) -. log_gamma a)
+
+(* Continued fraction for Q(a, x) (modified Lentz), convergent for
+   x >= a + 1; keeps relative accuracy deep in the tail. *)
+let gamma_q_cf a x =
+  let eps = 1e-15 and fpmin = 1e-300 in
+  let b = ref (x +. 1.0 -. a) in
+  let c = ref (1.0 /. fpmin) in
+  let d = ref (1.0 /. !b) in
+  let h = ref !d in
+  let continue_ = ref true in
+  let i = ref 1 in
+  while !continue_ do
+    let an = -.Float.of_int !i *. (Float.of_int !i -. a) in
+    b := !b +. 2.0;
+    d := (an *. !d) +. !b;
+    if Float.abs !d < fpmin then d := fpmin;
+    c := !b +. (an /. !c);
+    if Float.abs !c < fpmin then c := fpmin;
+    d := 1.0 /. !d;
+    let del = !d *. !c in
+    h := !h *. del;
+    if Float.abs (del -. 1.0) < eps || !i > 10_000 then continue_ := false;
+    incr i
+  done;
+  !h *. exp (-.x +. (a *. log x) -. log_gamma a)
+
+let gamma_p a x =
+  if a <= 0.0 then invalid_arg "Gof.gamma_p: a > 0 required";
+  if x < 0.0 then invalid_arg "Gof.gamma_p: x >= 0 required";
+  if x = 0.0 then 0.0
+  else if x < a +. 1.0 then gamma_p_series a x
+  else 1.0 -. gamma_q_cf a x
+
+let gamma_q a x =
+  if a <= 0.0 then invalid_arg "Gof.gamma_q: a > 0 required";
+  if x < 0.0 then invalid_arg "Gof.gamma_q: x >= 0 required";
+  if x = 0.0 then 1.0
+  else if x < a +. 1.0 then 1.0 -. gamma_p_series a x
+  else gamma_q_cf a x
+
+let chi2_cdf ~df x =
+  if df < 1 then invalid_arg "Gof.chi2_cdf: df >= 1 required";
+  if x <= 0.0 then 0.0 else gamma_p (Float.of_int df /. 2.0) (x /. 2.0)
+
+let chi2_sf ~df x =
+  if df < 1 then invalid_arg "Gof.chi2_sf: df >= 1 required";
+  if x <= 0.0 then 1.0 else gamma_q (Float.of_int df /. 2.0) (x /. 2.0)
+
+(* erfc x = Q(1/2, x²) for x >= 0. *)
+let normal_cdf x =
+  let z = Float.abs x /. sqrt 2.0 in
+  let half_erfc = 0.5 *. gamma_q 0.5 (z *. z) in
+  if x >= 0.0 then 1.0 -. half_erfc else half_erfc
+
+let kolmogorov_q lambda =
+  if lambda <= 0.0 then 1.0
+  else begin
+    let acc = ref 0.0 in
+    let sign = ref 1.0 in
+    let j = ref 1 in
+    let continue_ = ref true in
+    while !continue_ do
+      let fj = Float.of_int !j in
+      let term = !sign *. exp (-2.0 *. fj *. fj *. lambda *. lambda) in
+      acc := !acc +. term;
+      if Float.abs term < 1e-18 || !j > 200 then continue_ := false;
+      sign := -. !sign;
+      incr j
+    done;
+    Float.max 0.0 (Float.min 1.0 (2.0 *. !acc))
+  end
+
+let binomial_log_pmf ~n ~p k =
+  if n < 0 then invalid_arg "Gof.binomial_log_pmf: n >= 0 required";
+  if p < 0.0 || p > 1.0 then invalid_arg "Gof.binomial_log_pmf: p outside [0,1]";
+  if k < 0 || k > n then neg_infinity
+  else if p = 0.0 then if k = 0 then 0.0 else neg_infinity
+  else if p = 1.0 then if k = n then 0.0 else neg_infinity
+  else begin
+    let fn = Float.of_int n and fk = Float.of_int k in
+    log_gamma (fn +. 1.0) -. log_gamma (fk +. 1.0)
+    -. log_gamma (fn -. fk +. 1.0)
+    +. (fk *. log p)
+    +. ((fn -. fk) *. log (1.0 -. p))
+  end
+
+(* ---------- tests ---------- *)
+
+let pearson_chi2 ?(alpha = default_alpha) ?df ~observed ~expected () =
+  let k = Array.length observed in
+  if k <> Array.length expected then
+    invalid_arg "Gof.pearson_chi2: observed/expected length mismatch";
+  if k < 2 then invalid_arg "Gof.pearson_chi2: need at least two cells";
+  let stat = ref 0.0 in
+  for i = 0 to k - 1 do
+    if expected.(i) <= 0.0 then
+      invalid_arg "Gof.pearson_chi2: expected counts must be positive (pool sparse cells)";
+    if observed.(i) < 0 then invalid_arg "Gof.pearson_chi2: negative observed count";
+    let d = Float.of_int observed.(i) -. expected.(i) in
+    stat := !stat +. (d *. d /. expected.(i))
+  done;
+  let df = match df with Some d -> d | None -> k - 1 in
+  if df < 1 then invalid_arg "Gof.pearson_chi2: df >= 1 required";
+  make ~test:"pearson-chi2" ~statistic:!stat ~df ~p_value:(chi2_sf ~df !stat) ~alpha
+
+let pool_low_expected ?(min_expected = 5.0) ~observed ~expected () =
+  let k = Array.length observed in
+  if k <> Array.length expected then
+    invalid_arg "Gof.pool_low_expected: observed/expected length mismatch";
+  let keep = ref [] and pooled_o = ref 0 and pooled_e = ref 0.0 and n_pooled = ref 0 in
+  for i = k - 1 downto 0 do
+    if expected.(i) < min_expected then begin
+      pooled_o := !pooled_o + observed.(i);
+      pooled_e := !pooled_e +. expected.(i);
+      incr n_pooled
+    end
+    else keep := (observed.(i), expected.(i)) :: !keep
+  done;
+  if !n_pooled <= 1 then (observed, expected)
+  else begin
+    let kept = !keep @ [ (!pooled_o, !pooled_e) ] in
+    (Array.of_list (List.map fst kept), Array.of_list (List.map snd kept))
+  end
+
+let ks_p_value ~effective_n d =
+  let en = sqrt effective_n in
+  kolmogorov_q ((en +. 0.12 +. (0.11 /. en)) *. d)
+
+let ks1 ?(alpha = default_alpha) ~cdf xs =
+  let n = Array.length xs in
+  if n < 1 then invalid_arg "Gof.ks1: empty sample";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let fn = Float.of_int n in
+  let d = ref 0.0 in
+  for i = 0 to n - 1 do
+    let f = cdf sorted.(i) in
+    if f < -1e-9 || f > 1.0 +. 1e-9 then invalid_arg "Gof.ks1: cdf outside [0,1]";
+    let above = (Float.of_int (i + 1) /. fn) -. f in
+    let below = f -. (Float.of_int i /. fn) in
+    if above > !d then d := above;
+    if below > !d then d := below
+  done;
+  make ~test:"ks-1sample" ~statistic:!d ~df:0 ~p_value:(ks_p_value ~effective_n:fn !d)
+    ~alpha
+
+let ks2 ?(alpha = default_alpha) xs ys =
+  let n1 = Array.length xs and n2 = Array.length ys in
+  if n1 < 1 || n2 < 1 then invalid_arg "Gof.ks2: empty sample";
+  let a = Array.copy xs and b = Array.copy ys in
+  Array.sort compare a;
+  Array.sort compare b;
+  let fn1 = Float.of_int n1 and fn2 = Float.of_int n2 in
+  let d = ref 0.0 in
+  let i = ref 0 and j = ref 0 in
+  while !i < n1 && !j < n2 do
+    let x = a.(!i) and y = b.(!j) in
+    if x <= y then incr i;
+    if y <= x then incr j;
+    let diff = Float.abs ((Float.of_int !i /. fn1) -. (Float.of_int !j /. fn2)) in
+    if diff > !d then d := diff
+  done;
+  let effective_n = fn1 *. fn2 /. (fn1 +. fn2) in
+  make ~test:"ks-2sample" ~statistic:!d ~df:0 ~p_value:(ks_p_value ~effective_n !d) ~alpha
+
+let binomial_test ?(alpha = default_alpha) ~successes ~trials ~p () =
+  if trials < 1 then invalid_arg "Gof.binomial_test: trials >= 1 required";
+  if successes < 0 || successes > trials then
+    invalid_arg "Gof.binomial_test: successes outside [0, trials]";
+  if p < 0.0 || p > 1.0 then invalid_arg "Gof.binomial_test: p outside [0,1]";
+  let p_value =
+    if p = 0.0 then if successes = 0 then 1.0 else 0.0
+    else if p = 1.0 then if successes = trials then 1.0 else 0.0
+    else begin
+      (* Exact two-sided: total mass of outcomes no more probable than
+         the observed one (with a small tolerance against roundoff in
+         the tie comparison). *)
+      let lp_obs = binomial_log_pmf ~n:trials ~p successes in
+      let threshold = lp_obs +. 1e-7 in
+      let acc = ref 0.0 in
+      for k = 0 to trials do
+        let lp = binomial_log_pmf ~n:trials ~p k in
+        if lp <= threshold then acc := !acc +. exp lp
+      done;
+      Float.min 1.0 !acc
+    end
+  in
+  make ~test:"binomial-exact" ~statistic:(Float.of_int successes) ~df:0 ~p_value ~alpha
+
+(* ---------- multiple testing ---------- *)
+
+let bonferroni ~family_alpha ~m =
+  if m < 1 then invalid_arg "Gof.bonferroni: m >= 1 required";
+  if family_alpha <= 0.0 || family_alpha >= 1.0 then
+    invalid_arg "Gof.bonferroni: family_alpha outside (0,1)";
+  family_alpha /. Float.of_int m
+
+let benjamini_hochberg ~q pvals =
+  if q <= 0.0 || q >= 1.0 then invalid_arg "Gof.benjamini_hochberg: q outside (0,1)";
+  let m = Array.length pvals in
+  Array.iter
+    (fun p ->
+      if p < 0.0 || p > 1.0 then invalid_arg "Gof.benjamini_hochberg: p outside [0,1]")
+    pvals;
+  if m = 0 then [||]
+  else begin
+    let order = Array.init m (fun i -> i) in
+    Array.sort (fun i j -> compare pvals.(i) pvals.(j)) order;
+    (* Largest rank k (1-based) with p_(k) <= k q / m; reject ranks <= k. *)
+    let cutoff = ref (-1) in
+    for rank = 0 to m - 1 do
+      if pvals.(order.(rank)) <= Float.of_int (rank + 1) *. q /. Float.of_int m then
+        cutoff := rank
+    done;
+    let rejected = Array.make m false in
+    for rank = 0 to !cutoff do
+      rejected.(order.(rank)) <- true
+    done;
+    rejected
+  end

@@ -1,0 +1,125 @@
+(** Goodness-of-fit tests for the statistical conformance suite.
+
+    Every stochastic kernel in this repository (the COBRA/BIPS engines,
+    the epidemic processes, the PRNG samplers) is cross-validated against
+    an exact distribution in [test/conformance]; this module provides the
+    tests those checks are built on. Each test returns a typed {!result}
+    carrying the statistic, the p-value and the verdict at a caller-chosen
+    significance level, so suites can both gate on {!passed} and log the
+    evidence.
+
+    P-values are computed from closed-form or well-converged series:
+    chi-square tail probabilities via the regularised incomplete gamma
+    function (continued fraction in the far tail, so p-values near 1e-12
+    are still accurate), Kolmogorov-Smirnov via the asymptotic Kolmogorov
+    series with the Stephens small-sample correction, and the binomial
+    test by exact enumeration of the probability mass function. *)
+
+(** [Reject] iff [p_value < alpha]. *)
+type verdict = Pass | Reject
+
+type result = {
+  test : string;  (** test family, e.g. ["pearson-chi2"] *)
+  statistic : float;
+  df : int;  (** degrees of freedom; [0] where not applicable *)
+  p_value : float;
+  alpha : float;  (** the significance level the verdict was taken at *)
+  verdict : verdict;
+}
+
+(** [passed r] is [r.verdict = Pass]. *)
+val passed : result -> bool
+
+(** [all_pass rs] — no result rejected. *)
+val all_pass : result list -> bool
+
+(** [pp] prints ["pearson-chi2: stat=... df=... p=... (pass at alpha=...)"]. *)
+val pp : Format.formatter -> result -> unit
+
+(** {1 Special functions} (exposed for reuse and direct testing) *)
+
+(** [log_gamma x] is [ln Γ(x)] for [x > 0] (Lanczos approximation,
+    relative error below 1e-10). *)
+val log_gamma : float -> float
+
+(** [gamma_p a x] is the regularised lower incomplete gamma function
+    [P(a, x) = γ(a, x) / Γ(a)]; requires [a > 0], [x >= 0]. *)
+val gamma_p : float -> float -> float
+
+(** [gamma_q a x = 1 - gamma_p a x], computed directly by continued
+    fraction for large [x] so tiny tail probabilities keep relative
+    accuracy. *)
+val gamma_q : float -> float -> float
+
+(** [chi2_cdf ~df x] is [P(X <= x)] for a chi-square variable with
+    [df >= 1] degrees of freedom. *)
+val chi2_cdf : df:int -> float -> float
+
+(** [chi2_sf ~df x] is the survival function [P(X > x)] — the Pearson
+    test's p-value. *)
+val chi2_sf : df:int -> float -> float
+
+(** [normal_cdf x] is the standard normal CDF Φ(x), via the incomplete
+    gamma identity [erfc x = Q(1/2, x²)]. *)
+val normal_cdf : float -> float
+
+(** [kolmogorov_q lambda] is the complementary CDF of the Kolmogorov
+    distribution, [Q(λ) = 2 Σ_{j>=1} (-1)^{j-1} exp(-2 j² λ²)],
+    clamped to [0, 1]. *)
+val kolmogorov_q : float -> float
+
+(** [binomial_log_pmf ~n ~p k] is [ln P(Bin(n, p) = k)]; [neg_infinity]
+    for zero-probability outcomes. *)
+val binomial_log_pmf : n:int -> p:float -> int -> float
+
+(** {1 Tests}
+
+    [alpha] defaults to 1e-6 — the conformance suite's family-wise level;
+    callers running several tests divide it further with {!bonferroni}. *)
+
+(** [pearson_chi2 ?alpha ?df ~observed ~expected] is Pearson's chi-square
+    test of the observed counts against the expected counts (same length,
+    at least two cells, every expected count positive — pool sparse cells
+    first with {!pool_low_expected}). [df] defaults to [cells - 1]. *)
+val pearson_chi2 :
+  ?alpha:float -> ?df:int -> observed:int array -> expected:float array -> unit -> result
+
+(** [pool_low_expected ?min_expected ~observed ~expected] merges every
+    cell whose expected count is below [min_expected] (default 5.0) into
+    one pooled tail cell appended last, returning the reduced arrays —
+    the standard validity repair for chi-square on long-tailed supports.
+    Arrays are returned unchanged when no cell is sparse; the pooled cell
+    itself may still be sparse if the tail mass is tiny (callers keep it:
+    a conservative cell only weakens the test slightly). *)
+val pool_low_expected :
+  ?min_expected:float ->
+  observed:int array ->
+  expected:float array ->
+  unit ->
+  int array * float array
+
+(** [ks1 ?alpha ~cdf xs] is the one-sample Kolmogorov-Smirnov test of the
+    sample against the continuous distribution with the given CDF.
+    P-value from the asymptotic Kolmogorov distribution with the Stephens
+    correction [(√n + 0.12 + 0.11/√n) · D] — good to a few percent for
+    [n >= 40]. *)
+val ks1 : ?alpha:float -> cdf:(float -> float) -> float array -> result
+
+(** [ks2 ?alpha xs ys] is the two-sample Kolmogorov-Smirnov test. *)
+val ks2 : ?alpha:float -> float array -> float array -> result
+
+(** [binomial_test ?alpha ~successes ~trials ~p] is the exact two-sided
+    binomial test (sum of all outcomes at most as probable as the one
+    observed). O(trials). *)
+val binomial_test : ?alpha:float -> successes:int -> trials:int -> p:float -> unit -> result
+
+(** {1 Multiple testing} *)
+
+(** [bonferroni ~family_alpha ~m] is the per-test level [family_alpha/m]
+    controlling the family-wise error rate over [m >= 1] tests. *)
+val bonferroni : family_alpha:float -> m:int -> float
+
+(** [benjamini_hochberg ~q pvals] marks which hypotheses the
+    Benjamini-Hochberg step-up procedure rejects at false-discovery rate
+    [q]; the result is aligned with the input order. *)
+val benjamini_hochberg : q:float -> float array -> bool array

@@ -672,6 +672,94 @@ let test_exact_size_limit () =
     (fun () ->
       ignore (Exact.cobra_hit_survival g ~branching:B.cobra_k2 ~start:[ 0 ] ~target:1 ~t_max:1))
 
+let test_exact_boundary_max_vertices () =
+  (* Exactly max_vertices is accepted: the oracle exports work on C_16. *)
+  let g = Gen.cycle Exact.max_vertices in
+  let dist = Exact.cobra_step_dist g ~branching:B.cobra_k2 ~active:[ 0 ] in
+  let total = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 dist in
+  close "step dist sums to 1 on C_16" 1.0 total;
+  let s =
+    Exact.cobra_hit_survival g ~branching:B.cobra_k2 ~start:[ 0 ] ~target:8 ~t_max:2
+  in
+  close "far target unhit in 2 rounds on C_16" 1.0 s.(2)
+
+let test_exact_boundary_rejections () =
+  (* One past the limit: every oracle entry point refuses with an error
+     naming itself and the offending size. *)
+  let g = Gen.cycle (Exact.max_vertices + 1) in
+  let expect name f =
+    Alcotest.check_raises name
+      (Invalid_argument (Printf.sprintf "%s: at most 16 vertices (got 17)" name))
+      (fun () -> ignore (f ()))
+  in
+  expect "Exact.cobra_step_dist" (fun () ->
+      Exact.cobra_step_dist g ~branching:B.cobra_k2 ~active:[ 0 ]);
+  expect "Exact.bips_step_dist" (fun () ->
+      Exact.bips_step_dist g ~branching:B.cobra_k2 ~source:0 ~infected:[ 0 ]);
+  expect "Exact.sis_step_dist" (fun () ->
+      Exact.sis_step_dist g ~contacts:B.cobra_k2 ~recovery:0.5 ~persistent:None
+        ~infected:[ 0 ]);
+  expect "Exact.push_cover_survival" (fun () ->
+      Exact.push_cover_survival g ~start:0 ~t_max:1);
+  expect "Exact.contact_absorption" (fun () ->
+      Exact.contact_absorption g ~infection_rate:1.0 ~start:[ 0 ])
+
+let test_duality_tight_k4_c5 () =
+  (* Theorem 4 to full floating-point precision on the two named
+     fixtures — tighter than the 1e-10 sweep above. *)
+  List.iter
+    (fun (name, g) ->
+      let gap = Exact.duality_gap g ~branching:B.cobra_k2 ~t_max:8 in
+      if gap > 1e-12 then Alcotest.failf "%s duality gap %g > 1e-12" name gap)
+    [ ("K_4", Gen.complete 4); ("C_5", Gen.cycle 5) ]
+
+let test_mask_roundtrip () =
+  let vs = [ 0; 3; 5; 11 ] in
+  let m = Exact.mask_of_vertices ~n:12 vs in
+  Alcotest.(check (list int)) "roundtrip" vs (Exact.vertices_of_mask m);
+  Alcotest.(check int) "mask value" (1 lor 8 lor 32 lor 2048) m
+
+let test_sis_step_dist_closed_form () =
+  (* K2, contacts k=1, recovery 1/4, infected {0}: vertex 0 stays with
+     probability 3/4; vertex 1's single pick always hits 0. *)
+  let g = Gen.complete 2 in
+  let dist =
+    Exact.sis_step_dist g ~contacts:(B.fixed 1) ~recovery:0.25 ~persistent:None
+      ~infected:[ 0 ]
+  in
+  Alcotest.(check int) "two outcomes" 2 (List.length dist);
+  List.iter
+    (fun (mask, p) ->
+      match mask with
+      | 0b10 -> close "{1}" 0.25 p
+      | 0b11 -> close "{0,1}" 0.75 p
+      | m -> Alcotest.failf "unexpected mask %d" m)
+    dist
+
+let test_contact_absorption_closed_form () =
+  (* K2 from one infected vertex: race between recovery (rate 1) and
+     transmission (rate lambda), so P(fully exposed) = lambda/(1+lambda). *)
+  List.iter
+    (fun lambda ->
+      close "K2 absorption"
+        (lambda /. (1.0 +. lambda))
+        (Exact.contact_absorption (Gen.complete 2) ~infection_rate:lambda ~start:[ 0 ]))
+    [ 0.5; 1.0; 2.0 ];
+  close "already full"
+    1.0
+    (Exact.contact_absorption (Gen.complete 3) ~infection_rate:1.0 ~start:[ 0; 1; 2 ])
+
+let test_push_survival_shape () =
+  let s = Exact.push_cover_survival (Gen.complete 4) ~start:0 ~t_max:8 in
+  close "survives round 0" 1.0 s.(0);
+  close "cannot finish in one round" 1.0 s.(1);
+  Array.iteri
+    (fun t p ->
+      if t > 0 && p > s.(t - 1) +. 1e-12 then
+        Alcotest.failf "survival increased at t=%d" t)
+    s;
+  if s.(8) > 0.5 then Alcotest.failf "push on K4 too slow: %f" s.(8)
+
 let test_engine_memo_consistent () =
   (* Shared-engine results match one-shot results. *)
   let g = Gen.petersen () in
@@ -1024,6 +1112,14 @@ let () =
           Alcotest.test_case "BIPS marginal vs MC" `Quick test_exact_bips_marginal_vs_mc;
           Alcotest.test_case "multi-start covers faster" `Quick test_exact_cover_multi_start_faster;
           Alcotest.test_case "size limit" `Quick test_exact_size_limit;
+          Alcotest.test_case "max_vertices accepted" `Quick test_exact_boundary_max_vertices;
+          Alcotest.test_case "max_vertices + 1 rejected" `Quick test_exact_boundary_rejections;
+          Alcotest.test_case "duality 1e-12 on K4 and C5" `Quick test_duality_tight_k4_c5;
+          Alcotest.test_case "mask roundtrip" `Quick test_mask_roundtrip;
+          Alcotest.test_case "SIS step closed form" `Quick test_sis_step_dist_closed_form;
+          Alcotest.test_case "contact absorption closed form" `Quick
+            test_contact_absorption_closed_form;
+          Alcotest.test_case "push survival shape" `Quick test_push_survival_shape;
           Alcotest.test_case "engine memo consistent" `Quick test_engine_memo_consistent;
           qtest duality_random_graph_prop;
           qtest duality_multiset_prop;

@@ -1,0 +1,528 @@
+(* Statistical conformance suite: every stochastic kernel is sampled
+   under the repository's seed discipline and its empirical distribution
+   is tested against an exact oracle (Cobra.Exact, or a closed-form pmf
+   for the PRNG primitives) with Stats.Gof.
+
+   Determinism: the master seed is fixed — deliberately NOT read from
+   COBRA_SEED — and every check draws from its own tagged stream family,
+   so each verdict is a pure function of this file. Trial fan-out uses
+   Simkit.Trial's bit-identical parallel runner, so COBRA_DOMAINS cannot
+   change a draw either: the suite is a deterministic PASS/FAIL gate.
+
+   Error control: every Gof verdict runs at alpha = family_alpha /
+   family_size (Bonferroni), family_alpha = 1e-6, with family_size a
+   documented upper bound on the number of verdicts below. A fresh,
+   correct kernel fails the whole suite with probability < 1e-6 per seed
+   — and with the seed fixed, a passing suite stays passing. *)
+
+module Gof = Stats.Gof
+module Conformance = Simkit.Conformance
+module Csr = Graph.Csr
+module Gen = Graph.Gen
+module Branching = Cobra.Branching
+module Exact = Cobra.Exact
+module Process = Cobra.Process
+module Bips = Cobra.Bips
+module Rwalk = Cobra.Rwalk
+module Push = Cobra.Push
+module Sis = Epidemic.Sis
+module Contact = Epidemic.Contact
+module Herd = Epidemic.Herd
+
+let master = 20260807
+let family_alpha = 1e-6
+
+(* Upper bound on the number of Gof verdicts taken below (currently ~35;
+   keep the bound comfortably above so adding a check never silently
+   weakens the family-wise guarantee). *)
+let family_size = 64
+let alpha = Gof.bonferroni ~family_alpha ~m:family_size
+
+let check_gof name r =
+  if not (Gof.passed r) then
+    Alcotest.failf "%s: %s" name (Format.asprintf "%a" Gof.pp r)
+
+(* ---------- fixtures ---------- *)
+
+let k4 = Gen.complete 4
+let c5 = Gen.cycle 5
+let q3 = Gen.hypercube 3
+
+(* A fixed 3-regular graph that is neither vertex-transitive in the way
+   K4/C5 are nor bipartite like Q3: the triangular prism. *)
+let prism =
+  Csr.of_edges ~n:6
+    [ (0, 1); (1, 2); (0, 2); (3, 4); (4, 5); (3, 5); (0, 3); (1, 4); (2, 5) ]
+
+(* ---------- mask helpers ---------- *)
+
+let describe_mask m =
+  "{"
+  ^ String.concat "," (List.map string_of_int (Exact.vertices_of_mask m))
+  ^ "}"
+
+let mask_of_pred n pred =
+  let m = ref 0 in
+  for v = 0 to n - 1 do
+    if pred v then m := !m lor (1 lsl v)
+  done;
+  !m
+
+let frontier_mask p = mask_of_pred (Csr.n_vertices (Process.graph p)) (Process.active p)
+
+let count_bit samples v =
+  Array.fold_left (fun acc m -> if m land (1 lsl v) <> 0 then acc + 1 else acc) 0 samples
+
+(* Per-vertex occupancy marginals against exact probabilities: vertices
+   the oracle gives probability zero must never appear (one hit refutes
+   the kernel); the rest get an exact binomial test each. *)
+let check_occupancy name ~trials ~exact samples =
+  Array.iteri
+    (fun v p ->
+      (* Marginals are sums of ~2^n products; shave the float dust that
+         can push an exactly-certain cell to 1.0 + ulp. *)
+      let p = Float.min 1.0 p in
+      let c = count_bit samples v in
+      if p = 0.0 then begin
+        if c > 0 then
+          Alcotest.failf "%s: vertex %d occupied %d times but has probability 0" name v
+            c
+      end
+      else if p = 1.0 then begin
+        if c < trials then
+          Alcotest.failf "%s: vertex %d occupied %d/%d times but has probability 1"
+            name v c trials
+      end
+      else
+        check_gof
+          (Printf.sprintf "%s/v%d" name v)
+          (Gof.binomial_test ~alpha ~successes:c ~trials ~p ()))
+    exact
+
+let check_set_dist ~tag ~trials ~dist sample =
+  check_gof tag
+    (Conformance.check ~alpha ~master ~tag ~trials ~dist ~equal:Int.equal
+       ~describe:describe_mask ~sample ())
+
+(* ---------- COBRA ---------- *)
+
+let test_cobra_step_c5 () =
+  let branching = Branching.Fixed 2 and active = [ 0; 2 ] in
+  check_set_dist ~tag:"cobra/step/c5-k2" ~trials:6000
+    ~dist:(Exact.cobra_step_dist c5 ~branching ~active) (fun rng ->
+      let p = Process.create c5 ~branching ~start:active in
+      Process.step p rng;
+      frontier_mask p)
+
+let test_cobra_step_prism () =
+  let branching = Branching.One_plus 0.5 and active = [ 0; 4 ] in
+  check_set_dist ~tag:"cobra/step/prism-1+0.5" ~trials:6000
+    ~dist:(Exact.cobra_step_dist prism ~branching ~active) (fun rng ->
+      let p = Process.create prism ~branching ~start:active in
+      Process.step p rng;
+      frontier_mask p)
+
+let test_cobra_step_distinct () =
+  let branching = Branching.Distinct 2 and active = [ 1 ] in
+  check_set_dist ~tag:"cobra/step/k4-distinct2" ~trials:6000
+    ~dist:(Exact.cobra_step_dist k4 ~branching ~active) (fun rng ->
+      let p = Process.create k4 ~branching ~start:active in
+      Process.step p rng;
+      frontier_mask p)
+
+let test_cobra_occupancy_q3 () =
+  (* Q3 is bipartite: after 3 rounds every active vertex sits at odd
+     parity, so the even-parity occupancies are exactly zero — the
+     zero-probability guard in check_occupancy is doing real work. *)
+  let branching = Branching.Fixed 2 and t = 3 and trials = 6000 in
+  let occ = Exact.cobra_occupancy q3 ~branching ~start:[ 0 ] ~t_max:t in
+  let samples =
+    Conformance.samples ~master ~tag:"cobra/occupancy/q3" ~trials (fun rng ->
+        let p = Process.create q3 ~branching ~start:[ 0 ] in
+        for _ = 1 to t do
+          Process.step p rng
+        done;
+        frontier_mask p)
+  in
+  check_occupancy "cobra/occupancy/q3" ~trials ~exact:occ.(t) samples
+
+(* ---------- BIPS ---------- *)
+
+let test_bips_step_prism () =
+  let branching = Branching.One_plus 0.5 and source = 0 in
+  check_set_dist ~tag:"bips/step/prism-1+0.5" ~trials:6000
+    ~dist:(Exact.bips_step_dist prism ~branching ~source ~infected:[ source ])
+    (fun rng ->
+      let p = Bips.create prism ~branching ~source in
+      Bips.step p rng;
+      mask_of_pred 6 (Bips.infected p))
+
+let bips_two_step_dist g ~branching ~source =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (m, p) ->
+      List.iter
+        (fun (m', q) ->
+          let prev = Option.value ~default:0.0 (Hashtbl.find_opt tbl m') in
+          Hashtbl.replace tbl m' (prev +. (p *. q)))
+        (Exact.bips_step_dist g ~branching ~source
+           ~infected:(Exact.vertices_of_mask m)))
+    (Exact.bips_step_dist g ~branching ~source ~infected:[ source ]);
+  List.sort compare (Hashtbl.fold (fun m p acc -> (m, p) :: acc) tbl [])
+
+let test_bips_two_step_k4 () =
+  let branching = Branching.Fixed 2 and source = 2 in
+  check_set_dist ~tag:"bips/two-step/k4-k2" ~trials:6000
+    ~dist:(bips_two_step_dist k4 ~branching ~source) (fun rng ->
+      let p = Bips.create k4 ~branching ~source in
+      Bips.step p rng;
+      Bips.step p rng;
+      mask_of_pred 4 (Bips.infected p))
+
+let test_bips_occupancy_prism () =
+  let branching = Branching.Fixed 2 and t = 2 and trials = 6000 in
+  let occ = Exact.bips_occupancy prism ~branching ~source:0 ~t_max:t in
+  let samples =
+    Conformance.samples ~master ~tag:"bips/occupancy/prism" ~trials (fun rng ->
+        let p = Bips.create prism ~branching ~source:0 in
+        for _ = 1 to t do
+          Bips.step p rng
+        done;
+        mask_of_pred 6 (Bips.infected p))
+  in
+  check_occupancy "bips/occupancy/prism" ~trials ~exact:occ.(t) samples
+
+(* ---------- simple random walk ---------- *)
+
+(* Exact t-step distribution by iterating the walk matrix row. *)
+let rwalk_dist g ~start ~steps =
+  let n = Csr.n_vertices g in
+  let cur = Array.make n 0.0 in
+  cur.(start) <- 1.0;
+  for _ = 1 to steps do
+    let next = Array.make n 0.0 in
+    for v = 0 to n - 1 do
+      if cur.(v) > 0.0 then begin
+        let share = cur.(v) /. Float.of_int (Csr.degree g v) in
+        Csr.iter_neighbours g v ~f:(fun w -> next.(w) <- next.(w) +. share)
+      end
+    done;
+    Array.blit next 0 cur 0 n
+  done;
+  List.filter
+    (fun (_, p) -> p > 0.0)
+    (List.init n (fun v -> (v, cur.(v))))
+
+let check_rwalk ~tag g ~start ~steps =
+  check_gof tag
+    (Conformance.check ~alpha ~master ~tag ~trials:8000
+       ~dist:(rwalk_dist g ~start ~steps)
+       ~equal:Int.equal ~describe:string_of_int
+       ~sample:(fun rng -> (Rwalk.positions ~steps g ~start rng).(steps))
+       ())
+
+let test_rwalk_c5 () = check_rwalk ~tag:"rwalk/c5-t3" c5 ~start:0 ~steps:3
+
+let test_rwalk_q3 () =
+  (* Even step count on a bipartite graph: half the vertices have
+     probability zero, so stray samples there are fatal, not averaged. *)
+  check_rwalk ~tag:"rwalk/q3-t2" q3 ~start:0 ~steps:2
+
+(* ---------- push broadcast ---------- *)
+
+(* Distribution of the push protocol's completion round, with every round
+   above t_max merged into one tail cell (value t_max + 1). *)
+let push_rounds_dist g ~start ~t_max =
+  let s = Exact.push_cover_survival g ~start ~t_max in
+  let cells = List.init t_max (fun i -> (i + 1, s.(i) -. s.(i + 1))) in
+  List.filter (fun (_, p) -> p > 1e-15) (cells @ [ (t_max + 1, s.(t_max)) ])
+
+let check_push ~tag g ~start ~t_max =
+  check_gof tag
+    (Conformance.check ~alpha ~master ~tag ~trials:6000
+       ~dist:(push_rounds_dist g ~start ~t_max)
+       ~equal:Int.equal ~describe:string_of_int
+       ~sample:(fun rng ->
+         match Push.push g ~start rng with
+         | Some o -> min o.Push.rounds (t_max + 1)
+         | None -> Alcotest.fail (tag ^ ": push hit its cap"))
+       ())
+
+let test_push_k4 () = check_push ~tag:"push/k4" k4 ~start:0 ~t_max:10
+let test_push_c5 () = check_push ~tag:"push/c5" c5 ~start:2 ~t_max:14
+
+(* ---------- SIS ---------- *)
+
+let sis_mask p n = mask_of_pred n (Sis.infected p)
+
+let test_sis_step_prism () =
+  let contacts = Branching.Fixed 1 and recovery = 0.3 in
+  let infected = [ 0; 1 ] in
+  check_set_dist ~tag:"sis/step/prism" ~trials:6000
+    ~dist:(Exact.sis_step_dist prism ~contacts ~recovery ~persistent:None ~infected)
+    (fun rng ->
+      let p =
+        Sis.create prism { Sis.contacts; recovery } ~persistent:None ~start:infected
+      in
+      Sis.step p rng;
+      sis_mask p 6)
+
+let test_sis_step_persistent_k4 () =
+  let contacts = Branching.One_plus 0.5 and recovery = 0.5 in
+  check_set_dist ~tag:"sis/step/k4-persistent" ~trials:6000
+    ~dist:
+      (Exact.sis_step_dist k4 ~contacts ~recovery ~persistent:(Some 0) ~infected:[ 0 ])
+    (fun rng ->
+      let p =
+        Sis.create k4 { Sis.contacts; recovery } ~persistent:(Some 0) ~start:[ 0 ]
+      in
+      Sis.step p rng;
+      sis_mask p 4)
+
+let test_sis_extinction_c5 () =
+  (* P(extinct within 4 rounds) — stepped manually so the check is not
+     confounded by run's everyone-infected-once early stop. *)
+  let contacts = Branching.Fixed 1 and recovery = 0.8 and t = 4 and trials = 6000 in
+  let series = Exact.sis_extinct_series c5 ~contacts ~recovery ~start:[ 0 ] ~t_max:t in
+  let extinct =
+    Conformance.samples ~master ~tag:"sis/extinction/c5" ~trials (fun rng ->
+        let p =
+          Sis.create c5 { Sis.contacts; recovery } ~persistent:None ~start:[ 0 ]
+        in
+        for _ = 1 to t do
+          Sis.step p rng
+        done;
+        Sis.is_extinct p)
+  in
+  let successes = Array.fold_left (fun a b -> if b then a + 1 else a) 0 extinct in
+  check_gof "sis/extinction/c5"
+    (Gof.binomial_test ~alpha ~successes ~trials ~p:series.(t) ())
+
+(* ---------- contact process ---------- *)
+
+let test_contact_k4 () =
+  let infection_rate = 1.5 and trials = 4000 in
+  let p_exact = Exact.contact_absorption k4 ~infection_rate ~start:[ 0 ] in
+  let outcomes =
+    Conformance.samples ~master ~tag:"contact/k4" ~trials (fun rng ->
+        let r = Contact.run k4 ~infection_rate ~persistent:None ~start:[ 0 ] rng in
+        match r.Contact.outcome with
+        | Contact.Fully_exposed _ -> true
+        | Contact.Died_out _ -> false
+        | Contact.Still_active _ -> Alcotest.fail "contact/k4: still active at horizon")
+  in
+  let successes = Array.fold_left (fun a b -> if b then a + 1 else a) 0 outcomes in
+  check_gof "contact/k4" (Gof.binomial_test ~alpha ~successes ~trials ~p:p_exact ())
+
+let test_contact_c5 () =
+  let infection_rate = 0.7 and trials = 4000 in
+  let p_exact = Exact.contact_absorption c5 ~infection_rate ~start:[ 1 ] in
+  let outcomes =
+    Conformance.samples ~master ~tag:"contact/c5" ~trials (fun rng ->
+        let r = Contact.run c5 ~infection_rate ~persistent:None ~start:[ 1 ] rng in
+        match r.Contact.outcome with
+        | Contact.Fully_exposed _ -> true
+        | Contact.Died_out _ -> false
+        | Contact.Still_active _ -> Alcotest.fail "contact/c5: still active at horizon")
+  in
+  let successes = Array.fold_left (fun a b -> if b then a + 1 else a) 0 outcomes in
+  check_gof "contact/c5" (Gof.binomial_test ~alpha ~successes ~trials ~p:p_exact ())
+
+(* ---------- herd ---------- *)
+
+(* With infectious_rounds = 1 and immune_rounds = 0, one herd round from
+   transient index cases is exactly one SIS round at recovery 1: the
+   index cases shed for this round only, and every initially-susceptible
+   animal is exposed against the snapshot. sis_step_dist is the oracle. *)
+let herd_one_round ~tag g ~contacts ~index_cases =
+  let n = Csr.n_vertices g in
+  let params = { Herd.contacts; infectious_rounds = 1; immune_rounds = 0 } in
+  check_set_dist ~tag ~trials:6000
+    ~dist:
+      (Exact.sis_step_dist g ~contacts ~recovery:1.0 ~persistent:None
+         ~infected:index_cases)
+    (fun rng ->
+      let h = Herd.create g params ~pi:[] ~index_cases in
+      Herd.step h rng;
+      mask_of_pred n (fun v -> Herd.status h v = Herd.Transient))
+
+let test_herd_k4 () =
+  herd_one_round ~tag:"herd/k4" k4 ~contacts:(Branching.Fixed 1) ~index_cases:[ 0 ]
+
+let test_herd_prism () =
+  herd_one_round ~tag:"herd/prism" prism ~contacts:(Branching.Fixed 2)
+    ~index_cases:[ 0; 5 ]
+
+(* ---------- PRNG distributions ---------- *)
+
+let check_scalar_dist ~tag ~trials ~dist sample =
+  check_gof tag
+    (Conformance.check ~alpha ~master ~tag ~trials ~dist ~equal:Int.equal
+       ~describe:string_of_int ~sample ())
+
+let test_dist_categorical () =
+  let weights = [| 0.1; 0.2; 0.3; 0.4 |] in
+  check_scalar_dist ~tag:"dist/categorical" ~trials:8000
+    ~dist:(Array.to_list (Array.mapi (fun i w -> (i, w)) weights))
+    (fun rng -> Prng.Dist.categorical rng weights)
+
+let test_dist_binomial () =
+  let n = 10 and p = 0.3 in
+  let dist =
+    List.init (n + 1) (fun k -> (k, Float.exp (Gof.binomial_log_pmf ~n ~p k)))
+  in
+  check_scalar_dist ~tag:"dist/binomial" ~trials:8000 ~dist (fun rng ->
+      Prng.Dist.binomial rng ~n ~p)
+
+let test_dist_geometric () =
+  let p = 0.35 and cut = 10 in
+  let cells = List.init cut (fun k -> (k, p *. ((1.0 -. p) ** Float.of_int k))) in
+  let dist = cells @ [ (cut, (1.0 -. p) ** Float.of_int cut) ] in
+  check_scalar_dist ~tag:"dist/geometric" ~trials:8000 ~dist (fun rng ->
+      min (Prng.Dist.geometric rng p) cut)
+
+let test_dist_poisson () =
+  let lambda = 3.0 and cut = 10 in
+  let pmf k =
+    Float.exp
+      ((Float.of_int k *. Float.log lambda) -. lambda -. Gof.log_gamma (Float.of_int (k + 1)))
+  in
+  let cells = List.init cut (fun k -> (k, pmf k)) in
+  let head = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 cells in
+  let dist = cells @ [ (cut, 1.0 -. head) ] in
+  check_scalar_dist ~tag:"dist/poisson" ~trials:8000 ~dist (fun rng ->
+      min (Prng.Dist.poisson rng lambda) cut)
+
+let test_dist_normal_ks () =
+  let mu = 2.0 and sigma = 1.5 in
+  let xs =
+    Conformance.samples ~master ~tag:"dist/normal" ~trials:8000 (fun rng ->
+        Prng.Dist.normal rng ~mu ~sigma)
+  in
+  check_gof "dist/normal"
+    (Gof.ks1 ~alpha ~cdf:(fun x -> Gof.normal_cdf ((x -. mu) /. sigma)) xs)
+
+let test_dist_exponential_ks () =
+  let rate = 0.8 in
+  let xs =
+    Conformance.samples ~master ~tag:"dist/exponential" ~trials:8000 (fun rng ->
+        Prng.Dist.exponential rng ~rate)
+  in
+  check_gof "dist/exponential"
+    (Gof.ks1 ~alpha ~cdf:(fun x -> 1.0 -. Float.exp (-.rate *. x)) xs)
+
+(* ---------- PRNG sampling ---------- *)
+
+let test_sample_with_replacement () =
+  let dist = List.init 9 (fun i -> (i, 1.0 /. 9.0)) in
+  check_scalar_dist ~tag:"sample/with-replacement" ~trials:8000 ~dist (fun rng ->
+      let a = Prng.Sample.with_replacement rng ~k:2 ~n:3 in
+      (a.(0) * 3) + a.(1))
+
+let test_sample_without_replacement () =
+  (* Unordered pairs from {0..3}: uniform over the C(4,2) = 6 subsets. *)
+  let pairs = [ (0, 1); (0, 2); (0, 3); (1, 2); (1, 3); (2, 3) ] in
+  let dist = List.map (fun pr -> (pr, 1.0 /. 6.0)) pairs in
+  check_gof "sample/without-replacement"
+    (Conformance.check ~alpha ~master ~tag:"sample/without-replacement" ~trials:8000
+       ~dist
+       ~equal:(fun (a, b) (c, d) -> a = c && b = d)
+       ~describe:(fun (a, b) -> Printf.sprintf "(%d,%d)" a b)
+       ~sample:(fun rng ->
+         let a = Prng.Sample.without_replacement rng ~k:2 ~n:4 in
+         (min a.(0) a.(1), max a.(0) a.(1)))
+       ())
+
+let test_sample_shuffle () =
+  let perms = [ 12; 21; 102; 120; 201; 210 ] in
+  let dist = List.map (fun p -> (p, 1.0 /. 6.0)) perms in
+  check_scalar_dist ~tag:"sample/shuffle" ~trials:8000 ~dist (fun rng ->
+      let a = [| 0; 1; 2 |] in
+      Prng.Sample.shuffle rng a;
+      (a.(0) * 100) + (a.(1) * 10) + a.(2))
+
+let test_sample_alias () =
+  let weights = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let table = Prng.Sample.Alias.create weights in
+  check_scalar_dist ~tag:"sample/alias" ~trials:8000
+    ~dist:(Array.to_list (Array.mapi (fun i w -> (i, w /. 10.0)) weights))
+    (fun rng -> Prng.Sample.Alias.draw table rng)
+
+(* ---------- mutation sensitivity ---------- *)
+
+let test_mutation_sensitivity () =
+  (* Sample a perturbed kernel (One_plus 0.4) against the exact oracle
+     for One_plus 0.6 — same support, different probabilities — and
+     demand a Reject even at this suite's tiny per-test alpha. If this
+     test ever fails, the suite has lost the power to see a 0.2 shift in
+     the expected branching factor and its PASSes mean nothing. *)
+  let dist = Exact.cobra_step_dist k4 ~branching:(Branching.One_plus 0.6) ~active:[ 0 ] in
+  let r =
+    Conformance.check ~alpha ~master ~tag:"mutation/one-plus" ~trials:6000 ~dist
+      ~equal:Int.equal ~describe:describe_mask
+      ~sample:(fun rng ->
+        let p = Process.create k4 ~branching:(Branching.One_plus 0.4) ~start:[ 0 ] in
+        Process.step p rng;
+        frontier_mask p)
+      ()
+  in
+  Alcotest.(check bool)
+    "perturbed kernel is rejected" true
+    (r.Gof.verdict = Gof.Reject)
+
+(* ---------- runner ---------- *)
+
+let () =
+  let t name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "conformance"
+    [
+      ( "cobra",
+        [
+          t "one step on C5, k=2" test_cobra_step_c5;
+          t "one step on the prism, 1+0.5" test_cobra_step_prism;
+          t "one step on K4, distinct 2" test_cobra_step_distinct;
+          t "occupancy marginals on Q3 at t=3" test_cobra_occupancy_q3;
+        ] );
+      ( "bips",
+        [
+          t "one step on the prism, 1+0.5" test_bips_step_prism;
+          t "two steps on K4, k=2" test_bips_two_step_k4;
+          t "occupancy marginals on the prism at t=2" test_bips_occupancy_prism;
+        ] );
+      ( "rwalk",
+        [ t "3 steps on C5" test_rwalk_c5; t "2 steps on Q3 (parity)" test_rwalk_q3 ] );
+      ("push", [ t "rounds on K4" test_push_k4; t "rounds on C5" test_push_c5 ]);
+      ( "sis",
+        [
+          t "one round on the prism" test_sis_step_prism;
+          t "one round on K4 with a persistent source" test_sis_step_persistent_k4;
+          t "extinction probability on C5" test_sis_extinction_c5;
+        ] );
+      ( "contact",
+        [
+          t "full-exposure probability on K4" test_contact_k4;
+          t "full-exposure probability on C5" test_contact_c5;
+        ] );
+      ( "herd",
+        [
+          t "one round on K4" test_herd_k4;
+          t "one round on the prism, two index cases" test_herd_prism;
+        ] );
+      ( "dist",
+        [
+          t "categorical" test_dist_categorical;
+          t "binomial" test_dist_binomial;
+          t "geometric" test_dist_geometric;
+          t "poisson" test_dist_poisson;
+          t "normal (KS)" test_dist_normal_ks;
+          t "exponential (KS)" test_dist_exponential_ks;
+        ] );
+      ( "sample",
+        [
+          t "with_replacement" test_sample_with_replacement;
+          t "without_replacement" test_sample_without_replacement;
+          t "shuffle" test_sample_shuffle;
+          t "alias" test_sample_alias;
+        ] );
+      ("mutation", [ t "perturbed branching is rejected" test_mutation_sensitivity ]);
+    ]

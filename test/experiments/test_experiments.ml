@@ -134,6 +134,55 @@ let test_emitted_json_matches_artifact () =
         check (Alcotest.float 0.0) "mean survives serialisation bit-for-bit"
           artifact_mean json_mean)
 
+(* Full-catalogue roundtrip: every registered experiment runs at quick
+   scale through the json sink, every emitted document parses back,
+   carries at least one verdict, and run_many preserves registry order —
+   the order id_range () is derived from. *)
+let test_full_registry_roundtrip () =
+  with_temp_dir (fun dir ->
+      let artifacts =
+        Registry.run_many Registry.all ~sink:(Sink.json ~dir)
+          ~scale:Simkit.Scale.Quick ~master:1
+      in
+      check Alcotest.int "one artifact per experiment" (List.length Registry.all)
+        (List.length artifacts);
+      List.iter2
+        (fun spec artifact ->
+          let id = artifact.Artifact.meta.Artifact.id in
+          check Alcotest.string "run_many preserves registry order" spec.Spec.id id;
+          (match Artifact.verdicts artifact with
+          | [] -> Alcotest.failf "%s: no verdict emitted" id
+          | _ -> ());
+          let path = Filename.concat dir (Artifact.basename artifact.Artifact.meta ^ ".json") in
+          if not (Sys.file_exists path) then
+            Alcotest.failf "%s: sink wrote no file at %s" id path;
+          match Json.of_file path with
+          | Error e -> Alcotest.failf "%s: emitted json does not parse: %s" id e
+          | Ok doc ->
+            check Alcotest.bool
+              (id ^ " json id matches")
+              true
+              (Json.member "id" doc = Some (Json.String id));
+            let verdict_count =
+              match Json.member "events" doc with
+              | Some events ->
+                List.length
+                  (List.filter
+                     (fun e -> Json.member "type" e = Some (Json.String "verdict"))
+                     (Option.value ~default:[] (Json.to_list events)))
+              | None -> 0
+            in
+            if verdict_count < 1 then
+              Alcotest.failf "%s: parsed json carries no verdict" id)
+        Registry.all artifacts;
+      (* id_range is derived from the same order run_many just preserved. *)
+      match (artifacts, List.rev artifacts) with
+      | first :: _, last :: _ ->
+        check Alcotest.string "id_range brackets the run"
+          (Registry.id_range ())
+          (first.Artifact.meta.Artifact.id ^ ".." ^ last.Artifact.meta.Artifact.id)
+      | _ -> Alcotest.fail "no artifacts")
+
 (* A deliberately failing verdict must fail the suite — this is the exact
    predicate `cobra_cli exp --check` maps to its exit code. *)
 let failing_spec =
@@ -175,5 +224,7 @@ let () =
             test_emitted_json_matches_artifact;
           Alcotest.test_case "failing verdict fails suite" `Quick
             test_failing_verdict_fails_suite;
+          Alcotest.test_case "full registry roundtrip" `Slow
+            test_full_registry_roundtrip;
         ] );
     ]

@@ -159,6 +159,165 @@ let test_bootstrap () =
   in
   check Alcotest.bool "bootstrap brackets mean" true (Ci.contains ci 4.5)
 
+(* Wilson interval: always inside [0,1] and always contains the point
+   estimate (the centre is pulled towards 1/2 by strictly less than the
+   half-width). *)
+let wilson_interval_prop =
+  QCheck.Test.make ~name:"wilson interval bounds and point estimate" ~count:500
+    QCheck.(
+      make
+        Gen.(
+          int_range 1 400 >>= fun trials ->
+          int_range 0 trials >|= fun successes -> (successes, trials)))
+    (fun (successes, trials) ->
+      let ci = Ci.proportion_ci ~successes ~trials () in
+      let p_hat = Float.of_int successes /. Float.of_int trials in
+      (* 1e-12 slack: at the extremes |centre - p_hat| equals the
+         half-width exactly and rounding can tip the comparison *)
+      ci.Ci.lo >= 0.0 && ci.Ci.hi <= 1.0
+      && ci.Ci.lo <= p_hat +. 1e-12
+      && p_hat <= ci.Ci.hi +. 1e-12)
+
+(* t quantile: strictly monotone in p at every df, and converging to the
+   normal quantile as df grows. *)
+let t_quantile_monotone_prop =
+  QCheck.Test.make ~name:"t_quantile monotone in p" ~count:300
+    QCheck.(
+      pair (QCheck.make Gen.(oneofl [ 1; 2; 3; 5; 12; 60; 500 ]))
+        (pair (float_range 0.02 0.98) (float_range 0.02 0.98)))
+    (fun (df, (p1, p2)) ->
+      QCheck.assume (Float.abs (p1 -. p2) > 1e-6);
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Ci.t_quantile ~df lo < Ci.t_quantile ~df hi)
+
+let t_quantile_normal_limit_prop =
+  QCheck.Test.make ~name:"t_quantile tends to z_quantile" ~count:200
+    QCheck.(float_range 0.02 0.98)
+    (fun p -> Float.abs (Ci.t_quantile ~df:100_000 p -. Ci.z_quantile p) < 1e-3)
+
+let test_bootstrap_deterministic () =
+  let xs = Array.init 100 (fun i -> sin (Float.of_int i)) in
+  let mean a = Array.fold_left ( +. ) 0.0 a /. Float.of_int (Array.length a) in
+  let ci1 = Ci.bootstrap (Prng.Rng.create 4242) xs ~statistic:mean in
+  let ci2 = Ci.bootstrap (Prng.Rng.create 4242) xs ~statistic:mean in
+  check (Alcotest.float 0.0) "lo bit-identical" ci1.Ci.lo ci2.Ci.lo;
+  check (Alcotest.float 0.0) "hi bit-identical" ci1.Ci.hi ci2.Ci.hi;
+  (* a different stream is allowed to (and here does) move the endpoints *)
+  let ci3 = Ci.bootstrap (Prng.Rng.create 4243) xs ~statistic:mean in
+  check Alcotest.bool "different seed differs" true
+    (ci3.Ci.lo <> ci1.Ci.lo || ci3.Ci.hi <> ci1.Ci.hi)
+
+(* ---------- Gof ---------- *)
+
+module Gof = Stats.Gof
+
+let test_gof_gamma_known () =
+  (* log Γ at integers and the half-integer closed form. *)
+  close ~eps:1e-10 "lgamma 1" 0.0 (Gof.log_gamma 1.0);
+  close ~eps:1e-10 "lgamma 5" (log 24.0) (Gof.log_gamma 5.0);
+  close ~eps:1e-9 "lgamma 1/2" (0.5 *. log Float.pi) (Gof.log_gamma 0.5);
+  (* chi-square with 2 df is Exp(1/2): closed-form CDF. *)
+  close ~eps:1e-10 "chi2(2) cdf" (1.0 -. exp (-1.5)) (Gof.chi2_cdf ~df:2 3.0);
+  close ~eps:1e-10 "P + Q = 1" 1.0 (Gof.gamma_p 3.7 2.2 +. Gof.gamma_q 3.7 2.2);
+  (* standard critical values *)
+  close ~eps:1e-5 "chi2(1) sf at 6.6349" 0.01 (Gof.chi2_sf ~df:1 6.6348966);
+  close ~eps:1e-5 "chi2(10) sf at 23.2093" 0.01 (Gof.chi2_sf ~df:10 23.209251);
+  (* deep tail keeps relative accuracy: chi2(1) sf(x) = erfc(sqrt(x/2)) *)
+  let tail = Gof.chi2_sf ~df:1 60.0 in
+  check Alcotest.bool "deep tail in range" true (tail > 1e-16 && tail < 1e-12)
+
+let test_gof_normal_cdf () =
+  close ~eps:1e-9 "phi(0)" 0.5 (Gof.normal_cdf 0.0);
+  close ~eps:1e-6 "phi(1.96)" 0.975 (Gof.normal_cdf 1.959964);
+  close ~eps:1e-6 "phi(-1.96)" 0.025 (Gof.normal_cdf (-1.959964));
+  (* inverse consistency with Ci.z_quantile *)
+  close ~eps:1e-6 "phi(z(0.9))" 0.9 (Gof.normal_cdf (Ci.z_quantile 0.9))
+
+let test_gof_kolmogorov () =
+  close ~eps:2e-4 "Q at 5% critical value" 0.05 (Gof.kolmogorov_q 1.358);
+  close ~eps:2e-4 "Q at 1% critical value" 0.01 (Gof.kolmogorov_q 1.628);
+  close ~eps:1e-12 "Q(0) = 1" 1.0 (Gof.kolmogorov_q 0.0);
+  check Alcotest.bool "Q monotone" true
+    (Gof.kolmogorov_q 0.5 > Gof.kolmogorov_q 1.0
+    && Gof.kolmogorov_q 1.0 > Gof.kolmogorov_q 2.0)
+
+let test_gof_pearson () =
+  (* A fair-die table; chi2 = sum (o-e)^2 / 10 with e = 10. *)
+  let observed = [| 12; 8; 11; 9; 10; 10 |] and expected = Array.make 6 10.0 in
+  let r = Gof.pearson_chi2 ~alpha:0.01 ~observed ~expected () in
+  close ~eps:1e-12 "statistic" 1.0 r.Gof.statistic;
+  check Alcotest.int "df" 5 r.Gof.df;
+  close ~eps:1e-6 "p" (Gof.chi2_sf ~df:5 1.0) r.Gof.p_value;
+  check Alcotest.bool "passes" true (Gof.passed r);
+  (* a grossly wrong table is rejected *)
+  let bad = Gof.pearson_chi2 ~alpha:0.01 ~observed:[| 60; 0; 0; 0; 0; 0 |] ~expected () in
+  check Alcotest.bool "rejects" false (Gof.passed bad);
+  Alcotest.check_raises "zero expected"
+    (Invalid_argument
+       "Gof.pearson_chi2: expected counts must be positive (pool sparse cells)")
+    (fun () ->
+      ignore (Gof.pearson_chi2 ~observed:[| 1; 1 |] ~expected:[| 2.0; 0.0 |] ()))
+
+let test_gof_pooling () =
+  let observed = [| 50; 30; 3; 1; 0 |] in
+  let expected = [| 48.0; 32.0; 2.0; 1.5; 0.5 |] in
+  let o, e = Gof.pool_low_expected ~observed ~expected () in
+  check Alcotest.(array int) "pooled observed" [| 50; 30; 4 |] o;
+  close ~eps:1e-12 "pooled expected" 4.0 e.(2);
+  check Alcotest.int "pooled length" 3 (Array.length e);
+  (* nothing sparse: unchanged *)
+  let o2, e2 = Gof.pool_low_expected ~observed:[| 10; 10 |] ~expected:[| 9.0; 11.0 |] () in
+  check Alcotest.(array int) "unchanged" [| 10; 10 |] o2;
+  check Alcotest.int "unchanged length" 2 (Array.length e2)
+
+let test_gof_binomial_test () =
+  (* All outcomes are at most as likely as 5/10 under p = 1/2. *)
+  let r = Gof.binomial_test ~successes:5 ~trials:10 ~p:0.5 () in
+  close ~eps:1e-9 "central p = 1" 1.0 r.Gof.p_value;
+  (* only {0, 10} are as extreme as 0: p = 2/1024 *)
+  let r0 = Gof.binomial_test ~successes:0 ~trials:10 ~p:0.5 () in
+  close ~eps:1e-12 "two-point tail" (2.0 /. 1024.0) r0.Gof.p_value;
+  let r1 = Gof.binomial_test ~alpha:0.01 ~successes:0 ~trials:10 ~p:0.5 () in
+  check Alcotest.bool "rejected at 1%" false (Gof.passed r1);
+  (* degenerate p *)
+  close "p=0 consistent" 1.0 (Gof.binomial_test ~successes:0 ~trials:5 ~p:0.0 ()).Gof.p_value;
+  close "p=0 violated" 0.0 (Gof.binomial_test ~successes:1 ~trials:5 ~p:0.0 ()).Gof.p_value
+
+let test_gof_ks () =
+  (* Uniform sample against the uniform CDF: statistic computed by hand
+     for a tiny fixed sample. *)
+  let xs = [| 0.1; 0.26; 0.5; 0.75; 0.9 |] in
+  let r = Gof.ks1 ~alpha:0.01 ~cdf:(fun x -> x) xs in
+  close ~eps:1e-12 "D by hand" 0.15 r.Gof.statistic;
+  check Alcotest.bool "uniform passes" true (Gof.passed r);
+  (* a large uniform sample against the wrong CDF is rejected *)
+  let rng = Prng.Rng.create 7 in
+  let big = Array.init 2000 (fun _ -> Prng.Rng.float rng) in
+  let wrong = Gof.ks1 ~alpha:1e-6 ~cdf:(fun x -> x ** 2.0) big in
+  check Alcotest.bool "wrong cdf rejected" false (Gof.passed wrong);
+  (* two-sample: same source passes, shifted source fails *)
+  let a = Array.init 1500 (fun _ -> Prng.Rng.float rng) in
+  let b = Array.init 1500 (fun _ -> Prng.Rng.float rng) in
+  check Alcotest.bool "same dist passes" true (Gof.passed (Gof.ks2 ~alpha:1e-6 a b));
+  let shifted = Array.map (fun x -> x +. 0.2) b in
+  check Alcotest.bool "shifted rejected" false (Gof.passed (Gof.ks2 ~alpha:1e-6 a shifted))
+
+let test_gof_multiple_testing () =
+  close ~eps:1e-18 "bonferroni" 1e-8 (Gof.bonferroni ~family_alpha:1e-6 ~m:100);
+  let rejected = Gof.benjamini_hochberg ~q:0.05 [| 0.6; 0.2; 0.001 |] in
+  check Alcotest.(array bool) "BH step-up" [| false; false; true |] rejected;
+  let all = Gof.benjamini_hochberg ~q:0.05 [| 0.01; 0.04; 0.03; 0.005 |] in
+  check Alcotest.(array bool) "BH rejects all" [| true; true; true; true |] all;
+  check Alcotest.int "empty ok" 0 (Array.length (Gof.benjamini_hochberg ~q:0.05 [||]))
+
+let test_gof_verdict_plumbing () =
+  let r = Gof.binomial_test ~alpha:0.01 ~successes:48 ~trials:100 ~p:0.5 () in
+  check Alcotest.bool "alpha recorded" true (r.Gof.alpha = 0.01);
+  check Alcotest.bool "all_pass" true (Gof.all_pass [ r ]);
+  let s = Format.asprintf "%a" Gof.pp r in
+  check Alcotest.bool "pp mentions test name" true
+    (String.length s > 10 && String.sub s 0 14 = "binomial-exact")
+
 (* ---------- Regress ---------- *)
 
 let test_ols_exact_line () =
@@ -303,6 +462,23 @@ let () =
           Alcotest.test_case "proportion ci" `Quick test_proportion_ci;
           Alcotest.test_case "coverage" `Quick test_mean_ci_coverage;
           Alcotest.test_case "bootstrap" `Quick test_bootstrap;
+          Alcotest.test_case "bootstrap deterministic" `Quick
+            test_bootstrap_deterministic;
+          qtest wilson_interval_prop;
+          qtest t_quantile_monotone_prop;
+          qtest t_quantile_normal_limit_prop;
+        ] );
+      ( "gof",
+        [
+          Alcotest.test_case "gamma and chi2" `Quick test_gof_gamma_known;
+          Alcotest.test_case "normal cdf" `Quick test_gof_normal_cdf;
+          Alcotest.test_case "kolmogorov" `Quick test_gof_kolmogorov;
+          Alcotest.test_case "pearson" `Quick test_gof_pearson;
+          Alcotest.test_case "pooling" `Quick test_gof_pooling;
+          Alcotest.test_case "binomial test" `Quick test_gof_binomial_test;
+          Alcotest.test_case "ks" `Quick test_gof_ks;
+          Alcotest.test_case "multiple testing" `Quick test_gof_multiple_testing;
+          Alcotest.test_case "verdict plumbing" `Quick test_gof_verdict_plumbing;
         ] );
       ( "regress",
         [
