@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check bench bench-standard bench-json examples clean
+.PHONY: all build test check sweep-smoke bench bench-standard bench-json examples clean
 
 all: build
 
@@ -19,6 +19,22 @@ check:
 	dune build @all
 	dune runtest
 	dune exec bin/main.exe -- exp --scale quick --check --format json --out _results
+
+# End-to-end crash/resume drill for the sweep subsystem: run a tiny
+# campaign to completion, then the same campaign interrupted after 3
+# cells and resumed, and require the manifest and every cell checkpoint
+# to be byte-identical. Exercises the real CLI, not just the library.
+SMOKE_GRID = name=smoke;graphs=cycle:12,complete:8;kernels=cobra,bips,sis;trials=3
+sweep-smoke:
+	rm -rf _results/smoke-a _results/smoke-b
+	dune exec bin/main.exe -- sweep --grid '$(SMOKE_GRID)' --out _results/smoke-a --seed 5
+	dune exec bin/main.exe -- sweep --grid '$(SMOKE_GRID)' --out _results/smoke-b --seed 5 --max-cells 3
+	dune exec bin/main.exe -- sweep --grid '$(SMOKE_GRID)' --out _results/smoke-b --seed 5 --resume
+	cmp _results/smoke-a/manifest.json _results/smoke-b/manifest.json
+	for f in _results/smoke-a/cells/*.json; do \
+	  cmp "$$f" "_results/smoke-b/cells/$$(basename $$f)" || exit 1; \
+	done
+	@echo "sweep-smoke: resumed campaign is byte-identical"
 
 # Quick-scale kernels + experiment tables (~30 s)
 bench:

@@ -1,109 +1,18 @@
 (* cobra_cli — command-line front end for the COBRA/BIPS reproduction.
 
-   Subcommands: exp (run experiments), cover, bips, walk, push, duality,
-   spectral, gen, herd, contact, exact. Every stochastic command takes
-   --seed and prints enough configuration to be reproduced exactly. *)
+   Subcommands: exp (run experiments), sweep (checkpointed campaigns),
+   cover, bips, walk, push, duality, spectral, gen, herd, contact,
+   exact. Every stochastic command takes --seed and prints enough
+   configuration to be reproduced exactly.
+
+   Shared flags/converters live in Cli_common; single-shot process
+   measurement is routed through the Cobra.Kernel instances (the same
+   engine the sweep subsystem drives), with test/cli pinning the output
+   byte-for-byte against the historical per-process loops. *)
 
 open Cmdliner
-
-(* ---------- shared argument converters ---------- *)
-
-let graph_conv =
-  let parse s = Result.map_error (fun e -> `Msg e) (Graph.Spec.parse s) in
-  let print ppf spec = Format.pp_print_string ppf (Graph.Spec.to_string spec) in
-  Arg.conv (parse, print)
-
-let branching_conv =
-  let parse s = Result.map_error (fun e -> `Msg e) (Cobra.Branching.of_string s) in
-  let print ppf b = Format.pp_print_string ppf (Cobra.Branching.to_arg b) in
-  Arg.conv (parse, print)
-
-let scale_conv =
-  let parse s = Result.map_error (fun e -> `Msg e) (Simkit.Scale.of_string s) in
-  Arg.conv (parse, Simkit.Scale.pp)
-
-(* ---------- common options ---------- *)
-
-let seed_t =
-  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Master random seed.")
-
-let trials_t =
-  Arg.(value & opt int 20 & info [ "trials" ] ~docv:"N" ~doc:"Number of trials.")
-
-let graph_t =
-  Arg.(
-    required
-    & opt (some graph_conv) None
-    & info [ "g"; "graph" ] ~docv:"GRAPH" ~doc:("Graph description. " ^ Graph.Spec.syntax_help))
-
-let branching_t =
-  Arg.(
-    value
-    & opt branching_conv Cobra.Branching.cobra_k2
-    & info [ "b"; "branching" ] ~docv:"BRANCHING"
-        ~doc:"Branching factor: k=<int>, 1+<rho>, or distinct=<int> (default k=2).")
-
-let cap_t =
-  Arg.(
-    value
-    & opt (some int) None
-    & info [ "cap" ] ~docv:"ROUNDS" ~doc:"Give up after this many rounds.")
-
-let build_graph spec ~seed =
-  let rng = Simkit.Seeds.tagged_rng ~master:seed ~tag:"cli:graph" in
-  match Graph.Spec.build spec rng with
-  | Ok g -> g
-  | Error msg ->
-    Printf.eprintf "error: %s\n" msg;
-    exit 2
-
-let summarize_trials name values censored =
-  let s = Stats.Summary.of_array values in
-  Printf.printf "%s: mean=%.2f" name (Stats.Summary.mean s);
-  if Stats.Summary.count s >= 2 then begin
-    let ci = Stats.Ci.mean_ci s in
-    Printf.printf " ci95=[%.2f, %.2f] sd=%.2f" ci.Stats.Ci.lo ci.Stats.Ci.hi
-      (Stats.Summary.stddev s)
-  end;
-  Printf.printf " min=%.0f max=%.0f n=%d" (Stats.Summary.min s)
-    (Stats.Summary.max s) (Stats.Summary.count s);
-  if censored > 0 then Printf.printf " censored=%d" censored;
-  print_newline ()
-
-let print_graph_line g spec =
-  Printf.printf "graph %s: %s\n" (Graph.Spec.to_string spec)
-    (Format.asprintf "%a" Graph.Csr.pp g)
-
-let csv_t =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the raw per-trial values as CSV.")
-
-let write_trials_csv path values =
-  let rows =
-    Array.to_list
-      (Array.mapi
-         (fun i v ->
-           [ string_of_int i; (match v with Some x -> string_of_int x | None -> "") ])
-         values)
-  in
-  Simkit.Csvout.write_file path ~header:[ "trial"; "value" ] rows;
-  Printf.printf "wrote %s\n" path
-
-let run_process_trials ?csv ~seed ~trials ~measure ~name () =
-  let raw =
-    Simkit.Trial.collect_par ~trials ~master:seed ~salt0:0 (fun rng -> measure rng)
-  in
-  Option.iter (fun path -> write_trials_csv path raw) csv;
-  let values =
-    Array.of_list (List.filter_map Fun.id (Array.to_list raw))
-  in
-  if Array.length values = 0 then print_endline "every trial hit the cap"
-  else
-    summarize_trials name
-      (Array.map Float.of_int values)
-      (trials - Array.length values)
+open Cli_common
+module K = Cobra.Kernel
 
 (* ---------- exp ---------- *)
 
@@ -121,11 +30,8 @@ let exp_cmd =
     Arg.(value & flag & info [ "list" ] ~doc:"List available experiments and exit.")
   in
   let out_t =
-    Arg.(
-      value
-      & opt string "_results"
-      & info [ "out" ] ~docv:"DIR"
-          ~doc:"Directory the json/csv formats write artifacts into.")
+    out_t ~default:"_results"
+      ~doc:"Directory the json/csv formats write artifacts into."
   in
   let format_t =
     Arg.(
@@ -206,12 +112,129 @@ let exp_cmd =
   Cmd.v (Cmd.info "exp" ~doc)
     Term.(const run $ ids_t $ scale_t $ list_t $ seed_t $ out_t $ format_t $ check_t)
 
+(* ---------- sweep ---------- *)
+
+let sweep_cmd =
+  let grid_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "grid" ] ~docv:"FILE|INLINE"
+          ~doc:
+            "Parameter grid: a JSON grid file (schema cobra.sweep-grid/1) \
+             or an inline description like \
+             'graphs=cycle:12,complete:8;kernels=cobra,bips;branching=k=2;trials=5'.")
+  in
+  let out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:
+            "Campaign checkpoint/output directory (default \
+             _results/campaign-<name>).")
+  in
+  let resume_t =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Continue an interrupted campaign in --out: valid cell \
+             checkpoints are reused, only missing cells run.")
+  in
+  let max_cells_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-cells" ] ~docv:"N"
+          ~doc:"Run at most N cells this invocation, then stop (resumable).")
+  in
+  let domains_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"D"
+          ~doc:"Domain-pool size for this campaign (default: COBRA_DOMAINS).")
+  in
+  let list_kernels_t =
+    Arg.(value & flag & info [ "list-kernels" ] ~doc:"List sweepable kernels and exit.")
+  in
+  let run grid out resume max_cells seed domains list_kernels =
+    if list_kernels then begin
+      List.iter
+        (fun k -> Printf.printf "%-8s %s\n" k.K.name k.K.doc)
+        Sweep.Kernels.all;
+      0
+    end
+    else
+      match grid with
+      | None ->
+        Printf.eprintf "sweep: --grid is required (or --list-kernels)\n";
+        2
+      | Some grid_arg -> (
+        match Sweep.Grid.load grid_arg with
+        | Error msg ->
+          Printf.eprintf "sweep: %s\n" msg;
+          2
+        | Ok grid -> (
+          let master = Simkit.Seeds.master ~default:seed () in
+          let dir =
+            match out with
+            | Some d -> d
+            | None -> "_results/campaign-" ^ grid.Sweep.Grid.name
+          in
+          let cells = Sweep.Grid.cells grid in
+          Printf.printf
+            "campaign %s: %d cells (%d graphs x %d kernels x %d branchings), \
+             %d trials/cell, master seed %d\n"
+            grid.Sweep.Grid.name (List.length cells)
+            (List.length grid.Sweep.Grid.graphs)
+            (List.length grid.Sweep.Grid.kernels)
+            (List.length grid.Sweep.Grid.branchings)
+            grid.Sweep.Grid.trials master;
+          let config =
+            {
+              Simkit.Campaign.dir;
+              master;
+              resume;
+              max_cells;
+              domains;
+              progress =
+                (fun line ->
+                  print_string line;
+                  print_newline ();
+                  flush stdout);
+            }
+          in
+          match Simkit.Campaign.run config ~name:grid.Sweep.Grid.name ~cells with
+          | Error msg ->
+            Printf.eprintf "sweep: %s\n" msg;
+            2
+          | Ok r ->
+            Printf.printf "cells: %d total, %d ran, %d reused, %d corrupt re-run\n"
+              r.Simkit.Campaign.total r.Simkit.Campaign.ran
+              r.Simkit.Campaign.reused r.Simkit.Campaign.corrupted;
+            (match r.Simkit.Campaign.manifest with
+            | Some path ->
+              Printf.printf "campaign complete: wrote %s\n" path;
+              0
+            | None ->
+              Printf.printf
+                "campaign incomplete: %d cells remaining — re-run with --resume\n"
+                r.Simkit.Campaign.remaining;
+              0)))
+  in
+  let doc =
+    "Run a checkpointed sweep campaign over graph x kernel x branching grids."
+  in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(
+      const run $ grid_t $ out_t $ resume_t $ max_cells_t $ seed_t $ domains_t
+      $ list_kernels_t)
+
 (* ---------- cover ---------- *)
 
 let cover_cmd =
-  let start_t =
-    Arg.(value & opt int 0 & info [ "start" ] ~docv:"V" ~doc:"Start vertex.")
-  in
   let scan_t =
     Arg.(
       value
@@ -225,13 +248,14 @@ let cover_cmd =
   let run spec branching trials seed start cap csv scan =
     let g = build_graph spec ~seed in
     print_graph_line g spec;
+    let params = { K.default_params with K.branching; start; cap } in
     (match scan with
     | None ->
       Printf.printf "COBRA cover time, branching %s, start %d, %d trials, seed %d\n"
         (Cobra.Branching.to_string branching)
         start trials seed;
       run_process_trials ?csv ~seed ~trials ~name:"cover time (rounds)"
-        ~measure:(fun rng -> Cobra.Process.cover_time ?cap g ~branching ~start rng)
+        ~measure:(fun rng -> kernel_completion_time K.cobra g params rng)
         ()
     | Some k ->
       let n = Graph.Csr.n_vertices g in
@@ -250,12 +274,13 @@ let cover_cmd =
           let salt0 =
             Simkit.Seeds.salt_of_tag (Printf.sprintf "cli:scan:start=%d" start)
           in
+          let params = { params with K.start } in
           let s = Stats.Summary.create () in
           for i = 0 to trials - 1 do
             let trial_rng =
               Simkit.Seeds.trial_rng ~master:seed ~salt:(salt0 + i)
             in
-            match Cobra.Process.cover_time ?cap g ~branching ~start trial_rng with
+            match kernel_completion_time K.cobra g params trial_rng with
             | Some t -> Stats.Summary.add_int s t
             | None -> ()
           done;
@@ -291,8 +316,9 @@ let bips_cmd =
     Printf.printf "BIPS infection time, branching %s, source %d, %d trials, seed %d\n"
       (Cobra.Branching.to_string branching)
       source trials seed;
+    let params = { K.default_params with K.branching; start = source; cap } in
     run_process_trials ?csv ~seed ~trials ~name:"infection time (rounds)"
-      ~measure:(fun rng -> Cobra.Bips.infection_time ?cap g ~branching ~source rng)
+      ~measure:(fun rng -> kernel_completion_time K.bips g params rng)
       ();
     0
   in
@@ -303,9 +329,6 @@ let bips_cmd =
 (* ---------- walk ---------- *)
 
 let walk_cmd =
-  let start_t =
-    Arg.(value & opt int 0 & info [ "start" ] ~docv:"V" ~doc:"Start vertex.")
-  in
   let walkers_t =
     Arg.(
       value & opt int 1
@@ -316,10 +339,9 @@ let walk_cmd =
     print_graph_line g spec;
     Printf.printf "%d independent random walk(s), start %d, %d trials, seed %d\n"
       walkers start trials seed;
+    let params = { K.default_params with K.start = start; walkers; cap } in
     run_process_trials ?csv ~seed ~trials ~name:"cover time (rounds)"
-      ~measure:(fun rng ->
-        if walkers = 1 then Cobra.Rwalk.cover_time ?cap g ~start rng
-        else Cobra.Rwalk.multi_cover_time ?cap g ~walkers ~start rng)
+      ~measure:(fun rng -> kernel_completion_time K.rwalk g params rng)
       ();
     0
   in
@@ -344,15 +366,27 @@ let push_cmd =
       let o = Cobra.Push.flood g ~start:0 in
       Printf.printf "flooding: rounds=%d transmissions=%d\n" o.Cobra.Push.rounds
         o.Cobra.Push.transmissions
-    | (`Push | `Push_pull) as p ->
-      let f =
-        match p with `Push -> Cobra.Push.push | `Push_pull -> Cobra.Push.push_pull
+    | `Push ->
+      let params = { K.default_params with K.start = 0; cap } in
+      let results =
+        Simkit.Trial.collect_censored_par ~trials ~master:seed ~salt0:0 (fun rng ->
+            let o = K.run K.push g params rng in
+            if o.K.completed then
+              Some (o.K.rounds, int_of_float (observation_exn o "transmissions"))
+            else None)
       in
+      summarize_trials "rounds"
+        (Array.map (fun (r, _) -> Float.of_int r) results.Simkit.Trial.values)
+        results.Simkit.Trial.censored;
+      summarize_trials "transmissions"
+        (Array.map (fun (_, t) -> Float.of_int t) results.Simkit.Trial.values)
+        results.Simkit.Trial.censored
+    | `Push_pull ->
       let results =
         Simkit.Trial.collect_censored_par ~trials ~master:seed ~salt0:0 (fun rng ->
             Option.map
               (fun o -> (o.Cobra.Push.rounds, o.Cobra.Push.transmissions))
-              (f ?cap g ~start:0 rng))
+              (Cobra.Push.push_pull ?cap g ~start:0 rng))
       in
       summarize_trials "rounds"
         (Array.map (fun (r, _) -> Float.of_int r) results.Simkit.Trial.values)
@@ -369,9 +403,6 @@ let push_cmd =
 (* ---------- duality ---------- *)
 
 let duality_cmd =
-  let u_t = Arg.(value & opt int 0 & info [ "u" ] ~docv:"U" ~doc:"COBRA start vertex.") in
-  let v_t = Arg.(value & opt int 1 & info [ "v" ] ~docv:"V" ~doc:"Hitting target / BIPS source.") in
-  let t_t = Arg.(value & opt int 5 & info [ "t" ] ~docv:"T" ~doc:"Horizon (rounds).") in
   let exact_t =
     Arg.(value & flag & info [ "exact" ] ~doc:"Also compute both sides exactly (n <= 16).")
   in
@@ -401,7 +432,9 @@ let duality_cmd =
   in
   let doc = "Estimate both sides of the Theorem 4 duality." in
   Cmd.v (Cmd.info "duality" ~doc)
-    Term.(const run $ graph_t $ branching_t $ trials_t $ seed_t $ u_t $ v_t $ t_t $ exact_t)
+    Term.(
+      const run $ graph_t $ branching_t $ trials_t $ seed_t $ u_t $ v_t $ t_t ~default:5
+      $ exact_t)
 
 (* ---------- spectral ---------- *)
 
@@ -480,26 +513,33 @@ let herd_cmd =
     let g = Graph.Gen.ring_of_cliques ~cliques:pens ~clique_size:pen_size in
     Printf.printf "herd: %d pens x %d animals (%s)\n" pens pen_size
       (Format.asprintf "%a" Graph.Csr.pp g);
+    let n = Graph.Csr.n_vertices g in
     let params =
-      { Epidemic.Herd.contacts = Cobra.Branching.cobra_k2;
-        infectious_rounds = 2; immune_rounds = 8 }
+      {
+        K.default_params with
+        K.branching = Cobra.Branching.cobra_k2;
+        start = 0;
+        persistent = pi;
+        infectious_rounds = 2;
+        immune_rounds = 8;
+      }
     in
-    let pi_list = if pi then [ 0 ] else [] in
-    let index = if pi then [] else [ 0 ] in
     (* Trial i draws from salt0 + i = i, exactly the salts the old
        sequential loop used, so the pool changes nothing but wall-clock. *)
     let outcomes =
       Simkit.Trial.collect_par ~trials ~master:seed ~salt0:0 (fun rng ->
-          Epidemic.Herd.run g params ~pi:pi_list ~index_cases:index rng)
+          K.run Epidemic.Kernels.herd g params rng)
     in
     let full = ref 0 and extinct = ref 0 and rounds = Stats.Summary.create () in
     Array.iter
-      (function
-        | Epidemic.Herd.Herd_fully_exposed t ->
-          incr full;
-          Stats.Summary.add_int rounds t
-        | Epidemic.Herd.Infection_extinct _ -> incr extinct
-        | Epidemic.Herd.No_resolution _ -> ())
+      (fun o ->
+        if o.K.completed then begin
+          if int_of_float (observation_exn o "ever") = n then begin
+            incr full;
+            Stats.Summary.add_int rounds o.K.rounds
+          end
+          else incr extinct
+        end)
       outcomes;
     Printf.printf "full exposure: %d/%d   extinct: %d/%d\n" !full trials !extinct trials;
     if Stats.Summary.count rounds > 0 then
@@ -514,9 +554,6 @@ let herd_cmd =
 (* ---------- exact ---------- *)
 
 let exact_cmd =
-  let u_t = Arg.(value & opt int 0 & info [ "u" ] ~docv:"U" ~doc:"COBRA start vertex.") in
-  let v_t = Arg.(value & opt int 1 & info [ "v" ] ~docv:"V" ~doc:"Hitting target / BIPS source.") in
-  let t_t = Arg.(value & opt int 10 & info [ "t" ] ~docv:"T" ~doc:"Horizon (rounds).") in
   let run spec branching seed u v t =
     let g = build_graph spec ~seed in
     print_graph_line g spec;
@@ -548,7 +585,7 @@ let exact_cmd =
   in
   let doc = "Exact distributions on small graphs (DP over subsets)." in
   Cmd.v (Cmd.info "exact" ~doc)
-    Term.(const run $ graph_t $ branching_t $ seed_t $ u_t $ v_t $ t_t)
+    Term.(const run $ graph_t $ branching_t $ seed_t $ u_t $ v_t $ t_t ~default:10)
 
 (* ---------- contact ---------- *)
 
@@ -575,24 +612,24 @@ let contact_cmd =
       "contact process: rate %.3f, horizon %.0f, %s, %d trials, seed %d\n" rate horizon
       (if persistent then "persistent source at 0" else "transient seed at 0")
       trials seed;
-    let persistent = if persistent then Some 0 else None in
-    let start = if persistent = None then [ 0 ] else [] in
+    let params =
+      { K.default_params with K.start = 0; rate; horizon; persistent }
+    in
     (* Same salts (0 .. trials-1) as the old sequential loop. *)
     let outcomes =
       Simkit.Trial.collect_par ~trials ~master:seed ~salt0:0 (fun rng ->
-          (Epidemic.Contact.run ~horizon g ~infection_rate:rate ~persistent ~start
-             rng)
-            .Epidemic.Contact.outcome)
+          K.run Epidemic.Kernels.contact g params rng)
     in
     let died = ref 0 and full = ref 0 and active = ref 0 in
     let full_times = Stats.Summary.create () in
     Array.iter
-      (function
-        | Epidemic.Contact.Died_out _ -> incr died
-        | Epidemic.Contact.Fully_exposed t ->
+      (fun o ->
+        match observation_exn o "outcome" with
+        | 0.0 -> incr died
+        | 1.0 ->
           incr full;
-          Stats.Summary.add full_times t
-        | Epidemic.Contact.Still_active _ -> incr active)
+          Stats.Summary.add full_times (observation_exn o "time")
+        | _ -> incr active)
       outcomes;
     Printf.printf "died out: %d/%d   fully exposed: %d/%d   still active at horizon: %d/%d\n"
       !died trials !full trials !active trials;
@@ -617,6 +654,7 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default info
           [
-            exp_cmd; cover_cmd; bips_cmd; walk_cmd; push_cmd; duality_cmd;
-            spectral_cmd; gen_cmd; herd_cmd; contact_cmd; exact_cmd;
+            exp_cmd; sweep_cmd; cover_cmd; bips_cmd; walk_cmd; push_cmd;
+            duality_cmd; spectral_cmd; gen_cmd; herd_cmd; contact_cmd;
+            exact_cmd;
           ]))

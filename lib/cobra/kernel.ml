@@ -1,0 +1,197 @@
+module Bitset = Dstruct.Bitset
+
+type params = {
+  branching : Branching.t;
+  start : int;
+  walkers : int;
+  rate : float;
+  horizon : float;
+  recovery : float;
+  persistent : bool;
+  infectious_rounds : int;
+  immune_rounds : int;
+  cap : int option;
+}
+
+let default_params =
+  {
+    branching = Branching.cobra_k2;
+    start = 0;
+    walkers = 1;
+    rate = 0.5;
+    horizon = 200.0;
+    recovery = 0.3;
+    persistent = false;
+    infectious_rounds = 2;
+    immune_rounds = 8;
+    cap = None;
+  }
+
+type instance = {
+  step : Prng.Rng.t -> unit;
+  is_complete : unit -> bool;
+  rounds : unit -> int;
+  observe : unit -> (string * float) list;
+}
+
+type t = {
+  name : string;
+  doc : string;
+  default_cap : Graph.Csr.t -> int;
+  create : Graph.Csr.t -> params -> instance;
+}
+
+type outcome = {
+  completed : bool;
+  rounds : int;
+  observations : (string * float) list;
+}
+
+(* The loop shape of every historical one-shot driver: test completion
+   before each step, stop at the cap. For equal streams this performs the
+   identical sequence of per-round draws. *)
+let run t g params rng =
+  let cap = match params.cap with Some c -> c | None -> t.default_cap g in
+  let i = t.create g params in
+  while (not (i.is_complete ())) && i.rounds () < cap do
+    i.step rng
+  done;
+  { completed = i.is_complete (); rounds = i.rounds (); observations = i.observe () }
+
+let observation o key = List.assoc_opt key o.observations
+
+let fi = float_of_int
+
+let round_cap g = 10_000 + (100 * Graph.Csr.n_vertices g)
+
+let cobra =
+  {
+    name = "cobra";
+    doc = "COBRA coalescing-branching walk, run to cover";
+    default_cap = round_cap;
+    create =
+      (fun g params ->
+        let p = Process.create g ~branching:params.branching ~start:[ params.start ] in
+        {
+          step = (fun rng -> Process.step p rng);
+          is_complete = (fun () -> Process.is_covered p);
+          rounds = (fun () -> Process.round p);
+          observe =
+            (fun () ->
+              [
+                ("rounds", fi (Process.round p));
+                ("visited", fi (Process.visited_count p));
+                ("frontier", fi (Process.frontier_size p));
+                ("transmissions", fi (Process.transmissions p));
+              ]);
+        });
+  }
+
+let bips =
+  {
+    name = "bips";
+    doc = "BIPS persistent-source epidemic, run to saturation";
+    default_cap = round_cap;
+    create =
+      (fun g params ->
+        let p = Bips.create g ~branching:params.branching ~source:params.start in
+        {
+          step = (fun rng -> Bips.step p rng);
+          is_complete = (fun () -> Bips.is_saturated p);
+          rounds = (fun () -> Bips.round p);
+          observe =
+            (fun () ->
+              [
+                ("rounds", fi (Bips.round p));
+                ("infected", fi (Bips.infected_count p));
+              ]);
+        });
+  }
+
+(* Stepwise re-implementation of [Rwalk.cover_time] / [multi_cover_time]:
+   one step draws one uniform neighbour per walker, exactly the draws of
+   the one-shot loops. *)
+let rwalk =
+  {
+    name = "rwalk";
+    doc = "independent simple random walk(s), run to cover";
+    default_cap =
+      (fun g ->
+        let n = Graph.Csr.n_vertices g in
+        (100 * n * n) + 10_000);
+    create =
+      (fun g params ->
+        let n = Graph.Csr.n_vertices g in
+        if params.start < 0 || params.start >= n then
+          invalid_arg "Kernel.rwalk: start out of range";
+        if params.walkers < 1 then invalid_arg "Kernel.rwalk: walkers >= 1";
+        let seen = Bitset.create n in
+        Bitset.add seen params.start;
+        let positions = Array.make params.walkers params.start in
+        let remaining = ref (n - 1) in
+        let rounds = ref 0 in
+        {
+          step =
+            (fun rng ->
+              for w = 0 to params.walkers - 1 do
+                let next = Graph.Csr.unsafe_random_neighbour g rng positions.(w) in
+                positions.(w) <- next;
+                if not (Bitset.unsafe_mem seen next) then begin
+                  Bitset.unsafe_add seen next;
+                  decr remaining
+                end
+              done;
+              incr rounds);
+          is_complete = (fun () -> !remaining = 0);
+          rounds = (fun () -> !rounds);
+          observe =
+            (fun () ->
+              [ ("rounds", fi !rounds); ("visited", fi (n - !remaining)) ]);
+        });
+  }
+
+(* Stepwise re-implementation of one [Push.push] round: same informed-set
+   scan order, same checked neighbour draws, same synchronous apply. *)
+let push =
+  {
+    name = "push";
+    doc = "push rumour spreading, run to full information";
+    default_cap = round_cap;
+    create =
+      (fun g params ->
+        let n = Graph.Csr.n_vertices g in
+        if params.start < 0 || params.start >= n then
+          invalid_arg "Kernel.push: start out of range";
+        let informed = Bitset.create n in
+        Bitset.add informed params.start;
+        let count = ref 1 and rounds = ref 0 and transmissions = ref 0 in
+        {
+          step =
+            (fun rng ->
+              let newly = ref [] in
+              for u = 0 to n - 1 do
+                if Bitset.mem informed u then begin
+                  incr transmissions;
+                  let w = Graph.Csr.random_neighbour g rng u in
+                  if not (Bitset.mem informed w) then newly := w :: !newly
+                end
+              done;
+              List.iter
+                (fun w ->
+                  if not (Bitset.mem informed w) then begin
+                    Bitset.add informed w;
+                    incr count
+                  end)
+                !newly;
+              incr rounds);
+          is_complete = (fun () -> !count = n);
+          rounds = (fun () -> !rounds);
+          observe =
+            (fun () ->
+              [
+                ("rounds", fi !rounds);
+                ("informed", fi !count);
+                ("transmissions", fi !transmissions);
+              ]);
+        });
+  }

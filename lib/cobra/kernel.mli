@@ -1,0 +1,103 @@
+(** The unified stochastic-process interface.
+
+    Every process this repository studies — COBRA, BIPS, the simple
+    random walk, the push protocol, and (in [Epidemic.Kernels]) SIS, the
+    contact process and the herd model — is driveable through one
+    signature: [create] builds mutable round-based state, [step] plays
+    one round against an explicit stream, [is_complete] tests the
+    process's own absorption condition, and [observe] reads named
+    numeric observables of the current state. One driver loop
+    ({!run}) therefore serves every process; the sweep subsystem
+    ([Simkit.Campaign] + the [sweep] CLI) and the single-shot CLI
+    subcommands both build on it.
+
+    The contract that makes kernel-driven execution interchangeable
+    with the historical per-process loops ([Process.cover_time],
+    [Bips.infection_time], [Epidemic.Sis.run], ...): a kernel's [step]
+    consumes {e exactly} the randomness of one round of the process it
+    wraps, and {!run}'s loop — step while not complete and under the
+    cap — performs the same sequence of [step] calls as those loops.
+    [test/sweep] pins this stream-for-stream equivalence for all seven
+    kernels, and [test/cli]'s golden transcripts pin the resulting CLI
+    output byte-for-byte. *)
+
+(** The union of the knobs the processes understand. Each kernel reads
+    the fields relevant to it and ignores the rest; {!default_params}
+    matches the CLI defaults. *)
+type params = {
+  branching : Branching.t;  (** COBRA/BIPS branching; SIS/herd contacts *)
+  start : int;  (** start vertex / source / index case *)
+  walkers : int;  (** random walk: number of independent walkers *)
+  rate : float;  (** contact process: per-edge infection rate *)
+  horizon : float;  (** contact process: simulated-time horizon *)
+  recovery : float;  (** SIS: per-round recovery probability *)
+  persistent : bool;
+      (** SIS/contact: never-recovering source; herd: PI animal *)
+  infectious_rounds : int;  (** herd: transient infection duration *)
+  immune_rounds : int;  (** herd: post-infection immunity duration *)
+  cap : int option;
+      (** round cap for {!run}; [None] selects the kernel's default *)
+}
+
+val default_params : params
+
+(** Mutable process state behind first-class functions. [step] plays one
+    round (one walk move for the random walk; the whole event-driven run
+    for the continuous-time contact process, which has no round
+    structure). [rounds] counts completed [step]s for the cap. *)
+type instance = {
+  step : Prng.Rng.t -> unit;
+  is_complete : unit -> bool;
+  rounds : unit -> int;
+  observe : unit -> (string * float) list;
+}
+
+(** A process kernel: a named constructor of instances. *)
+type t = {
+  name : string;  (** CLI / grid identifier, e.g. ["cobra"] *)
+  doc : string;  (** one-line description *)
+  default_cap : Graph.Csr.t -> int;
+      (** the cap {!run} applies when [params.cap = None]; matches the
+          wrapped process's historical default *)
+  create : Graph.Csr.t -> params -> instance;
+}
+
+(** The result of driving an instance to completion or the cap. *)
+type outcome = {
+  completed : bool;  (** [is_complete] held when the loop stopped *)
+  rounds : int;  (** rounds played *)
+  observations : (string * float) list;  (** final [observe] *)
+}
+
+(** [run t g params rng] creates an instance and steps it until
+    [is_complete] or [params.cap] (default [t.default_cap g]) rounds.
+    The loop is the exact shape of the historical one-shot drivers, so
+    for equal input streams the results coincide bit-for-bit. *)
+val run : t -> Graph.Csr.t -> params -> Prng.Rng.t -> outcome
+
+(** [observation o key] looks a named observable up in [o]. *)
+val observation : outcome -> string -> float option
+
+(** {1 Kernel instances}
+
+    Observables: every kernel reports ["rounds"]; coverage-style kernels
+    also report ["visited"]; see each kernel's doc string for the rest.
+    [Epidemic.Kernels] adds [sis], [contact] and [herd]. *)
+
+(** COBRA cover: complete when every vertex has been active at least
+    once. Observes ["rounds"; "visited"; "frontier"; "transmissions"]. *)
+val cobra : t
+
+(** BIPS: complete at saturation [A_t = V]. Observes
+    ["rounds"; "infected"]. *)
+val bips : t
+
+(** Simple random walk(s) from [start] ([params.walkers] independent
+    walkers; 1 reproduces [Rwalk.cover_time], more reproduces
+    [Rwalk.multi_cover_time]): complete at cover. Observes
+    ["rounds"; "visited"]. *)
+val rwalk : t
+
+(** Push rumour spreading: complete when everyone is informed. Observes
+    ["rounds"; "informed"; "transmissions"]. *)
+val push : t

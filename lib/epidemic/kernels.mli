@@ -1,0 +1,27 @@
+(** {!Cobra.Kernel} instances for the epidemic substrates, completing the
+    unified process set: COBRA, BIPS, random walk and push live in
+    [Cobra.Kernel]; SIS, the contact process and the herd model live
+    here (they depend on the [epidemic] library). All seven are
+    registered for sweeping in [Sweep.Kernels]. *)
+
+(** Discrete SIS with recovery probability [params.recovery] and
+    contacts [params.branching]. [params.persistent] makes [params.start]
+    a never-recovering source, otherwise it is a transient seed. Complete
+    on extinction or once every vertex has been infected at least once.
+    Observes ["rounds"; "infected"; "ever"; "extinct"]. *)
+val sis : Cobra.Kernel.t
+
+(** Continuous-time contact process at rate [params.rate] up to time
+    [params.horizon]. Event-driven, so a single kernel step runs the
+    whole simulation (default cap 1); complete iff the run absorbed
+    (died out or fully exposed) rather than hitting the horizon.
+    Observes ["rounds"; "outcome"] (0 died out, 1 fully exposed,
+    2 still active), ["time"; "ever"; "events"]. *)
+val contact : Cobra.Kernel.t
+
+(** BVDV-style herd model with [params.branching] contacts,
+    [params.infectious_rounds] and [params.immune_rounds];
+    [params.persistent] makes [params.start] a PI animal, otherwise a
+    transient index case. Complete on full exposure or extinction.
+    Observes ["rounds"; "ever"; "infectious"; "extinct"]. *)
+val herd : Cobra.Kernel.t

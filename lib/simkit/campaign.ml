@@ -1,0 +1,313 @@
+type cell = {
+  index : int;
+  address : string;
+  meta : (string * Json.t) list;
+  run : master:int -> salt:int -> Json.t;
+}
+
+type config = {
+  dir : string;
+  master : int;
+  resume : bool;
+  max_cells : int option;
+  domains : int option;
+  progress : string -> unit;
+}
+
+type report = {
+  total : int;
+  ran : int;
+  reused : int;
+  corrupted : int;
+  remaining : int;
+  manifest : string option;
+}
+
+let grid_schema = "cobra.campaign-grid/1"
+let cell_schema = "cobra.campaign-cell/1"
+let manifest_schema = "cobra.campaign/1"
+
+let salt_of_address a = Seeds.salt_of_tag ("campaign:" ^ a)
+
+(* ---------- filesystem helpers ---------- *)
+
+let rec mkdir_p path =
+  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path)
+  then begin
+    mkdir_p (Filename.dirname path);
+    try Sys.mkdir path 0o755
+    with Sys_error _ when Sys.file_exists path -> ()
+  end
+
+(* Temp file + rename: a kill leaves either no record or a complete one,
+   never a half-written record masquerading as a checkpoint. *)
+let write_atomic path content =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc content);
+  Sys.rename tmp path
+
+let cell_file_name index = Printf.sprintf "cell_%05d.json" index
+
+let cell_rel_path index = Filename.concat "cells" (cell_file_name index)
+
+(* ---------- record shapes ---------- *)
+
+let grid_doc ~name ~master cells =
+  Json.Obj
+    [
+      ("schema", Json.String grid_schema);
+      ("campaign", Json.String name);
+      ("master", Json.Int master);
+      ( "cells",
+        Json.List
+          (List.map
+             (fun c ->
+               Json.Obj
+                 [ ("index", Json.Int c.index); ("address", Json.String c.address) ])
+             cells) );
+    ]
+
+let payload_digest payload = Digest.to_hex (Digest.string (Json.to_string payload))
+
+let cell_doc ~name ~master cell payload =
+  Json.Obj
+    [
+      ("schema", Json.String cell_schema);
+      ("campaign", Json.String name);
+      ("master", Json.Int master);
+      ("index", Json.Int cell.index);
+      ("address", Json.String cell.address);
+      ("salt", Json.Int (salt_of_address cell.address));
+      ("meta", Json.Obj cell.meta);
+      ("digest", Json.String (payload_digest payload));
+      ("payload", payload);
+    ]
+
+(* ---------- checkpoint validation ---------- *)
+
+(* A record is trusted only if every identity field matches the grid and
+   the stored digest matches the payload re-rendered: truncation and
+   parse corruption fail [of_file], content corruption fails the digest
+   or a field comparison. *)
+let validate_cell ~name ~master cell path =
+  let field key doc = Json.member key doc in
+  let check_string key expected doc =
+    match Option.bind (field key doc) Json.to_string_opt with
+    | Some s when s = expected -> Ok ()
+    | Some s -> Error (Printf.sprintf "%s %S does not match expected %S" key s expected)
+    | None -> Error (Printf.sprintf "missing %s" key)
+  in
+  let check_int key expected doc =
+    match field key doc with
+    | Some (Json.Int i) when i = expected -> Ok ()
+    | Some (Json.Int i) ->
+      Error (Printf.sprintf "%s %d does not match expected %d" key i expected)
+    | _ -> Error (Printf.sprintf "missing %s" key)
+  in
+  let ( let* ) = Result.bind in
+  match Json.of_file path with
+  | Error msg -> Error msg
+  | Ok doc ->
+    let* () = check_string "schema" cell_schema doc in
+    let* () = check_string "campaign" name doc in
+    let* () = check_int "master" master doc in
+    let* () = check_int "index" cell.index doc in
+    let* () = check_string "address" cell.address doc in
+    let* () = check_int "salt" (salt_of_address cell.address) doc in
+    (match (field "digest" doc, field "payload" doc) with
+    | Some (Json.String digest), Some payload ->
+      if payload_digest payload = digest then Ok ()
+      else Error "payload digest mismatch"
+    | _ -> Error "missing digest or payload")
+
+(* ---------- the engine ---------- *)
+
+let check_cells cells =
+  let seen = Hashtbl.create 64 in
+  let rec go i = function
+    | [] -> Ok ()
+    | c :: rest ->
+      if c.index <> i then
+        Error (Printf.sprintf "cell %d has index %d: indices must be positional" i c.index)
+      else if c.address = "" then Error (Printf.sprintf "cell %d: empty address" i)
+      else if Hashtbl.mem seen c.address then
+        Error (Printf.sprintf "duplicate cell address %S" c.address)
+      else begin
+        Hashtbl.add seen c.address ();
+        go (i + 1) rest
+      end
+  in
+  go 0 cells
+
+let load_or_init_grid config ~name ~cells =
+  let path = Filename.concat config.dir "grid.json" in
+  let desired = grid_doc ~name ~master:config.master cells in
+  if Sys.file_exists path then
+    if not config.resume then
+      Error
+        (Printf.sprintf
+           "campaign directory %s is already initialised; pass --resume to \
+            continue it or choose a fresh --out directory"
+           config.dir)
+    else
+      match Json.of_file path with
+      | Error msg -> Error (Printf.sprintf "unreadable %s: %s" path msg)
+      | Ok existing ->
+        if existing = desired then Ok ()
+        else
+          Error
+            (Printf.sprintf
+               "%s belongs to a different campaign (name, master seed or cell \
+                grid differ); refusing to mix checkpoints"
+               path)
+  else begin
+    write_atomic path (Json.to_string ~pretty:true desired ^ "\n");
+    Ok ()
+  end
+
+let write_manifest config ~name cells =
+  let entries =
+    List.map
+      (fun c ->
+        let rel = cell_rel_path c.index in
+        let digest = Digest.to_hex (Digest.file (Filename.concat config.dir rel)) in
+        Json.Obj
+          [
+            ("index", Json.Int c.index);
+            ("address", Json.String c.address);
+            ("salt", Json.Int (salt_of_address c.address));
+            ("file", Json.String rel);
+            ("digest", Json.String digest);
+          ])
+      cells
+  in
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.String manifest_schema);
+        ("campaign", Json.String name);
+        ("master", Json.Int config.master);
+        ("cells", Json.List entries);
+      ]
+  in
+  let path = Filename.concat config.dir "manifest.json" in
+  write_atomic path (Json.to_string ~pretty:true doc ^ "\n");
+  path
+
+let run config ~name ~cells =
+  match check_cells cells with
+  | Error _ as e -> e
+  | Ok () -> (
+    mkdir_p config.dir;
+    mkdir_p (Filename.concat config.dir "cells");
+    match load_or_init_grid config ~name ~cells with
+    | Error _ as e -> e
+    | Ok () ->
+      let total = List.length cells in
+      (* Classify every cell: a valid checkpoint is reused, anything
+         else (missing, or corrupt — which is reported, never silently
+         skipped) queues for execution. *)
+      let reused = ref 0 and corrupted = ref 0 in
+      let pending =
+        List.filter
+          (fun c ->
+            let path = Filename.concat config.dir (cell_rel_path c.index) in
+            if not (Sys.file_exists path) then true
+            else
+              match validate_cell ~name ~master:config.master c path with
+              | Ok () ->
+                incr reused;
+                false
+              | Error reason ->
+                incr corrupted;
+                config.progress
+                  (Printf.sprintf "corrupt checkpoint %s: %s — re-running cell %S"
+                     path reason c.address);
+                true)
+          cells
+      in
+      let to_run =
+        match config.max_cells with
+        | None -> Array.of_list pending
+        | Some m -> Array.of_list (List.filteri (fun i _ -> i < m) pending)
+      in
+      let n_run = Array.length to_run in
+      let mutex = Mutex.create () in
+      let events_path = Filename.concat config.dir "events.jsonl" in
+      let events =
+        open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 events_path
+      in
+      let t0 = Unix.gettimeofday () in
+      let finished = ref 0 in
+      let run_cell i =
+        let c = to_run.(i) in
+        let salt = salt_of_address c.address in
+        let payload = c.run ~master:config.master ~salt in
+        let doc = cell_doc ~name ~master:config.master c payload in
+        write_atomic
+          (Filename.concat config.dir (cell_rel_path c.index))
+          (Json.to_string ~pretty:true doc ^ "\n");
+        Mutex.lock mutex;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock mutex)
+          (fun () ->
+            incr finished;
+            let done_ = !finished in
+            let elapsed = Unix.gettimeofday () -. t0 in
+            let rate = if elapsed > 0.0 then float_of_int done_ /. elapsed else 0.0 in
+            let eta =
+              if rate > 0.0 then float_of_int (n_run - done_) /. rate else 0.0
+            in
+            config.progress
+              (Printf.sprintf "[%d/%d] cell #%d %s (%.1f cells/s, elapsed %.1fs, eta %.1fs)"
+                 done_ n_run c.index c.address rate elapsed eta);
+            let event =
+              Json.Obj
+                [
+                  ("event", Json.String "cell");
+                  ("index", Json.Int c.index);
+                  ("address", Json.String c.address);
+                  ("done", Json.Int done_);
+                  ("of", Json.Int n_run);
+                  ("elapsed_s", Json.Float elapsed);
+                  ("cells_per_s", Json.Float rate);
+                  ("eta_s", Json.Float eta);
+                ]
+            in
+            output_string events (Json.to_string event ^ "\n");
+            flush events)
+      in
+      let outcome =
+        Fun.protect
+          ~finally:(fun () -> close_out events)
+          (fun () ->
+            try
+              (match config.domains with
+              | Some d -> Pool.with_pool ~domains:d (fun pool -> Pool.run pool ~n:n_run run_cell)
+              | None -> Pool.run (Pool.default ()) ~n:n_run run_cell);
+              Ok ()
+            with exn ->
+              Error
+                (Printf.sprintf "cell execution failed: %s (completed cells are \
+                                 checkpointed; re-run with --resume)"
+                   (Printexc.to_string exn)))
+      in
+      match outcome with
+      | Error _ as e -> e
+      | Ok () ->
+        let remaining = List.length pending - n_run in
+        let manifest =
+          if remaining = 0 then Some (write_manifest config ~name cells) else None
+        in
+        Ok
+          {
+            total;
+            ran = n_run;
+            reused = !reused;
+            corrupted = !corrupted;
+            remaining;
+            manifest;
+          })

@@ -1,0 +1,78 @@
+(** Checkpointed sweep campaigns: run an addressed grid of cells with
+    one durable JSON record per completed cell, so a killed campaign
+    resumes by replaying only the missing cells.
+
+    A {e cell} is the unit of work and of checkpointing: it has a stable
+    [index] (its position in the expanded grid), a canonical [address]
+    string, and a [run] function that must be a deterministic function
+    of [(master, salt)]. The engine derives each cell's salt from its
+    address alone ([Seeds.salt_of_tag], never from execution order), so
+    results are independent of scheduling, domain count, and of how many
+    times the campaign was interrupted. Consequently the final
+    [manifest.json] and every cell record of an interrupted-then-resumed
+    campaign are {e byte-identical} to an uninterrupted run — the
+    property [test/simkit] and [test/sweep] pin.
+
+    On-disk layout under [config.dir]:
+    - [grid.json] — the campaign identity (schema {!grid_schema}): name,
+      master seed and the full address list. A resume refuses to run if
+      it does not match.
+    - [cells/cell_NNNNN.json] — one checkpoint record per completed cell
+      (schema {!cell_schema}) holding the cell's payload plus a content
+      digest. Written atomically (temp file + rename), so a kill leaves
+      either a complete record or none. Corrupt records — truncation,
+      parse failure, digest mismatch — are detected on resume, reported
+      through [config.progress], and re-run; they are never silently
+      trusted or skipped.
+    - [events.jsonl] — append-only observability stream: one record per
+      completed cell with elapsed time, cells/sec and ETA. This is the
+      only file containing wall-clock data; it is {e excluded} from the
+      byte-identity guarantee.
+    - [manifest.json] — written once every cell has a valid record
+      (schema {!manifest_schema}): the cells in index order with their
+      file names and digests. Deterministic and byte-stable. *)
+
+type cell = {
+  index : int;  (** position in the expanded grid; must equal the list position *)
+  address : string;  (** canonical, unique within the campaign *)
+  meta : (string * Json.t) list;  (** descriptive fields copied into the record *)
+  run : master:int -> salt:int -> Json.t;
+      (** compute the payload; must be deterministic in [(master, salt)]
+          and safe to call from any domain *)
+}
+
+type config = {
+  dir : string;  (** checkpoint/output directory, created if needed *)
+  master : int;  (** master seed, recorded in [grid.json] *)
+  resume : bool;  (** allow continuing an initialised directory *)
+  max_cells : int option;  (** run at most this many cells this invocation *)
+  domains : int option;  (** pool size; [None] uses [Pool.default ()] *)
+  progress : string -> unit;
+      (** live progress/diagnostic lines (already serialised by the
+          engine; safe to print directly) *)
+}
+
+type report = {
+  total : int;  (** cells in the grid *)
+  ran : int;  (** cells executed by this invocation *)
+  reused : int;  (** valid checkpoint records reused *)
+  corrupted : int;  (** invalid records detected (and re-queued) *)
+  remaining : int;  (** cells still missing after this invocation *)
+  manifest : string option;  (** manifest path once the campaign completed *)
+}
+
+val grid_schema : string
+val cell_schema : string
+val manifest_schema : string
+
+(** [salt_of_address a] is the trial-salt base of the cell addressed [a]
+    — a pure function of the address, shared with resumed runs. *)
+val salt_of_address : string -> int
+
+(** [run config ~name ~cells] executes the campaign. Errors (cell list
+    invariants, unreadable or mismatching [grid.json], refusing to reuse
+    an initialised directory without [resume]) are returned as
+    [Error _] without touching existing checkpoints. An exception raised
+    by a cell aborts the campaign after the in-flight cells finish;
+    completed records remain on disk for a later resume. *)
+val run : config -> name:string -> cells:cell list -> (report, string) result

@@ -1,0 +1,336 @@
+module K = Cobra.Kernel
+module Json = Simkit.Json
+
+type t = {
+  name : string;
+  graphs : Graph.Spec.t list;
+  kernels : K.t list;
+  branchings : Cobra.Branching.t list;
+  trials : int;
+  base : K.params;
+}
+
+let schema = "cobra.sweep-grid/1"
+
+let ( let* ) = Result.bind
+
+(* ---------- parsing ---------- *)
+
+(* Both grid forms (JSON file, inline string) funnel their scalar
+   parameters through this string-typed setter, so the two accept
+   exactly the same keys. *)
+let set_param p key v =
+  let int f =
+    match int_of_string_opt v with
+    | Some i -> Ok (f i)
+    | None -> Error (Printf.sprintf "%s: expected an integer, got %S" key v)
+  in
+  let flt f =
+    match float_of_string_opt v with
+    | Some x -> Ok (f x)
+    | None -> Error (Printf.sprintf "%s: expected a number, got %S" key v)
+  in
+  let bool f =
+    match String.lowercase_ascii v with
+    | "true" -> Ok (f true)
+    | "false" -> Ok (f false)
+    | _ -> Error (Printf.sprintf "%s: expected true or false, got %S" key v)
+  in
+  match key with
+  | "start" -> int (fun i -> { p with K.start = i })
+  | "walkers" -> int (fun i -> { p with K.walkers = i })
+  | "rate" -> flt (fun x -> { p with K.rate = x })
+  | "horizon" -> flt (fun x -> { p with K.horizon = x })
+  | "recovery" -> flt (fun x -> { p with K.recovery = x })
+  | "persistent" -> bool (fun b -> { p with K.persistent = b })
+  | "infectious_rounds" -> int (fun i -> { p with K.infectious_rounds = i })
+  | "immune_rounds" -> int (fun i -> { p with K.immune_rounds = i })
+  | "cap" -> int (fun i -> { p with K.cap = Some i })
+  | _ -> Error (Printf.sprintf "unknown parameter %S" key)
+
+let param_keys =
+  [ "start"; "walkers"; "rate"; "horizon"; "recovery"; "persistent";
+    "infectious_rounds"; "immune_rounds"; "cap" ]
+
+let parse_graphs strs =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | s :: rest -> (
+      match Graph.Spec.parse s with
+      | Ok spec -> go (spec :: acc) rest
+      | Error msg -> Error (Printf.sprintf "graph %S: %s" s msg))
+  in
+  go [] strs
+
+let parse_kernels strs =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | s :: rest -> (
+      match Kernels.find s with
+      | Some k -> go (k :: acc) rest
+      | None ->
+        Error
+          (Printf.sprintf "unknown kernel %S (available: %s)" s
+             (String.concat ", " (Kernels.names ()))))
+  in
+  go [] strs
+
+let parse_branchings strs =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | s :: rest -> (
+      match Cobra.Branching.of_string s with
+      | Ok b -> go (b :: acc) rest
+      | Error msg -> Error (Printf.sprintf "branching %S: %s" s msg))
+  in
+  go [] strs
+
+let validate grid =
+  if grid.graphs = [] then Error "grid needs at least one graph"
+  else if grid.kernels = [] then Error "grid needs at least one kernel"
+  else if grid.branchings = [] then Error "grid needs at least one branching"
+  else if grid.trials < 1 then Error "trials must be >= 1"
+  else Ok grid
+
+let of_json doc =
+  let str_field key = Option.bind (Json.member key doc) Json.to_string_opt in
+  let str_list key =
+    match Json.member key doc with
+    | None -> Ok None
+    | Some v -> (
+      match Json.to_list v with
+      | None -> Error (Printf.sprintf "%s: expected a list of strings" key)
+      | Some items ->
+        let strs = List.filter_map Json.to_string_opt items in
+        if List.length strs <> List.length items then
+          Error (Printf.sprintf "%s: expected a list of strings" key)
+        else Ok (Some strs))
+  in
+  let* () =
+    match str_field "schema" with
+    | None -> Ok ()
+    | Some s when s = schema -> Ok ()
+    | Some s -> Error (Printf.sprintf "unsupported grid schema %S (want %S)" s schema)
+  in
+  let* graphs_s = str_list "graphs" in
+  let* kernels_s = str_list "kernels" in
+  let* branchings_s = str_list "branching" in
+  let* graphs = parse_graphs (Option.value graphs_s ~default:[]) in
+  let* kernels = parse_kernels (Option.value kernels_s ~default:[]) in
+  let* branchings = parse_branchings (Option.value branchings_s ~default:[ "k=2" ]) in
+  let* trials =
+    match Json.member "trials" doc with
+    | None -> Ok 10
+    | Some (Json.Int i) -> Ok i
+    | Some _ -> Error "trials: expected an integer"
+  in
+  let* base =
+    match Json.member "params" doc with
+    | None -> Ok K.default_params
+    | Some (Json.Obj fields) ->
+      List.fold_left
+        (fun acc (key, v) ->
+          let* p = acc in
+          let* s =
+            match v with
+            | Json.Int i -> Ok (string_of_int i)
+            | Json.Float x -> Ok (Json.float_repr x)
+            | Json.Bool b -> Ok (string_of_bool b)
+            | Json.String s -> Ok s
+            | _ -> Error (Printf.sprintf "params.%s: expected a scalar" key)
+          in
+          set_param p key s)
+        (Ok K.default_params) fields
+    | Some _ -> Error "params: expected an object"
+  in
+  validate
+    {
+      name = Option.value (str_field "name") ~default:"sweep";
+      graphs;
+      kernels;
+      branchings;
+      trials;
+      base;
+    }
+
+let of_inline s =
+  let fields =
+    String.split_on_char ';' s
+    |> List.map String.trim
+    |> List.filter (fun f -> f <> "")
+  in
+  let split_kv f =
+    match String.index_opt f '=' with
+    | None -> Error (Printf.sprintf "%S: expected key=value" f)
+    | Some i ->
+      Ok (String.sub f 0 i, String.sub f (i + 1) (String.length f - i - 1))
+  in
+  let commas v = String.split_on_char ',' v |> List.map String.trim in
+  List.fold_left
+    (fun acc f ->
+      let* grid = acc in
+      let* key, v = split_kv f in
+      match key with
+      | "name" -> Ok { grid with name = v }
+      | "graphs" ->
+        let* graphs = parse_graphs (commas v) in
+        Ok { grid with graphs }
+      | "kernels" ->
+        let* kernels = parse_kernels (commas v) in
+        Ok { grid with kernels }
+      | "branching" ->
+        let* branchings = parse_branchings (commas v) in
+        Ok { grid with branchings }
+      | "trials" -> (
+        match int_of_string_opt v with
+        | Some i -> Ok { grid with trials = i }
+        | None -> Error (Printf.sprintf "trials: expected an integer, got %S" v))
+      | key when List.mem key param_keys ->
+        let* base = set_param grid.base key v in
+        Ok { grid with base }
+      | key -> Error (Printf.sprintf "unknown grid key %S" key))
+    (Ok
+       {
+         name = "sweep";
+         graphs = [];
+         kernels = [];
+         branchings = [ Cobra.Branching.cobra_k2 ];
+         trials = 10;
+         base = K.default_params;
+       })
+    fields
+  |> fun r -> Result.bind r validate
+
+let load s =
+  if Sys.file_exists s then
+    match Json.of_file s with
+    | Error msg -> Error (Printf.sprintf "%s: %s" s msg)
+    | Ok doc -> (
+      match of_json doc with
+      | Error msg -> Error (Printf.sprintf "%s: %s" s msg)
+      | Ok _ as ok -> ok)
+  else of_inline s
+
+(* ---------- expansion ---------- *)
+
+let params_meta trials base =
+  Json.Obj
+    [
+      ("trials", Json.Int trials);
+      ("start", Json.Int base.K.start);
+      ("walkers", Json.Int base.K.walkers);
+      ("rate", Json.Float base.K.rate);
+      ("horizon", Json.Float base.K.horizon);
+      ("recovery", Json.Float base.K.recovery);
+      ("persistent", Json.Bool base.K.persistent);
+      ("infectious_rounds", Json.Int base.K.infectious_rounds);
+      ("immune_rounds", Json.Int base.K.immune_rounds);
+      ("cap", match base.K.cap with Some c -> Json.Int c | None -> Json.Null);
+    ]
+
+(* One cell's payload: [trials] kernel runs on the streams
+   [salt + 0 .. salt + trials - 1] — pure in [(master, salt)], which is
+   what makes checkpoints reusable across interrupted runs. *)
+let run_cell ~spec ~kernel ~branching ~trials ~base ~address ~master ~salt =
+  let spec_str = Graph.Spec.to_string spec in
+  let grng = Simkit.Seeds.tagged_rng ~master ~tag:("sweep:graph:" ^ spec_str) in
+  match Graph.Spec.build spec grng with
+  | Error msg -> failwith (Printf.sprintf "%s: graph build failed: %s" address msg)
+  | Ok g ->
+    let params = { base with K.branching } in
+    let completed = ref 0 in
+    let rounds = Stats.Summary.create () in
+    let obs_keys = ref [] in
+    let obs : (string, Stats.Summary.t) Hashtbl.t = Hashtbl.create 8 in
+    for i = 0 to trials - 1 do
+      let rng = Simkit.Seeds.trial_rng ~master ~salt:(salt + i) in
+      let o = K.run kernel g params rng in
+      if o.K.completed then begin
+        incr completed;
+        Stats.Summary.add_int rounds o.K.rounds
+      end;
+      List.iter
+        (fun (key, v) ->
+          let s =
+            match Hashtbl.find_opt obs key with
+            | Some s -> s
+            | None ->
+              let s = Stats.Summary.create () in
+              Hashtbl.add obs key s;
+              obs_keys := key :: !obs_keys;
+              s
+          in
+          Stats.Summary.add s v)
+        o.K.observations
+    done;
+    let rounds_json =
+      if !completed = 0 then Json.Null
+      else
+        Json.Obj
+          [
+            ("mean", Json.Float (Stats.Summary.mean rounds));
+            ("min", Json.Float (Stats.Summary.min rounds));
+            ("max", Json.Float (Stats.Summary.max rounds));
+            ( "sd",
+              Json.Float
+                (if Stats.Summary.count rounds >= 2 then Stats.Summary.stddev rounds
+                 else 0.0) );
+          ]
+    in
+    let obs_json =
+      List.sort compare !obs_keys
+      |> List.map (fun key ->
+             (key, Json.Float (Stats.Summary.mean (Hashtbl.find obs key))))
+    in
+    Json.Obj
+      [
+        ("graph", Json.String spec_str);
+        ("n", Json.Int (Graph.Csr.n_vertices g));
+        ("kernel", Json.String kernel.K.name);
+        ("branching", Json.String (Cobra.Branching.to_arg branching));
+        ("trials", Json.Int trials);
+        ("completed", Json.Int !completed);
+        ("censored", Json.Int (trials - !completed));
+        ("rounds", rounds_json);
+        ("observations", Json.Obj obs_json);
+      ]
+
+let cells grid =
+  let cells = ref [] in
+  let index = ref 0 in
+  List.iter
+    (fun spec ->
+      List.iter
+        (fun kernel ->
+          List.iter
+            (fun branching ->
+              let address =
+                Printf.sprintf "g=%s;k=%s;b=%s" (Graph.Spec.to_string spec)
+                  kernel.K.name
+                  (Cobra.Branching.to_arg branching)
+              in
+              let meta =
+                [
+                  ("graph", Json.String (Graph.Spec.to_string spec));
+                  ("kernel", Json.String kernel.K.name);
+                  ("branching", Json.String (Cobra.Branching.to_arg branching));
+                  ("params", params_meta grid.trials grid.base);
+                ]
+              in
+              let cell =
+                {
+                  Simkit.Campaign.index = !index;
+                  address;
+                  meta;
+                  run =
+                    (fun ~master ~salt ->
+                      run_cell ~spec ~kernel ~branching ~trials:grid.trials
+                        ~base:grid.base ~address ~master ~salt);
+                }
+              in
+              incr index;
+              cells := cell :: !cells)
+            grid.branchings)
+        grid.kernels)
+    grid.graphs;
+  List.rev !cells

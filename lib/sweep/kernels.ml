@@ -1,0 +1,14 @@
+let all =
+  [
+    Cobra.Kernel.cobra;
+    Cobra.Kernel.bips;
+    Cobra.Kernel.rwalk;
+    Cobra.Kernel.push;
+    Epidemic.Kernels.sis;
+    Epidemic.Kernels.contact;
+    Epidemic.Kernels.herd;
+  ]
+
+let find name = List.find_opt (fun k -> k.Cobra.Kernel.name = name) all
+
+let names () = List.map (fun k -> k.Cobra.Kernel.name) all

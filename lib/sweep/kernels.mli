@@ -1,0 +1,12 @@
+(** The registry of every sweepable process kernel: the four from
+    [Cobra.Kernel] (cobra, bips, rwalk, push) plus the three from
+    [Epidemic.Kernels] (sis, contact, herd). Grids refer to kernels by
+    name through {!find}. *)
+
+val all : Cobra.Kernel.t list
+
+(** [find name] looks a kernel up by its [name] field. *)
+val find : string -> Cobra.Kernel.t option
+
+(** [names ()] lists the registered kernel names, registry order. *)
+val names : unit -> string list

@@ -463,6 +463,200 @@ let test_report_cells () =
   check Alcotest.bool "has plus-minus" true
     (String.length cell > 2 && String.contains cell '\xc2' || String.contains cell ' ')
 
+(* ---------- campaign ---------- *)
+
+(* Synthetic cells: payload is a pure function of (master, salt), with a
+   side counter so tests can observe how many cells actually executed. *)
+let synth_cells ?(executions = ref 0) n =
+  List.init n (fun index ->
+      {
+        Simkit.Campaign.index;
+        address = Printf.sprintf "cell=%d" index;
+        meta = [ ("kind", Simkit.Json.String "synthetic") ];
+        run =
+          (fun ~master ~salt ->
+            incr executions;
+            Simkit.Json.Obj
+              [
+                ("index", Simkit.Json.Int index);
+                ("value", Simkit.Json.Int ((master * 1_000_003) + salt));
+              ]);
+      })
+
+let campaign_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "campaign_test_%d_%d" (Unix.getpid ()) !counter)
+
+let campaign_config ?(resume = false) ?max_cells ?(progress = ignore) dir =
+  { Simkit.Campaign.dir; master = 11; resume; max_cells; domains = Some 1; progress }
+
+let slurp path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let spew path s =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let replace_once haystack needle replacement =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = if i + nn > nh then None
+    else if String.sub haystack i nn = needle then Some i else go (i + 1)
+  in
+  match go 0 with
+  | None -> haystack
+  | Some i ->
+    String.sub haystack 0 i ^ replacement
+    ^ String.sub haystack (i + nn) (nh - i - nn)
+
+let test_campaign_complete_run () =
+  let dir = campaign_dir () in
+  let executions = ref 0 in
+  match
+    Simkit.Campaign.run (campaign_config dir) ~name:"synth"
+      ~cells:(synth_cells ~executions 4)
+  with
+  | Error msg -> Alcotest.fail msg
+  | Ok r ->
+    check Alcotest.int "ran" 4 r.Simkit.Campaign.ran;
+    check Alcotest.int "executed" 4 !executions;
+    check Alcotest.int "remaining" 0 r.Simkit.Campaign.remaining;
+    (match r.Simkit.Campaign.manifest with
+    | None -> Alcotest.fail "expected a manifest"
+    | Some path -> (
+      match Simkit.Json.of_file path with
+      | Error msg -> Alcotest.fail msg
+      | Ok doc ->
+        check
+          Alcotest.(option string)
+          "schema"
+          (Some Simkit.Campaign.manifest_schema)
+          (Option.bind (Simkit.Json.member "schema" doc) Simkit.Json.to_string_opt);
+        let cells = Option.get (Simkit.Json.member "cells" doc) in
+        check Alcotest.int "manifest cells" 4
+          (List.length (Option.get (Simkit.Json.to_list cells)))));
+    check Alcotest.bool "grid.json written" true
+      (Sys.file_exists (Filename.concat dir "grid.json"))
+
+let test_campaign_refuses_without_resume () =
+  let dir = campaign_dir () in
+  let cells = synth_cells 3 in
+  (match Simkit.Campaign.run (campaign_config dir) ~name:"synth" ~cells with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg);
+  match Simkit.Campaign.run (campaign_config dir) ~name:"synth" ~cells with
+  | Ok _ -> Alcotest.fail "expected refusal to reuse an initialised dir"
+  | Error msg -> check Alcotest.bool "error mentions --resume" true (contains msg "--resume")
+
+let test_campaign_resume_reuses_all () =
+  let dir = campaign_dir () in
+  let executions = ref 0 in
+  let cells = synth_cells ~executions 5 in
+  (match Simkit.Campaign.run (campaign_config dir) ~name:"synth" ~cells with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg);
+  let before = slurp (Filename.concat dir "manifest.json") in
+  match Simkit.Campaign.run (campaign_config ~resume:true dir) ~name:"synth" ~cells with
+  | Error msg -> Alcotest.fail msg
+  | Ok r ->
+    check Alcotest.int "nothing re-ran" 0 r.Simkit.Campaign.ran;
+    check Alcotest.int "all reused" 5 r.Simkit.Campaign.reused;
+    check Alcotest.int "executions unchanged" 5 !executions;
+    check Alcotest.string "manifest unchanged"
+      before
+      (slurp (Filename.concat dir "manifest.json"))
+
+let test_campaign_max_cells_then_resume () =
+  let dir_full = campaign_dir () and dir_part = campaign_dir () in
+  let cells = synth_cells 6 in
+  (match Simkit.Campaign.run (campaign_config dir_full) ~name:"synth" ~cells with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg);
+  (match
+     Simkit.Campaign.run (campaign_config ~max_cells:2 dir_part) ~name:"synth" ~cells
+   with
+  | Error msg -> Alcotest.fail msg
+  | Ok r ->
+    check Alcotest.int "truncated" 2 r.Simkit.Campaign.ran;
+    check Alcotest.int "remaining" 4 r.Simkit.Campaign.remaining;
+    check Alcotest.bool "no manifest yet" true (r.Simkit.Campaign.manifest = None));
+  match
+    Simkit.Campaign.run (campaign_config ~resume:true dir_part) ~name:"synth" ~cells
+  with
+  | Error msg -> Alcotest.fail msg
+  | Ok r ->
+    check Alcotest.int "finished the rest" 4 r.Simkit.Campaign.ran;
+    check Alcotest.string "manifest byte-identical to uninterrupted"
+      (slurp (Filename.concat dir_full "manifest.json"))
+      (slurp (Filename.concat dir_part "manifest.json"));
+    for i = 0 to 5 do
+      let f = Printf.sprintf "cells/cell_%05d.json" i in
+      check Alcotest.string ("cell byte-identical: " ^ f)
+        (slurp (Filename.concat dir_full f))
+        (slurp (Filename.concat dir_part f))
+    done
+
+let test_campaign_corrupt_checkpoint_rerun () =
+  let dir = campaign_dir () in
+  let cells = synth_cells 4 in
+  (match Simkit.Campaign.run (campaign_config ~max_cells:3 dir) ~name:"synth" ~cells with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg);
+  let victim = Filename.concat dir "cells/cell_00001.json" in
+  let good = slurp victim in
+  (* Flip the payload without updating the digest: must be detected. *)
+  spew victim (replace_once good "\"value\"" "\"velue\"");
+  let lines = ref [] in
+  match
+    Simkit.Campaign.run
+      (campaign_config ~resume:true ~progress:(fun l -> lines := l :: !lines) dir)
+      ~name:"synth" ~cells
+  with
+  | Error msg -> Alcotest.fail msg
+  | Ok r ->
+    check Alcotest.int "corrupted detected" 1 r.Simkit.Campaign.corrupted;
+    check Alcotest.int "reused the valid ones" 2 r.Simkit.Campaign.reused;
+    check Alcotest.int "re-ran corrupt + missing" 2 r.Simkit.Campaign.ran;
+    check Alcotest.bool "corruption reported" true
+      (List.exists (fun l -> contains l "corrupt") !lines);
+    check Alcotest.string "corrupt record re-written with original bytes" good
+      (slurp victim)
+
+let test_campaign_rejects_bad_cells () =
+  let dir = campaign_dir () in
+  let bad_index =
+    List.map
+      (fun c -> { c with Simkit.Campaign.index = c.Simkit.Campaign.index + 1 })
+      (synth_cells 2)
+  in
+  (match Simkit.Campaign.run (campaign_config dir) ~name:"synth" ~cells:bad_index with
+  | Ok _ -> Alcotest.fail "expected non-positional indices to be rejected"
+  | Error _ -> ());
+  let dup =
+    List.map (fun c -> { c with Simkit.Campaign.address = "same" }) (synth_cells 2)
+  in
+  match Simkit.Campaign.run (campaign_config dir) ~name:"synth" ~cells:dup with
+  | Ok _ -> Alcotest.fail "expected duplicate addresses to be rejected"
+  | Error _ -> ()
+
+let test_campaign_salt_is_address_pure () =
+  check Alcotest.int "same address, same salt"
+    (Simkit.Campaign.salt_of_address "g=cycle:8;k=cobra;b=k=2")
+    (Simkit.Campaign.salt_of_address "g=cycle:8;k=cobra;b=k=2");
+  check Alcotest.bool "different address, different salt" true
+    (Simkit.Campaign.salt_of_address "cell=0"
+     <> Simkit.Campaign.salt_of_address "cell=1")
+
 let () =
   Alcotest.run "simkit"
     [
@@ -527,5 +721,22 @@ let () =
           Alcotest.test_case "json file parses" `Quick test_sink_json_writes_parseable_doc;
           Alcotest.test_case "csv raw values" `Quick test_sink_csv_writes_tables;
           Alcotest.test_case "manifest" `Quick test_sink_manifest;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "complete run writes manifest" `Quick
+            test_campaign_complete_run;
+          Alcotest.test_case "refuses initialised dir without --resume" `Quick
+            test_campaign_refuses_without_resume;
+          Alcotest.test_case "resume reuses every checkpoint" `Quick
+            test_campaign_resume_reuses_all;
+          Alcotest.test_case "max-cells then resume is byte-identical" `Quick
+            test_campaign_max_cells_then_resume;
+          Alcotest.test_case "corrupt checkpoint detected and re-run" `Quick
+            test_campaign_corrupt_checkpoint_rerun;
+          Alcotest.test_case "rejects malformed cell lists" `Quick
+            test_campaign_rejects_bad_cells;
+          Alcotest.test_case "salt is pure in the address" `Quick
+            test_campaign_salt_is_address_pure;
         ] );
     ]

@@ -1,0 +1,320 @@
+(* Tests for the sweep subsystem: the Cobra.Kernel instances must
+   consume exactly the RNG streams of the historical one-shot drivers
+   (so kernel-routed results are bit-for-bit the old results), grids
+   must parse identically from JSON and inline forms, and checkpointed
+   campaigns must resume to byte-identical artifacts. *)
+
+module K = Cobra.Kernel
+module B = Cobra.Branching
+module Gen = Graph.Gen
+module Rng = Prng.Rng
+module Json = Simkit.Json
+
+let check = Alcotest.check
+
+(* ---------- kernel/one-shot stream equivalence ----------
+
+   Two independently created RNGs with the same seed produce the same
+   stream; one feeds the kernel, one the historical driver. *)
+
+let p0 = K.default_params
+
+let test_cobra_stream () =
+  let g = Gen.cycle 16 in
+  for seed = 1 to 5 do
+    let o = K.run K.cobra g p0 (Rng.create seed) in
+    let expect = Cobra.Process.cover_time g ~branching:p0.K.branching ~start:0 (Rng.create seed) in
+    check Alcotest.(option int) "cover time" expect
+      (if o.K.completed then Some o.K.rounds else None)
+  done
+
+let test_bips_stream () =
+  let g = Gen.complete 12 in
+  for seed = 1 to 5 do
+    let o = K.run K.bips g p0 (Rng.create seed) in
+    let expect = Cobra.Bips.infection_time g ~branching:p0.K.branching ~source:0 (Rng.create seed) in
+    check Alcotest.(option int) "infection time" expect
+      (if o.K.completed then Some o.K.rounds else None)
+  done
+
+let test_rwalk_stream () =
+  let g = Gen.cycle 10 in
+  for seed = 1 to 5 do
+    let o = K.run K.rwalk g p0 (Rng.create seed) in
+    let expect = Cobra.Rwalk.cover_time g ~start:0 (Rng.create seed) in
+    check Alcotest.(option int) "walk cover time" expect
+      (if o.K.completed then Some o.K.rounds else None)
+  done
+
+let test_rwalk_multi_stream () =
+  let g = Gen.cycle 12 in
+  let params = { p0 with K.walkers = 3 } in
+  for seed = 1 to 5 do
+    let o = K.run K.rwalk g params (Rng.create seed) in
+    let expect = Cobra.Rwalk.multi_cover_time g ~walkers:3 ~start:0 (Rng.create seed) in
+    check Alcotest.(option int) "multi-walk cover time" expect
+      (if o.K.completed then Some o.K.rounds else None)
+  done
+
+let test_push_stream () =
+  let g = Gen.complete 15 in
+  for seed = 1 to 5 do
+    let o = K.run K.push g p0 (Rng.create seed) in
+    match Cobra.Push.push g ~start:0 (Rng.create seed) with
+    | None -> Alcotest.fail "one-shot push capped unexpectedly"
+    | Some e ->
+      check Alcotest.bool "completed" true o.K.completed;
+      check Alcotest.int "rounds" e.Cobra.Push.rounds o.K.rounds;
+      check (Alcotest.option (Alcotest.float 0.0)) "transmissions"
+        (Some (float_of_int e.Cobra.Push.transmissions))
+        (K.observation o "transmissions")
+  done
+
+let test_sis_stream () =
+  let g = Gen.complete 10 in
+  let params = { p0 with K.recovery = 0.4 } in
+  for seed = 1 to 8 do
+    let o = K.run Epidemic.Kernels.sis g params (Rng.create seed) in
+    let expect =
+      Epidemic.Sis.run g
+        { Epidemic.Sis.contacts = params.K.branching; recovery = params.K.recovery }
+        ~persistent:None ~start:[ 0 ] (Rng.create seed)
+    in
+    match expect with
+    | Epidemic.Sis.Extinct t ->
+      check Alcotest.int "extinct round" t o.K.rounds;
+      check (Alcotest.option (Alcotest.float 0.0)) "extinct flag" (Some 1.0)
+        (K.observation o "extinct")
+    | Epidemic.Sis.Everyone_infected_once t ->
+      check Alcotest.int "saturation round" t o.K.rounds;
+      check (Alcotest.option (Alcotest.float 0.0)) "ever" (Some 10.0)
+        (K.observation o "ever")
+    | Epidemic.Sis.Censored _ -> check Alcotest.bool "capped" false o.K.completed
+  done
+
+let test_contact_stream () =
+  let g = Gen.complete 8 in
+  let params = { p0 with K.rate = 1.5; horizon = 50.0 } in
+  for seed = 1 to 8 do
+    let o = K.run Epidemic.Kernels.contact g params (Rng.create seed) in
+    let e =
+      Epidemic.Contact.run ~horizon:50.0 g ~infection_rate:1.5 ~persistent:None
+        ~start:[ 0 ] (Rng.create seed)
+    in
+    let code, time =
+      match e.Epidemic.Contact.outcome with
+      | Epidemic.Contact.Died_out t -> (0.0, t)
+      | Epidemic.Contact.Fully_exposed t -> (1.0, t)
+      | Epidemic.Contact.Still_active t -> (2.0, t)
+    in
+    check (Alcotest.option (Alcotest.float 0.0)) "outcome" (Some code)
+      (K.observation o "outcome");
+    check (Alcotest.option (Alcotest.float 1e-12)) "time" (Some time)
+      (K.observation o "time");
+    check (Alcotest.option (Alcotest.float 0.0)) "events"
+      (Some (float_of_int e.Epidemic.Contact.events))
+      (K.observation o "events")
+  done
+
+let test_herd_stream () =
+  let g = Gen.ring_of_cliques ~cliques:3 ~clique_size:5 in
+  List.iter
+    (fun persistent ->
+      let params = { p0 with K.persistent } in
+      for seed = 1 to 8 do
+        let o = K.run Epidemic.Kernels.herd g params (Rng.create seed) in
+        let hp =
+          { Epidemic.Herd.contacts = B.cobra_k2; infectious_rounds = 2; immune_rounds = 8 }
+        in
+        let pi = if persistent then [ 0 ] else [] in
+        let index_cases = if persistent then [] else [ 0 ] in
+        match Epidemic.Herd.run g hp ~pi ~index_cases (Rng.create seed) with
+        | Epidemic.Herd.Herd_fully_exposed t ->
+          check Alcotest.int "full-exposure round" t o.K.rounds;
+          check (Alcotest.option (Alcotest.float 0.0)) "ever" (Some 15.0)
+            (K.observation o "ever")
+        | Epidemic.Herd.Infection_extinct t ->
+          check Alcotest.int "extinction round" t o.K.rounds;
+          check (Alcotest.option (Alcotest.float 0.0)) "extinct flag" (Some 1.0)
+            (K.observation o "extinct")
+        | Epidemic.Herd.No_resolution _ ->
+          check Alcotest.bool "capped" false o.K.completed
+      done)
+    [ false; true ]
+
+let test_registry_covers_all () =
+  check Alcotest.(list string) "kernel names"
+    [ "cobra"; "bips"; "rwalk"; "push"; "sis"; "contact"; "herd" ]
+    (Sweep.Kernels.names ());
+  List.iter
+    (fun name ->
+      match Sweep.Kernels.find name with
+      | Some k -> check Alcotest.string "find returns the named kernel" name k.K.name
+      | None -> Alcotest.fail ("kernel not found: " ^ name))
+    (Sweep.Kernels.names ())
+
+(* ---------- grid parsing ---------- *)
+
+let addresses grid =
+  List.map (fun c -> c.Simkit.Campaign.address) (Sweep.Grid.cells grid)
+
+let test_grid_inline_json_agree () =
+  let inline =
+    "name=demo;graphs=cycle:12,complete:8;kernels=cobra,sis;branching=k=2,k=3;\
+     trials=4;recovery=0.25"
+  in
+  let json =
+    {|{"schema": "cobra.sweep-grid/1", "name": "demo",
+       "graphs": ["cycle:12", "complete:8"], "kernels": ["cobra", "sis"],
+       "branching": ["k=2", "k=3"], "trials": 4,
+       "params": {"recovery": 0.25}}|}
+  in
+  match (Sweep.Grid.of_inline inline, Json.of_string json) with
+  | Ok gi, Ok doc -> (
+    match Sweep.Grid.of_json doc with
+    | Ok gj ->
+      check Alcotest.string "name" gi.Sweep.Grid.name gj.Sweep.Grid.name;
+      check Alcotest.int "trials" gi.Sweep.Grid.trials gj.Sweep.Grid.trials;
+      check (Alcotest.float 0.0) "recovery" gi.Sweep.Grid.base.K.recovery
+        gj.Sweep.Grid.base.K.recovery;
+      check Alcotest.(list string) "same cells" (addresses gi) (addresses gj);
+      check Alcotest.int "cell count" 8 (List.length (addresses gi))
+    | Error msg -> Alcotest.fail ("json grid: " ^ msg))
+  | Error msg, _ -> Alcotest.fail ("inline grid: " ^ msg)
+  | _, Error msg -> Alcotest.fail ("json parse: " ^ msg)
+
+let test_grid_errors () =
+  let fails s =
+    match Sweep.Grid.of_inline s with
+    | Ok _ -> Alcotest.fail ("expected a parse error: " ^ s)
+    | Error _ -> ()
+  in
+  fails "kernels=cobra";                           (* no graphs *)
+  fails "graphs=cycle:8";                          (* no kernels *)
+  fails "graphs=cycle:8;kernels=nonesuch";         (* unknown kernel *)
+  fails "graphs=cycle:8;kernels=cobra;trials=0";   (* trials < 1 *)
+  fails "graphs=cycle:8;kernels=cobra;bogus=1";    (* unknown key *)
+  fails "graphs=not-a-graph;kernels=cobra"         (* bad graph spec *)
+
+let test_grid_addresses_unique () =
+  match
+    Sweep.Grid.of_inline
+      "graphs=cycle:8,cycle:9,complete:5;kernels=cobra,bips,push;branching=k=2,k=3"
+  with
+  | Error msg -> Alcotest.fail msg
+  | Ok grid ->
+    let addrs = addresses grid in
+    check Alcotest.int "18 cells" 18 (List.length addrs);
+    check Alcotest.int "unique addresses" 18
+      (List.length (List.sort_uniq compare addrs));
+    List.iteri
+      (fun i c -> check Alcotest.int "positional index" i c.Simkit.Campaign.index)
+      (Sweep.Grid.cells grid)
+
+let test_cell_payload_deterministic () =
+  match Sweep.Grid.of_inline "graphs=cycle:12;kernels=cobra,sis;trials=3" with
+  | Error msg -> Alcotest.fail msg
+  | Ok grid ->
+    List.iter
+      (fun c ->
+        let salt = Simkit.Campaign.salt_of_address c.Simkit.Campaign.address in
+        let a = Json.to_string (c.Simkit.Campaign.run ~master:7 ~salt) in
+        let b = Json.to_string (c.Simkit.Campaign.run ~master:7 ~salt) in
+        check Alcotest.string "payload is pure in (master, salt)" a b;
+        let other = Json.to_string (c.Simkit.Campaign.run ~master:8 ~salt) in
+        check Alcotest.bool "payload depends on master" true (a <> other))
+      (Sweep.Grid.cells grid)
+
+(* ---------- campaign resume equivalence (end to end) ---------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "sweep_test_%d_%d" (Unix.getpid ()) !counter)
+    in
+    dir
+
+let run_campaign ~dir ~domains ~resume ?max_cells cells =
+  Simkit.Campaign.run
+    { Simkit.Campaign.dir; master = 9; resume; max_cells; domains = Some domains;
+      progress = ignore }
+    ~name:"equiv" ~cells
+
+let test_resume_byte_identical () =
+  List.iter
+    (fun domains ->
+      match
+        Sweep.Grid.of_inline
+          "name=equiv;graphs=cycle:12,complete:8;kernels=cobra,bips,sis;trials=3"
+      with
+      | Error msg -> Alcotest.fail msg
+      | Ok grid -> (
+        let cells = Sweep.Grid.cells grid in
+        let dir_a = fresh_dir () and dir_b = fresh_dir () in
+        (* A: uninterrupted.  B: killed after 2 cells, then resumed. *)
+        (match run_campaign ~dir:dir_a ~domains ~resume:false cells with
+        | Ok r -> check Alcotest.int "A complete" 0 r.Simkit.Campaign.remaining
+        | Error msg -> Alcotest.fail msg);
+        (match run_campaign ~dir:dir_b ~domains ~resume:false ~max_cells:2 cells with
+        | Ok r ->
+          check Alcotest.int "B interrupted with cells left" 4
+            r.Simkit.Campaign.remaining
+        | Error msg -> Alcotest.fail msg);
+        match run_campaign ~dir:dir_b ~domains ~resume:true cells with
+        | Error msg -> Alcotest.fail msg
+        | Ok r ->
+          check Alcotest.int "B resumed to completion" 0 r.Simkit.Campaign.remaining;
+          check Alcotest.int "B reused the checkpointed cells" 2
+            r.Simkit.Campaign.reused;
+          check Alcotest.string "manifest byte-identical"
+            (read_file (Filename.concat dir_a "manifest.json"))
+            (read_file (Filename.concat dir_b "manifest.json"));
+          List.iter
+            (fun c ->
+              let f =
+                Printf.sprintf "cells/cell_%05d.json" c.Simkit.Campaign.index
+              in
+              check Alcotest.string ("cell byte-identical: " ^ f)
+                (read_file (Filename.concat dir_a f))
+                (read_file (Filename.concat dir_b f)))
+            cells))
+    [ 1; 2 ]
+
+let () =
+  Alcotest.run "sweep"
+    [
+      ( "kernel-stream-equivalence",
+        [
+          Alcotest.test_case "cobra" `Quick test_cobra_stream;
+          Alcotest.test_case "bips" `Quick test_bips_stream;
+          Alcotest.test_case "rwalk" `Quick test_rwalk_stream;
+          Alcotest.test_case "rwalk multi" `Quick test_rwalk_multi_stream;
+          Alcotest.test_case "push" `Quick test_push_stream;
+          Alcotest.test_case "sis" `Quick test_sis_stream;
+          Alcotest.test_case "contact" `Quick test_contact_stream;
+          Alcotest.test_case "herd" `Quick test_herd_stream;
+          Alcotest.test_case "registry covers all" `Quick test_registry_covers_all;
+        ] );
+      ( "grid",
+        [
+          Alcotest.test_case "inline and json agree" `Quick test_grid_inline_json_agree;
+          Alcotest.test_case "parse errors" `Quick test_grid_errors;
+          Alcotest.test_case "addresses unique" `Quick test_grid_addresses_unique;
+          Alcotest.test_case "cell payload deterministic" `Quick
+            test_cell_payload_deterministic;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "resume is byte-identical (domains 1 and 2)" `Quick
+            test_resume_byte_identical;
+        ] );
+    ]
