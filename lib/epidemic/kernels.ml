@@ -37,8 +37,12 @@ let sis =
 (* The contact process is event-driven with no round structure: one
    kernel step performs the entire simulation (to absorption or the
    horizon) on the given stream, consuming exactly [Contact.run]'s
-   draws. [Still_active] maps to "capped", matching the discrete
-   kernels' censoring semantics. *)
+   draws; further steps are draw-free no-ops. [Still_active] maps to
+   "capped", matching the discrete kernels' censoring semantics.
+   [rounds] counts step invocations — not the single run — so the
+   driver loop's [rounds < cap] test reaches any caller-supplied cap
+   and terminates even when a [Still_active] outcome keeps
+   [is_complete] false. *)
 let contact =
   {
     K.name = "contact";
@@ -47,11 +51,13 @@ let contact =
     create =
       (fun g params ->
         let result = ref None in
+        let steps = ref 0 in
         let persistent = if params.K.persistent then Some params.K.start else None in
         let start = if params.K.persistent then [] else [ params.K.start ] in
         {
           K.step =
             (fun rng ->
+              incr steps;
               if !result = None then
                 result :=
                   Some
@@ -64,7 +70,7 @@ let contact =
                 ->
                 true
               | Some { Contact.outcome = Contact.Still_active _; _ } | None -> false);
-          rounds = (fun () -> if !result = None then 0 else 1);
+          rounds = (fun () -> !steps);
           observe =
             (fun () ->
               match !result with
@@ -77,7 +83,7 @@ let contact =
                   | Contact.Still_active t -> (2.0, t)
                 in
                 [
-                  ("rounds", 1.0);
+                  ("rounds", fi !steps);
                   ("outcome", code);
                   ("time", time);
                   ("ever", fi r.Contact.ever_infected);

@@ -23,7 +23,7 @@ type report = {
   manifest : string option;
 }
 
-let grid_schema = "cobra.campaign-grid/1"
+let grid_schema = "cobra.campaign-grid/2"
 let cell_schema = "cobra.campaign-cell/1"
 let manifest_schema = "cobra.campaign/1"
 
@@ -55,6 +55,10 @@ let cell_rel_path index = Filename.concat "cells" (cell_file_name index)
 
 (* ---------- record shapes ---------- *)
 
+(* Each cell's [meta] is part of the campaign identity: addresses alone
+   encode only the grid axes, so without the meta a resume after changing
+   e.g. trial counts or base parameters would silently reuse stale
+   checkpoints. *)
 let grid_doc ~name ~master cells =
   Json.Obj
     [
@@ -66,7 +70,11 @@ let grid_doc ~name ~master cells =
           (List.map
              (fun c ->
                Json.Obj
-                 [ ("index", Json.Int c.index); ("address", Json.String c.address) ])
+                 [
+                   ("index", Json.Int c.index);
+                   ("address", Json.String c.address);
+                   ("meta", Json.Obj c.meta);
+                 ])
              cells) );
     ]
 
@@ -117,6 +125,14 @@ let validate_cell ~name ~master cell path =
     let* () = check_int "index" cell.index doc in
     let* () = check_string "address" cell.address doc in
     let* () = check_int "salt" (salt_of_address cell.address) doc in
+    let* () =
+      (* Structural comparison is sound because [Json.to_string]/[of_file]
+         round-trip value-preservingly (floats keep their tag). *)
+      match field "meta" doc with
+      | Some m when m = Json.Obj cell.meta -> Ok ()
+      | Some _ -> Error "meta does not match the expected cell meta"
+      | None -> Error "missing meta"
+    in
     (match (field "digest" doc, field "payload" doc) with
     | Some (Json.String digest), Some payload ->
       if payload_digest payload = digest then Ok ()
@@ -160,8 +176,8 @@ let load_or_init_grid config ~name ~cells =
         else
           Error
             (Printf.sprintf
-               "%s belongs to a different campaign (name, master seed or cell \
-                grid differ); refusing to mix checkpoints"
+               "%s belongs to a different campaign (name, master seed, cell \
+                grid or cell parameters differ); refusing to mix checkpoints"
                path)
   else begin
     write_atomic path (Json.to_string ~pretty:true desired ^ "\n");

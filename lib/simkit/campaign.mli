@@ -15,8 +15,10 @@
 
     On-disk layout under [config.dir]:
     - [grid.json] — the campaign identity (schema {!grid_schema}): name,
-      master seed and the full address list. A resume refuses to run if
-      it does not match.
+      master seed and the full cell list, each with its address {e and}
+      its [meta] (which for sweep grids carries trial counts and base
+      parameters). A resume refuses to run if any of it does not match,
+      so changing e.g. [trials] cannot silently reuse stale checkpoints.
     - [cells/cell_NNNNN.json] — one checkpoint record per completed cell
       (schema {!cell_schema}) holding the cell's payload plus a content
       digest. Written atomically (temp file + rename), so a kill leaves
@@ -35,7 +37,10 @@
 type cell = {
   index : int;  (** position in the expanded grid; must equal the list position *)
   address : string;  (** canonical, unique within the campaign *)
-  meta : (string * Json.t) list;  (** descriptive fields copied into the record *)
+  meta : (string * Json.t) list;
+      (** identity-bearing fields (e.g. trial count, base parameters):
+          recorded in [grid.json] and in each cell record, and compared
+          on resume — a checkpoint with different meta is rejected *)
   run : master:int -> salt:int -> Json.t;
       (** compute the payload; must be deterministic in [(master, salt)]
           and safe to call from any domain *)

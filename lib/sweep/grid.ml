@@ -209,6 +209,13 @@ let load s =
       match of_json doc with
       | Error msg -> Error (Printf.sprintf "%s: %s" s msg)
       | Ok _ as ok -> ok)
+  else if Filename.check_suffix s ".json" || not (String.contains s '=') then
+    (* Every inline grid contains at least one '='; anything without one
+       (or ending in .json) is a file path — report the missing file
+       rather than a baffling inline-parse error. *)
+    Error
+      (Printf.sprintf
+         "%s: no such file (inline grids look like \"graphs=...;kernels=...\")" s)
   else of_inline s
 
 (* ---------- expansion ---------- *)

@@ -41,7 +41,9 @@ val of_json : Simkit.Json.t -> (t, string) result
 val of_inline : string -> (t, string) result
 
 (** [load s] reads [s] as a file when it exists on disk, otherwise
-    parses it as an inline grid. *)
+    parses it as an inline grid. A non-existent [s] that looks like a
+    file path (ends in [.json], or contains no ['=']) is reported as a
+    missing file instead of being fed to the inline parser. *)
 val load : string -> (t, string) result
 
 (** [cells grid] expands the grid into campaign cells (addresses unique,

@@ -632,6 +632,24 @@ let test_campaign_corrupt_checkpoint_rerun () =
     check Alcotest.string "corrupt record re-written with original bytes" good
       (slurp victim)
 
+(* The payload digest does not cover the meta block, so a tampered (or
+   stale) meta must be caught by the field-for-field identity check. *)
+let test_campaign_meta_mismatch_detected () =
+  let dir = campaign_dir () in
+  let cells = synth_cells 3 in
+  (match Simkit.Campaign.run (campaign_config dir) ~name:"synth" ~cells with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg);
+  let victim = Filename.concat dir "cells/cell_00001.json" in
+  let good = slurp victim in
+  spew victim (replace_once good "\"synthetic\"" "\"synthetiq\"");
+  match Simkit.Campaign.run (campaign_config ~resume:true dir) ~name:"synth" ~cells with
+  | Error msg -> Alcotest.fail msg
+  | Ok r ->
+    check Alcotest.int "meta mismatch detected" 1 r.Simkit.Campaign.corrupted;
+    check Alcotest.int "tampered cell re-ran" 1 r.Simkit.Campaign.ran;
+    check Alcotest.string "record re-written with original bytes" good (slurp victim)
+
 let test_campaign_rejects_bad_cells () =
   let dir = campaign_dir () in
   let bad_index =
@@ -734,6 +752,8 @@ let () =
             test_campaign_max_cells_then_resume;
           Alcotest.test_case "corrupt checkpoint detected and re-run" `Quick
             test_campaign_corrupt_checkpoint_rerun;
+          Alcotest.test_case "tampered meta detected and re-run" `Quick
+            test_campaign_meta_mismatch_detected;
           Alcotest.test_case "rejects malformed cell lists" `Quick
             test_campaign_rejects_bad_cells;
           Alcotest.test_case "salt is pure in the address" `Quick

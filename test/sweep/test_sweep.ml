@@ -116,6 +116,25 @@ let test_contact_stream () =
       (K.observation o "events")
   done
 
+(* Regression: contact's single event-driven run used to leave [rounds]
+   pinned at 1 with [is_complete] false on a [Still_active] outcome, so
+   any caller-supplied cap > 1 (reachable from a sweep grid's [cap] key,
+   which applies to every kernel) spun [K.run]'s loop forever. The
+   kernel now counts step invocations, so the loop reaches the cap and
+   reports the run as censored. *)
+let test_contact_cap_terminates () =
+  let g = Gen.complete 8 in
+  (* Persistent source (can't die out), tiny rate and horizon: the run
+     ends [Still_active] for this seed. *)
+  let params =
+    { p0 with K.rate = 0.01; horizon = 0.001; persistent = true; cap = Some 50 }
+  in
+  let o = K.run Epidemic.Kernels.contact g params (Rng.create 1) in
+  check Alcotest.bool "censored, not complete" false o.K.completed;
+  check Alcotest.int "rounds hit the cap" 50 o.K.rounds;
+  check (Alcotest.option (Alcotest.float 0.0)) "still-active outcome" (Some 2.0)
+    (K.observation o "outcome")
+
 let test_herd_stream () =
   let g = Gen.ring_of_cliques ~cliques:3 ~clique_size:5 in
   List.iter
@@ -211,6 +230,28 @@ let test_grid_addresses_unique () =
       (fun i c -> check Alcotest.int "positional index" i c.Simkit.Campaign.index)
       (Sweep.Grid.cells grid)
 
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+(* A typo'd --grid file path must fail as a missing file, not fall
+   through to the inline parser's "expected key=value" errors. *)
+let test_load_missing_file () =
+  let expect_missing s =
+    match Sweep.Grid.load s with
+    | Ok _ -> Alcotest.fail ("expected a missing-file error: " ^ s)
+    | Error msg ->
+      check Alcotest.bool ("mentions no such file: " ^ msg) true
+        (contains msg "no such file")
+  in
+  expect_missing "/nonexistent/sweep.json";
+  expect_missing "sweep.jsonn";
+  (* Inline strings still load when they are not paths. *)
+  match Sweep.Grid.load "graphs=cycle:8;kernels=cobra" with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail ("inline via load: " ^ msg)
+
 let test_cell_payload_deterministic () =
   match Sweep.Grid.of_inline "graphs=cycle:12;kernels=cobra,sis;trials=3" with
   | Error msg -> Alcotest.fail msg
@@ -289,6 +330,35 @@ let test_resume_byte_identical () =
             cells))
     [ 1; 2 ]
 
+(* Regression: the campaign identity must cover trials and base
+   parameters, which cell addresses alone don't encode — resuming after
+   changing them must refuse, not silently reuse stale checkpoints. *)
+let test_resume_refuses_changed_params () =
+  let grid_of s =
+    match Sweep.Grid.of_inline s with
+    | Ok g -> g
+    | Error msg -> Alcotest.fail msg
+  in
+  let base = "name=equiv;graphs=cycle:8;kernels=cobra,sis" in
+  List.iter
+    (fun changed ->
+      let dir = fresh_dir () in
+      (match
+         run_campaign ~dir ~domains:1 ~resume:false
+           (Sweep.Grid.cells (grid_of (base ^ ";trials=3")))
+       with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.fail msg);
+      match
+        run_campaign ~dir ~domains:1 ~resume:true
+          (Sweep.Grid.cells (grid_of (base ^ changed)))
+      with
+      | Ok _ -> Alcotest.fail ("expected refusal after changing " ^ changed)
+      | Error msg ->
+        check Alcotest.bool ("refusal explains the mismatch: " ^ msg) true
+          (contains msg "different campaign"))
+    [ ";trials=4"; ";trials=3;recovery=0.7" ]
+
 let () =
   Alcotest.run "sweep"
     [
@@ -301,6 +371,8 @@ let () =
           Alcotest.test_case "push" `Quick test_push_stream;
           Alcotest.test_case "sis" `Quick test_sis_stream;
           Alcotest.test_case "contact" `Quick test_contact_stream;
+          Alcotest.test_case "contact cap terminates" `Quick
+            test_contact_cap_terminates;
           Alcotest.test_case "herd" `Quick test_herd_stream;
           Alcotest.test_case "registry covers all" `Quick test_registry_covers_all;
         ] );
@@ -309,6 +381,8 @@ let () =
           Alcotest.test_case "inline and json agree" `Quick test_grid_inline_json_agree;
           Alcotest.test_case "parse errors" `Quick test_grid_errors;
           Alcotest.test_case "addresses unique" `Quick test_grid_addresses_unique;
+          Alcotest.test_case "load reports missing files" `Quick
+            test_load_missing_file;
           Alcotest.test_case "cell payload deterministic" `Quick
             test_cell_payload_deterministic;
         ] );
@@ -316,5 +390,7 @@ let () =
         [
           Alcotest.test_case "resume is byte-identical (domains 1 and 2)" `Quick
             test_resume_byte_identical;
+          Alcotest.test_case "resume refuses changed trials/params" `Quick
+            test_resume_refuses_changed_params;
         ] );
     ]
