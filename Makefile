@@ -1,6 +1,7 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check sweep-smoke bench bench-standard bench-json examples clean
+.PHONY: all build test check sweep-smoke bench bench-standard bench-json \
+	bench-scale bench-scale-smoke bench-compare examples clean
 
 all: build
 
@@ -44,10 +45,28 @@ bench:
 bench-standard:
 	COBRA_SCALE=standard dune exec bench/main.exe
 
-# Machine-readable kernel timings (benchmark name -> ns/run) for diffing
-# perf across PRs; skips the experiment tables.
+# Machine-readable kernel timings (a cobra.bench/1 file: benchmark name
+# -> ns/run) for diffing perf across PRs; skips the experiment tables.
 bench-json:
 	dune exec bench/main.exe -- --kernels-only --json BENCH_$$(date +%Y-%m-%d).json
+
+# Large-n scaling rows: generation + one full COBRA cover on random
+# 4-regular and hypercube instances at n = 10^4, 10^5, 10^6, with peak
+# RSS reported. The smoke variant (n = 10^4 only) is the CI gate.
+bench-scale:
+	dune exec bench/main.exe -- scale --json BENCH_$$(date +%Y-%m-%d).json
+
+bench-scale-smoke:
+	dune exec bench/main.exe -- scale --smoke --json BENCH_smoke.json
+
+# Regression gate between two cobra.bench/1 files (legacy flat files are
+# accepted too): fails when any section's median new/old time ratio
+# exceeds +25%, or when a section disappears.
+# Usage: make bench-compare OLD=BENCH_a.json NEW=BENCH_b.json
+bench-compare:
+	@test -n "$(OLD)" -a -n "$(NEW)" || \
+	  { echo "usage: make bench-compare OLD=old.json NEW=new.json"; exit 3; }
+	dune exec bench/compare.exe -- $(OLD) $(NEW)
 
 examples:
 	dune exec examples/quickstart.exe

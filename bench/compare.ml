@@ -1,0 +1,71 @@
+(* bench/compare.exe — regression gate over two cobra.bench/1 files.
+
+   usage: compare.exe OLD.json NEW.json [--threshold RATIO]
+
+   Sections are row-name prefixes before the first '/'. For every
+   section of OLD that shares rows with NEW, the median new/old time
+   ratio is printed; the run fails when any median exceeds the threshold
+   (default 1.25 = +25%).
+
+   Exit codes: 0 no regression (improvements included)
+               1 median regression in at least one section
+               2 a section of OLD has no rows in NEW
+               3 parse error or bad usage *)
+
+module Benchfile = Simkit.Benchfile
+
+let usage () =
+  prerr_endline "usage: compare.exe OLD.json NEW.json [--threshold RATIO]";
+  exit 3
+
+let () =
+  let threshold = ref 1.25 in
+  let files = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--threshold" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some t when t > 0.0 -> threshold := t
+      | _ -> usage ());
+      parse rest
+    | "--threshold" :: [] -> usage ()
+    | f :: rest ->
+      files := f :: !files;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let old_path, new_path =
+    match List.rev !files with [ o; n ] -> (o, n) | _ -> usage ()
+  in
+  let load label path =
+    match Benchfile.load path with
+    | Ok t -> t
+    | Error e ->
+      Printf.eprintf "bench-compare: cannot read %s file %s: %s\n" label path e;
+      exit 3
+    | exception Sys_error e ->
+      Printf.eprintf "bench-compare: cannot read %s file: %s\n" label e;
+      exit 3
+  in
+  let old_ = load "OLD" old_path and new_ = load "NEW" new_path in
+  let r = Benchfile.compare ~threshold:!threshold ~old_ ~new_ () in
+  Printf.printf "bench-compare: %s -> %s (threshold %+.0f%%)\n" old_path new_path
+    ((!threshold -. 1.0) *. 100.0);
+  List.iter
+    (fun s ->
+      let open Benchfile in
+      Printf.printf "  %-12s median x%.3f over %d rows  %s\n" s.section
+        s.median_ratio (List.length s.ratios)
+        (if s.regressed then "REGRESSED"
+         else if s.median_ratio < 1.0 then "improved"
+         else "ok");
+      if s.regressed then
+        List.iter
+          (fun (name, ratio) ->
+            if ratio > !threshold then Printf.printf "    %-40s x%.3f\n" name ratio)
+          s.ratios)
+    r.sections;
+  List.iter
+    (fun s -> Printf.printf "  %-12s MISSING from %s\n" s new_path)
+    r.missing_sections;
+  exit (Benchfile.exit_code r)

@@ -16,8 +16,17 @@
    the same tables EXPERIMENTS.md records at Standard/Full scale. Set
    COBRA_SCALE=standard|full and re-run for the big versions.
 
-   Flags: --json FILE     write {"benchmark": ns_per_run, ...} for perf
-                          tracking across PRs (see `make bench-json`)
+   Part 4 (scale): `bench/main.exe -- scale [--smoke] [--json FILE]`
+   skips Bechamel and instead wall-clocks generation plus one full COBRA
+   cover on million-vertex-class instances (random 4-regular and
+   hypercube at n = 10^4, 10^5, 10^6; --smoke keeps only n = 10^4),
+   reporting peak RSS from /proc. These rows land in the "scale/"
+   section of the JSON file, so `make bench-compare` gates them like any
+   other section.
+
+   Flags: --json FILE     write a cobra.bench/1 file for perf tracking
+                          across PRs (see `make bench-json` and
+                          `make bench-compare`)
           --kernels-only  skip part 3 (the experiment tables) *)
 
 open Bechamel
@@ -267,21 +276,83 @@ let run_benchmarks () =
   Stats.Table.print table;
   List.rev !collected
 
-(* Machine-readable perf trajectory: benchmark name -> ns/run. Later PRs
-   diff these files to catch regressions (see `make bench-json`). *)
+(* Machine-readable perf trajectory: a cobra.bench/1 file mapping
+   benchmark names to ns/run. Later PRs diff these files with
+   `make bench-compare` to catch regressions. *)
 let emit_json path rows =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc "{\n";
-      let last = List.length rows - 1 in
-      List.iteri
-        (fun i (name, ns) ->
-          Printf.fprintf oc "  %S: %.2f%s\n" name ns (if i = last then "" else ","))
-        rows;
-      output_string oc "}\n");
+  Simkit.Benchfile.write path
+    { Simkit.Benchfile.rows =
+        List.map (fun (name, ns) -> { Simkit.Benchfile.name; ns }) rows };
   Printf.printf "wrote %s (%d benchmarks)\n" path (List.length rows)
+
+(* --- Part 4: large-n scaling rows. ---------------------------------- *)
+
+(* Peak RSS in KiB from /proc/self/status (Linux); None elsewhere. *)
+let peak_rss_kib () =
+  try
+    let ic = open_in "/proc/self/status" in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec scan () =
+          let line = input_line ic in
+          if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+            Scanf.sscanf (String.sub line 6 (String.length line - 6)) " %d kB"
+              (fun k -> Some k)
+          else scan ()
+        in
+        scan ())
+  with _ -> None
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* One-shot wall-clock rows: at these sizes a single run takes seconds,
+   so OLS over many iterations is neither needed nor affordable. *)
+let run_scale ~smoke ~json_path =
+  let sizes = if smoke then [ 10_000 ] else [ 10_000; 100_000; 1_000_000 ] in
+  let rows = ref [] in
+  let row name seconds =
+    Printf.printf "  %-28s %8.3f s\n%!" name seconds;
+    rows := (name, seconds *. 1e9) :: !rows
+  in
+  let cover_rows name g tag =
+    let rng = rng_of tag in
+    let (covered, dt) =
+      timed (fun () -> Cobra.Process.cover_time g ~branching:B.cobra_k2 ~start:0 rng)
+    in
+    (match covered with
+    | Some _ -> ()
+    | None -> failwith (name ^ ": COBRA failed to cover within the round cap"));
+    row ("scale/cover-" ^ name) dt
+  in
+  Printf.printf "== Scaling rows (%s) ==\n%!"
+    (if smoke then "smoke: n = 10^4" else "n = 10^4, 10^5, 10^6");
+  List.iter
+    (fun n ->
+      let label = Printf.sprintf "rr4-n%d" n in
+      let (g, dt) =
+        timed (fun () ->
+            Graph.Gen.random_regular (rng_of ("scale:" ^ label)) ~n ~r:4)
+      in
+      row ("scale/gen-" ^ label) dt;
+      cover_rows label g ("scale:cover:" ^ label);
+      (* Hypercube of comparable size: d = log2 n rounded to the grid
+         14 / 17 / 20 used in EXPERIMENTS.md. *)
+      let d =
+        if n <= 10_000 then 14 else if n <= 100_000 then 17 else 20
+      in
+      let hlabel = Printf.sprintf "hypercube-d%d" d in
+      let (h, dth) = timed (fun () -> Graph.Gen.hypercube d) in
+      row ("scale/gen-" ^ hlabel) dth;
+      cover_rows hlabel h ("scale:cover:" ^ hlabel))
+    sizes;
+  (match peak_rss_kib () with
+  | Some kib -> Printf.printf "peak RSS: %.1f MiB\n" (float_of_int kib /. 1024.0)
+  | None -> print_endline "peak RSS: unavailable (no /proc)");
+  Option.iter (fun path -> emit_json path (List.rev !rows)) json_path
 
 (* Wall-clock of the same trial batch, sequential vs the domain pool, with
    the determinism guarantee checked on the spot. *)
@@ -326,6 +397,10 @@ let () =
     in
     find argv
   in
+  if List.mem "scale" argv then begin
+    run_scale ~smoke:(List.mem "--smoke" argv) ~json_path;
+    exit 0
+  end;
   let rows = run_benchmarks () in
   Option.iter (fun path -> emit_json path rows) json_path;
   parallel_engine_check ();

@@ -151,7 +151,9 @@ let rwalk =
   }
 
 (* Stepwise re-implementation of one [Push.push] round: same informed-set
-   scan order, same checked neighbour draws, same synchronous apply. *)
+   scan order (Bitset.iter is the increasing-order word scan, matching
+   the library's loop), same checked neighbour draws, same synchronous
+   apply. *)
 let push =
   {
     name = "push";
@@ -164,25 +166,26 @@ let push =
           invalid_arg "Kernel.push: start out of range";
         let informed = Bitset.create n in
         Bitset.add informed params.start;
+        let newly = Dstruct.Intvec.create ~capacity:64 () in
         let count = ref 1 and rounds = ref 0 and transmissions = ref 0 in
         {
           step =
             (fun rng ->
-              let newly = ref [] in
-              for u = 0 to n - 1 do
-                if Bitset.mem informed u then begin
+              Dstruct.Intvec.clear newly;
+              Bitset.iter
+                (fun u ->
                   incr transmissions;
                   let w = Graph.Csr.random_neighbour g rng u in
-                  if not (Bitset.mem informed w) then newly := w :: !newly
-                end
-              done;
-              List.iter
+                  if not (Bitset.unsafe_mem informed w) then
+                    Dstruct.Intvec.push newly w)
+                informed;
+              Dstruct.Intvec.iter
                 (fun w ->
-                  if not (Bitset.mem informed w) then begin
-                    Bitset.add informed w;
+                  if not (Bitset.unsafe_mem informed w) then begin
+                    Bitset.unsafe_add informed w;
                     incr count
                   end)
-                !newly;
+                newly;
               incr rounds);
           is_complete = (fun () -> !count = n);
           rounds = (fun () -> !rounds);

@@ -99,10 +99,15 @@ let step p rng =
       let picks = Branching.iter_picks p.branching rng g v ~f:push_pick in
       p.transmissions <- p.transmissions + picks)
     p.frontier;
-  (* Clear the outgoing frontier's membership bits member-wise (the
-     frontier is usually much smaller than n), then swap both the vectors
-     and their membership bitsets, keeping [active] O(1). *)
-  Intvec.iter (fun v -> Bitset.unsafe_remove p.in_frontier v) p.frontier;
+  (* Clear the outgoing frontier's membership bits: member-wise while the
+     frontier is sparse, whole-array fill once it holds more members than
+     words (past that point the word fill writes less memory). Both paths
+     leave the bitset empty and draw nothing from [rng]. Then swap both
+     the vectors and their membership bitsets, keeping [active] O(1). *)
+  let nw = (Graph.Csr.n_vertices g + Bitset.word_size - 1) / Bitset.word_size in
+  if Intvec.length p.frontier <= nw then
+    Intvec.iter (fun v -> Bitset.unsafe_remove p.in_frontier v) p.frontier
+  else Bitset.clear p.in_frontier;
   let old = p.frontier in
   p.frontier <- p.next;
   p.next <- old;

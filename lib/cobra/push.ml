@@ -1,4 +1,5 @@
 module Bitset = Dstruct.Bitset
+module Intvec = Dstruct.Intvec
 
 type outcome = { rounds : int; transmissions : int }
 
@@ -13,25 +14,30 @@ let push ?cap g ~start rng =
   let cap = match cap with Some c -> c | None -> default_cap g in
   let informed = Bitset.create n in
   Bitset.add informed start;
+  let newly = Intvec.create ~capacity:64 () in
   let count = ref 1 and rounds = ref 0 and transmissions = ref 0 in
   while !count < n && !rounds < cap do
     (* Collect this round's pushes against the current informed set, then
-       apply: informing is synchronous, as in the COBRA round structure. *)
-    let newly = ref [] in
-    for u = 0 to n - 1 do
-      if Bitset.mem informed u then begin
+       apply: informing is synchronous, as in the COBRA round structure.
+       [Bitset.iter] visits the informed vertices in increasing order —
+       exactly the vertices the old [for u = 0 to n - 1] membership scan
+       drew for, in the same order — but skips empty words, so early
+       sparse rounds on a large universe no longer pay O(n). [w] comes
+       from the adjacency array, hence the unchecked membership test. *)
+    Intvec.clear newly;
+    Bitset.iter
+      (fun u ->
         incr transmissions;
         let w = Graph.Csr.random_neighbour g rng u in
-        if not (Bitset.mem informed w) then newly := w :: !newly
-      end
-    done;
-    List.iter
+        if not (Bitset.unsafe_mem informed w) then Intvec.push newly w)
+      informed;
+    Intvec.iter
       (fun w ->
-        if not (Bitset.mem informed w) then begin
-          Bitset.add informed w;
+        if not (Bitset.unsafe_mem informed w) then begin
+          Bitset.unsafe_add informed w;
           incr count
         end)
-      !newly;
+      newly;
     incr rounds
   done;
   if !count = n then Some { rounds = !rounds; transmissions = !transmissions } else None

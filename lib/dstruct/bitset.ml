@@ -66,9 +66,19 @@ let popcount x =
   let x = (x + (x lsr 4)) land 0x0F0F0F0F in
   (x * 0x01010101) lsr 24 land 0x3F
 
+(* Trailing-zero count of a nonzero 32-bit cell: isolate the lowest set
+   bit, turn it into a mask of everything below it, popcount the mask.
+   Branch-free, and exact for cells up to 2^32 - 1. *)
+let ctz x = popcount ((x land -x) - 1)
+
 let cardinal s = Array.fold_left (fun acc w -> acc + popcount w) 0 s.words
 
-let is_empty s = Array.for_all (fun w -> w = 0) s.words
+(* Early-exit word scan; no cardinal, no closure allocation. *)
+let is_empty s =
+  let words = s.words in
+  let nw = Array.length words in
+  let rec go w = w >= nw || (Array.unsafe_get words w = 0 && go (w + 1)) in
+  go 0
 
 let is_full s = cardinal s = s.n
 
@@ -109,15 +119,28 @@ let subset a b =
   in
   go 0
 
+(* Word-scan traversal: zero cells cost one compare each; nonzero cells
+   cost one trailing-zero scan per member (lowest set bit cleared with
+   [cell land (cell - 1)]). Members are produced in increasing order —
+   the same order as the old bit-by-bit loop — so traversal-driven RNG
+   draw sequences are unchanged. Each cell is read once up front, as
+   before, so mutation of other cells during iteration behaves
+   identically. *)
 let iter f s =
-  for w = 0 to Array.length s.words - 1 do
-    let cell = s.words.(w) in
-    if cell <> 0 then
+  let words = s.words in
+  for w = 0 to Array.length words - 1 do
+    let cell = ref (Array.unsafe_get words w) in
+    if !cell <> 0 then begin
       let base = w lsl shift in
-      for b = 0 to bits - 1 do
-        if cell land (1 lsl b) <> 0 then f (base + b)
+      while !cell <> 0 do
+        f (base + ctz !cell);
+        cell := !cell land (!cell - 1)
       done
+    end
   done
+
+let word_size = bits
+let iter_words f s = Array.iteri f s.words
 
 let fold f s init =
   let acc = ref init in
@@ -132,17 +155,30 @@ let of_list n xs =
   s
 
 let choose s =
+  let words = s.words in
   let rec go w =
-    if w >= Array.length s.words then None
-    else if s.words.(w) = 0 then go (w + 1)
+    if w >= Array.length words then None
     else begin
-      let cell = s.words.(w) in
-      let b = ref 0 in
-      while cell land (1 lsl !b) = 0 do incr b done;
-      Some ((w lsl shift) + !b)
+      let cell = Array.unsafe_get words w in
+      if cell = 0 then go (w + 1) else Some ((w lsl shift) + ctz cell)
     end
   in
   go 0
+
+let next_member s i =
+  if i < 0 then invalid_arg "Bitset.next_member: negative index";
+  if i >= s.n then None
+  else begin
+    let words = s.words in
+    let rec go w cell =
+      if cell <> 0 then Some ((w lsl shift) + ctz cell)
+      else if w + 1 >= Array.length words then None
+      else go (w + 1) (Array.unsafe_get words (w + 1))
+    in
+    let w0 = i lsr shift in
+    (* Mask away the bits strictly below [i] in the first word. *)
+    go w0 (Array.unsafe_get words w0 land lnot ((1 lsl (i land mask)) - 1))
+  end
 
 let pp ppf s =
   Format.fprintf ppf "{%a}"

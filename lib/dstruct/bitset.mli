@@ -77,8 +77,30 @@ val equal : t -> t -> bool
 (** [subset a b] tests whether every element of [a] is in [b]. *)
 val subset : t -> t -> bool
 
-(** [iter f s] applies [f] to each element in increasing order. *)
+(** [iter f s] applies [f] to each element in increasing order.
+    Implemented as a word scan with trailing-zero extraction: zero words
+    cost O(1), so a sparse set over a large universe iterates in
+    O(capacity / word_size + cardinal) rather than O(capacity). *)
 val iter : (int -> unit) -> t -> unit
+
+(** [word_size] is the number of universe indices packed per word
+    ([32]). Word [w] covers indices [w * word_size .. w * word_size +
+    word_size - 1]; see {!iter_words}. *)
+val word_size : int
+
+(** [iter_words f s] applies [f w cell] to every packed word in index
+    order (including zero words). Bit [b] of [cell] (for
+    [0 <= b < word_size]) is set iff [w * word_size + b] is a member.
+    This is the raw traversal primitive under {!iter}/{!fold}; callers
+    can use it for word-parallel set algebra without going through
+    per-element callbacks. *)
+val iter_words : (int -> int -> unit) -> t -> unit
+
+(** [next_member s i] is the smallest member [>= i], or [None] if no
+    member of [s] is [>= i] (always [None] for [i >= capacity]).
+    [i] must be non-negative. O(capacity / word_size) worst case, O(1)
+    when a member is nearby. *)
+val next_member : t -> int -> int option
 
 (** [fold f s init] folds over elements in increasing order. *)
 val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a

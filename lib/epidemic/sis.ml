@@ -60,28 +60,32 @@ let step p rng =
   let n = Graph.Csr.n_vertices g in
   Bitset.clear p.next;
   let count = ref 0 in
+  (* All indices below are loop counters in [0, n) or adjacency entries,
+     so the unchecked bitset operations are safe. *)
   let infect u =
-    Bitset.add p.next u;
+    Bitset.unsafe_add p.next u;
     incr count;
-    if not (Bitset.mem p.ever u) then begin
-      Bitset.add p.ever u;
+    if not (Bitset.unsafe_mem p.ever u) then begin
+      Bitset.unsafe_add p.ever u;
       p.ever_count <- p.ever_count + 1
     end
   in
+  let pers = match p.persistent with Some v -> v | None -> -1 in
   (* Round order: recovery first, then exposure of everyone currently
      susceptible (including same-round recoverers) against the *previous*
      infected set. With [recovery = 1.0] and a persistent source this is
      exactly the BIPS process — the embedding the tests check. *)
   for u = 0 to n - 1 do
-    if p.persistent = Some u then infect u
+    if pers = u then infect u
     else begin
       let stays =
-        Bitset.mem p.infected u && not (Prng.Rng.bernoulli rng p.params.recovery)
+        Bitset.unsafe_mem p.infected u
+        && not (Prng.Rng.bernoulli rng p.params.recovery)
       in
       if stays then infect u
       else begin
         let hit = ref false in
-        let check w = if Bitset.mem p.infected w then hit := true in
+        let check w = if Bitset.unsafe_mem p.infected w then hit := true in
         ignore (Cobra.Branching.iter_picks p.params.contacts rng g u ~f:check);
         if !hit then infect u
       end

@@ -2,7 +2,11 @@ type t = {
   n : int;
   us : Dstruct.Intvec.t;
   vs : Dstruct.Intvec.t;
-  seen : (int, unit) Hashtbl.t; (* key: u * n + v with u < v *)
+  (* Duplicate-lookup table keyed by [u * n + v] with [u < v]. Built
+     lazily on the first [mem_edge] call: deterministic generators never
+     ask, and on million-vertex instances the table would cost more
+     memory than the edges themselves. *)
+  mutable seen : (int, unit) Hashtbl.t option;
   mutable finished : bool;
 }
 
@@ -12,7 +16,7 @@ let create ~n =
     n;
     us = Dstruct.Intvec.create ();
     vs = Dstruct.Intvec.create ();
-    seen = Hashtbl.create 64;
+    seen = None;
     finished = false;
   }
 
@@ -28,17 +32,38 @@ let add_edge b u v =
   if u < 0 || u >= b.n || v < 0 || v >= b.n then
     invalid_arg "Build.add_edge: endpoint out of range";
   if u = v then invalid_arg "Build.add_edge: self-loop";
-  Hashtbl.replace b.seen (key b u v) ();
+  (match b.seen with
+  | Some tbl -> Hashtbl.replace tbl (key b u v) ()
+  | None -> ());
   Dstruct.Intvec.push b.us u;
   Dstruct.Intvec.push b.vs v
 
 let mem_edge b u v =
   check_live b;
-  Hashtbl.mem b.seen (key b u v)
+  let tbl =
+    match b.seen with
+    | Some tbl -> tbl
+    | None ->
+      let m = n_edges b in
+      let tbl = Hashtbl.create (2 * m) in
+      for i = 0 to m - 1 do
+        let u = Dstruct.Intvec.unsafe_get b.us i
+        and v = Dstruct.Intvec.unsafe_get b.vs i in
+        Hashtbl.replace tbl (key b u v) ()
+      done;
+      b.seen <- Some tbl;
+      tbl
+  in
+  Hashtbl.mem tbl (key b u v)
 
 let finish b =
   check_live b;
   b.finished <- true;
-  Csr.of_edge_arrays ~n:b.n
-    ~us:(Dstruct.Intvec.to_array b.us)
-    ~vs:(Dstruct.Intvec.to_array b.vs)
+  b.seen <- None;
+  (* Stream the accumulated endpoints straight into the CSR constructor:
+     no [to_array] copies of the two edge vectors. *)
+  let m = n_edges b in
+  Csr.of_edge_iter ~n:b.n (fun f ->
+      for i = 0 to m - 1 do
+        f (Dstruct.Intvec.unsafe_get b.us i) (Dstruct.Intvec.unsafe_get b.vs i)
+      done)

@@ -20,6 +20,15 @@ val of_edges : n:int -> (int * int) list -> t
     arrays must have equal length. *)
 val of_edge_arrays : n:int -> us:int array -> vs:int array -> t
 
+(** [of_edge_iter ~n iter] is the streaming constructor underlying
+    {!of_edges} and {!of_edge_arrays}: [iter f] must call [f u v] exactly
+    once per undirected edge, and must enumerate the same edges in the
+    same order each time it is invoked (it is run twice — once to count
+    degrees, once to place arcs). No intermediate edge array is
+    materialised, so builders can stream edges straight out of their
+    accumulators. Validation is as for {!of_edges}. *)
+val of_edge_iter : n:int -> ((int -> int -> unit) -> unit) -> t
+
 (** [n_vertices g] is the number of vertices. *)
 val n_vertices : t -> int
 

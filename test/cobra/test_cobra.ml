@@ -1034,6 +1034,77 @@ let test_golden_walk_cover_times () =
     "random walk" [| 7377; 5437; 7961 |]
     (golden_collect ~salt0:300 ~trials:3 (fun rng -> Rwalk.cover_time g ~start:0 rng))
 
+(* Recorded from the revision immediately before the word-scan bitset
+   rewrite (bit-by-bit Bitset.iter, full 0..n-1 informed scans). The
+   word-parallel kernels must consume the RNG streams identically, so
+   every value below must stay bit-for-bit the same. *)
+
+let test_golden_push () =
+  let g = golden_graph () in
+  check
+    Alcotest.(array int)
+    "push rounds" [| 31; 26; 28; 27; 28 |]
+    (golden_collect ~salt0:600 ~trials:5 (fun rng ->
+         Option.map (fun o -> o.Push.rounds) (Push.push g ~start:0 rng)));
+  check
+    Alcotest.(array int)
+    "push transmissions" [| 6636; 4882; 6263; 5383; 5613 |]
+    (golden_collect ~salt0:600 ~trials:5 (fun rng ->
+         Option.map (fun o -> o.Push.transmissions) (Push.push g ~start:0 rng)));
+  check
+    Alcotest.(array int)
+    "push_pull rounds" [| 17; 16; 18 |]
+    (golden_collect ~salt0:700 ~trials:3 (fun rng ->
+         Option.map (fun o -> o.Push.rounds) (Push.push_pull g ~start:0 rng)))
+
+(* Outcome encoding: Extinct t -> t, Everyone_infected_once t ->
+   100000 + t, Censored t -> -t. *)
+let sis_code = function
+  | Epidemic.Sis.Extinct t -> Some t
+  | Epidemic.Sis.Everyone_infected_once t -> Some (100_000 + t)
+  | Epidemic.Sis.Censored t -> Some (-t)
+
+let test_golden_sis () =
+  let g = golden_graph () in
+  check
+    Alcotest.(array int)
+    "sis outcomes" [| 100017; 100016; 100018; 100020; 100016 |]
+    (golden_collect ~salt0:800 ~trials:5 (fun rng ->
+         let params = { Epidemic.Sis.contacts = B.cobra_k2; recovery = 0.4 } in
+         sis_code (Epidemic.Sis.run g params ~persistent:None ~start:[ 0 ] rng)));
+  check
+    Alcotest.(array int)
+    "sis persistent outcomes" [| 100019; 100018; 100018 |]
+    (golden_collect ~salt0:900 ~trials:3 (fun rng ->
+         let params = { Epidemic.Sis.contacts = B.cobra_k2; recovery = 0.7 } in
+         sis_code (Epidemic.Sis.run g params ~persistent:(Some 0) ~start:[] rng)))
+
+let test_golden_multi_walk () =
+  let g = golden_graph () in
+  check
+    Alcotest.(array int)
+    "multi-walk rounds" [| 1322; 2243; 1406 |]
+    (golden_collect ~salt0:1000 ~trials:3 (fun rng ->
+         Rwalk.multi_cover_time g ~walkers:4 ~start:0 rng))
+
+(* Checksums over whole trajectories: pin the draw order of every round
+   of a run, not just the terminal round count. *)
+let test_golden_trajectory_checksums () =
+  let g = golden_graph () in
+  let checksum sizes = Array.fold_left (fun a (s : int) -> (a * 31) + s) 0 sizes in
+  check
+    Alcotest.(array int)
+    "cobra frontier trajectory checksums"
+    [| -320291881270216216; 327111993880584616; 420364540883215255 |]
+    (golden_collect ~salt0:1100 ~trials:3 (fun rng ->
+         Some (checksum (Process.frontier_trajectory g ~branching:B.cobra_k2 ~start:0 rng))));
+  check
+    Alcotest.(array int)
+    "bips size trajectory checksums"
+    [| -3069904489550876856; -361622323682022664; 4333282861671584922 |]
+    (golden_collect ~salt0:1200 ~trials:3 (fun rng ->
+         Some (checksum (Bips.size_trajectory g ~branching:B.cobra_k2 ~source:0 rng))))
+
 let () =
   Alcotest.run "cobra"
     [
@@ -1157,5 +1228,10 @@ let () =
           Alcotest.test_case "cover times" `Quick test_golden_cover_times;
           Alcotest.test_case "infection times" `Quick test_golden_infection_times;
           Alcotest.test_case "walk cover times" `Quick test_golden_walk_cover_times;
+          Alcotest.test_case "push rounds and transmissions" `Quick test_golden_push;
+          Alcotest.test_case "sis outcomes" `Quick test_golden_sis;
+          Alcotest.test_case "multi-walk rounds" `Quick test_golden_multi_walk;
+          Alcotest.test_case "trajectory checksums" `Quick
+            test_golden_trajectory_checksums;
         ] );
     ]

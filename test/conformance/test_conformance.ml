@@ -32,7 +32,7 @@ module Herd = Epidemic.Herd
 let master = 20260807
 let family_alpha = 1e-6
 
-(* Upper bound on the number of Gof verdicts taken below (currently ~35;
+(* Upper bound on the number of Gof verdicts taken below (currently ~40;
    keep the bound comfortably above so adding a check never silently
    weakens the family-wise guarantee). *)
 let family_size = 64
@@ -448,6 +448,91 @@ let test_sample_alias () =
     ~dist:(Array.to_list (Array.mapi (fun i w -> (i, w /. 10.0)) weights))
     (fun rng -> Prng.Sample.Alias.draw table rng)
 
+(* ---------- Q10 spot checks for the word-scan rewrites ----------------
+
+   The exact-oracle fixtures above have at most 8 vertices, so the
+   packed bitsets never span more than one word. These checks rerun one
+   kernel step of each rewritten engine on the 10-dimensional hypercube
+   (n = 1024: 32 words, multi-word traversal and buffer reuse actually
+   exercised) against closed-form oracles. Q10 is triangle-free and
+   10-regular, which is what makes the formulas below exact. *)
+
+let q10 = Gen.hypercube 10
+
+(* Bit index of a neighbour of vertex 0 in Q10 (all are powers of two). *)
+let q10_axis v =
+  let rec go i = if 1 lsl i = v then i else go (i + 1) in
+  go 0
+
+let test_cobra_step_q10 () =
+  (* One step from {0} with Fixed 2: two independent uniform picks among
+     the 10 neighbours; the frontier is their dedup. Unordered pair
+     {i,j} has probability 2/100, singleton {i} has 1/100. *)
+  let dist =
+    List.concat
+      (List.init 10 (fun i ->
+           List.init (10 - i) (fun d ->
+               let j = i + d in
+               ((i * 10) + j, if i = j then 0.01 else 0.02))))
+  in
+  check_scalar_dist ~tag:"cobra/step/q10-k2" ~trials:6000 ~dist (fun rng ->
+      let p = Process.create q10 ~branching:(Branching.Fixed 2) ~start:[ 0 ] in
+      Process.step p rng;
+      match Array.to_list (Array.map q10_axis (Process.frontier p)) with
+      | [ a ] -> (a * 10) + a
+      | [ a; b ] -> (min a b * 10) + max a b
+      | l -> Alcotest.failf "cobra/q10: frontier of size %d" (List.length l))
+
+let test_bips_step_q10 () =
+  (* One step from source 0 with Fixed 2: each of the 10 neighbours
+     independently hits the source with probability 1 - (9/10)^2 = 0.19;
+     nobody else can. Infected count - 1 ~ Binomial(10, 0.19). *)
+  let dist =
+    List.init 11 (fun k ->
+        (k, Float.exp (Gof.binomial_log_pmf ~n:10 ~p:0.19 k)))
+  in
+  check_scalar_dist ~tag:"bips/step/q10-k2" ~trials:6000 ~dist (fun rng ->
+      let p = Bips.create q10 ~branching:(Branching.Fixed 2) ~source:0 in
+      Bips.step p rng;
+      Bips.infected_count p - 1)
+
+let test_push_two_rounds_q10 () =
+  (* Round 1 informs a uniform neighbour X of 0. In round 2, 0 pushes to
+     a uniform neighbour (misses only by re-hitting X, p = 1/10) and X
+     pushes to a uniform neighbour (misses only by hitting 0, p = 1/10);
+     Q10 is triangle-free so the two pushes can never collide. Informed
+     count after two rounds: 2 with p 0.01, 3 with p 0.18, 4 with
+     p 0.81. *)
+  let open Cobra.Kernel in
+  let dist = [ (2, 0.01); (3, 0.18); (4, 0.81) ] in
+  check_scalar_dist ~tag:"push/q10-two-rounds" ~trials:6000 ~dist (fun rng ->
+      let inst = push.create q10 default_params in
+      inst.step rng;
+      inst.step rng;
+      int_of_float (List.assoc "informed" (inst.observe ())))
+
+let test_sis_step_q10 () =
+  (* One round from infected = {0}, recovery 0.5, one contact draw per
+     vertex: 0 stays with probability 0.5 (recovering leaves it exposed
+     only to non-infected neighbours), and each of the 10 neighbours
+     draws its contact uniformly, hitting 0 with probability 1/10. Count
+     after the round ~ Bernoulli(0.5) + Binomial(10, 0.1). *)
+  let p_bin k =
+    if k < 0 || k > 10 then 0.0
+    else Float.exp (Gof.binomial_log_pmf ~n:10 ~p:0.1 k)
+  in
+  let dist =
+    List.init 12 (fun c -> (c, (0.5 *. p_bin c) +. (0.5 *. p_bin (c - 1))))
+  in
+  check_scalar_dist ~tag:"sis/step/q10" ~trials:6000 ~dist (fun rng ->
+      let p =
+        Sis.create q10
+          { Sis.contacts = Branching.Fixed 1; recovery = 0.5 }
+          ~persistent:None ~start:[ 0 ]
+      in
+      Sis.step p rng;
+      Sis.infected_count p)
+
 (* ---------- mutation sensitivity ---------- *)
 
 let test_mutation_sensitivity () =
@@ -497,6 +582,13 @@ let () =
           t "one round on the prism" test_sis_step_prism;
           t "one round on K4 with a persistent source" test_sis_step_persistent_k4;
           t "extinction probability on C5" test_sis_extinction_c5;
+        ] );
+      ( "q10",
+        [
+          t "cobra step, multi-word frontier" test_cobra_step_q10;
+          t "bips step, binomial in-degree" test_bips_step_q10;
+          t "push two rounds, triangle-free collisions" test_push_two_rounds_q10;
+          t "sis round, convolution count" test_sis_step_q10;
         ] );
       ( "contact",
         [

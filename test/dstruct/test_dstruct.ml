@@ -133,6 +133,111 @@ let bitset_union_commutes_prop =
       Bitset.union_into ~src:a ~dst:ba;
       Bitset.equal ab ba)
 
+(* ---------- Word-level traversal API vs a naive bool-array model ------
+
+   The word-scan rewrite of iter/fold/choose and the new
+   iter_words/next_member primitives are pinned against the obvious
+   O(capacity) reference at every capacity class the packing can get
+   wrong: empty universe, single word, word boundary +/- 1, and many
+   words. *)
+
+let word_api_caps = [ 0; 1; 63; 64; 65; 1000 ]
+
+(* (capacity, members): members are arbitrary ints reduced mod capacity
+   (dropped when the universe is empty). *)
+let word_api_arb =
+  let gen =
+    QCheck.Gen.(
+      oneofl word_api_caps >>= fun cap ->
+      list_size (int_bound 120) (int_bound 4999) >>= fun raw ->
+      return (cap, if cap = 0 then [] else List.map (fun x -> x mod cap) raw))
+  in
+  QCheck.make
+    ~print:(fun (cap, xs) ->
+      Printf.sprintf "cap=%d members=[%s]" cap
+        (String.concat ";" (List.map string_of_int xs)))
+    gen
+
+let model_of cap xs =
+  let model = Array.make cap false in
+  List.iter (fun i -> model.(i) <- true) xs;
+  model
+
+let model_members model =
+  let acc = ref [] in
+  Array.iteri (fun i b -> if b then acc := i :: !acc) model;
+  List.rev !acc
+
+let bitset_word_iter_prop =
+  QCheck.Test.make ~name:"iter/fold visit model members in order" ~count:300
+    word_api_arb (fun (cap, xs) ->
+      let s = Bitset.of_list cap xs in
+      let model = model_of cap xs in
+      let expected = model_members model in
+      let via_iter = ref [] in
+      Bitset.iter (fun i -> via_iter := i :: !via_iter) s;
+      let via_fold = Bitset.fold (fun i acc -> i :: acc) s [] in
+      List.rev !via_iter = expected && List.rev via_fold = expected)
+
+let bitset_choose_next_member_prop =
+  QCheck.Test.make ~name:"choose/next_member agree with model" ~count:300
+    word_api_arb (fun (cap, xs) ->
+      let s = Bitset.of_list cap xs in
+      let model = model_of cap xs in
+      let smallest_from i =
+        let rec go j = if j >= cap then None else if model.(j) then Some j else go (j + 1) in
+        go i
+      in
+      Bitset.choose s = smallest_from 0
+      &&
+      (* Every query point, including just past the capacity. *)
+      let rec all i =
+        i > cap + 2
+        || (Bitset.next_member s i = smallest_from i && all (i + 1))
+      in
+      all 0)
+
+let bitset_iter_words_prop =
+  QCheck.Test.make ~name:"iter_words decodes to the member set" ~count:300
+    word_api_arb (fun (cap, xs) ->
+      let s = Bitset.of_list cap xs in
+      let model = model_of cap xs in
+      let decoded = Array.make cap false in
+      let word_indices = ref [] and ok = ref true in
+      Bitset.iter_words
+        (fun w cell ->
+          word_indices := w :: !word_indices;
+          for b = 0 to Bitset.word_size - 1 do
+            if cell land (1 lsl b) <> 0 then begin
+              let i = (w * Bitset.word_size) + b in
+              (* No phantom bits beyond the capacity, no duplicates. *)
+              if i >= cap || decoded.(i) then ok := false else decoded.(i) <- true
+            end
+          done)
+        s;
+      let expected_words = (cap + Bitset.word_size - 1) / Bitset.word_size in
+      !ok
+      && List.rev !word_indices = List.init expected_words Fun.id
+      && decoded = model)
+
+let bitset_setops_idempotent_prop =
+  QCheck.Test.make ~name:"union/inter/diff_into are idempotent" ~count:300
+    QCheck.(
+      pair (oneofl word_api_caps)
+        (pair (small_list (int_bound 4999)) (small_list (int_bound 4999))))
+    (fun (cap, (raw_a, raw_b)) ->
+      let reduce raw = if cap = 0 then [] else List.map (fun x -> x mod cap) raw in
+      let a = Bitset.of_list cap (reduce raw_a) in
+      let b = Bitset.of_list cap (reduce raw_b) in
+      List.for_all
+        (fun op ->
+          let once = Bitset.copy b in
+          op ~src:a ~dst:once;
+          let twice = Bitset.copy once in
+          op ~src:a ~dst:twice;
+          Bitset.equal once twice)
+        [ Bitset.union_into; Bitset.inter_into; Bitset.diff_into ])
+
 (* ---------- Intvec ---------- *)
 
 let test_intvec_push_pop () =
@@ -265,6 +370,13 @@ let () =
           Alcotest.test_case "capacity mismatch" `Quick test_bitset_capacity_mismatch;
           qtest bitset_model_prop;
           qtest bitset_union_commutes_prop;
+        ] );
+      ( "bitset-words",
+        [
+          qtest bitset_word_iter_prop;
+          qtest bitset_choose_next_member_prop;
+          qtest bitset_iter_words_prop;
+          qtest bitset_setops_idempotent_prop;
         ] );
       ( "intvec",
         [

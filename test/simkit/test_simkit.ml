@@ -11,8 +11,90 @@ module Json = Simkit.Json
 module Artifact = Simkit.Artifact
 module Sink = Simkit.Sink
 
+module Benchfile = Simkit.Benchfile
+
 let check = Alcotest.check
 let qtest = QCheck_alcotest.to_alcotest
+
+(* ---------- Benchfile (cobra.bench/1) ---------- *)
+
+let bench_rows =
+  [
+    { Benchfile.name = "E1/cover-3reg-n1024"; ns = 1234.5 };
+    { Benchfile.name = "E1/other"; ns = 10.0 };
+    { Benchfile.name = "scale/gen-rr4-n10000"; ns = 2.5e9 };
+    { Benchfile.name = "flat-name"; ns = 7.0 };
+  ]
+
+let test_benchfile_roundtrip () =
+  let t = { Benchfile.rows = bench_rows } in
+  let path = Filename.temp_file "bench" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Benchfile.write path t;
+      match Benchfile.load path with
+      | Error e -> Alcotest.failf "load failed: %s" e
+      | Ok t' ->
+        check Alcotest.int "row count" (List.length t.rows) (List.length t'.rows);
+        List.iter2
+          (fun a b ->
+            check Alcotest.string "name" a.Benchfile.name b.Benchfile.name;
+            check (Alcotest.float 1e-9) "ns" a.Benchfile.ns b.Benchfile.ns)
+          t.rows t'.rows)
+
+let test_benchfile_legacy_and_errors () =
+  let decode s =
+    match Json.of_string s with
+    | Ok j -> Benchfile.of_json j
+    | Error e -> Error e
+  in
+  (match decode {|{"a/x": 10.0, "b/y": 20}|} with
+  | Ok { rows = [ a; b ] } ->
+    check Alcotest.string "legacy row 1" "a/x" a.Benchfile.name;
+    check (Alcotest.float 0.0) "legacy int widens" 20.0 b.Benchfile.ns
+  | _ -> Alcotest.fail "legacy flat file must decode");
+  check Alcotest.bool "unknown schema rejected" true
+    (Result.is_error (decode {|{"schema": "cobra.bench/9", "rows": []}|}));
+  check Alcotest.bool "bad row rejected" true
+    (Result.is_error (decode {|{"schema": "cobra.bench/1", "rows": [{"name": 3}]}|}));
+  check Alcotest.bool "non-object rejected" true (Result.is_error (decode {|[1]|}));
+  check Alcotest.string "section of slashed name" "E1"
+    (Benchfile.section_of "E1/cover");
+  check Alcotest.string "section of flat name" "flat" (Benchfile.section_of "flat")
+
+let bench_of l = { Benchfile.rows = List.map (fun (name, ns) -> { Benchfile.name; ns }) l }
+
+let test_benchfile_compare_verdicts () =
+  let old_ = bench_of [ ("E1/a", 100.0); ("E1/b", 100.0); ("scale/x", 50.0) ] in
+  (* 30% median regression in E1 must gate; scale improved. *)
+  let regressed = bench_of [ ("E1/a", 130.0); ("E1/b", 130.0); ("scale/x", 40.0) ] in
+  let r = Benchfile.compare ~old_ ~new_:regressed () in
+  check Alcotest.int "regression exit code" 1 (Benchfile.exit_code r);
+  (match r.Benchfile.sections with
+  | [ e1; sc ] ->
+    check Alcotest.bool "E1 regressed" true e1.Benchfile.regressed;
+    check (Alcotest.float 1e-9) "E1 median" 1.3 e1.Benchfile.median_ratio;
+    check Alcotest.bool "scale improved" false sc.Benchfile.regressed
+  | _ -> Alcotest.fail "expected two sections");
+  (* Within threshold: +20% is not a regression at the default +25%. *)
+  let ok = bench_of [ ("E1/a", 120.0); ("E1/b", 120.0); ("scale/x", 50.0) ] in
+  check Alcotest.int "ok exit code" 0
+    (Benchfile.exit_code (Benchfile.compare ~old_ ~new_:ok ()));
+  (* ...but gates under a tighter threshold. *)
+  check Alcotest.int "tight threshold" 1
+    (Benchfile.exit_code (Benchfile.compare ~threshold:1.1 ~old_ ~new_:ok ()));
+  (* A section of OLD with no shared rows in NEW is exit 2. *)
+  let missing = bench_of [ ("E1/a", 100.0); ("E1/b", 100.0) ] in
+  let r = Benchfile.compare ~old_ ~new_:missing () in
+  check Alcotest.int "missing exit code" 2 (Benchfile.exit_code r);
+  check Alcotest.(list string) "missing sections" [ "scale" ]
+    r.Benchfile.missing_sections;
+  (* The median is robust: one outlier row does not gate a section. *)
+  let old3 = bench_of [ ("E1/a", 100.0); ("E1/b", 100.0); ("E1/c", 100.0) ] in
+  let outlier = bench_of [ ("E1/a", 500.0); ("E1/b", 100.0); ("E1/c", 100.0) ] in
+  check Alcotest.int "median robust to one outlier" 0
+    (Benchfile.exit_code (Benchfile.compare ~old_:old3 ~new_:outlier ()))
 
 (* ---------- Scale ---------- *)
 
@@ -682,6 +764,14 @@ let () =
         [
           Alcotest.test_case "parse" `Quick test_scale_parse;
           Alcotest.test_case "pick/roundtrip" `Quick test_scale_pick_roundtrip;
+        ] );
+      ( "benchfile",
+        [
+          Alcotest.test_case "round-trip" `Quick test_benchfile_roundtrip;
+          Alcotest.test_case "legacy and errors" `Quick
+            test_benchfile_legacy_and_errors;
+          Alcotest.test_case "compare verdicts" `Quick
+            test_benchfile_compare_verdicts;
         ] );
       ( "seeds",
         [

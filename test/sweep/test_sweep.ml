@@ -172,6 +172,216 @@ let test_registry_covers_all () =
       | None -> Alcotest.fail ("kernel not found: " ^ name))
     (Sweep.Kernels.names ())
 
+(* ---------- word-scan stream identity ----------
+
+   The word-parallel bitset rewrite promises to consume bit-for-bit the
+   RNG streams of the pre-rewrite kernels. Each reference function below
+   is a frozen copy of the pre-rewrite inner loop (bit-by-bit membership
+   scans over 0..n-1, checked accessors). The live kernel and the
+   reference run on independently created equal-seed streams; outcomes
+   must match AND the two streams must sit at the same position
+   afterwards (16 post-run draws compared), so a kernel that draws the
+   same answer from a different number of draws still fails. *)
+
+module Bitset = Dstruct.Bitset
+
+let same_tail msg a b =
+  for i = 1 to 16 do
+    check Alcotest.int (Printf.sprintf "%s: post-run draw %d" msg i) (Rng.bits a)
+      (Rng.bits b)
+  done
+
+(* Pre-rewrite Push.push: full 0..n-1 scan with per-vertex membership
+   tests. *)
+let push_reference ?cap g ~start rng =
+  let n = Graph.Csr.n_vertices g in
+  let cap = match cap with Some c -> c | None -> 10_000 + (100 * n) in
+  let informed = Bitset.create n in
+  Bitset.add informed start;
+  let count = ref 1 and rounds = ref 0 and transmissions = ref 0 in
+  while !count < n && !rounds < cap do
+    let newly = ref [] in
+    for u = 0 to n - 1 do
+      if Bitset.mem informed u then begin
+        incr transmissions;
+        let w = Graph.Csr.random_neighbour g rng u in
+        if not (Bitset.mem informed w) then newly := w :: !newly
+      end
+    done;
+    List.iter
+      (fun w ->
+        if not (Bitset.mem informed w) then begin
+          Bitset.add informed w;
+          incr count
+        end)
+      !newly;
+    incr rounds
+  done;
+  if !count = n then Some (!rounds, !transmissions) else None
+
+(* Pre-rewrite Sis.step loop, checked bitset operations throughout. *)
+let sis_reference ?cap g ~contacts ~recovery ~persistent ~start rng =
+  let n = Graph.Csr.n_vertices g in
+  let cap = match cap with Some c -> c | None -> 10_000 + (100 * n) in
+  let infected = Bitset.create n and ever = Bitset.create n in
+  let seed_list = match persistent with Some v -> v :: start | None -> start in
+  List.iter
+    (fun v ->
+      Bitset.add infected v;
+      Bitset.add ever v)
+    seed_list;
+  let next = Bitset.create n in
+  let infected = ref infected and next = ref next in
+  let count = ref (Bitset.cardinal !infected) in
+  let ever_count = ref !count in
+  let round = ref 0 in
+  while !count > 0 && !ever_count < n && !round < cap do
+    Bitset.clear !next;
+    let c = ref 0 in
+    let infect u =
+      Bitset.add !next u;
+      incr c;
+      if not (Bitset.mem ever u) then begin
+        Bitset.add ever u;
+        incr ever_count
+      end
+    in
+    for u = 0 to n - 1 do
+      if persistent = Some u then infect u
+      else begin
+        let stays = Bitset.mem !infected u && not (Rng.bernoulli rng recovery) in
+        if stays then infect u
+        else begin
+          let hit = ref false in
+          let chk w = if Bitset.mem !infected w then hit := true in
+          ignore (B.iter_picks contacts rng g u ~f:chk);
+          if !hit then infect u
+        end
+      end
+    done;
+    let old = !infected in
+    infected := !next;
+    next := old;
+    count := !c;
+    incr round
+  done;
+  (!round, !count, !ever_count)
+
+(* Pre-rewrite Bips.step loop. *)
+let bips_reference ?cap g ~branching ~source rng =
+  let n = Graph.Csr.n_vertices g in
+  let cap = match cap with Some c -> c | None -> 10_000 + (100 * n) in
+  let infected = ref (Bitset.create n) and next = ref (Bitset.create n) in
+  Bitset.add !infected source;
+  let count = ref 1 and round = ref 0 in
+  while !count < n && !round < cap do
+    Bitset.clear !next;
+    let c = ref 0 in
+    for u = 0 to n - 1 do
+      if u = source then begin
+        Bitset.add !next u;
+        incr c
+      end
+      else begin
+        let hit = ref false in
+        let chk w = if Bitset.mem !infected w then hit := true in
+        ignore (B.iter_picks branching rng g u ~f:chk);
+        if !hit then begin
+          Bitset.add !next u;
+          incr c
+        end
+      end
+    done;
+    let old = !infected in
+    infected := !next;
+    next := old;
+    count := !c;
+    incr round
+  done;
+  if !count = n then Some !round else None
+
+let identity_graphs () =
+  [
+    ("cycle-33", Gen.cycle 33);
+    ("q6", Gen.hypercube 6);
+    ( "rr3-65",
+      Gen.random_regular (Simkit.Seeds.tagged_rng ~master:7 ~tag:"ident:g")
+        ~n:65 ~r:4 );
+  ]
+
+let test_push_stream_identity () =
+  List.iter
+    (fun (name, g) ->
+      for seed = 1 to 4 do
+        let ra = Rng.create seed and rb = Rng.create seed in
+        let live = Cobra.Push.push g ~start:0 ra in
+        let reference = push_reference g ~start:0 rb in
+        let live =
+          Option.map (fun o -> (o.Cobra.Push.rounds, o.Cobra.Push.transmissions)) live
+        in
+        check
+          Alcotest.(option (pair int int))
+          (name ^ ": push outcome") reference live;
+        same_tail (name ^ ": push") ra rb
+      done)
+    (identity_graphs ())
+
+let test_sis_stream_identity () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun persistent ->
+          for seed = 1 to 4 do
+            let ra = Rng.create seed and rb = Rng.create seed in
+            let params = { Epidemic.Sis.contacts = B.cobra_k2; recovery = 0.5 } in
+            let start = if persistent = None then [ 0 ] else [] in
+            let outcome = Epidemic.Sis.run g params ~persistent ~start ra in
+            let rounds, count, ever =
+              sis_reference g ~contacts:B.cobra_k2 ~recovery:0.5 ~persistent ~start rb
+            in
+            (match outcome with
+            | Epidemic.Sis.Extinct t ->
+              check Alcotest.int (name ^ ": extinct round") rounds t;
+              check Alcotest.int (name ^ ": extinct count") 0 count
+            | Epidemic.Sis.Everyone_infected_once t ->
+              check Alcotest.int (name ^ ": saturation round") rounds t;
+              check Alcotest.int (name ^ ": ever") (Graph.Csr.n_vertices g) ever
+            | Epidemic.Sis.Censored t -> check Alcotest.int (name ^ ": cap") rounds t);
+            same_tail (name ^ ": sis") ra rb
+          done)
+        [ None; Some 0 ])
+    (identity_graphs ())
+
+let test_bips_stream_identity () =
+  List.iter
+    (fun (name, g) ->
+      for seed = 1 to 4 do
+        let ra = Rng.create seed and rb = Rng.create seed in
+        let live = Cobra.Bips.infection_time g ~branching:B.cobra_k2 ~source:0 ra in
+        let reference = bips_reference g ~branching:B.cobra_k2 ~source:0 rb in
+        check Alcotest.(option int) (name ^ ": bips outcome") reference live;
+        same_tail (name ^ ": bips") ra rb
+      done)
+    (identity_graphs ())
+
+(* Process.step's frontier bookkeeping (hybrid member-wise/word-fill
+   clear) must not touch the stream: cover under a copied RNG, then
+   compare positions against an independent equal-seed stream advanced
+   by the frontier-trajectory driver. *)
+let test_cobra_stream_identity () =
+  List.iter
+    (fun (name, g) ->
+      for seed = 1 to 4 do
+        let ra = Rng.create seed and rb = Rng.create seed in
+        let cover = Cobra.Process.cover_time g ~branching:B.cobra_k2 ~start:0 ra in
+        let traj = Cobra.Process.frontier_trajectory g ~branching:B.cobra_k2 ~start:0 rb in
+        (match cover with
+        | Some t -> check Alcotest.int (name ^ ": rounds") (Array.length traj - 1) t
+        | None -> ());
+        same_tail (name ^ ": cobra") ra rb
+      done)
+    (identity_graphs ())
+
 (* ---------- grid parsing ---------- *)
 
 let addresses grid =
@@ -375,6 +585,17 @@ let () =
             test_contact_cap_terminates;
           Alcotest.test_case "herd" `Quick test_herd_stream;
           Alcotest.test_case "registry covers all" `Quick test_registry_covers_all;
+        ] );
+      ( "word-scan-stream-identity",
+        [
+          Alcotest.test_case "push vs bit-by-bit reference" `Quick
+            test_push_stream_identity;
+          Alcotest.test_case "sis vs bit-by-bit reference" `Quick
+            test_sis_stream_identity;
+          Alcotest.test_case "bips vs bit-by-bit reference" `Quick
+            test_bips_stream_identity;
+          Alcotest.test_case "cobra trajectory vs cover stream" `Quick
+            test_cobra_stream_identity;
         ] );
       ( "grid",
         [
