@@ -1,7 +1,8 @@
 # Convenience targets; everything is plain dune underneath.
 
 .PHONY: all build test check sweep-smoke bench bench-standard bench-json \
-	bench-scale bench-scale-smoke bench-compare examples clean
+	bench-scale bench-scale-smoke bench-lanes bench-lanes-smoke \
+	bench-compare examples clean
 
 all: build
 
@@ -58,6 +59,17 @@ bench-scale:
 
 bench-scale-smoke:
 	dune exec bench/main.exe -- scale --smoke --json BENCH_smoke.json
+
+# Bit-sliced lane engine vs the scalar loop: the same 64-trial BIPS and
+# SIS batches through both engines on random 4-regular and hypercube
+# instances (n = 2^10, 2^14, 2^17; smoke keeps 2^10 only). Fails when
+# the sliced speedup on the rr4 instances drops below the floor
+# (8x full, 2x smoke); rows land in the "lanes/" section of the JSON.
+bench-lanes:
+	dune exec bench/main.exe -- lanes --json BENCH_lanes_$$(date +%Y-%m-%d).json
+
+bench-lanes-smoke:
+	dune exec bench/main.exe -- lanes --smoke --json BENCH_lanes_smoke.json
 
 # Regression gate between two cobra.bench/1 files (legacy flat files are
 # accepted too): fails when any section's median new/old time ratio

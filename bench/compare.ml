@@ -4,7 +4,8 @@
 
    Sections are row-name prefixes before the first '/'. For every
    section of OLD that shares rows with NEW, the median new/old time
-   ratio is printed; the run fails when any median exceeds the threshold
+   ratio is printed together with the full per-row ratio table (on
+   success too); the run fails when any median exceeds the threshold
    (default 1.25 = +25%).
 
    Exit codes: 0 no regression (improvements included)
@@ -59,11 +60,14 @@ let () =
         (if s.regressed then "REGRESSED"
          else if s.median_ratio < 1.0 then "improved"
          else "ok");
-      if s.regressed then
-        List.iter
-          (fun (name, ratio) ->
-            if ratio > !threshold then Printf.printf "    %-40s x%.3f\n" name ratio)
-          s.ratios)
+      (* Every shared row, pass or fail: a section median can hide a
+         single row drifting toward the threshold, and the per-row
+         table is what makes two CI artifacts diffable at a glance. *)
+      List.iter
+        (fun (name, ratio) ->
+          Printf.printf "    %-40s x%.3f%s\n" name ratio
+            (if ratio > !threshold then "  <-- over threshold" else ""))
+        s.ratios)
     r.sections;
   List.iter
     (fun s -> Printf.printf "  %-12s MISSING from %s\n" s new_path)

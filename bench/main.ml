@@ -24,6 +24,14 @@
    section of the JSON file, so `make bench-compare` gates them like any
    other section.
 
+   Part 5 (lanes): `bench/main.exe -- lanes [--smoke] [--json FILE]`
+   wall-clocks the same 64-trial batch of BIPS and SIS through the
+   scalar engine and the bit-sliced lane engine on random 4-regular and
+   hypercube instances at n = 2^10, 2^14, 2^17 (--smoke keeps only
+   2^10), emitting "lanes/" rows and failing when the sliced engine's
+   speedup on the rr4 instances drops below the floor (8x full, 2x
+   smoke).
+
    Flags: --json FILE     write a cobra.bench/1 file for perf tracking
                           across PRs (see `make bench-json` and
                           `make bench-compare`)
@@ -354,6 +362,88 @@ let run_scale ~smoke ~json_path =
   | None -> print_endline "peak RSS: unavailable (no /proc)");
   Option.iter (fun path -> emit_json path (List.rev !rows)) json_path
 
+(* --- Part 5: bit-sliced lane engine rows. --------------------------- *)
+
+(* One 64-trial batch per engine: exactly the workload a sweep cell with
+   trials=64 runs, so the scalar side is the historical per-trial loop
+   and the lanes side is one bit-sliced batch. Both draw from the same
+   derived trial streams; the gate is on wall-clock, not on agreement
+   (the conformance and sweep suites own correctness). *)
+let run_lanes ~smoke ~json_path =
+  let sizes =
+    if smoke then [ (1_024, 10) ] else [ (1_024, 10); (16_384, 14); (131_072, 17) ]
+  in
+  let trials = 64 in
+  let min_speedup = if smoke then 2.0 else 8.0 in
+  let gate_n = if smoke then 1_024 else 16_384 in
+  let rows = ref [] and failures = ref [] in
+  let base = Cobra.Kernel.default_params in
+  let kernels =
+    [
+      ("bips", Cobra.Kernel.bips, base);
+      ( "sis",
+        Epidemic.Kernels.sis,
+        (* Persistent source: saturation, not extinction, ends a trial,
+           so every lane runs the full epidemic. *)
+        { base with Cobra.Kernel.recovery = 0.25; persistent = true } );
+    ]
+  in
+  Printf.printf "== Lane engine: 64-trial batches, scalar vs bit-sliced (%s) ==\n%!"
+    (if smoke then "smoke: n = 2^10" else "n = 2^10, 2^14, 2^17");
+  List.iter
+    (fun (n, d) ->
+      let graphs =
+        [
+          ( Printf.sprintf "rr4-n%d" n,
+            Graph.Gen.random_regular (rng_of (Printf.sprintf "lanes:rr4-n%d" n))
+              ~n ~r:4 );
+          (Printf.sprintf "hypercube-d%d" d, Graph.Gen.hypercube d);
+        ]
+      in
+      List.iter
+        (fun (glabel, g) ->
+          List.iter
+            (fun (kname, kernel, params) ->
+              let label = Printf.sprintf "%s-%s" kname glabel in
+              let salt0 = Simkit.Seeds.salt_of_tag ("lanes:" ^ label) in
+              let time engine =
+                let _, dt =
+                  timed (fun () ->
+                      Sweep.Kernels.run_trials ~engine kernel g params ~trials
+                        ~master ~salt0)
+                in
+                dt
+              in
+              let t_scalar = time `Scalar in
+              let t_lanes = time `Lanes in
+              let speedup = t_scalar /. t_lanes in
+              Printf.printf
+                "  %-28s scalar %8.3f s   lanes %8.3f s   speedup %6.2fx\n%!"
+                label t_scalar t_lanes speedup;
+              rows :=
+                (Printf.sprintf "lanes/%s-lanes64" label, t_lanes *. 1e9)
+                :: (Printf.sprintf "lanes/%s-scalar64" label, t_scalar *. 1e9)
+                :: !rows;
+              (* The acceptance floor is pinned on the expander rows:
+                 hypercubes are reported but not gated (their structure
+                 is a scaling reference, not the paper's regime). *)
+              if n = gate_n && String.length glabel >= 3 && String.sub glabel 0 3 = "rr4"
+                 && speedup < min_speedup
+              then
+                failures :=
+                  Printf.sprintf "%s: speedup %.2fx below the %.0fx floor" label
+                    speedup min_speedup
+                  :: !failures)
+            kernels)
+        graphs)
+    sizes;
+  Option.iter (fun path -> emit_json path (List.rev !rows)) json_path;
+  match !failures with
+  | [] -> ()
+  | fs ->
+    List.iter (fun f -> Printf.printf "LANES GATE FAILED: %s\n" f) fs;
+    exit 1
+
 (* Wall-clock of the same trial batch, sequential vs the domain pool, with
    the determinism guarantee checked on the spot. *)
 let parallel_engine_check () =
@@ -399,6 +489,10 @@ let () =
   in
   if List.mem "scale" argv then begin
     run_scale ~smoke:(List.mem "--smoke" argv) ~json_path;
+    exit 0
+  end;
+  if List.mem "lanes" argv then begin
+    run_lanes ~smoke:(List.mem "--smoke" argv) ~json_path;
     exit 0
   end;
   let rows = run_benchmarks () in

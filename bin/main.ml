@@ -159,7 +159,19 @@ let sweep_cmd =
   let list_kernels_t =
     Arg.(value & flag & info [ "list-kernels" ] ~doc:"List sweepable kernels and exit.")
   in
-  let run grid out resume max_cells seed domains list_kernels =
+  let engine_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Trial execution engine: 'scalar' (one replica per trial, the \
+             historical streams) or 'lanes' (bit-sliced, 64 replicas per \
+             word for cobra/bips/push/sis; other kernels fall back to \
+             scalar). Overrides the grid's engine= key; part of the \
+             campaign identity, so resume with the same engine.")
+  in
+  let run grid out resume max_cells seed domains list_kernels engine =
     if list_kernels then begin
       List.iter
         (fun k -> Printf.printf "%-8s %s\n" k.K.name k.K.doc)
@@ -177,6 +189,21 @@ let sweep_cmd =
           Printf.eprintf "sweep: %s\n" msg;
           2
         | Ok grid -> (
+          let engine_override =
+            match engine with
+            | None -> Ok None
+            | Some s -> Result.map Option.some (Sweep.Kernels.engine_of_string s)
+          in
+          match engine_override with
+          | Error msg ->
+            Printf.eprintf "sweep: %s\n" msg;
+            2
+          | Ok override -> (
+          let grid =
+            match override with
+            | None -> grid
+            | Some engine -> { grid with Sweep.Grid.engine }
+          in
           let master = Simkit.Seeds.master ~default:seed () in
           let dir =
             match out with
@@ -186,12 +213,14 @@ let sweep_cmd =
           let cells = Sweep.Grid.cells grid in
           Printf.printf
             "campaign %s: %d cells (%d graphs x %d kernels x %d branchings), \
-             %d trials/cell, master seed %d\n"
+             %d trials/cell, %s engine, master seed %d\n"
             grid.Sweep.Grid.name (List.length cells)
             (List.length grid.Sweep.Grid.graphs)
             (List.length grid.Sweep.Grid.kernels)
             (List.length grid.Sweep.Grid.branchings)
-            grid.Sweep.Grid.trials master;
+            grid.Sweep.Grid.trials
+            (Sweep.Kernels.engine_to_string grid.Sweep.Grid.engine)
+            master;
           let config =
             {
               Simkit.Campaign.dir;
@@ -222,7 +251,7 @@ let sweep_cmd =
               Printf.printf
                 "campaign incomplete: %d cells remaining — re-run with --resume\n"
                 r.Simkit.Campaign.remaining;
-              0)))
+              0))))
   in
   let doc =
     "Run a checkpointed sweep campaign over graph x kernel x branching grids."
@@ -230,7 +259,7 @@ let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(
       const run $ grid_t $ out_t $ resume_t $ max_cells_t $ seed_t $ domains_t
-      $ list_kernels_t)
+      $ list_kernels_t $ engine_t)
 
 (* ---------- cover ---------- *)
 

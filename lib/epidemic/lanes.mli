@@ -1,0 +1,17 @@
+(** Lane-engine steppers for the epidemic kernels.
+
+    Only the discrete SIS epidemic slices well (pure per-vertex
+    Bernoulli recovery plus branching exposure); the event-driven
+    contact process and the multi-compartment herd model stay on the
+    scalar engine. *)
+
+(** Sliced SIS: complete per lane at extinction or full exposure.
+    Observes ["rounds"; "infected"; "ever"; "extinct"], like the scalar
+    kernel. Round order matches [Sis.step] (recovery first, then
+    exposure against the previous infected set), so the BIPS embedding
+    at [recovery = 1] holds lane-wise. *)
+val sis : Cobra.Lanes.t
+
+val all : Cobra.Lanes.t list
+
+val find : string -> Cobra.Lanes.t option

@@ -4,10 +4,14 @@ let master ~default () =
   | Some s -> ( match int_of_string_opt (String.trim s) with Some v -> v | None -> default)
 
 (* Mix master and salt through one splitmix draw so that nearby (master,
-   salt) pairs land far apart in state space. *)
-let trial_rng ~master ~salt =
+   salt) pairs land far apart in state space. [trial_seed] exposes the
+   derived raw seed itself so the lane engine can hand lane [j] exactly
+   trial [j]'s stream. *)
+let trial_seed ~master ~salt =
   let mixer = Prng.Splitmix.create master in
-  Prng.Rng.create (Prng.Splitmix.next mixer lxor (salt * 0x2545F4914F6CDD1D))
+  Prng.Splitmix.next mixer lxor (salt * 0x2545F4914F6CDD1D)
+
+let trial_rng ~master ~salt = Prng.Rng.create (trial_seed ~master ~salt)
 
 let tagged_rng ~master ~tag =
   let hash = Hashtbl.hash (tag, 0x5EED) in

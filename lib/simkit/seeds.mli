@@ -10,6 +10,13 @@ val master : default:int -> unit -> int
     salts give statistically independent streams. *)
 val trial_rng : master:int -> salt:int -> Prng.Rng.t
 
+(** [trial_seed ~master ~salt] is the raw derived seed behind
+    [trial_rng] — [trial_rng ~master ~salt] is exactly
+    [Prng.Rng.create (trial_seed ~master ~salt)]. The bit-sliced lane
+    engine seeds lane [j] with [trial_seed ~salt:(salt0 + j)] so each
+    lane consumes the very stream its scalar trial would. *)
+val trial_seed : master:int -> salt:int -> int
+
 (** [tagged_rng ~master ~tag] derives a stream from a string tag (e.g. an
     experiment id), so experiments never share streams even under the same
     master seed. *)

@@ -8,6 +8,7 @@ type t = {
   branchings : Cobra.Branching.t list;
   trials : int;
   base : K.params;
+  engine : Kernels.engine;
 }
 
 let schema = "cobra.sweep-grid/1"
@@ -124,6 +125,11 @@ let of_json doc =
     | Some (Json.Int i) -> Ok i
     | Some _ -> Error "trials: expected an integer"
   in
+  let* engine =
+    match str_field "engine" with
+    | None -> Ok `Scalar
+    | Some s -> Kernels.engine_of_string s
+  in
   let* base =
     match Json.member "params" doc with
     | None -> Ok K.default_params
@@ -151,6 +157,7 @@ let of_json doc =
       branchings;
       trials;
       base;
+      engine;
     }
 
 let of_inline s =
@@ -185,6 +192,9 @@ let of_inline s =
         match int_of_string_opt v with
         | Some i -> Ok { grid with trials = i }
         | None -> Error (Printf.sprintf "trials: expected an integer, got %S" v))
+      | "engine" ->
+        let* engine = Kernels.engine_of_string v in
+        Ok { grid with engine }
       | key when List.mem key param_keys ->
         let* base = set_param grid.base key v in
         Ok { grid with base }
@@ -197,6 +207,7 @@ let of_inline s =
          branchings = [ Cobra.Branching.cobra_k2 ];
          trials = 10;
          base = K.default_params;
+         engine = `Scalar;
        })
     fields
   |> fun r -> Result.bind r validate
@@ -220,9 +231,20 @@ let load s =
 
 (* ---------- expansion ---------- *)
 
-let params_meta trials base =
+(* The execution engine is part of the campaign identity (lanes and
+   scalar results differ draw-for-draw), so it joins the cell meta and
+   a resume under the other engine refuses to mix checkpoints. Scalar
+   grids omit the key, keeping their meta — and thus their existing
+   checkpoints — byte-identical to earlier versions. *)
+let params_meta ?(engine = `Scalar) trials base =
+  let engine_field =
+    match engine with
+    | `Scalar -> []
+    | `Lanes -> [ ("engine", Json.String (Kernels.engine_to_string engine)) ]
+  in
   Json.Obj
-    [
+    (engine_field
+    @ [
       ("trials", Json.Int trials);
       ("start", Json.Int base.K.start);
       ("walkers", Json.Int base.K.walkers);
@@ -232,13 +254,17 @@ let params_meta trials base =
       ("persistent", Json.Bool base.K.persistent);
       ("infectious_rounds", Json.Int base.K.infectious_rounds);
       ("immune_rounds", Json.Int base.K.immune_rounds);
-      ("cap", match base.K.cap with Some c -> Json.Int c | None -> Json.Null);
-    ]
+      ("cap", (match base.K.cap with Some c -> Json.Int c | None -> Json.Null));
+    ])
 
 (* One cell's payload: [trials] kernel runs on the streams
    [salt + 0 .. salt + trials - 1] — pure in [(master, salt)], which is
-   what makes checkpoints reusable across interrupted runs. *)
-let run_cell ~spec ~kernel ~branching ~trials ~base ~address ~master ~salt =
+   what makes checkpoints reusable across interrupted runs. The engine
+   only changes how those trials execute ([Kernels.run_trials]);
+   aggregation walks the outcomes in trial order either way, so the
+   scalar path reproduces the historical per-trial loop draw-for-draw. *)
+let run_cell ~spec ~kernel ~branching ~trials ~base ~engine ~address ~master
+    ~salt =
   let spec_str = Graph.Spec.to_string spec in
   let grng = Simkit.Seeds.tagged_rng ~master ~tag:("sweep:graph:" ^ spec_str) in
   match Graph.Spec.build spec grng with
@@ -249,27 +275,29 @@ let run_cell ~spec ~kernel ~branching ~trials ~base ~address ~master ~salt =
     let rounds = Stats.Summary.create () in
     let obs_keys = ref [] in
     let obs : (string, Stats.Summary.t) Hashtbl.t = Hashtbl.create 8 in
-    for i = 0 to trials - 1 do
-      let rng = Simkit.Seeds.trial_rng ~master ~salt:(salt + i) in
-      let o = K.run kernel g params rng in
-      if o.K.completed then begin
-        incr completed;
-        Stats.Summary.add_int rounds o.K.rounds
-      end;
-      List.iter
-        (fun (key, v) ->
-          let s =
-            match Hashtbl.find_opt obs key with
-            | Some s -> s
-            | None ->
-              let s = Stats.Summary.create () in
-              Hashtbl.add obs key s;
-              obs_keys := key :: !obs_keys;
-              s
-          in
-          Stats.Summary.add s v)
-        o.K.observations
-    done;
+    let outcomes =
+      Kernels.run_trials ~engine kernel g params ~trials ~master ~salt0:salt
+    in
+    Array.iter
+      (fun o ->
+        if o.K.completed then begin
+          incr completed;
+          Stats.Summary.add_int rounds o.K.rounds
+        end;
+        List.iter
+          (fun (key, v) ->
+            let s =
+              match Hashtbl.find_opt obs key with
+              | Some s -> s
+              | None ->
+                let s = Stats.Summary.create () in
+                Hashtbl.add obs key s;
+                obs_keys := key :: !obs_keys;
+                s
+            in
+            Stats.Summary.add s v)
+          o.K.observations)
+      outcomes;
     let rounds_json =
       if !completed = 0 then Json.Null
       else
@@ -321,7 +349,7 @@ let cells grid =
                   ("graph", Json.String (Graph.Spec.to_string spec));
                   ("kernel", Json.String kernel.K.name);
                   ("branching", Json.String (Cobra.Branching.to_arg branching));
-                  ("params", params_meta grid.trials grid.base);
+                  ("params", params_meta ~engine:grid.engine grid.trials grid.base);
                 ]
               in
               let cell =
@@ -332,7 +360,8 @@ let cells grid =
                   run =
                     (fun ~master ~salt ->
                       run_cell ~spec ~kernel ~branching ~trials:grid.trials
-                        ~base:grid.base ~address ~master ~salt);
+                        ~base:grid.base ~engine:grid.engine ~address ~master
+                        ~salt);
                 }
               in
               incr index;

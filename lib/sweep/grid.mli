@@ -23,6 +23,12 @@ type t = {
   trials : int;
   base : Cobra.Kernel.params;
       (** shared kernel parameters; [branching] is overridden per cell *)
+  engine : Kernels.engine;
+      (** trial execution engine ([key engine=scalar|lanes]; default
+          scalar). [`Lanes] runs lanes-capable kernels 64 trials per
+          word via [Kernels.run_trials], falling back to scalar per
+          kernel; it is part of the campaign identity, so checkpoints
+          written under one engine refuse to resume under the other. *)
 }
 
 (** The grid-file schema identifier, ["cobra.sweep-grid/1"]. *)

@@ -32,7 +32,7 @@ module Herd = Epidemic.Herd
 let master = 20260807
 let family_alpha = 1e-6
 
-(* Upper bound on the number of Gof verdicts taken below (currently ~40;
+(* Upper bound on the number of Gof verdicts taken below (currently ~52;
    keep the bound comfortably above so adding a check never silently
    weakens the family-wise guarantee). *)
 let family_size = 64
@@ -533,6 +533,165 @@ let test_sis_step_q10 () =
       Sis.step p rng;
       Sis.infected_count p)
 
+(* ---------- bit-sliced lane engine ----------------------------------
+
+   The lane engine claims per-lane distributional equality with the
+   scalar kernels: lane [j] of a batch, driven one sliced round from a
+   deterministic start, must draw its next state from exactly the
+   exact-oracle step distribution, independently of every other lane —
+   even though lanes share rejection rounds and skip decisions. Three
+   verdicts per fixture:
+
+   - per-lane chi-square: each lane's own outcome counts against the
+     oracle, the 64 per-lane statistics summed into one chi-square with
+     64 * (cells - 1) df (lane totals are fixed at the batch count, so
+     the statistics are independent chi-squares and the sum is exact).
+     One biased lane — a transpose slip, a plane misalignment — inflates
+     the sum; averaging across lanes would hide it.
+   - pooled marginal: all lanes' samples as one multinomial, the sharper
+     test for a small bias common to every lane.
+   - cross-lane independence: over the 32 disjoint adjacent-lane pairs
+     (2j, 2j+1) — the pairs a shifted bit-plane would correlate —
+     agreement of the two masks is Bernoulli(sum p_i^2) under
+     independence; tested exactly as a binomial. *)
+
+let lanes_full = 0xFFFFFFFF
+
+(* Per-lane masks of one batch: seed the 64 streams with the very trial
+   seeds the sweep engine would use, play one sliced round with every
+   lane live, read each lane's set out of the state matrix. *)
+let lanes_step_masks ~tag ~batches n make_inst =
+  let salt0 = Simkit.Seeds.salt_of_tag tag in
+  Array.init batches (fun b ->
+      let seeds =
+        Array.init Dstruct.Lanemat.lanes (fun j ->
+            Simkit.Seeds.trial_seed ~master ~salt:(salt0 + (b * 64) + j))
+      in
+      let gen = Prng.Lanes.create seeds in
+      let inst = make_inst gen in
+      inst.Cobra.Lanes.step ~live_lo:lanes_full ~live_hi:lanes_full;
+      let m = inst.Cobra.Lanes.state () in
+      Array.init Dstruct.Lanemat.lanes (fun lane ->
+          mask_of_pred n (fun v -> Dstruct.Lanemat.mem m v ~lane)))
+
+let check_lane_fixture ~tag ~batches ~dist n make_inst =
+  let lanes = Dstruct.Lanemat.lanes in
+  let dist = List.filter (fun (_, p) -> p > 0.0) dist in
+  let cells = Array.of_list dist in
+  let k = Array.length cells in
+  let index = Hashtbl.create 64 in
+  Array.iteri (fun i (m, _) -> Hashtbl.replace index m i) cells;
+  let counts = Array.make_matrix lanes k 0 in
+  Array.iter
+    (fun masks ->
+      Array.iteri
+        (fun lane m ->
+          match Hashtbl.find_opt index m with
+          | Some i -> counts.(lane).(i) <- counts.(lane).(i) + 1
+          | None ->
+            Alcotest.failf "%s: lane %d produced %s, which has probability 0" tag
+              lane (describe_mask m))
+        masks)
+    (lanes_step_masks ~tag ~batches n make_inst);
+  (* Shared pooling structure (expected counts are identical across
+     lanes): cells whose per-lane expectation is below 5 merge into the
+     smallest adequate cell, keeping the partition exhaustive. *)
+  let exp1 = Array.map (fun (_, p) -> float_of_int batches *. p) cells in
+  let kept = List.filter (fun i -> exp1.(i) >= 5.0) (List.init k Fun.id) in
+  let sparse = List.filter (fun i -> exp1.(i) < 5.0) (List.init k Fun.id) in
+  if List.length kept < 2 then
+    Alcotest.failf "%s: fewer than two adequate cells" tag;
+  let sink =
+    List.fold_left (fun a i -> if exp1.(i) < exp1.(a) then i else a)
+      (List.hd kept) kept
+  in
+  let pool_counts obs =
+    List.map
+      (fun i ->
+        if i = sink then List.fold_left (fun a j -> a + obs.(j)) obs.(i) sparse
+        else obs.(i))
+      kept
+  in
+  let pooled_exp =
+    List.map
+      (fun i ->
+        if i = sink then List.fold_left (fun a j -> a +. exp1.(j)) exp1.(i) sparse
+        else exp1.(i))
+      kept
+  in
+  let kcells = List.length kept in
+  (* (1) stacked per-lane chi-square. *)
+  let observed =
+    Array.concat
+      (List.init lanes (fun lane -> Array.of_list (pool_counts counts.(lane))))
+  in
+  let expected =
+    Array.concat (List.init lanes (fun _ -> Array.of_list pooled_exp))
+  in
+  check_gof (tag ^ "/per-lane")
+    (Gof.pearson_chi2 ~alpha ~df:(lanes * (kcells - 1)) ~observed ~expected ());
+  (* (2) pooled marginal across all lanes. *)
+  let totals =
+    Array.init k (fun i ->
+        Array.fold_left (fun a row -> a + row.(i)) 0 counts)
+  in
+  check_gof (tag ^ "/marginal")
+    (Gof.pearson_chi2 ~alpha
+       ~observed:(Array.of_list (pool_counts totals))
+       ~expected:
+         (Array.of_list (List.map (fun e -> e *. float_of_int lanes) pooled_exp))
+       ());
+  (* (3) adjacent-lane agreement vs Binomial(sum p^2). Recount from the
+     per-batch masks: disjoint pairs, independent across batches. *)
+  let p_agree = Array.fold_left (fun a (_, p) -> a +. (p *. p)) 0.0 cells in
+  let successes = ref 0 in
+  Array.iter
+    (fun masks ->
+      for j = 0 to (lanes / 2) - 1 do
+        if masks.(2 * j) = masks.((2 * j) + 1) then incr successes
+      done)
+    (lanes_step_masks ~tag ~batches n make_inst);
+  check_gof (tag ^ "/independence")
+    (Gof.binomial_test ~alpha ~successes:!successes
+       ~trials:(batches * (lanes / 2))
+       ~p:p_agree ())
+
+let lane_params = Cobra.Kernel.default_params
+
+let test_lanes_bips_k4 () =
+  let branching = Branching.Fixed 2 in
+  let params = { lane_params with Cobra.Kernel.branching; start = 0 } in
+  check_lane_fixture ~tag:"lanes/bips/k4-k2" ~batches:1500
+    ~dist:(Exact.bips_step_dist k4 ~branching ~source:0 ~infected:[ 0 ])
+    4
+    (fun gen -> Cobra.Lanes.bips.Cobra.Lanes.create k4 params gen)
+
+let test_lanes_bips_c5 () =
+  let branching = Branching.One_plus 0.5 in
+  let params = { lane_params with Cobra.Kernel.branching; start = 0 } in
+  check_lane_fixture ~tag:"lanes/bips/c5-1+0.5" ~batches:1500
+    ~dist:(Exact.bips_step_dist c5 ~branching ~source:0 ~infected:[ 0 ])
+    5
+    (fun gen -> Cobra.Lanes.bips.Cobra.Lanes.create c5 params gen)
+
+let test_lanes_sis_q3 () =
+  let contacts = Branching.Fixed 1 and recovery = 0.3 in
+  let params =
+    { lane_params with Cobra.Kernel.branching = contacts; start = 0; recovery }
+  in
+  check_lane_fixture ~tag:"lanes/sis/q3" ~batches:1500
+    ~dist:(Exact.sis_step_dist q3 ~contacts ~recovery ~persistent:None ~infected:[ 0 ])
+    8
+    (fun gen -> Epidemic.Lanes.sis.Cobra.Lanes.create q3 params gen)
+
+let test_lanes_cobra_c5 () =
+  let branching = Branching.Fixed 2 in
+  let params = { lane_params with Cobra.Kernel.branching; start = 0 } in
+  check_lane_fixture ~tag:"lanes/cobra/c5-k2" ~batches:1500
+    ~dist:(Exact.cobra_step_dist c5 ~branching ~active:[ 0 ])
+    5
+    (fun gen -> Cobra.Lanes.cobra.Cobra.Lanes.create c5 params gen)
+
 (* ---------- mutation sensitivity ---------- *)
 
 let test_mutation_sensitivity () =
@@ -615,6 +774,13 @@ let () =
           t "without_replacement" test_sample_without_replacement;
           t "shuffle" test_sample_shuffle;
           t "alias" test_sample_alias;
+        ] );
+      ( "lanes",
+        [
+          t "bips on K4, k=2 (per-lane, marginal, independence)" test_lanes_bips_k4;
+          t "bips on C5, 1+0.5" test_lanes_bips_c5;
+          t "sis on Q3, recovery 0.3" test_lanes_sis_q3;
+          t "cobra on C5, k=2" test_lanes_cobra_c5;
         ] );
       ("mutation", [ t "perturbed branching is rejected" test_mutation_sensitivity ]);
     ]

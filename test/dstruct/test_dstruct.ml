@@ -238,6 +238,154 @@ let bitset_setops_idempotent_prop =
           Bitset.equal once twice)
         [ Bitset.union_into; Bitset.inter_into; Bitset.diff_into ])
 
+(* ---------- Lanemat vs a bool-matrix model ----------
+
+   The n x 64 lane-occupancy matrix behind the bit-sliced engine is
+   pinned against the obvious [bool array array] model at the same
+   capacity classes as the word API: empty universe, single row, and
+   both sides of every packing boundary. *)
+
+module Lanemat = Dstruct.Lanemat
+
+(* (capacity, ops): ops are (add, vertex, lane) with vertex reduced mod
+   capacity (dropped when the universe is empty). *)
+let lanemat_arb =
+  let gen =
+    QCheck.Gen.(
+      oneofl word_api_caps >>= fun cap ->
+      list_size (int_bound 150)
+        (triple bool (int_bound 4999) (int_bound (Lanemat.lanes - 1)))
+      >>= fun raw ->
+      return
+        (cap, if cap = 0 then [] else List.map (fun (a, v, l) -> (a, v mod cap, l)) raw))
+  in
+  QCheck.make
+    ~print:(fun (cap, ops) ->
+      Printf.sprintf "cap=%d ops=[%s]" cap
+        (String.concat ";"
+           (List.map
+              (fun (a, v, l) ->
+                Printf.sprintf "%s(%d,%d)" (if a then "+" else "-") v l)
+              ops)))
+    gen
+
+let lanemat_play cap ops =
+  let m = Lanemat.create cap in
+  let model = Array.make_matrix cap Lanemat.lanes false in
+  List.iter
+    (fun (add, v, lane) ->
+      if add then begin
+        Lanemat.add m v ~lane;
+        model.(v).(lane) <- true
+      end
+      else begin
+        Lanemat.remove m v ~lane;
+        model.(v).(lane) <- false
+      end)
+    ops;
+  (m, model)
+
+let lanemat_model_prop =
+  QCheck.Test.make ~name:"lanemat add/remove/mem agree with a bool matrix"
+    ~count:300 lanemat_arb (fun (cap, ops) ->
+      let m, model = lanemat_play cap ops in
+      Lanemat.capacity m = cap
+      && Lanemat.to_rows m = model
+      &&
+      let ok = ref true in
+      Array.iteri
+        (fun v row ->
+          Array.iteri
+            (fun lane b -> if Lanemat.mem m v ~lane <> b then ok := false)
+            row)
+        model;
+      !ok)
+
+let lanemat_roundtrip_prop =
+  QCheck.Test.make ~name:"of_rows/to_rows round-trip" ~count:300 lanemat_arb
+    (fun (cap, ops) ->
+      let _, model = lanemat_play cap ops in
+      Lanemat.to_rows (Lanemat.of_rows model) = model)
+
+let lanemat_counts_prop =
+  QCheck.Test.make ~name:"per-lane counts agree with the model" ~count:300
+    lanemat_arb (fun (cap, ops) ->
+      let m, model = lanemat_play cap ops in
+      let expected lane =
+        Array.fold_left (fun acc row -> if row.(lane) then acc + 1 else acc) 0 model
+      in
+      let counts = Lanemat.counts m in
+      Array.length counts = Lanemat.lanes
+      && List.for_all
+           (fun lane ->
+             counts.(lane) = expected lane
+             && Lanemat.count_lane m ~lane = expected lane)
+           (List.init Lanemat.lanes Fun.id))
+
+let lanemat_fold_prop =
+  QCheck.Test.make ~name:"fold_and/fold_or completion masks agree" ~count:300
+    lanemat_arb (fun (cap, ops) ->
+      let m, model = lanemat_play cap ops in
+      let bit_of lane pred =
+        let cell = if lane < 32 then 0 else 1 in
+        let b = lane land 31 in
+        (cell, if pred then 1 lsl b else 0)
+      in
+      let expect combine init =
+        let lo = ref 0 and hi = ref 0 in
+        for lane = 0 to Lanemat.lanes - 1 do
+          let v =
+            Array.fold_left (fun acc row -> combine acc row.(lane)) init model
+          in
+          match bit_of lane v with
+          | 0, b -> lo := !lo lor b
+          | _, b -> hi := !hi lor b
+        done;
+        (!lo, !hi)
+      in
+      Lanemat.fold_and m = expect ( && ) true
+      && Lanemat.fold_or m = expect ( || ) false)
+
+let test_lanemat_lane_mask () =
+  check Alcotest.(pair int int) "k=0" (0, 0) (Lanemat.lane_mask 0);
+  check Alcotest.(pair int int) "k=1" (1, 0) (Lanemat.lane_mask 1);
+  check Alcotest.(pair int int) "k=31" (0x7FFFFFFF, 0) (Lanemat.lane_mask 31);
+  check Alcotest.(pair int int) "k=32" (0xFFFFFFFF, 0) (Lanemat.lane_mask 32);
+  check Alcotest.(pair int int) "k=33" (0xFFFFFFFF, 1) (Lanemat.lane_mask 33);
+  check Alcotest.(pair int int) "k=63" (0xFFFFFFFF, 0x7FFFFFFF) (Lanemat.lane_mask 63);
+  check Alcotest.(pair int int) "k=64" (0xFFFFFFFF, 0xFFFFFFFF) (Lanemat.lane_mask 64);
+  Alcotest.check_raises "k=65" (Invalid_argument "Lanemat.lane_mask: k outside [0, 64]")
+    (fun () -> ignore (Lanemat.lane_mask 65))
+
+let test_lanemat_cells () =
+  let m = Lanemat.create 3 in
+  Lanemat.add m 1 ~lane:0;
+  Lanemat.add m 1 ~lane:31;
+  Lanemat.add m 1 ~lane:32;
+  Lanemat.add m 1 ~lane:63;
+  check Alcotest.int "lo cell" 0x80000001 (Lanemat.unsafe_lo m 1);
+  check Alcotest.int "hi cell" 0x80000001 (Lanemat.unsafe_hi m 1);
+  (* Writes keep only the low 32 bits. *)
+  Lanemat.unsafe_set_lo m 2 (-1);
+  check Alcotest.int "masked write" 0xFFFFFFFF (Lanemat.unsafe_lo m 2);
+  Lanemat.clear m;
+  check Alcotest.int "cleared" 0 (Lanemat.unsafe_lo m 1);
+  check Alcotest.bool "empty and vacuously full" true
+    (Lanemat.fold_and m = (0, 0) && Lanemat.fold_and (Lanemat.create 0) = (0xFFFFFFFF, 0xFFFFFFFF))
+
+let test_lanemat_blit_checks () =
+  let a = Lanemat.create 5 and b = Lanemat.create 5 in
+  Lanemat.add a 4 ~lane:63;
+  Lanemat.blit ~src:a ~dst:b;
+  check Alcotest.bool "blit copies" true (Lanemat.mem b 4 ~lane:63);
+  Alcotest.check_raises "blit mismatch"
+    (Invalid_argument "Lanemat.blit: capacity mismatch") (fun () ->
+      Lanemat.blit ~src:a ~dst:(Lanemat.create 6));
+  Alcotest.check_raises "vertex range" (Invalid_argument "Lanemat: vertex out of range")
+    (fun () -> Lanemat.add a 5 ~lane:0);
+  Alcotest.check_raises "lane range" (Invalid_argument "Lanemat: lane out of range")
+    (fun () -> Lanemat.add a 0 ~lane:64)
+
 (* ---------- Intvec ---------- *)
 
 let test_intvec_push_pop () =
@@ -377,6 +525,16 @@ let () =
           qtest bitset_choose_next_member_prop;
           qtest bitset_iter_words_prop;
           qtest bitset_setops_idempotent_prop;
+        ] );
+      ( "lanemat",
+        [
+          Alcotest.test_case "lane_mask" `Quick test_lanemat_lane_mask;
+          Alcotest.test_case "cells and masking" `Quick test_lanemat_cells;
+          Alcotest.test_case "blit and range checks" `Quick test_lanemat_blit_checks;
+          qtest lanemat_model_prop;
+          qtest lanemat_roundtrip_prop;
+          qtest lanemat_counts_prop;
+          qtest lanemat_fold_prop;
         ] );
       ( "intvec",
         [

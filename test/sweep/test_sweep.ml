@@ -476,6 +476,179 @@ let test_cell_payload_deterministic () =
         check Alcotest.bool "payload depends on master" true (a <> other))
       (Sweep.Grid.cells grid)
 
+(* ---------- lane engine ----------
+
+   The bit-sliced engine promises: [`Scalar] through [run_trials] is
+   draw-for-draw the historical per-trial loop; [`Lanes] returns one
+   outcome per trial in trial order for every remainder mod 64, is
+   deterministic in (master, salt0), agrees with scalar at full-batch
+   granularity prefixes (batch 0 of trials=65 IS the trials=64 run),
+   falls back to scalar for unsliced kernels/params, and matches scalar
+   summary statistics within Monte-Carlo tolerance. *)
+
+let outcome_t =
+  Alcotest.testable
+    (fun fmt o ->
+      Format.fprintf fmt "{completed=%b; rounds=%d; %s}" o.K.completed o.K.rounds
+        (String.concat "; "
+           (List.map (fun (k, v) -> Printf.sprintf "%s=%g" k v) o.K.observations)))
+    ( = )
+
+let outcomes_t = Alcotest.list outcome_t
+
+let lanes_kernels =
+  [
+    ("cobra", K.cobra, p0);
+    ("bips", K.bips, p0);
+    ("push", K.push, p0);
+    ("sis", Epidemic.Kernels.sis, { p0 with K.recovery = 0.4 });
+    ("sis-persistent", Epidemic.Kernels.sis,
+     { p0 with K.recovery = 0.4; persistent = true });
+    ("bips-1+rho", K.bips, { p0 with K.branching = B.one_plus 0.5 });
+  ]
+
+let test_run_trials_scalar_is_the_loop () =
+  let g = Gen.hypercube 4 in
+  List.iter
+    (fun (name, k, params) ->
+      let got =
+        Sweep.Kernels.run_trials ~engine:`Scalar k g params ~trials:5 ~master:7
+          ~salt0:12_345
+      in
+      let want =
+        Array.init 5 (fun i ->
+            K.run k g params (Simkit.Seeds.trial_rng ~master:7 ~salt:(12_345 + i)))
+      in
+      check outcomes_t (name ^ ": scalar run_trials = historical loop")
+        (Array.to_list want) (Array.to_list got))
+    lanes_kernels
+
+let test_lanes_remainders_and_determinism () =
+  let g = Gen.hypercube 4 in
+  List.iter
+    (fun (name, k, params) ->
+      check Alcotest.bool (name ^ ": lanes-capable") true
+        (Sweep.Kernels.lanes_capable k params);
+      List.iter
+        (fun trials ->
+          let run () =
+            Sweep.Kernels.run_trials ~engine:`Lanes k g params ~trials ~master:11
+              ~salt0:777
+          in
+          let a = run () in
+          check Alcotest.int
+            (Printf.sprintf "%s: %d trials -> %d outcomes" name trials trials)
+            trials (Array.length a);
+          check outcomes_t
+            (Printf.sprintf "%s: trials=%d deterministic" name trials)
+            (Array.to_list a)
+            (Array.to_list (run ())))
+        [ 1; 63; 64; 65; 130 ])
+    lanes_kernels
+
+(* Full batches are identical across trial counts: lanes of batch b
+   couple only through shared rejection rounds and skip decisions, both
+   functions of the batch's own live mask, so batch 0 of a 65- or
+   130-trial run replays the 64-trial run exactly. (No such promise for
+   partial batches: a short live mask changes the skip decisions.) *)
+let test_lanes_batch_prefix_identity () =
+  let g = Gen.hypercube 4 in
+  List.iter
+    (fun (name, k, params) ->
+      let at trials =
+        Sweep.Kernels.run_trials ~engine:`Lanes k g params ~trials ~master:11
+          ~salt0:777
+      in
+      let base = Array.to_list (at 64) in
+      List.iter
+        (fun trials ->
+          let long = at trials in
+          check outcomes_t
+            (Printf.sprintf "%s: first 64 of trials=%d = trials=64" name trials)
+            base
+            (Array.to_list (Array.sub long 0 64)))
+        [ 65; 130 ])
+    lanes_kernels
+
+let test_lanes_fallback_is_scalar () =
+  let g = Gen.hypercube 4 in
+  (* rwalk has no sliced stepper; Distinct branching has no sliced
+     pick. Both must silently run the scalar loop. *)
+  List.iter
+    (fun (name, k, params) ->
+      check Alcotest.bool (name ^ ": not lanes-capable") false
+        (Sweep.Kernels.lanes_capable k params);
+      let under engine =
+        Sweep.Kernels.run_trials ~engine k g params ~trials:7 ~master:5 ~salt0:50
+      in
+      check outcomes_t (name ^ ": lanes falls back to scalar draws")
+        (Array.to_list (under `Scalar))
+        (Array.to_list (under `Lanes)))
+    [
+      ("rwalk", K.rwalk, p0);
+      ("bips-distinct", K.bips, { p0 with K.branching = B.distinct 2 });
+      ("sis-distinct", Epidemic.Kernels.sis,
+       { p0 with K.recovery = 0.4; branching = B.distinct 2 });
+    ]
+
+(* Scalar and lanes draw the same per-trial distribution, so with 192
+   common-random-number trials each the mean rounds must agree within a
+   few standard errors. Deterministic in the fixed seeds. *)
+let test_lanes_summary_matches_scalar () =
+  let g = Gen.hypercube 5 in
+  List.iter
+    (fun (name, k, params) ->
+      let trials = 192 in
+      let rounds engine =
+        let out =
+          Sweep.Kernels.run_trials ~engine k g params ~trials ~master:3 ~salt0:9_000
+        in
+        Array.map (fun o -> float_of_int o.K.rounds) out
+      in
+      let stats a =
+        let n = float_of_int (Array.length a) in
+        let mean = Array.fold_left ( +. ) 0.0 a /. n in
+        let var =
+          Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 a
+          /. (n -. 1.0)
+        in
+        (mean, var /. n)
+      in
+      let ms, vs = stats (rounds `Scalar) in
+      let ml, vl = stats (rounds `Lanes) in
+      let bound = (5.0 *. sqrt (vs +. vl)) +. 1e-9 in
+      check Alcotest.bool
+        (Printf.sprintf "%s: |%.3f - %.3f| <= %.3f" name ms ml bound)
+        true
+        (Float.abs (ms -. ml) <= bound))
+    lanes_kernels
+
+let test_grid_engine_parse () =
+  let engine_of s =
+    match Sweep.Grid.of_inline s with
+    | Ok g -> Sweep.Kernels.engine_to_string g.Sweep.Grid.engine
+    | Error msg -> Alcotest.fail msg
+  in
+  check Alcotest.string "inline default" "scalar"
+    (engine_of "graphs=cycle:8;kernels=bips");
+  check Alcotest.string "inline engine=lanes" "lanes"
+    (engine_of "graphs=cycle:8;kernels=bips;engine=lanes");
+  (match Sweep.Grid.of_inline "graphs=cycle:8;kernels=bips;engine=warp" with
+  | Ok _ -> Alcotest.fail "expected unknown-engine error"
+  | Error msg ->
+    check Alcotest.bool ("mentions engine: " ^ msg) true (contains msg "engine"));
+  match
+    Json.of_string
+      {|{"graphs": ["cycle:8"], "kernels": ["bips"], "engine": "lanes"}|}
+  with
+  | Error msg -> Alcotest.fail msg
+  | Ok doc -> (
+    match Sweep.Grid.of_json doc with
+    | Ok g ->
+      check Alcotest.string "json engine=lanes" "lanes"
+        (Sweep.Kernels.engine_to_string g.Sweep.Grid.engine)
+    | Error msg -> Alcotest.fail ("json grid: " ^ msg))
+
 (* ---------- campaign resume equivalence (end to end) ---------- *)
 
 let read_file path =
@@ -569,6 +742,81 @@ let test_resume_refuses_changed_params () =
           (contains msg "different campaign"))
     [ ";trials=4"; ";trials=3;recovery=0.7" ]
 
+(* A lanes campaign (trials=70: one full batch + a remainder, plus
+   rwalk's scalar fallback in the mix) must resume mid-campaign to
+   byte-identical artifacts, exactly like the scalar one above. *)
+let test_lanes_resume_byte_identical () =
+  List.iter
+    (fun domains ->
+      match
+        Sweep.Grid.of_inline
+          "name=equiv;engine=lanes;graphs=cycle:12,complete:8;\
+           kernels=bips,sis,rwalk;trials=70"
+      with
+      | Error msg -> Alcotest.fail msg
+      | Ok grid -> (
+        let cells = Sweep.Grid.cells grid in
+        let dir_a = fresh_dir () and dir_b = fresh_dir () in
+        (match run_campaign ~dir:dir_a ~domains ~resume:false cells with
+        | Ok r -> check Alcotest.int "A complete" 0 r.Simkit.Campaign.remaining
+        | Error msg -> Alcotest.fail msg);
+        (match run_campaign ~dir:dir_b ~domains ~resume:false ~max_cells:2 cells with
+        | Ok r ->
+          check Alcotest.int "B interrupted with cells left" 4
+            r.Simkit.Campaign.remaining
+        | Error msg -> Alcotest.fail msg);
+        match run_campaign ~dir:dir_b ~domains ~resume:true cells with
+        | Error msg -> Alcotest.fail msg
+        | Ok r ->
+          check Alcotest.int "B resumed to completion" 0 r.Simkit.Campaign.remaining;
+          check Alcotest.int "B reused the checkpointed cells" 2
+            r.Simkit.Campaign.reused;
+          check Alcotest.string "manifest byte-identical"
+            (read_file (Filename.concat dir_a "manifest.json"))
+            (read_file (Filename.concat dir_b "manifest.json"));
+          List.iter
+            (fun c ->
+              let f =
+                Printf.sprintf "cells/cell_%05d.json" c.Simkit.Campaign.index
+              in
+              check Alcotest.string ("cell byte-identical: " ^ f)
+                (read_file (Filename.concat dir_a f))
+                (read_file (Filename.concat dir_b f)))
+            cells))
+    [ 1; 2 ]
+
+(* The engine is part of the campaign identity: checkpoints written
+   under one engine must refuse to resume under the other, in both
+   directions (lanes results are not draw-for-draw scalar results, so
+   silent reuse would mix streams). *)
+let test_resume_refuses_changed_engine () =
+  let base = "name=equiv;graphs=cycle:8;kernels=bips,sis;trials=66" in
+  let grid_of s =
+    match Sweep.Grid.of_inline s with
+    | Ok g -> g
+    | Error msg -> Alcotest.fail msg
+  in
+  List.iter
+    (fun (first, second) ->
+      let dir = fresh_dir () in
+      (match
+         run_campaign ~dir ~domains:1 ~resume:false
+           (Sweep.Grid.cells (grid_of (base ^ first)))
+       with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.fail msg);
+      match
+        run_campaign ~dir ~domains:1 ~resume:true
+          (Sweep.Grid.cells (grid_of (base ^ second)))
+      with
+      | Ok _ ->
+        Alcotest.fail
+          (Printf.sprintf "expected refusal resuming %S under %S" first second)
+      | Error msg ->
+        check Alcotest.bool ("refusal explains the mismatch: " ^ msg) true
+          (contains msg "different campaign"))
+    [ (";engine=lanes", ""); ("", ";engine=lanes") ]
+
 let () =
   Alcotest.run "sweep"
     [
@@ -613,5 +861,23 @@ let () =
             test_resume_byte_identical;
           Alcotest.test_case "resume refuses changed trials/params" `Quick
             test_resume_refuses_changed_params;
+        ] );
+      ( "lane-engine",
+        [
+          Alcotest.test_case "scalar run_trials is the historical loop" `Quick
+            test_run_trials_scalar_is_the_loop;
+          Alcotest.test_case "trial counts mod 64 and determinism" `Quick
+            test_lanes_remainders_and_determinism;
+          Alcotest.test_case "full-batch prefix identity" `Quick
+            test_lanes_batch_prefix_identity;
+          Alcotest.test_case "unsliced kernels fall back to scalar" `Quick
+            test_lanes_fallback_is_scalar;
+          Alcotest.test_case "summary statistics match scalar" `Quick
+            test_lanes_summary_matches_scalar;
+          Alcotest.test_case "grid engine parsing" `Quick test_grid_engine_parse;
+          Alcotest.test_case "lanes resume is byte-identical" `Quick
+            test_lanes_resume_byte_identical;
+          Alcotest.test_case "resume refuses changed engine" `Quick
+            test_resume_refuses_changed_engine;
         ] );
     ]
