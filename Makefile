@@ -1,8 +1,8 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check sweep-smoke bench bench-standard bench-json \
-	bench-scale bench-scale-smoke bench-lanes bench-lanes-smoke \
-	bench-compare examples clean
+.PHONY: all build test check sweep-smoke sweep-smoke-bigarray bench \
+	bench-standard bench-json bench-scale bench-scale-smoke bench-lanes \
+	bench-lanes-smoke bench-compare examples clean
 
 all: build
 
@@ -38,6 +38,24 @@ sweep-smoke:
 	done
 	@echo "sweep-smoke: resumed campaign is byte-identical"
 
+# The same drill through the off-heap Bigarray topology backend: the
+# campaign meta carries backend=bigarray, the kill/resume must still be
+# byte-identical, and — because the backend is part of the campaign
+# identity — resuming those checkpoints under the default heap backend
+# must refuse rather than silently mix representations.
+SMOKE_GRID_BIG = $(SMOKE_GRID);backend=bigarray
+sweep-smoke-bigarray:
+	rm -rf _results/smoke-big-a _results/smoke-big-b
+	dune exec bin/main.exe -- sweep --grid '$(SMOKE_GRID_BIG)' --out _results/smoke-big-a --seed 5
+	dune exec bin/main.exe -- sweep --grid '$(SMOKE_GRID_BIG)' --out _results/smoke-big-b --seed 5 --max-cells 3
+	dune exec bin/main.exe -- sweep --grid '$(SMOKE_GRID_BIG)' --out _results/smoke-big-b --seed 5 --resume
+	cmp _results/smoke-big-a/manifest.json _results/smoke-big-b/manifest.json
+	for f in _results/smoke-big-a/cells/*.json; do \
+	  cmp "$$f" "_results/smoke-big-b/cells/$$(basename $$f)" || exit 1; \
+	done
+	! dune exec bin/main.exe -- sweep --grid '$(SMOKE_GRID)' --out _results/smoke-big-a --seed 5 --resume
+	@echo "sweep-smoke-bigarray: bigarray campaign byte-identical; cross-backend resume refused"
+
 # Quick-scale kernels + experiment tables (~30 s)
 bench:
 	dune exec bench/main.exe
@@ -52,8 +70,11 @@ bench-json:
 	dune exec bench/main.exe -- --kernels-only --json BENCH_$$(date +%Y-%m-%d).json
 
 # Large-n scaling rows: generation + one full COBRA cover on random
-# 4-regular and hypercube instances at n = 10^4, 10^5, 10^6, with peak
-# RSS reported. The smoke variant (n = 10^4 only) is the CI gate.
+# 4-regular and hypercube instances at n = 10^4, 10^5, 10^6 on the heap
+# backend, then the backend rows — rr4 on off-heap Bigarray CSR
+# (n = 10^7 full) and the implicit d = 24 hypercube with no materialised
+# topology — with peak RSS reported. The smoke variant (n = 10^4,
+# bigarray n = 10^4, implicit d = 14) is the CI gate.
 bench-scale:
 	dune exec bench/main.exe -- scale --json BENCH_$$(date +%Y-%m-%d).json
 

@@ -44,14 +44,19 @@ let master = Simkit.Seeds.master ~default:1 ()
 
 let rng_of tag = Simkit.Seeds.tagged_rng ~master ~tag
 
-(* Workloads are built once, outside the timed closures. *)
-let expander_1k = Graph.Gen.random_regular (rng_of "bench:rr1k") ~n:1024 ~r:3
-let expander_4k = Graph.Gen.random_regular (rng_of "bench:rr4k") ~n:4096 ~r:3
-let complete_256 = Graph.Gen.complete 256
-let circulant_1k = Graph.Gen.circulant 1025 [ 1; 2; 3; 4; 5; 6; 7; 8 ]
-let torus_32 = Graph.Gen.torus [| 32; 32 |]
+(* Workloads are built once, outside the timed closures. Processes and
+   kernels consume Graph.View; the raw CSR fixtures stay around for the
+   substrate pairs that benchmark Csr accessors themselves, and for the
+   exact engine (dense DP, heap-only by design). *)
+let expander_1k_csr = Graph.Gen.random_regular (rng_of "bench:rr1k") ~n:1024 ~r:3
+let expander_1k = Graph.View.of_csr expander_1k_csr
+let expander_4k_csr = Graph.Gen.random_regular (rng_of "bench:rr4k") ~n:4096 ~r:3
+let expander_4k = Graph.View.of_csr expander_4k_csr
+let complete_256 = Graph.View.of_csr (Graph.Gen.complete 256)
+let circulant_1k = Graph.View.of_csr (Graph.Gen.circulant 1025 [ 1; 2; 3; 4; 5; 6; 7; 8 ])
+let torus_32 = Graph.View.of_csr (Graph.Gen.torus [| 32; 32 |])
 let petersen = Graph.Gen.petersen ()
-let herd_graph = Graph.Gen.ring_of_cliques ~cliques:6 ~clique_size:8
+let herd_graph = Graph.View.of_csr (Graph.Gen.ring_of_cliques ~cliques:6 ~clique_size:8)
 
 let cover g branching tag =
   let rng = rng_of tag in
@@ -79,7 +84,7 @@ let experiment_kernels =
     Test.make ~name:"E6/cover-circulant-n1025" (cover circulant_1k B.cobra_k2 "e6");
     Test.make ~name:"E7/cover-torus-32x32" (cover torus_32 B.cobra_k2 "e7");
     Test.make ~name:"E8/walk-cover-3reg-n256"
-      (let g = Graph.Gen.random_regular (rng_of "bench:rr256") ~n:256 ~r:3 in
+      (let g = Graph.View.of_csr (Graph.Gen.random_regular (rng_of "bench:rr256") ~n:256 ~r:3) in
        let rng = rng_of "e8" in
        Staged.stage (fun () -> ignore (Cobra.Rwalk.cover_time g ~start:0 rng)));
     Test.make ~name:"E9/growth-formula-n1024"
@@ -155,7 +160,7 @@ let substrate_kernels =
    replaced, so the table keeps measuring the delta as the library moves
    on. *)
 let kernel_pairs =
-  let g = expander_4k in
+  let g = expander_4k_csr in
   let n = Graph.Csr.n_vertices g in
   [
     Test.make ~name:"kernel/degree-sum-checked-n4096"
@@ -223,7 +228,7 @@ let kernel_pairs =
        in
        Staged.stage (fun () -> ignore (Graph.Csr.equal g h)));
     Test.make ~name:"kernel/relabel-edgelist-n1024"
-      (let g1 = expander_1k in
+      (let g1 = expander_1k_csr in
        let n1 = Graph.Csr.n_vertices g1 in
        let perm = Array.init n1 (fun v -> (v + 17) mod n1) in
        Staged.stage (fun () ->
@@ -232,7 +237,7 @@ let kernel_pairs =
                mapped := (perm.(u), perm.(v)) :: !mapped);
            ignore (Graph.Csr.of_edges ~n:n1 !mapped)));
     Test.make ~name:"kernel/relabel-direct-n1024"
-      (let g1 = expander_1k in
+      (let g1 = expander_1k_csr in
        let n1 = Graph.Csr.n_vertices g1 in
        let perm = Array.init n1 (fun v -> (v + 17) mod n1) in
        Staged.stage (fun () -> ignore (Graph.Csr.relabel g1 perm)));
@@ -322,11 +327,16 @@ let timed f =
 let run_scale ~smoke ~json_path =
   let sizes = if smoke then [ 10_000 ] else [ 10_000; 100_000; 1_000_000 ] in
   let rows = ref [] in
+  let rss_note () =
+    match peak_rss_kib () with
+    | Some kib -> Printf.printf "    (peak RSS so far: %.1f MiB)\n%!" (float_of_int kib /. 1024.0)
+    | None -> ()
+  in
   let row name seconds =
-    Printf.printf "  %-28s %8.3f s\n%!" name seconds;
+    Printf.printf "  %-36s %8.3f s\n%!" name seconds;
     rows := (name, seconds *. 1e9) :: !rows
   in
-  let cover_rows name g tag =
+  let cover_rows ?(prefix = "scale/cover-") name g tag =
     let rng = rng_of tag in
     let (covered, dt) =
       timed (fun () -> Cobra.Process.cover_time g ~branching:B.cobra_k2 ~start:0 rng)
@@ -334,7 +344,7 @@ let run_scale ~smoke ~json_path =
     (match covered with
     | Some _ -> ()
     | None -> failwith (name ^ ": COBRA failed to cover within the round cap"));
-    row ("scale/cover-" ^ name) dt
+    row (prefix ^ name) dt
   in
   Printf.printf "== Scaling rows (%s) ==\n%!"
     (if smoke then "smoke: n = 10^4" else "n = 10^4, 10^5, 10^6");
@@ -343,7 +353,8 @@ let run_scale ~smoke ~json_path =
       let label = Printf.sprintf "rr4-n%d" n in
       let (g, dt) =
         timed (fun () ->
-            Graph.Gen.random_regular (rng_of ("scale:" ^ label)) ~n ~r:4)
+            Graph.View.of_csr
+              (Graph.Gen.random_regular (rng_of ("scale:" ^ label)) ~n ~r:4))
       in
       row ("scale/gen-" ^ label) dt;
       cover_rows label g ("scale:cover:" ^ label);
@@ -353,10 +364,65 @@ let run_scale ~smoke ~json_path =
         if n <= 10_000 then 14 else if n <= 100_000 then 17 else 20
       in
       let hlabel = Printf.sprintf "hypercube-d%d" d in
-      let (h, dth) = timed (fun () -> Graph.Gen.hypercube d) in
+      let (h, dth) = timed (fun () -> Graph.View.of_csr (Graph.Gen.hypercube d)) in
       row ("scale/gen-" ^ hlabel) dth;
       cover_rows hlabel h ("scale:cover:" ^ hlabel))
     sizes;
+  (* Backend rows: the same E1-style workload through the off-heap and
+     closed-form topology layers. Full scale runs the 2 GiB-class
+     acceptance instances — random 4-regular at n = 10^7 on Bigarray
+     int32 CSR (the GC never scans the adjacency) and the d = 24
+     hypercube with no materialised topology at all; smoke shrinks them
+     to n = 10^4 / d = 14 so CI exercises both code paths cheaply. *)
+  Printf.printf "== Backend rows (%s) ==\n%!"
+    (if smoke then "smoke: bigarray n = 10^4, implicit d = 14"
+     else "bigarray n = 10^7, implicit d = 24");
+  let big_n = if smoke then 10_000 else 10_000_000 in
+  let blabel = Printf.sprintf "rr4-n%d" big_n in
+  let (gb, dtb) =
+    timed (fun () ->
+        let heap =
+          Graph.Gen.random_regular (rng_of ("scale:big:" ^ blabel)) ~n:big_n ~r:4
+        in
+        Graph.View.of_bigcsr (Graph.Bigcsr.of_csr heap))
+  in
+  row ("scale/bigarray-gen-" ^ blabel) dtb;
+  (* Drop the heap copy before covering so the cover row's RSS reflects
+     the off-heap representation. *)
+  Gc.compact ();
+  cover_rows ~prefix:"scale/bigarray-cover-" blabel gb ("scale:big:cover:" ^ blabel);
+  (* Spectral premise check at full scale, through the same view: a few
+     Lanczos steps pin lambda to ~1e-3 on an expander, and the matvec
+     runs straight off the int32 arrays. *)
+  let (lam_b, dtlb) =
+    timed (fun () ->
+        Spectral.Lanczos.lambda_max ~steps:12 (rng_of ("scale:lambda:" ^ blabel)) gb)
+  in
+  row ("scale/lanczos12-bigarray-" ^ blabel) dtlb;
+  Printf.printf "    (lambda ~ %.4f from 12 Lanczos steps on the bigarray view)\n%!"
+    lam_b;
+  rss_note ();
+  let d_imp = if smoke then 14 else 24 in
+  let ilabel = Printf.sprintf "hypercube-d%d" d_imp in
+  let (gi, dti) =
+    timed (fun () -> Graph.View.of_implicit (Graph.Implicit.hypercube d_imp))
+  in
+  row ("scale/implicit-gen-" ^ ilabel) dti;
+  cover_rows ~prefix:"scale/implicit-cover-" ilabel gi ("scale:big:cover:" ^ ilabel);
+  (* The hypercube is bipartite (lambda_min = -1), so report lambda_2
+     against its closed form 1 - 2/d rather than max(|l2|, |ln|). *)
+  let (ext_i, dtli) =
+    timed (fun () ->
+        Spectral.Lanczos.extremes ~steps:12 (rng_of ("scale:lambda:" ^ ilabel)) gi)
+  in
+  row ("scale/lanczos12-implicit-" ^ ilabel) dtli;
+  Printf.printf
+    "    (lambda_2 ~ %.4f from 12 Lanczos steps on the implicit view; closed \
+     form 1 - 2/d = %.4f; lambda_min ~ %.4f)\n%!"
+    ext_i.Spectral.Lanczos.lambda_2
+    (1.0 -. (2.0 /. float_of_int d_imp))
+    ext_i.Spectral.Lanczos.lambda_min;
+  rss_note ();
   (match peak_rss_kib () with
   | Some kib -> Printf.printf "peak RSS: %.1f MiB\n" (float_of_int kib /. 1024.0)
   | None -> print_endline "peak RSS: unavailable (no /proc)");
@@ -395,9 +461,12 @@ let run_lanes ~smoke ~json_path =
       let graphs =
         [
           ( Printf.sprintf "rr4-n%d" n,
-            Graph.Gen.random_regular (rng_of (Printf.sprintf "lanes:rr4-n%d" n))
-              ~n ~r:4 );
-          (Printf.sprintf "hypercube-d%d" d, Graph.Gen.hypercube d);
+            Graph.View.of_csr
+              (Graph.Gen.random_regular
+                 (rng_of (Printf.sprintf "lanes:rr4-n%d" n))
+                 ~n ~r:4) );
+          ( Printf.sprintf "hypercube-d%d" d,
+            Graph.View.of_csr (Graph.Gen.hypercube d) );
         ]
       in
       List.iter

@@ -11,6 +11,11 @@ let graph_conv =
   let print ppf spec = Format.pp_print_string ppf (Graph.Spec.to_string spec) in
   Arg.conv (parse, print)
 
+let backend_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Graph.View.backend_of_string s) in
+  let print ppf b = Format.pp_print_string ppf (Graph.View.backend_to_string b) in
+  Arg.conv (parse, print)
+
 let branching_conv =
   let parse s = Result.map_error (fun e -> `Msg e) (Cobra.Branching.of_string s) in
   let print ppf b = Format.pp_print_string ppf (Cobra.Branching.to_arg b) in
@@ -33,6 +38,18 @@ let graph_t =
     required
     & opt (some graph_conv) None
     & info [ "g"; "graph" ] ~docv:"GRAPH" ~doc:("Graph description. " ^ Graph.Spec.syntax_help))
+
+let backend_t =
+  Arg.(
+    value
+    & opt backend_conv `Heap
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Topology backend: heap (materialised CSR, the default), bigarray \
+           (off-heap int32 CSR; closed-form families stream in without heap \
+           materialisation), or implicit (closed-form families only, O(1) \
+           memory). All backends draw bit-identical RNG streams for the same \
+           topology.")
 
 let branching_t =
   Arg.(
@@ -70,9 +87,9 @@ let out_t ~default ~doc =
 
 (* ---------- shared helpers ---------- *)
 
-let build_graph spec ~seed =
+let build_graph ?(backend = `Heap) spec ~seed =
   let rng = Simkit.Seeds.tagged_rng ~master:seed ~tag:"cli:graph" in
-  match Graph.Spec.build spec rng with
+  match Graph.Spec.build_view spec ~backend rng with
   | Ok g -> g
   | Error msg ->
     Printf.eprintf "error: %s\n" msg;
@@ -80,7 +97,7 @@ let build_graph spec ~seed =
 
 let print_graph_line g spec =
   Printf.printf "graph %s: %s\n" (Graph.Spec.to_string spec)
-    (Format.asprintf "%a" Graph.Csr.pp g)
+    (Format.asprintf "%a" Graph.View.pp g)
 
 let summarize_trials name values censored =
   let s = Stats.Summary.of_array values in

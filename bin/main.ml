@@ -274,8 +274,8 @@ let cover_cmd =
              per-start means plus the worst - an estimate of the paper's \
              COV(G) = max over start vertices.")
   in
-  let run spec branching trials seed start cap csv scan =
-    let g = build_graph spec ~seed in
+  let run spec backend branching trials seed start cap csv scan =
+    let g = build_graph spec ~backend ~seed in
     print_graph_line g spec;
     let params = { K.default_params with K.branching; start; cap } in
     (match scan with
@@ -287,7 +287,7 @@ let cover_cmd =
         ~measure:(fun rng -> kernel_completion_time K.cobra g params rng)
         ()
     | Some k ->
-      let n = Graph.Csr.n_vertices g in
+      let n = Graph.View.n_vertices g in
       let k = min k n in
       let rng = Simkit.Seeds.tagged_rng ~master:seed ~tag:"cli:scan" in
       let starts = Prng.Sample.without_replacement rng ~k ~n in
@@ -330,8 +330,8 @@ let cover_cmd =
   let doc = "Measure COBRA cover times." in
   Cmd.v (Cmd.info "cover" ~doc)
     Term.(
-      const run $ graph_t $ branching_t $ trials_t $ seed_t $ start_t $ cap_t $ csv_t
-      $ scan_t)
+      const run $ graph_t $ backend_t $ branching_t $ trials_t $ seed_t $ start_t
+      $ cap_t $ csv_t $ scan_t)
 
 (* ---------- bips ---------- *)
 
@@ -339,8 +339,8 @@ let bips_cmd =
   let source_t =
     Arg.(value & opt int 0 & info [ "source" ] ~docv:"V" ~doc:"Persistent source vertex.")
   in
-  let run spec branching trials seed source cap csv =
-    let g = build_graph spec ~seed in
+  let run spec backend branching trials seed source cap csv =
+    let g = build_graph spec ~backend ~seed in
     print_graph_line g spec;
     Printf.printf "BIPS infection time, branching %s, source %d, %d trials, seed %d\n"
       (Cobra.Branching.to_string branching)
@@ -353,7 +353,9 @@ let bips_cmd =
   in
   let doc = "Measure BIPS infection times." in
   Cmd.v (Cmd.info "bips" ~doc)
-    Term.(const run $ graph_t $ branching_t $ trials_t $ seed_t $ source_t $ cap_t $ csv_t)
+    Term.(
+      const run $ graph_t $ backend_t $ branching_t $ trials_t $ seed_t $ source_t
+      $ cap_t $ csv_t)
 
 (* ---------- walk ---------- *)
 
@@ -363,8 +365,8 @@ let walk_cmd =
       value & opt int 1
       & info [ "walkers" ] ~docv:"N" ~doc:"Number of independent walkers (default 1).")
   in
-  let run spec trials seed start cap walkers csv =
-    let g = build_graph spec ~seed in
+  let run spec backend trials seed start cap walkers csv =
+    let g = build_graph spec ~backend ~seed in
     print_graph_line g spec;
     Printf.printf "%d independent random walk(s), start %d, %d trials, seed %d\n"
       walkers start trials seed;
@@ -376,7 +378,9 @@ let walk_cmd =
   in
   let doc = "Measure random-walk cover times (k=1 baseline; --walkers for many)." in
   Cmd.v (Cmd.info "walk" ~doc)
-    Term.(const run $ graph_t $ trials_t $ seed_t $ start_t $ cap_t $ walkers_t $ csv_t)
+    Term.(
+      const run $ graph_t $ backend_t $ trials_t $ seed_t $ start_t $ cap_t
+      $ walkers_t $ csv_t)
 
 (* ---------- push ---------- *)
 
@@ -387,8 +391,8 @@ let push_cmd =
       & opt (enum [ ("push", `Push); ("push-pull", `Push_pull); ("flood", `Flood) ]) `Push
       & info [ "protocol" ] ~docv:"P" ~doc:"push | push-pull | flood.")
   in
-  let run spec protocol trials seed cap =
-    let g = build_graph spec ~seed in
+  let run spec backend protocol trials seed cap =
+    let g = build_graph spec ~backend ~seed in
     print_graph_line g spec;
     (match protocol with
     | `Flood ->
@@ -427,7 +431,7 @@ let push_cmd =
   in
   let doc = "Run rumour-spreading baselines (push, push-pull, flooding)." in
   Cmd.v (Cmd.info "push" ~doc)
-    Term.(const run $ graph_t $ protocol_t $ trials_t $ seed_t $ cap_t)
+    Term.(const run $ graph_t $ backend_t $ protocol_t $ trials_t $ seed_t $ cap_t)
 
 (* ---------- duality ---------- *)
 
@@ -446,9 +450,10 @@ let duality_cmd =
       t u v cobra_rate c.Cobra.Duality.cobra_trials u bips_rate
       c.Cobra.Duality.bips_trials;
     if exact then begin
-      if Graph.Csr.n_vertices g <= Cobra.Exact.max_vertices then begin
-        let s = Cobra.Exact.cobra_hit_survival g ~branching ~start:[ u ] ~target:v ~t_max:t in
-        let a = Cobra.Exact.bips_avoid g ~branching ~source:v ~avoid:[ u ] ~t_max:t in
+      if Graph.View.n_vertices g <= Cobra.Exact.max_vertices then begin
+        let gc = Graph.View.to_csr g in
+        let s = Cobra.Exact.cobra_hit_survival gc ~branching ~start:[ u ] ~target:v ~t_max:t in
+        let a = Cobra.Exact.bips_avoid gc ~branching ~source:v ~avoid:[ u ] ~t_max:t in
         Printf.printf "exact: P(Hit > t) = %.6f   P(u not in A_t) = %.6f   |diff| = %.2e\n"
           s.(t) a.(t)
           (Float.abs (s.(t) -. a.(t)))
@@ -468,10 +473,10 @@ let duality_cmd =
 (* ---------- spectral ---------- *)
 
 let spectral_cmd =
-  let run spec seed =
-    let g = build_graph spec ~seed in
+  let run spec backend seed =
+    let g = build_graph spec ~backend ~seed in
     print_graph_line g spec;
-    (match Graph.Csr.regularity g with
+    (match Graph.View.regularity g with
     | Some r when r > 0 ->
       let rng = Simkit.Seeds.tagged_rng ~master:seed ~tag:"cli:spectral" in
       let p2 = Spectral.Power.lambda_2 (Prng.Rng.split rng) g in
@@ -484,17 +489,17 @@ let spectral_cmd =
       Printf.printf "lanczos         : lambda_2 = %+.6f  lambda_n = %+.6f\n"
         lz.Spectral.Lanczos.lambda_2 lz.Spectral.Lanczos.lambda_min;
       Printf.printf "%s\n" (Format.asprintf "%a" Spectral.Gap.pp gap);
-      let n = Graph.Csr.n_vertices g in
+      let n = Graph.View.n_vertices g in
       Printf.printf "theorem-1 scale log n / gap^3 = %.1f rounds; premise gap/sqrt(log n/n) = %.2f\n"
         (Spectral.Gap.theorem1_bound ~n gap)
         (Spectral.Gap.satisfies_gap_condition ~n gap)
     | _ ->
       Printf.printf "graph is not regular: degrees %d..%d (spectral bounds in the paper need regularity)\n"
-        (Graph.Csr.min_degree g) (Graph.Csr.max_degree g));
+        (Graph.View.min_degree g) (Graph.View.max_degree g));
     0
   in
   let doc = "Estimate the walk-matrix spectrum and the paper's gap quantities." in
-  Cmd.v (Cmd.info "spectral" ~doc) Term.(const run $ graph_t $ seed_t)
+  Cmd.v (Cmd.info "spectral" ~doc) Term.(const run $ graph_t $ backend_t $ seed_t)
 
 (* ---------- gen ---------- *)
 
@@ -512,7 +517,7 @@ let gen_cmd =
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (default stdout).")
   in
   let run spec seed format out =
-    let g = build_graph spec ~seed in
+    let g = Graph.View.to_csr (build_graph spec ~seed) in
     let payload =
       match format with
       | `Edges -> Graph.Io.to_edge_list g
@@ -539,10 +544,12 @@ let herd_cmd =
     Arg.(value & flag & info [ "pi" ] ~doc:"Introduce a persistently infected animal.")
   in
   let run pens pen_size pi trials seed =
-    let g = Graph.Gen.ring_of_cliques ~cliques:pens ~clique_size:pen_size in
+    let g =
+      Graph.View.of_csr (Graph.Gen.ring_of_cliques ~cliques:pens ~clique_size:pen_size)
+    in
     Printf.printf "herd: %d pens x %d animals (%s)\n" pens pen_size
-      (Format.asprintf "%a" Graph.Csr.pp g);
-    let n = Graph.Csr.n_vertices g in
+      (Format.asprintf "%a" Graph.View.pp g);
+    let n = Graph.View.n_vertices g in
     let params =
       {
         K.default_params with
@@ -584,8 +591,9 @@ let herd_cmd =
 
 let exact_cmd =
   let run spec branching seed u v t =
-    let g = build_graph spec ~seed in
-    print_graph_line g spec;
+    let gv = build_graph spec ~seed in
+    print_graph_line gv spec;
+    let g = Graph.View.to_csr gv in
     let n = Graph.Csr.n_vertices g in
     if n > Cobra.Exact.max_vertices then begin
       Printf.eprintf "error: exact computation needs at most %d vertices (got %d)\n"

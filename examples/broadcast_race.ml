@@ -22,8 +22,8 @@ let mean xs = Array.fold_left ( +. ) 0.0 xs /. Float.of_int (Array.length xs)
 
 let () =
   let rng = Prng.Rng.create 7 in
-  let g = Graph.Gen.random_regular rng ~n ~r:3 in
-  Format.printf "network: %a@.@." Graph.Csr.pp g;
+  let g = Graph.View.of_csr (Graph.Gen.random_regular rng ~n ~r:3) in
+  Format.printf "network: %a@.@." Graph.View.pp g;
   let table = Stats.Table.create [ "protocol"; "rounds"; "transmissions"; "tx/node" ] in
   let row name rounds tx =
     Stats.Table.add_row table

@@ -36,8 +36,8 @@ let () =
 
   (* 4. Monte-Carlo on a graph far beyond exact reach. *)
   let rng = Prng.Rng.create 99 in
-  let g = Graph.Gen.random_regular rng ~n:500 ~r:4 in
-  Format.printf "@.Monte-Carlo on %a:@." Graph.Csr.pp g;
+  let g = Graph.View.of_csr (Graph.Gen.random_regular rng ~n:500 ~r:4) in
+  Format.printf "@.Monte-Carlo on %a:@." Graph.View.pp g;
   List.iter
     (fun t ->
       let c = Cobra.Duality.compare_at ~trials:40_000 g ~branching:k2 ~u:3 ~v:77 ~t rng in

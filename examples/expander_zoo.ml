@@ -14,7 +14,7 @@ let mean_cover g rng =
   let s = Stats.Summary.create () in
   for _ = 1 to trials do
     match
-      Cobra.Process.cover_time ~cap:(200 * Graph.Csr.n_vertices g) g
+      Cobra.Process.cover_time ~cap:(200 * Graph.View.n_vertices g) g
         ~branching:Cobra.Branching.cobra_k2 ~start:0 rng
     with
     | Some t -> Stats.Summary.add_int s t
@@ -47,10 +47,12 @@ let () =
   List.iter
     (fun (desc, closed_form) ->
       let spec = Result.get_ok (Graph.Spec.parse desc) in
-      let g = Result.get_ok (Graph.Spec.build spec (Prng.Rng.split rng)) in
-      let n = Graph.Csr.n_vertices g in
+      let g =
+        Result.get_ok (Graph.Spec.build_view spec ~backend:`Heap (Prng.Rng.split rng))
+      in
+      let n = Graph.View.n_vertices g in
       let lambda_cell, premise_cell, bound_cell =
-        match Graph.Csr.regularity g with
+        match Graph.View.regularity g with
         | Some r when r > 0 ->
           let gap = Spectral.Gap.estimate (Prng.Rng.split rng) g in
           (match closed_form with
@@ -65,10 +67,10 @@ let () =
         | _ -> ("(irregular)", "-", "-")
       in
       let r_cell =
-        match Graph.Csr.regularity g with
+        match Graph.View.regularity g with
         | Some r -> string_of_int r
         | None ->
-          Printf.sprintf "%d-%d" (Graph.Csr.min_degree g) (Graph.Csr.max_degree g)
+          Printf.sprintf "%d-%d" (Graph.View.min_degree g) (Graph.View.max_degree g)
       in
       Stats.Table.add_row table
         [

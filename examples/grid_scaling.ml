@@ -23,8 +23,9 @@ let () =
   let table =
     Stats.Table.create [ "graph"; "n"; "cover (mean)"; "ln n"; "n^(1/2)"; "n" ]
   in
-  let row name g =
-    let n = Graph.Csr.n_vertices g in
+  let row name gc =
+    let g = Graph.View.of_csr gc in
+    let n = Graph.View.n_vertices g in
     let c = mean_cover g rng in
     Stats.Table.add_row table
       [

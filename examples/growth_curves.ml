@@ -14,9 +14,9 @@ let r = 4
 
 let () =
   let rng = Prng.Rng.create 77 in
-  let g = Graph.Gen.random_regular rng ~n ~r in
+  let g = Graph.View.of_csr (Graph.Gen.random_regular rng ~n ~r) in
   let gap = Spectral.Gap.estimate rng g in
-  Format.printf "graph: %a, %a@.@." Graph.Csr.pp g Spectral.Gap.pp gap;
+  Format.printf "graph: %a, %a@.@." Graph.View.pp g Spectral.Gap.pp gap;
 
   let frontier =
     Cobra.Process.frontier_trajectory g ~branching:Cobra.Branching.cobra_k2 ~start:0 rng

@@ -17,9 +17,9 @@ let pen_size = 15
 let trials = 40
 
 let () =
-  let g = Graph.Gen.ring_of_cliques ~cliques:pens ~clique_size:pen_size in
-  let n = Graph.Csr.n_vertices g in
-  Format.printf "herd: %d pens x %d animals — %a@.@." pens pen_size Graph.Csr.pp g;
+  let g = Graph.View.of_csr (Graph.Gen.ring_of_cliques ~cliques:pens ~clique_size:pen_size) in
+  let n = Graph.View.n_vertices g in
+  Format.printf "herd: %d pens x %d animals — %a@.@." pens pen_size Graph.View.pp g;
   let params =
     { Epidemic.Herd.contacts = Cobra.Branching.cobra_k2;
       infectious_rounds = 2; immune_rounds = 8 }

@@ -10,8 +10,9 @@ let () =
   let rng = Prng.Rng.create 2016 in
 
   (* 1. A random 3-regular graph on 10'000 vertices: an expander w.h.p. *)
-  let g = Graph.Gen.random_regular rng ~n:10_000 ~r:3 in
-  Format.printf "graph: %a, connected: %b@." Graph.Csr.pp g (Graph.Algo.is_connected g);
+  let gc = Graph.Gen.random_regular rng ~n:10_000 ~r:3 in
+  let g = Graph.View.of_csr gc in
+  Format.printf "graph: %a, connected: %b@." Graph.View.pp g (Graph.Algo.is_connected gc);
 
   (* 2. Its spectral gap, and what Theorem 1 predicts from it. *)
   let gap = Spectral.Gap.estimate rng g in

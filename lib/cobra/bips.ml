@@ -2,7 +2,7 @@ module Bitset = Dstruct.Bitset
 module Intvec = Dstruct.Intvec
 
 type t = {
-  graph : Graph.Csr.t;
+  graph : Graph.View.t;
   branching : Branching.t;
   mutable source : int;
   mutable infected : Bitset.t; (* A_t *)
@@ -12,11 +12,11 @@ type t = {
 }
 
 let check_source g v =
-  if v < 0 || v >= Graph.Csr.n_vertices g then
+  if v < 0 || v >= Graph.View.n_vertices g then
     invalid_arg "Bips: source out of range"
 
 let create g ~branching ~source =
-  let n = Graph.Csr.n_vertices g in
+  let n = Graph.View.n_vertices g in
   if n = 0 then invalid_arg "Bips.create: empty graph";
   check_source g source;
   let infected = Bitset.create n in
@@ -47,11 +47,11 @@ let round p = p.round
 let infected p u = Bitset.mem p.infected u
 let infected_count p = p.count
 let infected_set p = Array.of_list (Bitset.to_list p.infected)
-let is_saturated p = p.count = Graph.Csr.n_vertices p.graph
+let is_saturated p = p.count = Graph.View.n_vertices p.graph
 
 let step p rng =
   let g = p.graph in
-  let n = Graph.Csr.n_vertices g in
+  let n = Graph.View.n_vertices g in
   Bitset.clear p.next;
   let count = ref 0 in
   (* [u] scans [0 .. n-1] and [w] comes from the adjacency array, so the
@@ -77,7 +77,7 @@ let step p rng =
   p.count <- !count;
   p.round <- p.round + 1
 
-let default_cap g = 10_000 + (100 * Graph.Csr.n_vertices g)
+let default_cap g = 10_000 + (100 * Graph.View.n_vertices g)
 
 let infection_time ?cap g ~branching ~source rng =
   let cap = match cap with Some c -> c | None -> default_cap g in

@@ -16,10 +16,10 @@
 type t
 
 (** [create g ~branching ~source] initialises with [A_0 = {source}]. *)
-val create : Graph.Csr.t -> branching:Branching.t -> source:int -> t
+val create : Graph.View.t -> branching:Branching.t -> source:int -> t
 
 (** [graph p], [branching p], [source p] recover the configuration. *)
-val graph : t -> Graph.Csr.t
+val graph : t -> Graph.View.t
 
 val branching : t -> Branching.t
 val source : t -> int
@@ -51,9 +51,9 @@ val reset : t -> source:int -> unit
     [A_t = V], or [None] if [cap] rounds pass (default
     [10_000 + 100 * n]). *)
 val infection_time :
-  ?cap:int -> Graph.Csr.t -> branching:Branching.t -> source:int -> Prng.Rng.t -> int option
+  ?cap:int -> Graph.View.t -> branching:Branching.t -> source:int -> Prng.Rng.t -> int option
 
 (** [size_trajectory ?cap g ~branching ~source rng] records [|A_t|] for
     [t = 0, 1, ...] until saturation (or cap) — Lemma 1's growth data. *)
 val size_trajectory :
-  ?cap:int -> Graph.Csr.t -> branching:Branching.t -> source:int -> Prng.Rng.t -> int array
+  ?cap:int -> Graph.View.t -> branching:Branching.t -> source:int -> Prng.Rng.t -> int array

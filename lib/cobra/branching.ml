@@ -29,26 +29,26 @@ let iter_picks t rng g v ~f =
   (* One range check per call; the per-pick reads then use the unchecked
      CSR accessors (every pick stays inside [v]'s adjacency slice). This
      is the innermost loop of [Process.step] and [Bips.step]. *)
-  if v < 0 || v >= Graph.Csr.n_vertices g then
+  if v < 0 || v >= Graph.View.n_vertices g then
     invalid_arg "Branching.iter_picks: vertex out of range";
-  let deg = Graph.Csr.unsafe_degree g v in
+  let deg = Graph.View.unsafe_degree g v in
   if deg = 0 then invalid_arg "Branching.iter_picks: isolated vertex";
   match t with
   | Fixed _ | One_plus _ ->
     let picks = draws t rng in
     for _ = 1 to picks do
-      f (Graph.Csr.unsafe_random_neighbour g rng v)
+      f (Graph.View.unsafe_random_neighbour g rng v)
     done;
     picks
   | Distinct k ->
     let k = min k deg in
     if k = deg then begin
-      Graph.Csr.unsafe_iter_neighbours g v ~f;
+      Graph.View.unsafe_iter_neighbours g v ~f;
       deg
     end
     else begin
       let picked = Prng.Sample.without_replacement rng ~k ~n:deg in
-      Array.iter (fun i -> f (Graph.Csr.unsafe_nth_neighbour g v i)) picked;
+      Array.iter (fun i -> f (Graph.View.unsafe_nth_neighbour g v i)) picked;
       k
     end
 

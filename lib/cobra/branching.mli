@@ -53,7 +53,7 @@ val draws : t -> Prng.Rng.t -> int
     vertex [v] and applies [f] to each — the single sampling routine every
     process engine uses, so all of them agree on each scheme's meaning.
     Returns the number of picks made. *)
-val iter_picks : t -> Prng.Rng.t -> Graph.Csr.t -> int -> f:(int -> unit) -> int
+val iter_picks : t -> Prng.Rng.t -> Graph.View.t -> int -> f:(int -> unit) -> int
 
 (** [pick_count_distribution t] lists [(count, probability)] pairs of the
     nominal pick count — used by the exact small-graph engine (which

@@ -20,7 +20,7 @@ type comparison = {
     [target] after [t] rounds. Returns [(surviving, trials)]. *)
 val cobra_survival_estimate :
   ?trials:int ->
-  Graph.Csr.t ->
+  Graph.View.t ->
   branching:Branching.t ->
   start:int ->
   target:int ->
@@ -33,7 +33,7 @@ val cobra_survival_estimate :
     source. Returns [(absent, trials)]. *)
 val bips_absent_estimate :
   ?trials:int ->
-  Graph.Csr.t ->
+  Graph.View.t ->
   branching:Branching.t ->
   source:int ->
   vertex:int ->
@@ -46,7 +46,7 @@ val bips_absent_estimate :
     infecting [u]. *)
 val compare_at :
   ?trials:int ->
-  Graph.Csr.t ->
+  Graph.View.t ->
   branching:Branching.t ->
   u:int ->
   v:int ->

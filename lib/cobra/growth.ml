@@ -2,16 +2,16 @@ module Bitset = Dstruct.Bitset
 module Intvec = Dstruct.Intvec
 
 let expected_next_size g ~branching ~source ~infected =
-  let n = Graph.Csr.n_vertices g in
+  let n = Graph.View.n_vertices g in
   if Bitset.capacity infected <> n then invalid_arg "Growth: set/graph size mismatch";
   if not (Bitset.mem infected source) then
     invalid_arg "Growth.expected_next_size: infected must contain the source";
   let acc = ref 1.0 in
   for u = 0 to n - 1 do
     if u <> source then begin
-      let deg = Graph.Csr.degree g u in
+      let deg = Graph.View.degree g u in
       let hits =
-        Graph.Csr.fold_neighbours g u ~init:0 ~f:(fun c w ->
+        Graph.View.fold_neighbours g u ~init:0 ~f:(fun c w ->
             if Bitset.mem infected w then c + 1 else c)
       in
       acc :=
@@ -49,7 +49,7 @@ let transition_samples ?cap g ~branching ~source ~trials rng =
   Array.init (Array.length a) (fun i -> (a.(i), b.(i)))
 
 let random_infected_set rng g ~source ~size =
-  let n = Graph.Csr.n_vertices g in
+  let n = Graph.View.n_vertices g in
   if size < 1 || size > n then invalid_arg "Growth.random_infected_set: size in [1, n]";
   if source < 0 || source >= n then invalid_arg "Growth.random_infected_set: bad source";
   let set = Bitset.create n in

@@ -15,7 +15,7 @@
     closed-form conditional expectation. [infected] must contain
     [source]. *)
 val expected_next_size :
-  Graph.Csr.t -> branching:Branching.t -> source:int -> infected:Dstruct.Bitset.t -> float
+  Graph.View.t -> branching:Branching.t -> source:int -> infected:Dstruct.Bitset.t -> float
 
 (** [lemma1_bound ~n ~lambda ~branching ~a] is the lemma's lower bound for
     an infected set of size [a] on an n-vertex regular graph with second
@@ -30,7 +30,7 @@ val lemma1_bound : n:int -> lambda:float -> branching:Branching.t -> a:int -> fl
     raw data behind the measured-growth report. *)
 val transition_samples :
   ?cap:int ->
-  Graph.Csr.t ->
+  Graph.View.t ->
   branching:Branching.t ->
   source:int ->
   trials:int ->
@@ -41,4 +41,4 @@ val transition_samples :
     of the given size containing [source] — for property tests of the
     bound over arbitrary sets. *)
 val random_infected_set :
-  Prng.Rng.t -> Graph.Csr.t -> source:int -> size:int -> Dstruct.Bitset.t
+  Prng.Rng.t -> Graph.View.t -> source:int -> size:int -> Dstruct.Bitset.t

@@ -37,8 +37,8 @@ type instance = {
 type t = {
   name : string;
   doc : string;
-  default_cap : Graph.Csr.t -> int;
-  create : Graph.Csr.t -> params -> instance;
+  default_cap : Graph.View.t -> int;
+  create : Graph.View.t -> params -> instance;
 }
 
 type outcome = {
@@ -62,7 +62,7 @@ let observation o key = List.assoc_opt key o.observations
 
 let fi = float_of_int
 
-let round_cap g = 10_000 + (100 * Graph.Csr.n_vertices g)
+let round_cap g = 10_000 + (100 * Graph.View.n_vertices g)
 
 let cobra =
   {
@@ -117,11 +117,11 @@ let rwalk =
     doc = "independent simple random walk(s), run to cover";
     default_cap =
       (fun g ->
-        let n = Graph.Csr.n_vertices g in
+        let n = Graph.View.n_vertices g in
         (100 * n * n) + 10_000);
     create =
       (fun g params ->
-        let n = Graph.Csr.n_vertices g in
+        let n = Graph.View.n_vertices g in
         if params.start < 0 || params.start >= n then
           invalid_arg "Kernel.rwalk: start out of range";
         if params.walkers < 1 then invalid_arg "Kernel.rwalk: walkers >= 1";
@@ -134,7 +134,7 @@ let rwalk =
           step =
             (fun rng ->
               for w = 0 to params.walkers - 1 do
-                let next = Graph.Csr.unsafe_random_neighbour g rng positions.(w) in
+                let next = Graph.View.unsafe_random_neighbour g rng positions.(w) in
                 positions.(w) <- next;
                 if not (Bitset.unsafe_mem seen next) then begin
                   Bitset.unsafe_add seen next;
@@ -161,7 +161,7 @@ let push =
     default_cap = round_cap;
     create =
       (fun g params ->
-        let n = Graph.Csr.n_vertices g in
+        let n = Graph.View.n_vertices g in
         if params.start < 0 || params.start >= n then
           invalid_arg "Kernel.push: start out of range";
         let informed = Bitset.create n in
@@ -175,7 +175,7 @@ let push =
               Bitset.iter
                 (fun u ->
                   incr transmissions;
-                  let w = Graph.Csr.random_neighbour g rng u in
+                  let w = Graph.View.random_neighbour g rng u in
                   if not (Bitset.unsafe_mem informed w) then
                     Dstruct.Intvec.push newly w)
                 informed;

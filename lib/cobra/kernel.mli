@@ -56,10 +56,10 @@ type instance = {
 type t = {
   name : string;  (** CLI / grid identifier, e.g. ["cobra"] *)
   doc : string;  (** one-line description *)
-  default_cap : Graph.Csr.t -> int;
+  default_cap : Graph.View.t -> int;
       (** the cap {!run} applies when [params.cap = None]; matches the
           wrapped process's historical default *)
-  create : Graph.Csr.t -> params -> instance;
+  create : Graph.View.t -> params -> instance;
 }
 
 (** The result of driving an instance to completion or the cap. *)
@@ -73,7 +73,7 @@ type outcome = {
     [is_complete] or [params.cap] (default [t.default_cap g]) rounds.
     The loop is the exact shape of the historical one-shot drivers, so
     for equal input streams the results coincide bit-for-bit. *)
-val run : t -> Graph.Csr.t -> params -> Prng.Rng.t -> outcome
+val run : t -> Graph.View.t -> params -> Prng.Rng.t -> outcome
 
 (** [observation o key] looks a named observable up in [o]. *)
 val observation : outcome -> string -> float option

@@ -36,7 +36,7 @@ let ctz x =
   let x = (x land 0x33333333) + ((x lsr 2) land 0x33333333) in
   let x = (x + (x lsr 4)) land 0x0F0F0F0F in
   (x * 0x01010101) lsr 24 land 0x3F
-let round_cap g = 10_000 + (100 * Graph.Csr.n_vertices g)
+let round_cap g = 10_000 + (100 * Graph.View.n_vertices g)
 
 type instance = {
   step : live_lo:int -> live_hi:int -> unit;
@@ -47,9 +47,9 @@ type instance = {
 
 type t = {
   name : string;
-  default_cap : Graph.Csr.t -> int;
+  default_cap : Graph.View.t -> int;
   supports : Kernel.params -> bool;
-  create : Graph.Csr.t -> Kernel.params -> Prng.Lanes.t -> instance;
+  create : Graph.View.t -> Kernel.params -> Prng.Lanes.t -> instance;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -57,7 +57,7 @@ type t = {
 
 module Slice = struct
   type picker = {
-    graph : Graph.Csr.t;
+    graph : Graph.View.t;
     branching : Branching.t option; (* None: single uniform pick (push) *)
     lp : int array; (* index bit-planes of the last draw, lo block *)
     hp : int array;
@@ -78,7 +78,7 @@ module Slice = struct
     | Some b when not (supported b) ->
       invalid_arg "Lanes: Distinct branching has no sliced stepper"
     | _ -> ());
-    let nbits_max = Prng.Lanes.bits_for (max 1 (Graph.Csr.max_degree graph)) in
+    let nbits_max = Prng.Lanes.bits_for (max 1 (Graph.View.max_degree graph)) in
     {
       graph;
       branching;
@@ -100,10 +100,10 @@ module Slice = struct
      draw-free pre-test behind every skip decision. *)
   let nb_or p members ~v =
     let g = p.graph in
-    let deg = Graph.Csr.unsafe_degree g v in
+    let deg = Graph.View.unsafe_degree g v in
     let acc_lo = ref 0 and acc_hi = ref 0 in
     for d = 0 to deg - 1 do
-      let w = Graph.Csr.unsafe_nth_neighbour g v d in
+      let w = Graph.View.unsafe_nth_neighbour g v d in
       acc_lo := !acc_lo lor Lanemat.unsafe_lo members w;
       acc_hi := !acc_hi lor Lanemat.unsafe_hi members w
     done;
@@ -118,11 +118,11 @@ module Slice = struct
      steppers skip whole pick rounds once neighbourhoods saturate. *)
   let nb_or_and p members ~v =
     let g = p.graph in
-    let deg = Graph.Csr.unsafe_degree g v in
+    let deg = Graph.View.unsafe_degree g v in
     let or_lo = ref 0 and or_hi = ref 0 in
     let and_lo = ref full and and_hi = ref full in
     for d = 0 to deg - 1 do
-      let w = Graph.Csr.unsafe_nth_neighbour g v d in
+      let w = Graph.View.unsafe_nth_neighbour g v d in
       let mlo = Lanemat.unsafe_lo members w in
       let mhi = Lanemat.unsafe_hi members w in
       or_lo := !or_lo lor mlo;
@@ -158,7 +158,7 @@ module Slice = struct
     let g = p.graph in
     Prng.Lanes.uniform_planes gen ~bound:deg ~nbits ~lo:p.lp ~hi:p.hp;
     for d = 0 to deg - 1 do
-      let w = Graph.Csr.unsafe_nth_neighbour g v d in
+      let w = Graph.View.unsafe_nth_neighbour g v d in
       p.glo.(d) <- Lanemat.unsafe_lo members w;
       p.ghi.(d) <- Lanemat.unsafe_hi members w
     done;
@@ -174,7 +174,7 @@ module Slice = struct
      least one of lane [j]'s picks from [v]'s neighbourhood lands in
      [members] — the sliced core of the BIPS / SIS exposure rule. *)
   let hit p gen members ~v =
-    let deg = Graph.Csr.unsafe_degree p.graph v in
+    let deg = Graph.View.unsafe_degree p.graph v in
     if deg = 0 then invalid_arg "Lanes: isolated vertex";
     let nbits = Prng.Lanes.bits_for deg in
     match p.branching with
@@ -214,7 +214,7 @@ module Slice = struct
      at a time, so the cost is [deg * nbits] words. *)
   let scatter_one p gen ~v ~base_lo ~base_hi ~into =
     let g = p.graph in
-    let deg = Graph.Csr.unsafe_degree g v in
+    let deg = Graph.View.unsafe_degree g v in
     if deg = 0 then invalid_arg "Lanes: isolated vertex";
     let nbits = Prng.Lanes.bits_for deg in
     Prng.Lanes.uniform_planes gen ~bound:deg ~nbits ~lo:p.lp ~hi:p.hp;
@@ -231,7 +231,7 @@ module Slice = struct
         end
       done;
       if !eq_lo lor !eq_hi <> 0 then begin
-        let w = Graph.Csr.unsafe_nth_neighbour g v d in
+        let w = Graph.View.unsafe_nth_neighbour g v d in
         Lanemat.unsafe_set_lo into w (Lanemat.unsafe_lo into w lor !eq_lo);
         Lanemat.unsafe_set_hi into w (Lanemat.unsafe_hi into w lor !eq_hi)
       end
@@ -311,7 +311,7 @@ let run_batch t g params gen ~n_active =
 (* Sliced steppers                                                     *)
 
 let check_start g start =
-  if start < 0 || start >= Graph.Csr.n_vertices g then
+  if start < 0 || start >= Graph.View.n_vertices g then
     invalid_arg "Lanes: start out of range"
 
 (* BIPS, sliced: every vertex redraws its infection each round from the
@@ -328,7 +328,7 @@ let bips =
     create =
       (fun g params gen ->
         check_start g params.Kernel.start;
-        let n = Graph.Csr.n_vertices g in
+        let n = Graph.View.n_vertices g in
         let source = params.Kernel.start in
         let cur = ref (Lanemat.create n) and nxt = ref (Lanemat.create n) in
         Lanemat.unsafe_set_lo !cur source full;
@@ -409,7 +409,7 @@ let cobra =
     create =
       (fun g params gen ->
         check_start g params.Kernel.start;
-        let n = Graph.Csr.n_vertices g in
+        let n = Graph.View.n_vertices g in
         let start = params.Kernel.start in
         let frontier = ref (Lanemat.create n) and nxt = ref (Lanemat.create n) in
         let visited = Lanemat.create n in
@@ -493,7 +493,7 @@ let push =
     create =
       (fun g params gen ->
         check_start g params.Kernel.start;
-        let n = Graph.Csr.n_vertices g in
+        let n = Graph.View.n_vertices g in
         let start = params.Kernel.start in
         let informed = Lanemat.create n in
         let newly = Lanemat.create n in

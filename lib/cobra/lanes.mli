@@ -42,9 +42,9 @@ type instance = {
     engine when it is [false]. *)
 type t = {
   name : string;
-  default_cap : Graph.Csr.t -> int;
+  default_cap : Graph.View.t -> int;
   supports : Kernel.params -> bool;
-  create : Graph.Csr.t -> Kernel.params -> Prng.Lanes.t -> instance;
+  create : Graph.View.t -> Kernel.params -> Prng.Lanes.t -> instance;
 }
 
 (** [run_batch t g params gen ~n_active] drives one batch of
@@ -54,7 +54,7 @@ type t = {
     [rounds = cap] and [completed = false], like the scalar
     {!Kernel.run}. *)
 val run_batch :
-  t -> Graph.Csr.t -> Kernel.params -> Prng.Lanes.t -> n_active:int ->
+  t -> Graph.View.t -> Kernel.params -> Prng.Lanes.t -> n_active:int ->
   Kernel.outcome array
 
 (** COBRA cover, sliced. Observes ["rounds"; "visited"; "frontier"] —
@@ -88,11 +88,11 @@ module Slice : sig
   (** [picker g branching] prepares sliced branching picks on [g];
       raises [Invalid_argument] for [Distinct] branching (use
       {!supported} to pre-test). *)
-  val picker : Graph.Csr.t -> Branching.t -> picker
+  val picker : Graph.View.t -> Branching.t -> picker
 
   (** [single_picker g] prepares plain one-uniform-neighbour picks
       (the push protocol's rule). *)
-  val single_picker : Graph.Csr.t -> picker
+  val single_picker : Graph.View.t -> picker
 
   val supported : Branching.t -> bool
 

@@ -2,7 +2,7 @@ module Bitset = Dstruct.Bitset
 module Intvec = Dstruct.Intvec
 
 type t = {
-  graph : Graph.Csr.t;
+  graph : Graph.View.t;
   branching : Branching.t;
   mutable frontier : Intvec.t; (* members of C_t, no duplicates *)
   mutable next : Intvec.t; (* scratch for C_{t+1} *)
@@ -18,7 +18,7 @@ let check_start g start =
   if start = [] then invalid_arg "Process: empty start set";
   List.iter
     (fun v ->
-      if v < 0 || v >= Graph.Csr.n_vertices g then
+      if v < 0 || v >= Graph.View.n_vertices g then
         invalid_arg "Process: start vertex out of range")
     start
 
@@ -43,7 +43,7 @@ let load_start p start =
     start
 
 let create g ~branching ~start =
-  let n = Graph.Csr.n_vertices g in
+  let n = Graph.View.n_vertices g in
   if n = 0 then invalid_arg "Process.create: empty graph";
   let p =
     {
@@ -73,11 +73,11 @@ let frontier p = Intvec.to_array p.frontier
    swapped along with the vectors at the end of each round). *)
 let active p v =
   (* Out-of-range vertices are simply not members, as before. *)
-  v >= 0 && v < Graph.Csr.n_vertices p.graph && Bitset.unsafe_mem p.in_frontier v
+  v >= 0 && v < Graph.View.n_vertices p.graph && Bitset.unsafe_mem p.in_frontier v
 
 let visited p v = Bitset.mem p.visited v
 let visited_count p = p.visited_count
-let is_covered p = p.visited_count = Graph.Csr.n_vertices p.graph
+let is_covered p = p.visited_count = Graph.View.n_vertices p.graph
 let transmissions p = p.transmissions
 
 let step p rng =
@@ -104,7 +104,7 @@ let step p rng =
      words (past that point the word fill writes less memory). Both paths
      leave the bitset empty and draw nothing from [rng]. Then swap both
      the vectors and their membership bitsets, keeping [active] O(1). *)
-  let nw = (Graph.Csr.n_vertices g + Bitset.word_size - 1) / Bitset.word_size in
+  let nw = (Graph.View.n_vertices g + Bitset.word_size - 1) / Bitset.word_size in
   if Intvec.length p.frontier <= nw then
     Intvec.iter (fun v -> Bitset.unsafe_remove p.in_frontier v) p.frontier
   else Bitset.clear p.in_frontier;
@@ -117,7 +117,7 @@ let step p rng =
   p.in_next <- old_bits;
   p.round <- p.round + 1
 
-let default_cap g = 10_000 + (100 * Graph.Csr.n_vertices g)
+let default_cap g = 10_000 + (100 * Graph.View.n_vertices g)
 
 let cover_time ?cap g ~branching ~start rng =
   let cap = match cap with Some c -> c | None -> default_cap g in
@@ -147,7 +147,7 @@ let hitting_time ?cap g ~branching ~start ~target rng =
 
 let first_visit_times ?cap g ~branching ~start rng =
   let cap = match cap with Some c -> c | None -> default_cap g in
-  let n = Graph.Csr.n_vertices g in
+  let n = Graph.View.n_vertices g in
   let p = create g ~branching ~start:[ start ] in
   let first = Array.make n (-1) in
   first.(start) <- 0;

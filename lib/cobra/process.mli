@@ -15,10 +15,10 @@ type t
 
 (** [create g ~branching ~start] initialises with [C_0 = start]
     (deduplicated, non-empty, in range). *)
-val create : Graph.Csr.t -> branching:Branching.t -> start:int list -> t
+val create : Graph.View.t -> branching:Branching.t -> start:int list -> t
 
 (** [graph p], [branching p] recover the configuration. *)
-val graph : t -> Graph.Csr.t
+val graph : t -> Graph.View.t
 
 val branching : t -> Branching.t
 
@@ -57,14 +57,14 @@ val reset : t -> start:int list -> unit
     returns the number of rounds, or [None] if [cap] rounds (default
     [10_000 + 100 * n]) pass first. *)
 val cover_time :
-  ?cap:int -> Graph.Csr.t -> branching:Branching.t -> start:int -> Prng.Rng.t -> int option
+  ?cap:int -> Graph.View.t -> branching:Branching.t -> start:int -> Prng.Rng.t -> int option
 
 (** [hitting_time ?cap g ~branching ~start ~target rng] is the first round
     at which [target] becomes active (0 if [target = start]), or [None] on
     cap. *)
 val hitting_time :
   ?cap:int ->
-  Graph.Csr.t ->
+  Graph.View.t ->
   branching:Branching.t ->
   start:int ->
   target:int ->
@@ -76,7 +76,7 @@ val hitting_time :
     the E9-style reports. *)
 val frontier_trajectory :
   ?cap:int ->
-  Graph.Csr.t ->
+  Graph.View.t ->
   branching:Branching.t ->
   start:int ->
   Prng.Rng.t ->
@@ -89,7 +89,7 @@ val frontier_trajectory :
     least the BFS distance from [start] — the deterministic lower bound
     the E13 experiment exhibits. *)
 val first_visit_times :
-  ?cap:int -> Graph.Csr.t -> branching:Branching.t -> start:int -> Prng.Rng.t -> int array
+  ?cap:int -> Graph.View.t -> branching:Branching.t -> start:int -> Prng.Rng.t -> int array
 
 (** [transmissions p] is the total number of pushes performed so far —
     the "limited transmission" budget the paper's introduction motivates

@@ -4,13 +4,13 @@ module Intvec = Dstruct.Intvec
 type outcome = { rounds : int; transmissions : int }
 
 let check g v =
-  if v < 0 || v >= Graph.Csr.n_vertices g then invalid_arg "Push: vertex out of range"
+  if v < 0 || v >= Graph.View.n_vertices g then invalid_arg "Push: vertex out of range"
 
-let default_cap g = 10_000 + (100 * Graph.Csr.n_vertices g)
+let default_cap g = 10_000 + (100 * Graph.View.n_vertices g)
 
 let push ?cap g ~start rng =
   check g start;
-  let n = Graph.Csr.n_vertices g in
+  let n = Graph.View.n_vertices g in
   let cap = match cap with Some c -> c | None -> default_cap g in
   let informed = Bitset.create n in
   Bitset.add informed start;
@@ -28,7 +28,7 @@ let push ?cap g ~start rng =
     Bitset.iter
       (fun u ->
         incr transmissions;
-        let w = Graph.Csr.random_neighbour g rng u in
+        let w = Graph.View.random_neighbour g rng u in
         if not (Bitset.unsafe_mem informed w) then Intvec.push newly w)
       informed;
     Intvec.iter
@@ -44,7 +44,7 @@ let push ?cap g ~start rng =
 
 let push_pull ?cap g ~start rng =
   check g start;
-  let n = Graph.Csr.n_vertices g in
+  let n = Graph.View.n_vertices g in
   let cap = match cap with Some c -> c | None -> default_cap g in
   let informed = Bitset.create n in
   Bitset.add informed start;
@@ -53,7 +53,7 @@ let push_pull ?cap g ~start rng =
     let newly = ref [] in
     for u = 0 to n - 1 do
       incr transmissions;
-      let w = Graph.Csr.random_neighbour g rng u in
+      let w = Graph.View.random_neighbour g rng u in
       let iu = Bitset.mem informed u and iw = Bitset.mem informed w in
       if iu && not iw then newly := w :: !newly
       else if iw && not iu then newly := u :: !newly
@@ -71,8 +71,8 @@ let push_pull ?cap g ~start rng =
 
 let flood g ~start =
   check g start;
-  let n = Graph.Csr.n_vertices g in
-  let dist = Graph.Algo.bfs g start in
+  let n = Graph.View.n_vertices g in
+  let dist = Graph.View.bfs g start in
   let rounds = Array.fold_left Stdlib.max 0 dist in
   if Array.exists (fun d -> d < 0) dist then
     invalid_arg "Push.flood: graph is disconnected";
@@ -82,6 +82,6 @@ let flood g ~start =
   for u = 0 to n - 1 do
     let active_rounds = rounds - dist.(u) in
     if active_rounds > 0 then
-      transmissions := !transmissions + (active_rounds * Graph.Csr.degree g u)
+      transmissions := !transmissions + (active_rounds * Graph.View.degree g u)
   done;
   { rounds; transmissions = !transmissions }

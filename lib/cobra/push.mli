@@ -14,12 +14,12 @@ type outcome = {
 
 (** [push ?cap g ~start rng] runs the push protocol until everyone is
     informed; [None] if [cap] rounds pass (default [10_000 + 100 * n]). *)
-val push : ?cap:int -> Graph.Csr.t -> start:int -> Prng.Rng.t -> outcome option
+val push : ?cap:int -> Graph.View.t -> start:int -> Prng.Rng.t -> outcome option
 
 (** [push_pull ?cap g ~start rng] — each round every vertex contacts one
     random neighbour; information flows both ways across the contact. *)
-val push_pull : ?cap:int -> Graph.Csr.t -> start:int -> Prng.Rng.t -> outcome option
+val push_pull : ?cap:int -> Graph.View.t -> start:int -> Prng.Rng.t -> outcome option
 
 (** [flood g ~start] — deterministic flooding; rounds equal the start
     vertex's eccentricity. *)
-val flood : Graph.Csr.t -> start:int -> outcome
+val flood : Graph.View.t -> start:int -> outcome

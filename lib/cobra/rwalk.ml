@@ -1,10 +1,10 @@
 module Bitset = Dstruct.Bitset
 
 let check g v =
-  if v < 0 || v >= Graph.Csr.n_vertices g then invalid_arg "Rwalk: vertex out of range"
+  if v < 0 || v >= Graph.View.n_vertices g then invalid_arg "Rwalk: vertex out of range"
 
 let default_cap g =
-  let n = Graph.Csr.n_vertices g in
+  let n = Graph.View.n_vertices g in
   (100 * n * n) + 10_000
 
 (* The walk positions stay in range by construction ([start] is checked
@@ -13,7 +13,7 @@ let default_cap g =
 
 let cover_time ?cap g ~start rng =
   check g start;
-  let n = Graph.Csr.n_vertices g in
+  let n = Graph.View.n_vertices g in
   let cap = match cap with Some c -> c | None -> default_cap g in
   let seen = Bitset.create n in
   Bitset.add seen start;
@@ -21,7 +21,7 @@ let cover_time ?cap g ~start rng =
     if remaining = 0 then Some steps
     else if steps >= cap then None
     else begin
-      let next = Graph.Csr.unsafe_random_neighbour g rng pos in
+      let next = Graph.View.unsafe_random_neighbour g rng pos in
       let remaining =
         if Bitset.unsafe_mem seen next then remaining
         else begin
@@ -41,14 +41,14 @@ let hitting_time ?cap g ~start ~target rng =
   let rec go pos steps =
     if pos = target then Some steps
     else if steps >= cap then None
-    else go (Graph.Csr.unsafe_random_neighbour g rng pos) (steps + 1)
+    else go (Graph.View.unsafe_random_neighbour g rng pos) (steps + 1)
   in
   go start 0
 
 let multi_cover_time ?cap g ~walkers ~start rng =
   check g start;
   if walkers < 1 then invalid_arg "Rwalk.multi_cover_time: walkers >= 1";
-  let n = Graph.Csr.n_vertices g in
+  let n = Graph.View.n_vertices g in
   let cap = match cap with Some c -> c | None -> default_cap g in
   let seen = Bitset.create n in
   Bitset.add seen start;
@@ -57,7 +57,7 @@ let multi_cover_time ?cap g ~walkers ~start rng =
   let rounds = ref 0 in
   while !remaining > 0 && !rounds < cap do
     for w = 0 to walkers - 1 do
-      let next = Graph.Csr.unsafe_random_neighbour g rng positions.(w) in
+      let next = Graph.View.unsafe_random_neighbour g rng positions.(w) in
       positions.(w) <- next;
       if not (Bitset.unsafe_mem seen next) then begin
         Bitset.unsafe_add seen next;
@@ -73,6 +73,6 @@ let positions ?(steps = 1000) g ~start rng =
   if steps < 0 then invalid_arg "Rwalk.positions: steps >= 0";
   let out = Array.make (steps + 1) start in
   for i = 1 to steps do
-    out.(i) <- Graph.Csr.unsafe_random_neighbour g rng out.(i - 1)
+    out.(i) <- Graph.View.unsafe_random_neighbour g rng out.(i - 1)
   done;
   out

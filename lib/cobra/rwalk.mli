@@ -6,16 +6,16 @@
     needs to visit every vertex, or [None] if [cap] steps pass first
     (default [100 * n^2 + 10_000], comfortably above the O(n^2·log n)
     worst case for small n; pass an explicit cap for large graphs). *)
-val cover_time : ?cap:int -> Graph.Csr.t -> start:int -> Prng.Rng.t -> int option
+val cover_time : ?cap:int -> Graph.View.t -> start:int -> Prng.Rng.t -> int option
 
 (** [hitting_time ?cap g ~start ~target rng] is the first step at which
     the walk reaches [target]. *)
 val hitting_time :
-  ?cap:int -> Graph.Csr.t -> start:int -> target:int -> Prng.Rng.t -> int option
+  ?cap:int -> Graph.View.t -> start:int -> target:int -> Prng.Rng.t -> int option
 
 (** [positions ?steps g ~start rng] runs [steps] steps and returns the
     trajectory including the start (length [steps + 1]). *)
-val positions : ?steps:int -> Graph.Csr.t -> start:int -> Prng.Rng.t -> int array
+val positions : ?steps:int -> Graph.View.t -> start:int -> Prng.Rng.t -> int array
 
 (** [multi_cover_time ?cap g ~walkers ~start rng] runs [walkers >= 1]
     independent simple random walks from [start] in synchronous rounds
@@ -25,4 +25,4 @@ val positions : ?steps:int -> Graph.Csr.t -> start:int -> Prng.Rng.t -> int arra
     most a factor ~[walkers], whereas COBRA's *dependent* branching
     reaches O(log n). *)
 val multi_cover_time :
-  ?cap:int -> Graph.Csr.t -> walkers:int -> start:int -> Prng.Rng.t -> int option
+  ?cap:int -> Graph.View.t -> walkers:int -> start:int -> Prng.Rng.t -> int option

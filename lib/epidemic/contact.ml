@@ -50,7 +50,7 @@ let store_add st kind ~source ~target ~gen =
 let run ?(horizon = 1e4) g ~infection_rate ~persistent ~start rng =
   if infection_rate < 0.0 then invalid_arg "Contact.run: infection_rate >= 0";
   if horizon <= 0.0 then invalid_arg "Contact.run: horizon > 0";
-  let n = Graph.Csr.n_vertices g in
+  let n = Graph.View.n_vertices g in
   if n = 0 then invalid_arg "Contact.run: empty graph";
   let check v = if v < 0 || v >= n then invalid_arg "Contact.run: vertex out of range" in
   List.iter check start;
@@ -81,7 +81,7 @@ let run ?(horizon = 1e4) g ~infection_rate ~persistent ~start rng =
       if persistent <> Some v then
         schedule (time +. exp_draw 1.0) Recovery ~source:v ~target:v;
       if infection_rate > 0.0 then
-        Graph.Csr.iter_neighbours g v ~f:(fun u ->
+        Graph.View.iter_neighbours g v ~f:(fun u ->
             schedule (time +. exp_draw infection_rate) Transmission ~source:v ~target:u)
     end
   in

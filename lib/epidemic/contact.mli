@@ -36,7 +36,7 @@ type result = {
     At least one vertex must start infected ([persistent] counts). *)
 val run :
   ?horizon:float ->
-  Graph.Csr.t ->
+  Graph.View.t ->
   infection_rate:float ->
   persistent:int option ->
   start:int list ->
@@ -51,7 +51,7 @@ val run :
 val survival_probability :
   ?horizon:float ->
   ?trials:int ->
-  Graph.Csr.t ->
+  Graph.View.t ->
   infection_rate:float ->
   start:int list ->
   Prng.Rng.t ->

@@ -10,7 +10,7 @@ type params = {
 
 (* Per-animal state: status plus a countdown for the timed states. *)
 type t = {
-  graph : Graph.Csr.t;
+  graph : Graph.View.t;
   params : params;
   status : status array;
   timer : int array; (* rounds remaining in Transient/Immune *)
@@ -24,7 +24,7 @@ type t = {
 type outcome = Herd_fully_exposed of int | Infection_extinct of int | No_resolution of int
 
 let create g params ~pi ~index_cases =
-  let n = Graph.Csr.n_vertices g in
+  let n = Graph.View.n_vertices g in
   if n = 0 then invalid_arg "Herd.create: empty graph";
   if params.infectious_rounds < 1 then invalid_arg "Herd.create: infectious_rounds >= 1";
   if params.immune_rounds < 0 then invalid_arg "Herd.create: immune_rounds >= 0";
@@ -86,7 +86,7 @@ let is_extinct h = h.infectious_count = 0
 
 let step h rng =
   let g = h.graph in
-  let n = Graph.Csr.n_vertices g in
+  let n = Graph.View.n_vertices g in
   (* Exposure is evaluated against the infectious set at the start of the
      round (synchronous update, matching the BIPS round structure). *)
   let snapshot = Bitset.copy h.infectious in
@@ -127,12 +127,12 @@ let step h rng =
     !newly_infected;
   h.round <- h.round + 1
 
-let default_cap g = 10_000 + (100 * Graph.Csr.n_vertices g)
+let default_cap g = 10_000 + (100 * Graph.View.n_vertices g)
 
 let run ?cap g params ~pi ~index_cases rng =
   let cap = match cap with Some c -> c | None -> default_cap g in
   let h = create g params ~pi ~index_cases in
-  let n = Graph.Csr.n_vertices g in
+  let n = Graph.View.n_vertices g in
   let rec go () =
     if h.ever_count = n then Herd_fully_exposed h.round
     else if is_extinct h then Infection_extinct h.round

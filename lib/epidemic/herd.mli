@@ -35,7 +35,7 @@ type t
 (** [create g params ~pi ~index_cases] — [pi] animals become persistently
     infected; [index_cases] start transiently infected. At least one of
     the two must be non-empty. *)
-val create : Graph.Csr.t -> params -> pi:int list -> index_cases:int list -> t
+val create : Graph.View.t -> params -> pi:int list -> index_cases:int list -> t
 
 (** [step h rng] plays one round. *)
 val step : t -> Prng.Rng.t -> unit
@@ -70,7 +70,7 @@ type outcome =
     extinction (default cap [10_000 + 100 * n]). *)
 val run :
   ?cap:int ->
-  Graph.Csr.t ->
+  Graph.View.t ->
   params ->
   pi:int list ->
   index_cases:int list ->

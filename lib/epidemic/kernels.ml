@@ -2,7 +2,7 @@ module K = Cobra.Kernel
 
 let fi = float_of_int
 
-let round_cap g = 10_000 + (100 * Graph.Csr.n_vertices g)
+let round_cap g = 10_000 + (100 * Graph.View.n_vertices g)
 
 let sis =
   {
@@ -11,7 +11,7 @@ let sis =
     default_cap = round_cap;
     create =
       (fun g params ->
-        let n = Graph.Csr.n_vertices g in
+        let n = Graph.View.n_vertices g in
         let p =
           Sis.create g
             { Sis.contacts = params.K.branching; recovery = params.K.recovery }
@@ -99,7 +99,7 @@ let herd =
     default_cap = round_cap;
     create =
       (fun g params ->
-        let n = Graph.Csr.n_vertices g in
+        let n = Graph.View.n_vertices g in
         let hp =
           {
             Herd.contacts = params.K.branching;

@@ -10,7 +10,7 @@ module Slice = Cobra.Lanes.Slice
 
 let full = 0xFFFFFFFF
 let fi = float_of_int
-let round_cap g = 10_000 + (100 * Graph.Csr.n_vertices g)
+let round_cap g = 10_000 + (100 * Graph.View.n_vertices g)
 
 let sis =
   {
@@ -19,7 +19,7 @@ let sis =
     supports = (fun p -> Slice.supported p.Cobra.Kernel.branching);
     create =
       (fun g params gen ->
-        let n = Graph.Csr.n_vertices g in
+        let n = Graph.View.n_vertices g in
         let start = params.Cobra.Kernel.start in
         if start < 0 || start >= n then invalid_arg "Lanes.sis: start out of range";
         let recovery = params.Cobra.Kernel.recovery in

@@ -5,7 +5,7 @@ type params = { contacts : Cobra.Branching.t; recovery : float }
 type outcome = Extinct of int | Everyone_infected_once of int | Censored of int
 
 type t = {
-  graph : Graph.Csr.t;
+  graph : Graph.View.t;
   params : params;
   persistent : int option;
   mutable infected : Bitset.t;
@@ -17,7 +17,7 @@ type t = {
 }
 
 let validate g params ~persistent ~start =
-  let n = Graph.Csr.n_vertices g in
+  let n = Graph.View.n_vertices g in
   if n = 0 then invalid_arg "Sis.create: empty graph";
   if params.recovery < 0.0 || params.recovery > 1.0 then
     invalid_arg "Sis.create: recovery outside [0, 1]";
@@ -28,7 +28,7 @@ let validate g params ~persistent ~start =
 
 let create g params ~persistent ~start =
   validate g params ~persistent ~start;
-  let n = Graph.Csr.n_vertices g in
+  let n = Graph.View.n_vertices g in
   let infected = Bitset.create n and ever = Bitset.create n in
   let seed_list = match persistent with Some v -> v :: start | None -> start in
   List.iter
@@ -57,7 +57,7 @@ let is_extinct p = p.infected_count = 0
 
 let step p rng =
   let g = p.graph in
-  let n = Graph.Csr.n_vertices g in
+  let n = Graph.View.n_vertices g in
   Bitset.clear p.next;
   let count = ref 0 in
   (* All indices below are loop counters in [0, n) or adjacency entries,
@@ -97,7 +97,7 @@ let step p rng =
   p.infected_count <- !count;
   p.round <- p.round + 1
 
-let default_cap g = 10_000 + (100 * Graph.Csr.n_vertices g)
+let default_cap g = 10_000 + (100 * Graph.View.n_vertices g)
 
 let finished p n =
   if is_extinct p then Some (Extinct p.round)
@@ -107,7 +107,7 @@ let finished p n =
 let run ?cap g params ~persistent ~start rng =
   let cap = match cap with Some c -> c | None -> default_cap g in
   let p = create g params ~persistent ~start in
-  let n = Graph.Csr.n_vertices g in
+  let n = Graph.View.n_vertices g in
   let rec go () =
     match finished p n with
     | Some outcome -> outcome
@@ -123,7 +123,7 @@ let run ?cap g params ~persistent ~start rng =
 let prevalence_trajectory ?cap g params ~persistent ~start rng =
   let cap = match cap with Some c -> c | None -> default_cap g in
   let p = create g params ~persistent ~start in
-  let n = Graph.Csr.n_vertices g in
+  let n = Graph.View.n_vertices g in
   let sizes = Dstruct.Intvec.create () in
   Dstruct.Intvec.push sizes p.infected_count;
   while finished p n = None && p.round < cap do

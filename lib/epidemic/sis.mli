@@ -35,7 +35,7 @@ type t
 (** [create g params ~persistent ~start] initialises with the vertices of
     [start] infected; [persistent], if given, is added to the infected set
     and never recovers. *)
-val create : Graph.Csr.t -> params -> persistent:int option -> start:int list -> t
+val create : Graph.View.t -> params -> persistent:int option -> start:int list -> t
 
 (** [step p rng] plays one synchronous round (infection then recovery). *)
 val step : t -> Prng.Rng.t -> unit
@@ -59,7 +59,7 @@ val is_extinct : t -> bool
     full exposure, whichever first (default cap [10_000 + 100 * n]). *)
 val run :
   ?cap:int ->
-  Graph.Csr.t ->
+  Graph.View.t ->
   params ->
   persistent:int option ->
   start:int list ->
@@ -70,7 +70,7 @@ val run :
     the infected count per round until extinction/full exposure/cap. *)
 val prevalence_trajectory :
   ?cap:int ->
-  Graph.Csr.t ->
+  Graph.View.t ->
   params ->
   persistent:int option ->
   start:int list ->

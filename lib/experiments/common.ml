@@ -2,9 +2,14 @@ let salt_of ~tag = Simkit.Seeds.salt_of_tag tag
 
 let graph_rng ~master ~tag = Simkit.Seeds.tagged_rng ~master ~tag:("graph:" ^ tag)
 
-let expander ~master ~tag ~n ~r =
+let expander ?(backend = `Heap) ~master ~tag ~n ~r () =
   let rng = graph_rng ~master ~tag:(Printf.sprintf "%s:n=%d:r=%d" tag n r) in
-  Graph.Gen.random_regular rng ~n ~r
+  let g = Graph.Gen.random_regular rng ~n ~r in
+  match (backend : Graph.View.backend) with
+  | `Heap -> Graph.View.of_csr g
+  | `Bigarray -> Graph.View.of_bigcsr (Graph.Bigcsr.of_csr g)
+  | `Implicit ->
+    invalid_arg "Common.expander: random regular graphs have no implicit form"
 
 (* The [_par] runners are bit-for-bit identical to the sequential ones
    (each trial derives its own stream from [salt0 + i] and lands in slot

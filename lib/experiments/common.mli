@@ -7,15 +7,25 @@
     graph. *)
 val graph_rng : master:int -> tag:string -> Prng.Rng.t
 
-(** [expander ~master ~tag ~n ~r] draws a connected random r-regular
-    graph deterministically from [(master, tag, n, r)]. *)
-val expander : master:int -> tag:string -> n:int -> r:int -> Graph.Csr.t
+(** [expander ?backend ~master ~tag ~n ~r ()] draws a connected random
+    r-regular graph deterministically from [(master, tag, n, r)] and
+    wraps it behind the requested topology backend (default heap;
+    [`Bigarray] copies the edges off-heap; [`Implicit] is rejected —
+    random graphs have no closed form). *)
+val expander :
+  ?backend:Graph.View.backend ->
+  master:int ->
+  tag:string ->
+  n:int ->
+  r:int ->
+  unit ->
+  Graph.View.t
 
 (** [cover_summary ?cap g ~branching ~start ~trials ~master ~tag] runs
     COBRA cover-time trials; returns the summary and censored count. *)
 val cover_summary :
   ?cap:int ->
-  Graph.Csr.t ->
+  Graph.View.t ->
   branching:Cobra.Branching.t ->
   start:int ->
   trials:int ->
@@ -27,7 +37,7 @@ val cover_summary :
     BIPS infection-time trials. *)
 val infection_summary :
   ?cap:int ->
-  Graph.Csr.t ->
+  Graph.View.t ->
   branching:Cobra.Branching.t ->
   source:int ->
   trials:int ->
@@ -39,7 +49,7 @@ val infection_summary :
     random-walk cover times. *)
 val walk_cover_summary :
   ?cap:int ->
-  Graph.Csr.t ->
+  Graph.View.t ->
   start:int ->
   trials:int ->
   master:int ->

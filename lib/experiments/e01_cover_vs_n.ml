@@ -26,7 +26,7 @@ let run ~emit ~scale ~master =
   let xs = ref [] and ys = ref [] in
   List.iter
     (fun n ->
-      let g = Common.expander ~master ~tag:"e01" ~n ~r in
+      let g = Common.expander ~master ~tag:"e01" ~n ~r () in
       let summary, censored =
         Common.cover_summary g ~branching:Cobra.Branching.cobra_k2 ~start:0 ~trials
           ~master ~tag:(Printf.sprintf "e01:%d" n)

@@ -7,11 +7,11 @@ module A = Simkit.Artifact
    repair loop is not worth running at r = n/2; r = n-1 is K_n. All are
    expanders, so Theorem 1 predicts a flat row of cover times. *)
 let graph_for ~master ~n ~r =
-  if r = n - 1 then Graph.Gen.complete n
-  else if r <= 64 then Common.expander ~master ~tag:"e02" ~n ~r
+  if r = n - 1 then Graph.View.of_csr (Graph.Gen.complete n)
+  else if r <= 64 then Common.expander ~master ~tag:"e02" ~n ~r ()
   else begin
     assert (r mod 2 = 0);
-    Graph.Gen.circulant n (List.init (r / 2) (fun i -> i + 1))
+    Graph.View.of_csr (Graph.Gen.circulant n (List.init (r / 2) (fun i -> i + 1)))
   end
 
 let run ~emit ~scale ~master =

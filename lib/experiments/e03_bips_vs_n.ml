@@ -23,7 +23,7 @@ let run ~emit ~scale ~master =
     (fun n ->
       (* Same graphs as E1 (same construction tag) so the comparison is
          within one workload. *)
-      let g = Common.expander ~master ~tag:"e01" ~n ~r in
+      let g = Common.expander ~master ~tag:"e01" ~n ~r () in
       let infec, _ =
         Common.infection_summary g ~branching:Cobra.Branching.cobra_k2 ~source:0
           ~trials ~master ~tag:(Printf.sprintf "e03i:%d" n)

@@ -32,7 +32,7 @@ let mc_part ~emit ~scale ~master =
   let n = Scale.pick scale ~quick:100 ~standard:200 ~full:500 in
   let trials = Scale.pick scale ~quick:2000 ~standard:10000 ~full:50000 in
   let ts = Scale.pick scale ~quick:[ 3; 6 ] ~standard:[ 3; 8 ] ~full:[ 3; 8; 14 ] in
-  let g = Common.expander ~master ~tag:"e04" ~n ~r:3 in
+  let g = Common.expander ~master ~tag:"e04" ~n ~r:3 () in
   let rng = Simkit.Seeds.tagged_rng ~master ~tag:"e04:mc" in
   let table =
     A.Tab.create

@@ -13,8 +13,8 @@ let run ~emit ~scale ~master =
   let trials = Scale.pick scale ~quick:10 ~standard:30 ~full:40 in
   let rhos = [ 0.05; 0.1; 0.2; 0.4; 0.7; 1.0 ] in
   let r = 3 in
-  let g1 = Common.expander ~master ~tag:"e05" ~n:n1 ~r in
-  let g2 = Common.expander ~master ~tag:"e05" ~n:n2 ~r in
+  let g1 = Common.expander ~master ~tag:"e05" ~n:n1 ~r () in
+  let g2 = Common.expander ~master ~tag:"e05" ~n:n2 ~r () in
   emit
     (A.context
        [ ("r", string_of_int r); ("n1", string_of_int n1); ("n2", string_of_int n2);

@@ -27,7 +27,7 @@ let run ~emit ~scale ~master =
   List.iter
     (fun m ->
       let offsets = List.init m (fun i -> i + 1) in
-      let g = Graph.Gen.circulant n offsets in
+      let g = Graph.View.of_csr (Graph.Gen.circulant n offsets) in
       let lambda = Spectral.Closed_form.circulant n offsets in
       let gap = 1.0 -. lambda in
       let bound = Common.ln n /. (gap ** 3.0) in
@@ -76,7 +76,7 @@ let run ~emit ~scale ~master =
   let all_in_premise_below = ref true in
   List.iter
     (fun r ->
-      let g = Common.expander ~master ~tag:"e06b" ~n:n2 ~r in
+      let g = Common.expander ~master ~tag:"e06b" ~n:n2 ~r () in
       let gap_t =
         Spectral.Gap.estimate
           (Simkit.Seeds.tagged_rng ~master ~tag:(Printf.sprintf "e06b:spec:%d" r))

@@ -38,7 +38,10 @@ let run ~emit ~scale ~master =
       List.iter
         (fun dims ->
           let n = Array.fold_left ( * ) 1 dims in
-          let g = if d = 1 then Graph.Gen.cycle dims.(0) else Graph.Gen.torus dims in
+          let g =
+            Graph.View.of_csr
+              (if d = 1 then Graph.Gen.cycle dims.(0) else Graph.Gen.torus dims)
+          in
           let cap = 100 + (20 * dims.(0)) in
           let summary, _ =
             Common.cover_summary ~cap g ~branching:Cobra.Branching.cobra_k2 ~start:0

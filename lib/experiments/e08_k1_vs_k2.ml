@@ -27,7 +27,7 @@ let run ~emit ~scale ~master =
   let walk_ratios = ref [] and cobra_ratios = ref [] in
   List.iter
     (fun n ->
-      let g = Common.expander ~master ~tag:"e08" ~n ~r in
+      let g = Common.expander ~master ~tag:"e08" ~n ~r () in
       let walk, _ =
         Common.walk_cover_summary g ~start:0 ~trials ~master
           ~tag:(Printf.sprintf "e08w:%d" n)

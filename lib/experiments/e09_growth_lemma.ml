@@ -6,8 +6,8 @@ module B = Cobra.Branching
    the closed-form E(|A'| | A) for EVERY infected set A containing the
    source and verify Lemma 1's bound; report the tightest margin. *)
 let exhaustive_part ~emit =
-  let g = Graph.Gen.petersen () in
-  let n = Graph.Csr.n_vertices g in
+  let g = Graph.View.of_csr (Graph.Gen.petersen ()) in
+  let n = Graph.View.n_vertices g in
   let lambda = 2.0 /. 3.0 in
   let worst = ref infinity and worst_a = ref 0 in
   let checked = ref 0 in
@@ -46,7 +46,7 @@ let trajectory_part ~emit ~scale ~master =
   let n = Scale.pick scale ~quick:512 ~standard:4096 ~full:16384 in
   let r = 4 in
   let trials = Scale.pick scale ~quick:20 ~standard:60 ~full:200 in
-  let g = Common.expander ~master ~tag:"e09" ~n ~r in
+  let g = Common.expander ~master ~tag:"e09" ~n ~r () in
   let gap =
     Spectral.Gap.estimate (Simkit.Seeds.tagged_rng ~master ~tag:"e09:spec") g
   in

@@ -13,8 +13,8 @@ let run ~emit ~scale ~master =
     Scale.pick scale ~quick:(6, 8) ~standard:(10, 12) ~full:(20, 20)
   in
   let trials = Scale.pick scale ~quick:30 ~standard:100 ~full:60 in
-  let g = Graph.Gen.ring_of_cliques ~cliques:pens ~clique_size:pen_size in
-  let n = Graph.Csr.n_vertices g in
+  let g = Graph.View.of_csr (Graph.Gen.ring_of_cliques ~cliques:pens ~clique_size:pen_size) in
+  let n = Graph.View.n_vertices g in
   emit
     (A.context
        [

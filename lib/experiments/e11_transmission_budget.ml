@@ -9,7 +9,7 @@ module B = Cobra.Branching
    motivates. *)
 let cobra_outcome g rng =
   let p = Cobra.Process.create g ~branching:B.cobra_k2 ~start:[ 0 ] in
-  let cap = 10_000 + (100 * Graph.Csr.n_vertices g) in
+  let cap = 10_000 + (100 * Graph.View.n_vertices g) in
   while (not (Cobra.Process.is_covered p)) && Cobra.Process.round p < cap do
     Cobra.Process.step p rng
   done;
@@ -31,11 +31,11 @@ let summarise_pairs ~trials ~master ~tag f =
   (rounds, tx, !censored)
 
 let run_graph ~emit ~name g ~trials ~master ~tag =
-  emit (A.section (Printf.sprintf "%s (n=%d)" name (Graph.Csr.n_vertices g)));
+  emit (A.section (Printf.sprintf "%s (n=%d)" name (Graph.View.n_vertices g)));
   let table =
     A.Tab.create [ "protocol"; "rounds"; "transmissions"; "tx / n" ]
   in
-  let n = Float.of_int (Graph.Csr.n_vertices g) in
+  let n = Float.of_int (Graph.View.n_vertices g) in
   let add_protocol label rounds tx =
     A.Tab.add_row table
       [
@@ -81,12 +81,12 @@ let run ~emit ~scale ~master =
   let trials = Scale.pick scale ~quick:10 ~standard:25 ~full:60 in
   emit (A.context [ ("trials", string_of_int trials) ]);
   let cr1, ct1, pr1, pt1 =
-    run_graph ~emit ~name:"complete graph" (Graph.Gen.complete n_complete) ~trials
+    run_graph ~emit ~name:"complete graph" (Graph.View.of_csr (Graph.Gen.complete n_complete)) ~trials
       ~master ~tag:"e11:k"
   in
   let cr2, ct2, pr2, pt2 =
     run_graph ~emit ~name:"random 3-regular"
-      (Common.expander ~master ~tag:"e11" ~n:n_sparse ~r:3)
+      (Common.expander ~master ~tag:"e11" ~n:n_sparse ~r:3 ())
       ~trials ~master ~tag:"e11:r"
   in
   (* Acceptance: COBRA matches push's round count up to a small factor

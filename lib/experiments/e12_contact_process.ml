@@ -13,7 +13,7 @@ let run ~emit ~scale ~master =
   let trials = Scale.pick scale ~quick:30 ~standard:80 ~full:100 in
   let horizon = Scale.pick scale ~quick:100.0 ~standard:150.0 ~full:250.0 in
   let rates = [ 0.05; 0.1; 0.2; 0.3; 0.5; 0.75; 1.0 ] in
-  let g = Common.expander ~master ~tag:"e12" ~n ~r in
+  let g = Common.expander ~master ~tag:"e12" ~n ~r () in
   emit
     (A.context
        [

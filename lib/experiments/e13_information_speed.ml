@@ -14,8 +14,8 @@ let run ~emit ~scale ~master =
   let n = Scale.pick scale ~quick:1024 ~standard:8192 ~full:65536 in
   let r = 3 in
   let trials = Scale.pick scale ~quick:10 ~standard:30 ~full:60 in
-  let g = Common.expander ~master ~tag:"e13" ~n ~r in
-  let dist = Graph.Algo.bfs g 0 in
+  let g = Common.expander ~master ~tag:"e13" ~n ~r () in
+  let dist = Graph.View.bfs g 0 in
   emit
     (A.context
        [ ("graph", Printf.sprintf "random %d-regular, n=%d" r n);

@@ -16,7 +16,7 @@ let run ~emit ~scale ~master =
   let n = Scale.pick scale ~quick:1024 ~standard:8192 ~full:65536 in
   let r = 4 in
   let trials = Scale.pick scale ~quick:20 ~standard:60 ~full:150 in
-  let g = Common.expander ~master ~tag:"e14" ~n ~r in
+  let g = Common.expander ~master ~tag:"e14" ~n ~r () in
   let gap_t =
     Spectral.Gap.estimate (Simkit.Seeds.tagged_rng ~master ~tag:"e14:spec") g
   in

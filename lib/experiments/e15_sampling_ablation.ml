@@ -48,7 +48,7 @@ let run ~emit ~scale ~master =
   let ratios = ref [] in
   List.iter
     (fun r ->
-      let g = Common.expander ~master ~tag:"e15" ~n ~r in
+      let g = Common.expander ~master ~tag:"e15" ~n ~r () in
       let with_repl, _ =
         Common.cover_summary g ~branching:B.cobra_k2 ~start:0 ~trials ~master
           ~tag:(Printf.sprintf "e15w:%d" r)

@@ -203,13 +203,28 @@ let of_edge_iter ~n iter_given_edges =
   done;
   let adjacency = Array.make offsets.(n) 0 in
   let cursor = Array.copy offsets in
+  (* Pass 2 must replay pass 1's census exactly: an iterator that drifts
+     between invocations (extra, missing or moved edges) would silently
+     scatter arcs into the wrong slices. Every placement is checked
+     against the slice the census allotted, and the final sweep catches
+     under-filled slices. *)
+  let unstable () =
+    invalid_arg
+      "Csr.of_edge_iter: iterator is not replay-stable (pass 2 disagrees \
+       with the pass-1 degree census)"
+  in
   let place u v =
+    if u < 0 || u >= n || v < 0 || v >= n then unstable ();
+    if cursor.(u) >= offsets.(u + 1) then unstable ();
     adjacency.(cursor.(u)) <- v;
     cursor.(u) <- cursor.(u) + 1
   in
   iter_given_edges (fun u v ->
       place u v;
       place v u);
+  for v = 0 to n - 1 do
+    if cursor.(v) <> offsets.(v + 1) then unstable ()
+  done;
   for v = 0 to n - 1 do
     let lo = offsets.(v) and hi = offsets.(v + 1) in
     sort_range adjacency lo hi;

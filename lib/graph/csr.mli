@@ -26,7 +26,10 @@ val of_edge_arrays : n:int -> us:int array -> vs:int array -> t
     same order each time it is invoked (it is run twice — once to count
     degrees, once to place arcs). No intermediate edge array is
     materialised, so builders can stream edges straight out of their
-    accumulators. Validation is as for {!of_edges}. *)
+    accumulators. Validation is as for {!of_edges}; in addition, an
+    iterator that does not replay the pass-1 census exactly (extra,
+    missing or moved edges on the second run) raises [Invalid_argument]
+    instead of silently producing a corrupt graph. *)
 val of_edge_iter : n:int -> ((int -> int -> unit) -> unit) -> t
 
 (** [n_vertices g] is the number of vertices. *)
@@ -116,3 +119,7 @@ val unsafe_iter_neighbours : t -> int -> f:(int -> unit) -> unit
 
 (** [pp] prints a short [n=..., m=..., r=...] summary. *)
 val pp : Format.formatter -> t -> unit
+
+(** [sort_range a lo hi] sorts [a.(lo) .. a.(hi - 1)] in place. Exposed
+    for the sibling CSR builder ({!Bigcsr}); not part of the graph API. *)
+val sort_range : int array -> int -> int -> unit

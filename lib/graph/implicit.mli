@@ -1,0 +1,40 @@
+(** Implicit graphs for the closed-form families: [nth_neighbour] is
+    arithmetic and no adjacency is ever stored, so memory is O(1) in the
+    edge count. Neighbour enumeration order is pinned to the sorted
+    order the materialised {!Csr} slice would hold — this is what keeps
+    RNG draw sequences bit-identical across backends, and the
+    cross-backend suite in test/graph checks it family by family.
+
+    Constructors validate exactly as the matching [Gen] builders, except
+    the hypercubes: their materialised d <= 20 cap exists only to bound
+    heap size and is lifted to d <= 30 here. *)
+
+type t
+
+val complete : int -> t
+val cycle : int -> t
+val path : int -> t
+val hypercube : int -> t
+val folded_hypercube : int -> t
+val torus : int array -> t
+val grid : int array -> t
+val circulant : int -> int list -> t
+
+val n_vertices : t -> int
+val n_edges : t -> int
+
+(** [degree t v] for [0 <= v < n_vertices t]; out-of-range vertices are
+    undefined behaviour (the {!View} layer performs the range checks). *)
+val degree : t -> int -> int
+
+(** [nth t v i] is the [i]-th neighbour of [v] in sorted order,
+    [0 <= i < degree t v]; O(degree) worst case, O(1) for the families
+    with a direct formula. *)
+val nth : t -> int -> int -> int
+
+(** [iter t v ~f] applies [f] to [v]'s neighbours in ascending order. *)
+val iter : t -> int -> f:(int -> unit) -> unit
+
+val min_degree : t -> int
+val max_degree : t -> int
+val regularity : t -> int option

@@ -184,3 +184,44 @@ let to_string = function
   | Random_regular (n, r) -> Printf.sprintf "random-regular:%dx%d" n r
   | Erdos_renyi (n, p) -> Printf.sprintf "er:%d:%g" n p
   | Gnm (n, m) -> Printf.sprintf "gnm:%dx%d" n m
+
+(* The closed-form subset: families whose neighbourhoods are arithmetic.
+   Everything else must be materialised. *)
+let implicit spec =
+  try
+    match spec with
+    | Complete n -> Ok (Implicit.complete n)
+    | Cycle n -> Ok (Implicit.cycle n)
+    | Path n -> Ok (Implicit.path n)
+    | Hypercube d -> Ok (Implicit.hypercube d)
+    | Folded_hypercube d -> Ok (Implicit.folded_hypercube d)
+    | Torus dims -> Ok (Implicit.torus dims)
+    | Grid dims -> Ok (Implicit.grid dims)
+    | Circulant (n, offs) -> Ok (Implicit.circulant n offs)
+    | Star _ | Wheel _ | Binary_tree _ | Petersen | Complete_bipartite _
+    | Ring_of_cliques _ | Barbell _ | Lollipop _ | Random_regular _
+    | Erdos_renyi _ | Gnm _ ->
+      Error "family has no closed form"
+  with Invalid_argument msg | Failure msg -> Error msg
+
+let build_view spec ~backend rng =
+  match (backend : View.backend) with
+  | `Heap -> Result.map View.of_csr (build spec rng)
+  | `Implicit -> (
+    match implicit spec with
+    | Ok imp -> Ok (View.of_implicit imp)
+    | Error msg -> Error (Printf.sprintf "backend=implicit: %s: %s" (to_string spec) msg))
+  | `Bigarray -> (
+    (* Closed-form families stream straight into the off-heap arrays
+       (already sorted, already simple) without ever materialising on
+       the heap; everything else builds the heap CSR first and copies
+       out. *)
+    match implicit spec with
+    | Ok imp ->
+      Ok
+        (View.of_bigcsr
+           (Bigcsr.of_sorted_arcs
+              ~n:(Implicit.n_vertices imp)
+              ~degree:(Implicit.degree imp)
+              ~iter:(fun v f -> Implicit.iter imp v ~f)))
+    | Error _ -> Result.map (fun g -> View.of_bigcsr (Bigcsr.of_csr g)) (build spec rng))

@@ -24,6 +24,25 @@ val is_random : t -> bool
     surface as [Error _]. *)
 val build : t -> Prng.Rng.t -> (Csr.t, string) result
 
+(** [implicit spec] is the closed-form {!Implicit} graph for the
+    families that have one (complete, cycle, path, hypercube,
+    folded-hypercube, torus, grid, circulant); [Error _] for the rest. *)
+val implicit : t -> (Implicit.t, string) result
+
+(** [build_view spec ~backend rng] builds the graph behind the requested
+    topology backend:
+    - [`Heap]: {!build}, wrapped.
+    - [`Bigarray]: closed-form families stream straight into the
+      off-heap arrays without heap materialisation (a d=24 hypercube
+      never allocates its 4*10^8 arcs on the heap); other families build
+      the heap CSR first and copy out.
+    - [`Implicit]: closed-form families only; everything else errors.
+
+    All three produce views with bit-identical RNG draw behaviour for
+    the same topology. *)
+val build_view :
+  t -> backend:View.backend -> Prng.Rng.t -> (View.t, string) result
+
 (** [to_string spec] re-renders the canonical description. *)
 val to_string : t -> string
 

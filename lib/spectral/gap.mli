@@ -14,7 +14,7 @@ type t = {
     power iteration cross-checked against a Lanczos sweep; the two must
     agree within [5e-4] (else the tighter Lanczos value is used and a
     warning is logged). *)
-val estimate : ?steps:int -> Prng.Rng.t -> Graph.Csr.t -> t
+val estimate : ?steps:int -> Prng.Rng.t -> Graph.View.t -> t
 
 (** [of_lambda ?method_ lambda] wraps an externally known λ. *)
 val of_lambda : ?method_:method_ -> float -> t

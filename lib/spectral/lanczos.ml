@@ -38,10 +38,10 @@ let run ?steps ?(deflate = []) rng op =
   Tridiag.eigenvalues ~diag ~off
 
 let extremes ?steps rng g =
-  (match Graph.Csr.regularity g with
+  (match Graph.View.regularity g with
   | Some r when r > 0 -> ()
   | _ -> invalid_arg "Lanczos.extremes: requires a regular graph");
-  let n = Graph.Csr.n_vertices g in
+  let n = Graph.View.n_vertices g in
   let op = Op.walk_matrix g in
   let ritz = run ?steps ~deflate:[ Vec.uniform_unit n ] rng op in
   let m = Array.length ritz in

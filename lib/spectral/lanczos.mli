@@ -20,7 +20,7 @@ val run :
 (** [extremes ?steps rng g] estimates λ₂ and λ_n of the walk matrix of the
     connected regular graph [g] in one sweep (the constant eigenvector is
     deflated). *)
-val extremes : ?steps:int -> Prng.Rng.t -> Graph.Csr.t -> extremes
+val extremes : ?steps:int -> Prng.Rng.t -> Graph.View.t -> extremes
 
 (** [lambda_max ?steps rng g] is [max(|λ₂|, |λ_n|)] via {!extremes}. *)
-val lambda_max : ?steps:int -> Prng.Rng.t -> Graph.Csr.t -> float
+val lambda_max : ?steps:int -> Prng.Rng.t -> Graph.View.t -> float

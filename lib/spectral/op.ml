@@ -1,20 +1,57 @@
 type t = { n : int; apply : x:float array -> y:float array -> unit }
 
-let walk_matrix g =
-  let n = Graph.Csr.n_vertices g in
+(* One inner loop per topology backend, selected once at operator
+   construction: the heap path keeps its direct int-array loads, the
+   off-heap path reads the int32 Bigarrays, and the implicit path
+   enumerates neighbours arithmetically. The matvec is the entire cost of
+   the eigensolvers, so the per-element dispatch a generic accessor would
+   pay is hoisted out here. *)
+
+let heap_apply g n ~x ~y =
   let offsets = Graph.Csr.unsafe_offsets g in
   let adjacency = Graph.Csr.unsafe_adjacency g in
+  for v = 0 to n - 1 do
+    let lo = offsets.(v) and hi = offsets.(v + 1) in
+    let acc = ref 0.0 in
+    for i = lo to hi - 1 do
+      acc := !acc +. Array.unsafe_get x (Array.unsafe_get adjacency i)
+    done;
+    y.(v) <- (if hi > lo then !acc /. Float.of_int (hi - lo) else 0.0)
+  done
+
+let big_apply g n ~x ~y =
+  let offsets = Graph.Bigcsr.unsafe_offsets g in
+  let adjacency = Graph.Bigcsr.unsafe_adjacency g in
+  let get (a : Graph.Bigcsr.arr) i = Int32.to_int (Bigarray.Array1.unsafe_get a i) in
+  for v = 0 to n - 1 do
+    let lo = get offsets v and hi = get offsets (v + 1) in
+    let acc = ref 0.0 in
+    for i = lo to hi - 1 do
+      acc := !acc +. Array.unsafe_get x (get adjacency i)
+    done;
+    y.(v) <- (if hi > lo then !acc /. Float.of_int (hi - lo) else 0.0)
+  done
+
+let implicit_apply g n ~x ~y =
+  for v = 0 to n - 1 do
+    let d = Graph.Implicit.degree g v in
+    let acc = ref 0.0 in
+    Graph.Implicit.iter g v ~f:(fun w -> acc := !acc +. Array.unsafe_get x w);
+    y.(v) <- (if d > 0 then !acc /. Float.of_int d else 0.0)
+  done
+
+let walk_matrix view =
+  let n = Graph.View.n_vertices view in
+  let inner =
+    match Graph.View.repr view with
+    | Graph.View.Heap g -> heap_apply g n
+    | Graph.View.Big g -> big_apply g n
+    | Graph.View.Implicit g -> implicit_apply g n
+  in
   let apply ~x ~y =
     if Array.length x <> n || Array.length y <> n then
       invalid_arg "Op.walk_matrix: size mismatch";
-    for v = 0 to n - 1 do
-      let lo = offsets.(v) and hi = offsets.(v + 1) in
-      let acc = ref 0.0 in
-      for i = lo to hi - 1 do
-        acc := !acc +. Array.unsafe_get x (Array.unsafe_get adjacency i)
-      done;
-      y.(v) <- (if hi > lo then !acc /. Float.of_int (hi - lo) else 0.0)
-    done
+    inner ~x ~y
   in
   { n; apply }
 

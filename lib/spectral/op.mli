@@ -8,7 +8,7 @@ type t = { n : int; apply : x:float array -> y:float array -> unit }
 (** [walk_matrix g] is the simple-random-walk transition matrix
     [P = D^{-1} A]. Symmetric exactly when [g] is regular (the setting of
     the paper); the symmetric eigensolvers check this. *)
-val walk_matrix : Graph.Csr.t -> t
+val walk_matrix : Graph.View.t -> t
 
 (** [shift_scale op ~alpha ~beta] is the operator [alpha*M + beta*I]; its
     spectrum is the affine image of [M]'s. Used to map the walk spectrum

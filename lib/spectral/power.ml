@@ -1,7 +1,7 @@
 type result = { value : float; iterations : int; residual : float }
 
 let require_regular g name =
-  match Graph.Csr.regularity g with
+  match Graph.View.regularity g with
   | Some r when r > 0 -> r
   | _ -> invalid_arg (name ^ ": requires a regular graph with positive degree")
 
@@ -43,7 +43,7 @@ let dominant ?(tol = 1e-9) ?(max_iter = 100_000) ?(deflate = []) rng op =
 
 let lambda_2 ?tol ?max_iter rng g =
   ignore (require_regular g "Power.lambda_2");
-  let n = Graph.Csr.n_vertices g in
+  let n = Graph.View.n_vertices g in
   let op = Op.shift_scale (Op.walk_matrix g) ~alpha:0.5 ~beta:0.5 in
   let r = dominant ?tol ?max_iter ~deflate:[ Vec.uniform_unit n ] rng op in
   (* Undo the affine map mu = (lambda + 1) / 2. *)

@@ -34,12 +34,12 @@ val dominant :
 (** [lambda_2 ?tol ?max_iter rng g] estimates λ₂ of the walk matrix of the
     connected regular graph [g]. Raises [Invalid_argument] if [g] is not
     regular. *)
-val lambda_2 : ?tol:float -> ?max_iter:int -> Prng.Rng.t -> Graph.Csr.t -> result
+val lambda_2 : ?tol:float -> ?max_iter:int -> Prng.Rng.t -> Graph.View.t -> result
 
 (** [lambda_min ?tol ?max_iter rng g] estimates λ_n (the most negative
     eigenvalue). *)
-val lambda_min : ?tol:float -> ?max_iter:int -> Prng.Rng.t -> Graph.Csr.t -> result
+val lambda_min : ?tol:float -> ?max_iter:int -> Prng.Rng.t -> Graph.View.t -> result
 
 (** [lambda_max ?tol ?max_iter rng g] is [max(|λ₂|, |λ_n|)] — the paper's
     λ. *)
-val lambda_max : ?tol:float -> ?max_iter:int -> Prng.Rng.t -> Graph.Csr.t -> float
+val lambda_max : ?tol:float -> ?max_iter:int -> Prng.Rng.t -> Graph.View.t -> float

@@ -9,6 +9,7 @@ type t = {
   trials : int;
   base : K.params;
   engine : Kernels.engine;
+  backend : Graph.View.backend;
 }
 
 let schema = "cobra.sweep-grid/1"
@@ -130,6 +131,11 @@ let of_json doc =
     | None -> Ok `Scalar
     | Some s -> Kernels.engine_of_string s
   in
+  let* backend =
+    match str_field "backend" with
+    | None -> Ok `Heap
+    | Some s -> Graph.View.backend_of_string s
+  in
   let* base =
     match Json.member "params" doc with
     | None -> Ok K.default_params
@@ -158,6 +164,7 @@ let of_json doc =
       trials;
       base;
       engine;
+      backend;
     }
 
 let of_inline s =
@@ -195,6 +202,9 @@ let of_inline s =
       | "engine" ->
         let* engine = Kernels.engine_of_string v in
         Ok { grid with engine }
+      | "backend" ->
+        let* backend = Graph.View.backend_of_string v in
+        Ok { grid with backend }
       | key when List.mem key param_keys ->
         let* base = set_param grid.base key v in
         Ok { grid with base }
@@ -208,6 +218,7 @@ let of_inline s =
          trials = 10;
          base = K.default_params;
          engine = `Scalar;
+         backend = `Heap;
        })
     fields
   |> fun r -> Result.bind r validate
@@ -231,19 +242,28 @@ let load s =
 
 (* ---------- expansion ---------- *)
 
-(* The execution engine is part of the campaign identity (lanes and
-   scalar results differ draw-for-draw), so it joins the cell meta and
-   a resume under the other engine refuses to mix checkpoints. Scalar
-   grids omit the key, keeping their meta — and thus their existing
+(* The execution engine and the topology backend are part of the
+   campaign identity (lanes and scalar results differ draw-for-draw;
+   backends produce identical streams but belong to distinct campaign
+   configurations, and mixing them in one checkpoint would hide a
+   backend regression), so both join the cell meta and a resume under a
+   different engine or backend refuses to mix checkpoints. Scalar/heap
+   grids omit the keys, keeping their meta — and thus their existing
    checkpoints — byte-identical to earlier versions. *)
-let params_meta ?(engine = `Scalar) trials base =
+let params_meta ?(engine = `Scalar) ?(backend = `Heap) trials base =
   let engine_field =
     match engine with
     | `Scalar -> []
     | `Lanes -> [ ("engine", Json.String (Kernels.engine_to_string engine)) ]
   in
+  let backend_field =
+    match backend with
+    | `Heap -> []
+    | (`Bigarray | `Implicit) as b ->
+      [ ("backend", Json.String (Graph.View.backend_to_string b)) ]
+  in
   Json.Obj
-    (engine_field
+    (engine_field @ backend_field
     @ [
       ("trials", Json.Int trials);
       ("start", Json.Int base.K.start);
@@ -263,11 +283,11 @@ let params_meta ?(engine = `Scalar) trials base =
    only changes how those trials execute ([Kernels.run_trials]);
    aggregation walks the outcomes in trial order either way, so the
    scalar path reproduces the historical per-trial loop draw-for-draw. *)
-let run_cell ~spec ~kernel ~branching ~trials ~base ~engine ~address ~master
-    ~salt =
+let run_cell ~spec ~kernel ~branching ~trials ~base ~engine ~backend ~address
+    ~master ~salt =
   let spec_str = Graph.Spec.to_string spec in
   let grng = Simkit.Seeds.tagged_rng ~master ~tag:("sweep:graph:" ^ spec_str) in
-  match Graph.Spec.build spec grng with
+  match Graph.Spec.build_view spec ~backend grng with
   | Error msg -> failwith (Printf.sprintf "%s: graph build failed: %s" address msg)
   | Ok g ->
     let params = { base with K.branching } in
@@ -320,7 +340,7 @@ let run_cell ~spec ~kernel ~branching ~trials ~base ~engine ~address ~master
     Json.Obj
       [
         ("graph", Json.String spec_str);
-        ("n", Json.Int (Graph.Csr.n_vertices g));
+        ("n", Json.Int (Graph.View.n_vertices g));
         ("kernel", Json.String kernel.K.name);
         ("branching", Json.String (Cobra.Branching.to_arg branching));
         ("trials", Json.Int trials);
@@ -349,7 +369,9 @@ let cells grid =
                   ("graph", Json.String (Graph.Spec.to_string spec));
                   ("kernel", Json.String kernel.K.name);
                   ("branching", Json.String (Cobra.Branching.to_arg branching));
-                  ("params", params_meta ~engine:grid.engine grid.trials grid.base);
+                  ( "params",
+                    params_meta ~engine:grid.engine ~backend:grid.backend
+                      grid.trials grid.base );
                 ]
               in
               let cell =
@@ -360,8 +382,8 @@ let cells grid =
                   run =
                     (fun ~master ~salt ->
                       run_cell ~spec ~kernel ~branching ~trials:grid.trials
-                        ~base:grid.base ~engine:grid.engine ~address ~master
-                        ~salt);
+                        ~base:grid.base ~engine:grid.engine
+                        ~backend:grid.backend ~address ~master ~salt);
                 }
               in
               incr index;

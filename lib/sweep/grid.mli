@@ -29,6 +29,15 @@ type t = {
           word via [Kernels.run_trials], falling back to scalar per
           kernel; it is part of the campaign identity, so checkpoints
           written under one engine refuse to resume under the other. *)
+  backend : Graph.View.backend;
+      (** topology backend the cells build their graph behind
+          ([key backend=heap|bigarray|implicit]; default heap). All
+          three produce bit-identical RNG streams for the same
+          topology, but the backend is still part of the campaign
+          identity — a checkpoint written under one backend refuses to
+          resume under another, so a cross-backend divergence can never
+          hide inside a mixed checkpoint. Heap grids omit the meta key,
+          keeping pre-existing checkpoints valid. *)
 }
 
 (** The grid-file schema identifier, ["cobra.sweep-grid/1"]. *)

@@ -52,7 +52,7 @@ val lanes_capable : Cobra.Kernel.t -> Cobra.Kernel.params -> bool
 val run_trials :
   ?engine:engine ->
   Cobra.Kernel.t ->
-  Graph.Csr.t ->
+  Graph.View.t ->
   Cobra.Kernel.params ->
   trials:int ->
   master:int ->

@@ -11,8 +11,24 @@ module Push = Cobra.Push
 module Exact = Cobra.Exact
 module Duality = Cobra.Duality
 module Growth = Cobra.Growth
-module Gen = Graph.Gen
+(* Processes consume Graph.View; the exact engine and raw accessors stay
+   on heap CSR. [Gen] builds views (of_csr is a free wrap), [csr] gets
+   the underlying CSR back (free for heap views). *)
+module GenC = Graph.Gen
 module Csr = Graph.Csr
+
+module Gen = struct
+  let v = Graph.View.of_csr
+  let complete n = v (GenC.complete n)
+  let cycle n = v (GenC.cycle n)
+  let path n = v (GenC.path n)
+  let star n = v (GenC.star n)
+  let petersen () = v (GenC.petersen ())
+  let hypercube d = v (GenC.hypercube d)
+  let random_regular rng ~n ~r = v (GenC.random_regular rng ~n ~r)
+end
+
+let csr = Graph.View.to_csr
 module Rng = Prng.Rng
 module Bitset = Dstruct.Bitset
 
@@ -195,7 +211,7 @@ let test_distinct_dominates_replacement () =
 
 let test_distinct_duality_exact () =
   let g = Gen.petersen () in
-  let gap = Exact.duality_gap g ~branching:(B.distinct 2) ~t_max:6 in
+  let gap = Exact.duality_gap (csr g) ~branching:(B.distinct 2) ~t_max:6 in
   if gap > 1e-10 then Alcotest.failf "distinct duality gap %g" gap
 
 let test_distinct_cover_faster_sparse () =
@@ -481,7 +497,7 @@ let test_walk_positions () =
   check Alcotest.int "length" 201 (Array.length tr);
   check Alcotest.int "starts at start" 0 tr.(0);
   for i = 1 to 200 do
-    if not (Csr.mem_edge g tr.(i - 1) tr.(i)) then Alcotest.fail "illegal walk move"
+    if not (Csr.mem_edge (csr g) tr.(i - 1) tr.(i)) then Alcotest.fail "illegal walk move"
   done
 
 (* ---------- Push ---------- *)
@@ -524,7 +540,7 @@ let test_flood () =
 
 let test_exact_survival_monotone () =
   let g = Gen.petersen () in
-  let s = Exact.cobra_hit_survival g ~branching:B.cobra_k2 ~start:[ 0 ] ~target:6 ~t_max:10 in
+  let s = Exact.cobra_hit_survival (csr g) ~branching:B.cobra_k2 ~start:[ 0 ] ~target:6 ~t_max:10 in
   check Alcotest.int "length" 11 (Array.length s);
   close "starts at 1" 1.0 s.(0);
   Array.iteri
@@ -535,21 +551,21 @@ let test_exact_survival_monotone () =
 
 let test_exact_hit_self_immediately () =
   let g = Gen.cycle 5 in
-  let s = Exact.cobra_hit_survival g ~branching:B.cobra_k2 ~start:[ 2 ] ~target:2 ~t_max:3 in
+  let s = Exact.cobra_hit_survival (csr g) ~branching:B.cobra_k2 ~start:[ 2 ] ~target:2 ~t_max:3 in
   Array.iter (fun v -> close "already hit" 0.0 v) s
 
 let test_exact_bips_distribution_sums () =
   let g = Gen.cycle 5 in
   (* avoiding nothing has probability 1 *)
-  let s = Exact.bips_avoid g ~branching:B.cobra_k2 ~source:0 ~avoid:[] ~t_max:4 in
+  let s = Exact.bips_avoid (csr g) ~branching:B.cobra_k2 ~source:0 ~avoid:[] ~t_max:4 in
   Array.iter (fun v -> close "total mass" 1.0 v) s;
   (* avoiding the source itself: always infected, so probability 0 *)
-  let s0 = Exact.bips_avoid g ~branching:B.cobra_k2 ~source:0 ~avoid:[ 0 ] ~t_max:4 in
+  let s0 = Exact.bips_avoid (csr g) ~branching:B.cobra_k2 ~source:0 ~avoid:[ 0 ] ~t_max:4 in
   Array.iter (fun v -> close "source never avoided" 0.0 v) s0
 
 let test_exact_unsaturated_decreases () =
   let g = Gen.complete 6 in
-  let u = Exact.bips_unsaturated g ~branching:B.cobra_k2 ~source:0 ~t_max:15 in
+  let u = Exact.bips_unsaturated (csr g) ~branching:B.cobra_k2 ~source:0 ~t_max:15 in
   close "starts unsaturated" 1.0 u.(0);
   check Alcotest.bool "eventually likely saturated" true (u.(15) < 0.01);
   Array.iteri
@@ -561,7 +577,7 @@ let test_exact_expected_size_first_step () =
      P(u picks v at least once) — check against the hand formula on K_4:
      each u has p = 1-(2/3)^2 = 5/9, so E = 1 + 3*5/9 = 8/3. *)
   let g = Gen.complete 4 in
-  let e = Exact.bips_expected_size g ~branching:B.cobra_k2 ~source:0 ~t_max:1 in
+  let e = Exact.bips_expected_size (csr g) ~branching:B.cobra_k2 ~source:0 ~t_max:1 in
   close "E|A_0|" 1.0 e.(0);
   close "E|A_1|" (1.0 +. (3.0 *. (1.0 -. (2.0 /. 3.0) ** 2.0))) e.(1)
 
@@ -569,7 +585,7 @@ let test_exact_matches_growth_formula () =
   (* Exact.bips_expected_size at t=1 equals Growth.expected_next_size on
      the initial set {source}. *)
   let g = Gen.petersen () in
-  let e = Exact.bips_expected_size g ~branching:B.cobra_k2 ~source:3 ~t_max:1 in
+  let e = Exact.bips_expected_size (csr g) ~branching:B.cobra_k2 ~source:3 ~t_max:1 in
   let set = Bitset.create 10 in
   Bitset.add set 3;
   let f = Growth.expected_next_size g ~branching:B.cobra_k2 ~source:3 ~infected:set in
@@ -578,7 +594,7 @@ let test_exact_matches_growth_formula () =
 let test_duality_gap_small_graphs () =
   List.iter
     (fun (name, g) ->
-      let gap = Exact.duality_gap g ~branching:B.cobra_k2 ~t_max:6 in
+      let gap = Exact.duality_gap (csr g) ~branching:B.cobra_k2 ~t_max:6 in
       if gap > 1e-10 then Alcotest.failf "%s duality gap %g" name gap)
     [
       ("K_4", Gen.complete 4);
@@ -592,7 +608,7 @@ let test_duality_gap_branchings () =
   let g = Gen.cycle 6 in
   List.iter
     (fun b ->
-      let gap = Exact.duality_gap g ~branching:b ~t_max:6 in
+      let gap = Exact.duality_gap (csr g) ~branching:b ~t_max:6 in
       if gap > 1e-10 then
         Alcotest.failf "duality gap %g for %s" gap (B.to_string b))
     [ B.fixed 1; B.fixed 2; B.fixed 3; B.one_plus 0.5; B.one_plus 1.0 ]
@@ -603,7 +619,7 @@ let duality_random_graph_prop =
     (fun seed ->
       let rng = Rng.create seed in
       let g = Gen.random_regular rng ~n:8 ~r:3 in
-      Exact.duality_gap g ~branching:B.cobra_k2 ~t_max:5 < 1e-10)
+      Exact.duality_gap (csr g) ~branching:B.cobra_k2 ~t_max:5 < 1e-10)
 
 (* Theorem 4 is stated for arbitrary start sets C, not just singletons:
    P(Hit_C(v) > t) = P(C ∩ A_t = ∅). Check exactly for random multi-
@@ -620,8 +636,8 @@ let duality_multiset_prop =
         List.filter (fun u -> u <> v && Rng.bool rng) [ 0; 1; 2; 3; 4; 5; 6; 7 ]
       in
       let c = if c = [] then [ (v + 1) mod 8 ] else c in
-      let lhs = Exact.cobra_hit_survival g ~branching:B.cobra_k2 ~start:c ~target:v ~t_max:6 in
-      let rhs = Exact.bips_avoid g ~branching:B.cobra_k2 ~source:v ~avoid:c ~t_max:6 in
+      let lhs = Exact.cobra_hit_survival (csr g) ~branching:B.cobra_k2 ~start:c ~target:v ~t_max:6 in
+      let rhs = Exact.bips_avoid (csr g) ~branching:B.cobra_k2 ~source:v ~avoid:c ~t_max:6 in
       let ok = ref true in
       Array.iteri (fun t l -> if Float.abs (l -. rhs.(t)) > 1e-10 then ok := false) lhs;
       !ok)
@@ -630,11 +646,11 @@ let duality_multiset_prop =
    branchings must induce identical exact distributions. *)
 let test_one_plus_one_is_k2 () =
   let g = Gen.petersen () in
-  let a = Exact.cobra_hit_survival g ~branching:(B.one_plus 1.0) ~start:[ 0 ] ~target:6 ~t_max:8 in
-  let b = Exact.cobra_hit_survival g ~branching:B.cobra_k2 ~start:[ 0 ] ~target:6 ~t_max:8 in
+  let a = Exact.cobra_hit_survival (csr g) ~branching:(B.one_plus 1.0) ~start:[ 0 ] ~target:6 ~t_max:8 in
+  let b = Exact.cobra_hit_survival (csr g) ~branching:B.cobra_k2 ~start:[ 0 ] ~target:6 ~t_max:8 in
   Array.iteri (fun i v -> close "same survival" v b.(i)) a;
-  let ea = Exact.bips_expected_size g ~branching:(B.one_plus 1.0) ~source:0 ~t_max:6 in
-  let eb = Exact.bips_expected_size g ~branching:B.cobra_k2 ~source:0 ~t_max:6 in
+  let ea = Exact.bips_expected_size (csr g) ~branching:(B.one_plus 1.0) ~source:0 ~t_max:6 in
+  let eb = Exact.bips_expected_size (csr g) ~branching:B.cobra_k2 ~source:0 ~t_max:6 in
   Array.iteri (fun i v -> close "same expected size" v eb.(i)) ea
 
 (* The exact BIPS marginal P(u ∈ A_t) matches a Monte-Carlo estimate. *)
@@ -642,7 +658,7 @@ let test_exact_bips_marginal_vs_mc () =
   let g = Gen.cycle 7 in
   let t = 4 in
   let exact_absent =
-    (Exact.bips_avoid g ~branching:B.cobra_k2 ~source:0 ~avoid:[ 3 ] ~t_max:t).(t)
+    (Exact.bips_avoid (csr g) ~branching:B.cobra_k2 ~source:0 ~avoid:[ 3 ] ~t_max:t).(t)
   in
   let rng = Rng.create 66 in
   let absent, trials =
@@ -657,8 +673,8 @@ let test_exact_bips_marginal_vs_mc () =
    checked distributionally). *)
 let test_exact_cover_multi_start_faster () =
   let g = Gen.cycle 6 in
-  let single = Exact.cover_survival g ~branching:B.cobra_k2 ~start:[ 0 ] ~t_max:10 in
-  let double = Exact.cover_survival g ~branching:B.cobra_k2 ~start:[ 0; 3 ] ~t_max:10 in
+  let single = Exact.cover_survival (csr g) ~branching:B.cobra_k2 ~start:[ 0 ] ~t_max:10 in
+  let double = Exact.cover_survival (csr g) ~branching:B.cobra_k2 ~start:[ 0; 3 ] ~t_max:10 in
   Array.iteri
     (fun t s ->
       if double.(t) > s +. 1e-9 then
@@ -670,16 +686,16 @@ let test_exact_size_limit () =
   Alcotest.check_raises "too large"
     (Invalid_argument "Exact.Cobra_engine.create: at most 16 vertices (got 17)")
     (fun () ->
-      ignore (Exact.cobra_hit_survival g ~branching:B.cobra_k2 ~start:[ 0 ] ~target:1 ~t_max:1))
+      ignore (Exact.cobra_hit_survival (csr g) ~branching:B.cobra_k2 ~start:[ 0 ] ~target:1 ~t_max:1))
 
 let test_exact_boundary_max_vertices () =
   (* Exactly max_vertices is accepted: the oracle exports work on C_16. *)
   let g = Gen.cycle Exact.max_vertices in
-  let dist = Exact.cobra_step_dist g ~branching:B.cobra_k2 ~active:[ 0 ] in
+  let dist = Exact.cobra_step_dist (csr g) ~branching:B.cobra_k2 ~active:[ 0 ] in
   let total = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 dist in
   close "step dist sums to 1 on C_16" 1.0 total;
   let s =
-    Exact.cobra_hit_survival g ~branching:B.cobra_k2 ~start:[ 0 ] ~target:8 ~t_max:2
+    Exact.cobra_hit_survival (csr g) ~branching:B.cobra_k2 ~start:[ 0 ] ~target:8 ~t_max:2
   in
   close "far target unhit in 2 rounds on C_16" 1.0 s.(2)
 
@@ -693,23 +709,23 @@ let test_exact_boundary_rejections () =
       (fun () -> ignore (f ()))
   in
   expect "Exact.cobra_step_dist" (fun () ->
-      Exact.cobra_step_dist g ~branching:B.cobra_k2 ~active:[ 0 ]);
+      Exact.cobra_step_dist (csr g) ~branching:B.cobra_k2 ~active:[ 0 ]);
   expect "Exact.bips_step_dist" (fun () ->
-      Exact.bips_step_dist g ~branching:B.cobra_k2 ~source:0 ~infected:[ 0 ]);
+      Exact.bips_step_dist (csr g) ~branching:B.cobra_k2 ~source:0 ~infected:[ 0 ]);
   expect "Exact.sis_step_dist" (fun () ->
-      Exact.sis_step_dist g ~contacts:B.cobra_k2 ~recovery:0.5 ~persistent:None
+      Exact.sis_step_dist (csr g) ~contacts:B.cobra_k2 ~recovery:0.5 ~persistent:None
         ~infected:[ 0 ]);
   expect "Exact.push_cover_survival" (fun () ->
-      Exact.push_cover_survival g ~start:0 ~t_max:1);
+      Exact.push_cover_survival (csr g) ~start:0 ~t_max:1);
   expect "Exact.contact_absorption" (fun () ->
-      Exact.contact_absorption g ~infection_rate:1.0 ~start:[ 0 ])
+      Exact.contact_absorption (csr g) ~infection_rate:1.0 ~start:[ 0 ])
 
 let test_duality_tight_k4_c5 () =
   (* Theorem 4 to full floating-point precision on the two named
      fixtures — tighter than the 1e-10 sweep above. *)
   List.iter
     (fun (name, g) ->
-      let gap = Exact.duality_gap g ~branching:B.cobra_k2 ~t_max:8 in
+      let gap = Exact.duality_gap (csr g) ~branching:B.cobra_k2 ~t_max:8 in
       if gap > 1e-12 then Alcotest.failf "%s duality gap %g > 1e-12" name gap)
     [ ("K_4", Gen.complete 4); ("C_5", Gen.cycle 5) ]
 
@@ -724,7 +740,7 @@ let test_sis_step_dist_closed_form () =
      probability 3/4; vertex 1's single pick always hits 0. *)
   let g = Gen.complete 2 in
   let dist =
-    Exact.sis_step_dist g ~contacts:(B.fixed 1) ~recovery:0.25 ~persistent:None
+    Exact.sis_step_dist (csr g) ~contacts:(B.fixed 1) ~recovery:0.25 ~persistent:None
       ~infected:[ 0 ]
   in
   Alcotest.(check int) "two outcomes" 2 (List.length dist);
@@ -743,14 +759,14 @@ let test_contact_absorption_closed_form () =
     (fun lambda ->
       close "K2 absorption"
         (lambda /. (1.0 +. lambda))
-        (Exact.contact_absorption (Gen.complete 2) ~infection_rate:lambda ~start:[ 0 ]))
+        (Exact.contact_absorption (csr (Gen.complete 2)) ~infection_rate:lambda ~start:[ 0 ]))
     [ 0.5; 1.0; 2.0 ];
   close "already full"
     1.0
-    (Exact.contact_absorption (Gen.complete 3) ~infection_rate:1.0 ~start:[ 0; 1; 2 ])
+    (Exact.contact_absorption (csr (Gen.complete 3)) ~infection_rate:1.0 ~start:[ 0; 1; 2 ])
 
 let test_push_survival_shape () =
-  let s = Exact.push_cover_survival (Gen.complete 4) ~start:0 ~t_max:8 in
+  let s = Exact.push_cover_survival (csr (Gen.complete 4)) ~start:0 ~t_max:8 in
   close "survives round 0" 1.0 s.(0);
   close "cannot finish in one round" 1.0 s.(1);
   Array.iteri
@@ -763,10 +779,10 @@ let test_push_survival_shape () =
 let test_engine_memo_consistent () =
   (* Shared-engine results match one-shot results. *)
   let g = Gen.petersen () in
-  let e = Exact.Cobra_engine.create g ~branching:B.cobra_k2 in
+  let e = Exact.Cobra_engine.create (csr g) ~branching:B.cobra_k2 in
   for target = 1 to 9 do
     let a = Exact.Cobra_engine.hit_survival e ~start:[ 0 ] ~target ~t_max:5 in
-    let b = Exact.cobra_hit_survival g ~branching:B.cobra_k2 ~start:[ 0 ] ~target ~t_max:5 in
+    let b = Exact.cobra_hit_survival (csr g) ~branching:B.cobra_k2 ~start:[ 0 ] ~target ~t_max:5 in
     Array.iteri (fun i v -> close "engine vs one-shot" v b.(i)) a
   done
 
@@ -776,7 +792,7 @@ let test_mc_duality_matches_exact () =
   let rng = Rng.create 41 in
   let t = 3 in
   let exact =
-    (Exact.cobra_hit_survival g ~branching:B.cobra_k2 ~start:[ 0 ] ~target:7 ~t_max:t).(t)
+    (Exact.cobra_hit_survival (csr g) ~branching:B.cobra_k2 ~start:[ 0 ] ~target:7 ~t_max:t).(t)
   in
   let c = Duality.compare_at ~trials:20_000 g ~branching:B.cobra_k2 ~u:0 ~v:7 ~t rng in
   let cobra_rate, bips_rate = Duality.estimated_rates c in
@@ -796,7 +812,7 @@ let test_first_visit_times () =
   let rng = Rng.create 65 in
   let g = Gen.random_regular rng ~n:100 ~r:3 in
   let first = Process.first_visit_times g ~branching:B.cobra_k2 ~start:0 rng in
-  let dist = Graph.Algo.bfs g 0 in
+  let dist = Graph.View.bfs g 0 in
   check Alcotest.int "start at 0" 0 first.(0);
   Array.iteri
     (fun v t ->
@@ -809,7 +825,7 @@ let test_first_visit_times () =
 
 let test_exact_cover_survival_shape () =
   let g = Gen.complete 4 in
-  let s = Exact.cover_survival g ~branching:B.cobra_k2 ~start:[ 0 ] ~t_max:20 in
+  let s = Exact.cover_survival (csr g) ~branching:B.cobra_k2 ~start:[ 0 ] ~t_max:20 in
   close "P(cov > 0) = 1" 1.0 s.(0);
   Array.iteri
     (fun i v ->
@@ -820,17 +836,17 @@ let test_exact_cover_survival_shape () =
 
 let test_exact_cover_trivial_start () =
   let g = Gen.complete 3 in
-  let s = Exact.cover_survival g ~branching:B.cobra_k2 ~start:[ 0; 1; 2 ] ~t_max:4 in
+  let s = Exact.cover_survival (csr g) ~branching:B.cobra_k2 ~start:[ 0; 1; 2 ] ~t_max:4 in
   Array.iter (fun v -> close "already covered" 0.0 v) s;
   close "expected cover 0" 0.0
-    (Exact.expected_cover_time g ~branching:B.cobra_k2 ~start:[ 0; 1; 2 ])
+    (Exact.expected_cover_time (csr g) ~branching:B.cobra_k2 ~start:[ 0; 1; 2 ])
 
 let test_exact_expected_cover_vs_mc () =
   (* The strongest cross-validation of the COBRA engine: exact E[cov]
      from the joint (frontier, visited) chain vs 40k simulated trials.
      K_4: sd of the MC mean ~ 1.1/sqrt(40000) ~ 0.006; allow 6 sd. *)
   let g = Gen.complete 4 in
-  let exact = Exact.expected_cover_time g ~branching:B.cobra_k2 ~start:[ 0 ] in
+  let exact = Exact.expected_cover_time (csr g) ~branching:B.cobra_k2 ~start:[ 0 ] in
   let rng = Rng.create 61 in
   let s = Stats.Summary.create () in
   for _ = 1 to 40_000 do
@@ -843,9 +859,9 @@ let test_exact_expected_cover_vs_mc () =
 let test_exact_cover_consistent_with_hit () =
   (* cov >= Hit(v) pointwise, so P(cov > t) >= P(Hit(v) > t) for any v. *)
   let g = Gen.cycle 6 in
-  let cover = Exact.cover_survival g ~branching:B.cobra_k2 ~start:[ 0 ] ~t_max:12 in
+  let cover = Exact.cover_survival (csr g) ~branching:B.cobra_k2 ~start:[ 0 ] ~t_max:12 in
   for v = 1 to 5 do
-    let hit = Exact.cobra_hit_survival g ~branching:B.cobra_k2 ~start:[ 0 ] ~target:v ~t_max:12 in
+    let hit = Exact.cobra_hit_survival (csr g) ~branching:B.cobra_k2 ~start:[ 0 ] ~target:v ~t_max:12 in
     Array.iteri
       (fun t h ->
         if h > cover.(t) +. 1e-12 then
@@ -993,9 +1009,10 @@ let test_bigger_k_not_slower () =
    engine change breaks them, re-record and say so in the PR. *)
 
 let golden_graph () =
-  Graph.Gen.random_regular
-    (Simkit.Seeds.tagged_rng ~master:42 ~tag:"golden:g")
-    ~n:512 ~r:3
+  Graph.View.of_csr
+    (Graph.Gen.random_regular
+       (Simkit.Seeds.tagged_rng ~master:42 ~tag:"golden:g")
+       ~n:512 ~r:3)
 
 let golden_collect ~salt0 ~trials f =
   Simkit.Trial.collect ~trials ~master:42 ~salt0 (fun rng ->

@@ -42,7 +42,13 @@ let check_gof name r =
   if not (Gof.passed r) then
     Alcotest.failf "%s: %s" name (Format.asprintf "%a" Gof.pp r)
 
-(* ---------- fixtures ---------- *)
+(* ---------- fixtures ----------
+
+   Heap CSR for the exact oracles; the simulators consume Graph.View, so
+   call sites wrap with [v] (a free of_csr wrap — the RNG streams are
+   identical by the view contract). *)
+
+let v = Graph.View.of_csr
 
 let k4 = Gen.complete 4
 let c5 = Gen.cycle 5
@@ -68,7 +74,7 @@ let mask_of_pred n pred =
   done;
   !m
 
-let frontier_mask p = mask_of_pred (Csr.n_vertices (Process.graph p)) (Process.active p)
+let frontier_mask p = mask_of_pred (Graph.View.n_vertices (Process.graph p)) (Process.active p)
 
 let count_bit samples v =
   Array.fold_left (fun acc m -> if m land (1 lsl v) <> 0 then acc + 1 else acc) 0 samples
@@ -110,7 +116,7 @@ let test_cobra_step_c5 () =
   let branching = Branching.Fixed 2 and active = [ 0; 2 ] in
   check_set_dist ~tag:"cobra/step/c5-k2" ~trials:6000
     ~dist:(Exact.cobra_step_dist c5 ~branching ~active) (fun rng ->
-      let p = Process.create c5 ~branching ~start:active in
+      let p = Process.create (v c5) ~branching ~start:active in
       Process.step p rng;
       frontier_mask p)
 
@@ -118,7 +124,7 @@ let test_cobra_step_prism () =
   let branching = Branching.One_plus 0.5 and active = [ 0; 4 ] in
   check_set_dist ~tag:"cobra/step/prism-1+0.5" ~trials:6000
     ~dist:(Exact.cobra_step_dist prism ~branching ~active) (fun rng ->
-      let p = Process.create prism ~branching ~start:active in
+      let p = Process.create (v prism) ~branching ~start:active in
       Process.step p rng;
       frontier_mask p)
 
@@ -126,7 +132,7 @@ let test_cobra_step_distinct () =
   let branching = Branching.Distinct 2 and active = [ 1 ] in
   check_set_dist ~tag:"cobra/step/k4-distinct2" ~trials:6000
     ~dist:(Exact.cobra_step_dist k4 ~branching ~active) (fun rng ->
-      let p = Process.create k4 ~branching ~start:active in
+      let p = Process.create (v k4) ~branching ~start:active in
       Process.step p rng;
       frontier_mask p)
 
@@ -138,7 +144,7 @@ let test_cobra_occupancy_q3 () =
   let occ = Exact.cobra_occupancy q3 ~branching ~start:[ 0 ] ~t_max:t in
   let samples =
     Conformance.samples ~master ~tag:"cobra/occupancy/q3" ~trials (fun rng ->
-        let p = Process.create q3 ~branching ~start:[ 0 ] in
+        let p = Process.create (v q3) ~branching ~start:[ 0 ] in
         for _ = 1 to t do
           Process.step p rng
         done;
@@ -153,7 +159,7 @@ let test_bips_step_prism () =
   check_set_dist ~tag:"bips/step/prism-1+0.5" ~trials:6000
     ~dist:(Exact.bips_step_dist prism ~branching ~source ~infected:[ source ])
     (fun rng ->
-      let p = Bips.create prism ~branching ~source in
+      let p = Bips.create (v prism) ~branching ~source in
       Bips.step p rng;
       mask_of_pred 6 (Bips.infected p))
 
@@ -174,7 +180,7 @@ let test_bips_two_step_k4 () =
   let branching = Branching.Fixed 2 and source = 2 in
   check_set_dist ~tag:"bips/two-step/k4-k2" ~trials:6000
     ~dist:(bips_two_step_dist k4 ~branching ~source) (fun rng ->
-      let p = Bips.create k4 ~branching ~source in
+      let p = Bips.create (v k4) ~branching ~source in
       Bips.step p rng;
       Bips.step p rng;
       mask_of_pred 4 (Bips.infected p))
@@ -184,7 +190,7 @@ let test_bips_occupancy_prism () =
   let occ = Exact.bips_occupancy prism ~branching ~source:0 ~t_max:t in
   let samples =
     Conformance.samples ~master ~tag:"bips/occupancy/prism" ~trials (fun rng ->
-        let p = Bips.create prism ~branching ~source:0 in
+        let p = Bips.create (v prism) ~branching ~source:0 in
         for _ = 1 to t do
           Bips.step p rng
         done;
@@ -218,7 +224,7 @@ let check_rwalk ~tag g ~start ~steps =
     (Conformance.check ~alpha ~master ~tag ~trials:8000
        ~dist:(rwalk_dist g ~start ~steps)
        ~equal:Int.equal ~describe:string_of_int
-       ~sample:(fun rng -> (Rwalk.positions ~steps g ~start rng).(steps))
+       ~sample:(fun rng -> (Rwalk.positions ~steps (v g) ~start rng).(steps))
        ())
 
 let test_rwalk_c5 () = check_rwalk ~tag:"rwalk/c5-t3" c5 ~start:0 ~steps:3
@@ -243,7 +249,7 @@ let check_push ~tag g ~start ~t_max =
        ~dist:(push_rounds_dist g ~start ~t_max)
        ~equal:Int.equal ~describe:string_of_int
        ~sample:(fun rng ->
-         match Push.push g ~start rng with
+         match Push.push (v g) ~start rng with
          | Some o -> min o.Push.rounds (t_max + 1)
          | None -> Alcotest.fail (tag ^ ": push hit its cap"))
        ())
@@ -262,7 +268,7 @@ let test_sis_step_prism () =
     ~dist:(Exact.sis_step_dist prism ~contacts ~recovery ~persistent:None ~infected)
     (fun rng ->
       let p =
-        Sis.create prism { Sis.contacts; recovery } ~persistent:None ~start:infected
+        Sis.create (v prism) { Sis.contacts; recovery } ~persistent:None ~start:infected
       in
       Sis.step p rng;
       sis_mask p 6)
@@ -274,7 +280,7 @@ let test_sis_step_persistent_k4 () =
       (Exact.sis_step_dist k4 ~contacts ~recovery ~persistent:(Some 0) ~infected:[ 0 ])
     (fun rng ->
       let p =
-        Sis.create k4 { Sis.contacts; recovery } ~persistent:(Some 0) ~start:[ 0 ]
+        Sis.create (v k4) { Sis.contacts; recovery } ~persistent:(Some 0) ~start:[ 0 ]
       in
       Sis.step p rng;
       sis_mask p 4)
@@ -287,7 +293,7 @@ let test_sis_extinction_c5 () =
   let extinct =
     Conformance.samples ~master ~tag:"sis/extinction/c5" ~trials (fun rng ->
         let p =
-          Sis.create c5 { Sis.contacts; recovery } ~persistent:None ~start:[ 0 ]
+          Sis.create (v c5) { Sis.contacts; recovery } ~persistent:None ~start:[ 0 ]
         in
         for _ = 1 to t do
           Sis.step p rng
@@ -305,7 +311,7 @@ let test_contact_k4 () =
   let p_exact = Exact.contact_absorption k4 ~infection_rate ~start:[ 0 ] in
   let outcomes =
     Conformance.samples ~master ~tag:"contact/k4" ~trials (fun rng ->
-        let r = Contact.run k4 ~infection_rate ~persistent:None ~start:[ 0 ] rng in
+        let r = Contact.run (v k4) ~infection_rate ~persistent:None ~start:[ 0 ] rng in
         match r.Contact.outcome with
         | Contact.Fully_exposed _ -> true
         | Contact.Died_out _ -> false
@@ -319,7 +325,7 @@ let test_contact_c5 () =
   let p_exact = Exact.contact_absorption c5 ~infection_rate ~start:[ 1 ] in
   let outcomes =
     Conformance.samples ~master ~tag:"contact/c5" ~trials (fun rng ->
-        let r = Contact.run c5 ~infection_rate ~persistent:None ~start:[ 1 ] rng in
+        let r = Contact.run (v c5) ~infection_rate ~persistent:None ~start:[ 1 ] rng in
         match r.Contact.outcome with
         | Contact.Fully_exposed _ -> true
         | Contact.Died_out _ -> false
@@ -342,7 +348,7 @@ let herd_one_round ~tag g ~contacts ~index_cases =
       (Exact.sis_step_dist g ~contacts ~recovery:1.0 ~persistent:None
          ~infected:index_cases)
     (fun rng ->
-      let h = Herd.create g params ~pi:[] ~index_cases in
+      let h = Herd.create (v g) params ~pi:[] ~index_cases in
       Herd.step h rng;
       mask_of_pred n (fun v -> Herd.status h v = Herd.Transient))
 
@@ -476,7 +482,7 @@ let test_cobra_step_q10 () =
                ((i * 10) + j, if i = j then 0.01 else 0.02))))
   in
   check_scalar_dist ~tag:"cobra/step/q10-k2" ~trials:6000 ~dist (fun rng ->
-      let p = Process.create q10 ~branching:(Branching.Fixed 2) ~start:[ 0 ] in
+      let p = Process.create (v q10) ~branching:(Branching.Fixed 2) ~start:[ 0 ] in
       Process.step p rng;
       match Array.to_list (Array.map q10_axis (Process.frontier p)) with
       | [ a ] -> (a * 10) + a
@@ -492,7 +498,7 @@ let test_bips_step_q10 () =
         (k, Float.exp (Gof.binomial_log_pmf ~n:10 ~p:0.19 k)))
   in
   check_scalar_dist ~tag:"bips/step/q10-k2" ~trials:6000 ~dist (fun rng ->
-      let p = Bips.create q10 ~branching:(Branching.Fixed 2) ~source:0 in
+      let p = Bips.create (v q10) ~branching:(Branching.Fixed 2) ~source:0 in
       Bips.step p rng;
       Bips.infected_count p - 1)
 
@@ -506,7 +512,7 @@ let test_push_two_rounds_q10 () =
   let open Cobra.Kernel in
   let dist = [ (2, 0.01); (3, 0.18); (4, 0.81) ] in
   check_scalar_dist ~tag:"push/q10-two-rounds" ~trials:6000 ~dist (fun rng ->
-      let inst = push.create q10 default_params in
+      let inst = push.create (v q10) default_params in
       inst.step rng;
       inst.step rng;
       int_of_float (List.assoc "informed" (inst.observe ())))
@@ -526,7 +532,7 @@ let test_sis_step_q10 () =
   in
   check_scalar_dist ~tag:"sis/step/q10" ~trials:6000 ~dist (fun rng ->
       let p =
-        Sis.create q10
+        Sis.create (v q10)
           { Sis.contacts = Branching.Fixed 1; recovery = 0.5 }
           ~persistent:None ~start:[ 0 ]
       in
@@ -664,7 +670,7 @@ let test_lanes_bips_k4 () =
   check_lane_fixture ~tag:"lanes/bips/k4-k2" ~batches:1500
     ~dist:(Exact.bips_step_dist k4 ~branching ~source:0 ~infected:[ 0 ])
     4
-    (fun gen -> Cobra.Lanes.bips.Cobra.Lanes.create k4 params gen)
+    (fun gen -> Cobra.Lanes.bips.Cobra.Lanes.create (v k4) params gen)
 
 let test_lanes_bips_c5 () =
   let branching = Branching.One_plus 0.5 in
@@ -672,7 +678,7 @@ let test_lanes_bips_c5 () =
   check_lane_fixture ~tag:"lanes/bips/c5-1+0.5" ~batches:1500
     ~dist:(Exact.bips_step_dist c5 ~branching ~source:0 ~infected:[ 0 ])
     5
-    (fun gen -> Cobra.Lanes.bips.Cobra.Lanes.create c5 params gen)
+    (fun gen -> Cobra.Lanes.bips.Cobra.Lanes.create (v c5) params gen)
 
 let test_lanes_sis_q3 () =
   let contacts = Branching.Fixed 1 and recovery = 0.3 in
@@ -682,7 +688,7 @@ let test_lanes_sis_q3 () =
   check_lane_fixture ~tag:"lanes/sis/q3" ~batches:1500
     ~dist:(Exact.sis_step_dist q3 ~contacts ~recovery ~persistent:None ~infected:[ 0 ])
     8
-    (fun gen -> Epidemic.Lanes.sis.Cobra.Lanes.create q3 params gen)
+    (fun gen -> Epidemic.Lanes.sis.Cobra.Lanes.create (v q3) params gen)
 
 let test_lanes_cobra_c5 () =
   let branching = Branching.Fixed 2 in
@@ -690,7 +696,7 @@ let test_lanes_cobra_c5 () =
   check_lane_fixture ~tag:"lanes/cobra/c5-k2" ~batches:1500
     ~dist:(Exact.cobra_step_dist c5 ~branching ~active:[ 0 ])
     5
-    (fun gen -> Cobra.Lanes.cobra.Cobra.Lanes.create c5 params gen)
+    (fun gen -> Cobra.Lanes.cobra.Cobra.Lanes.create (v c5) params gen)
 
 (* ---------- mutation sensitivity ---------- *)
 
@@ -705,7 +711,7 @@ let test_mutation_sensitivity () =
     Conformance.check ~alpha ~master ~tag:"mutation/one-plus" ~trials:6000 ~dist
       ~equal:Int.equal ~describe:describe_mask
       ~sample:(fun rng ->
-        let p = Process.create k4 ~branching:(Branching.One_plus 0.4) ~start:[ 0 ] in
+        let p = Process.create (v k4) ~branching:(Branching.One_plus 0.4) ~start:[ 0 ] in
         Process.step p rng;
         frontier_mask p)
       ()

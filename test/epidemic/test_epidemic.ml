@@ -4,7 +4,17 @@
 module Sis = Epidemic.Sis
 module Herd = Epidemic.Herd
 module B = Cobra.Branching
-module Gen = Graph.Gen
+(* Every epidemic simulator consumes Graph.View; of_csr is a free wrap. *)
+module GenC = Graph.Gen
+
+module Gen = struct
+  let v = Graph.View.of_csr
+  let complete n = v (GenC.complete n)
+  let cycle n = v (GenC.cycle n)
+  let path n = v (GenC.path n)
+  let star n = v (GenC.star n)
+  let random_regular rng ~n ~r = v (GenC.random_regular rng ~n ~r)
+end
 module Rng = Prng.Rng
 
 let check = Alcotest.check

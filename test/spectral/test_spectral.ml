@@ -9,7 +9,26 @@ module Power = Spectral.Power
 module Lanczos = Spectral.Lanczos
 module Closed_form = Spectral.Closed_form
 module Gap = Spectral.Gap
-module Gen = Graph.Gen
+(* Op/Power/Lanczos/Gap consume Graph.View; Mixing and the Cheeger
+   helpers stay on heap CSR, so this shim builds views and [csr] peels
+   them back (free for heap views). *)
+module GenC = Graph.Gen
+
+module Gen = struct
+  let v = Graph.View.of_csr
+  let complete n = v (GenC.complete n)
+  let cycle n = v (GenC.cycle n)
+  let star n = v (GenC.star n)
+  let petersen () = v (GenC.petersen ())
+  let hypercube d = v (GenC.hypercube d)
+  let folded_hypercube d = v (GenC.folded_hypercube d)
+  let complete_bipartite a b = v (GenC.complete_bipartite a b)
+  let circulant n offs = v (GenC.circulant n offs)
+  let torus dims = v (GenC.torus dims)
+  let random_regular rng ~n ~r = v (GenC.random_regular rng ~n ~r)
+end
+
+let csr = Graph.View.to_csr
 module Rng = Prng.Rng
 
 let check = Alcotest.check
@@ -161,7 +180,7 @@ let relabel_invariance_prop =
       let g = Gen.random_regular rng ~n:24 ~r:4 in
       let perm = Array.init 24 Fun.id in
       Prng.Sample.shuffle rng perm;
-      let g' = Graph.Csr.relabel g perm in
+      let g' = Graph.View.of_csr (Graph.Csr.relabel (csr g) perm) in
       let l = Power.lambda_max (Rng.split rng) g in
       let l' = Power.lambda_max (Rng.split rng) g' in
       Float.abs (l -. l') < 1e-5)
@@ -229,7 +248,7 @@ module Mixing = Spectral.Mixing
 
 let test_walk_distribution_stochastic () =
   let g = Gen.petersen () in
-  let d = Mixing.walk_distribution g ~steps:7 ~start:0 in
+  let d = Mixing.walk_distribution (csr g) ~steps:7 ~start:0 in
   let total = Array.fold_left ( +. ) 0.0 d in
   close ~eps:1e-12 "sums to 1" 1.0 total;
   Array.iter (fun p -> if p < 0.0 then Alcotest.fail "negative probability") d
@@ -237,7 +256,7 @@ let test_walk_distribution_stochastic () =
 let test_walk_distribution_one_step () =
   (* One step from the centre of a star: uniform on the leaves. *)
   let g = Gen.star 5 in
-  let d = Mixing.walk_distribution g ~steps:1 ~start:0 in
+  let d = Mixing.walk_distribution (csr g) ~steps:1 ~start:0 in
   close "centre mass" 0.0 d.(0);
   for v = 1 to 4 do
     close "leaf mass" 0.25 d.(v)
@@ -247,7 +266,7 @@ let test_tv_decay_matches_lambda () =
   (* TV decay rate on a non-bipartite regular graph recovers lambda. *)
   List.iter
     (fun (name, g, lambda) ->
-      let rate = Mixing.empirical_decay_rate g ~steps:40 ~start:0 in
+      let rate = Mixing.empirical_decay_rate (csr g) ~steps:40 ~start:0 in
       close ~eps:0.02 (name ^ " decay vs lambda") lambda rate)
     [
       ("K_8", Gen.complete 8, Closed_form.complete 8);
@@ -257,7 +276,7 @@ let test_tv_decay_matches_lambda () =
 
 let test_tv_trajectory_monotone () =
   let g = Gen.petersen () in
-  let tv = Mixing.tv_trajectory g ~steps:20 ~start:3 in
+  let tv = Mixing.tv_trajectory (csr g) ~steps:20 ~start:3 in
   close ~eps:1e-12 "starts at 1 - 1/n" 0.9 tv.(0);
   Array.iteri
     (fun i v -> if i > 0 && v > tv.(i - 1) +. 1e-12 then Alcotest.fail "TV increased")
@@ -266,7 +285,7 @@ let test_tv_trajectory_monotone () =
 let test_bipartite_never_mixes () =
   (* On a bipartite graph the parity oscillation keeps TV away from 0. *)
   let g = Gen.cycle 8 in
-  let tv = Mixing.tv_trajectory g ~steps:60 ~start:0 in
+  let tv = Mixing.tv_trajectory (csr g) ~steps:60 ~start:0 in
   check Alcotest.bool "stuck at 1/2" true (tv.(60) > 0.49)
 
 (* ---------- Cheeger ---------- *)
@@ -276,16 +295,16 @@ module Cheeger = Spectral.Cheeger
 let test_conductance_known () =
   (* K_4: every cut of k vertices has conductance (k(4-k))/(3k) minimised
      at k=2: 4/6 = 2/3. *)
-  close ~eps:1e-12 "K_4" (2.0 /. 3.0) (Cheeger.conductance_exact (Gen.complete 4));
+  close ~eps:1e-12 "K_4" (2.0 /. 3.0) (Cheeger.conductance_exact (csr (Gen.complete 4)));
   (* C_6: best cut is a half-arc: 2 crossing edges, volume 6 -> 1/3. *)
-  close ~eps:1e-12 "C_6" (1.0 /. 3.0) (Cheeger.conductance_exact (Gen.cycle 6));
+  close ~eps:1e-12 "C_6" (1.0 /. 3.0) (Cheeger.conductance_exact (csr (Gen.cycle 6)));
   (* Barbell: the bridge is the bottleneck: 1 / vol(one K_4 side).
      vol side = 4*3 + 1 (port gains bridge) = 13. *)
   close ~eps:1e-12 "barbell" (1.0 /. 13.0)
-    (Cheeger.conductance_exact (Gen.barbell ~clique_size:4 ~path_len:0))
+    (Cheeger.conductance_exact (GenC.barbell ~clique_size:4 ~path_len:0))
 
 let test_cut_conductance () =
-  let g = Gen.cycle 8 in
+  let g = csr (Gen.cycle 8) in
   let s = Dstruct.Bitset.of_list 8 [ 0; 1; 2; 3 ] in
   close ~eps:1e-12 "half arc of C_8" 0.25 (Cheeger.cut_conductance g s);
   Alcotest.check_raises "empty side"
@@ -299,7 +318,7 @@ let cheeger_inequality_prop =
       let rng = Rng.create seed in
       let n = 12 in
       let g = Gen.random_regular rng ~n ~r in
-      let phi = Cheeger.conductance_exact g in
+      let phi = Cheeger.conductance_exact (csr g) in
       let l2 = (Power.lambda_2 (Rng.split rng) g).Power.value in
       Cheeger.cheeger_lower ~lambda_2:l2 <= phi +. 1e-9
       && phi <= Cheeger.cheeger_upper ~lambda_2:l2 +. 1e-9)

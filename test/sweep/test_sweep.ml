@@ -6,7 +6,18 @@
 
 module K = Cobra.Kernel
 module B = Cobra.Branching
-module Gen = Graph.Gen
+(* Kernels consume Graph.View; the bench-local reference loops below
+   read the heap CSR back out of the view (free). *)
+module GenC = Graph.Gen
+
+module Gen = struct
+  let v = Graph.View.of_csr
+  let complete n = v (GenC.complete n)
+  let cycle n = v (GenC.cycle n)
+  let hypercube d = v (GenC.hypercube d)
+  let ring_of_cliques ~cliques ~clique_size = v (GenC.ring_of_cliques ~cliques ~clique_size)
+  let random_regular rng ~n ~r = v (GenC.random_regular rng ~n ~r)
+end
 module Rng = Prng.Rng
 module Json = Simkit.Json
 
@@ -194,6 +205,7 @@ let same_tail msg a b =
 (* Pre-rewrite Push.push: full 0..n-1 scan with per-vertex membership
    tests. *)
 let push_reference ?cap g ~start rng =
+  let g = Graph.View.to_csr g in
   let n = Graph.Csr.n_vertices g in
   let cap = match cap with Some c -> c | None -> 10_000 + (100 * n) in
   let informed = Bitset.create n in
@@ -221,7 +233,7 @@ let push_reference ?cap g ~start rng =
 
 (* Pre-rewrite Sis.step loop, checked bitset operations throughout. *)
 let sis_reference ?cap g ~contacts ~recovery ~persistent ~start rng =
-  let n = Graph.Csr.n_vertices g in
+  let n = Graph.View.n_vertices g in
   let cap = match cap with Some c -> c | None -> 10_000 + (100 * n) in
   let infected = Bitset.create n and ever = Bitset.create n in
   let seed_list = match persistent with Some v -> v :: start | None -> start in
@@ -269,7 +281,7 @@ let sis_reference ?cap g ~contacts ~recovery ~persistent ~start rng =
 
 (* Pre-rewrite Bips.step loop. *)
 let bips_reference ?cap g ~branching ~source rng =
-  let n = Graph.Csr.n_vertices g in
+  let n = Graph.View.n_vertices g in
   let cap = match cap with Some c -> c | None -> 10_000 + (100 * n) in
   let infected = ref (Bitset.create n) and next = ref (Bitset.create n) in
   Bitset.add !infected source;
@@ -345,7 +357,7 @@ let test_sis_stream_identity () =
               check Alcotest.int (name ^ ": extinct count") 0 count
             | Epidemic.Sis.Everyone_infected_once t ->
               check Alcotest.int (name ^ ": saturation round") rounds t;
-              check Alcotest.int (name ^ ": ever") (Graph.Csr.n_vertices g) ever
+              check Alcotest.int (name ^ ": ever") (Graph.View.n_vertices g) ever
             | Epidemic.Sis.Censored t -> check Alcotest.int (name ^ ": cap") rounds t);
             same_tail (name ^ ": sis") ra rb
           done)
@@ -817,6 +829,144 @@ let test_resume_refuses_changed_engine () =
           (contains msg "different campaign"))
     [ (";engine=lanes", ""); ("", ";engine=lanes") ]
 
+(* ---------- topology backends in the campaign identity ---------- *)
+
+let test_grid_backend_parse () =
+  let backend_of s =
+    match Sweep.Grid.of_inline s with
+    | Ok g -> Graph.View.backend_to_string g.Sweep.Grid.backend
+    | Error msg -> Alcotest.fail msg
+  in
+  check Alcotest.string "inline default" "heap"
+    (backend_of "graphs=cycle:8;kernels=bips");
+  check Alcotest.string "inline backend=bigarray" "bigarray"
+    (backend_of "graphs=cycle:8;kernels=bips;backend=bigarray");
+  check Alcotest.string "inline backend=implicit" "implicit"
+    (backend_of "graphs=cycle:8;kernels=bips;backend=implicit");
+  (match Sweep.Grid.of_inline "graphs=cycle:8;kernels=bips;backend=gpu" with
+  | Ok _ -> Alcotest.fail "expected unknown-backend error"
+  | Error msg ->
+    check Alcotest.bool ("mentions backend: " ^ msg) true (contains msg "backend"));
+  match
+    Json.of_string
+      {|{"graphs": ["cycle:8"], "kernels": ["bips"], "backend": "bigarray"}|}
+  with
+  | Error msg -> Alcotest.fail msg
+  | Ok doc -> (
+    match Sweep.Grid.of_json doc with
+    | Ok g ->
+      check Alcotest.string "json backend=bigarray" "bigarray"
+        (Graph.View.backend_to_string g.Sweep.Grid.backend)
+    | Error msg -> Alcotest.fail ("json grid: " ^ msg))
+
+(* backend=heap must be the omitted default in the campaign meta: a grid
+   that spells it out resumes a campaign recorded without it (this is
+   what keeps every pre-backend checkpoint on disk valid). *)
+let test_backend_heap_meta_is_omitted () =
+  let grid_of s =
+    match Sweep.Grid.of_inline s with
+    | Ok g -> g
+    | Error msg -> Alcotest.fail msg
+  in
+  let base = "name=equiv;graphs=cycle:8;kernels=cobra,sis;trials=3" in
+  let dir = fresh_dir () in
+  (match
+     run_campaign ~dir ~domains:1 ~resume:false (Sweep.Grid.cells (grid_of base))
+   with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg);
+  match
+    run_campaign ~dir ~domains:1 ~resume:true
+      (Sweep.Grid.cells (grid_of (base ^ ";backend=heap")))
+  with
+  | Ok r ->
+    check Alcotest.int "explicit heap reuses every cell" 2 r.Simkit.Campaign.reused
+  | Error msg -> Alcotest.fail ("backend=heap must not change the identity: " ^ msg)
+
+(* A bigarray campaign resumes mid-run to byte-identical artifacts, and
+   its cell payloads match the heap campaign's (same RNG streams through
+   a different topology representation). The cells as a whole differ —
+   by exactly the backend meta key that keeps the identities apart. *)
+let test_bigarray_resume_byte_identical () =
+  let grid_of s =
+    match Sweep.Grid.of_inline s with
+    | Ok g -> g
+    | Error msg -> Alcotest.fail msg
+  in
+  let inline backend =
+    "name=equiv;graphs=cycle:12,complete:8;kernels=cobra,bips,sis;trials=3"
+    ^ backend
+  in
+  let cells_big = Sweep.Grid.cells (grid_of (inline ";backend=bigarray")) in
+  let cells_heap = Sweep.Grid.cells (grid_of (inline "")) in
+  let dir_a = fresh_dir () and dir_b = fresh_dir () and dir_h = fresh_dir () in
+  (match run_campaign ~dir:dir_a ~domains:1 ~resume:false cells_big with
+  | Ok r -> check Alcotest.int "A complete" 0 r.Simkit.Campaign.remaining
+  | Error msg -> Alcotest.fail msg);
+  (match run_campaign ~dir:dir_b ~domains:1 ~resume:false ~max_cells:2 cells_big with
+  | Ok r ->
+    check Alcotest.int "B interrupted with cells left" 4 r.Simkit.Campaign.remaining
+  | Error msg -> Alcotest.fail msg);
+  (match run_campaign ~dir:dir_b ~domains:1 ~resume:true cells_big with
+  | Error msg -> Alcotest.fail msg
+  | Ok r ->
+    check Alcotest.int "B resumed to completion" 0 r.Simkit.Campaign.remaining;
+    check Alcotest.int "B reused the checkpointed cells" 2 r.Simkit.Campaign.reused;
+    check Alcotest.string "manifest byte-identical"
+      (read_file (Filename.concat dir_a "manifest.json"))
+      (read_file (Filename.concat dir_b "manifest.json")));
+  match run_campaign ~dir:dir_h ~domains:1 ~resume:false cells_heap with
+  | Error msg -> Alcotest.fail msg
+  | Ok _ ->
+    let payload_of dir f =
+      match Json.of_string (read_file (Filename.concat dir f)) with
+      | Error msg -> Alcotest.fail (f ^ ": " ^ msg)
+      | Ok (Json.Obj fields) -> Json.to_string (List.assoc "payload" fields)
+      | Ok _ -> Alcotest.fail (f ^ ": cell is not an object")
+    in
+    List.iter
+      (fun c ->
+        let f = Printf.sprintf "cells/cell_%05d.json" c.Simkit.Campaign.index in
+        check Alcotest.string ("payload identical across backends: " ^ f)
+          (payload_of dir_h f) (payload_of dir_a f))
+      cells_heap
+
+(* The backend is part of the campaign identity: a checkpoint written
+   under one backend refuses to resume under another, in both
+   directions, even though the payloads would agree — a cross-backend
+   divergence must never hide inside reused cells. *)
+let test_resume_refuses_changed_backend () =
+  let base = "name=equiv;graphs=cycle:8;kernels=bips,sis;trials=3" in
+  let grid_of s =
+    match Sweep.Grid.of_inline s with
+    | Ok g -> g
+    | Error msg -> Alcotest.fail msg
+  in
+  List.iter
+    (fun (first, second) ->
+      let dir = fresh_dir () in
+      (match
+         run_campaign ~dir ~domains:1 ~resume:false
+           (Sweep.Grid.cells (grid_of (base ^ first)))
+       with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.fail msg);
+      match
+        run_campaign ~dir ~domains:1 ~resume:true
+          (Sweep.Grid.cells (grid_of (base ^ second)))
+      with
+      | Ok _ ->
+        Alcotest.fail
+          (Printf.sprintf "expected refusal resuming %S under %S" first second)
+      | Error msg ->
+        check Alcotest.bool ("refusal explains the mismatch: " ^ msg) true
+          (contains msg "different campaign"))
+    [
+      (";backend=bigarray", "");
+      ("", ";backend=bigarray");
+      (";backend=bigarray", ";backend=implicit");
+    ]
+
 let () =
   Alcotest.run "sweep"
     [
@@ -861,6 +1011,14 @@ let () =
             test_resume_byte_identical;
           Alcotest.test_case "resume refuses changed trials/params" `Quick
             test_resume_refuses_changed_params;
+          Alcotest.test_case "backend parses from inline and json" `Quick
+            test_grid_backend_parse;
+          Alcotest.test_case "backend=heap meta is omitted" `Quick
+            test_backend_heap_meta_is_omitted;
+          Alcotest.test_case "bigarray resume is byte-identical" `Quick
+            test_bigarray_resume_byte_identical;
+          Alcotest.test_case "resume refuses changed backend" `Quick
+            test_resume_refuses_changed_backend;
         ] );
       ( "lane-engine",
         [
