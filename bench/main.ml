@@ -1,6 +1,6 @@
 (* bench/main.exe — the reproduction's benchmark harness.
 
-   Part 1 (Bechamel): one Test.make per experiment E1..E15, timing that
+   Part 1 (Bechamel): one Test.make per experiment E1..E16, timing that
    experiment's computational kernel at a fixed representative size, plus
    a group of substrate micro-benchmarks (process steps, spectral matvec,
    generator) and a group of before/after kernel pairs: each hot-path
@@ -122,6 +122,9 @@ let experiment_kernels =
            ignore
              (Cobra.Bips.size_trajectory expander_1k ~branching:B.cobra_k2 ~source:0 rng)));
     Test.make ~name:"E15/cover-distinct-n1024" (cover expander_1k (B.distinct 2) "e15");
+    Test.make ~name:"E16/pushpull-n1024"
+      (let rng = rng_of "e16" in
+       Staged.stage (fun () -> ignore (Cobra.Push.push_pull expander_1k ~start:0 rng)));
   ]
 
 let substrate_kernels =

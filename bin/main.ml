@@ -1,9 +1,9 @@
 (* cobra_cli — command-line front end for the COBRA/BIPS reproduction.
 
    Subcommands: exp (run experiments), sweep (checkpointed campaigns),
-   cover, bips, walk, push, duality, spectral, gen, herd, contact,
-   exact. Every stochastic command takes --seed and prints enough
-   configuration to be reproduced exactly.
+   cover, bips, walk, push, pull, coalesce, explore, duality, spectral,
+   gen, herd, contact, exact. Every stochastic command takes --seed and
+   prints enough configuration to be reproduced exactly.
 
    Shared flags/converters live in Cli_common; single-shot process
    measurement is routed through the Cobra.Kernel instances (the same
@@ -174,7 +174,7 @@ let sweep_cmd =
   let run grid out resume max_cells seed domains list_kernels engine =
     if list_kernels then begin
       List.iter
-        (fun k -> Printf.printf "%-8s %s\n" k.K.name k.K.doc)
+        (fun k -> Printf.printf "%-10s %s\n" k.K.name k.K.doc)
         Sweep.Kernels.all;
       0
     end
@@ -432,6 +432,78 @@ let push_cmd =
   let doc = "Run rumour-spreading baselines (push, push-pull, flooding)." in
   Cmd.v (Cmd.info "push" ~doc)
     Term.(const run $ graph_t $ backend_t $ protocol_t $ trials_t $ seed_t $ cap_t)
+
+(* ---------- pull ---------- *)
+
+let pull_cmd =
+  let run spec backend trials seed cap =
+    let g = build_graph spec ~backend ~seed in
+    print_graph_line g spec;
+    Printf.printf "pull rumour spreading, start 0, %d trials, seed %d\n" trials seed;
+    let params = { K.default_params with K.start = 0; cap } in
+    let results =
+      Simkit.Trial.collect_censored_par ~trials ~master:seed ~salt0:0 (fun rng ->
+          let o = K.run K.pull g params rng in
+          if o.K.completed then
+            Some (o.K.rounds, int_of_float (observation_exn o "transmissions"))
+          else None)
+    in
+    summarize_trials "rounds"
+      (Array.map (fun (r, _) -> Float.of_int r) results.Simkit.Trial.values)
+      results.Simkit.Trial.censored;
+    summarize_trials "transmissions"
+      (Array.map (fun (_, t) -> Float.of_int t) results.Simkit.Trial.values)
+      results.Simkit.Trial.censored;
+    0
+  in
+  let doc = "Run pull rumour spreading (uninformed vertices query a neighbour)." in
+  Cmd.v (Cmd.info "pull" ~doc)
+    Term.(const run $ graph_t $ backend_t $ trials_t $ seed_t $ cap_t)
+
+(* ---------- coalesce ---------- *)
+
+let coalesce_cmd =
+  let walkers_t =
+    Arg.(
+      value & opt int 2
+      & info [ "walkers" ] ~docv:"N" ~doc:"Number of initial clusters (default 2).")
+  in
+  let run spec backend trials seed start cap walkers csv =
+    let g = build_graph spec ~backend ~seed in
+    print_graph_line g spec;
+    Printf.printf
+      "coalescing walks with voting, %d walkers, start %d, %d trials, seed %d\n"
+      walkers start trials seed;
+    let params = { K.default_params with K.start = start; walkers; cap } in
+    run_process_trials ?csv ~seed ~trials ~name:"consensus time (rounds)"
+      ~measure:(fun rng -> kernel_completion_time K.coalesce g params rng)
+      ();
+    0
+  in
+  let doc = "Measure coalescing-walk consensus times (voting)." in
+  Cmd.v (Cmd.info "coalesce" ~doc)
+    Term.(
+      const run $ graph_t $ backend_t $ trials_t $ seed_t $ start_t $ cap_t
+      $ walkers_t $ csv_t)
+
+(* ---------- explore ---------- *)
+
+let explore_cmd =
+  let run spec backend trials seed start cap csv =
+    let g = build_graph spec ~backend ~seed in
+    print_graph_line g spec;
+    Printf.printf "unvisited-edge-preferring walk, start %d, %d trials, seed %d\n"
+      start trials seed;
+    let params = { K.default_params with K.start = start; cap } in
+    run_process_trials ?csv ~seed ~trials ~name:"cover time (rounds)"
+      ~measure:(fun rng -> kernel_completion_time K.explore g params rng)
+      ();
+    0
+  in
+  let doc = "Measure cover times of the unvisited-edge-preferring walk." in
+  Cmd.v (Cmd.info "explore" ~doc)
+    Term.(
+      const run $ graph_t $ backend_t $ trials_t $ seed_t $ start_t $ cap_t $ csv_t)
 
 (* ---------- duality ---------- *)
 
@@ -692,6 +764,6 @@ let () =
        (Cmd.group ~default info
           [
             exp_cmd; sweep_cmd; cover_cmd; bips_cmd; walk_cmd; push_cmd;
-            duality_cmd; spectral_cmd; gen_cmd; herd_cmd; contact_cmd;
-            exact_cmd;
+            pull_cmd; coalesce_cmd; explore_cmd; duality_cmd; spectral_cmd;
+            gen_cmd; herd_cmd; contact_cmd; exact_cmd;
           ]))

@@ -525,6 +525,334 @@ let push_cover_survival g ~start ~t_max =
     survival
   end
 
+(* Expand a product measure over vertex inclusion: branch on each
+   vertex's in/out probability, pruning probability-zero branches. *)
+let expand_product n p_next ~weight ~add =
+  let rec go u mask p =
+    if p = 0.0 then ()
+    else if u = n then add mask p
+    else begin
+      go (u + 1) (mask lor (1 lsl u)) (p *. p_next.(u));
+      go (u + 1) mask (p *. (1.0 -. p_next.(u)))
+    end
+  in
+  go 0 0 weight
+
+(* ---------- coalescing walks: the COBRA chain at Fixed 1 ---------- *)
+
+(* Each cluster makes a single pick and the next occupied set is the
+   union of the picks — exactly COBRA with branching [Fixed 1], so the
+   memoised COBRA engine is the oracle. *)
+let coalescing_step_dist g ~active =
+  cobra_step_dist g ~branching:(Branching.Fixed 1) ~active
+
+let coalescing_evolve g ~start ~t_max ~record name =
+  let n = check_size g name in
+  if start = [] then invalid_arg (name ^ ": empty start");
+  if t_max < 0 then invalid_arg (name ^ ": t_max >= 0");
+  let mask = mask_of_list name n start in
+  let engine = Cobra_engine.create g ~branching:(Branching.Fixed 1) in
+  let size = 1 lsl n in
+  let dist = Array.make size 0.0 in
+  dist.(mask) <- 1.0;
+  record 0 dist;
+  let cur = ref dist and next = ref (Array.make size 0.0) in
+  for t = 1 to t_max do
+    Array.fill !next 0 size 0.0;
+    for m = 0 to size - 1 do
+      let p = !cur.(m) in
+      if p > 0.0 then begin
+        let tr = Cobra_engine.next_of engine m in
+        for i = 0 to Array.length tr.Cobra_engine.masks - 1 do
+          let m' = tr.Cobra_engine.masks.(i) in
+          !next.(m') <- !next.(m') +. (p *. tr.Cobra_engine.probs.(i))
+        done
+      end
+    done;
+    let tmp = !cur in
+    cur := !next;
+    next := tmp;
+    record t !cur
+  done
+
+let coalescing_cluster_dist g ~start ~t_max =
+  let out = ref [||] in
+  coalescing_evolve g ~start ~t_max "Exact.coalescing_cluster_dist"
+    ~record:(fun t dist ->
+      if t = t_max then begin
+        let counts = Array.make (List.length start + 1) 0.0 in
+        Array.iteri
+          (fun m p -> if p > 0.0 then counts.(popcount m) <- counts.(popcount m) +. p)
+          dist;
+        out := counts
+      end);
+  sorted_dist (Array.to_list (Array.mapi (fun c p -> (c, p)) !out))
+
+let coalescing_consensus_survival g ~start ~t_max =
+  let survival = Array.make (t_max + 1) 0.0 in
+  coalescing_evolve g ~start ~t_max "Exact.coalescing_consensus_survival"
+    ~record:(fun t dist ->
+      let acc = ref 0.0 in
+      Array.iteri (fun m p -> if popcount m > 1 then acc := !acc +. p) dist;
+      survival.(t) <- !acc);
+  survival
+
+(* ---------- unvisited-edge-preferring walk (DP over edge subsets) ---------- *)
+
+(* Undirected edges get ids in the order their lower endpoint's adjacency
+   is scanned; [incident.(u)] pairs each neighbour with its edge bit. The
+   walk's unvisited-slot draw is uniform over the unvisited incident
+   edges in ascending adjacency order, which is exactly this edge set. *)
+let explore_max_edges = 16
+
+let explore_incidence g name =
+  let n = check_size g name in
+  let ids = Hashtbl.create 32 in
+  let count = ref 0 in
+  for u = 0 to n - 1 do
+    Graph.Csr.iter_neighbours g u ~f:(fun w ->
+        if u < w then begin
+          Hashtbl.replace ids (u, w) !count;
+          incr count
+        end)
+  done;
+  if !count > explore_max_edges then
+    invalid_arg
+      (Printf.sprintf "%s: at most %d edges (got %d)" name explore_max_edges !count);
+  let incident =
+    Array.init n (fun u ->
+        let acc = ref [] in
+        Graph.Csr.iter_neighbours g u ~f:(fun w ->
+            let key = if u < w then (u, w) else (w, u) in
+            acc := (w, 1 lsl Hashtbl.find ids key) :: !acc);
+        Array.of_list (List.rev !acc))
+  in
+  (n, incident)
+
+(* Iterate the successor distribution of state (position u, visited-edge
+   mask): uniform over unvisited incident edges if any (setting the edge
+   bit), else uniform over all neighbours (mask unchanged). *)
+let explore_next incident u mask ~f =
+  let inc = incident.(u) in
+  let d = Array.length inc in
+  if d = 0 then invalid_arg "Exact: isolated vertex";
+  let k = ref 0 in
+  Array.iter (fun (_, bit) -> if mask land bit = 0 then incr k) inc;
+  if !k > 0 then begin
+    let q = 1.0 /. Float.of_int !k in
+    Array.iter
+      (fun (w, bit) -> if mask land bit = 0 then f w (mask lor bit) q)
+      inc
+  end
+  else begin
+    let q = 1.0 /. Float.of_int d in
+    Array.iter (fun (w, _) -> f w mask q) inc
+  end
+
+let explore_evolve g ~start ~t_max ~record name =
+  let n, incident = explore_incidence g name in
+  check_vertex g name start;
+  if t_max < 0 then invalid_arg (name ^ ": t_max >= 0");
+  let cur = ref (Hashtbl.create 16) in
+  Hashtbl.replace !cur (start, 0) 1.0;
+  record 0 !cur;
+  for t = 1 to t_max do
+    let next = Hashtbl.create 64 in
+    Hashtbl.iter
+      (fun (u, mask) p ->
+        explore_next incident u mask ~f:(fun w mask' q ->
+            let key = (w, mask') in
+            let prev = Option.value ~default:0.0 (Hashtbl.find_opt next key) in
+            Hashtbl.replace next key (prev +. (p *. q))))
+      !cur;
+    cur := next;
+    record t !cur
+  done;
+  n
+
+let explore_position_dist g ~start ~t =
+  let out = ref [] in
+  let (_ : int) =
+    explore_evolve g ~start ~t_max:t "Exact.explore_position_dist"
+      ~record:(fun t' dist ->
+        if t' = t then begin
+          let pos = Hashtbl.create 16 in
+          Hashtbl.iter
+            (fun (u, _) p ->
+              let prev = Option.value ~default:0.0 (Hashtbl.find_opt pos u) in
+              Hashtbl.replace pos u (prev +. p))
+            dist;
+          out := Hashtbl.fold (fun u p acc -> (u, p) :: acc) pos []
+        end)
+  in
+  sorted_dist !out
+
+(* A vertex has been visited iff it is the start or an endpoint of a
+   traversed edge (when every incident edge is visited the walker moves
+   along an already-traversed edge), so cover is readable off the edge
+   mask alone. *)
+let explore_cover_survival g ~start ~t_max =
+  let n = Graph.Csr.n_vertices g in
+  let full = (1 lsl n) - 1 in
+  (* Endpoint masks in edge-id order (the order [explore_incidence]
+     assigns: lower endpoint ascending, adjacency ascending). *)
+  let endpoint_masks =
+    let acc = ref [] in
+    for u = 0 to n - 1 do
+      Graph.Csr.iter_neighbours g u ~f:(fun w ->
+          if u < w then acc := ((1 lsl u) lor (1 lsl w)) :: !acc)
+    done;
+    Array.of_list (List.rev !acc)
+  in
+  let visited_cache = Hashtbl.create 64 in
+  let visited_of mask =
+    match Hashtbl.find_opt visited_cache mask with
+    | Some v -> v
+    | None ->
+      let v = ref (1 lsl start) in
+      Array.iteri
+        (fun e em -> if mask land (1 lsl e) <> 0 then v := !v lor em)
+        endpoint_masks;
+      Hashtbl.replace visited_cache mask !v;
+      !v
+  in
+  let survival = Array.make (t_max + 1) 0.0 in
+  let (_ : int) =
+    explore_evolve g ~start ~t_max "Exact.explore_cover_survival"
+      ~record:(fun t dist ->
+        let acc = ref 0.0 in
+        Hashtbl.iter
+          (fun (_, mask) p -> if visited_of mask <> full then acc := !acc +. p)
+          dist;
+        survival.(t) <- !acc)
+  in
+  survival
+
+(* ---------- pull and push-pull rumour spreading ---------- *)
+
+(* One pull round is a product measure: members stay informed and each
+   uninformed vertex joins independently with probability
+   d_I(u) / deg(u) (its call hits an informed neighbour). *)
+let pull_next_probabilities g mask =
+  let n = Graph.Csr.n_vertices g in
+  Array.init n (fun u ->
+      if mask land (1 lsl u) <> 0 then 1.0
+      else begin
+        let deg = Graph.Csr.degree g u in
+        if deg = 0 then invalid_arg "Exact: isolated vertex";
+        let hits =
+          Graph.Csr.fold_neighbours g u ~init:0 ~f:(fun acc w ->
+              if mask land (1 lsl w) <> 0 then acc + 1 else acc)
+        in
+        Float.of_int hits /. Float.of_int deg
+      end)
+
+let pull_step_dist g ~infected =
+  let n = check_size g "Exact.pull_step_dist" in
+  if infected = [] then invalid_arg "Exact.pull_step_dist: empty infected set";
+  let mask = mask_of_list "Exact.pull_step_dist" n infected in
+  let p_next = pull_next_probabilities g mask in
+  let out = Array.make (1 lsl n) 0.0 in
+  expand_product n p_next ~weight:1.0 ~add:(fun m p -> out.(m) <- out.(m) +. p);
+  sorted_dist (Array.to_list (Array.mapi (fun m p -> (m, p)) out))
+
+(* One push-pull round by brute force over joint contact vectors: every
+   vertex picks one uniform neighbour; information crosses each contact
+   both ways against the previous informed set, matching
+   [Push.push_pull]'s synchronous apply. *)
+let push_pull_next g mask ~add =
+  let n = Graph.Csr.n_vertices g in
+  let rec go u acc p =
+    if p = 0.0 then ()
+    else if u = n then add acc p
+    else begin
+      let deg = Graph.Csr.degree g u in
+      if deg = 0 then invalid_arg "Exact: isolated vertex";
+      let q = p /. Float.of_int deg in
+      let iu = mask land (1 lsl u) <> 0 in
+      Graph.Csr.iter_neighbours g u ~f:(fun w ->
+          let iw = mask land (1 lsl w) <> 0 in
+          let acc' =
+            if iu && not iw then acc lor (1 lsl w)
+            else if iw && not iu then acc lor (1 lsl u)
+            else acc
+          in
+          go (u + 1) acc' q)
+    end
+  in
+  go 0 mask 1.0
+
+let push_pull_step_dist g ~infected =
+  let n = check_size g "Exact.push_pull_step_dist" in
+  if infected = [] then invalid_arg "Exact.push_pull_step_dist: empty infected set";
+  let mask = mask_of_list "Exact.push_pull_step_dist" n infected in
+  let out = Array.make (1 lsl n) 0.0 in
+  push_pull_next g mask ~add:(fun m p -> out.(m) <- out.(m) +. p);
+  sorted_dist (Array.to_list (Array.mapi (fun m p -> (m, p)) out))
+
+(* Monotone informed-set chains for the rumour protocols: evolve a sparse
+   distribution over informed sets, dropping mass the moment it reaches
+   the full set. [step_of mask] returns the one-round successor
+   distribution of [mask] (memoised: the chains revisit masks often). *)
+let informed_survival name g ~start ~t_max ~step_of =
+  let n = check_size g name in
+  check_vertex g name start;
+  if t_max < 0 then invalid_arg (name ^ ": t_max >= 0");
+  let start_mask = 1 lsl start in
+  let full = (1 lsl n) - 1 in
+  let survival = Array.make (t_max + 1) 0.0 in
+  if start_mask = full then survival
+  else begin
+    let memo = Hashtbl.create 64 in
+    let step mask =
+      match Hashtbl.find_opt memo mask with
+      | Some d -> d
+      | None ->
+        let d = step_of mask in
+        Hashtbl.replace memo mask d;
+        d
+    in
+    let alive = ref (Hashtbl.create 16) in
+    Hashtbl.replace !alive start_mask 1.0;
+    survival.(0) <- 1.0;
+    for t = 1 to t_max do
+      let next = Hashtbl.create 64 in
+      let total = ref 0.0 in
+      Hashtbl.iter
+        (fun mask p ->
+          List.iter
+            (fun (mask', q) ->
+              if mask' <> full then begin
+                let pq = p *. q in
+                let prev = Option.value ~default:0.0 (Hashtbl.find_opt next mask') in
+                Hashtbl.replace next mask' (prev +. pq);
+                total := !total +. pq
+              end)
+            (step mask))
+        !alive;
+      alive := next;
+      survival.(t) <- !total
+    done;
+    survival
+  end
+
+let pull_cover_survival g ~start ~t_max =
+  let n = Graph.Csr.n_vertices g in
+  informed_survival "Exact.pull_cover_survival" g ~start ~t_max ~step_of:(fun mask ->
+      let p_next = pull_next_probabilities g mask in
+      let acc = ref [] in
+      expand_product n p_next ~weight:1.0 ~add:(fun m p -> acc := (m, p) :: !acc);
+      !acc)
+
+let push_pull_cover_survival g ~start ~t_max =
+  informed_survival "Exact.push_pull_cover_survival" g ~start ~t_max
+    ~step_of:(fun mask ->
+      let acc = Hashtbl.create 32 in
+      push_pull_next g mask ~add:(fun m p ->
+          let prev = Option.value ~default:0.0 (Hashtbl.find_opt acc m) in
+          Hashtbl.replace acc m (prev +. p));
+      Hashtbl.fold (fun m p l -> (m, p) :: l) acc [])
+
 (* One SIS round as a product measure: given the previous infected set
    [A], vertex [u] is infected next round with probability 1 if
    persistent, and otherwise with
@@ -554,17 +882,6 @@ let sis_validate name g ~recovery ~persistent =
   if recovery < 0.0 || recovery > 1.0 then invalid_arg (name ^ ": recovery outside [0, 1]");
   Option.iter (fun v -> check_vertex g name v) persistent;
   n
-
-let expand_product n p_next ~weight ~add =
-  let rec go u mask p =
-    if p = 0.0 then ()
-    else if u = n then add mask p
-    else begin
-      go (u + 1) (mask lor (1 lsl u)) (p *. p_next.(u));
-      go (u + 1) mask (p *. (1.0 -. p_next.(u)))
-    end
-  in
-  go 0 0 weight
 
 let sis_step_dist g ~contacts ~recovery ~persistent ~infected =
   let n = sis_validate "Exact.sis_step_dist" g ~recovery ~persistent in

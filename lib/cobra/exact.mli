@@ -149,6 +149,56 @@ val bips_occupancy :
     {!Cobra.Push} samples. *)
 val push_cover_survival : Graph.Csr.t -> start:int -> t_max:int -> float array
 
+(** [coalescing_step_dist g ~active] is the exact distribution of the
+    next occupied set of the coalescing walks ({!Cobra.Coalesce}) given
+    the current one — the COBRA chain at branching [Fixed 1]. *)
+val coalescing_step_dist : Graph.Csr.t -> active:int list -> (int * float) list
+
+(** [coalescing_cluster_dist g ~start ~t_max] is the exact distribution
+    of the {e number of clusters} after [t_max] rounds of coalescing
+    walks started on the occupied set [start], as a sorted
+    [(count, probability)] list. *)
+val coalescing_cluster_dist :
+  Graph.Csr.t -> start:int list -> t_max:int -> (int * float) list
+
+(** [coalescing_consensus_survival g ~start ~t_max] returns [s] with
+    [s.(t) = P(more than one cluster after t rounds)] — the consensus
+    (= coalescence) time's survival function. *)
+val coalescing_consensus_survival :
+  Graph.Csr.t -> start:int list -> t_max:int -> float array
+
+(** [explore_position_dist g ~start ~t] is the exact distribution of the
+    unvisited-edge-preferring walker's ({!Cobra.Explore}) position after
+    [t] steps, by DP over (vertex, visited-edge-set) states; the graph
+    must have at most 16 edges. Sorted [(vertex, probability)] list. *)
+val explore_position_dist : Graph.Csr.t -> start:int -> t:int -> (int * float) list
+
+(** [explore_cover_survival g ~start ~t_max] returns [s] with
+    [s.(t) = P(some vertex unvisited after t steps)] for the
+    unvisited-edge-preferring walk. *)
+val explore_cover_survival : Graph.Csr.t -> start:int -> t_max:int -> float array
+
+(** [pull_step_dist g ~infected] is the exact one-round transition of
+    the pull protocol ({!Cobra.Push.pull}): members stay informed and
+    each uninformed vertex joins independently with probability
+    [d_I(u) / deg u]. Product measure, sorted association list. *)
+val pull_step_dist : Graph.Csr.t -> infected:int list -> (int * float) list
+
+(** [pull_cover_survival g ~start ~t_max] returns [s] with
+    [s.(t) = P(broadcast incomplete after t rounds)] for pull. *)
+val pull_cover_survival : Graph.Csr.t -> start:int -> t_max:int -> float array
+
+(** [push_pull_step_dist g ~infected] is the exact one-round transition
+    of push-pull ({!Cobra.Push.push_pull}), by enumeration of all joint
+    contact vectors (every vertex calls one uniform neighbour;
+    information crosses each contact both ways). O(Π deg): small graphs
+    only. *)
+val push_pull_step_dist : Graph.Csr.t -> infected:int list -> (int * float) list
+
+(** [push_pull_cover_survival g ~start ~t_max] returns [s] with
+    [s.(t) = P(broadcast incomplete after t rounds)] for push-pull. *)
+val push_pull_cover_survival : Graph.Csr.t -> start:int -> t_max:int -> float array
+
 (** [sis_step_dist g ~contacts ~recovery ~persistent ~infected] is the
     exact one-round transition of {!Epidemic.Sis}: recovery first (each
     infected vertex stays with probability [1 - recovery]), then every

@@ -198,3 +198,145 @@ let push =
               ]);
         });
   }
+
+(* Stepwise re-implementation of one [Push.pull] round: only uninformed
+   vertices draw, in increasing vertex order, then synchronous apply. *)
+let pull =
+  {
+    name = "pull";
+    doc = "pull rumour spreading, run to full information";
+    default_cap = round_cap;
+    create =
+      (fun g params ->
+        let n = Graph.View.n_vertices g in
+        if params.start < 0 || params.start >= n then
+          invalid_arg "Kernel.pull: start out of range";
+        let informed = Bitset.create n in
+        Bitset.add informed params.start;
+        let newly = Dstruct.Intvec.create ~capacity:64 () in
+        let count = ref 1 and rounds = ref 0 and transmissions = ref 0 in
+        {
+          step =
+            (fun rng ->
+              Dstruct.Intvec.clear newly;
+              for u = 0 to n - 1 do
+                if not (Bitset.mem informed u) then begin
+                  incr transmissions;
+                  let w = Graph.View.random_neighbour g rng u in
+                  if Bitset.unsafe_mem informed w then Dstruct.Intvec.push newly u
+                end
+              done;
+              Dstruct.Intvec.iter
+                (fun w ->
+                  if not (Bitset.unsafe_mem informed w) then begin
+                    Bitset.unsafe_add informed w;
+                    incr count
+                  end)
+                newly;
+              incr rounds);
+          is_complete = (fun () -> !count = n);
+          rounds = (fun () -> !rounds);
+          observe =
+            (fun () ->
+              [
+                ("rounds", fi !rounds);
+                ("informed", fi !count);
+                ("transmissions", fi !transmissions);
+              ]);
+        });
+  }
+
+(* Stepwise re-implementation of one [Push.push_pull] round: every vertex
+   contacts one random neighbour in increasing order, information crosses
+   the contact both ways, then synchronous apply (same list-prepend order
+   as the library loop). *)
+let push_pull =
+  {
+    name = "push-pull";
+    doc = "push-pull rumour spreading, run to full information";
+    default_cap = round_cap;
+    create =
+      (fun g params ->
+        let n = Graph.View.n_vertices g in
+        if params.start < 0 || params.start >= n then
+          invalid_arg "Kernel.push_pull: start out of range";
+        let informed = Bitset.create n in
+        Bitset.add informed params.start;
+        let count = ref 1 and rounds = ref 0 and transmissions = ref 0 in
+        {
+          step =
+            (fun rng ->
+              let newly = ref [] in
+              for u = 0 to n - 1 do
+                incr transmissions;
+                let w = Graph.View.random_neighbour g rng u in
+                let iu = Bitset.mem informed u and iw = Bitset.mem informed w in
+                if iu && not iw then newly := w :: !newly
+                else if iw && not iu then newly := u :: !newly
+              done;
+              List.iter
+                (fun w ->
+                  if not (Bitset.mem informed w) then begin
+                    Bitset.add informed w;
+                    incr count
+                  end)
+                !newly;
+              incr rounds);
+          is_complete = (fun () -> !count = n);
+          rounds = (fun () -> !rounds);
+          observe =
+            (fun () ->
+              [
+                ("rounds", fi !rounds);
+                ("informed", fi !count);
+                ("transmissions", fi !transmissions);
+              ]);
+        });
+  }
+
+(* Thin wrapper over [Coalesce]: same module, same stream. *)
+let coalesce =
+  {
+    name = "coalesce";
+    doc = "coalescing random walks with voting, run to consensus";
+    default_cap = Coalesce.default_cap;
+    create =
+      (fun g params ->
+        let p = Coalesce.create g ~walkers:params.walkers ~start:params.start in
+        {
+          step = (fun rng -> Coalesce.step p rng);
+          is_complete = (fun () -> Coalesce.is_consensus p);
+          rounds = (fun () -> Coalesce.round p);
+          observe =
+            (fun () ->
+              [
+                ("rounds", fi (Coalesce.round p));
+                ("clusters", fi (Coalesce.clusters p));
+                ("walkers", fi (Coalesce.walkers p));
+                ("merged", fi (Coalesce.merged p));
+              ]);
+        });
+  }
+
+(* Thin wrapper over [Explore]: same module, same stream. *)
+let explore =
+  {
+    name = "explore";
+    doc = "unvisited-edge-preferring walk, run to cover";
+    default_cap = Explore.default_cap;
+    create =
+      (fun g params ->
+        let p = Explore.create g ~start:params.start in
+        {
+          step = (fun rng -> Explore.step p rng);
+          is_complete = (fun () -> Explore.is_covered p);
+          rounds = (fun () -> Explore.round p);
+          observe =
+            (fun () ->
+              [
+                ("rounds", fi (Explore.round p));
+                ("visited", fi (Explore.visited_count p));
+                ("edges", fi (Explore.edges_traversed p));
+              ]);
+        });
+  }

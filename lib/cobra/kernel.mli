@@ -1,8 +1,10 @@
 (** The unified stochastic-process interface.
 
     Every process this repository studies — COBRA, BIPS, the simple
-    random walk, the push protocol, and (in [Epidemic.Kernels]) SIS, the
-    contact process and the herd model — is driveable through one
+    random walk, the push/pull/push-pull protocols, coalescing walks
+    with voting, the unvisited-edge-preferring walk, and (in
+    [Epidemic.Kernels]) SIS, the contact process and the herd model —
+    is driveable through one
     signature: [create] builds mutable round-based state, [step] plays
     one round against an explicit stream, [is_complete] tests the
     process's own absorption condition, and [observe] reads named
@@ -17,7 +19,7 @@
     consumes {e exactly} the randomness of one round of the process it
     wraps, and {!run}'s loop — step while not complete and under the
     cap — performs the same sequence of [step] calls as those loops.
-    [test/sweep] pins this stream-for-stream equivalence for all seven
+    [test/sweep] pins this stream-for-stream equivalence for all eleven
     kernels, and [test/cli]'s golden transcripts pin the resulting CLI
     output byte-for-byte. *)
 
@@ -101,3 +103,30 @@ val rwalk : t
 (** Push rumour spreading: complete when everyone is informed. Observes
     ["rounds"; "informed"; "transmissions"]. *)
 val push : t
+
+(** Pull rumour spreading ([Push.pull];
+    Fountoulakis–Panagiotou, see PAPERS.md): each round every uninformed
+    vertex calls one random neighbour and copies the rumour if the
+    callee knows it. Complete when everyone is informed. Observes
+    ["rounds"; "informed"; "transmissions"]. *)
+val pull : t
+
+(** Push-pull rumour spreading ([Push.push_pull];
+    Fountoulakis–Panagiotou, see PAPERS.md): each round every vertex
+    contacts one random neighbour and information crosses the contact
+    both ways. Complete when everyone is informed. Observes
+    ["rounds"; "informed"; "transmissions"]. *)
+val push_pull : t
+
+(** Coalescing random walks with voting ({!Coalesce};
+    Cooper–Elsässer–Ono–Radzik, see PAPERS.md): [params.walkers]
+    clusters starting at [(start + i) mod n] merge on meeting. Complete
+    at consensus (one cluster). Observes
+    ["rounds"; "clusters"; "walkers"; "merged"]. *)
+val coalesce : t
+
+(** Unvisited-edge-preferring walk ({!Explore};
+    Berenbrink–Cooper–Friedetzky, see PAPERS.md): a single walker from
+    [start] that prefers unvisited incident edges. Complete at vertex
+    cover. Observes ["rounds"; "visited"; "edges"]. *)
+val explore : t

@@ -42,6 +42,37 @@ let push ?cap g ~start rng =
   done;
   if !count = n then Some { rounds = !rounds; transmissions = !transmissions } else None
 
+let pull ?cap g ~start rng =
+  check g start;
+  let n = Graph.View.n_vertices g in
+  let cap = match cap with Some c -> c | None -> default_cap g in
+  let informed = Bitset.create n in
+  Bitset.add informed start;
+  let newly = Intvec.create ~capacity:64 () in
+  let count = ref 1 and rounds = ref 0 and transmissions = ref 0 in
+  while !count < n && !rounds < cap do
+    (* Every uninformed vertex calls one random neighbour and copies the
+       rumour if the callee knows it; informed vertices stay silent, so
+       only the uninformed side draws.  Synchronous apply, as in push. *)
+    Intvec.clear newly;
+    for u = 0 to n - 1 do
+      if not (Bitset.mem informed u) then begin
+        incr transmissions;
+        let w = Graph.View.random_neighbour g rng u in
+        if Bitset.unsafe_mem informed w then Intvec.push newly u
+      end
+    done;
+    Intvec.iter
+      (fun w ->
+        if not (Bitset.unsafe_mem informed w) then begin
+          Bitset.unsafe_add informed w;
+          incr count
+        end)
+      newly;
+    incr rounds
+  done;
+  if !count = n then Some { rounds = !rounds; transmissions = !transmissions } else None
+
 let push_pull ?cap g ~start rng =
   check g start;
   let n = Graph.View.n_vertices g in

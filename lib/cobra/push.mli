@@ -16,8 +16,17 @@ type outcome = {
     informed; [None] if [cap] rounds pass (default [10_000 + 100 * n]). *)
 val push : ?cap:int -> Graph.View.t -> start:int -> Prng.Rng.t -> outcome option
 
+(** [pull ?cap g ~start rng] — each round every {e uninformed} vertex
+    calls one random neighbour and copies the rumour if the callee knows
+    it (Fountoulakis–Panagiotou, "Rumor Spreading on Random Regular
+    Graphs and Expanders"; see PAPERS.md).  Only uninformed vertices
+    draw, in increasing vertex order. *)
+val pull : ?cap:int -> Graph.View.t -> start:int -> Prng.Rng.t -> outcome option
+
 (** [push_pull ?cap g ~start rng] — each round every vertex contacts one
-    random neighbour; information flows both ways across the contact. *)
+    random neighbour; information flows both ways across the contact
+    (Fountoulakis–Panagiotou; see PAPERS.md).  All [n] vertices draw, in
+    increasing vertex order. *)
 val push_pull : ?cap:int -> Graph.View.t -> start:int -> Prng.Rng.t -> outcome option
 
 (** [flood g ~start] — deterministic flooding; rounds equal the start

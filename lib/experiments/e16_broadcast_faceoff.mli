@@ -1,0 +1,6 @@
+(** E16 — broadcast model face-off: rounds-to-cover for push, pull,
+    push-pull (Fountoulakis–Panagiotou, see PAPERS.md) and COBRA k=2 on
+    a random 4-regular expander and on hypercubes, all driven through
+    the shared {!Cobra.Kernel} trial machinery. *)
+
+val spec : Spec.t

@@ -15,6 +15,7 @@ let all =
     E13_information_speed.spec;
     E14_proof_anatomy.spec;
     E15_sampling_ablation.spec;
+    E16_broadcast_faceoff.spec;
   ]
 
 let id_range () =

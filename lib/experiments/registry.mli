@@ -1,10 +1,10 @@
 (** The experiment catalogue consumed by [bench/main.exe] and
     [cobra_cli exp]. *)
 
-(** [all] lists every experiment in id order (E1 .. E15). *)
+(** [all] lists every experiment in id order (E1 .. E16). *)
 val all : Spec.t list
 
-(** [id_range ()] is ["E1..E15"] — derived from {!all}, so CLI docs never
+(** [id_range ()] is ["E1..E16"] — derived from {!all}, so CLI docs never
     go stale as experiments are added. *)
 val id_range : unit -> string
 

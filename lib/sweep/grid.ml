@@ -68,12 +68,9 @@ let parse_kernels strs =
   let rec go acc = function
     | [] -> Ok (List.rev acc)
     | s :: rest -> (
-      match Kernels.find s with
-      | Some k -> go (k :: acc) rest
-      | None ->
-        Error
-          (Printf.sprintf "unknown kernel %S (available: %s)" s
-             (String.concat ", " (Kernels.names ()))))
+      match Kernels.find_res s with
+      | Ok k -> go (k :: acc) rest
+      | Error msg -> Error msg)
   in
   go [] strs
 

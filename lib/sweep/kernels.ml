@@ -4,6 +4,10 @@ let all =
     Cobra.Kernel.bips;
     Cobra.Kernel.rwalk;
     Cobra.Kernel.push;
+    Cobra.Kernel.pull;
+    Cobra.Kernel.push_pull;
+    Cobra.Kernel.coalesce;
+    Cobra.Kernel.explore;
     Epidemic.Kernels.sis;
     Epidemic.Kernels.contact;
     Epidemic.Kernels.herd;
@@ -12,6 +16,14 @@ let all =
 let find name = List.find_opt (fun k -> k.Cobra.Kernel.name = name) all
 
 let names () = List.map (fun k -> k.Cobra.Kernel.name) all
+
+let find_res name =
+  match find name with
+  | Some k -> Ok k
+  | None ->
+    Error
+      (Printf.sprintf "unknown kernel %S (available: %s)" name
+         (String.concat ", " (names ())))
 
 (* ---------- engines ---------- *)
 

@@ -1,7 +1,8 @@
-(** The registry of every sweepable process kernel: the four from
-    [Cobra.Kernel] (cobra, bips, rwalk, push) plus the three from
-    [Epidemic.Kernels] (sis, contact, herd). Grids refer to kernels by
-    name through {!find}.
+(** The registry of every sweepable process kernel: the eight from
+    [Cobra.Kernel] (cobra, bips, rwalk, push, pull, push-pull, coalesce,
+    explore) plus the three from [Epidemic.Kernels] (sis, contact,
+    herd). Grids refer to kernels by name through {!find} /
+    {!find_res}.
 
     {!run_trials} is the shared trial driver behind sweep cells: one
     call plays [trials] independent trials of a kernel under either
@@ -10,9 +11,9 @@
     batch on the bit-sliced engine ([Cobra.Lanes] / [Epidemic.Lanes]),
     lane [j] of batch [b] drawing from precisely trial [b * 64 + j]'s
     derived stream; kernels or parameters without a sliced stepper
-    (rwalk, contact, herd, [Distinct] branching) silently fall back to
-    the scalar loop, so sweeps and campaigns can request [`Lanes]
-    uniformly. *)
+    (rwalk, pull, push-pull, coalesce, explore, contact, herd,
+    [Distinct] branching) silently fall back to the scalar loop, so
+    sweeps and campaigns can request [`Lanes] uniformly. *)
 
 val all : Cobra.Kernel.t list
 
@@ -21,6 +22,10 @@ val find : string -> Cobra.Kernel.t option
 
 (** [names ()] lists the registered kernel names, registry order. *)
 val names : unit -> string list
+
+(** [find_res name] is {!find} with an error message listing the valid
+    kernel names — the form grid parsing and the CLI report. *)
+val find_res : string -> (Cobra.Kernel.t, string) result
 
 (** {1 Execution engines} *)
 

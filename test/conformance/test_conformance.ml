@@ -25,6 +25,8 @@ module Process = Cobra.Process
 module Bips = Cobra.Bips
 module Rwalk = Cobra.Rwalk
 module Push = Cobra.Push
+module Coalesce = Cobra.Coalesce
+module Explore = Cobra.Explore
 module Sis = Epidemic.Sis
 module Contact = Epidemic.Contact
 module Herd = Epidemic.Herd
@@ -32,9 +34,12 @@ module Herd = Epidemic.Herd
 let master = 20260807
 let family_alpha = 1e-6
 
-(* Upper bound on the number of Gof verdicts taken below (currently ~52;
-   keep the bound comfortably above so adding a check never silently
-   weakens the family-wise guarantee). *)
+(* Upper bound on the number of accept-demanding Gof verdicts taken
+   below (currently 63; keep the bound at or above so adding a check
+   never silently weakens the family-wise guarantee). The mutation tests
+   demand a Reject from a deliberately wrong kernel — they can only fail
+   by missing a gross perturbation, not by a rare false alarm — so they
+   do not consume false-failure budget and are not counted. *)
 let family_size = 64
 let alpha = Gof.bonferroni ~family_alpha ~m:family_size
 
@@ -109,6 +114,11 @@ let check_set_dist ~tag ~trials ~dist sample =
   check_gof tag
     (Conformance.check ~alpha ~master ~tag ~trials ~dist ~equal:Int.equal
        ~describe:describe_mask ~sample ())
+
+let check_scalar_dist ~tag ~trials ~dist sample =
+  check_gof tag
+    (Conformance.check ~alpha ~master ~tag ~trials ~dist ~equal:Int.equal
+       ~describe:string_of_int ~sample ())
 
 (* ---------- COBRA ---------- *)
 
@@ -236,12 +246,14 @@ let test_rwalk_q3 () =
 
 (* ---------- push broadcast ---------- *)
 
-(* Distribution of the push protocol's completion round, with every round
-   above t_max merged into one tail cell (value t_max + 1). *)
-let push_rounds_dist g ~start ~t_max =
-  let s = Exact.push_cover_survival g ~start ~t_max in
+(* Distribution of a completion round from its survival function, with
+   every round above t_max merged into one tail cell (value t_max + 1). *)
+let survival_rounds_dist s ~t_max =
   let cells = List.init t_max (fun i -> (i + 1, s.(i) -. s.(i + 1))) in
   List.filter (fun (_, p) -> p > 1e-15) (cells @ [ (t_max + 1, s.(t_max)) ])
+
+let push_rounds_dist g ~start ~t_max =
+  survival_rounds_dist (Exact.push_cover_survival g ~start ~t_max) ~t_max
 
 let check_push ~tag g ~start ~t_max =
   check_gof tag
@@ -256,6 +268,165 @@ let check_push ~tag g ~start ~t_max =
 
 let test_push_k4 () = check_push ~tag:"push/k4" k4 ~start:0 ~t_max:10
 let test_push_c5 () = check_push ~tag:"push/c5" c5 ~start:2 ~t_max:14
+
+(* ---------- pull and push-pull ---------- *)
+
+(* Informed-count marginal of an exact mask distribution. *)
+let count_marginal dist =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (m, p) ->
+      let c = List.length (Exact.vertices_of_mask m) in
+      let prev = Option.value ~default:0.0 (Hashtbl.find_opt tbl c) in
+      Hashtbl.replace tbl c (prev +. p))
+    dist;
+  List.sort compare (Hashtbl.fold (fun c p acc -> (c, p) :: acc) tbl [])
+
+(* Compose an exact one-round transition with an initial mask
+   distribution. *)
+let compose_step step dist0 =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (m, p) ->
+      List.iter
+        (fun (m', q) ->
+          let prev = Option.value ~default:0.0 (Hashtbl.find_opt tbl m') in
+          Hashtbl.replace tbl m' (prev +. (p *. q)))
+        (step m))
+    dist0;
+  List.sort compare (Hashtbl.fold (fun m p acc -> (m, p) :: acc) tbl [])
+
+(* Informed count of the named rumour kernel after [rounds] rounds from
+   vertex 0 — sampling the Sweep-facing kernel instance itself. *)
+let kernel_informed ~rounds kernel g rng =
+  let open Cobra.Kernel in
+  let inst = kernel.create (v g) default_params in
+  for _ = 1 to rounds do
+    inst.step rng
+  done;
+  int_of_float (List.assoc "informed" (inst.observe ()))
+
+let test_pull_step_prism () =
+  check_scalar_dist ~tag:"pull/step/prism" ~trials:6000
+    ~dist:(count_marginal (Exact.pull_step_dist prism ~infected:[ 0 ]))
+    (kernel_informed ~rounds:1 Cobra.Kernel.pull prism)
+
+let test_pull_two_step_q3 () =
+  let step m = Exact.pull_step_dist q3 ~infected:(Exact.vertices_of_mask m) in
+  check_scalar_dist ~tag:"pull/two-step/q3" ~trials:6000
+    ~dist:(count_marginal (compose_step step (Exact.pull_step_dist q3 ~infected:[ 0 ])))
+    (kernel_informed ~rounds:2 Cobra.Kernel.pull q3)
+
+let test_pull_rounds_k4 () =
+  let t_max = 14 in
+  let dist = survival_rounds_dist (Exact.pull_cover_survival k4 ~start:0 ~t_max) ~t_max in
+  check_gof "pull/rounds/k4"
+    (Conformance.check ~alpha ~master ~tag:"pull/rounds/k4" ~trials:6000 ~dist
+       ~equal:Int.equal ~describe:string_of_int
+       ~sample:(fun rng ->
+         match Push.pull (v k4) ~start:0 rng with
+         | Some o -> min o.Push.rounds (t_max + 1)
+         | None -> Alcotest.fail "pull/rounds/k4: pull hit its cap")
+       ())
+
+let test_push_pull_step_k4 () =
+  check_scalar_dist ~tag:"push-pull/step/k4" ~trials:6000
+    ~dist:(count_marginal (Exact.push_pull_step_dist k4 ~infected:[ 0 ]))
+    (kernel_informed ~rounds:1 Cobra.Kernel.push_pull k4)
+
+let test_push_pull_step_prism () =
+  check_scalar_dist ~tag:"push-pull/step/prism" ~trials:6000
+    ~dist:(count_marginal (Exact.push_pull_step_dist prism ~infected:[ 0 ]))
+    (kernel_informed ~rounds:1 Cobra.Kernel.push_pull prism)
+
+let test_push_pull_rounds_c5 () =
+  let t_max = 12 in
+  let dist =
+    survival_rounds_dist (Exact.push_pull_cover_survival c5 ~start:0 ~t_max) ~t_max
+  in
+  check_gof "push-pull/rounds/c5"
+    (Conformance.check ~alpha ~master ~tag:"push-pull/rounds/c5" ~trials:6000 ~dist
+       ~equal:Int.equal ~describe:string_of_int
+       ~sample:(fun rng ->
+         match Push.push_pull (v c5) ~start:0 rng with
+         | Some o -> min o.Push.rounds (t_max + 1)
+         | None -> Alcotest.fail "push-pull/rounds/c5: push-pull hit its cap")
+       ())
+
+(* ---------- coalescing walks with voting ---------- *)
+
+let coalesce_mask p n = mask_of_pred n (Coalesce.mem p)
+
+let test_coalesce_step_k4 () =
+  (* Two adjacent clusters on K4: they merge exactly when both pick the
+     same vertex of the opposite pair (probability 2/9). The set-valued
+     oracle is the COBRA chain at branching Fixed 1. *)
+  check_set_dist ~tag:"coalesce/step/k4" ~trials:6000
+    ~dist:(Exact.coalescing_step_dist k4 ~active:[ 0; 1 ]) (fun rng ->
+      let p = Coalesce.create (v k4) ~walkers:2 ~start:0 in
+      Coalesce.step p rng;
+      coalesce_mask p 4)
+
+let test_coalesce_clusters_q3 () =
+  check_scalar_dist ~tag:"coalesce/clusters/q3-t2" ~trials:6000
+    ~dist:(Exact.coalescing_cluster_dist q3 ~start:[ 0; 1; 2; 3 ] ~t_max:2) (fun rng ->
+      let p = Coalesce.create (v q3) ~walkers:4 ~start:0 in
+      Coalesce.step p rng;
+      Coalesce.step p rng;
+      Coalesce.clusters p)
+
+let test_coalesce_consensus_k4 () =
+  (* Consensus is absorbing (a lone cluster keeps walking), so consensus
+     at round t means consensus by round t. *)
+  let t = 3 and trials = 6000 in
+  let s = Exact.coalescing_consensus_survival k4 ~start:[ 0; 1; 2 ] ~t_max:t in
+  let outcomes =
+    Conformance.samples ~master ~tag:"coalesce/consensus/k4" ~trials (fun rng ->
+        let p = Coalesce.create (v k4) ~walkers:3 ~start:0 in
+        for _ = 1 to t do
+          Coalesce.step p rng
+        done;
+        Coalesce.is_consensus p)
+  in
+  let successes = Array.fold_left (fun a b -> if b then a + 1 else a) 0 outcomes in
+  check_gof "coalesce/consensus/k4"
+    (Gof.binomial_test ~alpha ~successes ~trials ~p:(1.0 -. s.(t)) ())
+
+(* ---------- unvisited-edge-preferring walk ---------- *)
+
+let explore_position ~steps g rng =
+  let p = Explore.create (v g) ~start:0 in
+  for _ = 1 to steps do
+    Explore.step p rng
+  done;
+  Explore.position p
+
+let test_explore_position_k4 () =
+  check_scalar_dist ~tag:"explore/position/k4-t3" ~trials:6000
+    ~dist:(Exact.explore_position_dist k4 ~start:0 ~t:3)
+    (explore_position ~steps:3 k4)
+
+let test_explore_position_q3 () =
+  (* Even step count on bipartite Q3: the walk moves along one edge per
+     step whatever it prefers, so odd-parity vertices have exactly zero
+     probability and any stray sample there is fatal. *)
+  check_scalar_dist ~tag:"explore/position/q3-t4" ~trials:6000
+    ~dist:(Exact.explore_position_dist q3 ~start:0 ~t:4)
+    (explore_position ~steps:4 q3)
+
+let test_explore_rounds_prism () =
+  let t_max = 12 in
+  let dist =
+    survival_rounds_dist (Exact.explore_cover_survival prism ~start:0 ~t_max) ~t_max
+  in
+  check_gof "explore/rounds/prism"
+    (Conformance.check ~alpha ~master ~tag:"explore/rounds/prism" ~trials:6000 ~dist
+       ~equal:Int.equal ~describe:string_of_int
+       ~sample:(fun rng ->
+         match Explore.cover_time (v prism) ~start:0 rng with
+         | Some r -> min r (t_max + 1)
+         | None -> Alcotest.fail "explore/rounds/prism: walk hit its cap")
+       ())
 
 (* ---------- SIS ---------- *)
 
@@ -360,11 +531,6 @@ let test_herd_prism () =
     ~index_cases:[ 0; 5 ]
 
 (* ---------- PRNG distributions ---------- *)
-
-let check_scalar_dist ~tag ~trials ~dist sample =
-  check_gof tag
-    (Conformance.check ~alpha ~master ~tag ~trials ~dist ~equal:Int.equal
-       ~describe:string_of_int ~sample ())
 
 let test_dist_categorical () =
   let weights = [| 0.1; 0.2; 0.3; 0.4 |] in
@@ -720,6 +886,43 @@ let test_mutation_sensitivity () =
     "perturbed kernel is rejected" true
     (r.Gof.verdict = Gof.Reject)
 
+(* Mutation tests for the rumour/walk newcomers: sample the TRUE kernel
+   and demand a Reject against a perturbed event probability — same
+   support as the truth, so the failure mode is a clean Reject rather
+   than an out-of-support abort. Each guards one kernel's power. *)
+
+let demand_reject name r =
+  Alcotest.(check bool) (name ^ " is rejected") true (r.Gof.verdict = Gof.Reject)
+
+let binomial_mutation ~tag ~p_wrong sample =
+  let trials = 6000 in
+  let outcomes = Conformance.samples ~master ~tag ~trials sample in
+  let successes = Array.fold_left (fun a b -> if b then a + 1 else a) 0 outcomes in
+  demand_reject tag (Gof.binomial_test ~alpha ~successes ~trials ~p:p_wrong ())
+
+let test_mutation_coalesce () =
+  (* True merge probability of two adjacent K4 clusters is 2/9. *)
+  binomial_mutation ~tag:"mutation/coalesce" ~p_wrong:0.5 (fun rng ->
+      let p = Coalesce.create (v k4) ~walkers:2 ~start:0 in
+      Coalesce.step p rng;
+      Coalesce.is_consensus p)
+
+let test_mutation_explore () =
+  (* The unvisited-edge walk cannot backtrack on its second K4 step, so
+     P(position = 1 at t = 2) is 1/3; the plain walk's value is 2/9. *)
+  binomial_mutation ~tag:"mutation/explore" ~p_wrong:(2.0 /. 9.0) (fun rng ->
+      explore_position ~steps:2 k4 rng = 1)
+
+let test_mutation_pull () =
+  (* True P(nobody joins in one K4 pull round) = (2/3)^3 = 8/27. *)
+  binomial_mutation ~tag:"mutation/pull" ~p_wrong:0.5 (fun rng ->
+      kernel_informed ~rounds:1 Cobra.Kernel.pull k4 rng = 1)
+
+let test_mutation_push_pull () =
+  (* True P(exactly one K4 vertex joins in one push-pull round) = 4/9. *)
+  binomial_mutation ~tag:"mutation/push-pull" ~p_wrong:0.25 (fun rng ->
+      kernel_informed ~rounds:1 Cobra.Kernel.push_pull k4 rng = 2)
+
 (* ---------- runner ---------- *)
 
 let () =
@@ -742,6 +945,30 @@ let () =
       ( "rwalk",
         [ t "3 steps on C5" test_rwalk_c5; t "2 steps on Q3 (parity)" test_rwalk_q3 ] );
       ("push", [ t "rounds on K4" test_push_k4; t "rounds on C5" test_push_c5 ]);
+      ( "pull",
+        [
+          t "one round on the prism" test_pull_step_prism;
+          t "two rounds on Q3" test_pull_two_step_q3;
+          t "rounds on K4" test_pull_rounds_k4;
+        ] );
+      ( "push-pull",
+        [
+          t "one round on K4" test_push_pull_step_k4;
+          t "one round on the prism" test_push_pull_step_prism;
+          t "rounds on C5" test_push_pull_rounds_c5;
+        ] );
+      ( "coalesce",
+        [
+          t "one step on K4, two clusters" test_coalesce_step_k4;
+          t "cluster count on Q3 at t=2" test_coalesce_clusters_q3;
+          t "consensus probability on K4" test_coalesce_consensus_k4;
+        ] );
+      ( "explore",
+        [
+          t "position on K4 at t=3" test_explore_position_k4;
+          t "position on Q3 at t=4 (parity)" test_explore_position_q3;
+          t "rounds to cover on the prism" test_explore_rounds_prism;
+        ] );
       ( "sis",
         [
           t "one round on the prism" test_sis_step_prism;
@@ -788,5 +1015,12 @@ let () =
           t "sis on Q3, recovery 0.3" test_lanes_sis_q3;
           t "cobra on C5, k=2" test_lanes_cobra_c5;
         ] );
-      ("mutation", [ t "perturbed branching is rejected" test_mutation_sensitivity ]);
+      ( "mutation",
+        [
+          t "perturbed branching is rejected" test_mutation_sensitivity;
+          t "perturbed coalesce merge probability is rejected" test_mutation_coalesce;
+          t "plain-walk probability is rejected for explore" test_mutation_explore;
+          t "perturbed pull stall probability is rejected" test_mutation_pull;
+          t "pull-only probability is rejected for push-pull" test_mutation_push_pull;
+        ] );
     ]

@@ -23,6 +23,11 @@ module Json = Simkit.Json
 
 let check = Alcotest.check
 
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
 (* ---------- kernel/one-shot stream equivalence ----------
 
    Two independently created RNGs with the same seed produce the same
@@ -79,6 +84,55 @@ let test_push_stream () =
       check (Alcotest.option (Alcotest.float 0.0)) "transmissions"
         (Some (float_of_int e.Cobra.Push.transmissions))
         (K.observation o "transmissions")
+  done
+
+let test_pull_stream () =
+  let g = Gen.complete 15 in
+  for seed = 1 to 5 do
+    let o = K.run K.pull g p0 (Rng.create seed) in
+    match Cobra.Push.pull g ~start:0 (Rng.create seed) with
+    | None -> Alcotest.fail "one-shot pull capped unexpectedly"
+    | Some e ->
+      check Alcotest.bool "completed" true o.K.completed;
+      check Alcotest.int "rounds" e.Cobra.Push.rounds o.K.rounds;
+      check (Alcotest.option (Alcotest.float 0.0)) "transmissions"
+        (Some (float_of_int e.Cobra.Push.transmissions))
+        (K.observation o "transmissions")
+  done
+
+let test_push_pull_stream () =
+  let g = Gen.cycle 14 in
+  for seed = 1 to 5 do
+    let o = K.run K.push_pull g p0 (Rng.create seed) in
+    match Cobra.Push.push_pull g ~start:0 (Rng.create seed) with
+    | None -> Alcotest.fail "one-shot push-pull capped unexpectedly"
+    | Some e ->
+      check Alcotest.bool "completed" true o.K.completed;
+      check Alcotest.int "rounds" e.Cobra.Push.rounds o.K.rounds;
+      check (Alcotest.option (Alcotest.float 0.0)) "transmissions"
+        (Some (float_of_int e.Cobra.Push.transmissions))
+        (K.observation o "transmissions")
+  done
+
+let test_coalesce_stream () =
+  (* Non-bipartite so consensus is reachable: synchronous clusters in
+     different colour classes of a bipartite graph can never meet. *)
+  let g = Gen.complete 12 in
+  let params = { p0 with K.walkers = 4 } in
+  for seed = 1 to 5 do
+    let o = K.run K.coalesce g params (Rng.create seed) in
+    let expect = Cobra.Coalesce.consensus_time g ~walkers:4 ~start:0 (Rng.create seed) in
+    check Alcotest.(option int) "consensus time" expect
+      (if o.K.completed then Some o.K.rounds else None)
+  done
+
+let test_explore_stream () =
+  let g = Gen.cycle 16 in
+  for seed = 1 to 5 do
+    let o = K.run K.explore g p0 (Rng.create seed) in
+    let expect = Cobra.Explore.cover_time g ~start:0 (Rng.create seed) in
+    check Alcotest.(option int) "explore cover time" expect
+      (if o.K.completed then Some o.K.rounds else None)
   done
 
 let test_sis_stream () =
@@ -174,7 +228,8 @@ let test_herd_stream () =
 
 let test_registry_covers_all () =
   check Alcotest.(list string) "kernel names"
-    [ "cobra"; "bips"; "rwalk"; "push"; "sis"; "contact"; "herd" ]
+    [ "cobra"; "bips"; "rwalk"; "push"; "pull"; "push-pull"; "coalesce";
+      "explore"; "sis"; "contact"; "herd" ]
     (Sweep.Kernels.names ());
   List.iter
     (fun name ->
@@ -182,6 +237,30 @@ let test_registry_covers_all () =
       | Some k -> check Alcotest.string "find returns the named kernel" name k.K.name
       | None -> Alcotest.fail ("kernel not found: " ^ name))
     (Sweep.Kernels.names ())
+
+(* Unknown kernel names must fail with the full menu — the error is the
+   registry's, so the grid parser and any future caller agree on it. *)
+let test_find_res_unknown_lists_names () =
+  (match Sweep.Kernels.find_res "cobra" with
+  | Ok k -> check Alcotest.string "Ok on known name" "cobra" k.K.name
+  | Error msg -> Alcotest.fail msg);
+  (match Sweep.Kernels.find_res "nonesuch" with
+  | Ok _ -> Alcotest.fail "expected Error for unknown kernel"
+  | Error msg ->
+    check Alcotest.bool ("names the bad kernel: " ^ msg) true
+      (contains msg "nonesuch");
+    List.iter
+      (fun name ->
+        check Alcotest.bool ("menu lists " ^ name) true (contains msg name))
+      (Sweep.Kernels.names ()));
+  (* The grid parser surfaces the same listing. *)
+  match Sweep.Grid.of_inline "graphs=cycle:8;kernels=nonesuch" with
+  | Ok _ -> Alcotest.fail "expected grid parse error"
+  | Error msg ->
+    List.iter
+      (fun name ->
+        check Alcotest.bool ("grid error lists " ^ name) true (contains msg name))
+      [ "pull"; "push-pull"; "coalesce"; "explore" ]
 
 (* ---------- word-scan stream identity ----------
 
@@ -452,11 +531,6 @@ let test_grid_addresses_unique () =
       (fun i c -> check Alcotest.int "positional index" i c.Simkit.Campaign.index)
       (Sweep.Grid.cells grid)
 
-let contains haystack needle =
-  let nh = String.length haystack and nn = String.length needle in
-  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
-  go 0
-
 (* A typo'd --grid file path must fail as a missing file, not fall
    through to the inline parser's "expected key=value" errors. *)
 let test_load_missing_file () =
@@ -598,6 +672,10 @@ let test_lanes_fallback_is_scalar () =
         (Array.to_list (under `Lanes)))
     [
       ("rwalk", K.rwalk, p0);
+      ("pull", K.pull, p0);
+      ("push-pull", K.push_pull, p0);
+      ("coalesce", K.coalesce, { p0 with K.walkers = 4 });
+      ("explore", K.explore, p0);
       ("bips-distinct", K.bips, { p0 with K.branching = B.distinct 2 });
       ("sis-distinct", Epidemic.Kernels.sis,
        { p0 with K.recovery = 0.4; branching = B.distinct 2 });
@@ -724,6 +802,55 @@ let test_resume_byte_identical () =
                 (read_file (Filename.concat dir_b f)))
             cells))
     [ 1; 2 ]
+
+(* The four newcomer kernels ride the same campaign machinery: an
+   interrupted campaign over them resumes to byte-identical artifacts,
+   and the artifacts are byte-identical across worker-domain counts. *)
+let test_new_kernels_resume_byte_identical () =
+  match
+    Sweep.Grid.of_inline
+      "name=equiv;graphs=cycle:15,complete:8;\
+       kernels=pull,push-pull,coalesce,explore;walkers=3;trials=3"
+  with
+  | Error msg -> Alcotest.fail msg
+  | Ok grid -> (
+    let cells = Sweep.Grid.cells grid in
+    let dir_a = fresh_dir () and dir_b = fresh_dir () and dir_c = fresh_dir () in
+    (* A: uninterrupted, 1 domain.  B: killed after 2 cells, resumed.
+       C: uninterrupted, 2 domains. *)
+    (match run_campaign ~dir:dir_a ~domains:1 ~resume:false cells with
+    | Ok r -> check Alcotest.int "A complete" 0 r.Simkit.Campaign.remaining
+    | Error msg -> Alcotest.fail msg);
+    (match run_campaign ~dir:dir_b ~domains:1 ~resume:false ~max_cells:2 cells with
+    | Ok r ->
+      check Alcotest.int "B interrupted with cells left" 6
+        r.Simkit.Campaign.remaining
+    | Error msg -> Alcotest.fail msg);
+    (match run_campaign ~dir:dir_c ~domains:2 ~resume:false cells with
+    | Ok r -> check Alcotest.int "C complete" 0 r.Simkit.Campaign.remaining
+    | Error msg -> Alcotest.fail msg);
+    match run_campaign ~dir:dir_b ~domains:1 ~resume:true cells with
+    | Error msg -> Alcotest.fail msg
+    | Ok r ->
+      check Alcotest.int "B resumed to completion" 0 r.Simkit.Campaign.remaining;
+      check Alcotest.int "B reused the checkpointed cells" 2
+        r.Simkit.Campaign.reused;
+      let compare_dirs tag other =
+        check Alcotest.string (tag ^ ": manifest byte-identical")
+          (read_file (Filename.concat dir_a "manifest.json"))
+          (read_file (Filename.concat other "manifest.json"));
+        List.iter
+          (fun c ->
+            let f =
+              Printf.sprintf "cells/cell_%05d.json" c.Simkit.Campaign.index
+            in
+            check Alcotest.string (tag ^ ": cell byte-identical: " ^ f)
+              (read_file (Filename.concat dir_a f))
+              (read_file (Filename.concat other f)))
+          cells
+      in
+      compare_dirs "resume" dir_b;
+      compare_dirs "domains=2" dir_c)
 
 (* Regression: the campaign identity must cover trials and base
    parameters, which cell addresses alone don't encode — resuming after
@@ -931,6 +1058,53 @@ let test_bigarray_resume_byte_identical () =
           (payload_of dir_h f) (payload_of dir_a f))
       cells_heap
 
+(* Fixed-seed runs of every newcomer kernel are outcome-identical across
+   the heap, bigarray, and implicit topology backends: all three views
+   honour the ascending-neighbour contract, so the RNG stream — and
+   hence every observation — cannot depend on the representation. *)
+let test_new_kernels_backend_identity () =
+  (* Two implicit-capable families; both non-bipartite (odd cycle) or
+     complete, so coalesce reaches consensus rather than its cap. *)
+  let specs = [ "complete:12"; "cycle:15" ] in
+  let kernels =
+    [
+      ("pull", K.pull, p0);
+      ("push-pull", K.push_pull, p0);
+      ("coalesce", K.coalesce, { p0 with K.walkers = 4 });
+      ("explore", K.explore, p0);
+    ]
+  in
+  List.iter
+    (fun spec_s ->
+      let spec =
+        match Graph.Spec.parse spec_s with
+        | Ok s -> s
+        | Error msg -> Alcotest.fail msg
+      in
+      let view backend =
+        match Graph.Spec.build_view spec ~backend (Rng.create 99) with
+        | Ok v -> v
+        | Error msg -> Alcotest.fail msg
+      in
+      List.iter
+        (fun (name, k, params) ->
+          for seed = 1 to 3 do
+            let run backend = K.run k (view backend) params (Rng.create seed) in
+            let heap = run `Heap in
+            check Alcotest.bool
+              (Printf.sprintf "%s/%s: completed (seed %d)" spec_s name seed)
+              true heap.K.completed;
+            List.iter
+              (fun (bname, backend) ->
+                check outcome_t
+                  (Printf.sprintf "%s/%s: heap = %s (seed %d)" spec_s name bname
+                     seed)
+                  heap (run backend))
+              [ ("bigarray", `Bigarray); ("implicit", `Implicit) ]
+          done)
+        kernels)
+    specs
+
 (* The backend is part of the campaign identity: a checkpoint written
    under one backend refuses to resume under another, in both
    directions, even though the payloads would agree — a cross-backend
@@ -977,12 +1151,18 @@ let () =
           Alcotest.test_case "rwalk" `Quick test_rwalk_stream;
           Alcotest.test_case "rwalk multi" `Quick test_rwalk_multi_stream;
           Alcotest.test_case "push" `Quick test_push_stream;
+          Alcotest.test_case "pull" `Quick test_pull_stream;
+          Alcotest.test_case "push-pull" `Quick test_push_pull_stream;
+          Alcotest.test_case "coalesce" `Quick test_coalesce_stream;
+          Alcotest.test_case "explore" `Quick test_explore_stream;
           Alcotest.test_case "sis" `Quick test_sis_stream;
           Alcotest.test_case "contact" `Quick test_contact_stream;
           Alcotest.test_case "contact cap terminates" `Quick
             test_contact_cap_terminates;
           Alcotest.test_case "herd" `Quick test_herd_stream;
           Alcotest.test_case "registry covers all" `Quick test_registry_covers_all;
+          Alcotest.test_case "unknown kernel lists the menu" `Quick
+            test_find_res_unknown_lists_names;
         ] );
       ( "word-scan-stream-identity",
         [
@@ -1009,6 +1189,8 @@ let () =
         [
           Alcotest.test_case "resume is byte-identical (domains 1 and 2)" `Quick
             test_resume_byte_identical;
+          Alcotest.test_case "new kernels resume byte-identical" `Quick
+            test_new_kernels_resume_byte_identical;
           Alcotest.test_case "resume refuses changed trials/params" `Quick
             test_resume_refuses_changed_params;
           Alcotest.test_case "backend parses from inline and json" `Quick
@@ -1017,6 +1199,8 @@ let () =
             test_backend_heap_meta_is_omitted;
           Alcotest.test_case "bigarray resume is byte-identical" `Quick
             test_bigarray_resume_byte_identical;
+          Alcotest.test_case "new kernels identical across backends" `Quick
+            test_new_kernels_backend_identity;
           Alcotest.test_case "resume refuses changed backend" `Quick
             test_resume_refuses_changed_backend;
         ] );
