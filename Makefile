@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check sweep-smoke sweep-smoke-bigarray bench \
+.PHONY: all build test check sweep-smoke sweep-smoke-bigarray serve-smoke bench \
 	bench-standard bench-json bench-scale bench-scale-smoke bench-lanes \
 	bench-lanes-smoke bench-compare examples clean
 
@@ -55,6 +55,13 @@ sweep-smoke-bigarray:
 	done
 	! dune exec bin/main.exe -- sweep --grid '$(SMOKE_GRID)' --out _results/smoke-big-a --seed 5 --resume
 	@echo "sweep-smoke-bigarray: bigarray campaign byte-identical; cross-backend resume refused"
+
+# End-to-end drill for the campaign service: batch reference sweep,
+# daemon killed with SIGKILL mid-campaign, restart + resume must be
+# byte-identical to the batch artifacts, and a resubmission of the same
+# work must be served 100% from the content-addressed result cache.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # Quick-scale kernels + experiment tables (~30 s)
 bench:

@@ -159,6 +159,17 @@ let sweep_cmd =
   let list_kernels_t =
     Arg.(value & flag & info [ "list-kernels" ] ~doc:"List sweepable kernels and exit.")
   in
+  let cache_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache" ] ~docv:"DIR"
+          ~doc:
+            "Content-addressed result cache directory (shareable between \
+             campaigns and with the serve daemon): cells whose \
+             (master, address, meta) already have a cached payload are \
+             not recomputed.")
+  in
   let engine_t =
     Arg.(
       value
@@ -171,7 +182,7 @@ let sweep_cmd =
              scalar). Overrides the grid's engine= key; part of the \
              campaign identity, so resume with the same engine.")
   in
-  let run grid out resume max_cells seed domains list_kernels engine =
+  let run grid out resume max_cells seed domains list_kernels engine cache =
     if list_kernels then begin
       List.iter
         (fun k -> Printf.printf "%-10s %s\n" k.K.name k.K.doc)
@@ -221,6 +232,9 @@ let sweep_cmd =
             grid.Sweep.Grid.trials
             (Sweep.Kernels.engine_to_string grid.Sweep.Grid.engine)
             master;
+          let store =
+            Option.map (fun dir -> Simkit.Cellstore.open_ ~dir) cache
+          in
           let config =
             {
               Simkit.Campaign.dir;
@@ -228,9 +242,10 @@ let sweep_cmd =
               resume;
               max_cells;
               domains;
+              cache = store;
               progress =
-                (fun line ->
-                  print_string line;
+                (fun event ->
+                  print_string (Simkit.Campaign.event_to_string event);
                   print_newline ();
                   flush stdout);
             }
@@ -240,9 +255,18 @@ let sweep_cmd =
             Printf.eprintf "sweep: %s\n" msg;
             2
           | Ok r ->
-            Printf.printf "cells: %d total, %d ran, %d reused, %d corrupt re-run\n"
+            Printf.printf
+              "cells: %d total, %d ran, %d cached, %d reused, %d corrupt re-run\n"
               r.Simkit.Campaign.total r.Simkit.Campaign.ran
-              r.Simkit.Campaign.reused r.Simkit.Campaign.corrupted;
+              r.Simkit.Campaign.cached r.Simkit.Campaign.reused
+              r.Simkit.Campaign.corrupted;
+            (match store with
+            | Some s ->
+              let st = Simkit.Cellstore.stats s in
+              Printf.printf "cache: %d hits, %d misses, %d puts (%s)\n"
+                st.Simkit.Cellstore.hits st.Simkit.Cellstore.misses
+                st.Simkit.Cellstore.puts (Simkit.Cellstore.dir s)
+            | None -> ());
             (match r.Simkit.Campaign.manifest with
             | Some path ->
               Printf.printf "campaign complete: wrote %s\n" path;
@@ -259,7 +283,242 @@ let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(
       const run $ grid_t $ out_t $ resume_t $ max_cells_t $ seed_t $ domains_t
-      $ list_kernels_t $ engine_t)
+      $ list_kernels_t $ engine_t $ cache_t)
+
+(* ---------- serve / client ---------- *)
+
+let socket_t =
+  Arg.(
+    value
+    & opt string "_results/cobra.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket the campaign daemon listens on.")
+
+let serve_cmd =
+  let cache_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache" ] ~docv:"DIR"
+          ~doc:
+            "Content-addressed result cache shared by every campaign the \
+             daemon runs (and with batch sweeps passing the same --cache).")
+  in
+  let max_jobs_t =
+    Arg.(
+      value & opt int 2
+      & info [ "max-jobs" ] ~docv:"N" ~doc:"Campaigns running concurrently.")
+  in
+  let queue_depth_t =
+    Arg.(
+      value & opt int 8
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:"Additional campaigns allowed to wait; beyond this, submit is refused.")
+  in
+  let max_cells_t =
+    Arg.(
+      value & opt int 10_000
+      & info [ "max-cells-per-submit" ] ~docv:"N"
+          ~doc:"Largest grid (in cells) a single submission may expand to.")
+  in
+  let max_inflight_t =
+    Arg.(
+      value & opt int 50_000
+      & info [ "max-inflight-per-client" ] ~docv:"N"
+          ~doc:"Unfinished-cell quota per client across its active jobs.")
+  in
+  let domains_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"D"
+          ~doc:"Domain-pool size shared by all campaigns (default: COBRA_DOMAINS).")
+  in
+  let run socket cache max_jobs queue_depth max_cells max_inflight domains =
+    let config =
+      {
+        Serve.Daemon.socket;
+        cache;
+        max_jobs;
+        queue_depth;
+        max_cells_per_submit = max_cells;
+        max_inflight_per_client = max_inflight;
+        domains;
+      }
+    in
+    Printf.printf "cobra serve: listening on %s (%s)\n%!" socket
+      (match cache with
+      | Some d -> "cache " ^ d
+      | None -> "no result cache");
+    match Serve.Daemon.run config with
+    | Ok () ->
+      Printf.printf "cobra serve: shut down\n";
+      0
+    | Error msg ->
+      Printf.eprintf "serve: %s\n" msg;
+      1
+  in
+  let doc = "Run the campaign daemon (protocol cobra.rpc/1 over a Unix socket)." in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ socket_t $ cache_t $ max_jobs_t $ queue_depth_t $ max_cells_t
+      $ max_inflight_t $ domains_t)
+
+let client_cmd =
+  let job_t = Arg.(required & pos 0 (some string) None & info [] ~docv:"JOB") in
+  let print_event e = Printf.printf "%s\n%!" (Simkit.Campaign.event_to_string e) in
+  let print_status doc =
+    let str k =
+      Option.value ~default:"-"
+        (Option.bind (Simkit.Json.member k doc) Simkit.Json.to_string_opt)
+    in
+    let int k =
+      match Simkit.Json.member k doc with Some (Simkit.Json.Int i) -> i | _ -> 0
+    in
+    Printf.printf
+      "%s %s (campaign %s, client %s): %d/%d done (%d ran, %d cached, %d \
+       reused) -> %s\n"
+      (str "job") (str "status") (str "campaign") (str "client") (int "done")
+      (int "pending") (int "ran") (int "cached") (int "reused")
+      (match Simkit.Json.member "manifest" doc with
+      | Some (Simkit.Json.String p) -> p
+      | _ -> str "dir")
+  in
+  let fail msg =
+    Printf.eprintf "client: %s\n" msg;
+    1
+  in
+  let submit_cmd =
+    let grid_t =
+      Arg.(
+        required
+        & opt (some string) None
+        & info [ "grid" ] ~docv:"FILE|INLINE"
+            ~doc:"Parameter grid, as for $(b,cobra sweep).")
+    in
+    let out_t =
+      Arg.(
+        required
+        & opt (some string) None
+        & info [ "out" ] ~docv:"DIR" ~doc:"Campaign output directory (daemon-side).")
+    in
+    let default_client =
+      match (Sys.getenv_opt "USER", Sys.getenv_opt "LOGNAME") with
+      | Some u, _ | None, Some u -> u
+      | None, None -> "anonymous"
+    in
+    let client_t =
+      Arg.(
+        value & opt string default_client
+        & info [ "client" ] ~docv:"NAME" ~doc:"Client identity for quota accounting.")
+    in
+    let resume_t =
+      Arg.(value & flag & info [ "resume" ] ~doc:"Continue an interrupted campaign.")
+    in
+    let watch_t =
+      Arg.(
+        value & flag
+        & info [ "watch" ] ~doc:"Stream progress events until the job finishes.")
+    in
+    let run socket grid out client resume watch seed =
+      let master = Simkit.Seeds.master ~default:seed () in
+      let grid =
+        if Sys.file_exists grid then
+          match Simkit.Json.of_file grid with
+          | Ok doc -> `Doc doc
+          | Error _ -> `Inline grid
+        else `Inline grid
+      in
+      let s = { Serve.Protocol.client; grid; out; master; resume } in
+      match Serve.Client.request ~socket (Serve.Protocol.Submit s) with
+      | Error msg -> fail msg
+      | Ok doc ->
+        print_status doc;
+        if not watch then 0
+        else (
+          match
+            Option.bind (Simkit.Json.member "job" doc) Simkit.Json.to_string_opt
+          with
+          | None -> fail "malformed submit response: no job id"
+          | Some job -> (
+            match Serve.Client.watch ~socket ~job print_event with
+            | Error msg -> fail msg
+            | Ok final ->
+              print_status final;
+              (match
+                 Option.bind (Simkit.Json.member "status" final)
+                   Simkit.Json.to_string_opt
+               with
+              | Some "done" -> 0
+              | _ -> 1)))
+    in
+    Cmd.v (Cmd.info "submit" ~doc:"Submit a sweep grid to the daemon.")
+      Term.(
+        const run $ socket_t $ grid_t $ out_t $ client_t $ resume_t $ watch_t
+        $ seed_t)
+  in
+  let status_cmd =
+    let run socket job =
+      match Serve.Client.request ~socket (Serve.Protocol.Status { job }) with
+      | Error msg -> fail msg
+      | Ok doc ->
+        print_status doc;
+        0
+    in
+    Cmd.v (Cmd.info "status" ~doc:"Print one status snapshot of a job.")
+      Term.(const run $ socket_t $ job_t)
+  in
+  let watch_cmd =
+    let run socket job =
+      match Serve.Client.watch ~socket ~job print_event with
+      | Error msg -> fail msg
+      | Ok final ->
+        print_status final;
+        0
+    in
+    Cmd.v
+      (Cmd.info "watch" ~doc:"Stream a job's progress events until it finishes.")
+      Term.(const run $ socket_t $ job_t)
+  in
+  let cancel_cmd =
+    let run socket job =
+      match Serve.Client.request ~socket (Serve.Protocol.Cancel { job }) with
+      | Error msg -> fail msg
+      | Ok doc ->
+        print_status doc;
+        0
+    in
+    Cmd.v
+      (Cmd.info "cancel"
+         ~doc:"Stop scheduling a job's remaining cells (checkpoints are kept).")
+      Term.(const run $ socket_t $ job_t)
+  in
+  let stats_cmd =
+    let run socket =
+      match Serve.Client.request ~socket Serve.Protocol.Stats with
+      | Error msg -> fail msg
+      | Ok doc ->
+        print_string (Simkit.Json.to_string ~pretty:true doc);
+        print_newline ();
+        0
+    in
+    Cmd.v (Cmd.info "stats" ~doc:"Print the daemon-wide stats document.")
+      Term.(const run $ socket_t)
+  in
+  let shutdown_cmd =
+    let run socket =
+      match Serve.Client.request ~socket Serve.Protocol.Shutdown with
+      | Error msg -> fail msg
+      | Ok _ ->
+        Printf.printf "daemon stopping\n";
+        0
+    in
+    Cmd.v (Cmd.info "shutdown" ~doc:"Ask the daemon to finish in-flight cells and exit.")
+      Term.(const run $ socket_t)
+  in
+  let doc = "Talk to the campaign daemon (cobra.rpc/1)." in
+  Cmd.group (Cmd.info "client" ~doc)
+    [ submit_cmd; status_cmd; watch_cmd; cancel_cmd; stats_cmd; shutdown_cmd ]
 
 (* ---------- cover ---------- *)
 
@@ -763,7 +1022,7 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default info
           [
-            exp_cmd; sweep_cmd; cover_cmd; bips_cmd; walk_cmd; push_cmd;
+            exp_cmd; sweep_cmd; serve_cmd; client_cmd; cover_cmd; bips_cmd; walk_cmd; push_cmd;
             pull_cmd; coalesce_cmd; explore_cmd; duality_cmd; spectral_cmd;
             gen_cmd; herd_cmd; contact_cmd; exact_cmd;
           ]))

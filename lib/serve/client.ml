@@ -1,0 +1,64 @@
+module Json = Simkit.Json
+module Campaign = Simkit.Campaign
+
+let with_connection ~socket f =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error
+      (Printf.sprintf "cannot connect to %s: %s (is the daemon running?)" socket
+         (Unix.error_message e))
+  | () ->
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    Fun.protect
+      ~finally:(fun () ->
+        try close_out oc
+        with _ -> ( try Unix.close fd with Unix.Unix_error _ -> ()))
+      (fun () -> f ic oc)
+
+let send oc req =
+  output_string oc (Json.to_string (Protocol.request_to_json req) ^ "\n");
+  flush oc
+
+let read_doc ic =
+  match input_line ic with
+  | exception End_of_file -> Error "connection closed before a response arrived"
+  | line -> Json.of_string line
+
+let check_response doc =
+  match Protocol.response_error doc with
+  | None -> Ok doc
+  | Some (kind, msg) ->
+    Error (Printf.sprintf "%s: %s" (Protocol.error_kind_to_string kind) msg)
+
+let request ~socket req =
+  with_connection ~socket (fun ic oc ->
+      send oc req;
+      Result.bind (read_doc ic) check_response)
+
+let watch ~socket ~job on_event =
+  with_connection ~socket (fun ic oc ->
+      send oc (Protocol.Events { job });
+      let rec go () =
+        match read_doc ic with
+        | Error _ as e -> e
+        | Ok doc ->
+          if Protocol.is_response doc then check_response doc
+          else begin
+            (match Campaign.event_of_json doc with
+            | Ok e -> on_event e
+            | Error _ -> ());
+            go ()
+          end
+      in
+      go ())
+
+let submit ~socket s =
+  match request ~socket (Protocol.Submit s) with
+  | Error _ as e -> e
+  | Ok doc -> (
+    match Option.bind (Json.member "job" doc) Json.to_string_opt with
+    | Some job -> Ok job
+    | None -> Error "malformed submit response: no job id")

@@ -1,0 +1,29 @@
+(** Client side of the [cobra.rpc/1] campaign service.
+
+    Each call opens one connection to the daemon's Unix socket, sends
+    one request line and consumes the response. [Error _] covers both
+    transport failures (cannot connect, truncated stream) and typed
+    protocol refusals — the message embeds the error kind (e.g.
+    ["quota-exceeded: ..."]); {!Protocol.response_error} is available to
+    callers that need the kind programmatically from {!request}'s raw
+    response. *)
+
+(** [request ~socket req] performs one single-response call ([submit],
+    [status], [cancel], [stats], [shutdown]) and returns the raw
+    response document with [ok = true]. *)
+val request :
+  socket:string -> Protocol.request -> (Simkit.Json.t, string) result
+
+(** [watch ~socket ~job on_event] streams the job's progress events
+    (parsed with [Simkit.Campaign.event_of_json]) until the job reaches
+    a terminal state, then returns the final status response. Events
+    that fail to parse are skipped — the stream is observability, not
+    the source of truth. *)
+val watch :
+  socket:string ->
+  job:string ->
+  (Simkit.Campaign.event -> unit) ->
+  (Simkit.Json.t, string) result
+
+(** Convenience wrapper: submit and return the job id. *)
+val submit : socket:string -> Protocol.submit -> (string, string) result

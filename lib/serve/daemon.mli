@@ -1,0 +1,60 @@
+(** The campaign daemon: serves sweep submissions over a Unix-domain
+    socket, multiplexing concurrent campaigns over one shared domain
+    pool and one shared content-addressed result cache.
+
+    Architecture (threads over one process):
+
+    - the caller of {!run} becomes the accept loop; each connection is
+      handled by its own thread speaking {!Protocol} (one request per
+      connection);
+    - a single {e scheduler} thread owns the domain pool. It drains
+      cells round-robin across all running jobs in pool-sized batches,
+      executing each batch in parallel via [Simkit.Pool] and
+      {!Simkit.Campaign.execute_cell} — so every checkpoint record and
+      the final manifest are byte-identical to what the batch
+      [cobra sweep] path writes, and cells of a submission land
+      incrementally (which is what makes kill-and-resume work at any
+      point);
+    - all bookkeeping lives behind one mutex; progress goes to each
+      job's [events.jsonl] through [Simkit.Eventlog] (atomic line
+      appends), which the [events] op tails.
+
+    Admission control and quotas (typed refusals, see
+    {!Protocol.error_kind}):
+
+    - at most [max_jobs] campaigns run concurrently; up to
+      [queue_depth] more wait in FIFO order; beyond that submissions
+      are refused with [Busy];
+    - a submission expanding to more than [max_cells_per_submit]
+      pending cells is refused with [Quota_exceeded];
+    - a client whose unfinished cells (across its queued and running
+      jobs) would exceed [max_inflight_per_client] is refused with
+      [Quota_exceeded];
+    - two active jobs can never share an output directory ([Busy]).
+
+    Because results are keyed content-addressed in the shared
+    {!Simkit.Cellstore}, a resubmission of identical work (same master,
+    addresses and meta) is served entirely from cache: zero cells
+    recomputed, which the [stats] op exposes. *)
+
+type config = {
+  socket : string;  (** Unix-domain socket path; created on start *)
+  cache : string option;  (** shared result-cache directory *)
+  max_jobs : int;  (** campaigns running concurrently *)
+  queue_depth : int;  (** additional campaigns allowed to wait *)
+  max_cells_per_submit : int;  (** per-submission cell quota *)
+  max_inflight_per_client : int;  (** per-client unfinished-cell quota *)
+  domains : int option;  (** pool size; [None] uses [Pool.default_domains] *)
+}
+
+(** [default_config ~socket] — no cache, 2 concurrent jobs, queue of 8,
+    10_000 cells per submission, 50_000 in flight per client, default
+    domain count. *)
+val default_config : socket:string -> config
+
+(** [run config] starts the daemon and blocks until a [shutdown]
+    request arrives (in-flight cells finish and are checkpointed;
+    queued cells stay pending for a resubmission with [resume]).
+    Returns [Error _] without serving if the socket path is already
+    live or cannot be bound. *)
+val run : config -> (unit, string) result

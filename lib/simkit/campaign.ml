@@ -5,18 +5,53 @@ type cell = {
   run : master:int -> salt:int -> Json.t;
 }
 
+type event =
+  | Started of {
+      name : string;
+      total : int;
+      pending : int;
+      reused : int;
+      corrupted : int;
+    }
+  | Cell_done of {
+      index : int;
+      address : string;
+      cached : bool;
+      done_ : int;
+      of_ : int;
+      elapsed_s : float;
+      cells_per_s : float;
+      eta_s : float;
+    }
+  | Corrupt_rerun of {
+      index : int;
+      address : string;
+      path : string;
+      reason : string;
+    }
+  | Finished of {
+      ran : int;
+      cached : int;
+      reused : int;
+      corrupted : int;
+      remaining : int;
+      manifest : string option;
+    }
+
 type config = {
   dir : string;
   master : int;
   resume : bool;
   max_cells : int option;
   domains : int option;
-  progress : string -> unit;
+  cache : Cellstore.t option;
+  progress : event -> unit;
 }
 
 type report = {
   total : int;
   ran : int;
+  cached : int;
   reused : int;
   corrupted : int;
   remaining : int;
@@ -27,7 +62,133 @@ let grid_schema = "cobra.campaign-grid/2"
 let cell_schema = "cobra.campaign-cell/1"
 let manifest_schema = "cobra.campaign/1"
 
+let cellid c = Cellid.make ~address:c.address ~meta:c.meta
+
 let salt_of_address a = Seeds.salt_of_tag ("campaign:" ^ a)
+
+(* ---------- events ---------- *)
+
+let event_to_json = function
+  | Started { name; total; pending; reused; corrupted } ->
+    Json.Obj
+      [
+        ("event", Json.String "started");
+        ("campaign", Json.String name);
+        ("total", Json.Int total);
+        ("pending", Json.Int pending);
+        ("reused", Json.Int reused);
+        ("corrupted", Json.Int corrupted);
+      ]
+  | Cell_done { index; address; cached; done_; of_; elapsed_s; cells_per_s; eta_s }
+    ->
+    Json.Obj
+      [
+        ("event", Json.String "cell");
+        ("index", Json.Int index);
+        ("address", Json.String address);
+        ("cached", Json.Bool cached);
+        ("done", Json.Int done_);
+        ("of", Json.Int of_);
+        ("elapsed_s", Json.Float elapsed_s);
+        ("cells_per_s", Json.Float cells_per_s);
+        ("eta_s", Json.Float eta_s);
+      ]
+  | Corrupt_rerun { index; address; path; reason } ->
+    Json.Obj
+      [
+        ("event", Json.String "corrupt");
+        ("index", Json.Int index);
+        ("address", Json.String address);
+        ("path", Json.String path);
+        ("reason", Json.String reason);
+      ]
+  | Finished { ran; cached; reused; corrupted; remaining; manifest } ->
+    Json.Obj
+      [
+        ("event", Json.String "finished");
+        ("ran", Json.Int ran);
+        ("cached", Json.Int cached);
+        ("reused", Json.Int reused);
+        ("corrupted", Json.Int corrupted);
+        ("remaining", Json.Int remaining);
+        ( "manifest",
+          match manifest with Some p -> Json.String p | None -> Json.Null );
+      ]
+
+let event_of_json doc =
+  let ( let* ) = Result.bind in
+  let str k =
+    match Option.bind (Json.member k doc) Json.to_string_opt with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "event: missing string field %S" k)
+  in
+  let int k =
+    match Json.member k doc with
+    | Some (Json.Int i) -> Ok i
+    | _ -> Error (Printf.sprintf "event: missing int field %S" k)
+  in
+  let flt k =
+    match Option.bind (Json.member k doc) Json.to_number with
+    | Some x -> Ok x
+    | None -> Error (Printf.sprintf "event: missing number field %S" k)
+  in
+  let* kind = str "event" in
+  match kind with
+  | "started" ->
+    let* name = str "campaign" in
+    let* total = int "total" in
+    let* pending = int "pending" in
+    let* reused = int "reused" in
+    let* corrupted = int "corrupted" in
+    Ok (Started { name; total; pending; reused; corrupted })
+  | "cell" ->
+    let* index = int "index" in
+    let* address = str "address" in
+    let cached = Json.member "cached" doc = Some (Json.Bool true) in
+    let* done_ = int "done" in
+    let* of_ = int "of" in
+    let* elapsed_s = flt "elapsed_s" in
+    let* cells_per_s = flt "cells_per_s" in
+    let* eta_s = flt "eta_s" in
+    Ok (Cell_done { index; address; cached; done_; of_; elapsed_s; cells_per_s; eta_s })
+  | "corrupt" ->
+    let* index = int "index" in
+    let* address = str "address" in
+    let* path = str "path" in
+    let* reason = str "reason" in
+    Ok (Corrupt_rerun { index; address; path; reason })
+  | "finished" ->
+    let* ran = int "ran" in
+    let* cached = int "cached" in
+    let* reused = int "reused" in
+    let* corrupted = int "corrupted" in
+    let* remaining = int "remaining" in
+    let manifest =
+      match Json.member "manifest" doc with
+      | Some (Json.String p) -> Some p
+      | _ -> None
+    in
+    Ok (Finished { ran; cached; reused; corrupted; remaining; manifest })
+  | k -> Error (Printf.sprintf "event: unknown kind %S" k)
+
+let event_to_string = function
+  | Started { name; total; pending; reused; corrupted } ->
+    Printf.sprintf "campaign %s: running %d of %d cells (%d reused, %d corrupt re-queued)"
+      name pending total reused corrupted
+  | Cell_done { index; address; cached; done_; of_; elapsed_s; cells_per_s; eta_s }
+    ->
+    Printf.sprintf "[%d/%d] cell #%d %s%s (%.1f cells/s, elapsed %.1fs, eta %.1fs)"
+      done_ of_ index address
+      (if cached then " [cached]" else "")
+      cells_per_s elapsed_s eta_s
+  | Corrupt_rerun { address; path; reason; _ } ->
+    Printf.sprintf "corrupt checkpoint %s: %s — re-running cell %S" path reason
+      address
+  | Finished { ran; cached; reused; corrupted; remaining; manifest } ->
+    Printf.sprintf
+      "finished: %d ran, %d cached, %d reused, %d corrupt re-run, %d remaining%s"
+      ran cached reused corrupted remaining
+      (match manifest with Some p -> "; manifest " ^ p | None -> "")
 
 (* ---------- filesystem helpers ---------- *)
 
@@ -139,7 +300,16 @@ let validate_cell ~name ~master cell path =
       else Error "payload digest mismatch"
     | _ -> Error "missing digest or payload")
 
-(* ---------- the engine ---------- *)
+(* ---------- the plan / execute / finalize layers ---------- *)
+
+type plan = {
+  p_name : string;
+  p_config : config;
+  p_cells : cell list;
+  p_pending : cell list;
+  p_reused : int;
+  p_corrupt : (cell * string * string) list;
+}
 
 let check_cells cells =
   let seen = Hashtbl.create 64 in
@@ -184,6 +354,71 @@ let load_or_init_grid config ~name ~cells =
     Ok ()
   end
 
+let plan config ~name ~cells =
+  match check_cells cells with
+  | Error _ as e -> e
+  | Ok () -> (
+    mkdir_p config.dir;
+    mkdir_p (Filename.concat config.dir "cells");
+    match load_or_init_grid config ~name ~cells with
+    | Error _ as e -> e
+    | Ok () ->
+      (* Classify every cell: a valid checkpoint is reused, anything
+         else (missing, or corrupt — which is reported, never silently
+         skipped) queues for execution. *)
+      let reused = ref 0 and corrupt = ref [] in
+      let pending =
+        List.filter
+          (fun c ->
+            let path = Filename.concat config.dir (cell_rel_path c.index) in
+            if not (Sys.file_exists path) then true
+            else
+              match validate_cell ~name ~master:config.master c path with
+              | Ok () ->
+                incr reused;
+                false
+              | Error reason ->
+                corrupt := (c, path, reason) :: !corrupt;
+                true)
+          cells
+      in
+      Ok
+        {
+          p_name = name;
+          p_config = config;
+          p_cells = cells;
+          p_pending = pending;
+          p_reused = !reused;
+          p_corrupt = List.rev !corrupt;
+        })
+
+let execute_cell plan cell =
+  let config = plan.p_config in
+  let id = cellid cell in
+  let payload, provenance =
+    match config.cache with
+    | None -> (cell.run ~master:config.master ~salt:(Cellid.salt id), `Ran)
+    | Some store -> (
+      match Cellstore.find store ~master:config.master id with
+      | Some payload -> (payload, `Cached)
+      | None ->
+        let payload = cell.run ~master:config.master ~salt:(Cellid.salt id) in
+        Cellstore.put store ~master:config.master id payload;
+        (payload, `Ran))
+  in
+  let doc = cell_doc ~name:plan.p_name ~master:config.master cell payload in
+  write_atomic
+    (Filename.concat config.dir (cell_rel_path cell.index))
+    (Json.to_string ~pretty:true doc ^ "\n");
+  provenance
+
+let remaining plan =
+  List.length
+    (List.filter
+       (fun c ->
+         not (Sys.file_exists (Filename.concat plan.p_config.dir (cell_rel_path c.index))))
+       plan.p_cells)
+
 let write_manifest config ~name cells =
   let entries =
     List.map
@@ -213,117 +448,106 @@ let write_manifest config ~name cells =
   write_atomic path (Json.to_string ~pretty:true doc ^ "\n");
   path
 
+let finalize plan =
+  if remaining plan = 0 then
+    Some (write_manifest plan.p_config ~name:plan.p_name plan.p_cells)
+  else None
+
+(* ---------- the batch driver ---------- *)
+
 let run config ~name ~cells =
-  match check_cells cells with
+  match plan config ~name ~cells with
   | Error _ as e -> e
-  | Ok () -> (
-    mkdir_p config.dir;
-    mkdir_p (Filename.concat config.dir "cells");
-    match load_or_init_grid config ~name ~cells with
-    | Error _ as e -> e
+  | Ok p ->
+    let total = List.length cells in
+    let corrupted = List.length p.p_corrupt in
+    let to_run =
+      match config.max_cells with
+      | None -> Array.of_list p.p_pending
+      | Some m -> Array.of_list (List.filteri (fun i _ -> i < m) p.p_pending)
+    in
+    let n_run = Array.length to_run in
+    let mutex = Mutex.create () in
+    let events = Eventlog.open_ ~path:(Filename.concat config.dir "events.jsonl") in
+    let emit e =
+      Eventlog.append events (event_to_json e);
+      config.progress e
+    in
+    emit
+      (Started { name; total; pending = n_run; reused = p.p_reused; corrupted });
+    List.iter
+      (fun (c, path, reason) ->
+        emit (Corrupt_rerun { index = c.index; address = c.address; path; reason }))
+      p.p_corrupt;
+    let t0 = Unix.gettimeofday () in
+    let finished = ref 0 and ran = ref 0 and cached = ref 0 in
+    let run_cell i =
+      let c = to_run.(i) in
+      let provenance = execute_cell p c in
+      Mutex.lock mutex;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock mutex)
+        (fun () ->
+          incr finished;
+          (match provenance with `Ran -> incr ran | `Cached -> incr cached);
+          let done_ = !finished in
+          let elapsed = Unix.gettimeofday () -. t0 in
+          let rate = if elapsed > 0.0 then float_of_int done_ /. elapsed else 0.0 in
+          let eta =
+            if rate > 0.0 then float_of_int (n_run - done_) /. rate else 0.0
+          in
+          emit
+            (Cell_done
+               {
+                 index = c.index;
+                 address = c.address;
+                 cached = (provenance = `Cached);
+                 done_;
+                 of_ = n_run;
+                 elapsed_s = elapsed;
+                 cells_per_s = rate;
+                 eta_s = eta;
+               }))
+    in
+    let outcome =
+      try
+        (match config.domains with
+        | Some d -> Pool.with_pool ~domains:d (fun pool -> Pool.run pool ~n:n_run run_cell)
+        | None -> Pool.run (Pool.default ()) ~n:n_run run_cell);
+        Ok ()
+      with exn ->
+        Error
+          (Printf.sprintf "cell execution failed: %s (completed cells are \
+                           checkpointed; re-run with --resume)"
+             (Printexc.to_string exn))
+    in
+    (match outcome with
+    | Error _ as e ->
+      Eventlog.close events;
+      e
     | Ok () ->
-      let total = List.length cells in
-      (* Classify every cell: a valid checkpoint is reused, anything
-         else (missing, or corrupt — which is reported, never silently
-         skipped) queues for execution. *)
-      let reused = ref 0 and corrupted = ref 0 in
-      let pending =
-        List.filter
-          (fun c ->
-            let path = Filename.concat config.dir (cell_rel_path c.index) in
-            if not (Sys.file_exists path) then true
-            else
-              match validate_cell ~name ~master:config.master c path with
-              | Ok () ->
-                incr reused;
-                false
-              | Error reason ->
-                incr corrupted;
-                config.progress
-                  (Printf.sprintf "corrupt checkpoint %s: %s — re-running cell %S"
-                     path reason c.address);
-                true)
-          cells
+      let remaining = List.length p.p_pending - n_run in
+      let manifest = if remaining = 0 then finalize p else None in
+      let report =
+        {
+          total;
+          ran = !ran;
+          cached = !cached;
+          reused = p.p_reused;
+          corrupted;
+          remaining;
+          manifest;
+        }
       in
-      let to_run =
-        match config.max_cells with
-        | None -> Array.of_list pending
-        | Some m -> Array.of_list (List.filteri (fun i _ -> i < m) pending)
-      in
-      let n_run = Array.length to_run in
-      let mutex = Mutex.create () in
-      let events_path = Filename.concat config.dir "events.jsonl" in
-      let events =
-        open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 events_path
-      in
-      let t0 = Unix.gettimeofday () in
-      let finished = ref 0 in
-      let run_cell i =
-        let c = to_run.(i) in
-        let salt = salt_of_address c.address in
-        let payload = c.run ~master:config.master ~salt in
-        let doc = cell_doc ~name ~master:config.master c payload in
-        write_atomic
-          (Filename.concat config.dir (cell_rel_path c.index))
-          (Json.to_string ~pretty:true doc ^ "\n");
-        Mutex.lock mutex;
-        Fun.protect
-          ~finally:(fun () -> Mutex.unlock mutex)
-          (fun () ->
-            incr finished;
-            let done_ = !finished in
-            let elapsed = Unix.gettimeofday () -. t0 in
-            let rate = if elapsed > 0.0 then float_of_int done_ /. elapsed else 0.0 in
-            let eta =
-              if rate > 0.0 then float_of_int (n_run - done_) /. rate else 0.0
-            in
-            config.progress
-              (Printf.sprintf "[%d/%d] cell #%d %s (%.1f cells/s, elapsed %.1fs, eta %.1fs)"
-                 done_ n_run c.index c.address rate elapsed eta);
-            let event =
-              Json.Obj
-                [
-                  ("event", Json.String "cell");
-                  ("index", Json.Int c.index);
-                  ("address", Json.String c.address);
-                  ("done", Json.Int done_);
-                  ("of", Json.Int n_run);
-                  ("elapsed_s", Json.Float elapsed);
-                  ("cells_per_s", Json.Float rate);
-                  ("eta_s", Json.Float eta);
-                ]
-            in
-            output_string events (Json.to_string event ^ "\n");
-            flush events)
-      in
-      let outcome =
-        Fun.protect
-          ~finally:(fun () -> close_out events)
-          (fun () ->
-            try
-              (match config.domains with
-              | Some d -> Pool.with_pool ~domains:d (fun pool -> Pool.run pool ~n:n_run run_cell)
-              | None -> Pool.run (Pool.default ()) ~n:n_run run_cell);
-              Ok ()
-            with exn ->
-              Error
-                (Printf.sprintf "cell execution failed: %s (completed cells are \
-                                 checkpointed; re-run with --resume)"
-                   (Printexc.to_string exn)))
-      in
-      match outcome with
-      | Error _ as e -> e
-      | Ok () ->
-        let remaining = List.length pending - n_run in
-        let manifest =
-          if remaining = 0 then Some (write_manifest config ~name cells) else None
-        in
-        Ok
-          {
-            total;
-            ran = n_run;
-            reused = !reused;
-            corrupted = !corrupted;
-            remaining;
-            manifest;
-          })
+      emit
+        (Finished
+           {
+             ran = !ran;
+             cached = !cached;
+             reused = p.p_reused;
+             corrupted;
+             remaining;
+             manifest;
+           });
+      Eventlog.close events;
+      Ok report)

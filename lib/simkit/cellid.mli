@@ -1,0 +1,73 @@
+(** First-class cell identity: canonical address + meta digest.
+
+    A campaign cell is identified by two orthogonal strings:
+
+    - its {e address} — the canonical position in the sweep grid
+      (["g=<spec>;k=<kernel>;b=<branching>"] for sweep grids), which
+      determines the cell's RNG salt and therefore {e which} streams the
+      cell draws from; and
+    - its {e meta digest} — the MD5 of the canonical JSON rendering of
+      the cell's identity-bearing metadata (trial count, base kernel
+      parameters, engine, backend …), which determines {e how} those
+      streams are consumed.
+
+    Together they are the cache key of the content-addressed result
+    store ({!Cellstore}): two cells with equal [(address, meta digest)]
+    under the same master seed are guaranteed — by the campaign engine's
+    determinism contract — to produce byte-identical payloads, so a
+    cached record is provably equal to a recompute.
+
+    Historically both strings were built ad hoc inside [Campaign] and
+    [Sweep.Grid]; this module is the single owner of their construction,
+    printing and parsing, with round-trip guarantees pinned by QCheck
+    tests in [test/simkit]. *)
+
+type t
+
+(** [meta_digest meta] is the 32-character lowercase hex MD5 of the
+    canonical (non-pretty) JSON rendering of [Json.Obj meta]. Field
+    order is significant: callers must build meta deterministically. *)
+val meta_digest : (string * Json.t) list -> string
+
+(** [make ~address ~meta] builds the identity of a cell. Raises
+    [Invalid_argument] if [address] is empty. *)
+val make : address:string -> meta:(string * Json.t) list -> t
+
+(** [of_parts ~address ~digest] rebuilds an identity from an already
+    computed digest (32 lowercase hex chars; errors otherwise). *)
+val of_parts : address:string -> digest:string -> (t, string) result
+
+val address : t -> string
+
+(** [digest id] is the meta digest, 32 lowercase hex characters. *)
+val digest : t -> string
+
+(** [salt id] is the cell's trial-salt base: a pure function of the
+    address alone (the historical [Campaign.salt_of_address] formula,
+    [Seeds.salt_of_tag ("campaign:" ^ address)]), so existing
+    checkpoints keep their salts. *)
+val salt : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+(** [to_string id] is ["<digest>:<address>"] — the digest is fixed-width
+    hex, so the encoding is unambiguous for every address. *)
+val to_string : t -> string
+
+(** [of_string s] parses {!to_string}'s output back; total inverse on
+    its image ([of_string (to_string id) = Ok id] for every [id]). *)
+val of_string : string -> (t, string) result
+
+(** Canonical grid addresses are [";"]-joined [key=value] parts.
+    [address_of_parts [(k1,v1); ...]] renders ["k1=v1;k2=v2;..."].
+    Raises [Invalid_argument] when a key is empty or contains ['='],
+    [';'] or newline, or a value contains [';'] or newline — the
+    reserved separators. *)
+val address_of_parts : (string * string) list -> string
+
+(** [parts_of_address a] splits a canonical address back into its parts;
+    inverse of {!address_of_parts} on valid part lists. Values keep any
+    ['='] they contain (only the first one per part separates). *)
+val parts_of_address : string -> ((string * string) list, string) result

@@ -1,0 +1,64 @@
+(** Content-addressed result cache for campaign cells.
+
+    A store maps [(master seed, cell identity)] — where the identity is
+    a {!Cellid.t}, i.e. [(canonical address, meta digest)] — to the
+    cell's payload. Because a cell's payload is a pure function of
+    [(master, salt)] and its salt is a pure function of the address,
+    while the meta digest pins every other identity-bearing parameter
+    (trials, base params, engine, backend), a stored payload is
+    {e provably byte-identical} to what a recompute would produce. This
+    is what makes the cache safe to share across users, campaigns and
+    daemon restarts: a hit is never an approximation.
+
+    Layout: one record per entry under [dir/<kk>/<key>.json] where
+    [key] is the MD5 of [(master, cell id)] and [<kk>] its first two hex
+    characters (a 256-way fan-out so directories stay small at millions
+    of entries). Records (schema {!schema}) carry the full address, meta
+    digest, salt and a payload digest; {!find} validates all of them, so
+    a corrupt or colliding record is treated as a miss (reported through
+    the miss counter) rather than trusted.
+
+    Writes are atomic (unique temp file + rename): concurrent writers —
+    multiple daemon worker threads, or a daemon and a batch sweep
+    sharing the store — can race on the same key and the survivor is a
+    complete record with the same bytes either way.
+
+    Hit/miss/put counters are atomic and process-wide per store handle,
+    suitable for daemon [stats] reporting. *)
+
+type t
+
+val schema : string
+(** ["cobra.cellstore/1"] *)
+
+(** [open_ ~dir] opens (creating if needed) the store rooted at [dir]. *)
+val open_ : dir:string -> t
+
+val dir : t -> string
+
+(** [key ~master id] is the 32-hex-character store key. *)
+val key : master:int -> Cellid.t -> string
+
+(** [path store ~master id] is the record path for the entry. *)
+val path : t -> master:int -> Cellid.t -> string
+
+(** [find store ~master id] is the validated payload, or [None] on a
+    miss (absent, unreadable, or failing any identity/digest check).
+    Updates the hit/miss counters. *)
+val find : t -> master:int -> Cellid.t -> Json.t option
+
+(** [put store ~master id payload] writes the entry atomically,
+    overwriting any previous record for the key. *)
+val put : t -> master:int -> Cellid.t -> Json.t -> unit
+
+type stats = {
+  hits : int;  (** successful {!find}s *)
+  misses : int;  (** failed {!find}s (absent or invalid) *)
+  puts : int;  (** records written *)
+}
+
+val stats : t -> stats
+
+(** [entries store] counts the records currently on disk (a directory
+    walk; intended for observability, not hot paths). *)
+val entries : t -> int

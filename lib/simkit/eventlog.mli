@@ -1,0 +1,35 @@
+(** Append-only JSONL event logs safe for concurrent tailing.
+
+    Campaign progress streams ([events.jsonl]) are consumed while they
+    are being written — by [cobra client watch] through the daemon's
+    tail loop, or by any `tail -f`. That only works if a reader can
+    never observe a torn line. This module pins the required discipline:
+    the file is opened with [O_APPEND] and every event is written as
+    {e one} [write(2)] of the complete ["<json>\n"] line
+    ([Unix.single_write]), so concurrent readers see each line either
+    absent or whole, and concurrent writers (even across processes)
+    interleave at line granularity. [test/simkit]'s tail-while-writing
+    test drives a reader against a live writer to pin the property. *)
+
+type t
+
+(** [open_ ~path] opens [path] for appending, creating it (and missing
+    parent directories) if needed. *)
+val open_ : path:string -> t
+
+val path : t -> string
+
+(** [append log doc] appends [doc] as one newline-terminated line in a
+    single write. [doc] must not itself render a newline (JSON never
+    does). *)
+val append : t -> Json.t -> unit
+
+val close : t -> unit
+
+(** [with_log ~path f] runs [f] over a fresh log, always closing it. *)
+val with_log : path:string -> (t -> 'a) -> 'a
+
+(** [read_lines path] parses every complete (newline-terminated) line of
+    [path] as JSON, in order — the reader side of the contract. A
+    missing file is an empty list; an unparseable line is an error. *)
+val read_lines : string -> (Json.t list, string) result

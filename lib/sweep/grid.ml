@@ -356,10 +356,17 @@ let cells grid =
         (fun kernel ->
           List.iter
             (fun branching ->
+              (* Canonical address via Cellid so reserved characters are
+                 rejected rather than silently producing an ambiguous
+                 address; renders as "g=<spec>;k=<kernel>;b=<branching>",
+                 byte-identical to the historical sprintf. *)
               let address =
-                Printf.sprintf "g=%s;k=%s;b=%s" (Graph.Spec.to_string spec)
-                  kernel.K.name
-                  (Cobra.Branching.to_arg branching)
+                Simkit.Cellid.address_of_parts
+                  [
+                    ("g", Graph.Spec.to_string spec);
+                    ("k", kernel.K.name);
+                    ("b", Cobra.Branching.to_arg branching);
+                  ]
               in
               let meta =
                 [

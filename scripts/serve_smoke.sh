@@ -1,0 +1,95 @@
+#!/bin/sh
+# End-to-end drill for the campaign service (cobra serve / cobra client):
+#
+#   1. run the smoke grid through the batch `cobra sweep` path (reference);
+#   2. start the daemon with a shared result cache, submit the same grid,
+#      kill -9 the daemon once at least 3 cells have landed;
+#   3. restart the daemon, resubmit with --resume, and require the
+#      manifest and every cell checkpoint to be byte-identical to the
+#      batch reference;
+#   4. submit the same work to a third directory and require it to be
+#      served 100% from the content-addressed cache (0 ran);
+#   5. graceful shutdown.
+#
+# Honors COBRA_DOMAINS like every other drill (the daemon pool defaults
+# to it), so CI runs this at pool widths 1 and 2.
+set -eu
+
+BIN=_build/default/bin/main.exe
+# Wider than the sweep-smoke grid (18 cells) so the SIGKILL below has a
+# real campaign to land in the middle of.
+GRID='name=smoke;graphs=cycle:12,complete:8,cycle:16,complete:10,cycle:20,complete:12;kernels=cobra,bips,sis;trials=3'
+N_CELLS=18
+SOCK=_results/serve-smoke.sock
+CACHE=_results/serve-cache
+
+rm -rf _results/serve-a _results/serve-b _results/serve-c "$CACHE" "$SOCK"
+dune build bin/main.exe
+
+DAEMON=
+cleanup() {
+  [ -n "$DAEMON" ] && kill "$DAEMON" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+start_daemon() {
+  "$BIN" serve --socket "$SOCK" --cache "$CACHE" &
+  DAEMON=$!
+  i=0
+  while [ ! -S "$SOCK" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+      echo "serve-smoke: daemon socket never appeared" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+}
+
+# 1. Batch reference (no daemon, no cache).
+"$BIN" sweep --grid "$GRID" --out _results/serve-a --seed 5
+
+# 2. Daemon run, killed without warning mid-campaign.
+start_daemon
+"$BIN" client submit --socket "$SOCK" --grid "$GRID" --out _results/serve-b --seed 5
+i=0
+while :; do
+  n=$(grep -c '"event":"cell"' _results/serve-b/events.jsonl 2>/dev/null || true)
+  [ "${n:-0}" -ge 3 ] && break
+  i=$((i + 1))
+  if [ "$i" -gt 2000 ]; then
+    echo "serve-smoke: never saw 3 cell events" >&2
+    exit 1
+  fi
+  sleep 0.01
+done
+kill -9 "$DAEMON"
+wait "$DAEMON" 2>/dev/null || true
+DAEMON=
+rm -f "$SOCK"
+
+# 3. Restart, resume, and require byte-identity with the batch path.
+start_daemon
+"$BIN" client submit --socket "$SOCK" --grid "$GRID" --out _results/serve-b \
+  --seed 5 --resume --watch
+cmp _results/serve-a/manifest.json _results/serve-b/manifest.json
+for f in _results/serve-a/cells/*.json; do
+  cmp "$f" "_results/serve-b/cells/$(basename "$f")"
+done
+
+# 4. Identical work to a fresh directory: served entirely from the cache.
+out=$("$BIN" client submit --socket "$SOCK" --grid "$GRID" \
+  --out _results/serve-c --seed 5 --watch)
+echo "$out"
+echo "$out" | grep -q "(0 ran, $N_CELLS cached" || {
+  echo "serve-smoke: resubmission was not 100% cache hits" >&2
+  exit 1
+}
+cmp _results/serve-a/manifest.json _results/serve-c/manifest.json
+
+# 5. Graceful shutdown.
+"$BIN" client shutdown --socket "$SOCK"
+wait "$DAEMON"
+DAEMON=
+
+echo "serve-smoke: kill -9 resumed byte-identical; resubmission 100% cached"

@@ -478,10 +478,10 @@ let test_artifact_json_doc () =
 
 (* ---------- Sink ---------- *)
 
-let with_temp_dir f =
+let with_temp_dir ?(prefix = "cobra_sink") f =
   let dir =
     Filename.concat (Filename.get_temp_dir_name ())
-      (Printf.sprintf "cobra_sink_%d" (Unix.getpid ()))
+      (Printf.sprintf "%s_%d" prefix (Unix.getpid ()))
   in
   let rec rm path =
     if Sys.is_directory path then begin
@@ -572,8 +572,9 @@ let campaign_dir =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "campaign_test_%d_%d" (Unix.getpid ()) !counter)
 
-let campaign_config ?(resume = false) ?max_cells ?(progress = ignore) dir =
-  { Simkit.Campaign.dir; master = 11; resume; max_cells; domains = Some 1; progress }
+let campaign_config ?(resume = false) ?max_cells ?cache ?(progress = ignore) dir =
+  { Simkit.Campaign.dir; master = 11; resume; max_cells; domains = Some 1; cache;
+    progress }
 
 let slurp path =
   let ic = open_in_bin path in
@@ -710,7 +711,9 @@ let test_campaign_corrupt_checkpoint_rerun () =
     check Alcotest.int "reused the valid ones" 2 r.Simkit.Campaign.reused;
     check Alcotest.int "re-ran corrupt + missing" 2 r.Simkit.Campaign.ran;
     check Alcotest.bool "corruption reported" true
-      (List.exists (fun l -> contains l "corrupt") !lines);
+      (List.exists
+         (function Simkit.Campaign.Corrupt_rerun _ -> true | _ -> false)
+         !lines);
     check Alcotest.string "corrupt record re-written with original bytes" good
       (slurp victim)
 
@@ -756,6 +759,302 @@ let test_campaign_salt_is_address_pure () =
   check Alcotest.bool "different address, different salt" true
     (Simkit.Campaign.salt_of_address "cell=0"
      <> Simkit.Campaign.salt_of_address "cell=1")
+
+(* ---------- cellid ---------- *)
+
+let meta_gen =
+  QCheck.(
+    small_list
+      (pair
+         (string_gen_of_size Gen.(1 -- 8) Gen.printable)
+         (map (fun i -> Simkit.Json.Int i) small_int)))
+
+let cellid_string_roundtrip_prop =
+  QCheck.Test.make ~name:"cellid to_string/of_string round-trips" ~count:300
+    QCheck.(pair (string_gen_of_size Gen.(1 -- 30) Gen.printable) meta_gen)
+    (fun (address, meta) ->
+      QCheck.assume (address <> "");
+      let id = Simkit.Cellid.make ~address ~meta in
+      match Simkit.Cellid.of_string (Simkit.Cellid.to_string id) with
+      | Error e -> QCheck.Test.fail_reportf "parse failed: %s" e
+      | Ok id' ->
+        Simkit.Cellid.equal id id'
+        && Simkit.Cellid.address id' = address
+        && Simkit.Cellid.salt id' = Simkit.Campaign.salt_of_address address)
+
+let address_part_gen =
+  (* Keys exclude '=', ';', '\n'; values exclude ';', '\n'. *)
+  QCheck.(
+    pair
+      (string_gen_of_size Gen.(1 -- 6)
+         (Gen.oneofl [ 'a'; 'b'; 'g'; 'k'; '_'; '.'; '-' ]))
+      (string_gen_of_size Gen.(0 -- 10)
+         (Gen.oneofl [ 'x'; 'y'; '0'; '9'; ':'; ','; '='; ' ' ])))
+
+let address_parts_roundtrip_prop =
+  QCheck.Test.make ~name:"address parts round-trip" ~count:300
+    QCheck.(list_of_size Gen.(1 -- 5) address_part_gen)
+    (fun parts ->
+      let a = Simkit.Cellid.address_of_parts parts in
+      match Simkit.Cellid.parts_of_address a with
+      | Error e -> QCheck.Test.fail_reportf "parse failed on %S: %s" a e
+      | Ok parts' -> parts' = parts)
+
+let test_cellid_validation () =
+  (match Simkit.Cellid.of_parts ~address:"a" ~digest:"nothex" with
+  | Ok _ -> Alcotest.fail "expected a bad digest to be rejected"
+  | Error _ -> ());
+  (match Simkit.Cellid.of_string "tooshort:a" with
+  | Ok _ -> Alcotest.fail "expected a malformed encoding to be rejected"
+  | Error _ -> ());
+  (try
+     ignore (Simkit.Cellid.address_of_parts [ ("k=ey", "v") ]);
+     Alcotest.fail "expected '=' in key to be rejected"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Simkit.Cellid.address_of_parts [ ("k", "a;b") ]);
+     Alcotest.fail "expected ';' in value to be rejected"
+   with Invalid_argument _ -> ());
+  (* The sweep-grid address shape is preserved byte-for-byte. *)
+  check Alcotest.string "sweep address shape" "g=cycle:12;k=cobra;b=k=2"
+    (Simkit.Cellid.address_of_parts
+       [ ("g", "cycle:12"); ("k", "cobra"); ("b", "k=2") ])
+
+let test_cellid_meta_digest_sensitivity () =
+  let meta = [ ("trials", Json.Int 3) ] in
+  let id1 = Simkit.Cellid.make ~address:"a" ~meta in
+  let id2 = Simkit.Cellid.make ~address:"a" ~meta:[ ("trials", Json.Int 4) ] in
+  let id3 = Simkit.Cellid.make ~address:"a" ~meta in
+  check Alcotest.bool "same meta, same digest" true (Simkit.Cellid.equal id1 id3);
+  check Alcotest.bool "different meta, different digest" false
+    (Simkit.Cellid.equal id1 id2);
+  check Alcotest.int "salt ignores meta" (Simkit.Cellid.salt id1)
+    (Simkit.Cellid.salt id2)
+
+(* ---------- cellstore ---------- *)
+
+let test_cellstore_put_find () =
+  with_temp_dir ~prefix:"cellstore" (fun dir ->
+      let store = Simkit.Cellstore.open_ ~dir in
+      let id = Simkit.Cellid.make ~address:"cell=0" ~meta:[ ("t", Json.Int 1) ] in
+      let payload = Json.Obj [ ("v", Json.Int 42) ] in
+      check Alcotest.bool "empty store misses" true
+        (Simkit.Cellstore.find store ~master:7 id = None);
+      Simkit.Cellstore.put store ~master:7 id payload;
+      check Alcotest.bool "hit returns the payload" true
+        (Simkit.Cellstore.find store ~master:7 id = Some payload);
+      check Alcotest.bool "different master misses" true
+        (Simkit.Cellstore.find store ~master:8 id = None);
+      let other =
+        Simkit.Cellid.make ~address:"cell=0" ~meta:[ ("t", Json.Int 2) ]
+      in
+      check Alcotest.bool "different meta digest misses" true
+        (Simkit.Cellstore.find store ~master:7 other = None);
+      let st = Simkit.Cellstore.stats store in
+      check Alcotest.int "hits" 1 st.Simkit.Cellstore.hits;
+      check Alcotest.int "misses" 3 st.Simkit.Cellstore.misses;
+      check Alcotest.int "puts" 1 st.Simkit.Cellstore.puts;
+      check Alcotest.int "entries" 1 (Simkit.Cellstore.entries store))
+
+let test_cellstore_corrupt_record_is_a_miss () =
+  with_temp_dir ~prefix:"cellstore" (fun dir ->
+      let store = Simkit.Cellstore.open_ ~dir in
+      let id = Simkit.Cellid.make ~address:"cell=1" ~meta:[] in
+      let payload = Json.Obj [ ("v", Json.Int 1) ] in
+      Simkit.Cellstore.put store ~master:3 id payload;
+      let path = Simkit.Cellstore.path store ~master:3 id in
+      spew path (replace_once (slurp path) "\"v\"" "\"w\"");
+      check Alcotest.bool "tampered record degrades to a miss" true
+        (Simkit.Cellstore.find store ~master:3 id = None);
+      spew path "not json at all";
+      check Alcotest.bool "unparseable record degrades to a miss" true
+        (Simkit.Cellstore.find store ~master:3 id = None))
+
+(* ---------- campaign x cache ---------- *)
+
+let test_campaign_second_run_is_all_cache_hits () =
+  with_temp_dir ~prefix:"cellcache" (fun cache_dir ->
+      let store = Simkit.Cellstore.open_ ~dir:cache_dir in
+      let executions = ref 0 in
+      let cells = synth_cells ~executions 5 in
+      let dir1 = campaign_dir () and dir2 = campaign_dir () in
+      (match
+         Simkit.Campaign.run (campaign_config ~cache:store dir1) ~name:"synth"
+           ~cells
+       with
+      | Error msg -> Alcotest.fail msg
+      | Ok r ->
+        check Alcotest.int "first run executes everything" 5 r.Simkit.Campaign.ran;
+        check Alcotest.int "first run has no cache hits" 0
+          r.Simkit.Campaign.cached);
+      check Alcotest.int "five executions so far" 5 !executions;
+      (match
+         Simkit.Campaign.run (campaign_config ~cache:store dir2) ~name:"synth"
+           ~cells
+       with
+      | Error msg -> Alcotest.fail msg
+      | Ok r ->
+        check Alcotest.int "second run executes nothing" 0 r.Simkit.Campaign.ran;
+        check Alcotest.int "second run is 100% cache hits" 5
+          r.Simkit.Campaign.cached;
+        check Alcotest.bool "second run still completes" true
+          (r.Simkit.Campaign.manifest <> None));
+      check Alcotest.int "run was never invoked again" 5 !executions;
+      (* Byte-identity of the cached path with the computed path. *)
+      check Alcotest.string "manifests byte-identical"
+        (slurp (Filename.concat dir1 "manifest.json"))
+        (slurp (Filename.concat dir2 "manifest.json"));
+      for i = 0 to 4 do
+        let f = Printf.sprintf "cells/cell_%05d.json" i in
+        check Alcotest.string ("cell byte-identical: " ^ f)
+          (slurp (Filename.concat dir1 f))
+          (slurp (Filename.concat dir2 f))
+      done)
+
+let test_campaign_cache_misses_on_different_identity () =
+  with_temp_dir ~prefix:"cellcache" (fun cache_dir ->
+      let store = Simkit.Cellstore.open_ ~dir:cache_dir in
+      let executions = ref 0 in
+      let run_with ~meta ~config_of_dir =
+        let cells =
+          List.map
+            (fun c -> { c with Simkit.Campaign.meta })
+            (synth_cells ~executions 3)
+        in
+        match
+          Simkit.Campaign.run (config_of_dir (campaign_dir ())) ~name:"synth"
+            ~cells
+        with
+        | Error msg -> Alcotest.fail msg
+        | Ok r -> r
+      in
+      let meta1 = [ ("trials", Json.Int 3) ] in
+      let meta2 = [ ("trials", Json.Int 4) ] in
+      let _ = run_with ~meta:meta1 ~config_of_dir:(campaign_config ~cache:store) in
+      check Alcotest.int "first run executed" 3 !executions;
+      (* Same addresses, different meta: every cell must miss. *)
+      let r = run_with ~meta:meta2 ~config_of_dir:(campaign_config ~cache:store) in
+      check Alcotest.int "different meta re-executes" 3 r.Simkit.Campaign.ran;
+      check Alcotest.int "no false hits" 0 r.Simkit.Campaign.cached;
+      check Alcotest.int "six executions total" 6 !executions;
+      (* Different master seed: also a miss. *)
+      let cells = List.map (fun c -> { c with Simkit.Campaign.meta = meta1 })
+          (synth_cells ~executions 3) in
+      let config =
+        { (campaign_config ~cache:store (campaign_dir ())) with
+          Simkit.Campaign.master = 12 }
+      in
+      (match Simkit.Campaign.run config ~name:"synth" ~cells with
+      | Error msg -> Alcotest.fail msg
+      | Ok r ->
+        check Alcotest.int "different master re-executes" 3 r.Simkit.Campaign.ran);
+      check Alcotest.int "nine executions total" 9 !executions)
+
+(* ---------- campaign events ---------- *)
+
+let event_samples =
+  [
+    Simkit.Campaign.Started
+      { name = "s"; total = 6; pending = 4; reused = 1; corrupted = 1 };
+    Simkit.Campaign.Cell_done
+      {
+        index = 2;
+        address = "cell=2";
+        cached = true;
+        done_ = 3;
+        of_ = 4;
+        elapsed_s = 1.5;
+        cells_per_s = 2.0;
+        eta_s = 0.5;
+      };
+    Simkit.Campaign.Corrupt_rerun
+      { index = 1; address = "cell=1"; path = "cells/cell_00001.json"; reason = "digest" };
+    Simkit.Campaign.Finished
+      { ran = 2; cached = 1; reused = 1; corrupted = 1; remaining = 0;
+        manifest = Some "m.json" };
+    Simkit.Campaign.Finished
+      { ran = 0; cached = 0; reused = 0; corrupted = 0; remaining = 3;
+        manifest = None };
+  ]
+
+let test_campaign_event_json_roundtrip () =
+  List.iter
+    (fun e ->
+      match Simkit.Campaign.event_of_json (Simkit.Campaign.event_to_json e) with
+      | Error msg -> Alcotest.failf "round-trip failed: %s" msg
+      | Ok e' ->
+        check Alcotest.bool
+          ("round-trips: " ^ Simkit.Campaign.event_to_string e)
+          true (e = e'))
+    event_samples
+
+let test_campaign_events_jsonl_written () =
+  let dir = campaign_dir () in
+  let cells = synth_cells 3 in
+  (match Simkit.Campaign.run (campaign_config dir) ~name:"synth" ~cells with
+  | Error msg -> Alcotest.fail msg
+  | Ok _ -> ());
+  match Simkit.Eventlog.read_lines (Filename.concat dir "events.jsonl") with
+  | Error msg -> Alcotest.fail msg
+  | Ok lines ->
+    let events = List.map Simkit.Campaign.event_of_json lines in
+    check Alcotest.bool "every line parses as an event" true
+      (List.for_all Result.is_ok events);
+    (* started + one per cell + finished *)
+    check Alcotest.int "line count" 5 (List.length lines);
+    match (List.hd events, List.nth events 4) with
+    | Ok (Simkit.Campaign.Started { total = 3; _ }),
+      Ok (Simkit.Campaign.Finished { ran = 3; remaining = 0; _ }) ->
+      ()
+    | _ -> Alcotest.fail "unexpected event sequence"
+
+(* ---------- eventlog ---------- *)
+
+let test_eventlog_tail_while_writing () =
+  with_temp_dir ~prefix:"eventlog" (fun dir ->
+      let path = Filename.concat dir "events.jsonl" in
+      let n = 500 in
+      let stop = Atomic.make false in
+      (* The reader hammers read_lines while the writer appends: the
+         atomic-line contract means it must never see a torn line (a
+         parse error) and must always see a prefix of the stream. *)
+      let reader =
+        Thread.create
+          (fun () ->
+            let max_seen = ref 0 in
+            while not (Atomic.get stop) do
+              (match Simkit.Eventlog.read_lines path with
+              | Error msg -> Alcotest.failf "torn or bad line observed: %s" msg
+              | Ok lines ->
+                let k = List.length lines in
+                if k < !max_seen then
+                  Alcotest.failf "stream shrank: %d after %d" k !max_seen;
+                max_seen := k;
+                List.iteri
+                  (fun i doc ->
+                    match Json.member "i" doc with
+                    | Some (Json.Int j) when j = i -> ()
+                    | _ -> Alcotest.failf "line %d is not event %d" i i)
+                  lines);
+              Thread.yield ()
+            done)
+          ()
+      in
+      Simkit.Eventlog.with_log ~path (fun log ->
+          for i = 0 to n - 1 do
+            Simkit.Eventlog.append log
+              (Json.Obj
+                 [
+                   ("i", Json.Int i);
+                   ("pad", Json.String (String.make (i mod 97) 'x'));
+                 ]);
+            if i mod 50 = 0 then Thread.yield ()
+          done);
+      Atomic.set stop true;
+      Thread.join reader;
+      match Simkit.Eventlog.read_lines path with
+      | Error msg -> Alcotest.fail msg
+      | Ok lines -> check Alcotest.int "all lines present" n (List.length lines))
 
 let () =
   Alcotest.run "simkit"
@@ -848,5 +1147,33 @@ let () =
             test_campaign_rejects_bad_cells;
           Alcotest.test_case "salt is pure in the address" `Quick
             test_campaign_salt_is_address_pure;
+          Alcotest.test_case "second run over a shared cache is all hits" `Quick
+            test_campaign_second_run_is_all_cache_hits;
+          Alcotest.test_case "cache misses on different identity" `Quick
+            test_campaign_cache_misses_on_different_identity;
+          Alcotest.test_case "event json round-trips" `Quick
+            test_campaign_event_json_roundtrip;
+          Alcotest.test_case "events.jsonl written" `Quick
+            test_campaign_events_jsonl_written;
+        ] );
+      ( "cellid",
+        [
+          qtest cellid_string_roundtrip_prop;
+          qtest address_parts_roundtrip_prop;
+          Alcotest.test_case "validation" `Quick test_cellid_validation;
+          Alcotest.test_case "meta digest sensitivity" `Quick
+            test_cellid_meta_digest_sensitivity;
+        ] );
+      ( "cellstore",
+        [
+          Alcotest.test_case "put/find with identity checks" `Quick
+            test_cellstore_put_find;
+          Alcotest.test_case "corrupt record is a miss" `Quick
+            test_cellstore_corrupt_record_is_a_miss;
+        ] );
+      ( "eventlog",
+        [
+          Alcotest.test_case "tail while writing sees no torn lines" `Quick
+            test_eventlog_tail_while_writing;
         ] );
     ]

@@ -757,10 +757,10 @@ let fresh_dir =
     in
     dir
 
-let run_campaign ~dir ~domains ~resume ?max_cells cells =
+let run_campaign ~dir ~domains ~resume ?max_cells ?cache cells =
   Simkit.Campaign.run
     { Simkit.Campaign.dir; master = 9; resume; max_cells; domains = Some domains;
-      progress = ignore }
+      cache; progress = ignore }
     ~name:"equiv" ~cells
 
 let test_resume_byte_identical () =
@@ -851,6 +851,51 @@ let test_new_kernels_resume_byte_identical () =
       in
       compare_dirs "resume" dir_b;
       compare_dirs "domains=2" dir_c)
+
+(* The content-addressed result cache: a second campaign over the same
+   grid (fresh directory, shared store) must complete without running a
+   single cell, and its artifacts must be byte-identical to the
+   computed ones. A grid differing in trials must miss every entry. *)
+let test_cache_second_campaign_all_hits () =
+  let grid_of s =
+    match Sweep.Grid.of_inline s with
+    | Ok g -> g
+    | Error msg -> Alcotest.fail msg
+  in
+  let base = "name=equiv;graphs=cycle:12,complete:8;kernels=cobra,sis" in
+  let cells = Sweep.Grid.cells (grid_of (base ^ ";trials=3")) in
+  let cache = fresh_dir () in
+  let store = Simkit.Cellstore.open_ ~dir:cache in
+  let dir_a = fresh_dir () and dir_b = fresh_dir () and dir_c = fresh_dir () in
+  (match run_campaign ~dir:dir_a ~domains:1 ~resume:false ~cache:store cells with
+  | Ok r ->
+    check Alcotest.int "first run computes all cells" 4 r.Simkit.Campaign.ran;
+    check Alcotest.int "first run has no hits" 0 r.Simkit.Campaign.cached
+  | Error msg -> Alcotest.fail msg);
+  (match run_campaign ~dir:dir_b ~domains:2 ~resume:false ~cache:store cells with
+  | Ok r ->
+    check Alcotest.int "second run computes nothing" 0 r.Simkit.Campaign.ran;
+    check Alcotest.int "second run is 100% cache hits" 4 r.Simkit.Campaign.cached;
+    check Alcotest.int "second run completes" 0 r.Simkit.Campaign.remaining
+  | Error msg -> Alcotest.fail msg);
+  check Alcotest.string "cached campaign manifest byte-identical"
+    (read_file (Filename.concat dir_a "manifest.json"))
+    (read_file (Filename.concat dir_b "manifest.json"));
+  List.iter
+    (fun c ->
+      let f = Printf.sprintf "cells/cell_%05d.json" c.Simkit.Campaign.index in
+      check Alcotest.string ("cached cell byte-identical: " ^ f)
+        (read_file (Filename.concat dir_a f))
+        (read_file (Filename.concat dir_b f)))
+    cells;
+  (* Changing trials changes the meta digest: every lookup must miss. *)
+  let cells4 = Sweep.Grid.cells (grid_of (base ^ ";trials=4")) in
+  match run_campaign ~dir:dir_c ~domains:1 ~resume:false ~cache:store cells4 with
+  | Ok r ->
+    check Alcotest.int "different trials recompute" 4 r.Simkit.Campaign.ran;
+    check Alcotest.int "no false hits across trial counts" 0
+      r.Simkit.Campaign.cached
+  | Error msg -> Alcotest.fail msg
 
 (* Regression: the campaign identity must cover trials and base
    parameters, which cell addresses alone don't encode — resuming after
@@ -1193,6 +1238,8 @@ let () =
             test_new_kernels_resume_byte_identical;
           Alcotest.test_case "resume refuses changed trials/params" `Quick
             test_resume_refuses_changed_params;
+          Alcotest.test_case "shared cache serves a second campaign" `Quick
+            test_cache_second_campaign_all_hits;
           Alcotest.test_case "backend parses from inline and json" `Quick
             test_grid_backend_parse;
           Alcotest.test_case "backend=heap meta is omitted" `Quick
