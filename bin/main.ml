@@ -422,15 +422,20 @@ let client_cmd =
     in
     let run socket grid out client resume watch seed =
       let master = Simkit.Seeds.master ~default:seed () in
-      let grid =
+      (* Mirror Sweep.Grid.load: an existing file that fails to parse is
+         a user error to report, not an inline grid to forward. *)
+      let grid_result =
         if Sys.file_exists grid then
           match Simkit.Json.of_file grid with
-          | Ok doc -> `Doc doc
-          | Error _ -> `Inline grid
-        else `Inline grid
+          | Ok doc -> Ok (`Doc doc)
+          | Error e -> Error (Printf.sprintf "%s: %s" grid e)
+        else Ok (`Inline grid)
       in
-      let s = { Serve.Protocol.client; grid; out; master; resume } in
-      match Serve.Client.request ~socket (Serve.Protocol.Submit s) with
+      match
+        Result.bind grid_result (fun grid ->
+            let s = { Serve.Protocol.client; grid; out; master; resume } in
+            Serve.Client.request ~socket (Serve.Protocol.Submit s))
+      with
       | Error msg -> fail msg
       | Ok doc ->
         print_status doc;

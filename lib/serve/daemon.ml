@@ -48,6 +48,11 @@ type job = {
   mutable error : string option;
 }
 
+(* A submission admitted but still planning (Campaign.plan runs with
+   the lock released): holds its quota slot and output directory until
+   the job registers or the plan fails. *)
+type reservation = { r_client : string; r_dir : string; r_cells : int }
+
 type t = {
   config : config;
   store : Cellstore.t option;
@@ -56,6 +61,7 @@ type t = {
   cond : Condition.t;
   jobs : (string, job) Hashtbl.t;
   mutable order : string list;  (* submission order: round-robin + stats *)
+  mutable reserved : reservation list;
   mutable seq : int;
   mutable stop : bool;
 }
@@ -94,6 +100,9 @@ let client_inflight t client =
   iter_jobs t (fun j ->
       if active j && j.client = client then
         n := !n + List.length j.queue + j.inflight);
+  List.iter
+    (fun r -> if r.r_client = client then n := !n + r.r_cells)
+    t.reserved;
   !n
 
 let job_fields job =
@@ -251,98 +260,153 @@ let submit t (s : Protocol.submit) =
   | Ok grid -> (
     let cells = Sweep.Grid.cells grid in
     let n_cells = List.length cells in
-    Mutex.lock t.mu;
-    Fun.protect
-      ~finally:(fun () -> Mutex.unlock t.mu)
-      (fun () ->
-        if t.stop then err Protocol.Busy "daemon is shutting down"
-        else if n_cells > t.config.max_cells_per_submit then
-          err Protocol.Quota_exceeded
-            "submission expands to %d cells; the per-submission quota is %d"
-            n_cells t.config.max_cells_per_submit
-        else if
-          client_inflight t s.Protocol.client + n_cells
-          > t.config.max_inflight_per_client
-        then
-          err Protocol.Quota_exceeded
-            "client %S would have %d cells in flight; the quota is %d"
-            s.Protocol.client
-            (client_inflight t s.Protocol.client + n_cells)
-            t.config.max_inflight_per_client
-        else if count_jobs t active >= t.config.max_jobs + t.config.queue_depth
-        then
-          err Protocol.Busy "%d campaigns already active (max %d running + %d queued)"
-            (count_jobs t active) t.config.max_jobs t.config.queue_depth
-        else if
-          count_jobs t (fun j -> active j && j.dir = s.Protocol.out) > 0
-        then err Protocol.Busy "an active campaign already owns directory %s" s.Protocol.out
-        else
-          let campaign_config =
+    if n_cells > t.config.max_cells_per_submit then
+      err Protocol.Quota_exceeded
+        "submission expands to %d cells; the per-submission quota is %d"
+        n_cells t.config.max_cells_per_submit
+    else begin
+      (* Canonicalize the output directory so two spellings of one path
+         ("out", "./out", "out/") cannot be admitted concurrently and
+         race on the same checkpoints. *)
+      mkdir_p s.Protocol.out;
+      let dir =
+        try Unix.realpath s.Protocol.out
+        with Unix.Unix_error _ | Sys_error _ -> s.Protocol.out
+      in
+      let reservation =
+        { r_client = s.Protocol.client; r_dir = dir; r_cells = n_cells }
+      in
+      Mutex.lock t.mu;
+      let admitted =
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock t.mu)
+          (fun () ->
+            if t.stop then err Protocol.Busy "daemon is shutting down"
+            else if
+              client_inflight t s.Protocol.client + n_cells
+              > t.config.max_inflight_per_client
+            then
+              err Protocol.Quota_exceeded
+                "client %S would have %d cells in flight; the quota is %d"
+                s.Protocol.client
+                (client_inflight t s.Protocol.client + n_cells)
+                t.config.max_inflight_per_client
+            else if
+              count_jobs t active + List.length t.reserved
+              >= t.config.max_jobs + t.config.queue_depth
+            then
+              err Protocol.Busy "%d campaigns already active (max %d running + %d queued)"
+                (count_jobs t active + List.length t.reserved)
+                t.config.max_jobs t.config.queue_depth
+            else if
+              count_jobs t (fun j -> active j && j.dir = dir) > 0
+              || List.exists (fun r -> r.r_dir = dir) t.reserved
+            then err Protocol.Busy "an active campaign already owns directory %s" dir
+            else begin
+              t.reserved <- reservation :: t.reserved;
+              t.seq <- t.seq + 1;
+              Ok (Printf.sprintf "job-%06d" t.seq)
+            end)
+      in
+      let release () =
+        t.reserved <- List.filter (fun r -> r != reservation) t.reserved
+      in
+      match admitted with
+      | Error _ as e -> e
+      | Ok id -> (
+        let campaign_config =
+          {
+            Campaign.dir;
+            master = s.Protocol.master;
+            resume = s.Protocol.resume;
+            max_cells = None;
+            domains = Some 1;  (* unused: the daemon drives execute_cell itself *)
+            cache = t.store;
+            progress = ignore;
+          }
+        in
+        (* Planning (stat + parse + digest of existing checkpoints) can
+           take seconds on a large resume: run it with the lock released
+           so the scheduler and other RPCs keep flowing. The reservation
+           holds this submission's quota slot and directory meanwhile. *)
+        let planned =
+          try Campaign.plan campaign_config ~name:grid.Sweep.Grid.name ~cells
+          with exn -> Error (Printexc.to_string exn)
+        in
+        match planned with
+        | Error msg ->
+          Mutex.lock t.mu;
+          release ();
+          Mutex.unlock t.mu;
+          err Protocol.Grid_error "%s" msg
+        | Ok plan ->
+          let pending = plan.Campaign.p_pending in
+          let job =
             {
-              Campaign.dir = s.Protocol.out;
-              master = s.Protocol.master;
-              resume = s.Protocol.resume;
-              max_cells = None;
-              domains = Some 1;  (* unused: the daemon drives execute_cell itself *)
-              cache = t.store;
-              progress = ignore;
+              id;
+              client = s.Protocol.client;
+              name = grid.Sweep.Grid.name;
+              dir;
+              plan;
+              total = n_cells;
+              of_ = List.length pending;
+              started_at = Unix.gettimeofday ();
+              log = Eventlog.open_ ~path:(Filename.concat dir "events.jsonl");
+              queue = pending;
+              inflight = 0;
+              done_cells = 0;
+              ran = 0;
+              cached = 0;
+              state = Queued;
+              cancelled = false;
+              manifest = None;
+              error = None;
             }
           in
-          match Campaign.plan campaign_config ~name:grid.Sweep.Grid.name ~cells with
-          | Error msg -> err Protocol.Grid_error "%s" msg
-          | Ok plan ->
-            t.seq <- t.seq + 1;
-            let id = Printf.sprintf "job-%06d" t.seq in
-            let pending = plan.Campaign.p_pending in
-            let job =
-              {
-                id;
-                client = s.Protocol.client;
-                name = grid.Sweep.Grid.name;
-                dir = s.Protocol.out;
-                plan;
-                total = n_cells;
-                of_ = List.length pending;
-                started_at = Unix.gettimeofday ();
-                log =
-                  Eventlog.open_
-                    ~path:(Filename.concat s.Protocol.out "events.jsonl");
-                queue = pending;
-                inflight = 0;
-                done_cells = 0;
-                ran = 0;
-                cached = 0;
-                state = Queued;
-                cancelled = false;
-                manifest = None;
-                error = None;
-              }
-            in
-            Hashtbl.replace t.jobs id job;
-            t.order <- t.order @ [ id ];
-            emit job
-              (Campaign.Started
-                 {
-                   name = job.name;
-                   total = job.total;
-                   pending = job.of_;
-                   reused = plan.Campaign.p_reused;
-                   corrupted = List.length plan.Campaign.p_corrupt;
-                 });
-            List.iter
-              (fun (c, path, reason) ->
-                emit job
-                  (Campaign.Corrupt_rerun
-                     {
-                       index = c.Campaign.index;
-                       address = c.Campaign.address;
-                       path;
-                       reason;
-                     }))
-              plan.Campaign.p_corrupt;
-            maybe_finish job;  (* nothing pending: complete immediately *)
-            Condition.broadcast t.cond;
-            Ok (Protocol.ok_response (job_fields job))))
+          (* The job is not yet visible to any other thread, so the
+             Started banner and — when nothing is pending — the finalize
+             digest pass in [maybe_finish] also run without the lock. *)
+          emit job
+            (Campaign.Started
+               {
+                 name = job.name;
+                 total = job.total;
+                 pending = job.of_;
+                 reused = plan.Campaign.p_reused;
+                 corrupted = List.length plan.Campaign.p_corrupt;
+               });
+          List.iter
+            (fun (c, path, reason) ->
+              emit job
+                (Campaign.Corrupt_rerun
+                   {
+                     index = c.Campaign.index;
+                     address = c.Campaign.address;
+                     path;
+                     reason;
+                   }))
+            plan.Campaign.p_corrupt;
+          maybe_finish job;  (* nothing pending: complete immediately *)
+          Mutex.lock t.mu;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock t.mu)
+            (fun () ->
+              release ();
+              if t.stop && not (terminal job.state) then begin
+                (* The drain in [run] may already have passed: close the
+                   job out here (checkpoints stay for a resubmission). *)
+                job.cancelled <- true;
+                job.queue <- [];
+                maybe_finish job;
+                err Protocol.Busy "daemon is shutting down"
+              end
+              else begin
+                Hashtbl.replace t.jobs id job;
+                t.order <- t.order @ [ id ];
+                Condition.broadcast t.cond;
+                Ok (Protocol.ok_response (job_fields job))
+              end))
+    end)
 
 let with_job t id f =
   Mutex.lock t.mu;
@@ -407,9 +471,18 @@ let stats t =
 
 (* ---------- connection handling ---------- *)
 
-let send oc doc =
-  output_string oc (Json.to_string doc ^ "\n");
-  flush oc
+(* With SIGPIPE ignored (see [run]), a write to a disconnected client
+   surfaces as [Sys_error] (EPIPE); raise [Client_gone] so streaming
+   loops stop instead of tailing a peer that is no longer there. *)
+exception Client_gone
+
+let write_client oc s =
+  try
+    output_string oc s;
+    flush oc
+  with Sys_error _ -> raise Client_gone
+
+let send oc doc = write_client oc (Json.to_string doc ^ "\n")
 
 (* Forward the job's events.jsonl verbatim, tailing until the job is
    terminal and the file is drained. Torn lines are impossible by the
@@ -438,8 +511,7 @@ let stream_events t oc id =
               match String.rindex_opt chunk '\n' with
               | None -> false
               | Some last ->
-                output_string oc (String.sub chunk 0 (last + 1));
-                flush oc;
+                write_client oc (String.sub chunk 0 (last + 1));
                 offset := !offset + last + 1;
                 true
             end)
@@ -461,7 +533,7 @@ let stream_events t oc id =
         tail ()
       end
     in
-    tail ()
+    (try tail () with Client_gone -> ())
 
 let handle t fd =
   let ic = Unix.in_channel_of_descr fd in
@@ -525,6 +597,12 @@ let poke path =
   try Unix.close fd with Unix.Unix_error _ -> ()
 
 let run config =
+  (* Clients can vanish mid-reply (Ctrl-C during [client watch]);
+     without this, the first write to the closed socket would
+     SIGPIPE-kill the whole daemon — and every running campaign —
+     instead of raising a catchable EPIPE. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   match probe_socket config.socket with
   | Error _ as e -> e
   | Ok () -> (
@@ -549,25 +627,46 @@ let run config =
           cond = Condition.create ();
           jobs = Hashtbl.create 16;
           order = [];
+          reserved = [];
           seq = 0;
           stop = false;
         }
       in
       let sched = Thread.create scheduler t in
-      let handlers = ref [] in
+      (* Handler threads prune themselves on exit, so the table only
+         holds live connections — a long-lived daemon does not
+         accumulate one dead thread per past request. *)
+      let hmu = Mutex.create () in
+      let handlers : (int, Thread.t) Hashtbl.t = Hashtbl.create 16 in
       let rec accept_loop () =
         match Unix.accept listener with
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+        | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+          ()  (* listener gone: fall through to the drain below *)
+        | exception Unix.Unix_error (e, _, _) ->
+          (* EMFILE, ECONNABORTED, ...: transient — back off and keep
+             serving rather than tearing down every running campaign. *)
+          Printf.eprintf "cobra serve: accept: %s\n%!" (Unix.error_message e);
+          Thread.delay 0.1;
+          accept_loop ()
         | fd, _ ->
           Mutex.lock t.mu;
           let stopping = t.stop in
           Mutex.unlock t.mu;
           if stopping then (try Unix.close fd with Unix.Unix_error _ -> ())
           else begin
+            (* [hmu] is held across creation, so the thread cannot
+               outrun its own registration below. *)
+            Mutex.lock hmu;
             let th =
               Thread.create
                 (fun fd ->
+                  Mutex.lock hmu;
+                  Mutex.unlock hmu;
                   (try handle t fd with _ -> ());
+                  Mutex.lock hmu;
+                  Hashtbl.remove handlers (Thread.id (Thread.self ()));
+                  Mutex.unlock hmu;
                   (* A shutdown request must also unblock this accept. *)
                   Mutex.lock t.mu;
                   let stop_now = t.stop in
@@ -575,11 +674,19 @@ let run config =
                   if stop_now then poke config.socket)
                 fd
             in
-            handlers := th :: !handlers;
+            Hashtbl.replace handlers (Thread.id th) th;
+            Mutex.unlock hmu;
             accept_loop ()
           end
       in
       accept_loop ();
+      (* Normally [t.stop] is already set (that is what ended the accept
+         loop); setting it here too keeps the drain sound if the loop
+         died on a fatal accept error instead. *)
+      Mutex.lock t.mu;
+      t.stop <- true;
+      Condition.broadcast t.cond;
+      Mutex.unlock t.mu;
       (* Drain: the scheduler finishes its in-flight batch and exits;
          unfinished jobs are closed out as cancelled (their checkpoints
          stay on disk for a resubmission with resume). *)
@@ -593,7 +700,13 @@ let run config =
           end);
       Condition.broadcast t.cond;
       Mutex.unlock t.mu;
-      List.iter Thread.join !handlers;
+      let live =
+        Mutex.lock hmu;
+        let l = Hashtbl.fold (fun _ th acc -> th :: acc) handlers [] in
+        Mutex.unlock hmu;
+        l
+      in
+      List.iter Thread.join live;
       Pool.shutdown t.pool;
       (try Unix.close listener with Unix.Unix_error _ -> ());
       (try Unix.unlink config.socket with Unix.Unix_error _ -> ());

@@ -30,7 +30,9 @@
     - a client whose unfinished cells (across its queued and running
       jobs) would exceed [max_inflight_per_client] is refused with
       [Quota_exceeded];
-    - two active jobs can never share an output directory ([Busy]).
+    - two active jobs can never share an output directory — paths are
+      canonicalized ([Unix.realpath]) before comparison, so two
+      spellings of one directory count as the same ([Busy]).
 
     Because results are keyed content-addressed in the shared
     {!Simkit.Cellstore}, a resubmission of identical work (same master,
