@@ -26,7 +26,7 @@ check:
 # campaign to completion, then the same campaign interrupted after 3
 # cells and resumed, and require the manifest and every cell checkpoint
 # to be byte-identical. Exercises the real CLI, not just the library.
-SMOKE_GRID = name=smoke;graphs=cycle:12,complete:8;kernels=cobra,bips,sis;trials=3
+SMOKE_GRID = name=smoke;graphs=cycle:12,complete:8,ba:24x2;kernels=cobra,bips,sis,seir;trials=3
 sweep-smoke:
 	rm -rf _results/smoke-a _results/smoke-b
 	dune exec bin/main.exe -- sweep --grid '$(SMOKE_GRID)' --out _results/smoke-a --seed 5

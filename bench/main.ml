@@ -369,7 +369,21 @@ let run_scale ~smoke ~json_path =
       let hlabel = Printf.sprintf "hypercube-d%d" d in
       let (h, dth) = timed (fun () -> Graph.View.of_csr (Graph.Gen.hypercube d)) in
       row ("scale/gen-" ^ hlabel) dth;
-      cover_rows hlabel h ("scale:cover:" ^ hlabel))
+      cover_rows hlabel h ("scale:cover:" ^ hlabel);
+      (* Preferential attachment at the same n: generation streams the
+         recorded endpoint array through of_edge_iter (two passes, no
+         intermediate edge list beyond the 2m endpoints), and the cover
+         row prices COBRA against the heavy degree tail. *)
+      let balabel = Printf.sprintf "ba2-n%d" n in
+      let (ba, dtba) =
+        timed (fun () ->
+            Graph.View.of_csr
+              (Graph.Gen.barabasi_albert
+                 (rng_of ("scale:" ^ balabel))
+                 ~n ~m:2 ~prob_unbiased:0.0))
+      in
+      row ("scale/gen-" ^ balabel) dtba;
+      cover_rows balabel ba ("scale:cover:" ^ balabel))
     sizes;
   (* Backend rows: the same E1-style workload through the off-heap and
      closed-form topology layers. Full scale runs the 2 GiB-class

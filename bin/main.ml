@@ -923,6 +923,81 @@ let herd_cmd =
   Cmd.v (Cmd.info "herd" ~doc)
     Term.(const run $ pens_t $ pen_size_t $ pi_t $ trials_t $ seed_t)
 
+(* ---------- seir ---------- *)
+
+let seir_cmd =
+  let latent_t =
+    Arg.(
+      value & opt int 2
+      & info [ "latent" ] ~docv:"L"
+          ~doc:"Latent (exposed) rounds before turning infectious (0 skips Exposed).")
+  in
+  let infectious_t =
+    Arg.(
+      value & opt int 2
+      & info [ "infectious" ] ~docv:"J" ~doc:"Infectious rounds before recovery.")
+  in
+  let run spec backend branching trials seed start latent infectious =
+    if latent < 0 then begin
+      Printf.eprintf "error: --latent must be >= 0\n";
+      2
+    end
+    else if infectious < 1 then begin
+      Printf.eprintf "error: --infectious must be >= 1\n";
+      2
+    end
+    else begin
+      let g = build_graph ~backend spec ~seed in
+      print_graph_line g spec;
+      let n = Graph.View.n_vertices g in
+      Printf.printf "seir: contacts %s, latent %d, infectious %d, %d trials, seed %d\n"
+        (Cobra.Branching.to_string branching)
+        latent infectious trials seed;
+      let params =
+        {
+          K.default_params with
+          K.branching;
+          start;
+          latent_rounds = latent;
+          infectious_rounds = infectious;
+        }
+      in
+      (* Same salts (0 .. trials-1) as every other single-shot command. *)
+      let outcomes =
+        Simkit.Trial.collect_par ~trials ~master:seed ~salt0:0 (fun rng ->
+            K.run Epidemic.Kernels.seir g params rng)
+      in
+      let attack = Stats.Summary.create ()
+      and peak = Stats.Summary.create ()
+      and gen_r = Stats.Summary.create ()
+      and rounds = Stats.Summary.create () in
+      let major = ref 0 in
+      Array.iter
+        (fun o ->
+          let ever = observation_exn o "ever" in
+          Stats.Summary.add attack (ever /. float_of_int n);
+          Stats.Summary.add peak (observation_exn o "peak");
+          Stats.Summary.add gen_r (observation_exn o "gen_r");
+          Stats.Summary.add_int rounds o.K.rounds;
+          if 2.0 *. ever >= float_of_int n then incr major)
+        outcomes;
+      Printf.printf "attack rate: %s\n" (Format.asprintf "%a" Stats.Summary.pp attack);
+      Printf.printf "peak infectious: %s\n"
+        (Format.asprintf "%a" Stats.Summary.pp peak);
+      Printf.printf "generational R: %s\n"
+        (Format.asprintf "%a" Stats.Summary.pp gen_r);
+      Printf.printf "rounds to absorption: %s\n"
+        (Format.asprintf "%a" Stats.Summary.pp rounds);
+      Printf.printf "major outbreaks (attack >= 1/2): %d/%d\n" !major trials;
+      0
+    end
+  in
+  let doc = "Run the discrete SEIR epidemic (latent/infectious timers) to absorption." in
+  Cmd.v (Cmd.info "seir" ~doc)
+    Term.(
+      const run $ graph_t $ backend_t $ branching_t $ trials_t $ seed_t $ start_t
+      $ latent_t $ infectious_t)
+
 (* ---------- exact ---------- *)
 
 let exact_cmd =
@@ -1029,5 +1104,5 @@ let () =
           [
             exp_cmd; sweep_cmd; serve_cmd; client_cmd; cover_cmd; bips_cmd; walk_cmd; push_cmd;
             pull_cmd; coalesce_cmd; explore_cmd; duality_cmd; spectral_cmd;
-            gen_cmd; herd_cmd; contact_cmd; exact_cmd;
+            gen_cmd; herd_cmd; seir_cmd; contact_cmd; exact_cmd;
           ]))

@@ -926,6 +926,170 @@ let sis_extinct_series g ~contacts ~recovery ~start ~t_max =
   done;
   out
 
+(* --- The SEIR oracle. ---------------------------------------------------
+
+   One SEIR round factors exactly like the SIS round: timer transitions
+   (E->I, I->R) are deterministic, and the only randomness is each still-
+   susceptible vertex's contact draw against the infectious set
+   snapshotted at the start of the round — so the newly-exposed set is a
+   product measure over the susceptibles, mirroring
+   [Epidemic.Seir.step]'s order (timers first, then exposure of every
+   susceptible against the snapshot). *)
+
+let seir_exposure_probabilities g ~contacts ~inf_mask ~sus_mask =
+  let n = Graph.Csr.n_vertices g in
+  Array.init n (fun u ->
+      if sus_mask land (1 lsl u) = 0 then 0.0
+      else begin
+        let deg = Graph.Csr.degree g u in
+        let hits =
+          Graph.Csr.fold_neighbours g u ~init:0 ~f:(fun acc w ->
+              if inf_mask land (1 lsl w) <> 0 then acc + 1 else acc)
+        in
+        Branching.infection_probability_counts contacts ~degree:deg ~infected:hits
+      end)
+
+let seir_validate name ~latent_rounds ~infectious_rounds =
+  if latent_rounds < 0 then invalid_arg (name ^ ": latent_rounds >= 0");
+  if infectious_rounds < 1 then invalid_arg (name ^ ": infectious_rounds >= 1")
+
+let seir_step_dist g ~contacts ~infectious ~susceptible =
+  let name = "Exact.seir_step_dist" in
+  let n = check_size g name in
+  let inf_mask = mask_of_list name n infectious in
+  let sus_mask = mask_of_list name n susceptible in
+  if inf_mask = 0 then invalid_arg (name ^ ": nobody infectious");
+  if inf_mask land sus_mask <> 0 then
+    invalid_arg (name ^ ": infectious and susceptible overlap");
+  let p_next = seir_exposure_probabilities g ~contacts ~inf_mask ~sus_mask in
+  let out = Array.make (1 lsl n) 0.0 in
+  expand_product n p_next ~weight:1.0 ~add:(fun m p -> out.(m) <- out.(m) +. p);
+  sorted_dist (Array.to_list (Array.mapi (fun m p -> (m, p)) out))
+
+(* Dense evolution is hopeless for SEIR (the per-vertex state is not a
+   bit), so the chain runs over a sparse table of mixed-radix states:
+   vertex [v] contributes [code * base^v] with
+
+     code 0                      = Susceptible
+     code t, 1 <= t <= L         = Exposed, t latent rounds remaining
+     code L + t, 1 <= t <= J     = Infectious, t rounds remaining
+     code L + J + 1              = Recovered
+
+   (L = latent_rounds, J = infectious_rounds). Timers are monotone and
+   each vertex is infected at most once, so the chain absorbs — no
+   Exposed or Infectious vertex left — within n(L + J) rounds
+   deterministically; [seir_evolve] steps the table, moving absorbed
+   mass into the per-attack-count accumulator, and is shared by the
+   attack-rate and extinction exports. *)
+let seir_evolve g ~contacts ~latent_rounds ~infectious_rounds ~start ~on_round =
+  let name = "Exact.seir" in
+  let n = check_size g name in
+  seir_validate name ~latent_rounds ~infectious_rounds;
+  if start = [] then invalid_arg (name ^ ": empty start");
+  let start_mask = mask_of_list name n start in
+  let base = latent_rounds + infectious_rounds + 2 in
+  if float_of_int n *. log (float_of_int base) > 42.0 then
+    invalid_arg (name ^ ": state space exceeds 62 bits (shrink the timers)");
+  let pow = Array.make n 1 in
+  for v = 1 to n - 1 do
+    pow.(v) <- pow.(v - 1) * base
+  done;
+  let code state v = state / pow.(v) mod base in
+  let r_code = latent_rounds + infectious_rounds + 1 in
+  let i_full = latent_rounds + infectious_rounds in
+  let expose_code = if latent_rounds > 0 then latent_rounds else i_full in
+  let init = ref 0 in
+  for v = 0 to n - 1 do
+    if start_mask land (1 lsl v) <> 0 then init := !init + (i_full * pow.(v))
+  done;
+  let attack = Array.make (n + 1) 0.0 in
+  let absorbed = ref 0.0 in
+  let absorb state q =
+    let sus = ref 0 in
+    for v = 0 to n - 1 do
+      if code state v = 0 then incr sus
+    done;
+    attack.(n - !sus) <- attack.(n - !sus) +. q;
+    absorbed := !absorbed +. q
+  in
+  let live = ref (Hashtbl.create 16) in
+  Hashtbl.replace !live !init 1.0;
+  let max_rounds = (n * (latent_rounds + infectious_rounds)) + 1 in
+  let t = ref 0 in
+  let continue = ref (on_round ~t:0 ~absorbed:!absorbed) in
+  while !continue && Hashtbl.length !live > 0 do
+    if !t > max_rounds then failwith (name ^ ": chain failed to absorb");
+    let next = Hashtbl.create 64 in
+    Hashtbl.iter
+      (fun state p ->
+        let inf_mask = ref 0 and sus_mask = ref 0 in
+        let advanced = ref 0 in
+        for v = 0 to n - 1 do
+          let c = code state v in
+          let c' =
+            if c = 0 then begin
+              sus_mask := !sus_mask lor (1 lsl v);
+              0
+            end
+            else if c <= latent_rounds then
+              if c = 1 then i_full else c - 1
+            else if c <= i_full then begin
+              inf_mask := !inf_mask lor (1 lsl v);
+              if c = latent_rounds + 1 then r_code else c - 1
+            end
+            else r_code
+          in
+          advanced := !advanced + (c' * pow.(v))
+        done;
+        let p_next =
+          seir_exposure_probabilities g ~contacts ~inf_mask:!inf_mask
+            ~sus_mask:!sus_mask
+        in
+        expand_product n p_next ~weight:p ~add:(fun m q ->
+            let st = ref !advanced in
+            for v = 0 to n - 1 do
+              if m land (1 lsl v) <> 0 then st := !st + (expose_code * pow.(v))
+            done;
+            let prev = Option.value ~default:0.0 (Hashtbl.find_opt next !st) in
+            Hashtbl.replace next !st (prev +. q)))
+      !live;
+    let next_live = Hashtbl.create 64 in
+    Hashtbl.iter
+      (fun state q ->
+        let dead = ref true in
+        for v = 0 to n - 1 do
+          let c = code state v in
+          if c <> 0 && c <> r_code then dead := false
+        done;
+        if !dead then absorb state q else Hashtbl.replace next_live state q)
+      next;
+    live := next_live;
+    incr t;
+    continue := on_round ~t:!t ~absorbed:!absorbed
+  done;
+  attack
+
+let seir_attack_dist g ~contacts ~latent_rounds ~infectious_rounds ~start =
+  seir_evolve g ~contacts ~latent_rounds ~infectious_rounds ~start
+    ~on_round:(fun ~t:_ ~absorbed:_ -> true)
+
+let seir_extinct_series g ~contacts ~latent_rounds ~infectious_rounds ~start
+    ~t_max =
+  if t_max < 0 then invalid_arg "Exact.seir_extinct_series: t_max >= 0";
+  let out = Array.make (t_max + 1) 0.0 in
+  let _attack =
+    seir_evolve g ~contacts ~latent_rounds ~infectious_rounds ~start
+      ~on_round:(fun ~t ~absorbed ->
+        if t <= t_max then out.(t) <- absorbed;
+        t < t_max)
+  in
+  (* If the chain absorbed before [t_max], extinction stays at the full
+     absorbed mass from there on. *)
+  for t = 1 to t_max do
+    if out.(t) < out.(t - 1) then out.(t) <- out.(t - 1)
+  done;
+  out
+
 (* Absorption probabilities of the continuous-time contact process
    (infection rate [lambda] per directed contact edge, recovery rate 1),
    over the jump chain on (infected, ever-infected) pairs. "Fully

@@ -226,6 +226,54 @@ val sis_extinct_series :
   t_max:int ->
   float array
 
+(** [seir_step_dist g ~contacts ~infectious ~susceptible] is the exact
+    distribution of the {e newly-exposed} set after one round of
+    {!Epidemic.Seir}: each vertex in [susceptible] catches against the
+    [infectious] snapshot with
+    [Branching.infection_probability_counts contacts], independently —
+    timer transitions are deterministic and contribute no randomness.
+    Product measure over the susceptibles, exported as a sorted
+    association list of (mask, probability); vertices outside
+    [susceptible] never appear in a mask. The two sets must be
+    disjoint and [infectious] non-empty. *)
+val seir_step_dist :
+  Graph.Csr.t ->
+  contacts:Branching.t ->
+  infectious:int list ->
+  susceptible:int list ->
+  (int * float) list
+
+(** [seir_attack_dist g ~contacts ~latent_rounds ~infectious_rounds
+    ~start] is the exact distribution of the attack count: [a.(k)] is
+    the probability that exactly [k] vertices were ever infected (index
+    cases included) when the SEIR chain absorbs. [start] vertices begin
+    infectious with a full timer, like [Epidemic.Seir.create]. Computed
+    by sparse evolution over mixed-radix per-vertex states (timers are
+    not bits, so the dense SIS representation does not apply); the chain
+    absorbs deterministically within [n * (latent + infectious)]
+    rounds. Requires the per-vertex state space to fit 62 bits —
+    comfortable for every [<= 16]-vertex fixture with small timers. *)
+val seir_attack_dist :
+  Graph.Csr.t ->
+  contacts:Branching.t ->
+  latent_rounds:int ->
+  infectious_rounds:int ->
+  start:int list ->
+  float array
+
+(** [seir_extinct_series g ~contacts ~latent_rounds ~infectious_rounds
+    ~start ~t_max] returns [e] with [e.(t) = P(no Exposed or Infectious
+    vertex after t rounds)]. Monotone in [t]; reaches 1.0 once every
+    epidemic path has burnt out. *)
+val seir_extinct_series :
+  Graph.Csr.t ->
+  contacts:Branching.t ->
+  latent_rounds:int ->
+  infectious_rounds:int ->
+  start:int list ->
+  t_max:int ->
+  float array
+
 (** [contact_absorption g ~infection_rate ~start] is the probability
     that the continuous-time contact process (infection rate
     [infection_rate] per infected neighbour, recovery rate 1) exposes

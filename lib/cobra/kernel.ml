@@ -10,6 +10,7 @@ type params = {
   persistent : bool;
   infectious_rounds : int;
   immune_rounds : int;
+  latent_rounds : int;
   cap : int option;
 }
 
@@ -24,6 +25,7 @@ let default_params =
     persistent = false;
     infectious_rounds = 2;
     immune_rounds = 8;
+    latent_rounds = 1;
     cap = None;
   }
 

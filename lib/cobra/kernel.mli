@@ -3,8 +3,8 @@
     Every process this repository studies — COBRA, BIPS, the simple
     random walk, the push/pull/push-pull protocols, coalescing walks
     with voting, the unvisited-edge-preferring walk, and (in
-    [Epidemic.Kernels]) SIS, the contact process and the herd model —
-    is driveable through one
+    [Epidemic.Kernels]) SIS, the contact process, the herd model and
+    the SEIR process — is driveable through one
     signature: [create] builds mutable round-based state, [step] plays
     one round against an explicit stream, [is_complete] tests the
     process's own absorption condition, and [observe] reads named
@@ -19,7 +19,7 @@
     consumes {e exactly} the randomness of one round of the process it
     wraps, and {!run}'s loop — step while not complete and under the
     cap — performs the same sequence of [step] calls as those loops.
-    [test/sweep] pins this stream-for-stream equivalence for all eleven
+    [test/sweep] pins this stream-for-stream equivalence for all twelve
     kernels, and [test/cli]'s golden transcripts pin the resulting CLI
     output byte-for-byte. *)
 
@@ -35,8 +35,9 @@ type params = {
   recovery : float;  (** SIS: per-round recovery probability *)
   persistent : bool;
       (** SIS/contact: never-recovering source; herd: PI animal *)
-  infectious_rounds : int;  (** herd: transient infection duration *)
+  infectious_rounds : int;  (** herd/seir: infectious-window duration *)
   immune_rounds : int;  (** herd: post-infection immunity duration *)
+  latent_rounds : int;  (** seir: Exposed duration before infectiousness *)
   cap : int option;
       (** round cap for {!run}; [None] selects the kernel's default *)
 }
@@ -84,7 +85,7 @@ val observation : outcome -> string -> float option
 
     Observables: every kernel reports ["rounds"]; coverage-style kernels
     also report ["visited"]; see each kernel's doc string for the rest.
-    [Epidemic.Kernels] adds [sis], [contact] and [herd]. *)
+    [Epidemic.Kernels] adds [sis], [contact], [herd] and [seir]. *)
 
 (** COBRA cover: complete when every vertex has been active at least
     once. Observes ["rounds"; "visited"; "frontier"; "transmissions"]. *)

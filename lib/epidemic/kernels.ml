@@ -92,6 +92,40 @@ let contact =
         });
   }
 
+let seir =
+  {
+    K.name = "seir";
+    doc = "discrete SEIR epidemic with fixed latencies, run to absorption";
+    default_cap = round_cap;
+    create =
+      (fun g params ->
+        let p =
+          Seir.create g
+            {
+              Seir.contacts = params.K.branching;
+              latent_rounds = params.K.latent_rounds;
+              infectious_rounds = params.K.infectious_rounds;
+            }
+            ~index_cases:[ params.K.start ]
+        in
+        let n = Graph.View.n_vertices g in
+        {
+          K.step = (fun rng -> Seir.step p rng);
+          is_complete = (fun () -> Seir.is_absorbed p);
+          rounds = (fun () -> Seir.round p);
+          observe =
+            (fun () ->
+              [
+                ("rounds", fi (Seir.round p));
+                ("ever", fi (Seir.ever_infected_count p));
+                ("attack", fi (Seir.ever_infected_count p) /. fi n);
+                ("peak", fi (Seir.peak_infectious p));
+                ("gen_r", Seir.generational_r p);
+                ("extinct", if Seir.is_absorbed p then 1.0 else 0.0);
+              ]);
+        });
+  }
+
 let herd =
   {
     K.name = "herd";

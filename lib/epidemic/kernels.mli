@@ -1,8 +1,9 @@
 (** {!Cobra.Kernel} instances for the epidemic substrates, completing the
-    unified process set: COBRA, BIPS, random walk and push live in
-    [Cobra.Kernel]; SIS, the contact process and the herd model live
-    here (they depend on the [epidemic] library). All seven are
-    registered for sweeping in [Sweep.Kernels]. *)
+    unified process set: COBRA, BIPS, random walk, the rumor protocols,
+    coalescing walks and the explorer live in [Cobra.Kernel]; SIS, the
+    contact process, the herd model and SEIR live here (they depend on
+    the [epidemic] library). All twelve are registered for sweeping in
+    [Sweep.Kernels]. *)
 
 (** Discrete SIS with recovery probability [params.recovery] and
     contacts [params.branching]. [params.persistent] makes [params.start]
@@ -25,3 +26,11 @@ val contact : Cobra.Kernel.t
     transient index case. Complete on full exposure or extinction.
     Observes ["rounds"; "ever"; "infectious"; "extinct"]. *)
 val herd : Cobra.Kernel.t
+
+(** Discrete SEIR epidemic ({!Seir}) with [params.branching] contacts,
+    [params.latent_rounds] latency and [params.infectious_rounds]
+    infectious window; [params.start] is the index case (initially
+    infectious). Complete at absorption — no Exposed or Infectious
+    vertex left — which is always reached (no reinfection). Observes
+    ["rounds"; "ever"; "attack"; "peak"; "gen_r"; "extinct"]. *)
+val seir : Cobra.Kernel.t

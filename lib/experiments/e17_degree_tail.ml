@@ -1,0 +1,114 @@
+module Scale = Simkit.Scale
+module A = Simkit.Artifact
+module B = Cobra.Branching
+
+(* COBRA off the expander regime: the PODC'16 analysis is for regular
+   expanders, and Mitzenmacher–Rajaraman–Roche extend it to non-regular
+   graphs. Here the degree tail fattens in three steps at fixed n —
+   random 4-regular (the baseline every other experiment uses), then
+   preferential attachment with half the picks uniform (mild tail), then
+   pure preferential attachment (heavy hubs) — and each graph pays its
+   measured cover-time blowup relative to the regular baseline, next to
+   the dual BIPS saturation time on the same topology. *)
+
+let ba_view ~master ~tag ~n ~prob_unbiased =
+  Graph.View.of_csr
+    (Graph.Gen.barabasi_albert
+       (Common.graph_rng ~master ~tag)
+       ~n ~m:2 ~prob_unbiased)
+
+let run ~emit ~scale ~master =
+  let n = Scale.pick scale ~quick:256 ~standard:1024 ~full:4096 in
+  let trials = Scale.pick scale ~quick:10 ~standard:25 ~full:60 in
+  emit (A.context [ ("n", string_of_int n); ("trials", string_of_int trials) ]);
+  let graphs =
+    [
+      ("random 4-regular", Common.expander ~master ~tag:"e17" ~n ~r:4 ());
+      ("BA m=2 p=0.5", ba_view ~master ~tag:"e17:ba-mild" ~n ~prob_unbiased:0.5);
+      ("BA m=2 p=0", ba_view ~master ~tag:"e17:ba-hubs" ~n ~prob_unbiased:0.0);
+    ]
+  in
+  let log2n = Common.ln n /. Float.log 2.0 in
+  let table =
+    A.Tab.create
+      [
+        "graph"; "max deg"; "cover rounds"; "cover / log2 n"; "blowup vs rr4";
+        "bips rounds"; "bips / cover";
+      ]
+  in
+  let baseline = ref None in
+  let rows =
+    List.map
+      (fun (name, g) ->
+        let cover, cover_censored =
+          Common.cover_summary g ~branching:B.cobra_k2 ~start:0 ~trials ~master
+            ~tag:(Printf.sprintf "e17:cover:%s" name)
+        in
+        let bips, bips_censored =
+          Common.infection_summary g ~branching:B.cobra_k2 ~source:0 ~trials
+            ~master
+            ~tag:(Printf.sprintf "e17:bips:%s" name)
+        in
+        let cm = Stats.Summary.mean cover and bm = Stats.Summary.mean bips in
+        if !baseline = None then baseline := Some cm;
+        let blowup = cm /. Option.get !baseline in
+        A.Tab.add_row table
+          [
+            A.str name;
+            A.int (Graph.View.max_degree g);
+            A.summary cover;
+            A.floatf "%.2f" (cm /. log2n);
+            A.floatf "%.2f" blowup;
+            A.summary bips;
+            A.floatf "%.2f" (bm /. cm);
+          ];
+        (name, g, cm, bm, cover_censored + bips_censored))
+      graphs
+  in
+  emit (A.Tab.event table);
+  emit
+    (A.note
+       "blowup vs rr4 is the measured cover-time degradation paid for the \
+        fatter degree tail at the same n and k = 2.");
+  (* Acceptance: every trial completed on every graph; the attachment
+     graphs genuinely have the fat tail they are here to model (max
+     degree beyond the regular baseline's 4); and the COBRA/BIPS duality
+     keeps both sides of each graph within a factor 4 of each other. *)
+  let none_censored = List.for_all (fun (_, _, _, _, c) -> c = 0) rows in
+  let tails_fatten =
+    List.for_all
+      (fun (name, g, _, _, _) ->
+        name = "random 4-regular" || Graph.View.max_degree g > 4)
+      rows
+  in
+  let duality_tracks =
+    List.for_all
+      (fun (_, _, cm, bm, _) ->
+        let r = bm /. cm in
+        r >= 0.25 && r <= 4.0)
+      rows
+  in
+  emit
+    (A.verdict
+       ~pass:(none_censored && tails_fatten && duality_tracks)
+       (Printf.sprintf
+          "every COBRA cover and BIPS saturation completed%s; attachment \
+           graphs carry hubs beyond the 4-regular baseline%s; dual process \
+           times within 4x of each other on every tail%s"
+          (if none_censored then "" else " FAILED: censored trials")
+          (if tails_fatten then "" else " FAILED: no fat tail")
+          (if duality_tracks then "" else " FAILED: duality broken")))
+
+let spec =
+  {
+    Spec.id = "E17";
+    slug = "degree-tail";
+    title = "Cover-time degradation off the expander regime (degree tails)";
+    claim =
+      "Fattening the degree tail at fixed n — random 4-regular to \
+       preferential attachment with hubs — degrades COBRA k=2 cover time \
+       by a measured constant-factor blowup, while the dual BIPS \
+       saturation time tracks the cover time on every topology \
+       (Mitzenmacher–Rajaraman–Roche non-regular extension).";
+    run;
+  }

@@ -1,0 +1,5 @@
+(** E17 — COBRA cover and BIPS duality off the expander regime: the
+    measured cover-time blowup from random 4-regular through mild and
+    heavy preferential-attachment degree tails at fixed n. *)
+
+val spec : Spec.t

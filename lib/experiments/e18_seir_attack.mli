@@ -1,0 +1,5 @@
+(** E18 — SEIR epidemic headlines (attack rate, peak infectious load,
+    generational R) on preferential-attachment contact graphs, swept
+    across the uniform-attachment probability. *)
+
+val spec : Spec.t

@@ -16,6 +16,8 @@ let all =
     E14_proof_anatomy.spec;
     E15_sampling_ablation.spec;
     E16_broadcast_faceoff.spec;
+    E17_degree_tail.spec;
+    E18_seir_attack.spec;
   ]
 
 let id_range () =

@@ -465,6 +465,68 @@ let rewire rng g ~swaps =
   end;
   Csr.of_edge_arrays ~n ~us:(Array.map fst edges) ~vs:(Array.map snd edges)
 
+let barabasi_albert rng ~n ~m ~prob_unbiased =
+  if m < 1 then invalid_arg "Gen.barabasi_albert: m >= 1 required";
+  if n < m + 1 then invalid_arg "Gen.barabasi_albert: n >= m + 1 required";
+  if prob_unbiased < 0.0 || prob_unbiased > 1.0 then
+    invalid_arg "Gen.barabasi_albert: prob_unbiased outside [0, 1]";
+  (* The repeated-endpoint array IS both the sampling distribution and
+     the edge list: each edge contributes its two endpoints, so a uniform
+     element of the filled prefix is a degree-proportional vertex draw,
+     and streaming consecutive pairs through [Csr.of_edge_iter] replays
+     the exact same edges on both construction passes without a second
+     accumulator. Total footprint: one int array of 2m(n - m) + m(m+1)
+     words. *)
+  let seed = m + 1 in
+  let total_edges = (seed * m / 2) + ((n - seed) * m) in
+  let ends = Array.make (2 * total_edges) 0 in
+  let len = ref 0 in
+  let push u v =
+    ends.(!len) <- u;
+    ends.(!len + 1) <- v;
+    len := !len + 2
+  in
+  (* Seed clique on m + 1 vertices: every early vertex already has
+     degree m, so min-degree >= m holds from the start. *)
+  for u = 0 to seed - 1 do
+    for v = u + 1 to seed - 1 do
+      push u v
+    done
+  done;
+  let picks = Array.make m 0 in
+  for v = seed to n - 1 do
+    (* m distinct targets among 0 .. v-1: with probability
+       [prob_unbiased] a uniform existing vertex, otherwise a uniform
+       element of the endpoint prefix (degree-proportional). Rejection on
+       duplicates terminates a.s. — every existing vertex appears in the
+       prefix, and v - 1 >= m choices exist. *)
+    let chosen = ref 0 in
+    while !chosen < m do
+      let t =
+        if prob_unbiased > 0.0 && Rng.float rng < prob_unbiased then
+          Rng.int rng v
+        else ends.(Rng.int rng !len)
+      in
+      let dup = ref false in
+      for i = 0 to !chosen - 1 do
+        if picks.(i) = t then dup := true
+      done;
+      if not !dup then begin
+        picks.(!chosen) <- t;
+        incr chosen
+      end
+    done;
+    for i = 0 to m - 1 do
+      push v picks.(i)
+    done
+  done;
+  Csr.of_edge_iter ~n (fun f ->
+      let i = ref 0 in
+      while !i < !len do
+        f ends.(!i) ends.(!i + 1);
+        i := !i + 2
+      done)
+
 let gnm rng ~n ~m =
   let total = n * (n - 1) / 2 in
   if m < 0 || m > total then invalid_arg "Gen.gnm: m outside [0, n(n-1)/2]";

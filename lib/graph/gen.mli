@@ -105,6 +105,20 @@ val random_regular : Prng.Rng.t -> n:int -> r:int -> Csr.t
     O(n + m) expected. Not necessarily connected. *)
 val erdos_renyi : Prng.Rng.t -> n:int -> p:float -> Csr.t
 
+(** [barabasi_albert rng ~n ~m ~prob_unbiased] draws a preferential-
+    attachment graph (Barabási–Albert): a seed clique on [m + 1]
+    vertices, then each new vertex attaches to [m] distinct existing
+    vertices, each pick being degree-proportional with probability
+    [1 - prob_unbiased] and uniform over existing vertices with
+    probability [prob_unbiased] (so 0 is pure BA with a power-law degree
+    tail and 1 is uniform attachment with an exponential tail — the knob
+    interpolates degree-tail heaviness). Simple, connected, min degree
+    [>= m]. Streaming build: the repeated-endpoint sampling array doubles
+    as the edge list fed to [Csr.of_edge_iter], so memory is one int
+    array of [2 m (n - m) + m (m + 1)] words plus the CSR. Requires
+    [m >= 1], [n >= m + 1], [prob_unbiased] in [0, 1]. *)
+val barabasi_albert : Prng.Rng.t -> n:int -> m:int -> prob_unbiased:float -> Csr.t
+
 (** [gnm rng ~n ~m] draws a uniform graph with exactly [m] distinct edges;
     requires [0 <= m <= n(n-1)/2]. Not necessarily connected. *)
 val gnm : Prng.Rng.t -> n:int -> m:int -> Csr.t

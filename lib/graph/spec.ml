@@ -18,12 +18,7 @@ type t =
   | Random_regular of int * int
   | Erdos_renyi of int * float
   | Gnm of int * int
-
-let syntax_help =
-  "graph descriptions: complete:N cycle:N path:N star:N wheel:N \
-   hypercube:D folded-hypercube:D binary-tree:D petersen torus:AxB[xC..] grid:AxB[xC..] \
-   circulant:N:o1+o2+.. complete-bipartite:AxB ring-of-cliques:CxS \
-   barbell:SxP lollipop:SxP random-regular:NxR er:N:P gnm:NxM"
+  | Ba of int * int * float
 
 let ( let* ) = Result.bind
 
@@ -65,70 +60,273 @@ let offsets_of s =
   in
   go [] parts
 
+(* The single source of truth for the family menu: each entry owns its
+   head token, the syntax shown in error messages and --help, and the
+   parser for everything after the first ':'. [parse_rest] returns
+   [None] on an arity mismatch (wrong number of ':' fields), which falls
+   through to the generic cannot-parse error; adding a family here is
+   the whole job — the menu, the parser and the [families] list cannot
+   drift apart. *)
+type entry = {
+  family : string;
+  syntax : string;
+  parse_rest : string list -> (t, string) result option;
+}
+
+(* [ba] accepts both "ba:N,M[,P]" (canonical) and "ba:NxM[xP]" — inline
+   sweep grids split graph lists on commas, so the x-spelling keeps BA
+   addressable there. *)
+let ba_fields s =
+  let parts =
+    if String.contains s ',' then String.split_on_char ',' s
+    else String.split_on_char 'x' s
+  in
+  match parts with
+  | [ n; m ] ->
+    Some
+      (let* n = int_field "ba" n in
+       let* m = int_field "ba" m in
+       Ok (Ba (n, m, 0.0)))
+  | [ n; m; p ] ->
+    Some
+      (let* n = int_field "ba" n in
+       let* m = int_field "ba" m in
+       let* p = float_field "ba" p in
+       Ok (Ba (n, m, p)))
+  | _ -> None
+
+let registry =
+  [
+    {
+      family = "complete";
+      syntax = "complete:N";
+      parse_rest =
+        (function
+        | [ n ] ->
+          Some
+            (let* n = int_field "complete" n in
+             Ok (Complete n))
+        | _ -> None);
+    };
+    {
+      family = "cycle";
+      syntax = "cycle:N";
+      parse_rest =
+        (function
+        | [ n ] ->
+          Some
+            (let* n = int_field "cycle" n in
+             Ok (Cycle n))
+        | _ -> None);
+    };
+    {
+      family = "path";
+      syntax = "path:N";
+      parse_rest =
+        (function
+        | [ n ] ->
+          Some
+            (let* n = int_field "path" n in
+             Ok (Path n))
+        | _ -> None);
+    };
+    {
+      family = "star";
+      syntax = "star:N";
+      parse_rest =
+        (function
+        | [ n ] ->
+          Some
+            (let* n = int_field "star" n in
+             Ok (Star n))
+        | _ -> None);
+    };
+    {
+      family = "wheel";
+      syntax = "wheel:N";
+      parse_rest =
+        (function
+        | [ n ] ->
+          Some
+            (let* n = int_field "wheel" n in
+             Ok (Wheel n))
+        | _ -> None);
+    };
+    {
+      family = "hypercube";
+      syntax = "hypercube:D";
+      parse_rest =
+        (function
+        | [ d ] ->
+          Some
+            (let* d = int_field "hypercube" d in
+             Ok (Hypercube d))
+        | _ -> None);
+    };
+    {
+      family = "folded-hypercube";
+      syntax = "folded-hypercube:D";
+      parse_rest =
+        (function
+        | [ d ] ->
+          Some
+            (let* d = int_field "folded-hypercube" d in
+             Ok (Folded_hypercube d))
+        | _ -> None);
+    };
+    {
+      family = "binary-tree";
+      syntax = "binary-tree:D";
+      parse_rest =
+        (function
+        | [ d ] ->
+          Some
+            (let* d = int_field "binary-tree" d in
+             Ok (Binary_tree d))
+        | _ -> None);
+    };
+    {
+      family = "petersen";
+      syntax = "petersen";
+      parse_rest = (function [] -> Some (Ok Petersen) | _ -> None);
+    };
+    {
+      family = "torus";
+      syntax = "torus:AxB[xC..]";
+      parse_rest =
+        (function
+        | [ dims ] ->
+          Some
+            (let* dims = dims_of "torus" dims in
+             Ok (Torus dims))
+        | _ -> None);
+    };
+    {
+      family = "grid";
+      syntax = "grid:AxB[xC..]";
+      parse_rest =
+        (function
+        | [ dims ] ->
+          Some
+            (let* dims = dims_of "grid" dims in
+             Ok (Grid dims))
+        | _ -> None);
+    };
+    {
+      family = "circulant";
+      syntax = "circulant:N:o1+o2+..";
+      parse_rest =
+        (function
+        | [ n; offs ] ->
+          Some
+            (let* n = int_field "circulant" n in
+             let* offs = offsets_of offs in
+             Ok (Circulant (n, offs)))
+        | _ -> None);
+    };
+    {
+      family = "complete-bipartite";
+      syntax = "complete-bipartite:AxB";
+      parse_rest =
+        (function
+        | [ ab ] ->
+          Some
+            (let* a, b = pair_of "complete-bipartite" ab in
+             Ok (Complete_bipartite (a, b)))
+        | _ -> None);
+    };
+    {
+      family = "ring-of-cliques";
+      syntax = "ring-of-cliques:CxS";
+      parse_rest =
+        (function
+        | [ cs ] ->
+          Some
+            (let* c, s = pair_of "ring-of-cliques" cs in
+             Ok (Ring_of_cliques (c, s)))
+        | _ -> None);
+    };
+    {
+      family = "barbell";
+      syntax = "barbell:SxP";
+      parse_rest =
+        (function
+        | [ sp ] ->
+          Some
+            (let* s, p = pair_of "barbell" sp in
+             Ok (Barbell (s, p)))
+        | _ -> None);
+    };
+    {
+      family = "lollipop";
+      syntax = "lollipop:SxP";
+      parse_rest =
+        (function
+        | [ sp ] ->
+          Some
+            (let* s, p = pair_of "lollipop" sp in
+             Ok (Lollipop (s, p)))
+        | _ -> None);
+    };
+    {
+      family = "random-regular";
+      syntax = "random-regular:NxR";
+      parse_rest =
+        (function
+        | [ nr ] ->
+          Some
+            (let* n, r = pair_of "random-regular" nr in
+             Ok (Random_regular (n, r)))
+        | _ -> None);
+    };
+    {
+      family = "er";
+      syntax = "er:N:P";
+      parse_rest =
+        (function
+        | [ n; p ] ->
+          Some
+            (let* n = int_field "er" n in
+             let* p = float_field "er" p in
+             Ok (Erdos_renyi (n, p)))
+        | _ -> None);
+    };
+    {
+      family = "gnm";
+      syntax = "gnm:NxM";
+      parse_rest =
+        (function
+        | [ nm ] ->
+          Some
+            (let* n, m = pair_of "gnm" nm in
+             Ok (Gnm (n, m)))
+        | _ -> None);
+    };
+    {
+      family = "ba";
+      syntax = "ba:N,M[,P]";
+      parse_rest = (function [ fields ] -> ba_fields fields | _ -> None);
+    };
+  ]
+
+let families = List.map (fun e -> e.family) registry
+
+let syntax_help =
+  "graph descriptions: "
+  ^ String.concat " " (List.map (fun e -> e.syntax) registry)
+
 let parse s =
   let s = String.trim (String.lowercase_ascii s) in
+  let fail () = Error (Printf.sprintf "cannot parse graph description %S; %s" s syntax_help) in
   match String.split_on_char ':' s with
-  | [ "petersen" ] -> Ok Petersen
-  | [ "complete"; n ] ->
-    let* n = int_field "complete" n in
-    Ok (Complete n)
-  | [ "cycle"; n ] ->
-    let* n = int_field "cycle" n in
-    Ok (Cycle n)
-  | [ "path"; n ] ->
-    let* n = int_field "path" n in
-    Ok (Path n)
-  | [ "star"; n ] ->
-    let* n = int_field "star" n in
-    Ok (Star n)
-  | [ "wheel"; n ] ->
-    let* n = int_field "wheel" n in
-    Ok (Wheel n)
-  | [ "hypercube"; d ] ->
-    let* d = int_field "hypercube" d in
-    Ok (Hypercube d)
-  | [ "folded-hypercube"; d ] ->
-    let* d = int_field "folded-hypercube" d in
-    Ok (Folded_hypercube d)
-  | [ "binary-tree"; d ] ->
-    let* d = int_field "binary-tree" d in
-    Ok (Binary_tree d)
-  | [ "torus"; dims ] ->
-    let* dims = dims_of "torus" dims in
-    Ok (Torus dims)
-  | [ "grid"; dims ] ->
-    let* dims = dims_of "grid" dims in
-    Ok (Grid dims)
-  | [ "circulant"; n; offs ] ->
-    let* n = int_field "circulant" n in
-    let* offs = offsets_of offs in
-    Ok (Circulant (n, offs))
-  | [ "complete-bipartite"; ab ] ->
-    let* a, b = pair_of "complete-bipartite" ab in
-    Ok (Complete_bipartite (a, b))
-  | [ "ring-of-cliques"; cs ] ->
-    let* c, s = pair_of "ring-of-cliques" cs in
-    Ok (Ring_of_cliques (c, s))
-  | [ "barbell"; sp ] ->
-    let* s, p = pair_of "barbell" sp in
-    Ok (Barbell (s, p))
-  | [ "lollipop"; sp ] ->
-    let* s, p = pair_of "lollipop" sp in
-    Ok (Lollipop (s, p))
-  | [ "random-regular"; nr ] ->
-    let* n, r = pair_of "random-regular" nr in
-    Ok (Random_regular (n, r))
-  | [ "er"; n; p ] ->
-    let* n = int_field "er" n in
-    let* p = float_field "er" p in
-    Ok (Erdos_renyi (n, p))
-  | [ "gnm"; nm ] ->
-    let* n, m = pair_of "gnm" nm in
-    Ok (Gnm (n, m))
-  | _ -> Error (Printf.sprintf "cannot parse graph description %S; %s" s syntax_help)
+  | [] -> fail ()
+  | head :: rest -> (
+    match List.find_opt (fun e -> e.family = head) registry with
+    | None -> fail ()
+    | Some e -> ( match e.parse_rest rest with Some r -> r | None -> fail ()))
 
 let is_random = function
-  | Random_regular _ | Erdos_renyi _ | Gnm _ -> true
+  | Random_regular _ | Erdos_renyi _ | Gnm _ | Ba _ -> true
   | Complete _ | Cycle _ | Path _ | Star _ | Wheel _ | Hypercube _
   | Folded_hypercube _ | Binary_tree _
   | Petersen | Torus _ | Grid _ | Circulant _ | Complete_bipartite _
@@ -157,7 +355,8 @@ let build spec rng =
       | Lollipop (s, p) -> Gen.lollipop ~clique_size:s ~path_len:p
       | Random_regular (n, r) -> Gen.random_regular rng ~n ~r
       | Erdos_renyi (n, p) -> Gen.erdos_renyi rng ~n ~p
-      | Gnm (n, m) -> Gen.gnm rng ~n ~m)
+      | Gnm (n, m) -> Gen.gnm rng ~n ~m
+      | Ba (n, m, p) -> Gen.barabasi_albert rng ~n ~m ~prob_unbiased:p)
   with Invalid_argument msg | Failure msg -> Error msg
 
 let to_string = function
@@ -184,6 +383,9 @@ let to_string = function
   | Random_regular (n, r) -> Printf.sprintf "random-regular:%dx%d" n r
   | Erdos_renyi (n, p) -> Printf.sprintf "er:%d:%g" n p
   | Gnm (n, m) -> Printf.sprintf "gnm:%dx%d" n m
+  | Ba (n, m, p) ->
+    if p = 0.0 then Printf.sprintf "ba:%d,%d" n m
+    else Printf.sprintf "ba:%d,%d,%g" n m p
 
 (* The closed-form subset: families whose neighbourhoods are arithmetic.
    Everything else must be materialised. *)
@@ -200,7 +402,7 @@ let implicit spec =
     | Circulant (n, offs) -> Ok (Implicit.circulant n offs)
     | Star _ | Wheel _ | Binary_tree _ | Petersen | Complete_bipartite _
     | Ring_of_cliques _ | Barbell _ | Lollipop _ | Random_regular _
-    | Erdos_renyi _ | Gnm _ ->
+    | Erdos_renyi _ | Gnm _ | Ba _ ->
       Error "family has no closed form"
   with Invalid_argument msg | Failure msg -> Error msg
 

@@ -8,8 +8,11 @@
     - ["circulant:N:o1+o2+..."]
     - ["complete-bipartite:AxB"]
     - ["ring-of-cliques:CxS"], ["barbell:SxP"], ["lollipop:SxP"]
-    - ["random-regular:NxR"], ["er:N:P"], ["gnm:NxM"] (randomised — they
-      consume the provided stream) *)
+    - ["random-regular:NxR"], ["er:N:P"], ["gnm:NxM"],
+      ["ba:N,M"], ["ba:N,M,P"] (randomised — they consume the provided
+      stream; [ba] also accepts the comma-free spelling ["ba:NxM[xP]"]
+      for contexts that split lists on commas, e.g. inline sweep
+      grids) *)
 
 type t
 
@@ -46,5 +49,12 @@ val build_view :
 (** [to_string spec] re-renders the canonical description. *)
 val to_string : t -> string
 
-(** [syntax_help] is a short usage text listing the grammar. *)
+(** [syntax_help] is a short usage text listing the grammar. Derived
+    from the same family registry as {!parse}, so the menu cannot omit a
+    parseable family. *)
 val syntax_help : string
+
+(** [families] lists the family head tokens (["complete"], ["ba"], ...)
+    in menu order — one entry per registry row, exactly the set of heads
+    {!parse} accepts. *)
+val families : string list

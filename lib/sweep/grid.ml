@@ -47,12 +47,13 @@ let set_param p key v =
   | "persistent" -> bool (fun b -> { p with K.persistent = b })
   | "infectious_rounds" -> int (fun i -> { p with K.infectious_rounds = i })
   | "immune_rounds" -> int (fun i -> { p with K.immune_rounds = i })
+  | "latent_rounds" -> int (fun i -> { p with K.latent_rounds = i })
   | "cap" -> int (fun i -> { p with K.cap = Some i })
   | _ -> Error (Printf.sprintf "unknown parameter %S" key)
 
 let param_keys =
   [ "start"; "walkers"; "rate"; "horizon"; "recovery"; "persistent";
-    "infectious_rounds"; "immune_rounds"; "cap" ]
+    "infectious_rounds"; "immune_rounds"; "latent_rounds"; "cap" ]
 
 let parse_graphs strs =
   let rec go acc = function
@@ -259,8 +260,16 @@ let params_meta ?(engine = `Scalar) ?(backend = `Heap) trials base =
     | (`Bigarray | `Implicit) as b ->
       [ ("backend", Json.String (Graph.View.backend_to_string b)) ]
   in
+  (* [latent_rounds] arrived with the SEIR kernel, after checkpoints of
+     the earlier meta shape already existed; grids at the default omit
+     the key so those checkpoints keep their meta digests (the same
+     convention engine/backend follow above). *)
+  let latent_field =
+    if base.K.latent_rounds = K.default_params.K.latent_rounds then []
+    else [ ("latent_rounds", Json.Int base.K.latent_rounds) ]
+  in
   Json.Obj
-    (engine_field @ backend_field
+    (engine_field @ backend_field @ latent_field
     @ [
       ("trials", Json.Int trials);
       ("start", Json.Int base.K.start);

@@ -11,6 +11,7 @@ let all =
     Epidemic.Kernels.sis;
     Epidemic.Kernels.contact;
     Epidemic.Kernels.herd;
+    Epidemic.Kernels.seir;
   ]
 
 let find name = List.find_opt (fun k -> k.Cobra.Kernel.name = name) all
@@ -38,8 +39,8 @@ let engine_of_string s =
   | s -> Error (Printf.sprintf "unknown engine %S (available: scalar, lanes)" s)
 
 (* The sliced-stepper registry: bips/cobra/push from Cobra.Lanes, sis
-   from Epidemic.Lanes. Everything else (rwalk, contact, herd) runs
-   scalar under every engine. *)
+   from Epidemic.Lanes. Everything else (rwalk, contact, herd, seir)
+   runs scalar under every engine. *)
 let sliced kernel =
   let name = kernel.Cobra.Kernel.name in
   match Cobra.Lanes.find name with

@@ -30,17 +30,22 @@ module Explore = Cobra.Explore
 module Sis = Epidemic.Sis
 module Contact = Epidemic.Contact
 module Herd = Epidemic.Herd
+module Seir = Epidemic.Seir
 
 let master = 20260807
 let family_alpha = 1e-6
 
 (* Upper bound on the number of accept-demanding Gof verdicts taken
-   below (currently 63; keep the bound at or above so adding a check
-   never silently weakens the family-wise guarantee). The mutation tests
+   below (currently 69: 63 through the lanes section, plus 6 in the SEIR
+   section — one step chi-square, three occupancy binomials on Q3, the
+   attack-count chi-square and the extinction binomial; keep the bound
+   at or above so adding a check never silently weakens the family-wise
+   guarantee — test_verdict_budget asserts it). The mutation tests
    demand a Reject from a deliberately wrong kernel — they can only fail
    by missing a gross perturbation, not by a rare false alarm — so they
    do not consume false-failure budget and are not counted. *)
-let family_size = 64
+let family_size = 72
+let family_verdicts = 69
 let alpha = Gof.bonferroni ~family_alpha ~m:family_size
 
 let check_gof name r =
@@ -864,6 +869,116 @@ let test_lanes_cobra_c5 () =
     5
     (fun gen -> Cobra.Lanes.cobra.Cobra.Lanes.create (v c5) params gen)
 
+(* ---------- seir ---------- *)
+
+let exposed_mask p n =
+  mask_of_pred n (fun u -> Seir.status p u = Seir.Exposed)
+
+let test_seir_step_k4 () =
+  let contacts = Branching.Fixed 1 in
+  check_set_dist ~tag:"seir/step/k4" ~trials:6000
+    ~dist:
+      (Exact.seir_step_dist k4 ~contacts ~infectious:[ 0 ]
+         ~susceptible:[ 1; 2; 3 ])
+    (fun rng ->
+      let p =
+        Seir.create (v k4)
+          { Seir.contacts; latent_rounds = 2; infectious_rounds = 1 }
+          ~index_cases:[ 0 ]
+      in
+      Seir.step p rng;
+      exposed_mask p 4)
+
+let test_seir_occupancy_q3 () =
+  (* Per-vertex exposure marginals after one round from vertex 0: only
+     its three Q3 neighbours can be exposed, so the five distance->=2
+     vertices exercise the zero-probability guard and the neighbours get
+     one exact binomial each (3 accept verdicts). *)
+  let contacts = Branching.One_plus 0.5 and trials = 6000 in
+  let dist =
+    Exact.seir_step_dist q3 ~contacts ~infectious:[ 0 ]
+      ~susceptible:[ 1; 2; 3; 4; 5; 6; 7 ]
+  in
+  let exact =
+    Array.init 8 (fun u ->
+        List.fold_left
+          (fun a (m, p) -> if m land (1 lsl u) <> 0 then a +. p else a)
+          0.0 dist)
+  in
+  let samples =
+    Conformance.samples ~master ~tag:"seir/occupancy/q3" ~trials (fun rng ->
+        let p =
+          Seir.create (v q3)
+            { Seir.contacts; latent_rounds = 1; infectious_rounds = 2 }
+            ~index_cases:[ 0 ]
+        in
+        Seir.step p rng;
+        exposed_mask p 8)
+  in
+  check_occupancy "seir/occupancy/q3" ~trials ~exact samples
+
+let test_seir_attack_c5 () =
+  (* Full-chain conformance: the attack count (vertices ever infected at
+     absorption) against the sparse mixed-radix evolution. *)
+  let contacts = Branching.Fixed 1
+  and latent_rounds = 1
+  and infectious_rounds = 1 in
+  let attack =
+    Exact.seir_attack_dist c5 ~contacts ~latent_rounds ~infectious_rounds
+      ~start:[ 0 ]
+  in
+  let dist =
+    List.filter
+      (fun (_, p) -> p > 0.0)
+      (Array.to_list (Array.mapi (fun k p -> (k, p)) attack))
+  in
+  check_scalar_dist ~tag:"seir/attack/c5" ~trials:6000 ~dist (fun rng ->
+      (Seir.run (v c5)
+         { Seir.contacts; latent_rounds; infectious_rounds }
+         ~index_cases:[ 0 ] rng)
+        .Seir.ever)
+
+let test_seir_extinction_q3 () =
+  (* Attack-rate survival in time: P(absorbed within 4 rounds) from the
+     exact extinction series. *)
+  let contacts = Branching.Fixed 1
+  and latent_rounds = 1
+  and infectious_rounds = 1
+  and t = 4
+  and trials = 6000 in
+  let series =
+    Exact.seir_extinct_series q3 ~contacts ~latent_rounds ~infectious_rounds
+      ~start:[ 0 ] ~t_max:t
+  in
+  let outcomes =
+    Conformance.samples ~master ~tag:"seir/extinction/q3" ~trials (fun rng ->
+        let p =
+          Seir.create (v q3)
+            { Seir.contacts; latent_rounds; infectious_rounds }
+            ~index_cases:[ 0 ]
+        in
+        for _ = 1 to t do
+          Seir.step p rng
+        done;
+        Seir.is_absorbed p)
+  in
+  let successes =
+    Array.fold_left (fun a b -> if b then a + 1 else a) 0 outcomes
+  in
+  check_gof "seir/extinction/q3"
+    (Gof.binomial_test ~alpha ~successes ~trials ~p:series.(t) ())
+
+(* The satellite guarantee behind the whole suite: the documented tally
+   of accept-demanding verdicts must stay within the Bonferroni divisor,
+   and alpha must actually be derived from it. *)
+let test_verdict_budget () =
+  Alcotest.(check bool)
+    "verdict tally within the Bonferroni bound" true
+    (family_verdicts <= family_size);
+  Alcotest.(check bool)
+    "alpha is family_alpha / family_size" true
+    (alpha = family_alpha /. float_of_int family_size)
+
 (* ---------- mutation sensitivity ---------- *)
 
 let test_mutation_sensitivity () =
@@ -917,6 +1032,32 @@ let test_mutation_pull () =
   (* True P(nobody joins in one K4 pull round) = (2/3)^3 = 8/27. *)
   binomial_mutation ~tag:"mutation/pull" ~p_wrong:0.5 (fun rng ->
       kernel_informed ~rounds:1 Cobra.Kernel.pull k4 rng = 1)
+
+let test_mutation_seir_latency () =
+  (* Sample the TRUE latent-1 kernel on K4 and test its
+     extinction-by-round-3 indicator against the exact probability for
+     latent 2 — same {absorbed, not absorbed} support. With one
+     infectious round, latency 2 makes absorption by round 3 possible
+     only if the index case infects nobody (8/27), while latency 1 also
+     absorbs whenever the first infection wave dies in its single
+     infectious round, a gap far beyond the binomial noise at 6000
+     trials. A miss here means the suite cannot see a one-round latency
+     shift and its SEIR PASSes mean nothing. *)
+  let contacts = Branching.Fixed 1 in
+  let p_wrong =
+    (Exact.seir_extinct_series k4 ~contacts ~latent_rounds:2
+       ~infectious_rounds:1 ~start:[ 0 ] ~t_max:3).(3)
+  in
+  binomial_mutation ~tag:"mutation/seir-latency" ~p_wrong (fun rng ->
+      let p =
+        Seir.create (v k4)
+          { Seir.contacts; latent_rounds = 1; infectious_rounds = 1 }
+          ~index_cases:[ 0 ]
+      in
+      for _ = 1 to 3 do
+        Seir.step p rng
+      done;
+      Seir.is_absorbed p)
 
 let test_mutation_push_pull () =
   (* True P(exactly one K4 vertex joins in one push-pull round) = 4/9. *)
@@ -992,6 +1133,14 @@ let () =
           t "one round on K4" test_herd_k4;
           t "one round on the prism, two index cases" test_herd_prism;
         ] );
+      ( "seir",
+        [
+          t "one round on K4 (newly exposed)" test_seir_step_k4;
+          t "exposure marginals on Q3" test_seir_occupancy_q3;
+          t "attack-count distribution on C5" test_seir_attack_c5;
+          t "extinction probability on Q3 at t=4" test_seir_extinction_q3;
+          t "verdict tally stays within the Bonferroni bound" test_verdict_budget;
+        ] );
       ( "dist",
         [
           t "categorical" test_dist_categorical;
@@ -1022,5 +1171,6 @@ let () =
           t "plain-walk probability is rejected for explore" test_mutation_explore;
           t "perturbed pull stall probability is rejected" test_mutation_pull;
           t "pull-only probability is rejected for push-pull" test_mutation_push_pull;
+          t "wrong latency is rejected for seir" test_mutation_seir_latency;
         ] );
     ]

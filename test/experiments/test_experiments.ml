@@ -14,12 +14,12 @@ module Json = Simkit.Json
 let check = Alcotest.check
 
 let test_count_and_order () =
-  check Alcotest.int "sixteen experiments" 16 (List.length Registry.all);
+  check Alcotest.int "eighteen experiments" 18 (List.length Registry.all);
   let ids = List.map (fun s -> s.Spec.id) Registry.all in
   check
     Alcotest.(list string)
     "id order"
-    [ "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10"; "E11"; "E12"; "E13"; "E14"; "E15"; "E16" ]
+    [ "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10"; "E11"; "E12"; "E13"; "E14"; "E15"; "E16"; "E17"; "E18" ]
     ids
 
 let test_unique_slugs () =
@@ -49,7 +49,7 @@ let test_metadata_nonempty () =
     Registry.all
 
 let test_id_range_derived () =
-  check Alcotest.string "derived from the registry" "E1..E16" (Registry.id_range ())
+  check Alcotest.string "derived from the registry" "E1..E18" (Registry.id_range ())
 
 (* ---------- structured results pipeline ---------- *)
 

@@ -156,6 +156,37 @@ let test_backend_fallbacks () =
      yields the same graph under either backend. *)
   check_same_topology "random-regular big" heap_rr big_rr
 
+(* Same contract for the preferential-attachment family, whose RNG
+   stream is consumed during generation and replayed from the recorded
+   endpoint array: heap and bigarray builds at one seed are the same
+   graph, and implicit is refused (no closed form). *)
+let test_ba_cross_backend () =
+  List.iter
+    (fun name ->
+      let spec = view_spec name in
+      let heap =
+        match Graph.Spec.build_view spec ~backend:`Heap (Prng.Rng.create 9) with
+        | Ok v -> v
+        | Error e -> Alcotest.fail e
+      in
+      let big =
+        match
+          Graph.Spec.build_view spec ~backend:`Bigarray (Prng.Rng.create 9)
+        with
+        | Ok v -> v
+        | Error e -> Alcotest.fail e
+      in
+      check_same_topology (name ^ " big") heap big;
+      let reference = walk_trace heap ~seed:42 ~steps:512 in
+      Alcotest.(check (list int))
+        (name ^ ": walk trace bigarray")
+        reference
+        (walk_trace big ~seed:42 ~steps:512);
+      match Graph.Spec.build_view spec ~backend:`Implicit (Prng.Rng.create 9) with
+      | Ok _ -> Alcotest.failf "%s should have no implicit backend" name
+      | Error _ -> ())
+    [ "ba:64,2"; "ba:64,3,0.5"; "ba:40,1,1" ]
+
 let test_bigcsr_roundtrip () =
   let g =
     Graph.Gen.random_regular (Prng.Rng.create 11) ~n:200 ~r:6
@@ -276,6 +307,8 @@ let () =
           Alcotest.test_case "rng stream identical" `Quick
             test_rng_stream_identical;
           Alcotest.test_case "fallbacks" `Quick test_backend_fallbacks;
+          Alcotest.test_case "barabasi-albert cross-backend" `Quick
+            test_ba_cross_backend;
           qtest lattice_prop;
           qtest circulant_prop;
           qtest hypercube_nth_prop;

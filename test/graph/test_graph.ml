@@ -343,6 +343,59 @@ let rewire_degree_sequence_prop =
       let g' = Gen.rewire rng g ~swaps in
       Csr.degree_counts g = Csr.degree_counts g')
 
+let test_barabasi_albert () =
+  let rng = Rng.create 21 in
+  let g = Gen.barabasi_albert rng ~n:200 ~m:2 ~prob_unbiased:0.0 in
+  check Alcotest.int "n" 200 (Csr.n_vertices g);
+  (* seed K3 (3 edges) plus m = 2 per later vertex *)
+  check Alcotest.int "edge count" (3 + (197 * 2)) (Csr.n_edges g);
+  check Alcotest.bool "connected" true (Algo.is_connected g);
+  check Alcotest.bool "min degree >= m" true (Csr.min_degree g >= 2);
+  (* Pure preferential attachment grows hubs far beyond the uniform
+     regime's expected max degree (~ m + log n ~ 7 at n = 200). *)
+  check Alcotest.bool "grows a hub" true (Csr.max_degree g > 10);
+  (* The prob_unbiased endpoints: 1.0 is pure uniform attachment, 0.0
+     pure preferential — both must stay simple/connected with the same
+     edge budget. *)
+  List.iter
+    (fun p ->
+      let g = Gen.barabasi_albert (Rng.create 22) ~n:100 ~m:3 ~prob_unbiased:p in
+      check Alcotest.int (Printf.sprintf "p=%g edges" p) (6 + (96 * 3)) (Csr.n_edges g);
+      check Alcotest.bool (Printf.sprintf "p=%g connected" p) true (Algo.is_connected g);
+      check Alcotest.bool (Printf.sprintf "p=%g min degree" p) true (Csr.min_degree g >= 3))
+    [ 0.0; 1.0 ];
+  Alcotest.check_raises "m >= 1" (Invalid_argument "Gen.barabasi_albert: m >= 1 required")
+    (fun () -> ignore (Gen.barabasi_albert rng ~n:5 ~m:0 ~prob_unbiased:0.0));
+  Alcotest.check_raises "n >= m + 1"
+    (Invalid_argument "Gen.barabasi_albert: n >= m + 1 required") (fun () ->
+      ignore (Gen.barabasi_albert rng ~n:3 ~m:3 ~prob_unbiased:0.0));
+  Alcotest.check_raises "p in [0, 1]"
+    (Invalid_argument "Gen.barabasi_albert: prob_unbiased outside [0, 1]") (fun () ->
+      ignore (Gen.barabasi_albert rng ~n:5 ~m:1 ~prob_unbiased:1.5))
+
+let barabasi_albert_prop =
+  (* CSR construction rejects self-loops and duplicate edges, so a
+     successful build is itself the simplicity check. *)
+  QCheck.Test.make
+    ~name:"barabasi_albert: simple, connected, min degree >= m, deterministic"
+    ~count:40
+    QCheck.(triple (int_range 0 10_000) (int_range 1 5) (int_range 0 2))
+    (fun (seed, m, pk) ->
+      let n = m + 2 + (seed mod 60) in
+      let p = [| 0.0; 0.5; 1.0 |].(pk) in
+      let gen s = Gen.barabasi_albert (Rng.create s) ~n ~m ~prob_unbiased:p in
+      let g = gen seed in
+      let expected_edges = (m * (m + 1) / 2) + ((n - m - 1) * m) in
+      let degree_sum =
+        List.fold_left (fun a (d, c) -> a + (d * c)) 0 (Csr.degree_counts g)
+      in
+      Csr.n_vertices g = n
+      && Csr.n_edges g = expected_edges
+      && degree_sum = 2 * expected_edges
+      && Csr.min_degree g >= m
+      && Algo.is_connected g
+      && Csr.equal g (gen seed))
+
 let random_regular_prop =
   QCheck.Test.make ~name:"random_regular always simple connected r-regular" ~count:30
     QCheck.(pair (int_range 0 1000) (int_range 3 8))
@@ -500,7 +553,75 @@ let test_spec_to_string_roundtrip () =
 let test_spec_is_random () =
   let random s = Spec.is_random (Result.get_ok (Spec.parse s)) in
   check Alcotest.bool "rr random" true (random "random-regular:10x3");
+  check Alcotest.bool "ba random" true (random "ba:10,2");
   check Alcotest.bool "complete deterministic" false (random "complete:5")
+
+let test_spec_ba () =
+  let g = build_spec "ba:50,2" in
+  check Alcotest.int "ba n" 50 (Csr.n_vertices g);
+  check Alcotest.int "ba m" (3 + (47 * 2)) (Csr.n_edges g);
+  (* The x-separated spelling survives comma-splitting sweep grids and
+     parses to the same spec. *)
+  check Alcotest.bool "comma and x spellings agree" true
+    (Spec.parse "ba:50x2x0.25" = Spec.parse "ba:50,2,0.25");
+  check Alcotest.string "canonical without p" "ba:50,2"
+    (Spec.to_string (Result.get_ok (Spec.parse "ba:50x2")));
+  check Alcotest.string "canonical with p" "ba:50,2,0.25"
+    (Spec.to_string (Result.get_ok (Spec.parse "ba:50,2,0.25")));
+  (match Spec.parse "ba:50,2,1.5" with
+  | Ok spec -> (
+    match Spec.build spec (Rng.create 1) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "built ba with p = 1.5")
+  | Error _ -> ());
+  match Spec.parse "ba:50" with
+  | Ok _ -> Alcotest.fail "accepted ba with missing m"
+  | Error _ -> ()
+
+(* The family menu is derived from the parser's own registry, so a new
+   family can never be parseable yet missing from the menu (or listed
+   but unparseable). Guard both directions with one example per family. *)
+let test_spec_menu_matches_parser () =
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  let example = function
+    | "petersen" -> "petersen"
+    | "torus" -> "torus:3x4"
+    | "grid" -> "grid:2x3"
+    | "circulant" -> "circulant:8:1+2"
+    | "complete-bipartite" -> "complete-bipartite:2x3"
+    | "ring-of-cliques" -> "ring-of-cliques:3x3"
+    | "barbell" -> "barbell:3x1"
+    | "lollipop" -> "lollipop:3x2"
+    | "random-regular" -> "random-regular:10x3"
+    | "er" -> "er:10:0.2"
+    | "gnm" -> "gnm:10x12"
+    | "ba" -> "ba:10,2"
+    | f -> f ^ ":3"
+  in
+  check Alcotest.bool "menu is non-trivial" true (List.length Spec.families >= 19);
+  check Alcotest.bool "ba is in the menu" true (List.mem "ba" Spec.families);
+  List.iter
+    (fun family ->
+      (match Spec.parse (example family) with
+      | Ok spec ->
+        check Alcotest.string (family ^ " roundtrips its head") family
+          (List.hd (String.split_on_char ':' (Spec.to_string spec)))
+      | Error e -> Alcotest.failf "menu family %s does not parse: %s" family e);
+      check Alcotest.bool (family ^ " appears in syntax help") true
+        (contains Spec.syntax_help family))
+    Spec.families;
+  match Spec.parse "zzz:4" with
+  | Ok _ -> Alcotest.fail "accepted an unknown family"
+  | Error e ->
+    (* The rejection message carries the same registry-derived menu. *)
+    List.iter
+      (fun family ->
+        check Alcotest.bool ("error lists " ^ family) true (contains e family))
+      Spec.families
 
 let () =
   Alcotest.run "graph"
@@ -538,9 +659,11 @@ let () =
           Alcotest.test_case "random regular" `Quick test_random_regular;
           Alcotest.test_case "erdos-renyi" `Quick test_erdos_renyi;
           Alcotest.test_case "gnm" `Quick test_gnm;
+          Alcotest.test_case "barabasi-albert" `Quick test_barabasi_albert;
           Alcotest.test_case "rewire" `Quick test_rewire_preserves_degrees;
           qtest rewire_degree_sequence_prop;
           qtest random_regular_prop;
+          qtest barabasi_albert_prop;
         ] );
       ( "algo",
         [
@@ -566,5 +689,7 @@ let () =
           Alcotest.test_case "errors" `Quick test_spec_errors;
           Alcotest.test_case "to_string" `Quick test_spec_to_string_roundtrip;
           Alcotest.test_case "is_random" `Quick test_spec_is_random;
+          Alcotest.test_case "barabasi-albert spellings" `Quick test_spec_ba;
+          Alcotest.test_case "menu matches the parser" `Quick test_spec_menu_matches_parser;
         ] );
     ]

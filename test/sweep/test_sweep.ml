@@ -226,10 +226,34 @@ let test_herd_stream () =
       done)
     [ false; true ]
 
+let test_seir_stream () =
+  let g = Gen.ring_of_cliques ~cliques:3 ~clique_size:5 in
+  let params = { p0 with K.latent_rounds = 2; infectious_rounds = 2 } in
+  for seed = 1 to 8 do
+    let o = K.run Epidemic.Kernels.seir g params (Rng.create seed) in
+    let e =
+      Epidemic.Seir.run g
+        { Epidemic.Seir.contacts = params.K.branching; latent_rounds = 2;
+          infectious_rounds = 2 }
+        ~index_cases:[ 0 ] (Rng.create seed)
+    in
+    check Alcotest.int "rounds" e.Epidemic.Seir.rounds o.K.rounds;
+    check Alcotest.bool "absorbed" true o.K.completed;
+    check (Alcotest.option (Alcotest.float 0.0)) "ever"
+      (Some (float_of_int e.Epidemic.Seir.ever))
+      (K.observation o "ever");
+    check (Alcotest.option (Alcotest.float 0.0)) "peak"
+      (Some (float_of_int e.Epidemic.Seir.peak))
+      (K.observation o "peak");
+    check (Alcotest.option (Alcotest.float 0.0)) "gen_r"
+      (Some e.Epidemic.Seir.gen_r)
+      (K.observation o "gen_r")
+  done
+
 let test_registry_covers_all () =
   check Alcotest.(list string) "kernel names"
     [ "cobra"; "bips"; "rwalk"; "push"; "pull"; "push-pull"; "coalesce";
-      "explore"; "sis"; "contact"; "herd" ]
+      "explore"; "sis"; "contact"; "herd"; "seir" ]
     (Sweep.Kernels.names ());
   List.iter
     (fun name ->
@@ -679,6 +703,8 @@ let test_lanes_fallback_is_scalar () =
       ("bips-distinct", K.bips, { p0 with K.branching = B.distinct 2 });
       ("sis-distinct", Epidemic.Kernels.sis,
        { p0 with K.recovery = 0.4; branching = B.distinct 2 });
+      ("seir", Epidemic.Kernels.seir,
+       { p0 with K.latent_rounds = 2; infectious_rounds = 2 });
     ]
 
 (* Scalar and lanes draw the same per-trial distribution, so with 192
@@ -824,6 +850,58 @@ let test_new_kernels_resume_byte_identical () =
     (match run_campaign ~dir:dir_b ~domains:1 ~resume:false ~max_cells:2 cells with
     | Ok r ->
       check Alcotest.int "B interrupted with cells left" 6
+        r.Simkit.Campaign.remaining
+    | Error msg -> Alcotest.fail msg);
+    (match run_campaign ~dir:dir_c ~domains:2 ~resume:false cells with
+    | Ok r -> check Alcotest.int "C complete" 0 r.Simkit.Campaign.remaining
+    | Error msg -> Alcotest.fail msg);
+    match run_campaign ~dir:dir_b ~domains:1 ~resume:true cells with
+    | Error msg -> Alcotest.fail msg
+    | Ok r ->
+      check Alcotest.int "B resumed to completion" 0 r.Simkit.Campaign.remaining;
+      check Alcotest.int "B reused the checkpointed cells" 2
+        r.Simkit.Campaign.reused;
+      let compare_dirs tag other =
+        check Alcotest.string (tag ^ ": manifest byte-identical")
+          (read_file (Filename.concat dir_a "manifest.json"))
+          (read_file (Filename.concat other "manifest.json"));
+        List.iter
+          (fun c ->
+            let f =
+              Printf.sprintf "cells/cell_%05d.json" c.Simkit.Campaign.index
+            in
+            check Alcotest.string (tag ^ ": cell byte-identical: " ^ f)
+              (read_file (Filename.concat dir_a f))
+              (read_file (Filename.concat other f)))
+          cells
+      in
+      compare_dirs "resume" dir_b;
+      compare_dirs "domains=2" dir_c)
+
+(* The SEIR kernel on preferential-attachment graphs rides the same
+   machinery: kernel=seir / graph=ba:... sweep cells (with the new
+   latent_rounds grid key in the cell identity) checkpoint, resume to
+   byte-identical artifacts, and agree byte-for-byte across
+   worker-domain counts 1 and 2. *)
+let test_seir_ba_resume_byte_identical () =
+  match
+    Sweep.Grid.of_inline
+      "name=equiv;graphs=ba:24x2,ba:24x2x0.5;kernels=seir,sis;\
+       latent_rounds=2;trials=3"
+  with
+  | Error msg -> Alcotest.fail msg
+  | Ok grid -> (
+    let cells = Sweep.Grid.cells grid in
+    check Alcotest.int "grid spans both graphs and kernels" 4 (List.length cells);
+    let dir_a = fresh_dir () and dir_b = fresh_dir () and dir_c = fresh_dir () in
+    (* A: uninterrupted, 1 domain.  B: killed after 2 cells, resumed.
+       C: uninterrupted, 2 domains. *)
+    (match run_campaign ~dir:dir_a ~domains:1 ~resume:false cells with
+    | Ok r -> check Alcotest.int "A complete" 0 r.Simkit.Campaign.remaining
+    | Error msg -> Alcotest.fail msg);
+    (match run_campaign ~dir:dir_b ~domains:1 ~resume:false ~max_cells:2 cells with
+    | Ok r ->
+      check Alcotest.int "B interrupted with cells left" 2
         r.Simkit.Campaign.remaining
     | Error msg -> Alcotest.fail msg);
     (match run_campaign ~dir:dir_c ~domains:2 ~resume:false cells with
@@ -1205,6 +1283,7 @@ let () =
           Alcotest.test_case "contact cap terminates" `Quick
             test_contact_cap_terminates;
           Alcotest.test_case "herd" `Quick test_herd_stream;
+          Alcotest.test_case "seir" `Quick test_seir_stream;
           Alcotest.test_case "registry covers all" `Quick test_registry_covers_all;
           Alcotest.test_case "unknown kernel lists the menu" `Quick
             test_find_res_unknown_lists_names;
@@ -1236,6 +1315,8 @@ let () =
             test_resume_byte_identical;
           Alcotest.test_case "new kernels resume byte-identical" `Quick
             test_new_kernels_resume_byte_identical;
+          Alcotest.test_case "seir on ba graphs resumes byte-identical" `Quick
+            test_seir_ba_resume_byte_identical;
           Alcotest.test_case "resume refuses changed trials/params" `Quick
             test_resume_refuses_changed_params;
           Alcotest.test_case "shared cache serves a second campaign" `Quick
